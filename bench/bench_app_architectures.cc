@@ -1,0 +1,70 @@
+// Section 4.2: how application structure interacts with Affinity-Accept.
+//
+// "An event-driven web server like lighttpd adheres to this guideline ...
+//  none of Apache's modes are ideal without additional changes." Pinned
+// worker mode keeps accept and worker threads together (the paper's chosen
+// configuration); unpinned worker mode lets the scheduler disperse them;
+// prefork forks everything on one core and pays context switches and remote
+// DRAM for its task memory.
+
+#include "bench/bench_common.h"
+
+using namespace affinity;
+
+int main() {
+  PrintBanner("Section 4.2: application architectures under Affinity-Accept (AMD, 16 cores)",
+              "pinned worker & event-driven keep affinity; unpinned/prefork lose some");
+
+  constexpr int kCores = 16;
+  TablePrinter table({"architecture", "req/s/core", "local accept %", "ctx switch/req",
+                      "migrations"});
+
+  auto add_row = [&](const char* name, ExperimentConfig config) {
+    ExperimentResult r = Experiment(config).Run();
+    double reqs = static_cast<double>(r.requests > 0 ? r.requests : 1);
+    double total_accepts = static_cast<double>(r.listen_stats.accepted_local +
+                                               r.listen_stats.accepted_remote);
+    table.AddRow({name, TablePrinter::Num(r.requests_per_sec_per_core, 0),
+                  TablePrinter::Num(total_accepts > 0
+                                        ? 100.0 * static_cast<double>(
+                                                      r.listen_stats.accepted_local) /
+                                              total_accepts
+                                        : 0.0,
+                                    0),
+                  TablePrinter::Num(static_cast<double>(r.sched_stats.context_switches) / reqs,
+                                    2),
+                  TablePrinter::Int(r.sched_stats.migrations + r.sched_stats.wake_migrations)});
+  };
+
+  {
+    ExperimentConfig config =
+        PaperConfig(AcceptVariant::kAffinity, ServerKind::kApacheWorker, kCores);
+    config.sessions_per_core = 600;
+    add_row("apache worker, pinned (paper)", config);
+  }
+  {
+    ExperimentConfig config =
+        PaperConfig(AcceptVariant::kAffinity, ServerKind::kApacheWorker, kCores);
+    config.worker.pin_threads = false;
+    config.sessions_per_core = 600;
+    add_row("apache worker, unpinned", config);
+  }
+  {
+    ExperimentConfig config =
+        PaperConfig(AcceptVariant::kAffinity, ServerKind::kLighttpd, kCores);
+    config.sessions_per_core = 600;
+    add_row("lighttpd (event-driven)", config);
+  }
+  {
+    ExperimentConfig config =
+        PaperConfig(AcceptVariant::kAffinity, ServerKind::kApachePrefork, kCores);
+    config.prefork.num_processes = 24 * kCores;
+    config.sessions_per_core = 600;
+    add_row("apache prefork (fork on core 0)", config);
+  }
+  table.Print();
+  std::printf("\n  paper: worker mode needs pinning to keep accept + worker threads\n"
+              "  together; prefork pays context switches and remote DRAM for its\n"
+              "  core-0-allocated process memory.\n");
+  return 0;
+}

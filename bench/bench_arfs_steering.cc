@@ -1,0 +1,47 @@
+// Section 7.1: Accelerated Receive Flow Steering (aRFS) as a baseline.
+//
+// aRFS is the "tighter integration" the paper discusses: the kernel updates
+// the NIC's FDir entry towards the sendmsg() core whenever it changes, using
+// the flow hash the NIC reported in the RX descriptor (so the 10k-cycle hash
+// computation of Twenty-Policy disappears). What remains is exactly what the
+// paper says still makes hardware steering impractical:
+//   - one FDir command per connection (at minimum),
+//   - periodic dead-entry scans ("the driver needs to periodically walk the
+//     hardware table and query the network stack"),
+//   - the hard capacity limit of the table (Table 5).
+// Affinity-Accept needs one entry per *flow group*, forever.
+
+#include "bench/bench_common.h"
+
+using namespace affinity;
+
+int main() {
+  PrintBanner("Section 7.1: aRFS-style hardware steering vs Affinity-Accept (AMD, 48 cores)",
+              "cheaper updates than Twenty-Policy, same structural limits");
+
+  TablePrinter table({"configuration", "req/s/core", "fdir updates", "scan entries",
+                      "rx drops (flush)"});
+  struct Mode {
+    const char* name;
+    bool twenty;
+    bool arfs;
+    AcceptVariant variant;
+  };
+  for (Mode mode : {Mode{"Fine-Accept (flow groups)", false, false, AcceptVariant::kFine},
+                    Mode{"Fine-Accept + Twenty-Policy", true, false, AcceptVariant::kFine},
+                    Mode{"Fine-Accept + aRFS", false, true, AcceptVariant::kFine},
+                    Mode{"Affinity-Accept", false, false, AcceptVariant::kAffinity}}) {
+    ExperimentConfig config = PaperConfig(mode.variant, ServerKind::kApacheWorker, 48);
+    config.kernel.twenty_policy = mode.twenty;
+    config.kernel.arfs = mode.arfs;
+    ExperimentResult r = RunSaturated(config);
+    table.AddRow({mode.name, TablePrinter::Num(r.requests_per_sec_per_core, 0),
+                  TablePrinter::Int(r.kernel_stats.fdir_updates),
+                  TablePrinter::Int(r.kernel_stats.arfs_scan_entries),
+                  TablePrinter::Int(r.nic_stats.rx_dropped_flush)});
+  }
+  table.Print();
+  std::printf("\n  paper: even with aRFS, \"flow steering in hardware is still impractical\n"
+              "  because ... the hard limit on the size of the NIC's table\" (Section 7.1).\n");
+  return 0;
+}

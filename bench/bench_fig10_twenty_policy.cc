@@ -1,0 +1,50 @@
+// Figure 10: Figure 7 plus "Twenty-Policy" -- the IXGBE driver's hardware
+// flow-steering scheme (update the FDir entry toward the sendmsg() core on
+// every 20th transmitted packet), running on the stock listen socket.
+//
+// Paper shape: at ~1,000 requests/connection the NIC steers flows well and
+// Twenty-Policy matches Affinity-Accept. At ~500 and below, maintaining the
+// hardware table (10k-cycle inserts; 150k-cycle flushes that halt TX and
+// drop RX when the table overflows) plus listen-lock contention crush it.
+
+#include "bench/bench_common.h"
+
+using namespace affinity;
+
+int main() {
+  PrintBanner("Figure 10: connection reuse with hardware flow steering (Apache, AMD, 48)",
+              "Twenty-Policy only competitive at very high requests/connection");
+
+  TablePrinter table({"reqs/conn", "Stock", "Fine", "Affinity", "Twenty-Policy",
+                      "fdir updates", "fdir flushes"});
+  for (int reuse : {1, 6, 64, 1024}) {
+    std::vector<double> per_core;
+    uint64_t updates = 0;
+    uint64_t flushes = 0;
+    for (int mode = 0; mode < 4; ++mode) {
+      AcceptVariant variant = mode == 3 ? AcceptVariant::kStock
+                                        : static_cast<AcceptVariant>(mode);
+      ExperimentConfig config = PaperConfig(variant, ServerKind::kApacheWorker, 48);
+      config.client.requests_per_connection = reuse;
+      config.client.burst_pattern = false;
+      config.client.think_time = 0;
+      if (mode == 3) {
+        config.kernel.twenty_policy = true;  // stock Linux + FDir steering
+      }
+      ExperimentResult result = MeasureSaturated(
+          config, variant == AcceptVariant::kStock ? std::vector<int>{8, 24, 64}
+                                                   : std::vector<int>{64, 160});
+      per_core.push_back(result.requests_per_sec_per_core);
+      if (mode == 3) {
+        updates = result.kernel_stats.fdir_updates;
+        flushes = result.nic_stats.rx_dropped_flush;
+      }
+    }
+    table.AddRow({TablePrinter::Int(static_cast<uint64_t>(reuse)),
+                  TablePrinter::Num(per_core[0], 0), TablePrinter::Num(per_core[1], 0),
+                  TablePrinter::Num(per_core[2], 0), TablePrinter::Num(per_core[3], 0),
+                  TablePrinter::Int(updates), TablePrinter::Int(flushes)});
+  }
+  table.Print();
+  return 0;
+}

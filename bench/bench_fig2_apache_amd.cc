@@ -1,0 +1,32 @@
+// Figure 2: Apache throughput (requests/sec/core) vs. core count on the AMD
+// machine, for Stock-Accept, Fine-Accept and Affinity-Accept.
+//
+// Paper shape: Stock collapses (total throughput roughly flat as cores grow);
+// Fine scales ~2.8x better than Stock at 48 cores; Affinity beats Fine by
+// ~24% at 48 cores.
+
+#include "bench/bench_common.h"
+
+using namespace affinity;
+
+int main() {
+  PrintBanner("Figure 2: Apache, AMD 48-core, req/s/core vs cores",
+              "Stock collapses; Fine ~2.8x Stock at 48; Affinity +24% over Fine");
+
+  TablePrinter table({"cores", "Stock-Accept", "Fine-Accept", "Affinity-Accept",
+                      "Affinity/Fine"});
+  for (int cores : CoreSweep(48)) {
+    std::vector<double> per_core;
+    for (AcceptVariant variant : AllVariants()) {
+      ExperimentResult result =
+          RunSaturated(PaperConfig(variant, ServerKind::kApacheWorker, cores));
+      per_core.push_back(result.requests_per_sec_per_core);
+    }
+    table.AddRow({TablePrinter::Int(static_cast<uint64_t>(cores)),
+                  TablePrinter::Num(per_core[0], 0), TablePrinter::Num(per_core[1], 0),
+                  TablePrinter::Num(per_core[2], 0),
+                  TablePrinter::Num(per_core[2] / per_core[1], 2)});
+  }
+  table.Print();
+  return 0;
+}

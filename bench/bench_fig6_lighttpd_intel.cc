@@ -1,0 +1,27 @@
+// Figure 6: lighttpd throughput vs. core count on the 80-core Intel machine.
+
+#include "bench/bench_common.h"
+
+using namespace affinity;
+
+int main() {
+  PrintBanner("Figure 6: lighttpd, Intel 80-core, req/s/core vs cores",
+              "same ordering; smaller Affinity/Fine gap than on AMD");
+
+  TablePrinter table({"cores", "Stock-Accept", "Fine-Accept", "Affinity-Accept",
+                      "Affinity/Fine"});
+  for (int cores : IntelCoreSweep()) {
+    std::vector<double> per_core;
+    for (AcceptVariant variant : AllVariants()) {
+      ExperimentResult result =
+          RunSaturated(PaperConfig(variant, ServerKind::kLighttpd, cores, Intel80()));
+      per_core.push_back(result.requests_per_sec_per_core);
+    }
+    table.AddRow({TablePrinter::Int(static_cast<uint64_t>(cores)),
+                  TablePrinter::Num(per_core[0], 0), TablePrinter::Num(per_core[1], 0),
+                  TablePrinter::Num(per_core[2], 0),
+                  TablePrinter::Num(per_core[2] / per_core[1], 2)});
+  }
+  table.Print();
+  return 0;
+}

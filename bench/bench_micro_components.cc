@@ -1,0 +1,111 @@
+// google-benchmark microbenchmarks of the core data structures: how fast the
+// *simulator itself* runs. Useful when tuning the models, and a regression
+// gate for the event loop / coherence map hot paths.
+
+#include <benchmark/benchmark.h>
+
+#include "src/core/affinity_accept.h"
+
+namespace affinity {
+namespace {
+
+void BM_EventLoopScheduleRun(benchmark::State& state) {
+  for (auto _ : state) {
+    EventLoop loop;
+    for (int i = 0; i < 1000; ++i) {
+      loop.ScheduleAt(static_cast<Cycles>(i), [] {});
+    }
+    loop.RunAll();
+  }
+  state.SetItemsProcessed(state.iterations() * 1000);
+}
+BENCHMARK(BM_EventLoopScheduleRun);
+
+void BM_CoherenceAccessLocal(benchmark::State& state) {
+  CoherenceModel model(AmdMemoryProfile(), 6);
+  LineId line = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Access(0, line++ % 4096, true));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoherenceAccessLocal);
+
+void BM_CoherenceAccessPingPong(benchmark::State& state) {
+  CoherenceModel model(AmdMemoryProfile(), 6);
+  int core = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model.Access(core, 7, true));
+    core = core == 0 ? 42 : 0;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CoherenceAccessPingPong);
+
+void BM_FdirLookup(benchmark::State& state) {
+  FdirTable fdir(32 * 1024);
+  for (uint32_t g = 0; g < 4096; ++g) {
+    fdir.Insert(g, static_cast<int>(g % 48));
+  }
+  uint32_t key = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(fdir.Lookup(key++ % 4096));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FdirLookup);
+
+void BM_FlowHash(benchmark::State& state) {
+  FiveTuple tuple{0x0a000001, 0x0a00ffff, 1234, 80};
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(FlowHash(tuple));
+    ++tuple.src_port;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_FlowHash);
+
+void BM_SlabAllocFree(benchmark::State& state) {
+  MemorySystem mem(AmdMemoryProfile(), 4, 2);
+  KernelTypes types(mem.registry());
+  for (auto _ : state) {
+    SimObject obj = mem.Alloc(0, types.sk_buff);
+    mem.Free(0, obj);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SlabAllocFree);
+
+void BM_HistogramAdd(benchmark::State& state) {
+  Histogram histogram;
+  uint64_t v = 1;
+  for (auto _ : state) {
+    histogram.Add(v);
+    v = v * 1664525 + 1013904223;
+    v %= 1u << 20;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistogramAdd);
+
+void BM_SimulatedRequestsPerWallSecond(benchmark::State& state) {
+  // End-to-end simulator throughput: how many simulated HTTP requests the
+  // harness processes per wall-clock second at a 4-core configuration.
+  for (auto _ : state) {
+    ExperimentConfig config;
+    config.kernel.machine = Amd48();
+    config.kernel.num_cores = 4;
+    config.kernel.listen.variant = AcceptVariant::kAffinity;
+    config.client.num_sessions = 300;
+    config.warmup = MsToCycles(100);
+    config.measure = MsToCycles(200);
+    ExperimentResult result = Experiment(config).Run();
+    state.counters["sim_requests"] += static_cast<double>(result.requests);
+  }
+}
+BENCHMARK(BM_SimulatedRequestsPerWallSecond)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace affinity
+
+BENCHMARK_MAIN();

@@ -1,0 +1,48 @@
+// Section 7.2: software flow steering (Google's Receive Flow Steering patch)
+// as a baseline against Affinity-Accept.
+//
+// RFS keeps the steering table in main memory: sendmsg() records its core,
+// and the RX cores route each established-flow packet to that core's backlog
+// ("this queue acts like a virtual DMA ring"). This buys application-side
+// locality without NIC support, but:
+//   - every forwarded packet costs routing work + an IPI on the RX core,
+//   - packet buffers are allocated on the routing core and freed on the
+//     destination core -- "our analysis of RFS ... points to remote memory
+//     deallocation of packet buffers as part of the problem",
+//   - the steering table itself bounces between cores.
+// The paper reports that RFS's throughput gains come at a steep CPU price
+// ("achieving a 40% increase in throughput requires doubling CPU
+// utilization"), while Affinity-Accept gets the locality for free.
+
+#include "bench/bench_common.h"
+
+using namespace affinity;
+
+int main() {
+  PrintBanner("Section 7.2: software flow steering (RFS) vs Affinity-Accept (AMD, 48 cores)",
+              "RFS buys locality with routing work + remote frees; Affinity gets it free");
+
+  struct Row {
+    const char* name;
+    AcceptVariant variant;
+    bool rfs;
+  };
+  TablePrinter table({"configuration", "req/s/core", "stack cycles/req", "remote frees/req",
+                      "fwd packets/req"});
+  for (Row row : {Row{"Fine-Accept (no steering)", AcceptVariant::kFine, false},
+                  Row{"Fine-Accept + RFS", AcceptVariant::kFine, true},
+                  Row{"Affinity-Accept", AcceptVariant::kAffinity, false}}) {
+    ExperimentConfig config = PaperConfig(row.variant, ServerKind::kApacheWorker, 48);
+    config.kernel.rfs = row.rfs;
+    ExperimentResult r = RunSaturated(config);
+    double reqs = static_cast<double>(r.requests > 0 ? r.requests : 1);
+    table.AddRow({row.name, TablePrinter::Num(r.requests_per_sec_per_core, 0),
+                  TablePrinter::Num(static_cast<double>(r.counters.NetworkStackCycles()) / reqs, 0),
+                  TablePrinter::Num(static_cast<double>(r.slab_stats.remote_frees) / reqs, 2),
+                  TablePrinter::Num(static_cast<double>(r.kernel_stats.rfs_forwarded) / reqs, 2)});
+  }
+  table.Print();
+  std::printf("\n  paper: RFS improves on no-steering but needs extra CPU per request;\n"
+              "  Affinity-Accept reaches better locality with no routing work at all.\n");
+  return 0;
+}

@@ -1,0 +1,56 @@
+// Table 1: access times to different levels of the memory hierarchy.
+//
+// These are model *inputs* (the coherence simulator charges exactly these
+// latencies); the bench prints them alongside a measured verification: it
+// performs the access pattern that should hit each level and reports what the
+// model actually charged.
+
+#include "bench/bench_common.h"
+
+using namespace affinity;
+
+int main() {
+  PrintBanner("Table 1: memory hierarchy access times (cycles)",
+              "AMD: L1 3, L2 14, L3 28, RAM 120, remote L3 460, remote RAM 500; "
+              "Intel: 4/12/24/90/200/280");
+
+  TablePrinter table({"machine", "L1", "L2", "L3", "RAM", "remote L3", "remote RAM"});
+  for (const MemoryProfile& p : {AmdMemoryProfile(), IntelMemoryProfile()}) {
+    table.AddRow({p.name, TablePrinter::Int(p.l1), TablePrinter::Int(p.l2),
+                  TablePrinter::Int(p.l3), TablePrinter::Int(p.ram),
+                  TablePrinter::Int(p.remote_l3), TablePrinter::Int(p.remote_ram)});
+  }
+  table.Print();
+
+  // Verification: drive the coherence model through each hit class and print
+  // the charged latency (single-core system: no DRAM contention scaling).
+  std::printf("\n  model verification (measured charge per access class):\n");
+  TablePrinter measured({"machine", "access pattern", "expected", "charged"});
+  struct Probe {
+    const char* name;
+    MemSource source;
+  };
+  for (bool intel : {false, true}) {
+    const MemoryProfile& p = intel ? IntelMemoryProfile() : AmdMemoryProfile();
+    int cores_per_chip = intel ? 10 : 6;
+    CoherenceModel model(p, cores_per_chip);
+    // local L1: write then read on the same core
+    model.Access(0, 1, true);
+    measured.AddRow({p.name, "re-read own line (L1)", TablePrinter::Int(p.l1),
+                     TablePrinter::Int(model.Access(0, 1, false).latency)});
+    // L3: dirty line, same chip
+    model.Access(0, 2, true);
+    measured.AddRow({p.name, "sibling core reads dirty (L3)", TablePrinter::Int(p.l3),
+                     TablePrinter::Int(model.Access(1, 2, false).latency)});
+    // remote cache: dirty line, farthest chip
+    model.Access(0, 3, true);
+    measured.AddRow(
+        {p.name, "remote chip reads dirty (remote L3)", TablePrinter::Int(p.remote_l3),
+         TablePrinter::Int(model.Access(cores_per_chip * 7, 3, false).latency)});
+    // RAM: cold line
+    measured.AddRow({p.name, "cold line (RAM)", TablePrinter::Int(p.ram),
+                     TablePrinter::Int(model.Access(0, 999, false).latency)});
+  }
+  measured.Print();
+  return 0;
+}

@@ -1,0 +1,114 @@
+// Internal diagnostic harness: runs one configuration and dumps every
+// statistic the simulator tracks. Useful when calibrating or debugging the
+// model; also a demonstration of the full metrics surface of the library.
+//
+//   ./build/examples/diagnose [cores] [variant: 0=stock 1=fine 2=affinity] [server: 0=apache 1=lighttpd]
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/core/affinity_accept.h"
+
+using namespace affinity;
+
+int main(int argc, char** argv) {
+  int cores = argc > 1 ? std::atoi(argv[1]) : 4;
+  int variant = argc > 2 ? std::atoi(argv[2]) : 2;
+  int server = argc > 3 ? std::atoi(argv[3]) : 0;
+  int sessions_per_core = argc > 4 ? std::atoi(argv[4]) : 0;
+  bool lockstat = argc > 5 && std::atoi(argv[5]) != 0;
+
+  ExperimentConfig config;
+  config.kernel.machine = Amd48();
+  config.kernel.num_cores = cores;
+  config.kernel.listen.variant = static_cast<AcceptVariant>(variant);
+  config.server = server == 0 ? ServerKind::kApacheWorker : ServerKind::kLighttpd;
+  if (sessions_per_core > 0) {
+    config.sessions_per_core = sessions_per_core;
+  }
+  config.kernel.lock_stat = lockstat;
+
+  Experiment experiment(config);
+  ExperimentResult r = experiment.Run();
+
+  PrintBanner("diagnose: " + r.label + " @ " + std::to_string(cores) + " cores", "");
+  PrintKv("req/s/core", TablePrinter::Num(r.requests_per_sec_per_core, 0));
+  PrintKv("requests (window)", TablePrinter::Int(r.requests));
+  PrintKv("idle fraction", TablePrinter::Num(r.idle_fraction * 100.0, 1) + "%");
+  PrintKv("conns completed / timeouts",
+          TablePrinter::Int(r.conns_completed) + " / " + TablePrinter::Int(r.timeouts));
+  PrintKv("conn latency p50/p90 (ms)",
+          TablePrinter::Num(CyclesToMs(r.client.conn_latency.Median()), 1) + " / " +
+              TablePrinter::Num(CyclesToMs(r.client.conn_latency.Percentile(0.9)), 1));
+  PrintKv("request latency p50 (us)",
+          TablePrinter::Num(CyclesToUs(r.client.request_latency.Median()), 0));
+  PrintKv("syn retries / rst aborts", TablePrinter::Int(r.client.syn_retries) + " / " + TablePrinter::Int(r.client.rst_aborts));
+  PrintKv("sessions in flight", TablePrinter::Int(experiment.client().sessions_in_flight()));
+  {
+    std::vector<size_t> st = experiment.client().SessionStateCounts();
+    PrintKv("session states syn/act/think/fin",
+            TablePrinter::Int(st[0]) + " / " + TablePrinter::Int(st[1]) + " / " +
+                TablePrinter::Int(st[2]) + " / " + TablePrinter::Int(st[3]));
+  }
+  PrintKv("request latency p90/p99 (us)",
+          TablePrinter::Num(CyclesToUs(r.client.request_latency.Percentile(0.9)), 0) + " / " +
+              TablePrinter::Num(CyclesToUs(r.client.request_latency.Percentile(0.99)), 0));
+  PrintKv("kernel: drops no-conn", TablePrinter::Int(r.kernel_stats.packets_dropped_no_conn));
+  PrintKv("kernel: reqs delivered / resp sent",
+          TablePrinter::Int(r.kernel_stats.requests_delivered) + " / " +
+              TablePrinter::Int(r.kernel_stats.responses_sent));
+
+  PrintKv("listen: syns", TablePrinter::Int(r.listen_stats.syns));
+  PrintKv("listen: established", TablePrinter::Int(r.listen_stats.established));
+  PrintKv("listen: accepted local/remote", TablePrinter::Int(r.listen_stats.accepted_local) +
+                                               " / " +
+                                               TablePrinter::Int(r.listen_stats.accepted_remote));
+  PrintKv("listen: overflow drops", TablePrinter::Int(r.listen_stats.overflow_drops));
+  PrintKv("listen: parked accepts", TablePrinter::Int(r.listen_stats.parked_accepts));
+  PrintKv("listen: herd wakeups", TablePrinter::Int(r.listen_stats.poll_herd_wakeups));
+
+  PrintKv("nic: rx/tx packets", TablePrinter::Int(r.nic_stats.rx_packets) + " / " +
+                                    TablePrinter::Int(r.nic_stats.tx_packets));
+  PrintKv("nic: drops ring/overload/flush",
+          TablePrinter::Int(r.nic_stats.rx_dropped_ring_full) + " / " +
+              TablePrinter::Int(r.nic_stats.rx_dropped_overload) + " / " +
+              TablePrinter::Int(r.nic_stats.rx_dropped_flush));
+
+  PrintKv("sched: ctx switches", TablePrinter::Int(r.sched_stats.context_switches));
+  PrintKv("sched: wakeups (remote)", TablePrinter::Int(r.sched_stats.wakeups) + " (" +
+                                         TablePrinter::Int(r.sched_stats.remote_wakeups) + ")");
+  PrintKv("sched: migrations", TablePrinter::Int(r.sched_stats.migrations));
+  PrintKv("slab: remote frees", TablePrinter::Int(r.slab_stats.remote_frees));
+  PrintKv("steals", TablePrinter::Int(r.steals));
+  PrintKv("live connections", TablePrinter::Int(experiment.kernel().live_connections()));
+
+  std::printf("\n  per-entry counters (per request):\n");
+  TablePrinter table({"entry", "cycles", "instr", "l2miss", "calls"});
+  double reqs = static_cast<double>(r.requests > 0 ? r.requests : 1);
+  for (size_t i = 0; i < kNumKernelEntries; ++i) {
+    const EntryCounters& e = r.counters.entry(static_cast<KernelEntry>(i));
+    if (e.invocations == 0) {
+      continue;
+    }
+    table.AddRow({KernelEntryName(static_cast<KernelEntry>(i)),
+                  TablePrinter::Num(static_cast<double>(e.cycles) / reqs, 0),
+                  TablePrinter::Num(static_cast<double>(e.instructions) / reqs, 0),
+                  TablePrinter::Num(static_cast<double>(e.l2_misses) / reqs, 1),
+                  TablePrinter::Int(e.invocations)});
+  }
+  table.Print();
+
+  std::printf("\n  lock classes:\n");
+  TablePrinter locks({"class", "acq", "contended", "hold_us/req", "spin_us/req", "mutex_us/req"});
+  for (const LockClassStats& cls : r.locks) {
+    if (cls.acquisitions == 0) {
+      continue;
+    }
+    locks.AddRow({cls.name, TablePrinter::Int(cls.acquisitions), TablePrinter::Int(cls.contended),
+                  TablePrinter::Num(CyclesToUs(cls.hold) / reqs, 2),
+                  TablePrinter::Num(CyclesToUs(cls.spin_wait) / reqs, 2),
+                  TablePrinter::Num(CyclesToUs(cls.mutex_wait) / reqs, 2)});
+  }
+  locks.Print();
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Load-imbalance walkthrough: what Affinity-Accept's connection load
+// balancer does when half the machine is suddenly taken over by a compute
+// job (the paper's Section 6.5 scenario, as an API demo).
+//
+//   ./build/examples/load_imbalance [balancer: 0=off 1=on]
+//
+// Demonstrates the phased Experiment API: build, steady state, inject the
+// compute job, measure, then inspect stealing/migration counters.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/app/compute_job.h"
+#include "src/core/affinity_accept.h"
+
+using namespace affinity;
+
+int main(int argc, char** argv) {
+  bool balancer = argc > 1 ? std::atoi(argv[1]) != 0 : true;
+  constexpr int kCores = 8;
+
+  ExperimentConfig config;
+  config.kernel.machine = Amd48();
+  config.kernel.num_cores = kCores;
+  config.kernel.listen.variant = AcceptVariant::kAffinity;
+  config.kernel.listen.connection_stealing = balancer;
+  config.kernel.flow_migration = balancer;
+  config.server = ServerKind::kLighttpd;
+  config.client.num_sessions = 0;
+  config.client.open_loop_conn_rate = 4500.0;  // ~50% CPU on 8 cores
+  config.client.timeout = SecToCycles(2.0);
+
+  std::printf("Affinity-Accept load balancer demo (%s)\n\n",
+              balancer ? "stealing + flow migration ON" : "balancer OFF");
+
+  Experiment experiment(config);
+  experiment.Build();
+  experiment.RunFor(MsToCycles(500));
+  std::printf("steady state reached: %zu connections in flight\n",
+              experiment.kernel().live_connections());
+
+  // A compute hog lands on the upper half of the cores.
+  ComputeJobConfig job;
+  for (CoreId c = kCores / 2; c < kCores; ++c) {
+    job.allowed_cores.push_back(c);
+  }
+  job.chunk = MsToCycles(2.5);
+  job.phase_work = SecToCycles(4.0);
+  job.serial_work = 0;
+  ComputeJob make(job, &experiment.kernel());
+  make.Start();
+  std::printf("compute job started on cores %d-%d\n\n", kCores / 2, kCores - 1);
+
+  experiment.RunFor(MsToCycles(300));
+  experiment.BeginMeasurement();
+  experiment.RunFor(SecToCycles(2.0));
+  ExperimentResult result = experiment.Collect(SecToCycles(2.0));
+
+  std::printf("over the next 2 simulated seconds:\n");
+  std::printf("  connection latency p50 / p90:  %.0f / %.0f ms\n",
+              CyclesToMs(result.client.conn_latency.Median()),
+              CyclesToMs(result.client.conn_latency.Percentile(0.9)));
+  std::printf("  completed / timed out:         %llu / %llu\n",
+              static_cast<unsigned long long>(result.conns_completed),
+              static_cast<unsigned long long>(result.timeouts));
+  std::printf("  connections stolen:            %llu\n",
+              static_cast<unsigned long long>(result.steals));
+  std::printf("  accept-queue overflow drops:   %llu\n",
+              static_cast<unsigned long long>(result.listen_stats.overflow_drops));
+
+  // Where do the flow groups point now?
+  int groups_on_hogged = 0;
+  const SimNic& nic = experiment.kernel().nic();
+  for (uint32_t g = 0; g < nic.config().num_flow_groups; ++g) {
+    if (nic.RingOfFlowGroup(g) >= kCores / 2) {
+      ++groups_on_hogged;
+    }
+  }
+  std::printf("  flow groups still on hogged cores: %d of %u\n", groups_on_hogged,
+              nic.config().num_flow_groups);
+  std::printf("\nRun with the other setting to compare (./load_imbalance %d).\n",
+              balancer ? 0 : 1);
+  return 0;
+}

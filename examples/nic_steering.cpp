@@ -1,0 +1,80 @@
+// NIC steering-strategy comparison: why Affinity-Accept programs flow groups
+// instead of relying on RSS or per-connection FDir entries.
+//
+//   ./build/examples/nic_steering
+//
+// Runs the same web workload on 48 cores with three NIC configurations:
+//   1. RSS only: the IXGBE's 128-entry / 16-ring indirection table (packets
+//      reach only 16 of the 48 cores' rings).
+//   2. Flow groups (Affinity-Accept): hash of the low 12 source-port bits,
+//      4,096 FDir entries, all rings reachable, no per-connection updates.
+//   3. Per-flow FDir driven from sendmsg() every 20th packet (Twenty-Policy):
+//      per-connection table churn, flushes, TX halts.
+
+#include <cstdio>
+
+#include "src/core/affinity_accept.h"
+
+using namespace affinity;
+
+namespace {
+
+ExperimentConfig Base() {
+  ExperimentConfig config;
+  config.kernel.machine = Amd48();
+  config.kernel.num_cores = 48;
+  config.server = ServerKind::kApacheWorker;
+  config.sessions_per_core = 500;
+  return config;
+}
+
+void Report(const char* name, const ExperimentResult& r, const SimNic& nic) {
+  std::printf("%-28s %8.0f req/s/core  rss-fallbacks %-8llu fdir flushes %llu\n", name,
+              r.requests_per_sec_per_core,
+              static_cast<unsigned long long>(r.nic_stats.rss_fallbacks),
+              static_cast<unsigned long long>(nic.fdir().stats().flushes));
+}
+
+}  // namespace
+
+int main() {
+  std::printf("NIC steering strategies, Apache on 48 simulated cores\n\n");
+
+  {
+    // RSS only: 16 rings serve all flows; 32 cores never see RX work, so
+    // affinity is impossible for two thirds of the machine.
+    ExperimentConfig config = Base();
+    config.kernel.listen.variant = AcceptVariant::kAffinity;
+    Experiment experiment(config);
+    experiment.Build();
+    experiment.kernel().nic().rss().DistributeRoundRobin(16);
+    // Force RSS by flushing the flow-group table (packets then fall back).
+    const_cast<FdirTable&>(experiment.kernel().nic().fdir()).Flush();
+    experiment.RunFor(MsToCycles(700));
+    experiment.BeginMeasurement();
+    experiment.RunFor(MsToCycles(350));
+    ExperimentResult r = experiment.Collect(MsToCycles(350));
+    Report("RSS only (16 rings)", r, experiment.kernel().nic());
+  }
+  {
+    ExperimentConfig config = Base();
+    config.kernel.listen.variant = AcceptVariant::kAffinity;
+    Experiment experiment(config);
+    ExperimentResult r = experiment.Run();
+    Report("flow groups (Affinity)", r, experiment.kernel().nic());
+  }
+  {
+    ExperimentConfig config = Base();
+    config.kernel.listen.variant = AcceptVariant::kStock;
+    config.kernel.twenty_policy = true;
+    config.sessions_per_core = 160;
+    Experiment experiment(config);
+    ExperimentResult r = experiment.Run();
+    Report("per-flow FDir (Twenty)", r, experiment.kernel().nic());
+  }
+
+  std::printf("\nFlow groups reach every ring with 4,096 static entries; the\n"
+              "alternatives either cover too few cores (RSS) or churn the\n"
+              "hardware table per connection (Twenty-Policy).\n");
+  return 0;
+}

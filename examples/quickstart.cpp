@@ -1,0 +1,39 @@
+// Quickstart: run the Apache-worker web server on a simulated 48-core AMD
+// machine under each listen-socket implementation and compare throughput.
+//
+//   ./build/examples/quickstart [num_cores]
+//
+// This is the smallest end-to-end use of the library: configure, run,
+// read the headline result.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "src/core/affinity_accept.h"
+
+int main(int argc, char** argv) {
+  int num_cores = argc > 1 ? std::atoi(argv[1]) : 8;
+
+  std::printf("Affinity-Accept quickstart: apache-worker on %d cores (AMD profile)\n\n",
+              num_cores);
+
+  for (affinity::AcceptVariant variant :
+       {affinity::AcceptVariant::kStock, affinity::AcceptVariant::kFine,
+        affinity::AcceptVariant::kAffinity}) {
+    affinity::ExperimentConfig config;
+    config.kernel.machine = affinity::Amd48();
+    config.kernel.num_cores = num_cores;
+    config.kernel.listen.variant = variant;
+    config.server = affinity::ServerKind::kApacheWorker;
+
+    affinity::Experiment experiment(config);
+    affinity::ExperimentResult result = experiment.Run();
+
+    std::printf("%-16s  %8.0f req/s/core  (%6.0f req/s total, idle %4.1f%%, timeouts %llu)\n",
+                affinity::AcceptVariantName(variant), result.requests_per_sec_per_core,
+                result.requests_per_sec, result.idle_fraction * 100.0,
+                static_cast<unsigned long long>(result.timeouts));
+  }
+  std::printf("\nExpected shape (paper Fig. 2): Affinity > Fine >> Stock at high core counts.\n");
+  return 0;
+}

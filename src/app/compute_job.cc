@@ -1,0 +1,101 @@
+#include "src/app/compute_job.h"
+
+#include <cassert>
+
+namespace affinity {
+
+ComputeJob::ComputeJob(const ComputeJobConfig& config, Kernel* kernel)
+    : config_(config), kernel_(kernel) {
+  assert(!config_.allowed_cores.empty());
+  assert(config_.chunk > 0);
+}
+
+void ComputeJob::Start() {
+  Scheduler& sched = kernel_->scheduler();
+  started_at_ = kernel_->loop().Now();
+  chunks_remaining_ = config_.phase_work / config_.chunk;
+
+  for (size_t i = 0; i < config_.allowed_cores.size(); ++i) {
+    CoreId core = config_.allowed_cores[i];
+    Thread* worker = sched.Spawn(
+        core, /*process_id=*/10000 + static_cast<int>(i), /*pinned=*/true,
+        [this, i](ExecCtx& ctx, Thread& thread) { Body(ctx, thread, i); });
+    workers_.push_back(worker);
+  }
+  for (Thread* worker : workers_) {
+    sched.Start(worker);
+  }
+}
+
+void ComputeJob::AdvancePhase(ExecCtx& ctx) {
+  Scheduler& sched = kernel_->scheduler();
+  switch (phase_) {
+    case Phase::kParallel1:
+      phase_ = Phase::kSerial;
+      chunks_remaining_ = config_.serial_work / config_.chunk;
+      sched.Wake(workers_[0], &ctx);
+      break;
+    case Phase::kSerial:
+      phase_ = Phase::kParallel2;
+      chunks_remaining_ = config_.phase_work / config_.chunk;
+      for (Thread* worker : workers_) {
+        sched.Wake(worker, &ctx);
+      }
+      break;
+    case Phase::kParallel2:
+      phase_ = Phase::kDone;
+      finished_at_ = ctx.VirtualNow();
+      done_ = true;
+      for (Thread* worker : workers_) {
+        sched.Wake(worker, &ctx);
+      }
+      break;
+    case Phase::kDone:
+      break;
+  }
+}
+
+void ComputeJob::Body(ExecCtx& ctx, Thread& thread, size_t worker_index) {
+  switch (phase_) {
+    case Phase::kParallel1:
+    case Phase::kParallel2: {
+      if (chunks_remaining_ == 0) {
+        thread.Block();  // out of work; woken at the next phase transition
+        return;
+      }
+      --chunks_remaining_;
+      ctx.BeginEntry(KernelEntry::kUserSpace);
+      ctx.ChargeCycles(config_.chunk);
+      ctx.Mem(thread.task(), kernel_->types().task.local, kWrite);
+      ctx.EndEntry();
+      if (chunks_remaining_ == 0) {
+        AdvancePhase(ctx);
+      }
+      return;  // stay runnable
+    }
+    case Phase::kSerial: {
+      if (worker_index != 0) {
+        thread.Block();
+        return;
+      }
+      if (chunks_remaining_ == 0) {
+        AdvancePhase(ctx);
+        return;
+      }
+      --chunks_remaining_;
+      ctx.BeginEntry(KernelEntry::kUserSpace);
+      ctx.ChargeCycles(config_.chunk);
+      ctx.Mem(thread.task(), kernel_->types().task.local, kWrite);
+      ctx.EndEntry();
+      if (chunks_remaining_ == 0) {
+        AdvancePhase(ctx);
+      }
+      return;
+    }
+    case Phase::kDone:
+      thread.Exit();
+      return;
+  }
+}
+
+}  // namespace affinity

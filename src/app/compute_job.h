@@ -1,0 +1,61 @@
+// Parallel compute job standing in for the Linux-kernel `make` of Section 6.5.
+//
+// "we start a build of the Linux kernel using parallel make on half of the
+//  cores (using sched_setaffinity() to limit the cores on which make can
+//  run). ... the kernel make process has two parallel phases separated by a
+//  multi-second serial process."
+//
+// The job runs two parallel phases (work chunks consumed by worker threads
+// pinned round-robin over the allowed cores) with a serial phase in between,
+// and records its completion time -- the metric the flow-group-migration
+// experiment reports.
+
+#ifndef AFFINITY_SRC_APP_COMPUTE_JOB_H_
+#define AFFINITY_SRC_APP_COMPUTE_JOB_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/stack/kernel.h"
+
+namespace affinity {
+
+struct ComputeJobConfig {
+  std::vector<CoreId> allowed_cores;  // the sched_setaffinity mask
+  // Total busy work per parallel phase, in core-cycles (split into chunks).
+  Cycles phase_work = SecToCycles(12.0);
+  Cycles serial_work = SecToCycles(0.3);
+  Cycles chunk = MsToCycles(1.0);
+};
+
+class ComputeJob {
+ public:
+  ComputeJob(const ComputeJobConfig& config, Kernel* kernel);
+
+  void Start();
+
+  bool done() const { return done_; }
+  Cycles started_at() const { return started_at_; }
+  Cycles finished_at() const { return finished_at_; }
+  Cycles Runtime() const { return done_ ? finished_at_ - started_at_ : 0; }
+
+ private:
+  enum class Phase : uint8_t { kParallel1, kSerial, kParallel2, kDone };
+
+  void Body(ExecCtx& ctx, Thread& thread, size_t worker_index);
+  void AdvancePhase(ExecCtx& ctx);
+
+  ComputeJobConfig config_;
+  Kernel* kernel_;
+  std::vector<Thread*> workers_;
+  Phase phase_ = Phase::kParallel1;
+  uint64_t chunks_remaining_ = 0;
+  size_t workers_parked_ = 0;
+  Cycles started_at_ = 0;
+  Cycles finished_at_ = 0;
+  bool done_ = false;
+};
+
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_APP_COMPUTE_JOB_H_

@@ -1,0 +1,97 @@
+#include "src/app/event_server.h"
+
+#include <algorithm>
+
+namespace affinity {
+
+EventServer::EventServer(const EventServerConfig& config, Kernel* kernel, const FileSet* files)
+    : config_(config), kernel_(kernel), files_(files) {}
+
+void EventServer::Start() {
+  Scheduler& sched = kernel_->scheduler();
+
+  // Route readable notifications into the owning process's ready list.
+  kernel_->set_readable_callback([](Connection* conn) {
+    auto* process = static_cast<Process*>(conn->user_data);
+    if (process != nullptr) {
+      process->ready.push_back(conn);
+    }
+  });
+
+  for (CoreId core = 0; core < kernel_->num_cores(); ++core) {
+    for (int p = 0; p < config_.processes_per_core; ++p) {
+      auto process = std::make_unique<Process>();
+      Process* proc = process.get();
+      process->thread = sched.Spawn(
+          core, /*process_id=*/core * config_.processes_per_core + p, config_.pin_processes,
+          [this, proc](ExecCtx& ctx, Thread& thread) { LoopBody(ctx, thread, proc); });
+      processes_.push_back(std::move(process));
+    }
+  }
+  for (auto& process : processes_) {
+    sched.Start(process->thread);
+  }
+}
+
+void EventServer::CloseConnection(ExecCtx& ctx, Process* process, Connection* conn) {
+  kernel_->SysShutdown(ctx, conn);
+  conn->user_data = nullptr;
+  auto it = std::find(process->conns.begin(), process->conns.end(), conn);
+  if (it != process->conns.end()) {
+    *it = process->conns.back();
+    process->conns.pop_back();
+  }
+  kernel_->SysClose(ctx, conn);
+  ++connections_served_;
+}
+
+void EventServer::LoopBody(ExecCtx& ctx, Thread& thread, Process* process) {
+  // 1. Service one ready connection, if any.
+  while (!process->ready.empty()) {
+    Connection* conn = process->ready.front();
+    process->ready.pop_front();
+    if (conn->user_data != process) {
+      continue;  // stale: closed or re-owned
+    }
+    ReadResult read = kernel_->SysRead(ctx, &thread, conn, /*nonblocking=*/true);
+    if (read.would_block) {
+      continue;  // spurious readiness (duplicate ready entry)
+    }
+    if (read.fin) {
+      CloseConnection(ctx, process, conn);
+      return;
+    }
+    uint32_t bytes = HandleHttpRequest(ctx, kernel_, files_, thread, read.file_index,
+                                       config_.user_instr_per_request);
+    kernel_->SysWritev(ctx, conn, bytes, read.request_idx);
+    ++conn->requests_served;
+    ++requests_served_;
+    return;  // one request per quantum; stay runnable
+  }
+
+  // 2. Room for more connections? Try a non-blocking accept.
+  if (process->conns.size() < static_cast<size_t>(config_.max_conns_per_process)) {
+    Connection* conn = kernel_->SysAccept(ctx, &thread, /*nonblocking=*/true);
+    if (conn != nullptr) {
+      kernel_->SysFcntl(ctx, conn);
+      conn->user_data = process;
+      conn->reader = process->thread;
+      process->conns.push_back(conn);
+      // The first request may already be queued (it can arrive before the
+      // accept, when no ready-list owner existed): treat the fresh socket as
+      // readable, like lighttpd's read-after-accept.
+      process->ready.push_back(conn);
+      return;  // stay runnable; service it on the next quantum
+    }
+  }
+
+  // 3. Nothing to do: wait in poll()/epoll_wait() on the listen socket plus
+  // all of this process's connections.
+  bool want_listen = process->conns.size() < static_cast<size_t>(config_.max_conns_per_process);
+  bool ready = config_.use_epoll
+                   ? kernel_->SysEpollWait(ctx, &thread, want_listen, process->conns)
+                   : kernel_->SysPoll(ctx, &thread, want_listen, process->conns);
+  (void)ready;  // if ready, we stay runnable and handle it next quantum
+}
+
+}  // namespace affinity

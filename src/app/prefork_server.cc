@@ -1,0 +1,57 @@
+#include "src/app/prefork_server.h"
+
+namespace affinity {
+
+PreforkServer::PreforkServer(const PreforkServerConfig& config, Kernel* kernel,
+                             const FileSet* files)
+    : config_(config), kernel_(kernel), files_(files) {}
+
+void PreforkServer::Start() {
+  Scheduler& sched = kernel_->scheduler();
+  int total = config_.num_processes > 0 ? config_.num_processes : 24 * kernel_->num_cores();
+  for (int p = 0; p < total; ++p) {
+    auto state = std::make_unique<ProcState>();
+    ProcState* st = state.get();
+    // Everything forks on core 0: task memory lands on core 0's node, and the
+    // load balancer has to spread the processes afterwards.
+    Thread* spawned =
+        sched.Spawn(/*core=*/0, /*process_id=*/p, /*pinned=*/false,
+                    [this, st](ExecCtx& ctx, Thread& thread) { Body(ctx, thread, st); });
+    threads_.push_back(spawned);
+    states_.push_back(std::move(state));
+  }
+  for (Thread* thread : threads_) {
+    sched.Start(thread);
+  }
+}
+
+void PreforkServer::Body(ExecCtx& ctx, Thread& thread, ProcState* state) {
+  if (state->current == nullptr) {
+    Connection* conn = kernel_->SysAccept(ctx, &thread);
+    if (conn == nullptr) {
+      return;  // parked in accept()
+    }
+    kernel_->SysFcntl(ctx, conn);
+    state->current = conn;
+  }
+
+  Connection* conn = state->current;
+  ReadResult read = kernel_->SysRead(ctx, &thread, conn);
+  if (read.would_block) {
+    return;  // parked waiting for the next request
+  }
+  if (read.fin) {
+    kernel_->SysShutdown(ctx, conn);
+    kernel_->SysClose(ctx, conn);
+    state->current = nullptr;
+    ++connections_served_;
+    return;
+  }
+  uint32_t bytes = HandleHttpRequest(ctx, kernel_, files_, thread, read.file_index,
+                                     config_.user_instr_per_request);
+  kernel_->SysWritev(ctx, conn, bytes, read.request_idx);
+  ++conn->requests_served;
+  ++requests_served_;
+}
+
+}  // namespace affinity

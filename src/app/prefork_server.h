@@ -1,0 +1,58 @@
+// Apache "prefork"-mode model (paper Section 4.2).
+//
+// "Apache's prefork mode ... forks multiple processes, each of which accepts
+//  and processes a single connection to completion. Prefork does not perform
+//  well with Affinity-Accept for two reasons. First, prefork uses many more
+//  processes than worker mode, and thus spends more time context-switching
+//  between processes. Second, each process allocates memory from the DRAM
+//  controller closest to the core on which it was forked, and in prefork
+//  mode, Apache initially forks all processes on a single core."
+//
+// We reproduce both pathologies: all processes spawn (and allocate their
+// task_structs) on core 0, unpinned, and the Linux load balancer must spread
+// them; each handles one connection start-to-finish.
+
+#ifndef AFFINITY_SRC_APP_PREFORK_SERVER_H_
+#define AFFINITY_SRC_APP_PREFORK_SERVER_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/app/server.h"
+
+namespace affinity {
+
+struct PreforkServerConfig {
+  int num_processes = 0;  // 0 = 24 per enabled core
+  uint64_t user_instr_per_request = kInstrApacheUserPerRequest;
+};
+
+class PreforkServer : public ServerApp {
+ public:
+  PreforkServer(const PreforkServerConfig& config, Kernel* kernel, const FileSet* files);
+
+  void Start() override;
+  uint64_t requests_served() const override { return requests_served_; }
+  uint64_t connections_served() const override { return connections_served_; }
+  const char* name() const override { return "apache-prefork"; }
+
+ private:
+  struct ProcState {
+    Connection* current = nullptr;
+  };
+
+  void Body(ExecCtx& ctx, Thread& thread, ProcState* state);
+
+  PreforkServerConfig config_;
+  Kernel* kernel_;
+  const FileSet* files_;
+  std::vector<std::unique_ptr<ProcState>> states_;
+  std::vector<Thread*> threads_;
+  uint64_t requests_served_ = 0;
+  uint64_t connections_served_ = 0;
+};
+
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_APP_PREFORK_SERVER_H_

@@ -1,0 +1,27 @@
+#include "src/app/server.h"
+
+namespace affinity {
+
+uint32_t HandleHttpRequest(ExecCtx& ctx, Kernel* kernel, const FileSet* files, Thread& thread,
+                           uint32_t file_index, uint64_t user_instr) {
+  const KernelTypes& types = kernel->types();
+
+  // User-space work: request parsing, header generation, logging.
+  ctx.BeginEntry(KernelEntry::kUserSpace);
+  ctx.ChargeInstr(user_instr);
+  ctx.ChargeAuxMisses(kAuxMissUserPerRequest);
+  // Touch the thread's own working set.
+  ctx.Mem(thread.task(), types.task.local, kRead);
+
+  // fget/fput on the served file: the f_count atomic bounces between every
+  // core that serves this file (Table 4's `file` row is 100% shared under
+  // both Fine and Affinity).
+  const SimObject& file = files->object_of(file_index);
+  ctx.Mem(file, types.file.refcnt, kWrite);
+  ctx.Mem(file, types.file.ops, kRead);
+  ctx.EndEntry();
+
+  return files->size_of(file_index);
+}
+
+}  // namespace affinity

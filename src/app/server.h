@@ -1,0 +1,35 @@
+// Common interface + shared request handling for the web-server models.
+
+#ifndef AFFINITY_SRC_APP_SERVER_H_
+#define AFFINITY_SRC_APP_SERVER_H_
+
+#include <cstdint>
+
+#include "src/load/workload.h"
+#include "src/stack/core_agent.h"
+#include "src/stack/kernel.h"
+
+namespace affinity {
+
+class ServerApp {
+ public:
+  virtual ~ServerApp() = default;
+
+  // Spawns the server's threads and starts them.
+  virtual void Start() = 0;
+
+  virtual uint64_t requests_served() const = 0;
+  virtual uint64_t connections_served() const = 0;
+  virtual const char* name() const = 0;
+};
+
+// User-space request handling shared by all server models: parse the request,
+// look the file up (bumping the globally shared struct-file refcount -- the
+// 100%-shared `file` row of Table 4), and build the response headers.
+// Returns the response body size.
+uint32_t HandleHttpRequest(ExecCtx& ctx, Kernel* kernel, const FileSet* files, Thread& thread,
+                           uint32_t file_index, uint64_t user_instr);
+
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_APP_SERVER_H_

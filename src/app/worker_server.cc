@@ -1,0 +1,117 @@
+#include "src/app/worker_server.h"
+
+#include <vector>
+
+namespace affinity {
+
+WorkerServer::WorkerServer(const WorkerServerConfig& config, Kernel* kernel,
+                           const FileSet* files)
+    : config_(config), kernel_(kernel), files_(files) {}
+
+void WorkerServer::Start() {
+  Scheduler& sched = kernel_->scheduler();
+  for (CoreId core = 0; core < kernel_->num_cores(); ++core) {
+    auto process = std::make_unique<Process>();
+    process->home_core = core;
+    process->pool_futex = sched.CreateFutex(core);
+    process->handoff_line = kernel_->mem().ReserveGlobalLine();
+    Process* proc = process.get();
+
+    process->accept_thread = sched.Spawn(
+        core, /*process_id=*/core, config_.pin_threads,
+        [this, proc](ExecCtx& ctx, Thread& thread) { AcceptBody(ctx, thread, proc); });
+
+    for (int w = 0; w < config_.workers_per_process; ++w) {
+      auto state = std::make_unique<WorkerState>();
+      state->process = proc;
+      WorkerState* st = state.get();
+      Thread* worker = sched.Spawn(
+          core, core, config_.pin_threads,
+          [this, st](ExecCtx& ctx, Thread& thread) { WorkerBody(ctx, thread, st); });
+      process->workers.push_back(worker);
+      worker_states_.push_back(std::move(state));
+    }
+    processes_.push_back(std::move(process));
+  }
+
+  // Kick everything off: workers park themselves on the pool futex, accept
+  // threads park in accept().
+  for (auto& process : processes_) {
+    for (Thread* worker : process->workers) {
+      sched.Start(worker);
+    }
+    sched.Start(process->accept_thread);
+  }
+}
+
+void WorkerServer::AcceptBody(ExecCtx& ctx, Thread& thread, Process* process) {
+  // The accept thread drains the queue in a loop (Apache accepts until
+  // EAGAIN): one accepted connection per scheduler round would starve the
+  // queue behind hundreds of runnable workers.
+  for (int batch = 0; batch < 64; ++batch) {
+    // First call blocks (parking the thread if nothing is there yet);
+    // subsequent calls in the batch are non-blocking.
+    Connection* conn = kernel_->SysAccept(ctx, &thread, /*nonblocking=*/batch > 0);
+    if (conn == nullptr) {
+      return;  // parked (batch == 0) or queue drained
+    }
+    // Apache's post-accept housekeeping.
+    kernel_->SysFcntl(ctx, conn);
+    kernel_->SysGetsockname(ctx, conn);
+
+    // Hand off to the worker pool.
+    ctx.BeginEntry(KernelEntry::kUserSpace);
+    ctx.ChargeInstr(1500);
+    ctx.MemLine(process->handoff_line, kWrite);
+    ctx.EndEntry();
+    process->handoff.push_back(conn);
+    kernel_->SysFutexWake(ctx, process->pool_futex, 1);
+  }
+  // Batch cap reached: stay runnable and continue next quantum.
+}
+
+void WorkerServer::WorkerBody(ExecCtx& ctx, Thread& thread, WorkerState* state) {
+  Process* process = state->process;
+
+  if (state->current == nullptr) {
+    // Claim a connection or sleep on the pool futex.
+    ctx.BeginEntry(KernelEntry::kUserSpace);
+    ctx.ChargeInstr(400);
+    ctx.MemLine(process->handoff_line, kRead);
+    ctx.EndEntry();
+    if (process->handoff.empty()) {
+      kernel_->SysFutexWait(ctx, &thread, process->pool_futex);
+      return;  // parked
+    }
+    state->current = process->handoff.front();
+    process->handoff.pop_front();
+  }
+
+  Connection* conn = state->current;
+  // Apache polls the connection for the next request before reading
+  // (keepalive handling; Table 3's sys_poll row).
+  std::vector<Connection*> watched = {conn};
+  if (!kernel_->SysPoll(ctx, &thread, /*watch_listen=*/false, watched)) {
+    return;  // parked in poll() until the next request arrives
+  }
+  ReadResult read = kernel_->SysRead(ctx, &thread, conn, /*nonblocking=*/true);
+  if (read.would_block) {
+    return;  // spurious readiness; stay runnable and re-poll
+  }
+  if (read.fin) {
+    kernel_->SysShutdown(ctx, conn);
+    kernel_->SysClose(ctx, conn);
+    state->current = nullptr;
+    ++connections_served_;
+    return;  // back to the pool on the next dispatch
+  }
+
+  uint32_t bytes = HandleHttpRequest(ctx, kernel_, files_, thread, read.file_index,
+                                     config_.user_instr_per_request);
+  kernel_->SysWritev(ctx, conn, bytes, read.request_idx);
+  ++conn->requests_served;
+  ++requests_served_;
+  // Stay runnable: poll the socket again on the next quantum.
+}
+
+}  // namespace affinity

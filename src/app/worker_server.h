@@ -1,0 +1,71 @@
+// Apache "worker"-mode model (paper Sections 4.2 and 6.2).
+//
+// "We run Apache in worker mode and spawn one process per core. Each process
+//  consists of one thread that only accepts connections and multiple worker
+//  threads that process accepted connections. We modify the worker model to
+//  pin each process to a separate core. ... A single thread processes one
+//  connection at a time from start to finish. We configure Apache with 1,024
+//  worker threads per process."
+//
+// The accept thread hands accepted connections to idle workers through a
+// futex-guarded pool (Table 3's sys_futex row). With pinning disabled the
+// threads drift across cores -- the unmodified worker mode whose accept and
+// worker threads run on different cores, breaking affinity.
+
+#ifndef AFFINITY_SRC_APP_WORKER_SERVER_H_
+#define AFFINITY_SRC_APP_WORKER_SERVER_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <vector>
+
+#include "src/app/server.h"
+
+namespace affinity {
+
+struct WorkerServerConfig {
+  int workers_per_process = 1024;
+  bool pin_threads = true;  // the paper's modified worker mode
+  uint64_t user_instr_per_request = kInstrApacheUserPerRequest;
+};
+
+class WorkerServer : public ServerApp {
+ public:
+  WorkerServer(const WorkerServerConfig& config, Kernel* kernel, const FileSet* files);
+
+  void Start() override;
+  uint64_t requests_served() const override { return requests_served_; }
+  uint64_t connections_served() const override { return connections_served_; }
+  const char* name() const override { return "apache-worker"; }
+
+ private:
+  struct Process {
+    CoreId home_core = 0;
+    Thread* accept_thread = nullptr;
+    std::vector<Thread*> workers;
+    std::deque<Connection*> handoff;  // accepted, not yet claimed by a worker
+    Futex* pool_futex = nullptr;
+    LineId handoff_line = 0;
+  };
+
+  struct WorkerState {
+    Process* process = nullptr;
+    Connection* current = nullptr;
+  };
+
+  void AcceptBody(ExecCtx& ctx, Thread& thread, Process* process);
+  void WorkerBody(ExecCtx& ctx, Thread& thread, WorkerState* state);
+
+  WorkerServerConfig config_;
+  Kernel* kernel_;
+  const FileSet* files_;
+  std::vector<std::unique_ptr<Process>> processes_;
+  std::vector<std::unique_ptr<WorkerState>> worker_states_;
+  uint64_t requests_served_ = 0;
+  uint64_t connections_served_ = 0;
+};
+
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_APP_WORKER_SERVER_H_

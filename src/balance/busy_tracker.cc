@@ -1,0 +1,76 @@
+#include "src/balance/busy_tracker.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace affinity {
+
+BusyTracker::BusyTracker(int num_cores, int max_local_len, double high_watermark_pct,
+                         double low_watermark_pct)
+    : max_local_len_(max_local_len),
+      high_(static_cast<size_t>(std::max(1.0, high_watermark_pct * max_local_len))),
+      low_(static_cast<size_t>(std::max(1.0, low_watermark_pct * max_local_len))),
+      busy_(static_cast<size_t>(num_cores), false) {
+  assert(num_cores > 0);
+  assert(max_local_len > 0);
+  // "EWMA's alpha parameter is set to one over twice the max local accept
+  //  queue length" (Section 3.3.1).
+  double alpha = 1.0 / (2.0 * static_cast<double>(max_local_len));
+  ewma_.reserve(static_cast<size_t>(num_cores));
+  for (int i = 0; i < num_cores; ++i) {
+    ewma_.emplace_back(alpha, 0.0);
+  }
+}
+
+bool BusyTracker::SetBusy(CoreId core, bool busy) {
+  size_t idx = static_cast<size_t>(core);
+  if (busy_[idx] == busy) {
+    return false;
+  }
+  busy_[idx] = busy;
+  busy_count_ += busy ? 1 : -1;
+  if (busy) {
+    ++to_busy_;
+  } else {
+    ++to_nonbusy_;
+  }
+  return true;
+}
+
+bool BusyTracker::OnEnqueue(CoreId core, size_t len_after) {
+  Ewma& avg = ewma_[static_cast<size_t>(core)];
+  avg.Update(static_cast<double>(len_after));
+
+  // High watermark uses the instantaneous length: load spikes must flip the
+  // bit quickly so other cores start stealing.
+  if (len_after > high_) {
+    bool flipped = SetBusy(core, true);
+    if (flipped) {
+      // Seed the average with the spike; otherwise a fresh EWMA (still near
+      // zero) would clear the bit on the very next enqueue.
+      avg.Reset(static_cast<double>(len_after));
+    }
+    return flipped;
+  }
+  // Clearing is conservative: only when the long-term average has decayed
+  // below the low watermark.
+  if (IsBusy(core) && avg.value() < static_cast<double>(low_)) {
+    return SetBusy(core, false);
+  }
+  return false;
+}
+
+bool BusyTracker::OnDequeue(CoreId core, size_t len_after) {
+  // The paper only updates the EWMA on enqueue. We additionally decay it on
+  // dequeue so that a core whose flow groups were all migrated away (no more
+  // enqueues) can still shed its busy bit once drained; with a steady enqueue
+  // stream the behaviour is identical.
+  Ewma& avg = ewma_[static_cast<size_t>(core)];
+  avg.Update(static_cast<double>(len_after));
+  if (IsBusy(core) && avg.value() < static_cast<double>(low_)) {
+    return SetBusy(core, false);
+  }
+  return false;
+}
+
+}  // namespace affinity

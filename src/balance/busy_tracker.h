@@ -1,0 +1,74 @@
+// Busy/non-busy core tracking (paper Section 3.3.1, "Tracking busy cores").
+//
+// Each core determines its own busy status from its local accept queue:
+//  - the maximum accept queue length from listen() is split evenly across
+//    cores ("max local accept queue length"),
+//  - when the *instantaneous* local queue length exceeds the high watermark
+//    (75% of the max local length), the core is marked busy,
+//  - an EWMA of the queue length, updated on every enqueue with
+//    alpha = 1 / (2 * max_local_len), must drop below the low watermark
+//    (10%) before the core is marked non-busy again (enqueue bursts make the
+//    instantaneous length oscillate; the average does not).
+// A per-listen-socket bit vector of busy bits lets non-busy cores find
+// victims with a single cache-line read.
+
+#ifndef AFFINITY_SRC_BALANCE_BUSY_TRACKER_H_
+#define AFFINITY_SRC_BALANCE_BUSY_TRACKER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mem/cacheline.h"
+#include "src/sim/stats.h"
+
+namespace affinity {
+
+class BusyTracker {
+ public:
+  // `max_local_len` is the per-core share of the listen() backlog.
+  BusyTracker(int num_cores, int max_local_len, double high_watermark_pct = 0.75,
+              double low_watermark_pct = 0.10);
+
+  // Records a connection being added to `core`'s local accept queue;
+  // `len_after` is the queue length including the new connection. Updates
+  // the EWMA and both watermark checks. Returns true if the busy bit
+  // changed (the caller charges a bit-vector write).
+  bool OnEnqueue(CoreId core, size_t len_after);
+
+  // Re-checks the low watermark after dequeues (the EWMA itself only moves
+  // on enqueue, as in the paper, but an empty queue with a decayed average
+  // still needs its bit cleared). Returns true if the busy bit changed.
+  bool OnDequeue(CoreId core, size_t len_after);
+
+  bool IsBusy(CoreId core) const { return busy_[static_cast<size_t>(core)]; }
+
+  // Any core marked busy right now? (single bit-vector read)
+  bool AnyBusy() const { return busy_count_ > 0; }
+  int busy_count() const { return busy_count_; }
+
+  double EwmaValue(CoreId core) const { return ewma_[static_cast<size_t>(core)].value(); }
+
+  int max_local_len() const { return max_local_len_; }
+  size_t high_watermark() const { return high_; }
+  size_t low_watermark() const { return low_; }
+
+  // Busy-transition counters (for tests and reports).
+  uint64_t transitions_to_busy() const { return to_busy_; }
+  uint64_t transitions_to_nonbusy() const { return to_nonbusy_; }
+
+ private:
+  bool SetBusy(CoreId core, bool busy);
+
+  int max_local_len_;
+  size_t high_;
+  size_t low_;
+  std::vector<Ewma> ewma_;
+  std::vector<bool> busy_;
+  int busy_count_ = 0;
+  uint64_t to_busy_ = 0;
+  uint64_t to_nonbusy_ = 0;
+};
+
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_BALANCE_BUSY_TRACKER_H_

@@ -1,0 +1,42 @@
+#include "src/balance/flow_migrator.h"
+
+namespace affinity {
+
+FlowGroupMigrator::FlowGroupMigrator(SimNic* nic, std::function<int(CoreId)> ring_of_core)
+    : nic_(nic), ring_of_core_(std::move(ring_of_core)) {}
+
+bool FlowGroupMigrator::PickGroupOnRing(int victim_ring, uint32_t* group) {
+  uint32_t num_groups = nic_->config().num_flow_groups;
+  for (uint32_t i = 0; i < num_groups; ++i) {
+    uint32_t candidate = (scan_cursor_ + i) % num_groups;
+    if (nic_->RingOfFlowGroup(candidate) == victim_ring) {
+      scan_cursor_ = (candidate + 1) % num_groups;
+      *group = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+Cycles FlowGroupMigrator::RunEpoch(Cycles now, const BusyTracker& busy, StealPolicy* steals,
+                                   int num_cores) {
+  Cycles total_cost = 0;
+  for (CoreId core = 0; core < num_cores; ++core) {
+    if (busy.IsBusy(core)) {
+      continue;  // busy cores do not pull more load to themselves
+    }
+    CoreId victim = steals->TopVictimOf(core);
+    if (victim == kNoCore) {
+      continue;  // did not steal this epoch: leave the steering alone
+    }
+    uint32_t group = 0;
+    if (PickGroupOnRing(ring_of_core_(victim), &group)) {
+      total_cost += nic_->MigrateFlowGroup(group, ring_of_core_(core));
+      history_.push_back(MigrationRecord{now, group, victim, core});
+    }
+    steals->ResetEpochCounts(core);
+  }
+  return total_cost;
+}
+
+}  // namespace affinity

@@ -1,0 +1,66 @@
+#include "src/balance/steal_policy.h"
+
+#include <cassert>
+
+namespace affinity {
+
+StealPolicy::StealPolicy(int num_cores, int local_ratio)
+    : num_cores_(num_cores),
+      local_ratio_(local_ratio),
+      share_counter_(static_cast<size_t>(num_cores), 0),
+      next_victim_(static_cast<size_t>(num_cores), 0),
+      counts_(static_cast<size_t>(num_cores) * static_cast<size_t>(num_cores), 0) {
+  assert(num_cores > 0);
+  assert(local_ratio >= 1);
+}
+
+bool StealPolicy::ShouldStealThisTime(CoreId core) {
+  int& counter = share_counter_[static_cast<size_t>(core)];
+  counter = (counter + 1) % (local_ratio_ + 1);
+  // One accept in every (ratio + 1) goes remote.
+  return counter == 0;
+}
+
+CoreId StealPolicy::PickBusyVictim(CoreId thief, const BusyTracker& busy) {
+  if (!busy.AnyBusy()) {
+    return kNoCore;
+  }
+  int start = next_victim_[static_cast<size_t>(thief)];
+  for (int i = 0; i < num_cores_; ++i) {
+    int candidate = (start + i) % num_cores_;
+    if (candidate == thief) {
+      continue;
+    }
+    if (busy.IsBusy(candidate)) {
+      next_victim_[static_cast<size_t>(thief)] = (candidate + 1) % num_cores_;
+      return candidate;
+    }
+  }
+  return kNoCore;
+}
+
+void StealPolicy::OnSteal(CoreId thief, CoreId victim) {
+  ++counts_[Index(thief, victim)];
+  ++total_steals_;
+}
+
+CoreId StealPolicy::TopVictimOf(CoreId thief) const {
+  CoreId best = kNoCore;
+  uint64_t best_count = 0;
+  for (int victim = 0; victim < num_cores_; ++victim) {
+    uint64_t count = counts_[Index(thief, victim)];
+    if (count > best_count) {
+      best_count = count;
+      best = victim;
+    }
+  }
+  return best;
+}
+
+void StealPolicy::ResetEpochCounts(CoreId thief) {
+  for (int victim = 0; victim < num_cores_; ++victim) {
+    counts_[Index(thief, victim)] = 0;
+  }
+}
+
+}  // namespace affinity

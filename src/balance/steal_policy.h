@@ -1,0 +1,90 @@
+// Connection-stealing policy (paper Section 3.3.1).
+//
+// Non-busy cores steal connections from busy cores:
+//  - proportional-share scheduling between local and stolen connections at a
+//    configurable ratio (the paper settles on 5 local : 1 remote),
+//  - victims are chosen round-robin: "Each core keeps a count of the last
+//    remote core it stole from, and starts searching for the next busy core
+//    one past the last core",
+//  - busy cores never steal,
+//  - per-victim steal counts feed flow-group migration (every 100 ms each
+//    non-busy core migrates one flow group from the victim it stole from the
+//    most).
+
+#ifndef AFFINITY_SRC_BALANCE_STEAL_POLICY_H_
+#define AFFINITY_SRC_BALANCE_STEAL_POLICY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/balance/busy_tracker.h"
+#include "src/mem/cacheline.h"
+
+namespace affinity {
+
+class StealPolicy {
+ public:
+  // local_ratio N = accept N local connections for every 1 stolen.
+  StealPolicy(int num_cores, int local_ratio = 5);
+
+  // Proportional share: given that `core` (non-busy) has local connections
+  // available AND there is a busy core to steal from, should this accept()
+  // take the remote connection? Advances the share counter.
+  bool ShouldStealThisTime(CoreId core);
+
+  // Picks the next busy victim for `thief`, round-robin starting one past the
+  // last victim. Returns kNoCore if no other core is busy.
+  CoreId PickBusyVictim(CoreId thief, const BusyTracker& busy);
+
+  // Round-robin scan over *all* remote cores with a queue-nonempty predicate,
+  // used by the polling path ("followed by remote non-busy cores").
+  template <typename Pred>
+  CoreId PickAnyVictim(CoreId thief, int num_cores, Pred has_connections) {
+    int start = next_victim_[static_cast<size_t>(thief)];
+    for (int i = 0; i < num_cores; ++i) {
+      int candidate = (start + i) % num_cores;
+      if (candidate == thief) {
+        continue;
+      }
+      if (has_connections(candidate)) {
+        next_victim_[static_cast<size_t>(thief)] = (candidate + 1) % num_cores;
+        return candidate;
+      }
+    }
+    return kNoCore;
+  }
+
+  // Records a successful steal (feeds the migration heuristic).
+  void OnSteal(CoreId thief, CoreId victim);
+
+  // Victim `thief` has stolen from the most since the last epoch reset;
+  // kNoCore if it has not stolen at all.
+  CoreId TopVictimOf(CoreId thief) const;
+
+  // Clears the per-epoch steal counts (after a migration decision).
+  void ResetEpochCounts(CoreId thief);
+
+  uint64_t steals(CoreId thief, CoreId victim) const {
+    return counts_[Index(thief, victim)];
+  }
+  uint64_t total_steals() const { return total_steals_; }
+  void ResetTotal() { total_steals_ = 0; }
+  int local_ratio() const { return local_ratio_; }
+
+ private:
+  size_t Index(CoreId thief, CoreId victim) const {
+    return static_cast<size_t>(thief) * static_cast<size_t>(num_cores_) +
+           static_cast<size_t>(victim);
+  }
+
+  int num_cores_;
+  int local_ratio_;
+  std::vector<int> share_counter_;   // per core, cycles 0..local_ratio
+  std::vector<int> next_victim_;     // per core, round-robin cursor
+  std::vector<uint64_t> counts_;     // thief x victim steal counts (epoch)
+  uint64_t total_steals_ = 0;
+};
+
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_BALANCE_STEAL_POLICY_H_

@@ -1,0 +1,184 @@
+#include "src/core/experiment.h"
+
+#include <cassert>
+
+namespace affinity {
+
+const char* ServerKindName(ServerKind kind) {
+  switch (kind) {
+    case ServerKind::kApacheWorker:
+      return "apache-worker";
+    case ServerKind::kLighttpd:
+      return "lighttpd";
+    case ServerKind::kApachePrefork:
+      return "apache-prefork";
+  }
+  return "?";
+}
+
+ExperimentResult MeasureSaturated(const ExperimentConfig& config,
+                                  const std::vector<int>& ladder,
+                                  double early_stop_fraction) {
+  ExperimentResult best;
+  bool have_best = false;
+  for (int sessions : ladder) {
+    ExperimentConfig probe = config;
+    probe.sessions_per_core = sessions;
+    probe.client.num_sessions = 0;
+    Experiment experiment(probe);
+    ExperimentResult result = experiment.Run();
+    if (!have_best || result.requests_per_sec > best.requests_per_sec) {
+      best = result;
+      have_best = true;
+    } else if (result.requests_per_sec < early_stop_fraction * best.requests_per_sec) {
+      break;  // past the knee; more load only deepens the convoy
+    }
+  }
+  return best;
+}
+
+std::vector<int> DefaultSessionLadder(AcceptVariant variant) {
+  if (variant == AcceptVariant::kStock) {
+    // Stock saturates early at high core counts (the ladder's early-stop
+    // kicks in once the convoy collapses throughput) but needs the high
+    // rungs to saturate small machines.
+    return {64, 160, 320, 640};
+  }
+  // Event-driven servers pay per-fd poll costs that grow with concurrency;
+  // the knee can sit below the Apache-style sweet spot.
+  return {400, 800};
+}
+
+Experiment::Experiment(const ExperimentConfig& config) : config_(config) {}
+
+Experiment::~Experiment() = default;
+
+void Experiment::Build() {
+  assert(!built_);
+  built_ = true;
+
+  kernel_ = std::make_unique<Kernel>(config_.kernel, &loop_);
+  files_ = std::make_unique<FileSet>(config_.files, &kernel_->mem(), &kernel_->types(),
+                                     kernel_->num_cores());
+
+  switch (config_.server) {
+    case ServerKind::kApacheWorker:
+      server_ = std::make_unique<WorkerServer>(config_.worker, kernel_.get(), files_.get());
+      break;
+    case ServerKind::kLighttpd:
+      server_ = std::make_unique<EventServer>(config_.event_server, kernel_.get(), files_.get());
+      break;
+    case ServerKind::kApachePrefork:
+      server_ = std::make_unique<PreforkServer>(config_.prefork, kernel_.get(), files_.get());
+      break;
+  }
+  server_->Start();
+
+  ClientConfig client_config = config_.client;
+  if (client_config.num_sessions == 0 && client_config.open_loop_conn_rate == 0.0) {
+    client_config.num_sessions = config_.sessions_per_core * kernel_->num_cores();
+  }
+  if (!config_.enable_client) {
+    client_config.num_sessions = 0;
+    client_config.open_loop_conn_rate = 0.0;
+  }
+  client_ = std::make_unique<HttperfClient>(client_config, &loop_, &kernel_->nic(),
+                                            files_.get());
+  kernel_->nic().set_wire_tx_handler(
+      [this](const Packet& packet) { client_->OnServerPacket(packet); });
+  if (config_.enable_client) {
+    client_->Start();
+  }
+}
+
+void Experiment::RunFor(Cycles duration) {
+  loop_.RunUntil(loop_.Now() + duration);
+}
+
+void Experiment::BeginMeasurement() {
+  kernel_->ResetAccounting();
+  client_->ResetMetrics();
+}
+
+ExperimentResult Experiment::Collect(Cycles measured_duration) {
+  ExperimentResult result;
+  result.variant = config_.kernel.listen.variant;
+  result.num_cores = kernel_->num_cores();
+  result.label = std::string(AcceptVariantName(result.variant)) + "/" +
+                 ServerKindName(config_.server);
+
+  result.duration_sec = CyclesToSec(measured_duration);
+  result.client = client_->metrics();
+  result.requests = result.client.requests_completed;
+  result.requests_per_sec = static_cast<double>(result.requests) / result.duration_sec;
+  result.requests_per_sec_per_core =
+      result.requests_per_sec / static_cast<double>(result.num_cores);
+  result.conns_completed = result.client.conns_completed;
+  result.timeouts = result.client.timeouts;
+
+  Cycles capacity = measured_duration * static_cast<Cycles>(result.num_cores);
+  Cycles busy = kernel_->TotalBusyCycles();
+  result.idle_fraction =
+      capacity > 0 ? 1.0 - std::min(1.0, static_cast<double>(busy) / static_cast<double>(capacity))
+                   : 0.0;
+
+  result.counters = kernel_->AggregateCounters();
+  result.locks = kernel_->lock_stat().all();
+  result.kernel_stats = kernel_->stats();
+  result.listen_stats = kernel_->listen().stats();
+  result.nic_stats = kernel_->nic().stats();
+  result.sched_stats = kernel_->scheduler().stats();
+  result.slab_stats = kernel_->mem().slab().stats();
+  result.steals = kernel_->listen().steal_policy().total_steals();
+  result.live_connections_at_end = kernel_->live_connections();
+
+  // Per-request time composition (Table 2). "Total time" is the per-core
+  // wall time per request (1 / per-core throughput); idle and the socket-lock
+  // buckets are per-request averages over the window.
+  if (result.requests > 0) {
+    double reqs = static_cast<double>(result.requests);
+    result.us_total_per_request = 1e6 / result.requests_per_sec_per_core;
+    Cycles idle_cycles = capacity > busy ? capacity - busy : 0;
+    result.us_idle_per_request =
+        CyclesToUs(static_cast<Cycles>(static_cast<double>(idle_cycles) / reqs));
+    Cycles spin = 0;
+    Cycles mutex_wait = 0;
+    Cycles hold = 0;
+    for (const LockClassStats& cls : result.locks) {
+      // The "socket lock" of Table 2: every lock protecting listen-socket
+      // state (the single stock lock, the per-core queue locks, the request
+      // bucket locks).
+      if (cls.name == "listen_socket" || cls.name == "accept_queue" ||
+          cls.name == "request_bucket") {
+        spin += cls.spin_wait;
+        mutex_wait += cls.mutex_wait;
+        hold += cls.hold;
+      }
+    }
+    result.us_lock_spin_per_request = CyclesToUs(spin) / reqs;
+    result.us_lock_mutex_per_request = CyclesToUs(mutex_wait) / reqs;
+    result.us_lock_hold_per_request = CyclesToUs(hold) / reqs;
+    result.us_other_per_request = result.us_total_per_request - result.us_idle_per_request -
+                                  result.us_lock_spin_per_request -
+                                  result.us_lock_hold_per_request;
+  }
+
+  if (kernel_->mem().profiler() != nullptr) {
+    kernel_->mem().profiler()->Flush();
+    result.sharing = kernel_->mem().profiler()->Report();
+    result.shared_access_latency = kernel_->mem().profiler()->shared_access_latency();
+  }
+  return result;
+}
+
+ExperimentResult Experiment::Run() {
+  Build();
+  RunFor(config_.warmup);
+  BeginMeasurement();
+  RunFor(config_.measure);
+  ExperimentResult result = Collect(config_.measure);
+  client_->StopLaunching();
+  return result;
+}
+
+}  // namespace affinity

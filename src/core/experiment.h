@@ -1,0 +1,138 @@
+// Experiment harness: builds a full system (kernel + server app + httperf
+// clients), runs warmup and a measurement window, and reports every metric
+// the paper's tables and figures need.
+
+#ifndef AFFINITY_SRC_CORE_EXPERIMENT_H_
+#define AFFINITY_SRC_CORE_EXPERIMENT_H_
+
+#include <memory>
+#include <vector>
+
+#include "src/app/compute_job.h"
+#include "src/app/event_server.h"
+#include "src/app/prefork_server.h"
+#include "src/app/worker_server.h"
+#include "src/load/httperf.h"
+#include "src/load/workload.h"
+#include "src/stack/kernel.h"
+
+namespace affinity {
+
+enum class ServerKind : uint8_t { kApacheWorker, kLighttpd, kApachePrefork };
+
+const char* ServerKindName(ServerKind kind);
+
+struct ExperimentConfig {
+  KernelConfig kernel;
+  ServerKind server = ServerKind::kApacheWorker;
+  WorkerServerConfig worker;
+  EventServerConfig event_server;
+  PreforkServerConfig prefork;
+  FileSetConfig files;
+  ClientConfig client;
+
+  // client.num_sessions == 0 -> sessions_per_core * num_cores (closed loop).
+  // Sized to saturate the server (the paper searches for the saturating
+  // open-loop rate instead).
+  int sessions_per_core = 800;
+
+  // Scenario benches (e.g. the make-alone baseline of Section 6.5) can run
+  // the kernel + server without any client load.
+  bool enable_client = true;
+
+  // Warmup must cover the client ramp (200 ms) plus a couple of connection
+  // lifetimes (~250 ms each) so measurement sees steady state.
+  Cycles warmup = MsToCycles(700);
+  Cycles measure = MsToCycles(400);
+};
+
+struct ExperimentResult {
+  // Identification.
+  std::string label;
+  AcceptVariant variant = AcceptVariant::kAffinity;
+  int num_cores = 0;
+
+  // Headline numbers (measurement window only).
+  double duration_sec = 0.0;
+  uint64_t requests = 0;
+  double requests_per_sec = 0.0;
+  double requests_per_sec_per_core = 0.0;
+  uint64_t conns_completed = 0;
+  uint64_t timeouts = 0;
+  double idle_fraction = 0.0;
+
+  // Per-request time composition (Table 2), microseconds.
+  double us_total_per_request = 0.0;
+  double us_idle_per_request = 0.0;
+  double us_lock_spin_per_request = 0.0;   // socket-lock classes, spin mode
+  double us_lock_mutex_per_request = 0.0;  // socket-lock classes, mutex mode (idle)
+  double us_lock_hold_per_request = 0.0;
+  double us_other_per_request = 0.0;
+
+  PerfCounters counters;  // aggregated over cores, measurement window
+  std::vector<LockClassStats> locks;
+  ClientMetrics client;
+  KernelStats kernel_stats;
+  ListenStats listen_stats;
+  NicStats nic_stats;
+  SchedStats sched_stats;
+  SlabStats slab_stats;
+
+  uint64_t steals = 0;
+  uint64_t flow_migrations = 0;
+  // Connections open in the kernel when the window closed (concurrency proxy).
+  uint64_t live_connections_at_end = 0;
+
+  // DProf output (only when kernel.profiling was set).
+  std::vector<TypeSharingReport> sharing;
+  Histogram shared_access_latency;
+};
+
+// Runs `config` at each closed-loop concurrency in `sessions_per_core_ladder`
+// and returns the best-throughput result -- the closed-loop analogue of the
+// paper's "search for a request rate that saturates the server". Stops early
+// once throughput falls below `early_stop_fraction` of the best seen (an
+// oversubscribed Stock-Accept convoy only gets worse).
+ExperimentResult MeasureSaturated(const ExperimentConfig& config,
+                                  const std::vector<int>& sessions_per_core_ladder,
+                                  double early_stop_fraction = 0.85);
+
+// Default ladders per listen-socket variant: Stock saturates (and then
+// collapses) at far lower concurrency than the cloned variants.
+std::vector<int> DefaultSessionLadder(AcceptVariant variant);
+
+class Experiment {
+ public:
+  explicit Experiment(const ExperimentConfig& config);
+  ~Experiment();
+
+  // One-shot: Build + warmup + measure + Collect.
+  ExperimentResult Run();
+
+  // Phased API for custom scenarios (the Section 6.5 benches start compute
+  // jobs mid-run and read latencies around them).
+  void Build();
+  void RunFor(Cycles duration);          // advance simulated time
+  void BeginMeasurement();               // reset all accounting
+  ExperimentResult Collect(Cycles measured_duration);
+
+  Kernel& kernel() { return *kernel_; }
+  EventLoop& loop() { return loop_; }
+  HttperfClient& client() { return *client_; }
+  ServerApp& server() { return *server_; }
+  FileSet& files() { return *files_; }
+  const ExperimentConfig& config() const { return config_; }
+
+ private:
+  ExperimentConfig config_;
+  EventLoop loop_;
+  std::unique_ptr<Kernel> kernel_;
+  std::unique_ptr<FileSet> files_;
+  std::unique_ptr<ServerApp> server_;
+  std::unique_ptr<HttperfClient> client_;
+  bool built_ = false;
+};
+
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_CORE_EXPERIMENT_H_

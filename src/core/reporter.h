@@ -1,0 +1,39 @@
+// Plain-text table/series formatting for the bench harnesses.
+//
+// Every bench prints the same rows/series its paper counterpart reports, so
+// the output of `for b in build/bench/*; do $b; done` reads side by side with
+// the paper's evaluation section.
+
+#ifndef AFFINITY_SRC_CORE_REPORTER_H_
+#define AFFINITY_SRC_CORE_REPORTER_H_
+
+#include <string>
+#include <vector>
+
+namespace affinity {
+
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  void AddRow(std::vector<std::string> cells);
+  // Renders with aligned columns to stdout.
+  void Print() const;
+
+  static std::string Num(double value, int decimals = 1);
+  static std::string Int(uint64_t value);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+// Prints a bench banner: experiment id + what the paper's version showed.
+void PrintBanner(const std::string& experiment, const std::string& paper_summary);
+
+// Prints a one-line key: value pair, indented.
+void PrintKv(const std::string& key, const std::string& value);
+
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_CORE_REPORTER_H_

@@ -1,0 +1,38 @@
+#include "src/hw/fdir.h"
+
+namespace affinity {
+
+FdirTable::FdirTable(size_t capacity) : capacity_(capacity) {}
+
+bool FdirTable::Insert(uint32_t flow_hash, int ring) {
+  auto it = table_.find(flow_hash);
+  if (it != table_.end()) {
+    it->second = ring;
+    ++stats_.updates;
+    return true;
+  }
+  if (table_.size() >= capacity_) {
+    ++stats_.rejected_full;
+    return false;
+  }
+  table_.emplace(flow_hash, ring);
+  ++stats_.inserts;
+  return true;
+}
+
+std::optional<int> FdirTable::Lookup(uint32_t flow_hash) {
+  ++stats_.lookups;
+  auto it = table_.find(flow_hash);
+  if (it == table_.end()) {
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  return it->second;
+}
+
+void FdirTable::Flush() {
+  table_.clear();
+  ++stats_.flushes;
+}
+
+}  // namespace affinity

@@ -1,0 +1,72 @@
+// Flow Direction (FDir) flow-steering table (paper Sections 3.1 and 7.1).
+//
+// FDir maps a flow hash to one of 64 RX DMA rings via a hash table held in
+// NIC memory. The table is capacity-bounded (8K-32K entries depending on how
+// much NIC memory the FIFOs leave free). The kernel programs it with special
+// requests that are *expensive*:
+//   - inserting an entry costs ~10,000 cycles on the driving core, of which
+//     ~600 cycles is the actual table write (the rest is computing the
+//     signature hash),
+//   - the driver cannot remove individual entries, so when the table fills it
+//     schedules a full flush: ~80,000 cycles to get the flush work scheduled
+//     plus ~70,000 cycles of flush during which the NIC halts transmissions
+//     and misses incoming packets.
+// Affinity-Accept sidesteps all of this by inserting one entry per *flow
+// group* (4,096 of them) up front; Twenty-Policy (Section 7.1) hits all of it.
+
+#ifndef AFFINITY_SRC_HW_FDIR_H_
+#define AFFINITY_SRC_HW_FDIR_H_
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+
+#include "src/sim/time.h"
+
+namespace affinity {
+
+struct FdirStats {
+  uint64_t inserts = 0;
+  uint64_t updates = 0;        // insert over an existing key
+  uint64_t rejected_full = 0;  // insert refused because the table was full
+  uint64_t flushes = 0;
+  uint64_t lookups = 0;
+  uint64_t hits = 0;
+};
+
+class FdirTable {
+ public:
+  // Cost constants from Section 7.1 (2.4 GHz cycles).
+  static constexpr Cycles kInsertCost = 10000;       // signature hash + command
+  static constexpr Cycles kTableWriteCost = 600;     // the table write itself
+  static constexpr Cycles kFlushScheduleCost = 80000;  // get the flush scheduled
+  static constexpr Cycles kFlushCost = 70000;          // flush; TX halted meanwhile
+
+  static constexpr int kMaxRings = 64;  // 6-bit ring identifiers
+
+  explicit FdirTable(size_t capacity = 32 * 1024);
+
+  // Programs `flow_hash -> ring`. Returns false if the table is full and the
+  // key is new (the caller must Flush() first, as the real driver does).
+  bool Insert(uint32_t flow_hash, int ring);
+
+  // Ring for the flow hash, or nullopt on miss (packet falls back to RSS).
+  std::optional<int> Lookup(uint32_t flow_hash);
+
+  // Drops every entry.
+  void Flush();
+
+  bool Full() const { return table_.size() >= capacity_; }
+  size_t size() const { return table_.size(); }
+  size_t capacity() const { return capacity_; }
+  const FdirStats& stats() const { return stats_; }
+
+ private:
+  size_t capacity_;
+  std::unordered_map<uint32_t, int> table_;
+  FdirStats stats_;
+};
+
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_HW_FDIR_H_

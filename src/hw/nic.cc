@@ -1,0 +1,177 @@
+#include "src/hw/nic.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace affinity {
+
+SimNic::SimNic(const NicConfig& config, EventLoop* loop)
+    : config_(config),
+      loop_(loop),
+      fdir_(config.fdir_capacity),
+      rx_rings_(static_cast<size_t>(config.num_rings)),
+      rx_port_free_(static_cast<size_t>(config.num_ports), 0),
+      tx_port_free_(static_cast<size_t>(config.num_ports), 0),
+      group_ring_(config.num_flow_groups, 0) {
+  assert(config.num_rings >= 1);
+  assert(config.num_ports >= 1);
+  assert((config.num_flow_groups & (config.num_flow_groups - 1)) == 0);
+  rss_.DistributeRoundRobin(config.num_rings);
+}
+
+int SimNic::PortOfRing(int ring) const {
+  // Rings are spread evenly over ports (64 rings per port on the real card;
+  // here just a proportional split so any ring count works).
+  return ring * config_.num_ports / config_.num_rings;
+}
+
+Cycles SimNic::WireTime(uint32_t bytes) const {
+  double by_bandwidth = static_cast<double>(bytes) * 8.0 / (config_.port_gbps * 1e9);
+  double by_pps = 1.0 / config_.port_max_pps;
+  return SecToCycles(std::max(by_bandwidth, by_pps));
+}
+
+int SimNic::SteerOf(const FiveTuple& flow) {
+  switch (config_.mode) {
+    case SteeringMode::kRssOnly:
+      return std::min(rss_.Lookup(FlowHash(flow)), config_.num_rings - 1);
+    case SteeringMode::kFlowGroups: {
+      uint32_t group = FlowGroupOf(flow, config_.num_flow_groups);
+      std::optional<int> ring = fdir_.Lookup(GroupKey(group));
+      if (ring.has_value()) {
+        return *ring;
+      }
+      ++stats_.rss_fallbacks;
+      return std::min(rss_.Lookup(FlowHash(flow)), config_.num_rings - 1);
+    }
+    case SteeringMode::kPerFlowFdir: {
+      std::optional<int> ring = fdir_.Lookup(FlowHash(flow));
+      if (ring.has_value()) {
+        return *ring;
+      }
+      ++stats_.rss_fallbacks;
+      return std::min(rss_.Lookup(FlowHash(flow)), config_.num_rings - 1);
+    }
+  }
+  return 0;
+}
+
+void SimNic::PushToRing(int ring, const Packet& packet) {
+  std::deque<Packet>& queue = rx_rings_[static_cast<size_t>(ring)];
+  if (queue.size() >= config_.ring_capacity) {
+    ++stats_.rx_dropped_ring_full;
+    return;
+  }
+  queue.push_back(packet);
+  ++stats_.rx_packets;
+  stats_.rx_bytes += packet.wire_bytes;
+  if (queue.size() == 1 && on_rx_) {
+    on_rx_(ring);
+  }
+}
+
+void SimNic::DeliverFromWire(const Packet& packet) {
+  Cycles now = loop_->Now();
+
+  // Packets that arrive while an FDir flush is in progress are missed by the
+  // card (Section 7.1: "the NIC misses many incoming packets when running in
+  // this mode").
+  if (now < tx_halted_until_ && config_.mode == SteeringMode::kPerFlowFdir) {
+    ++stats_.rx_dropped_flush;
+    return;
+  }
+
+  int ring = SteerOf(packet.flow);
+  int port = PortOfRing(ring);
+
+  // Port pacing: the packet occupies the RX direction of its port. If the
+  // backlog exceeds the card's buffering, it is dropped.
+  Cycles ready = std::max(now, rx_port_free_[static_cast<size_t>(port)]);
+  if (ready - now > config_.max_rx_queue_delay) {
+    ++stats_.rx_dropped_overload;
+    return;
+  }
+  Cycles done = ready + WireTime(packet.wire_bytes);
+  rx_port_free_[static_cast<size_t>(port)] = done;
+
+  if (done == now) {
+    PushToRing(ring, packet);
+  } else {
+    Packet copy = packet;
+    loop_->ScheduleAt(done, [this, ring, copy] { PushToRing(ring, copy); });
+  }
+}
+
+std::optional<Packet> SimNic::PopRx(int ring) {
+  std::deque<Packet>& queue = rx_rings_[static_cast<size_t>(ring)];
+  if (queue.empty()) {
+    return std::nullopt;
+  }
+  Packet packet = queue.front();
+  queue.pop_front();
+  return packet;
+}
+
+void SimNic::Transmit(int ring, const Packet& packet) {
+  Cycles now = loop_->Now();
+  int port = PortOfRing(ring);
+
+  // TX halts while an FDir flush runs (Section 7.1: "The driver halts packet
+  // transmissions for the duration of the flush.").
+  Cycles start = std::max({now, tx_port_free_[static_cast<size_t>(port)], tx_halted_until_});
+  Cycles done = start + WireTime(packet.wire_bytes);
+  tx_port_free_[static_cast<size_t>(port)] = done;
+
+  ++stats_.tx_packets;
+  stats_.tx_bytes += packet.wire_bytes;
+
+  Packet copy = packet;
+  loop_->ScheduleAt(done, [this, copy] {
+    if (on_tx_) {
+      on_tx_(copy);
+    }
+  });
+}
+
+Cycles SimNic::ProgramFlowGroupsRoundRobin() {
+  config_.mode = SteeringMode::kFlowGroups;
+  Cycles cost = 0;
+  for (uint32_t group = 0; group < config_.num_flow_groups; ++group) {
+    int ring = static_cast<int>(group % static_cast<uint32_t>(config_.num_rings));
+    bool ok = fdir_.Insert(GroupKey(group), ring);
+    assert(ok && "flow-group table must fit in FDir");
+    group_ring_[group] = ring;
+    cost += FdirTable::kInsertCost;
+  }
+  return cost;
+}
+
+Cycles SimNic::MigrateFlowGroup(uint32_t group, int ring) {
+  assert(group < config_.num_flow_groups);
+  assert(ring >= 0 && ring < config_.num_rings);
+  bool ok = fdir_.Insert(GroupKey(group), ring);
+  assert(ok);
+  group_ring_[group] = ring;
+  return FdirTable::kInsertCost;
+}
+
+Cycles SimNic::SteerFlow(const FiveTuple& flow, int ring) {
+  Cycles cost = FdirTable::kInsertCost;
+  if (!fdir_.Insert(FlowHash(flow), ring)) {
+    // Table full: schedule + run a flush, halting TX; then retry the insert.
+    cost += FdirTable::kFlushScheduleCost + FdirTable::kFlushCost;
+    tx_halted_until_ = std::max(tx_halted_until_, loop_->Now() + FdirTable::kFlushScheduleCost +
+                                                      FdirTable::kFlushCost);
+    fdir_.Flush();
+    bool ok = fdir_.Insert(FlowHash(flow), ring);
+    assert(ok);
+  }
+  return cost;
+}
+
+int SimNic::RingOfFlowGroup(uint32_t group) const {
+  assert(group < config_.num_flow_groups);
+  return group_ring_[group];
+}
+
+}  // namespace affinity

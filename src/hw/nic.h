@@ -1,0 +1,145 @@
+// Simulated multi-queue 10 GbE NIC (Intel 82599 "IXGBE" model).
+//
+// Models the parts of the card the paper depends on:
+//  - per-core RX/TX DMA rings (up to 64 per port; a second port adds 64 more,
+//    as on the Intel machine for >64-core runs),
+//  - RSS (128-entry, 16-ring indirection) and FDir (bounded flow-steering
+//    hash table) steering, with Affinity-Accept's flow-group mode,
+//  - port capacity: bytes/sec line rate plus a packets/sec ceiling, which is
+//    what saturates first for small files (Figures 3 and 9),
+//  - FDir reprogramming and flush costs, including the TX halt + RX misses
+//    during a flush that cripple Twenty-Policy (Section 7.1).
+
+#ifndef AFFINITY_SRC_HW_NIC_H_
+#define AFFINITY_SRC_HW_NIC_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <optional>
+#include <vector>
+
+#include "src/hw/fdir.h"
+#include "src/hw/rss.h"
+#include "src/net/flow.h"
+#include "src/net/packet.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/time.h"
+
+namespace affinity {
+
+// How the NIC picks an RX ring for an incoming packet.
+enum class SteeringMode {
+  kRssOnly,      // hash(5-tuple) -> RSS indirection table (max 16 rings)
+  kFlowGroups,   // Affinity-Accept: hash(low port bits) -> FDir flow groups
+  kPerFlowFdir,  // Twenty-Policy / aRFS style: per-connection FDir entries
+};
+
+struct NicConfig {
+  int num_rings = 1;      // one RX+TX ring pair per core in all experiments
+  int num_ports = 1;      // 10 GbE ports; the Intel machine uses 2 above 64 cores
+  double port_gbps = 10.0;
+  double port_max_pps = 3.2e6;  // per-port, per-direction packet ceiling
+  size_t ring_capacity = 512;   // RX descriptors per ring
+  size_t fdir_capacity = 32 * 1024;
+  uint32_t num_flow_groups = 4096;  // power of two (Section 3.1)
+  SteeringMode mode = SteeringMode::kFlowGroups;
+  // RX packets that would wait longer than this for port service are dropped
+  // (the card has bounded buffering).
+  Cycles max_rx_queue_delay = MsToCycles(2.0);
+};
+
+struct NicStats {
+  uint64_t rx_packets = 0;
+  uint64_t tx_packets = 0;
+  uint64_t rx_bytes = 0;
+  uint64_t tx_bytes = 0;
+  uint64_t rx_dropped_ring_full = 0;
+  uint64_t rx_dropped_overload = 0;  // port pps/bandwidth exceeded
+  uint64_t rx_dropped_flush = 0;     // lost while an FDir flush was running
+  uint64_t rss_fallbacks = 0;        // FDir miss -> RSS steering
+};
+
+class SimNic {
+ public:
+  // on_rx_ring_nonempty(ring): raised when a packet lands in an empty ring
+  // (the interrupt that kicks the ring's core).
+  // on_wire_tx(packet): the packet reached the wire towards the client.
+  using RxInterruptHandler = std::function<void(int ring)>;
+  using WireTxHandler = std::function<void(const Packet&)>;
+
+  SimNic(const NicConfig& config, EventLoop* loop);
+
+  void set_rx_interrupt_handler(RxInterruptHandler handler) { on_rx_ = std::move(handler); }
+  void set_wire_tx_handler(WireTxHandler handler) { on_tx_ = std::move(handler); }
+
+  // --- wire side (called by the simulated clients) ---
+
+  // A packet arrives from the switch. Applies port pacing, steering, ring
+  // capacity; may drop.
+  void DeliverFromWire(const Packet& packet);
+
+  // --- host side (called by the simulated kernel) ---
+
+  // Packets waiting in an RX ring.
+  size_t RxPending(int ring) const { return rx_rings_[static_cast<size_t>(ring)].size(); }
+  // Pops the next packet from `ring`; nullopt if empty.
+  std::optional<Packet> PopRx(int ring);
+
+  // Queues a packet for transmission on `ring`'s TX queue. Serializes through
+  // the ring's port; delivery to the wire is scheduled on the event loop.
+  void Transmit(int ring, const Packet& packet);
+
+  // --- steering control (driver operations; return cycles charged to the
+  //     calling core) ---
+
+  // Affinity-Accept setup: map all flow groups round-robin over rings and
+  // switch to kFlowGroups mode.
+  Cycles ProgramFlowGroupsRoundRobin();
+
+  // Moves one flow group to a new ring (flow-group migration, Section 3.3.2).
+  Cycles MigrateFlowGroup(uint32_t group, int ring);
+
+  // Twenty-Policy: steer one specific connection to `ring`. If the table is
+  // full this triggers the flush path (TX halt + RX misses).
+  Cycles SteerFlow(const FiveTuple& flow, int ring);
+
+  // Ring currently serving a flow group.
+  int RingOfFlowGroup(uint32_t group) const;
+
+  // Ring an incoming packet with this tuple would be steered to right now.
+  int SteerOf(const FiveTuple& flow);
+
+  const NicConfig& config() const { return config_; }
+  const NicStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = NicStats{}; }
+  const FdirTable& fdir() const { return fdir_; }
+  RssTable& rss() { return rss_; }
+  Cycles tx_halted_until() const { return tx_halted_until_; }
+
+ private:
+  int PortOfRing(int ring) const;
+  // Serialization time of a packet through one port direction.
+  Cycles WireTime(uint32_t bytes) const;
+  // Hash key used for FDir in flow-group mode: the group id itself.
+  static uint32_t GroupKey(uint32_t group) { return group; }
+
+  void PushToRing(int ring, const Packet& packet);
+
+  NicConfig config_;
+  EventLoop* loop_;
+  RssTable rss_;
+  FdirTable fdir_;
+  std::vector<std::deque<Packet>> rx_rings_;
+  std::vector<Cycles> rx_port_free_;  // per-port RX serialization horizon
+  std::vector<Cycles> tx_port_free_;  // per-port TX serialization horizon
+  std::vector<int> group_ring_;       // flow group -> ring (driver's shadow copy)
+  Cycles tx_halted_until_ = 0;
+  RxInterruptHandler on_rx_;
+  WireTxHandler on_tx_;
+  NicStats stats_;
+};
+
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_HW_NIC_H_

@@ -1,0 +1,33 @@
+#include "src/hw/nic_catalogue.h"
+
+namespace affinity {
+
+NicConfig NicModel::ToConfig() const {
+  NicConfig config;
+  config.num_rings = hw_dma_rings;
+  config.fdir_capacity =
+      flow_steering_entries.has_value() ? static_cast<size_t>(*flow_steering_entries) : 0;
+  return config;
+}
+
+const std::vector<NicModel>& NicCatalogue() {
+  static const std::vector<NicModel> kCatalogue = {
+      {"Intel", "82599 10 GbE Controller Datasheet", 64, 16, 32 * 1024, "32K"},
+      {"Chelsio", "Terminator 4 ASIC white paper", 64, 64, std::nullopt,
+       "\"tens of thousands\""},
+      {"Solarflare", "Linux 3.2.2 sfc driver", 32, 32, 8 * 1024, "8K"},
+      {"Myricom", "Linux 3.2.2 myri10ge driver", 32, 32, std::nullopt, "-"},
+  };
+  return kCatalogue;
+}
+
+const NicModel* FindNicModel(const std::string& vendor) {
+  for (const NicModel& model : NicCatalogue()) {
+    if (model.vendor == vendor) {
+      return &model;
+    }
+  }
+  return nullptr;
+}
+
+}  // namespace affinity

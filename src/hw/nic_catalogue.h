@@ -1,0 +1,42 @@
+// Catalogue of modern (2012) 10 GbE NIC capabilities — paper Table 5.
+//
+// "Each card offers either a small number of DMA rings, RSS supported DMA
+//  rings, or flow steering entries." The catalogue backs the Table-5 bench
+//  and lets experiments instantiate SimNic configs matching other vendors.
+
+#ifndef AFFINITY_SRC_HW_NIC_CATALOGUE_H_
+#define AFFINITY_SRC_HW_NIC_CATALOGUE_H_
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "src/hw/nic.h"
+
+namespace affinity {
+
+struct NicModel {
+  std::string vendor;
+  std::string reference;
+  int hw_dma_rings = 0;
+  int rss_dma_rings = 0;
+  // Flow-steering table capacity in connections; nullopt when the datasheet
+  // does not say (Table 5 prints "-").
+  std::optional<int> flow_steering_entries;
+  // Free-text capacity note (e.g. Chelsio's "tens of thousands").
+  std::string capacity_note;
+
+  // SimNic configuration approximating this card.
+  NicConfig ToConfig() const;
+};
+
+// The four rows of Table 5: Intel 82599, Chelsio Terminator 4, Solarflare,
+// Myricom.
+const std::vector<NicModel>& NicCatalogue();
+
+// Looks a model up by vendor name; nullptr if absent.
+const NicModel* FindNicModel(const std::string& vendor);
+
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_HW_NIC_CATALOGUE_H_

@@ -1,0 +1,28 @@
+#include "src/hw/rss.h"
+
+#include <algorithm>
+
+namespace affinity {
+
+RssTable::RssTable() { table_.fill(0); }
+
+bool RssTable::SetEntry(int index, int ring) {
+  if (index < 0 || index >= kEntries || ring < 0 || ring >= kMaxRings) {
+    return false;
+  }
+  table_[static_cast<size_t>(index)] = static_cast<uint8_t>(ring);
+  return true;
+}
+
+int RssTable::Lookup(uint32_t flow_hash) const {
+  return table_[flow_hash % kEntries];
+}
+
+void RssTable::DistributeRoundRobin(int num_rings) {
+  int rings = std::clamp(num_rings, 1, kMaxRings);
+  for (int i = 0; i < kEntries; ++i) {
+    table_[static_cast<size_t>(i)] = static_cast<uint8_t>(i % rings);
+  }
+}
+
+}  // namespace affinity

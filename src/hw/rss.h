@@ -1,0 +1,43 @@
+// Receive-Side Scaling indirection table (paper Section 3.1).
+//
+// "RSS uses the flow hash value to index a 128-entry table. Each entry in the
+//  table is a 4-bit identifier for an RX DMA ring" -- so RSS on the IXGBE can
+//  only spread load over 16 rings, one of the limitations that motivates the
+//  FDir-based flow-group design.
+
+#ifndef AFFINITY_SRC_HW_RSS_H_
+#define AFFINITY_SRC_HW_RSS_H_
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+
+namespace affinity {
+
+class RssTable {
+ public:
+  static constexpr int kEntries = 128;
+  static constexpr int kMaxRings = 16;  // 4-bit ring identifiers
+
+  RssTable();
+
+  // Programs entry `index` (0..127) to point at `ring` (0..15).
+  // Returns false (and leaves the entry unchanged) if out of range.
+  bool SetEntry(int index, int ring);
+
+  // Ring for a given flow hash: table[hash % 128].
+  int Lookup(uint32_t flow_hash) const;
+
+  // Default driver configuration: round-robin the 128 entries over
+  // min(num_rings, 16) rings.
+  void DistributeRoundRobin(int num_rings);
+
+  int entry(int index) const { return table_[static_cast<size_t>(index)]; }
+
+ private:
+  std::array<uint8_t, kEntries> table_;
+};
+
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_HW_RSS_H_

@@ -1,0 +1,29 @@
+#include "src/hw/topology.h"
+
+namespace affinity {
+
+MachineSpec Amd48() {
+  MachineSpec spec;
+  spec.name = "AMD48";
+  spec.num_chips = 8;
+  spec.cores_per_chip = 6;
+  spec.memory = AmdMemoryProfile();
+  spec.l1_bytes = 64 * 1024;
+  spec.l2_bytes = 512 * 1024;
+  spec.l3_bytes = 5 * 1024 * 1024;  // 6 MB minus 1 MB HT Assist probe filter
+  return spec;
+}
+
+MachineSpec Intel80() {
+  MachineSpec spec;
+  spec.name = "Intel80";
+  spec.num_chips = 8;
+  spec.cores_per_chip = 10;
+  spec.memory = IntelMemoryProfile();
+  spec.l1_bytes = 32 * 1024;
+  spec.l2_bytes = 256 * 1024;
+  spec.l3_bytes = 30 * 1024 * 1024;
+  return spec;
+}
+
+}  // namespace affinity

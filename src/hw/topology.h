@@ -1,0 +1,39 @@
+// Machine topology descriptions (paper Section 6.1).
+
+#ifndef AFFINITY_SRC_HW_TOPOLOGY_H_
+#define AFFINITY_SRC_HW_TOPOLOGY_H_
+
+#include <string>
+
+#include "src/mem/cacheline.h"
+#include "src/mem/memory_profile.h"
+
+namespace affinity {
+
+struct MachineSpec {
+  std::string name;
+  int num_chips = 1;
+  int cores_per_chip = 1;
+  MemoryProfile memory;
+  // Private / shared cache sizes (bytes), informational.
+  uint32_t l1_bytes = 0;
+  uint32_t l2_bytes = 0;
+  uint32_t l3_bytes = 0;
+
+  int total_cores() const { return num_chips * cores_per_chip; }
+  int ChipOf(CoreId core) const { return core / cores_per_chip; }
+  bool SameChip(CoreId a, CoreId b) const { return ChipOf(a) == ChipOf(b); }
+};
+
+// The 48-core machine: Tyan Thunder S4985 + M4985, 8x 2.4 GHz 6-core AMD
+// Opteron 8431. 64 KB L1 I+D, 512 KB private L2, 6 MB shared L3 per chip
+// (1 MB used by the HT Assist probe filter).
+MachineSpec Amd48();
+
+// The 80-core machine: 8x 2.4 GHz 10-core Intel Xeon E7 8870. 32 KB private
+// L1 I+D, 256 KB private L2, 30 MB shared L3 per chip.
+MachineSpec Intel80();
+
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_HW_TOPOLOGY_H_

@@ -1,0 +1,271 @@
+#include "src/load/httperf.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/net/packet.h"
+
+namespace affinity {
+
+HttperfClient::HttperfClient(const ClientConfig& config, EventLoop* loop, SimNic* nic,
+                             const FileSet* files)
+    : config_(config), loop_(loop), nic_(nic), files_(files), rng_(config.seed) {}
+
+void HttperfClient::Start() {
+  launching_ = true;
+  if (config_.open_loop_conn_rate > 0.0) {
+    ScheduleOpenLoopArrival();
+    return;
+  }
+  for (int i = 0; i < config_.num_sessions; ++i) {
+    if (config_.ramp == 0) {
+      LaunchSession();
+      continue;
+    }
+    Cycles offset = config_.ramp * static_cast<Cycles>(i) /
+                    static_cast<Cycles>(config_.num_sessions);
+    loop_->ScheduleAfter(offset, [this] {
+      if (launching_) {
+        LaunchSession();
+      }
+    });
+  }
+}
+
+void HttperfClient::StopLaunching() { launching_ = false; }
+
+void HttperfClient::ScheduleOpenLoopArrival() {
+  if (!launching_) {
+    return;
+  }
+  double mean_gap_sec = 1.0 / config_.open_loop_conn_rate;
+  Cycles gap = SecToCycles(rng_.NextExponential(mean_gap_sec));
+  loop_->ScheduleAfter(gap, [this] {
+    if (launching_) {
+      LaunchSession();
+      ScheduleOpenLoopArrival();
+    }
+  });
+}
+
+void HttperfClient::SendToServer(const Packet& packet) {
+  Packet copy = packet;
+  loop_->ScheduleAfter(config_.wire_latency, [this, copy] { nic_->DeliverFromWire(copy); });
+}
+
+void HttperfClient::LaunchSession() {
+  uint64_t id = next_conn_id_++;
+  Session& session = sessions_[id];
+  session.conn_id = id;
+  session.flow.src_ip = 0x0a000000u + (next_ip_++ % config_.num_client_ips);
+  session.flow.dst_ip = 0x0a00ffffu;
+  // Source ports cycle through the ephemeral range; their low bits define the
+  // flow group (Section 3.1), so the cycling also spreads flow groups.
+  session.flow.src_port = static_cast<uint16_t>(1024 + (next_port_++ % 64000));
+  session.flow.dst_port = 80;
+  session.state = SessionState::kSynSent;
+  session.started = loop_->Now();
+  session.requests_total = config_.requests_per_connection;
+  session.next_burst_size = 1;
+  ++metrics_.conns_started;
+
+  session.timeout_event =
+      loop_->ScheduleAfter(config_.timeout, [this, id] { OnTimeout(id); });
+  SendSyn(session);
+}
+
+void HttperfClient::SendSyn(Session& session) {
+  Packet syn;
+  syn.flow = session.flow;
+  syn.kind = PacketKind::kSyn;
+  syn.conn_id = session.conn_id;
+  SendToServer(syn);
+
+  uint64_t id = session.conn_id;
+  session.retry_event =
+      loop_->ScheduleAfter(config_.syn_retry, [this, id] { OnSynRetry(id); });
+}
+
+void HttperfClient::OnSynRetry(uint64_t conn_id) {
+  auto it = sessions_.find(conn_id);
+  if (it == sessions_.end() || it->second.state != SessionState::kSynSent) {
+    return;
+  }
+  Session& session = it->second;
+  if (session.syn_tries > config_.max_syn_retries) {
+    return;  // give up; the connection timeout will fire
+  }
+  ++session.syn_tries;
+  ++metrics_.syn_retries;
+  SendSyn(session);
+}
+
+void HttperfClient::StartBurst(Session& session) {
+  session.burst_remaining =
+      std::min(session.next_burst_size, session.requests_total - session.requests_done);
+  ++session.next_burst_size;
+  session.state = SessionState::kActive;
+  SendNextRequest(session);
+}
+
+void HttperfClient::SendNextRequest(Session& session) {
+  assert(session.burst_remaining > 0);
+  session.current_file = files_->Pick(rng_);
+  session.request_sent_at = loop_->Now();
+
+  Packet request;
+  request.flow = session.flow;
+  request.kind = PacketKind::kHttpRequest;
+  request.wire_bytes = kHeaderBytes + config_.request_bytes;
+  request.conn_id = session.conn_id;
+  request.request_idx = static_cast<uint32_t>(session.requests_done);
+  request.file_index = session.current_file;
+  SendToServer(request);
+}
+
+void HttperfClient::OnServerPacket(const Packet& packet) {
+  Packet copy = packet;
+  loop_->ScheduleAfter(config_.wire_latency, [this, copy] { HandlePacket(copy); });
+}
+
+void HttperfClient::HandlePacket(const Packet& packet) {
+  auto it = sessions_.find(packet.conn_id);
+  if (it == sessions_.end()) {
+    return;  // stale packet for a finished/timed-out session
+  }
+  Session& session = it->second;
+
+  switch (packet.kind) {
+    case PacketKind::kSynAck: {
+      if (session.state != SessionState::kSynSent) {
+        return;  // duplicate SYN-ACK from a retransmitted SYN
+      }
+      if (session.retry_event != 0) {
+        loop_->Cancel(session.retry_event);
+        session.retry_event = 0;
+      }
+      Packet ack;
+      ack.flow = session.flow;
+      ack.kind = PacketKind::kAck;
+      ack.conn_id = session.conn_id;
+      SendToServer(ack);
+      StartBurst(session);
+      break;
+    }
+    case PacketKind::kHttpData: {
+      if (session.state != SessionState::kActive || !packet.last_segment ||
+          packet.request_idx != static_cast<uint32_t>(session.requests_done)) {
+        return;  // mid-response segment, or stale
+      }
+      // Response complete: cumulative ACK, then next request / think / close.
+      Packet ack;
+      ack.flow = session.flow;
+      ack.kind = PacketKind::kDataAck;
+      ack.conn_id = session.conn_id;
+      SendToServer(ack);
+
+      metrics_.request_latency.Add(loop_->Now() - session.request_sent_at);
+      ++metrics_.requests_completed;
+      ++session.requests_done;
+      --session.burst_remaining;
+
+      if (session.burst_remaining > 0) {
+        SendNextRequest(session);
+      } else if (session.requests_done < session.requests_total) {
+        if (config_.burst_pattern && config_.think_time > 0) {
+          session.state = SessionState::kThinking;
+          uint64_t id = session.conn_id;
+          loop_->ScheduleAfter(config_.think_time, [this, id] {
+            auto sit = sessions_.find(id);
+            if (sit != sessions_.end() && sit->second.state == SessionState::kThinking) {
+              StartBurst(sit->second);
+            }
+          });
+        } else {
+          StartBurst(session);
+        }
+      } else {
+        Packet fin;
+        fin.flow = session.flow;
+        fin.kind = PacketKind::kFin;
+        fin.conn_id = session.conn_id;
+        SendToServer(fin);
+        session.state = SessionState::kFinSent;
+      }
+      break;
+    }
+    case PacketKind::kFin: {
+      // Server's FIN (in response to ours, or server-initiated).
+      if (session.state == SessionState::kFinSent) {
+        FinishSession(session, /*timed_out=*/false);
+      }
+      break;
+    }
+    case PacketKind::kRst: {
+      // The server has no such connection (dropped during setup or reset
+      // after overflow). Abort; a closed-loop client starts a new session.
+      ++metrics_.rst_aborts;
+      AbortSession(session);
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void HttperfClient::AbortSession(Session& session) {
+  if (session.timeout_event != 0) {
+    loop_->Cancel(session.timeout_event);
+  }
+  if (session.retry_event != 0) {
+    loop_->Cancel(session.retry_event);
+  }
+  sessions_.erase(session.conn_id);
+  if (launching_ && config_.open_loop_conn_rate == 0.0) {
+    LaunchSession();
+  }
+}
+
+void HttperfClient::FinishSession(Session& session, bool timed_out) {
+  if (session.timeout_event != 0) {
+    loop_->Cancel(session.timeout_event);
+    session.timeout_event = 0;
+  }
+  if (session.retry_event != 0) {
+    loop_->Cancel(session.retry_event);
+    session.retry_event = 0;
+  }
+  metrics_.conn_latency.Add(loop_->Now() - session.started);
+  if (timed_out) {
+    ++metrics_.timeouts;
+  } else {
+    ++metrics_.conns_completed;
+  }
+  sessions_.erase(session.conn_id);
+
+  // Closed loop: replace the finished session.
+  if (launching_ && config_.open_loop_conn_rate == 0.0) {
+    LaunchSession();
+  }
+}
+
+void HttperfClient::OnTimeout(uint64_t conn_id) {
+  auto it = sessions_.find(conn_id);
+  if (it == sessions_.end()) {
+    return;
+  }
+  it->second.timeout_event = 0;
+  FinishSession(it->second, /*timed_out=*/true);
+}
+
+void HttperfClient::ResetMetrics() { metrics_ = ClientMetrics{}; }
+
+std::vector<size_t> HttperfClient::SessionStateCounts() const {
+  std::vector<size_t> counts(5, 0);
+  for (const auto& [id, session] : sessions_) {
+    counts[static_cast<size_t>(session.state)]++;
+  }
+  return counts;
+}
+
+}  // namespace affinity

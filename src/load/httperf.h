@@ -1,0 +1,143 @@
+// httperf-style load generator (paper Section 6.2).
+//
+// "We use 25 client machines ... running the httperf HTTP request generator.
+//  ... a client requests a total of 6 files per connection with requests
+//  spaced out by think time. First, a client requests one file and waits for
+//  100ms. The client then requests two more files, waits 100ms, requests
+//  three more files, and finally closes the connection."
+//
+// Clients are modeled as pure event-driven sessions on the simulation loop
+// (client machines are never the bottleneck in the paper's runs). Closed-loop
+// mode keeps a fixed number of sessions alive, immediately replacing finished
+// ones -- run with enough sessions and the server saturates, which measures
+// the same capacity the paper finds by searching for the saturating request
+// rate. Open-loop mode starts connections at a fixed rate (the Section 6.5
+// 50%-utilization experiments).
+
+#ifndef AFFINITY_SRC_LOAD_HTTPERF_H_
+#define AFFINITY_SRC_LOAD_HTTPERF_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/hw/nic.h"
+#include "src/load/workload.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/rng.h"
+#include "src/sim/stats.h"
+
+namespace affinity {
+
+struct ClientConfig {
+  // Closed loop: concurrent sessions. 0 lets the Experiment harness pick
+  // sessions_per_core * num_cores. Open loop: conns/sec.
+  int num_sessions = 0;
+  double open_loop_conn_rate = 0.0;
+
+  int requests_per_connection = 6;
+  // Paper pattern: bursts of 1, 2, 3, ... requests with think time between
+  // bursts. When false, requests run back-to-back with no think time.
+  bool burst_pattern = true;
+  Cycles think_time = MsToCycles(100);
+
+  // Initial sessions are staggered over this window so the first SYNs do not
+  // arrive as one synchronized burst that overflows the RX rings.
+  Cycles ramp = MsToCycles(200);
+
+  Cycles wire_latency = UsToCycles(25);  // one-way client <-> server
+  Cycles timeout = SecToCycles(10);      // whole-connection give-up
+  Cycles syn_retry = MsToCycles(500);
+  int max_syn_retries = 3;
+
+  uint32_t request_bytes = 250;  // HTTP GET on the wire
+  uint32_t num_client_ips = 100;
+  uint64_t seed = 42;
+};
+
+struct ClientMetrics {
+  uint64_t conns_started = 0;
+  uint64_t conns_completed = 0;
+  uint64_t requests_completed = 0;
+  uint64_t timeouts = 0;
+  uint64_t rst_aborts = 0;  // server reset the connection (overload drop)
+  uint64_t syn_retries = 0;
+  Histogram conn_latency;     // cycles, connect -> close (includes think)
+  Histogram request_latency;  // cycles, request sent -> response complete
+};
+
+class HttperfClient {
+ public:
+  HttperfClient(const ClientConfig& config, EventLoop* loop, SimNic* nic,
+                const FileSet* files);
+
+  // Launches the initial sessions / the open-loop arrival process.
+  void Start();
+  // Stops creating new sessions (in-flight ones finish or time out).
+  void StopLaunching();
+
+  // Wire handler for server -> client packets; the experiment harness plugs
+  // this into SimNic::set_wire_tx_handler.
+  void OnServerPacket(const Packet& packet);
+
+  const ClientMetrics& metrics() const { return metrics_; }
+  // Zeroes counters and histograms; used at the warmup/measure boundary.
+  void ResetMetrics();
+
+  size_t sessions_in_flight() const { return sessions_.size(); }
+  // Count of in-flight sessions per state (debug/diagnostics).
+  std::vector<size_t> SessionStateCounts() const;
+
+ private:
+  enum class SessionState : uint8_t {
+    kSynSent,
+    kActive,    // requests flowing
+    kThinking,  // between bursts
+    kFinSent,
+    kDone,
+  };
+
+  struct Session {
+    uint64_t conn_id = 0;
+    FiveTuple flow;
+    SessionState state = SessionState::kSynSent;
+    Cycles started = 0;
+    Cycles request_sent_at = 0;
+    int requests_done = 0;
+    int requests_total = 0;
+    int burst_remaining = 0;
+    int next_burst_size = 1;
+    int syn_tries = 1;
+    uint32_t current_file = 0;
+    EventId timeout_event = 0;
+    EventId retry_event = 0;
+  };
+
+  void LaunchSession();
+  void ScheduleOpenLoopArrival();
+  void SendToServer(const Packet& packet);
+  void SendSyn(Session& session);
+  void SendNextRequest(Session& session);
+  void StartBurst(Session& session);
+  void AbortSession(Session& session);
+  void FinishSession(Session& session, bool timed_out);
+  void OnTimeout(uint64_t conn_id);
+  void OnSynRetry(uint64_t conn_id);
+  void HandlePacket(const Packet& packet);
+
+  ClientConfig config_;
+  EventLoop* loop_;
+  SimNic* nic_;
+  const FileSet* files_;
+  Rng rng_;
+  std::unordered_map<uint64_t, Session> sessions_;
+  uint64_t next_conn_id_ = 1;
+  uint32_t next_port_ = 1024;
+  uint32_t next_ip_ = 0;
+  bool launching_ = false;
+  ClientMetrics metrics_;
+};
+
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_LOAD_HTTPERF_H_

@@ -1,0 +1,59 @@
+// The static-content workload (paper Section 6.2).
+//
+// "The content is a mix of files inspired by the static parts of the SpecWeb
+//  benchmark suite. ... The files served range from 30 bytes to 5,670 bytes.
+//  The web server serves 30,000 distinct files, and a client chooses a file
+//  to request uniformly over all files." The average file size works out to
+//  about 700 bytes (Section 6.6).
+//
+// Each file has a kernel `file` object (struct file); serving it bumps the
+// global refcount -- the 100%-shared `file` row of Table 4, and the
+// "scalability limitation in how the kernel tracks reference counts to file
+// objects" that caps lighttpd (Section 6.3).
+
+#ifndef AFFINITY_SRC_LOAD_WORKLOAD_H_
+#define AFFINITY_SRC_LOAD_WORKLOAD_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/mem/memory_system.h"
+#include "src/net/kernel_types.h"
+#include "src/sim/rng.h"
+
+namespace affinity {
+
+struct FileSetConfig {
+  uint32_t num_files = 30000;
+  uint32_t min_bytes = 30;
+  uint32_t max_bytes = 5670;
+  // Multiplies every file size (Figure 9's sweep scales "all files
+  // proportionally").
+  double scale = 1.0;
+  uint64_t seed = 7;
+};
+
+class FileSet {
+ public:
+  // Files' kernel objects are allocated round-robin across cores (page cache
+  // pages spread over NUMA nodes).
+  FileSet(const FileSetConfig& config, MemorySystem* mem, const KernelTypes* types,
+          int num_cores);
+
+  uint32_t num_files() const { return static_cast<uint32_t>(sizes_.size()); }
+  uint32_t size_of(uint32_t file) const { return sizes_[file]; }
+  const SimObject& object_of(uint32_t file) const { return objects_[file]; }
+  double mean_size() const { return mean_size_; }
+
+  // Uniform pick, as in the paper.
+  uint32_t Pick(Rng& rng) const { return static_cast<uint32_t>(rng.NextBelow(sizes_.size())); }
+
+ private:
+  std::vector<uint32_t> sizes_;
+  std::vector<SimObject> objects_;
+  double mean_size_ = 0.0;
+};
+
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_LOAD_WORKLOAD_H_

@@ -1,0 +1,50 @@
+// Cache-line identity and access classification shared by the memory model.
+
+#ifndef AFFINITY_SRC_MEM_CACHELINE_H_
+#define AFFINITY_SRC_MEM_CACHELINE_H_
+
+#include <cstdint>
+
+namespace affinity {
+
+// x86 cache-line size on both evaluation machines.
+inline constexpr uint32_t kCacheLineBytes = 64;
+
+// Upper bound on simulated cores (the paper's largest machine has 80).
+inline constexpr int kMaxCores = 128;
+
+// Identifies one 64-byte line in the simulated physical address space.
+using LineId = uint64_t;
+
+// Core index within the simulated machine.
+using CoreId = int;
+
+inline constexpr CoreId kNoCore = -1;
+
+// Where an access was satisfied from; determines its latency and whether it
+// counts as an L2 miss (everything from kL3 outward misses the private L2).
+enum class MemSource : uint8_t {
+  kL1,           // private L1 hit
+  kL2,           // private L2 hit
+  kL3,           // shared on-chip L3 (or a sibling core's cache on this chip)
+  kRam,          // local DRAM
+  kRemoteCache,  // another chip's cache (dirty or exclusive line)
+  kRemoteRam,    // DRAM attached to a remote chip
+};
+
+const char* MemSourceName(MemSource source);
+
+// True when the access missed the private cache hierarchy (L1+L2). This is
+// the "L2 miss" count the paper's Table 3 reports.
+constexpr bool IsL2Miss(MemSource source) {
+  return source != MemSource::kL1 && source != MemSource::kL2;
+}
+
+// True when the data had to cross the chip interconnect.
+constexpr bool IsRemote(MemSource source) {
+  return source == MemSource::kRemoteCache || source == MemSource::kRemoteRam;
+}
+
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_MEM_CACHELINE_H_

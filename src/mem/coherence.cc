@@ -1,0 +1,122 @@
+#include "src/mem/coherence.h"
+
+#include <bit>
+
+namespace affinity {
+
+bool CoreSet::Empty() const {
+  for (uint64_t word : bits_) {
+    if (word != 0) {
+      return false;
+    }
+  }
+  return true;
+}
+
+int CoreSet::Count() const {
+  int count = 0;
+  for (uint64_t word : bits_) {
+    count += std::popcount(word);
+  }
+  return count;
+}
+
+CoreId CoreSet::AnyOther(CoreId core) const {
+  for (size_t w = 0; w < bits_.size(); ++w) {
+    uint64_t word = bits_[w];
+    if (w == Word(core)) {
+      word &= ~Bit(core);
+    }
+    if (word != 0) {
+      return static_cast<CoreId>(w * 64 + static_cast<size_t>(std::countr_zero(word)));
+    }
+  }
+  return kNoCore;
+}
+
+CoherenceModel::CoherenceModel(const MemoryProfile& profile, int cores_per_chip)
+    : profile_(profile), cores_per_chip_(cores_per_chip > 0 ? cores_per_chip : 1) {}
+
+MemSource CoherenceModel::ClassifyLocked(const LineState& state, CoreId core, bool write) const {
+  if (state.sharers.Contains(core)) {
+    // We already hold a copy. A write to a line someone else also holds needs
+    // an invalidation round (upgrade); charge the distance to the farthest
+    // other sharer. Reads and exclusive writes hit the private hierarchy.
+    if (write) {
+      CoreId other = state.sharers.AnyOther(core);
+      if (other != kNoCore) {
+        return SameChip(core, other) ? MemSource::kL3 : MemSource::kRemoteCache;
+      }
+    }
+    // Most-recent toucher models L1 residency; otherwise the copy has aged
+    // into the private L2.
+    return state.last_toucher == core ? MemSource::kL1 : MemSource::kL2;
+  }
+  if (state.dirty && state.last_writer != kNoCore) {
+    // Dirty in another core's cache: cache-to-cache transfer.
+    return SameChip(core, state.last_writer) ? MemSource::kL3 : MemSource::kRemoteCache;
+  }
+  if (!state.sharers.Empty()) {
+    // Clean copy in some cache. Same chip: served by the shared L3. Across
+    // chips: the home memory controller answers (clean lines are not
+    // forwarded across the interconnect on these machines).
+    CoreId other = state.sharers.AnyOther(core);
+    if (other != kNoCore && SameChip(core, other)) {
+      return MemSource::kL3;
+    }
+    return MemSource::kRam;
+  }
+  // Nobody holds it: cold / DRAM fill.
+  return MemSource::kRam;
+}
+
+MemSource CoherenceModel::Classify(CoreId core, LineId line, bool write) const {
+  auto it = lines_.find(line);
+  if (it == lines_.end()) {
+    return MemSource::kRam;
+  }
+  return ClassifyLocked(it->second, core, write);
+}
+
+AccessResult CoherenceModel::Access(CoreId core, LineId line, bool write) {
+  ++accesses_;
+  LineState& state = lines_[line];
+  MemSource source = ClassifyLocked(state, core, write);
+
+  if (write) {
+    state.sharers.Clear();
+    state.sharers.Insert(core);
+    state.last_writer = core;
+    state.dirty = true;
+  } else {
+    state.sharers.Insert(core);
+    if (state.dirty && state.last_writer != core) {
+      // Read of a dirty remote line leaves it shared-clean (writeback).
+      state.dirty = false;
+    }
+  }
+  state.last_toucher = core;
+
+  return AccessResult{profile_.LatencyFor(source), source};
+}
+
+void CoherenceModel::ForgetLine(LineId line) { lines_.erase(line); }
+
+void CoherenceModel::DmaWrite(LineId line) {
+  LineState& state = lines_[line];
+  state.sharers.Clear();
+  state.last_writer = kNoCore;
+  state.last_toucher = kNoCore;
+  state.dirty = false;
+}
+
+void CoherenceModel::Install(CoreId core, LineId line, bool dirty) {
+  LineState& state = lines_[line];
+  state.sharers.Clear();
+  state.sharers.Insert(core);
+  state.last_toucher = core;
+  state.last_writer = dirty ? core : state.last_writer;
+  state.dirty = dirty;
+}
+
+}  // namespace affinity

@@ -1,0 +1,105 @@
+// Cache-coherence cost model.
+//
+// Tracks, per 64-byte line, which cores hold a copy and who wrote last, and
+// charges each simulated access the Table-1 latency of wherever the line had
+// to be fetched from. This is deliberately a *cost* model, not a full MESI
+// simulator: it has no capacity or conflict misses (those are folded into the
+// per-kernel-entry instruction budgets), but it models exactly the effect the
+// paper studies — lines written on one core and then touched on another cost
+// an on-chip L3 hop or, across chips, a 200-500 cycle interconnect round trip.
+
+#ifndef AFFINITY_SRC_MEM_COHERENCE_H_
+#define AFFINITY_SRC_MEM_COHERENCE_H_
+
+#include <array>
+#include <cstdint>
+#include <unordered_map>
+
+#include "src/mem/cacheline.h"
+#include "src/mem/memory_profile.h"
+#include "src/sim/time.h"
+
+namespace affinity {
+
+// Compact set of cores (up to kMaxCores).
+class CoreSet {
+ public:
+  void Insert(CoreId core) { bits_[Word(core)] |= Bit(core); }
+  void Erase(CoreId core) { bits_[Word(core)] &= ~Bit(core); }
+  bool Contains(CoreId core) const { return (bits_[Word(core)] & Bit(core)) != 0; }
+  void UnionWith(const CoreSet& other) {
+    for (size_t w = 0; w < bits_.size(); ++w) {
+      bits_[w] |= other.bits_[w];
+    }
+  }
+  void Clear() { bits_ = {}; }
+  bool Empty() const;
+  int Count() const;
+  // Any member other than `core`, or kNoCore.
+  CoreId AnyOther(CoreId core) const;
+
+ private:
+  static size_t Word(CoreId core) { return static_cast<size_t>(core) / 64; }
+  static uint64_t Bit(CoreId core) { return 1ULL << (static_cast<size_t>(core) % 64); }
+  std::array<uint64_t, kMaxCores / 64> bits_{};
+};
+
+// Result of one simulated memory access.
+struct AccessResult {
+  Cycles latency = 0;
+  MemSource source = MemSource::kL1;
+};
+
+class CoherenceModel {
+ public:
+  // cores_per_chip defines chip locality: cores c1, c2 are on the same chip
+  // iff c1 / cores_per_chip == c2 / cores_per_chip.
+  CoherenceModel(const MemoryProfile& profile, int cores_per_chip);
+
+  // Simulates core `core` accessing line `line`. Updates sharer state and
+  // returns the charged latency + where the data came from.
+  AccessResult Access(CoreId core, LineId line, bool write);
+
+  // Read-only classification: where *would* an access by `core` hit, without
+  // mutating state. Used by tests and the latency-probe instrumentation.
+  MemSource Classify(CoreId core, LineId line, bool write) const;
+
+  // Drops all cached state for a line (object freed and storage reused for an
+  // unrelated allocation: the next touch is a cold miss).
+  void ForgetLine(LineId line);
+
+  // Marks the line present only in `core`'s cache (e.g. DMA-to-cache or
+  // initialization by the allocator without charging an access).
+  void Install(CoreId core, LineId line, bool dirty);
+
+  // Models a device DMA write: the line now lives only in DRAM and every
+  // cached copy is invalidated, so the next CPU touch is a cold miss.
+  void DmaWrite(LineId line);
+
+  bool SameChip(CoreId a, CoreId b) const {
+    return a / cores_per_chip_ == b / cores_per_chip_;
+  }
+
+  const MemoryProfile& profile() const { return profile_; }
+  uint64_t accesses() const { return accesses_; }
+  size_t tracked_lines() const { return lines_.size(); }
+
+ private:
+  struct LineState {
+    CoreSet sharers;            // cores holding a valid copy
+    CoreId last_writer = kNoCore;  // core whose cache holds the dirty data
+    CoreId last_toucher = kNoCore;
+    bool dirty = false;
+  };
+
+  MemSource ClassifyLocked(const LineState& state, CoreId core, bool write) const;
+
+  MemoryProfile profile_;
+  int cores_per_chip_;
+  std::unordered_map<LineId, LineState> lines_;
+  uint64_t accesses_ = 0;
+};
+
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_MEM_COHERENCE_H_

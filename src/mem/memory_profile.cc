@@ -1,0 +1,51 @@
+#include "src/mem/memory_profile.h"
+
+namespace affinity {
+
+const char* MemSourceName(MemSource source) {
+  switch (source) {
+    case MemSource::kL1:
+      return "L1";
+    case MemSource::kL2:
+      return "L2";
+    case MemSource::kL3:
+      return "L3";
+    case MemSource::kRam:
+      return "RAM";
+    case MemSource::kRemoteCache:
+      return "RemoteCache";
+    case MemSource::kRemoteRam:
+      return "RemoteRAM";
+  }
+  return "?";
+}
+
+Cycles MemoryProfile::LatencyFor(MemSource source) const {
+  switch (source) {
+    case MemSource::kL1:
+      return l1;
+    case MemSource::kL2:
+      return l2;
+    case MemSource::kL3:
+      return l3;
+    case MemSource::kRam:
+      return ram;
+    case MemSource::kRemoteCache:
+      return remote_l3;
+    case MemSource::kRemoteRam:
+      return remote_ram;
+  }
+  return ram;
+}
+
+const MemoryProfile& AmdMemoryProfile() {
+  static const MemoryProfile kProfile{"AMD", 3, 14, 28, 120, 460, 500};
+  return kProfile;
+}
+
+const MemoryProfile& IntelMemoryProfile() {
+  static const MemoryProfile kProfile{"Intel", 4, 12, 24, 90, 200, 280};
+  return kProfile;
+}
+
+}  // namespace affinity

@@ -1,0 +1,42 @@
+// Memory-hierarchy latency profiles (paper Table 1).
+//
+// "Access times to different levels of the memory hierarchy. Remote accesses
+//  are between two chips farthest on the interconnect."
+//
+//          Local (cycles)          Remote (cycles)
+//          L1   L2   L3   RAM      L3    RAM
+//   AMD     3   14   28   120      460   500
+//   Intel   4   12   24    90      200   280
+
+#ifndef AFFINITY_SRC_MEM_MEMORY_PROFILE_H_
+#define AFFINITY_SRC_MEM_MEMORY_PROFILE_H_
+
+#include <string>
+
+#include "src/mem/cacheline.h"
+#include "src/sim/time.h"
+
+namespace affinity {
+
+struct MemoryProfile {
+  std::string name;
+  Cycles l1;
+  Cycles l2;
+  Cycles l3;
+  Cycles ram;
+  Cycles remote_l3;   // line sourced from a remote chip's cache
+  Cycles remote_ram;  // line sourced from a remote chip's DRAM
+
+  // Latency of an access satisfied from `source`.
+  Cycles LatencyFor(MemSource source) const;
+};
+
+// The 48-core AMD machine (8x 6-core Opteron 8431, HT Assist probe filter).
+const MemoryProfile& AmdMemoryProfile();
+
+// The 80-core Intel machine (8x 10-core Xeon E7 8870).
+const MemoryProfile& IntelMemoryProfile();
+
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_MEM_MEMORY_PROFILE_H_

@@ -1,0 +1,87 @@
+#include "src/mem/memory_system.h"
+
+#include <cassert>
+
+namespace affinity {
+
+namespace {
+MemoryProfile WithDramContention(MemoryProfile profile, int num_cores) {
+  double factor = 1.0 + MemorySystem::kDramContentionPerCore * (num_cores - 1);
+  profile.ram = static_cast<Cycles>(static_cast<double>(profile.ram) * factor);
+  profile.remote_ram = static_cast<Cycles>(static_cast<double>(profile.remote_ram) * factor);
+  return profile;
+}
+}  // namespace
+
+MemorySystem::MemorySystem(const MemoryProfile& profile, int num_cores, int cores_per_chip)
+    : coherence_(WithDramContention(profile, num_cores), cores_per_chip),
+      slab_(&registry_, &coherence_, num_cores),
+      num_cores_(num_cores) {}
+
+void MemorySystem::EnableProfiling(uint64_t sample_period) {
+  profiler_ = std::make_unique<SharingProfiler>(&registry_);
+  sample_period_ = sample_period > 0 ? sample_period : 1;
+}
+
+SimObject MemorySystem::Alloc(CoreId core, TypeId type, Cycles* cost) {
+  SimObject obj = slab_.Alloc(core, type, cost);
+  if (profiler_ != nullptr && (alloc_tick_++ % sample_period_) == 0) {
+    profiler_->OnAlloc(obj);
+  }
+  return obj;
+}
+
+void MemorySystem::Free(CoreId core, const SimObject& obj, Cycles* cost) {
+  if (profiler_ != nullptr) {
+    profiler_->OnFree(obj);
+  }
+  slab_.Free(core, obj, cost);
+}
+
+Cycles MemorySystem::Charge(CoreId core, LineId line, bool write) {
+  AccessResult result = coherence_.Access(core, line, write);
+  last_source_ = result.source;
+  if (IsL2Miss(result.source)) {
+    ++l2_misses_;
+  }
+  if (IsRemote(result.source)) {
+    ++remote_accesses_;
+  }
+  return result.latency;
+}
+
+Cycles MemorySystem::AccessField(CoreId core, const SimObject& obj, FieldId field, bool write) {
+  const FieldDef& def = registry_.Get(obj.type).field(field);
+  return AccessBytes(core, obj, def.offset, def.size, write);
+}
+
+Cycles MemorySystem::AccessBytes(CoreId core, const SimObject& obj, uint32_t offset,
+                                 uint32_t size, bool write) {
+  assert(obj.valid());
+  assert(size > 0);
+  uint32_t first_line = offset / kCacheLineBytes;
+  uint32_t last_line = (offset + size - 1) / kCacheLineBytes;
+  Cycles total = 0;
+  for (uint32_t l = first_line; l <= last_line; ++l) {
+    total += Charge(core, obj.base_line + l, write);
+  }
+  if (profiler_ != nullptr) {
+    profiler_->OnAccess(obj, core, offset, size, write, AccessResult{total, last_source_});
+  }
+  return total;
+}
+
+Cycles MemorySystem::AccessLine(CoreId core, LineId line, bool write) {
+  return Charge(core, line, write);
+}
+
+LineId MemorySystem::ReserveGlobalLine() { return slab_.ReserveLines(1); }
+
+void MemorySystem::DmaWriteObject(const SimObject& obj) {
+  uint32_t lines = registry_.Get(obj.type).num_lines();
+  for (uint32_t l = 0; l < lines; ++l) {
+    coherence_.DmaWrite(obj.base_line + l);
+  }
+}
+
+}  // namespace affinity

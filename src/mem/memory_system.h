@@ -1,0 +1,97 @@
+// MemorySystem: the single entry point kernel code uses to touch memory.
+//
+// Bundles the type registry, coherence model, slab allocator and (optional)
+// sharing profiler. Every simulated kernel path charges its data accesses
+// through AccessField()/AccessBytes(), which (a) prices the access with the
+// coherence model, (b) records it with the profiler when one is attached, and
+// (c) returns the cycles so the caller can add them to the running cost of
+// the current kernel entry.
+
+#ifndef AFFINITY_SRC_MEM_MEMORY_SYSTEM_H_
+#define AFFINITY_SRC_MEM_MEMORY_SYSTEM_H_
+
+#include <memory>
+
+#include "src/mem/coherence.h"
+#include "src/mem/memory_profile.h"
+#include "src/mem/object.h"
+#include "src/mem/sharing_profiler.h"
+#include "src/mem/slab.h"
+#include "src/sim/time.h"
+
+namespace affinity {
+
+inline constexpr bool kRead = false;
+inline constexpr bool kWrite = true;
+
+class MemorySystem {
+ public:
+  // DRAM latency inflates with the number of active cores contending for the
+  // memory controllers: observed latency on loaded 48-core systems is 2-3x
+  // the unloaded Table-1 number. Applied to the kRam / kRemoteRam sources.
+  static constexpr double kDramContentionPerCore = 0.016;
+
+  MemorySystem(const MemoryProfile& profile, int num_cores, int cores_per_chip);
+
+  MemorySystem(const MemorySystem&) = delete;
+  MemorySystem& operator=(const MemorySystem&) = delete;
+
+  TypeRegistry& registry() { return registry_; }
+  CoherenceModel& coherence() { return coherence_; }
+  SlabAllocator& slab() { return slab_; }
+
+  // Attaches a DProf-style profiler. Pass sample_period = N to profile every
+  // Nth allocation (1 = all). Call before the run starts.
+  void EnableProfiling(uint64_t sample_period = 1);
+  SharingProfiler* profiler() { return profiler_.get(); }
+
+  // Allocation through the slab, with profiler registration.
+  SimObject Alloc(CoreId core, TypeId type, Cycles* cost = nullptr);
+  void Free(CoreId core, const SimObject& obj, Cycles* cost = nullptr);
+
+  // Accesses a named field of `obj` from `core`; returns cycles charged.
+  Cycles AccessField(CoreId core, const SimObject& obj, FieldId field, bool write);
+
+  // Accesses [offset, offset+size) of `obj`; spans multiple lines if needed.
+  Cycles AccessBytes(CoreId core, const SimObject& obj, uint32_t offset, uint32_t size,
+                     bool write);
+
+  // Accesses a raw global line (locks, bit vectors, list heads...).
+  Cycles AccessLine(CoreId core, LineId line, bool write);
+
+  // Reserves a fresh global line not belonging to any object (for kernel
+  // globals: locks, queue heads, statistics).
+  LineId ReserveGlobalLine();
+
+  // Device DMA wrote the whole object: all its lines become memory-resident
+  // and uncached (packet buffers filled by the NIC).
+  void DmaWriteObject(const SimObject& obj);
+
+  int num_cores() const { return num_cores_; }
+  const MemoryProfile& profile() const { return coherence_.profile(); }
+
+  // Classification of the last AccessField/AccessBytes/AccessLine call.
+  MemSource last_source() const { return last_source_; }
+
+  // Running totals for perf-counter style reporting.
+  uint64_t total_l2_misses() const { return l2_misses_; }
+  uint64_t total_remote_accesses() const { return remote_accesses_; }
+
+ private:
+  Cycles Charge(CoreId core, LineId line, bool write);
+
+  TypeRegistry registry_;
+  CoherenceModel coherence_;
+  SlabAllocator slab_;
+  std::unique_ptr<SharingProfiler> profiler_;
+  uint64_t sample_period_ = 1;
+  uint64_t alloc_tick_ = 0;
+  int num_cores_;
+  MemSource last_source_ = MemSource::kL1;
+  uint64_t l2_misses_ = 0;
+  uint64_t remote_accesses_ = 0;
+};
+
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_MEM_MEMORY_SYSTEM_H_

@@ -1,0 +1,42 @@
+#include "src/mem/object.h"
+
+#include <cassert>
+
+namespace affinity {
+
+ObjectType::ObjectType(TypeId id, std::string name, uint32_t size_bytes)
+    : id_(id), name_(std::move(name)), size_(size_bytes) {}
+
+FieldId ObjectType::AddField(const std::string& name, uint32_t offset, uint32_t size) {
+  assert(size > 0);
+  assert(offset + size <= size_);
+  FieldId f = static_cast<FieldId>(fields_.size());
+  fields_.push_back(FieldDef{name, offset, size});
+  by_name_[name] = f;
+  return f;
+}
+
+FieldId ObjectType::FindField(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it != by_name_.end() ? it->second : kInvalidField;
+}
+
+ObjectType& TypeRegistry::Register(const std::string& name, uint32_t size_bytes) {
+  auto it = by_name_.find(name);
+  if (it != by_name_.end()) {
+    ObjectType& existing = types_[it->second];
+    assert(existing.size_bytes() == size_bytes);
+    return existing;
+  }
+  TypeId id = static_cast<TypeId>(types_.size());
+  types_.emplace_back(id, name, size_bytes);
+  by_name_[name] = id;
+  return types_.back();
+}
+
+const ObjectType* TypeRegistry::FindByName(const std::string& name) const {
+  auto it = by_name_.find(name);
+  return it != by_name_.end() ? &types_[it->second] : nullptr;
+}
+
+}  // namespace affinity

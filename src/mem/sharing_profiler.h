@@ -1,0 +1,110 @@
+// DProf-style data-sharing profiler (paper Section 6.4, Table 4, Figure 4).
+//
+// DProf reports, per kernel data type, how much of each object ends up shared
+// between cores. We reproduce its four columns:
+//   - % of the object's cache lines touched by >= 2 distinct cores,
+//   - % of the object's bytes touched by >= 2 distinct cores,
+//   - % of the object's bytes shared read-write (>= 2 cores, >= 1 writer),
+//   - cycles spent accessing shared bytes, per HTTP request.
+// plus the Figure-4 CDF of access latencies to shared locations.
+//
+// Profiling is sampling-friendly and optional: hot sweeps run with the
+// profiler disabled; the Table-4 bench enables it.
+
+#ifndef AFFINITY_SRC_MEM_SHARING_PROFILER_H_
+#define AFFINITY_SRC_MEM_SHARING_PROFILER_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/mem/cacheline.h"
+#include "src/mem/coherence.h"
+#include "src/mem/object.h"
+#include "src/sim/stats.h"
+
+namespace affinity {
+
+// Aggregated per-type sharing report.
+struct TypeSharingReport {
+  std::string type_name;
+  uint32_t object_size = 0;
+  uint64_t instances = 0;
+  double pct_lines_shared = 0.0;
+  double pct_bytes_shared = 0.0;
+  double pct_bytes_shared_rw = 0.0;
+  // Total cycles spent on accesses to shared lines, across all profiled
+  // instances (normalize by request count to get the per-request column).
+  double cycles_on_shared = 0.0;
+};
+
+class SharingProfiler {
+ public:
+  explicit SharingProfiler(const TypeRegistry* registry);
+
+  // Starts tracking an instance. Objects not registered via OnAlloc are
+  // ignored by OnAccess (supports sampling: profile every Nth allocation).
+  void OnAlloc(const SimObject& obj);
+
+  // Records one byte-range access by `core`. `result` is what the coherence
+  // model charged for it.
+  void OnAccess(const SimObject& obj, CoreId core, uint32_t offset, uint32_t size, bool write,
+                const AccessResult& result);
+
+  // Stops tracking and folds the instance into the per-type aggregate.
+  void OnFree(const SimObject& obj);
+
+  // Folds all still-live instances into the aggregates (end of run).
+  void Flush();
+
+  // Per-type reports, sorted by cycles_on_shared descending.
+  std::vector<TypeSharingReport> Report() const;
+
+  // Latencies of accesses that hit *shared* locations (Figure 4's CDF).
+  const Histogram& shared_access_latency() const { return shared_latency_; }
+
+  uint64_t tracked_instances() const { return live_.size(); }
+
+ private:
+  struct ByteMasks {
+    // Per-byte "touched by >= 2 cores" is approximated at field granularity:
+    // we keep reader/writer core sets per byte *range* recorded on access.
+    // Ranges are merged per (offset, size) key, which matches how the kernel
+    // access scripts address fields.
+    CoreSet readers;
+    CoreSet writers;
+    uint32_t offset = 0;
+    uint32_t size = 0;
+    double cycles = 0.0;  // cycles spent accessing this range
+  };
+
+  struct Instance {
+    TypeId type = kInvalidType;
+    // Keyed by (offset << 32 | size).
+    std::unordered_map<uint64_t, ByteMasks> ranges;
+    std::vector<CoreSet> line_touchers;  // per line of the object
+    std::vector<double> line_cycles;     // cycles per line
+  };
+
+  struct TypeAgg {
+    uint64_t instances = 0;
+    double lines_shared = 0.0;
+    double lines_total = 0.0;
+    double bytes_shared = 0.0;
+    double bytes_shared_rw = 0.0;
+    double bytes_total = 0.0;
+    double cycles_on_shared = 0.0;
+  };
+
+  void Retire(uint64_t instance_key, Instance& inst);
+
+  const TypeRegistry* registry_;
+  std::unordered_map<uint64_t, Instance> live_;
+  std::vector<TypeAgg> agg_;  // indexed by TypeId
+  Histogram shared_latency_;
+};
+
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_MEM_SHARING_PROFILER_H_

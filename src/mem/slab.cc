@@ -1,0 +1,76 @@
+#include "src/mem/slab.h"
+
+#include <cassert>
+
+namespace affinity {
+
+namespace {
+uint64_t SlotKey(CoreId core, TypeId type) {
+  return (static_cast<uint64_t>(static_cast<uint32_t>(core)) << 32) | type;
+}
+}  // namespace
+
+SlabAllocator::SlabAllocator(TypeRegistry* registry, CoherenceModel* coherence, int num_cores)
+    : registry_(registry), coherence_(coherence), num_cores_(num_cores) {}
+
+LineId SlabAllocator::FreelistLine(CoreId core, TypeId type) {
+  LineId& line = freelist_lines_[SlotKey(core, type)];
+  if (line == 0) {
+    line = next_line_++;
+  }
+  return line;
+}
+
+SimObject SlabAllocator::Alloc(CoreId core, TypeId type, Cycles* cost) {
+  assert(core >= 0 && core < num_cores_);
+  Cycles charged = 0;
+
+  // Touch the per-core freelist head (write: we pop / bump it).
+  charged += coherence_->Access(core, FreelistLine(core, type), /*write=*/true).latency;
+
+  std::vector<LineId>& freelist = freelists_[SlotKey(core, type)];
+  LineId base;
+  if (!freelist.empty()) {
+    base = freelist.back();
+    freelist.pop_back();
+    ++stats_.recycled;
+  } else {
+    base = next_line_;
+    next_line_ += registry_->Get(type).num_lines();
+  }
+
+  // The allocator writes the object header (first line) to initialize it.
+  charged += coherence_->Access(core, base, /*write=*/true).latency;
+
+  ++stats_.allocs;
+  ++live_;
+  if (cost != nullptr) {
+    *cost += charged;
+  }
+  return SimObject{type, next_instance_++, base, core};
+}
+
+void SlabAllocator::Free(CoreId core, const SimObject& obj, Cycles* cost) {
+  assert(obj.valid());
+  Cycles charged = 0;
+
+  // Freeing writes the object's first line (poison / freelist link). If the
+  // object's lines live in another core's cache this is the remote
+  // deallocation the paper calls out as slow.
+  charged += coherence_->Access(core, obj.base_line, /*write=*/true).latency;
+  charged += coherence_->Access(core, FreelistLine(core, obj.type), /*write=*/true).latency;
+
+  freelists_[SlotKey(core, obj.type)].push_back(obj.base_line);
+
+  ++stats_.frees;
+  if (core != obj.alloc_core) {
+    ++stats_.remote_frees;
+  }
+  assert(live_ > 0);
+  --live_;
+  if (cost != nullptr) {
+    *cost += charged;
+  }
+}
+
+}  // namespace affinity

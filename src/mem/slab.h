@@ -1,0 +1,82 @@
+// Per-core slab allocator model (paper Section 2.2).
+//
+// "The kernel allocates buffers to hold packets out of a per-core pool. The
+//  kernel allocates a buffer on the core that initially receives the packet
+//  ... and deallocates a buffer on the core that calls recvmsg(). With a
+//  single core processing a connection, both allocation and deallocation are
+//  fast because they access the same local pool. With multiple cores
+//  performance suffers because remote deallocation is slower."
+//
+// The model keeps a freelist per (core, type). Alloc pops from the local
+// freelist (touching the freelist head line and the object's first line);
+// Free pushes onto the *freeing* core's freelist. Costs emerge from the
+// coherence model: freeing an object whose lines live in another core's cache
+// pays remote-invalidation latency, and a recycled object allocated on a
+// different core than its last user is a string of cold-ish misses.
+
+#ifndef AFFINITY_SRC_MEM_SLAB_H_
+#define AFFINITY_SRC_MEM_SLAB_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "src/mem/coherence.h"
+#include "src/mem/object.h"
+#include "src/sim/time.h"
+
+namespace affinity {
+
+struct SlabStats {
+  uint64_t allocs = 0;
+  uint64_t frees = 0;
+  uint64_t remote_frees = 0;  // freed on a core != the core that allocated
+  uint64_t recycled = 0;      // allocation satisfied from a freelist
+};
+
+class SlabAllocator {
+ public:
+  SlabAllocator(TypeRegistry* registry, CoherenceModel* coherence, int num_cores);
+
+  // Allocates an instance of `type` on `core`. `cost` (if non-null) receives
+  // the cycles charged for allocator metadata + object-header accesses.
+  SimObject Alloc(CoreId core, TypeId type, Cycles* cost = nullptr);
+
+  // Returns `obj` to `core`'s pool. `cost` as above.
+  void Free(CoreId core, const SimObject& obj, Cycles* cost = nullptr);
+
+  const SlabStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = SlabStats{}; }
+  uint64_t live_objects() const { return live_; }
+
+  // Total simulated lines handed out (monotone; freelists recycle them).
+  LineId lines_allocated() const { return next_line_; }
+
+  // Carves `n` lines out of the simulated address space for non-slab use
+  // (kernel globals). Returns the first line of the run.
+  LineId ReserveLines(uint32_t n) {
+    LineId base = next_line_;
+    next_line_ += n;
+    return base;
+  }
+
+ private:
+  // Freelist head occupies one simulated line per (core, type) so that
+  // pushing/popping has a coherence cost.
+  LineId FreelistLine(CoreId core, TypeId type);
+
+  TypeRegistry* registry_;
+  CoherenceModel* coherence_;
+  int num_cores_;
+  LineId next_line_ = 1;  // line 0 reserved
+  uint64_t next_instance_ = 1;
+  // Keyed by (core << 32 | type) -> stack of recyclable base lines.
+  std::unordered_map<uint64_t, std::vector<LineId>> freelists_;
+  std::unordered_map<uint64_t, LineId> freelist_lines_;
+  SlabStats stats_;
+  uint64_t live_ = 0;
+};
+
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_MEM_SLAB_H_

@@ -1,0 +1,23 @@
+#include "src/net/flow.h"
+
+namespace affinity {
+
+uint32_t FlowHash(const FiveTuple& tuple) {
+  // 64-bit splitmix finalizer over the packed tuple; deterministic and well
+  // distributed, which is all the Toeplitz hash provides here.
+  uint64_t x = (static_cast<uint64_t>(tuple.src_ip) << 32) | tuple.dst_ip;
+  x ^= (static_cast<uint64_t>(tuple.src_port) << 16) | tuple.dst_port;
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return static_cast<uint32_t>(x);
+}
+
+uint32_t FlowGroupOf(const FiveTuple& tuple, uint32_t num_groups) {
+  // Low bits of the source port; masking generalizes "low 12 bits".
+  return tuple.src_port & (num_groups - 1);
+}
+
+}  // namespace affinity

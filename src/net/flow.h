@@ -1,0 +1,38 @@
+// TCP flow identification.
+
+#ifndef AFFINITY_SRC_NET_FLOW_H_
+#define AFFINITY_SRC_NET_FLOW_H_
+
+#include <cstdint>
+#include <functional>
+
+namespace affinity {
+
+// The flow-identifier five-tuple the NIC hashes (Section 3.1). Protocol is
+// implicitly TCP everywhere in this reproduction.
+struct FiveTuple {
+  uint32_t src_ip = 0;
+  uint32_t dst_ip = 0;
+  uint16_t src_port = 0;
+  uint16_t dst_port = 0;
+
+  bool operator==(const FiveTuple& other) const = default;
+};
+
+// Deterministic 32-bit mix of the full five-tuple, standing in for the NIC's
+// Toeplitz hash and the kernel's established-table hash.
+uint32_t FlowHash(const FiveTuple& tuple);
+
+// Affinity-Accept's flow-group function: "we instruct the NIC to hash the low
+// 12 bits of the source port number, resulting in at most 4,096 distinct hash
+// values" (Section 3.1). num_groups generalizes the 4,096 for ablations and
+// must be a power of two.
+uint32_t FlowGroupOf(const FiveTuple& tuple, uint32_t num_groups);
+
+struct FiveTupleHasher {
+  size_t operator()(const FiveTuple& t) const { return FlowHash(t); }
+};
+
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_NET_FLOW_H_

@@ -1,0 +1,116 @@
+#include "src/net/kernel_types.h"
+
+namespace affinity {
+
+KernelTypes::KernelTypes(TypeRegistry& registry) {
+  // tcp_sock: hot RX state, hot TX state, timers, wait queues and callback
+  // pointers spread over the first ~17 lines; an init-once cold tail fills
+  // the rest. "these shared bytes are not packed into a few cache lines but
+  // spread across the data structure" (Section 6.4).
+  ObjectType& tcp = registry.Register("tcp_sock", 1664);
+  tcp_sock = tcp.id();
+  ts.lock = tcp.AddField("lock", 0, 8);
+  ts.state = tcp.AddField("state", 8, 8);
+  ts.ehash_node = tcp.AddField("ehash_node", 64, 16);
+  ts.global_node = tcp.AddField("global_node", 96, 16);
+  ts.rcv_nxt = tcp.AddField("rcv_nxt", 128, 16);
+  ts.copied_seq = tcp.AddField("copied_seq", 144, 8);
+  ts.receive_queue = tcp.AddField("receive_queue", 192, 24);
+  ts.backlog = tcp.AddField("backlog", 216, 16);
+  ts.rmem = tcp.AddField("rmem", 256, 16);
+  ts.wait_queue = tcp.AddField("wait_queue", 320, 16);
+  ts.snd_nxt = tcp.AddField("snd_nxt", 384, 16);
+  ts.snd_una = tcp.AddField("snd_una", 400, 8);
+  ts.cwnd = tcp.AddField("cwnd", 448, 16);
+  ts.write_queue = tcp.AddField("write_queue", 512, 24);
+  ts.wmem = tcp.AddField("wmem", 576, 16);
+  ts.rto_timer = tcp.AddField("rto_timer", 640, 32);
+  ts.delack_timer = tcp.AddField("delack_timer", 704, 32);
+  ts.flags = tcp.AddField("flags", 768, 16);
+  ts.callbacks = tcp.AddField("callbacks", 832, 32);
+  ts.route = tcp.AddField("route", 896, 48);
+  ts.cong_ops = tcp.AddField("cong_ops", 960, 16);
+  ts.icsk = tcp.AddField("icsk", 1024, 48);
+  ts.cold = tcp.AddField("cold", 1088, 576);
+
+  // sk_buff: queue linkage + pointers + TCP control block; payload bytes live
+  // in separate slab buffers, exactly as in Linux.
+  ObjectType& sb = registry.Register("sk_buff", 512);
+  sk_buff = sb.id();
+  skb.node = sb.AddField("node", 0, 16);
+  skb.len = sb.AddField("len", 16, 16);
+  skb.data_ptrs = sb.AddField("data_ptrs", 64, 32);
+  skb.cb = sb.AddField("cb", 128, 48);
+  skb.dst = sb.AddField("dst", 192, 32);
+  skb.headers = sb.AddField("headers", 256, 40);
+  skb.shinfo = sb.AddField("shinfo", 320, 64);
+  skb.truesize = sb.AddField("truesize", 448, 16);
+
+  ObjectType& rq = registry.Register("tcp_request_sock", 128);
+  tcp_request_sock = rq.id();
+  rs.node = rq.AddField("node", 0, 16);
+  rs.seqs = rq.AddField("seqs", 16, 16);
+  rs.timer = rq.AddField("timer", 64, 16);
+  rs.meta = rq.AddField("meta", 80, 12);
+
+  ObjectType& sf = registry.Register("socket_fd", 640);
+  socket_fd = sf.id();
+  sfd.file_ref = sf.AddField("file_ref", 0, 16);
+  sfd.flags = sf.AddField("flags", 64, 8);
+  sfd.ops = sf.AddField("ops", 128, 16);
+  sfd.wq = sf.AddField("wq", 192, 16);
+
+  ObjectType& fl = registry.Register("file", 192);
+  file_obj = fl.id();
+  file.refcnt = fl.AddField("refcnt", 0, 8);
+  file.pos = fl.AddField("pos", 64, 8);
+  file.ops = fl.AddField("ops", 128, 16);
+
+  ObjectType& tk = registry.Register("task_struct", 5184);
+  task_struct = tk.id();
+  task.sched_state = tk.AddField("sched_state", 0, 24);
+  task.rq_node = tk.AddField("rq_node", 64, 16);
+  task.flags = tk.AddField("flags", 128, 8);
+  task.local = tk.AddField("local", 192, 4992);
+
+  ObjectType& s128 = registry.Register("slab:size-128", 128);
+  slab_128 = s128.id();
+  slab_128_hdr = s128.AddField("hdr", 0, 16);
+  ObjectType& s1024 = registry.Register("slab:size-1024", 1024);
+  slab_1024 = s1024.id();
+  slab_1024_hdr = s1024.AddField("hdr", 0, 16);
+  ObjectType& s4096 = registry.Register("slab:size-4096", 4096);
+  slab_4096 = s4096.id();
+  slab_4096_hdr = s4096.AddField("hdr", 0, 16);
+  ObjectType& s16384 = registry.Register("slab:size-16384", 16384);
+  slab_16384 = s16384.id();
+  slab_16384_hdr = s16384.AddField("hdr", 0, 16);
+}
+
+TypeId KernelTypes::PayloadTypeFor(uint32_t bytes) const {
+  if (bytes <= 128) {
+    return slab_128;
+  }
+  if (bytes <= 1024) {
+    return slab_1024;
+  }
+  if (bytes <= 4096) {
+    return slab_4096;
+  }
+  return slab_16384;
+}
+
+FieldId KernelTypes::PayloadHeaderFor(TypeId type) const {
+  if (type == slab_128) {
+    return slab_128_hdr;
+  }
+  if (type == slab_1024) {
+    return slab_1024_hdr;
+  }
+  if (type == slab_4096) {
+    return slab_4096_hdr;
+  }
+  return slab_16384_hdr;
+}
+
+}  // namespace affinity

@@ -1,0 +1,118 @@
+// Registration of the simulated kernel data types (paper Table 4).
+//
+// Sizes are the ones DProf reports on the evaluation kernel:
+//   tcp_sock 1664 B, sk_buff 512 B, tcp_request_sock 128 B, socket_fd 640 B,
+//   file 192 B, task_struct 5184 B, plus the generic slab:size-{128, 1024,
+//   4096, 16384} buffers that back packet payloads and socket buffers.
+//
+// Field offsets are chosen so that the *sets of lines* each kernel path
+// touches reproduce the paper's sharing structure: the RX softirq path and
+// the syscall path overlap on most of tcp_sock; request sockets are written
+// at SYN/ACK time and read at accept() time; payload buffers are written by
+// DMA and read by the copy path. Whether those paths run on one core or two
+// is decided by the listen-socket variant under test -- which is the paper's
+// whole point.
+
+#ifndef AFFINITY_SRC_NET_KERNEL_TYPES_H_
+#define AFFINITY_SRC_NET_KERNEL_TYPES_H_
+
+#include "src/mem/object.h"
+
+namespace affinity {
+
+// Cached TypeIds + FieldIds for every simulated kernel structure. Constructed
+// once per MemorySystem; all stack code shares one instance.
+struct KernelTypes {
+  explicit KernelTypes(TypeRegistry& registry);
+
+  // --- struct tcp_sock (established socket), 1664 bytes / 26 lines ---
+  TypeId tcp_sock;
+  struct TcpSockFields {
+    FieldId lock;           // sock spinlock + owner
+    FieldId state;          // TCP state machine
+    FieldId ehash_node;     // established-hash chain links (written by neighbors)
+    FieldId global_node;    // global sock-list links (written by any core)
+    FieldId rcv_nxt;        // RX sequence tracking
+    FieldId copied_seq;     // app-side read cursor
+    FieldId receive_queue;  // sk_receive_queue head/tail
+    FieldId backlog;        // softirq backlog list
+    FieldId rmem;           // receive memory accounting
+    FieldId wait_queue;     // sk_sleep wait queue head
+    FieldId snd_nxt;        // TX sequence state
+    FieldId snd_una;        // lowest unacked byte (ACK processing)
+    FieldId cwnd;           // congestion window + ssthresh
+    FieldId write_queue;    // sk_write_queue head/tail
+    FieldId wmem;           // send memory accounting
+    FieldId rto_timer;      // retransmission timer
+    FieldId delack_timer;   // delayed-ACK timer
+    FieldId flags;          // sk_flags, shutdown bits
+    FieldId callbacks;      // sk_data_ready / sk_write_space pointers
+    FieldId route;          // cached dst entry
+    FieldId cong_ops;       // congestion-control ops vector (read-only)
+    FieldId icsk;           // inet_connection_sock block
+    FieldId cold;           // init-once tail (md5, debug, secure seq)
+  } ts;
+
+  // --- struct sk_buff (packet metadata), 512 bytes / 8 lines ---
+  TypeId sk_buff;
+  struct SkBuffFields {
+    FieldId node;      // list linkage on a queue
+    FieldId len;       // refcnt + lengths
+    FieldId data_ptrs; // head/data/tail/end pointers
+    FieldId cb;        // TCP control block (seq numbers)
+    FieldId dst;       // route / device
+    FieldId headers;   // parsed header offsets
+    FieldId shinfo;    // shared info / frags
+    FieldId truesize;  // memory accounting + users
+  } skb;
+
+  // --- struct tcp_request_sock (SYN tracking), 128 bytes / 2 lines ---
+  TypeId tcp_request_sock;
+  struct ReqSockFields {
+    FieldId node;   // request-hash chain
+    FieldId seqs;   // isn, rcv_isn, window
+    FieldId timer;  // SYN-ACK retransmit state
+    FieldId meta;   // listener back-pointer, flags
+  } rs;
+
+  // --- struct socket_fd (struct socket + fd table slot), 640 bytes ---
+  TypeId socket_fd;
+  struct SocketFdFields {
+    FieldId file_ref;  // fd-table slot + struct file pointer
+    FieldId flags;     // O_NONBLOCK etc.
+    FieldId ops;       // proto ops (read-only)
+    FieldId wq;        // socket wait queue
+  } sfd;
+
+  // --- struct file, 192 bytes (global, refcounted from every core) ---
+  TypeId file_obj;
+  struct FileFields {
+    FieldId refcnt;  // f_count, hammered by fget/fput on all cores
+    FieldId pos;     // f_pos
+    FieldId ops;     // f_op (read-only)
+  } file;
+
+  // --- struct task_struct, 5184 bytes / 81 lines ---
+  TypeId task_struct;
+  struct TaskFields {
+    FieldId sched_state;  // on_rq, state: written by remote wakeups
+    FieldId rq_node;      // runqueue linkage
+    FieldId flags;        // task flags
+    FieldId local;        // large task-local body (fs, mm, cred caches)
+  } task;
+
+  // --- generic slab buffers backing payloads ---
+  TypeId slab_128;    // small metadata buffers
+  TypeId slab_1024;   // typical response payload segment
+  TypeId slab_4096;   // page-sized buffer
+  TypeId slab_16384;  // socket buffer pages
+  FieldId slab_128_hdr, slab_1024_hdr, slab_4096_hdr, slab_16384_hdr;
+
+  // Picks the generic slab type whose buffer fits `bytes` of payload.
+  TypeId PayloadTypeFor(uint32_t bytes) const;
+  FieldId PayloadHeaderFor(TypeId type) const;
+};
+
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_NET_KERNEL_TYPES_H_

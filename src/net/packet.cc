@@ -1,0 +1,27 @@
+#include "src/net/packet.h"
+
+namespace affinity {
+
+const char* PacketKindName(PacketKind kind) {
+  switch (kind) {
+    case PacketKind::kSyn:
+      return "SYN";
+    case PacketKind::kSynAck:
+      return "SYN-ACK";
+    case PacketKind::kAck:
+      return "ACK";
+    case PacketKind::kHttpRequest:
+      return "HTTP-REQ";
+    case PacketKind::kHttpData:
+      return "HTTP-DATA";
+    case PacketKind::kDataAck:
+      return "DATA-ACK";
+    case PacketKind::kFin:
+      return "FIN";
+    case PacketKind::kRst:
+      return "RST";
+  }
+  return "?";
+}
+
+}  // namespace affinity

@@ -1,0 +1,47 @@
+// Simulated packets.
+//
+// Packets carry no payload bytes, only metadata: the flow they belong to,
+// their protocol role in the connection lifecycle, and their wire size (which
+// the NIC bandwidth model consumes). Connection ids let endpoints find their
+// state without re-hashing.
+
+#ifndef AFFINITY_SRC_NET_PACKET_H_
+#define AFFINITY_SRC_NET_PACKET_H_
+
+#include <cstdint>
+
+#include "src/net/flow.h"
+
+namespace affinity {
+
+enum class PacketKind : uint8_t {
+  kSyn,          // client -> server, opens handshake
+  kSynAck,       // server -> client
+  kAck,          // client -> server, completes handshake
+  kHttpRequest,  // client -> server, one HTTP GET
+  kHttpData,     // server -> client, response payload segment
+  kDataAck,      // client -> server, acknowledges payload
+  kFin,          // either direction, teardown
+  kRst,          // server -> client: no such connection (drop/overflow)
+};
+
+const char* PacketKindName(PacketKind kind);
+
+// Minimum on-wire sizes. Control segments are one cache-line-ish TCP/IP
+// header; data segments add payload up to the standard Ethernet MSS.
+inline constexpr uint32_t kHeaderBytes = 66;  // Ethernet + IP + TCP headers
+inline constexpr uint32_t kMssBytes = 1448;
+
+struct Packet {
+  FiveTuple flow;
+  PacketKind kind = PacketKind::kSyn;
+  uint32_t wire_bytes = kHeaderBytes;
+  uint64_t conn_id = 0;   // simulator-wide connection identity
+  uint32_t request_idx = 0;  // which HTTP request on the connection
+  uint32_t file_index = 0;   // requested file (carried in the GET)
+  bool last_segment = false; // final payload segment of a response
+};
+
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_NET_PACKET_H_

@@ -1,0 +1,69 @@
+#include "src/sim/event_loop.h"
+
+namespace affinity {
+
+EventId EventLoop::ScheduleAt(Cycles when, std::function<void()> fn) {
+  if (when < now_) {
+    ++past_schedules_;
+    when = now_;
+  }
+  EventId id = next_id_++;
+  queue_.push(Event{when, next_seq_++, id, std::move(fn)});
+  live_ids_.insert(id);
+  return id;
+}
+
+EventId EventLoop::ScheduleAfter(Cycles delay, std::function<void()> fn) {
+  return ScheduleAt(now_ + delay, std::move(fn));
+}
+
+bool EventLoop::Cancel(EventId id) {
+  // Erasing from live_ids_ tombstones the event; the queue entry is skipped
+  // lazily when it surfaces.
+  return live_ids_.erase(id) != 0;
+}
+
+bool EventLoop::PopAndRun(Cycles deadline) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (live_ids_.find(top.id) == live_ids_.end()) {
+      queue_.pop();  // tombstoned by Cancel()
+      continue;
+    }
+    if (top.when > deadline) {
+      return false;
+    }
+    // Move the callback out before popping; callbacks may schedule new events.
+    Event ev = std::move(const_cast<Event&>(top));
+    queue_.pop();
+    live_ids_.erase(ev.id);
+    now_ = ev.when;
+    ++executed_;
+    ev.fn();
+    return true;
+  }
+  return false;
+}
+
+uint64_t EventLoop::RunUntil(Cycles deadline) {
+  uint64_t count = 0;
+  while (PopAndRun(deadline)) {
+    ++count;
+  }
+  if (now_ < deadline) {
+    now_ = deadline;
+  }
+  return count;
+}
+
+uint64_t EventLoop::RunAll() {
+  uint64_t count = 0;
+  while (PopAndRun(kNever)) {
+    ++count;
+  }
+  return count;
+}
+
+bool EventLoop::RunOne() { return PopAndRun(kNever); }
+
+}  // namespace affinity

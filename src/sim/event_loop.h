@@ -1,0 +1,96 @@
+// Deterministic discrete-event engine.
+//
+// The whole reproduction runs on a single EventLoop: simulated cores, the NIC,
+// client machines and timers all schedule callbacks at absolute cycle
+// timestamps. Events with equal timestamps fire in scheduling order (a
+// monotonically increasing sequence number breaks ties), which is what makes
+// runs byte-for-byte reproducible.
+
+#ifndef AFFINITY_SRC_SIM_EVENT_LOOP_H_
+#define AFFINITY_SRC_SIM_EVENT_LOOP_H_
+
+#include <cstdint>
+#include <functional>
+#include <queue>
+#include <unordered_set>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace affinity {
+
+// Opaque handle used to cancel a scheduled event. 0 is never a valid id.
+using EventId = uint64_t;
+
+class EventLoop {
+ public:
+  EventLoop() = default;
+
+  EventLoop(const EventLoop&) = delete;
+  EventLoop& operator=(const EventLoop&) = delete;
+
+  // Current simulated time. Advances only while Run*() executes events.
+  Cycles Now() const { return now_; }
+
+  // Schedules fn to run at absolute time `when`. Scheduling in the past is an
+  // error in the simulation logic; such events are clamped to Now() so the
+  // run stays monotonic, and past_schedules() counts them for tests.
+  EventId ScheduleAt(Cycles when, std::function<void()> fn);
+
+  // Schedules fn to run `delay` cycles from now.
+  EventId ScheduleAfter(Cycles delay, std::function<void()> fn);
+
+  // Cancels a pending event. Returns false if the event already ran, was
+  // already cancelled, or never existed. Cancellation is O(1): the event is
+  // tombstoned and skipped when it reaches the front of the queue.
+  bool Cancel(EventId id);
+
+  // Runs events until the queue is empty or `deadline` is passed (events with
+  // timestamp > deadline stay queued; Now() is advanced to deadline).
+  // Returns the number of events executed.
+  uint64_t RunUntil(Cycles deadline);
+
+  // Runs until the queue is empty.
+  uint64_t RunAll();
+
+  // Executes at most one event. Returns false if the queue was empty.
+  bool RunOne();
+
+  bool empty() const { return live_ids_.empty(); }
+  size_t pending() const { return live_ids_.size(); }
+  uint64_t executed() const { return executed_; }
+  uint64_t past_schedules() const { return past_schedules_; }
+
+ private:
+  struct Event {
+    Cycles when;
+    uint64_t seq;
+    EventId id;
+    std::function<void()> fn;
+  };
+
+  struct EventOrder {
+    bool operator()(const Event& a, const Event& b) const {
+      if (a.when != b.when) {
+        return a.when > b.when;
+      }
+      return a.seq > b.seq;
+    }
+  };
+
+  // Pops and runs the front live event if its timestamp is <= deadline.
+  // Returns false when nothing live remains at or before the deadline.
+  bool PopAndRun(Cycles deadline);
+
+  std::priority_queue<Event, std::vector<Event>, EventOrder> queue_;
+  std::unordered_set<EventId> live_ids_;
+  Cycles now_ = 0;
+  uint64_t next_seq_ = 0;
+  uint64_t next_id_ = 1;
+  uint64_t executed_ = 0;
+  uint64_t past_schedules_ = 0;
+};
+
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_SIM_EVENT_LOOP_H_

@@ -1,0 +1,55 @@
+#include "src/sim/rng.h"
+
+#include <cmath>
+
+namespace affinity {
+
+Rng::Rng(uint64_t seed) { Seed(seed); }
+
+void Rng::Seed(uint64_t seed) {
+  // xorshift64* requires non-zero state.
+  state_ = seed != 0 ? seed : 0x9e3779b97f4a7c15ULL;
+}
+
+uint64_t Rng::Next() {
+  uint64_t x = state_;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  state_ = x;
+  return x * 0x2545f4914f6cdd1dULL;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  // Modulo bias is negligible for the bounds used in this simulator (all far
+  // below 2^32), and determinism matters more than perfect uniformity here.
+  return Next() % bound;
+}
+
+uint64_t Rng::NextInRange(uint64_t lo, uint64_t hi) { return lo + NextBelow(hi - lo + 1); }
+
+double Rng::NextDouble() {
+  // 53 random mantissa bits -> [0, 1).
+  return static_cast<double>(Next() >> 11) * (1.0 / 9007199254740992.0);
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0.0) {
+    return false;
+  }
+  if (p >= 1.0) {
+    return true;
+  }
+  return NextDouble() < p;
+}
+
+double Rng::NextExponential(double mean) {
+  // Inverse-CDF sampling; guard the log argument away from zero.
+  double u = NextDouble();
+  if (u <= 0.0) {
+    u = 1e-18;
+  }
+  return -mean * std::log(u);
+}
+
+}  // namespace affinity

@@ -1,0 +1,140 @@
+#include "src/sim/stats.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace affinity {
+
+void Counter::Add(double value) {
+  ++count_;
+  sum_ += value;
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Counter::Merge(const Counter& other) {
+  if (other.count_ == 0) {
+    return;
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Counter::Reset() { *this = Counter(); }
+
+Ewma::Ewma(double alpha, double initial) : alpha_(alpha), value_(initial) {}
+
+void Ewma::Update(double sample) {
+  value_ += alpha_ * (sample - value_);
+  ++updates_;
+}
+
+void Ewma::Reset(double value) {
+  value_ = value;
+  updates_ = 0;
+}
+
+Histogram::Histogram() : buckets_(kNumBuckets, 0) {}
+
+int Histogram::BucketFor(uint64_t value) {
+  if (value < kSubBuckets) {
+    // Linear region: one bucket per value for small values.
+    return static_cast<int>(value);
+  }
+  int octave = std::bit_width(value) - 1;  // floor(log2(value)), >= kSubBucketBits
+  int sub = static_cast<int>((value >> (octave - kSubBucketBits)) - kSubBuckets);
+  int bucket = (octave - kSubBucketBits + 1) * kSubBuckets + sub;
+  return std::min(bucket, kNumBuckets - 1);
+}
+
+uint64_t Histogram::BucketValue(int bucket) {
+  if (bucket < kSubBuckets) {
+    return static_cast<uint64_t>(bucket);
+  }
+  int octave = bucket / kSubBuckets + kSubBucketBits - 1;
+  int sub = bucket % kSubBuckets;
+  return (static_cast<uint64_t>(kSubBuckets + sub)) << (octave - kSubBucketBits);
+}
+
+void Histogram::Add(uint64_t value) {
+  ++buckets_[static_cast<size_t>(BucketFor(value))];
+  ++count_;
+  sum_ += static_cast<double>(value);
+  min_ = std::min(min_, value);
+  max_ = std::max(max_, value);
+}
+
+void Histogram::Merge(const Histogram& other) {
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets_[static_cast<size_t>(i)] += other.buckets_[static_cast<size_t>(i)];
+  }
+  count_ += other.count_;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+}
+
+void Histogram::Reset() {
+  std::fill(buckets_.begin(), buckets_.end(), 0);
+  count_ = 0;
+  sum_ = 0.0;
+  min_ = std::numeric_limits<uint64_t>::max();
+  max_ = 0;
+}
+
+double Histogram::mean() const {
+  return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0;
+}
+
+uint64_t Histogram::Percentile(double q) const {
+  if (count_ == 0) {
+    return 0;
+  }
+  q = std::clamp(q, 0.0, 1.0);
+  // Rank of the target sample (1-based, ceil).
+  uint64_t rank = static_cast<uint64_t>(q * static_cast<double>(count_));
+  if (rank == 0) {
+    rank = 1;
+  }
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    seen += buckets_[static_cast<size_t>(i)];
+    if (seen >= rank) {
+      return BucketValue(i);
+    }
+  }
+  return max_;
+}
+
+std::vector<Histogram::CdfPoint> Histogram::Cdf() const {
+  std::vector<CdfPoint> points;
+  if (count_ == 0) {
+    return points;
+  }
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    uint64_t n = buckets_[static_cast<size_t>(i)];
+    if (n == 0) {
+      continue;
+    }
+    seen += n;
+    points.push_back({BucketValue(i), static_cast<double>(seen) / static_cast<double>(count_)});
+  }
+  return points;
+}
+
+std::string Histogram::CdfToString() const {
+  std::string out;
+  for (const CdfPoint& p : Cdf()) {
+    char line[64];
+    std::snprintf(line, sizeof(line), "%llu\t%.2f\n", static_cast<unsigned long long>(p.value),
+                  p.fraction * 100.0);
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace affinity

@@ -1,0 +1,109 @@
+// Statistics primitives used throughout the simulator.
+//
+// - Counter: sum + count + min/max/mean, for perf-counter style accounting.
+// - Ewma: the exponentially weighted moving average from the paper's busy
+//   tracking (Section 3.3.1), with the alpha = 1 / (2 * max local accept queue
+//   length) convention applied by the caller.
+// - Histogram: log-bucketed latency histogram with percentile queries and CDF
+//   export (Figure 4, Section 6.5 median / 90th percentile latencies).
+
+#ifndef AFFINITY_SRC_SIM_STATS_H_
+#define AFFINITY_SRC_SIM_STATS_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+namespace affinity {
+
+// Accumulates a stream of samples; cheap enough to sit on hot paths.
+class Counter {
+ public:
+  void Add(double value);
+  void Merge(const Counter& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  double sum() const { return sum_; }
+  double mean() const { return count_ > 0 ? sum_ / static_cast<double>(count_) : 0.0; }
+  double min() const { return count_ > 0 ? min_ : 0.0; }
+  double max() const { return count_ > 0 ? max_ : 0.0; }
+
+ private:
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  double min_ = std::numeric_limits<double>::infinity();
+  double max_ = -std::numeric_limits<double>::infinity();
+};
+
+// Exponentially weighted moving average: avg += alpha * (sample - avg).
+class Ewma {
+ public:
+  // alpha in (0, 1]; the paper uses 1 / (2 * max_local_accept_queue_len).
+  explicit Ewma(double alpha, double initial = 0.0);
+
+  void Update(double sample);
+  double value() const { return value_; }
+  double alpha() const { return alpha_; }
+  uint64_t updates() const { return updates_; }
+  void Reset(double value = 0.0);
+
+ private:
+  double alpha_;
+  double value_;
+  uint64_t updates_ = 0;
+};
+
+// Fixed-memory histogram over [0, +inf) with geometric buckets. Designed for
+// cycle-latency distributions: sub-bucket resolution is ~4% of the value,
+// plenty for the CDFs and percentiles the paper reports.
+class Histogram {
+ public:
+  Histogram();
+
+  void Add(uint64_t value);
+  void Merge(const Histogram& other);
+  void Reset();
+
+  uint64_t count() const { return count_; }
+  double mean() const;
+  uint64_t min() const { return count_ > 0 ? min_ : 0; }
+  uint64_t max() const { return count_ > 0 ? max_ : 0; }
+
+  // Value at quantile q in [0, 1]; returns the representative value of the
+  // bucket containing the q-th sample. 0 if empty.
+  uint64_t Percentile(double q) const;
+
+  uint64_t Median() const { return Percentile(0.5); }
+
+  // Exports (value, cumulative_fraction) points for plotting a CDF, one point
+  // per non-empty bucket.
+  struct CdfPoint {
+    uint64_t value;
+    double fraction;
+  };
+  std::vector<CdfPoint> Cdf() const;
+
+  // Renders the CDF as tab-separated "value<TAB>percent" lines.
+  std::string CdfToString() const;
+
+ private:
+  static constexpr int kSubBucketBits = 5;  // 32 sub-buckets per octave
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kOctaves = 44;  // covers > 2^48 cycles
+  static constexpr int kNumBuckets = kOctaves * kSubBuckets;
+
+  static int BucketFor(uint64_t value);
+  static uint64_t BucketValue(int bucket);
+
+  std::vector<uint64_t> buckets_;
+  uint64_t count_ = 0;
+  double sum_ = 0.0;
+  uint64_t min_ = std::numeric_limits<uint64_t>::max();
+  uint64_t max_ = 0;
+};
+
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_SIM_STATS_H_

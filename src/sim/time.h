@@ -1,0 +1,34 @@
+// Simulated time base for the Affinity-Accept reproduction.
+//
+// All simulated clocks are expressed in CPU cycles of a 2.4 GHz core, the
+// clock rate of both evaluation machines in the paper (8x6-core AMD Opteron
+// 8431 and 8x10-core Intel Xeon E7 8870, both 2.4 GHz).
+
+#ifndef AFFINITY_SRC_SIM_TIME_H_
+#define AFFINITY_SRC_SIM_TIME_H_
+
+#include <cstdint>
+
+namespace affinity {
+
+// Simulated time, in CPU cycles since simulation start.
+using Cycles = uint64_t;
+
+// Clock rate shared by the paper's AMD and Intel machines.
+inline constexpr double kClockHz = 2.4e9;
+
+// Sentinel for "never" / unset deadlines.
+inline constexpr Cycles kNever = ~static_cast<Cycles>(0);
+
+// Conversions between cycles and wall-clock units at kClockHz.
+constexpr Cycles MsToCycles(double ms) { return static_cast<Cycles>(ms * kClockHz / 1e3); }
+constexpr Cycles UsToCycles(double us) { return static_cast<Cycles>(us * kClockHz / 1e6); }
+constexpr Cycles SecToCycles(double sec) { return static_cast<Cycles>(sec * kClockHz); }
+
+constexpr double CyclesToMs(Cycles c) { return static_cast<double>(c) * 1e3 / kClockHz; }
+constexpr double CyclesToUs(Cycles c) { return static_cast<double>(c) * 1e6 / kClockHz; }
+constexpr double CyclesToSec(Cycles c) { return static_cast<double>(c) / kClockHz; }
+
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_SIM_TIME_H_

@@ -1,0 +1,182 @@
+#include "src/stack/core_agent.h"
+
+#include <cassert>
+#include <cmath>
+
+namespace affinity {
+
+ExecCtx::ExecCtx(CoreAgent* agent, CoreId core, Cycles start, MemorySystem* mem,
+                 PerfCounters* counters)
+    : agent_(agent), core_(core), start_(start), mem_(mem), counters_(counters) {}
+
+void ExecCtx::ChargeInstr(uint64_t instructions) {
+  instructions_ += instructions;
+  busy_ += static_cast<Cycles>(static_cast<double>(instructions) * kBaseCpi);
+}
+
+void ExecCtx::ChargeAuxMisses(uint32_t n) {
+  busy_ += static_cast<Cycles>(n) * mem_->profile().ram;
+  l2_misses_ += n;
+}
+
+Cycles ExecCtx::Mem(const SimObject& obj, FieldId field, bool write) {
+  Cycles latency = mem_->AccessField(core_, obj, field, write);
+  if (IsL2Miss(mem_->last_source())) {
+    ++l2_misses_;
+  }
+  busy_ += latency;
+  return latency;
+}
+
+Cycles ExecCtx::MemBytes(const SimObject& obj, uint32_t offset, uint32_t size, bool write) {
+  Cycles latency = mem_->AccessBytes(core_, obj, offset, size, write);
+  if (IsL2Miss(mem_->last_source())) {
+    ++l2_misses_;
+  }
+  busy_ += latency;
+  return latency;
+}
+
+Cycles ExecCtx::MemLine(LineId line, bool write) {
+  Cycles latency = mem_->AccessLine(core_, line, write);
+  if (IsL2Miss(mem_->last_source())) {
+    ++l2_misses_;
+  }
+  busy_ += latency;
+  return latency;
+}
+
+Cycles ExecCtx::CopyPayload(const SimObject& payload, uint32_t bytes, bool write) {
+  // One coherence-model access on the buffer's header line decides whether
+  // this is a local or remote streaming copy.
+  Cycles latency = mem_->AccessBytes(core_, payload, 0, kCacheLineBytes, write);
+  bool remote = IsRemote(mem_->last_source());
+  if (IsL2Miss(mem_->last_source())) {
+    ++l2_misses_;
+  }
+  uint32_t lines = (bytes + kCacheLineBytes - 1) / kCacheLineBytes;
+  Cycles per_line = kCopyCyclesPerLine + (remote ? kRemoteCopyCyclesPerLine : 0);
+  latency += static_cast<Cycles>(lines) * per_line;
+  if (remote) {
+    // Remote streams miss the private caches roughly once per line.
+    l2_misses_ += lines;
+  }
+  busy_ += latency;
+  return latency;
+}
+
+SimObject ExecCtx::Alloc(TypeId type) {
+  Cycles cost = 0;
+  SimObject obj = mem_->Alloc(core_, type, &cost);
+  busy_ += cost;
+  return obj;
+}
+
+void ExecCtx::Free(const SimObject& obj) {
+  Cycles cost = 0;
+  mem_->Free(core_, obj, &cost);
+  busy_ += cost;
+}
+
+ExecCtx::LockScope ExecCtx::BeginLock(SimLock* lock, LockContext context) {
+  LockScope scope;
+  scope.lock = lock;
+  scope.context = context;
+  // The atomic on the lock word: bounces the line if another core held it.
+  MemLine(lock->line(), /*write=*/true);
+  scope.arrival = VirtualNow();
+  scope.busy_at_start = busy_;
+  return scope;
+}
+
+void ExecCtx::EndLock(LockScope& scope) {
+  assert(scope.lock != nullptr);
+  Cycles hold = busy_ - scope.busy_at_start;
+  SimLock::Grant grant = scope.lock->Acquire(scope.arrival, hold, scope.context);
+  busy_ += grant.spin_wait;
+  sleep_ += grant.sleep_wait;
+  if (scope.lock != nullptr && grant.release_time > grant.grant_time) {
+    // lock_stat tax and lock-op cost are part of the hold window and burn
+    // CPU on this core.
+    busy_ += grant.release_time - grant.grant_time - hold;
+  }
+  scope.lock = nullptr;
+}
+
+void ExecCtx::BeginEntry(KernelEntry entry) {
+  entry_stack_.push_back(EntryScope{entry, busy_, instructions_, l2_misses_});
+}
+
+void ExecCtx::EndEntry() {
+  assert(!entry_stack_.empty());
+  EntryScope scope = entry_stack_.back();
+  entry_stack_.pop_back();
+  if (counters_ != nullptr) {
+    counters_->Record(scope.entry, busy_ - scope.busy_at_start,
+                      instructions_ - scope.instr_at_start, l2_misses_ - scope.misses_at_start);
+  }
+}
+
+CoreAgent::CoreAgent(CoreId core, EventLoop* loop, MemorySystem* mem)
+    : core_(core), loop_(loop), mem_(mem) {}
+
+void CoreAgent::Enqueue(std::deque<Work>* queue, Work work, Cycles not_before) {
+  Cycles now = loop_->Now();
+  if (not_before <= now) {
+    queue->push_back(std::move(work));
+    if (!running_) {
+      RunNext();
+    }
+    return;
+  }
+  loop_->ScheduleAt(not_before, [this, queue, work = std::move(work)]() mutable {
+    queue->push_back(std::move(work));
+    if (!running_) {
+      RunNext();
+    }
+  });
+}
+
+void CoreAgent::PostSoftirq(Work work, Cycles not_before) {
+  Enqueue(&softirq_queue_, std::move(work), not_before);
+}
+
+void CoreAgent::PostTask(Work work, Cycles not_before) {
+  Enqueue(&task_queue_, std::move(work), not_before);
+}
+
+void CoreAgent::RunNext() {
+  assert(!running_);
+  std::deque<Work>* queue = nullptr;
+  if (!softirq_queue_.empty()) {
+    queue = &softirq_queue_;
+  } else if (!task_queue_.empty()) {
+    queue = &task_queue_;
+  } else {
+    return;
+  }
+  running_ = true;
+
+  Work work = std::move(queue->front());
+  queue->pop_front();
+
+  ExecCtx ctx(this, core_, loop_->Now(), mem_, &counters_);
+  work(ctx);
+
+  busy_cycles_ += ctx.busy();
+  sleep_cycles_ += ctx.sleep();
+
+  Cycles done = loop_->Now() + ctx.busy() + ctx.sleep();
+  loop_->ScheduleAt(done, [this] {
+    running_ = false;
+    RunNext();
+  });
+}
+
+void CoreAgent::ResetAccounting() {
+  busy_cycles_ = 0;
+  sleep_cycles_ = 0;
+  counters_.Reset();
+}
+
+}  // namespace affinity

@@ -1,0 +1,158 @@
+// Core execution model.
+//
+// Each simulated core is a CoreAgent: a serial executor with two work queues
+// (softirq work preempts task/thread work, matching Linux's NET_RX softirq
+// running ahead of process context). Work items execute *logically
+// instantaneously* at dispatch time, accumulating their cost into an ExecCtx;
+// the agent then keeps the core busy for that many cycles before dispatching
+// the next item. This request-granularity timing preserves exactly the
+// effects the paper measures -- queueing, lock contention, cache-line
+// transfer costs, idle time -- without stepping individual instructions.
+//
+// ExecCtx is the toolbox handed to kernel code while it runs:
+//   - ChargeInstr/ChargeCycles: instruction budgets (cycles = instr * CPI),
+//   - Mem/MemLine/CopyPayload: priced memory accesses via the MemorySystem,
+//   - BeginLock/EndLock: the analytic SimLock protocol (spin charged busy,
+//     mutex sleep charged idle),
+//   - BeginEntry/EndEntry: per-kernel-entry perf-counter scoping (Table 3).
+
+#ifndef AFFINITY_SRC_STACK_CORE_AGENT_H_
+#define AFFINITY_SRC_STACK_CORE_AGENT_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <vector>
+
+#include "src/mem/memory_system.h"
+#include "src/sim/event_loop.h"
+#include "src/stack/costs.h"
+#include "src/stack/perf_counters.h"
+#include "src/stack/sim_lock.h"
+
+namespace affinity {
+
+class CoreAgent;
+
+class ExecCtx {
+ public:
+  ExecCtx(CoreAgent* agent, CoreId core, Cycles start, MemorySystem* mem,
+          PerfCounters* counters);
+
+  CoreId core() const { return core_; }
+  Cycles start() const { return start_; }
+  // The logical time inside this work item: dispatch time + cost so far.
+  Cycles VirtualNow() const { return start_ + busy_ + sleep_; }
+
+  Cycles busy() const { return busy_; }
+  Cycles sleep() const { return sleep_; }
+
+  // --- cost accumulation ---
+  void ChargeCycles(Cycles cycles) { busy_ += cycles; }
+  void ChargeInstr(uint64_t instructions);
+  void ChargeSleep(Cycles cycles) { sleep_ += cycles; }
+  // Working-set misses on data the object model does not track (stack,
+  // per-cpu counters, bucket walks): n local-DRAM fills.
+  void ChargeAuxMisses(uint32_t n);
+
+  // --- memory (all return and charge the latency) ---
+  Cycles Mem(const SimObject& obj, FieldId field, bool write);
+  Cycles MemBytes(const SimObject& obj, uint32_t offset, uint32_t size, bool write);
+  Cycles MemLine(LineId line, bool write);
+
+  // Streams `bytes` of payload through the core (copy to/from user space or
+  // checksum). Charges per-line copy cycles, with the remote surcharge when
+  // the payload's first line lives in another core's cache; only the first
+  // line goes through the coherence model (Section 6 of DESIGN.md).
+  Cycles CopyPayload(const SimObject& payload, uint32_t bytes, bool write);
+
+  // Allocation helpers (charge through the slab + coherence models).
+  SimObject Alloc(TypeId type);
+  void Free(const SimObject& obj);
+
+  // --- locks ---
+  struct LockScope {
+    SimLock* lock = nullptr;
+    LockContext context = LockContext::kSoftirq;
+    Cycles arrival = 0;
+    Cycles busy_at_start = 0;
+  };
+  // Begins a critical section: charges the lock-word cache-line access and
+  // snapshots time. The caller then performs the critical section's charges
+  // and calls EndLock, which resolves the analytic grant and charges waits.
+  LockScope BeginLock(SimLock* lock, LockContext context);
+  void EndLock(LockScope& scope);
+
+  // --- perf-counter scoping ---
+  void BeginEntry(KernelEntry entry);
+  void EndEntry();
+
+ private:
+  struct EntryScope {
+    KernelEntry entry;
+    Cycles busy_at_start;
+    uint64_t instr_at_start;
+    uint64_t misses_at_start;
+  };
+
+  CoreAgent* agent_;
+  CoreId core_;
+  Cycles start_;
+  MemorySystem* mem_;
+  PerfCounters* counters_;
+  Cycles busy_ = 0;
+  Cycles sleep_ = 0;
+  uint64_t instructions_ = 0;
+  uint64_t l2_misses_ = 0;
+  std::vector<EntryScope> entry_stack_;
+};
+
+class CoreAgent {
+ public:
+  using Work = std::function<void(ExecCtx&)>;
+
+  CoreAgent(CoreId core, EventLoop* loop, MemorySystem* mem);
+
+  CoreAgent(const CoreAgent&) = delete;
+  CoreAgent& operator=(const CoreAgent&) = delete;
+
+  // Enqueues work. `not_before` lets a waker on another core hand off work at
+  // its own virtual time instead of its (earlier) dispatch time.
+  void PostSoftirq(Work work, Cycles not_before = 0);
+  void PostTask(Work work, Cycles not_before = 0);
+
+  CoreId core() const { return core_; }
+  bool running() const { return running_; }
+  size_t pending_softirq() const { return softirq_queue_.size(); }
+  size_t pending_tasks() const { return task_queue_.size(); }
+
+  // --- accounting ---
+  Cycles busy_cycles() const { return busy_cycles_; }
+  Cycles sleep_cycles() const { return sleep_cycles_; }
+  const PerfCounters& counters() const { return counters_; }
+  PerfCounters& counters() { return counters_; }
+  void ResetAccounting();
+
+  MemorySystem* mem() { return mem_; }
+  EventLoop* loop() { return loop_; }
+
+ private:
+  friend class ExecCtx;
+
+  void Enqueue(std::deque<Work>* queue, Work work, Cycles not_before);
+  void RunNext();
+
+  CoreId core_;
+  EventLoop* loop_;
+  MemorySystem* mem_;
+  std::deque<Work> softirq_queue_;
+  std::deque<Work> task_queue_;
+  bool running_ = false;
+  Cycles busy_cycles_ = 0;
+  Cycles sleep_cycles_ = 0;
+  PerfCounters counters_;
+};
+
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_STACK_CORE_AGENT_H_

@@ -1,0 +1,74 @@
+#include "src/stack/established_table.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace affinity {
+
+EstablishedTable::EstablishedTable(MemorySystem* mem, const KernelTypes* types,
+                                   LockStat* lock_stat, size_t num_buckets)
+    : mem_(mem), types_(types) {
+  assert(num_buckets > 0);
+  LockClassId cls = lock_stat->RegisterClass("ehash_bucket");
+  buckets_.resize(num_buckets);
+  for (Bucket& bucket : buckets_) {
+    bucket.head_line = mem_->ReserveGlobalLine();
+    bucket.lock = std::make_unique<SimLock>(cls, lock_stat, mem_->ReserveGlobalLine());
+  }
+}
+
+EstablishedTable::Bucket& EstablishedTable::BucketFor(const FiveTuple& flow) {
+  return buckets_[FlowHash(flow) % buckets_.size()];
+}
+
+void EstablishedTable::Insert(ExecCtx& ctx, Connection* conn) {
+  Bucket& bucket = BucketFor(conn->flow);
+  ExecCtx::LockScope lock = ctx.BeginLock(bucket.lock.get(), LockContext::kSoftirq);
+  ctx.MemLine(bucket.head_line, kWrite);
+  // Linking at the head writes our chain node and the previous head's
+  // back-pointer -- a write into *someone else's* tcp_sock.
+  ctx.Mem(conn->sock, types_->ts.ehash_node, kWrite);
+  if (!bucket.chain.empty()) {
+    ctx.Mem(bucket.chain.front()->sock, types_->ts.ehash_node, kWrite);
+  }
+  bucket.chain.insert(bucket.chain.begin(), conn);
+  ctx.EndLock(lock);
+  ++size_;
+}
+
+Connection* EstablishedTable::Lookup(ExecCtx& ctx, const FiveTuple& flow) {
+  Bucket& bucket = BucketFor(flow);
+  // Established lookup is RCU-like in Linux: a read of the bucket head plus a
+  // chain walk, no lock.
+  ctx.MemLine(bucket.head_line, kRead);
+  for (Connection* conn : bucket.chain) {
+    ctx.Mem(conn->sock, types_->ts.ehash_node, kRead);
+    if (conn->flow == flow) {
+      return conn;
+    }
+  }
+  return nullptr;
+}
+
+void EstablishedTable::Remove(ExecCtx& ctx, Connection* conn) {
+  Bucket& bucket = BucketFor(conn->flow);
+  auto it = std::find(bucket.chain.begin(), bucket.chain.end(), conn);
+  if (it == bucket.chain.end()) {
+    return;
+  }
+  ExecCtx::LockScope lock = ctx.BeginLock(bucket.lock.get(), LockContext::kSoftirq);
+  ctx.Mem(conn->sock, types_->ts.ehash_node, kWrite);
+  // Unlinking rewrites the neighbors' pointers (head line if we were first,
+  // otherwise the previous node's sock).
+  if (it == bucket.chain.begin()) {
+    ctx.MemLine(bucket.head_line, kWrite);
+  } else {
+    ctx.Mem((*(it - 1))->sock, types_->ts.ehash_node, kWrite);
+  }
+  bucket.chain.erase(it);
+  ctx.EndLock(lock);
+  assert(size_ > 0);
+  --size_;
+}
+
+}  // namespace affinity

@@ -1,0 +1,66 @@
+// Global established-connection hash table.
+//
+// "The same problem does not occur with established TCP sockets because the
+//  kernel maintains a global hash table for established connections, and uses
+//  fine-grained locking to avoid contention." (Section 5.2)
+//
+// Besides lookup, the table models the *neighbor-write* effect that leaves
+// residual sharing on tcp_sock even under Affinity-Accept: inserting a socket
+// at the head of a bucket chain writes the chain pointers of the previous
+// head -- a socket that may well belong to another core. This is the "sharing
+// that is left ... due to accesses to global data structures" of Section 6.4.
+
+#ifndef AFFINITY_SRC_STACK_ESTABLISHED_TABLE_H_
+#define AFFINITY_SRC_STACK_ESTABLISHED_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/mem/memory_system.h"
+#include "src/net/kernel_types.h"
+#include "src/stack/core_agent.h"
+#include "src/stack/sim_lock.h"
+#include "src/stack/tcp_conn.h"
+
+namespace affinity {
+
+class EstablishedTable {
+ public:
+  EstablishedTable(MemorySystem* mem, const KernelTypes* types, LockStat* lock_stat,
+                   size_t num_buckets = 4096);
+
+  // Inserts an established connection (charges bucket lock + chain writes,
+  // including the neighbor's ehash_node).
+  void Insert(ExecCtx& ctx, Connection* conn);
+
+  // Looks up by flow (charges bucket lock + chain walk reads).
+  Connection* Lookup(ExecCtx& ctx, const FiveTuple& flow);
+
+  // Removes on close (charges bucket lock + unlink writes, possibly touching
+  // a neighbor).
+  void Remove(ExecCtx& ctx, Connection* conn);
+
+  size_t size() const { return size_; }
+  size_t num_buckets() const { return buckets_.size(); }
+
+ private:
+  struct Bucket {
+    std::unique_ptr<SimLock> lock;
+    LineId head_line = 0;
+    // Chain order: front is the head (most recently inserted).
+    std::vector<Connection*> chain;
+  };
+
+  Bucket& BucketFor(const FiveTuple& flow);
+
+  MemorySystem* mem_;
+  const KernelTypes* types_;
+  std::vector<Bucket> buckets_;
+  size_t size_ = 0;
+};
+
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_STACK_ESTABLISHED_TABLE_H_

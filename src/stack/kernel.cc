@@ -1,0 +1,797 @@
+#include "src/stack/kernel.h"
+
+#include <cassert>
+
+#include "src/stack/costs.h"
+
+namespace affinity {
+
+Kernel::Kernel(const KernelConfig& config, EventLoop* loop) : config_(config), loop_(loop) {
+  assert(config_.num_cores >= 1);
+  assert(config_.num_cores <= config_.machine.total_cores());
+
+  mem_ = std::make_unique<MemorySystem>(config_.machine.memory, config_.num_cores,
+                                        config_.machine.cores_per_chip);
+  if (config_.profiling) {
+    mem_->EnableProfiling(config_.profile_sample);
+  }
+  types_ = std::make_unique<KernelTypes>(mem_->registry());
+  lock_stat_.set_enabled(config_.lock_stat);
+
+  agents_.reserve(static_cast<size_t>(config_.num_cores));
+  for (CoreId core = 0; core < config_.num_cores; ++core) {
+    agents_.push_back(std::make_unique<CoreAgent>(core, loop_, mem_.get()));
+  }
+  scheduler_ = std::make_unique<Scheduler>(loop_, mem_.get(), types_.get(), &agents_);
+  if (config_.scheduler_load_balancing) {
+    scheduler_->EnableLoadBalancing(config_.load_balance_period);
+  }
+
+  established_ = std::make_unique<EstablishedTable>(mem_.get(), types_.get(), &lock_stat_);
+
+  config_.listen.num_cores = config_.num_cores;
+  if (config_.listen.backlog == 0) {
+    config_.listen.backlog = 256 * config_.num_cores;
+  }
+  listen_ = std::make_unique<ListenSocket>(config_.listen, mem_.get(), types_.get(),
+                                           &lock_stat_, scheduler_.get());
+
+  // One RX/TX ring pair per enabled core.
+  config_.nic.num_rings = config_.num_cores;
+  config_.nic.mode = config_.twenty_policy || config_.arfs ? SteeringMode::kPerFlowFdir
+                                                            : SteeringMode::kFlowGroups;
+  nic_ = std::make_unique<SimNic>(config_.nic, loop_);
+  if (!config_.twenty_policy) {
+    nic_->ProgramFlowGroupsRoundRobin();
+  }
+  nic_->set_rx_interrupt_handler([this](int ring) {
+    agent(ring).PostSoftirq([this, ring](ExecCtx& ctx) { RunSoftirq(ctx, ring); },
+                            loop_->Now() + kSoftirqLatency);
+  });
+
+  migrator_ = std::make_unique<FlowGroupMigrator>(nic_.get(),
+                                                  [this](CoreId core) { return RingOf(core); });
+  if (config_.listen.variant == AcceptVariant::kAffinity && config_.flow_migration) {
+    loop_->ScheduleAfter(config_.migration_period, [this] { MigrationTick(); });
+  }
+
+  global_sock_list_line_ = mem_->ReserveGlobalLine();
+  tx_packet_count_.resize(static_cast<size_t>(config_.num_cores), 0);
+
+  if (config_.arfs) {
+    // "the driver needs to periodically walk the hardware table and query
+    // the network stack asking if a connection is still in use" (Section
+    // 7.1) -- modeled as a periodic scan charged to core 0.
+    loop_->ScheduleAfter(config_.arfs_scan_period, [this] { ArfsScanTick(); });
+  }
+
+  if (config_.rfs) {
+    // The RFS steering table lives in main memory (a line per bucket group)
+    // and each core has a backlog ("virtual DMA ring") head line.
+    for (int i = 0; i < 256; ++i) {
+      rfs_table_lines_.push_back(mem_->ReserveGlobalLine());
+    }
+    for (CoreId c = 0; c < config_.num_cores; ++c) {
+      rfs_backlog_lines_.push_back(mem_->ReserveGlobalLine());
+    }
+  }
+}
+
+Kernel::~Kernel() {
+  for (auto& [id, conn] : connections_) {
+    delete conn;
+  }
+}
+
+void Kernel::MigrationTick() {
+  size_t before = migrator_->history().size();
+  migrator_->RunEpoch(loop_->Now(), listen_->busy_tracker(), &listen_->steal_policy(),
+                      config_.num_cores);
+  // Charge the FDir reprogramming to the cores that initiated each migration.
+  for (size_t i = before; i < migrator_->history().size(); ++i) {
+    CoreId to_core = migrator_->history()[i].to_core;
+    agent(to_core).PostSoftirq(
+        [](ExecCtx& ctx) { ctx.ChargeCycles(FdirTable::kInsertCost); });
+  }
+  loop_->ScheduleAfter(config_.migration_period, [this] { MigrationTick(); });
+}
+
+// --------------------------------------------------------------------------
+// Softirq NET_RX
+// --------------------------------------------------------------------------
+
+void Kernel::RunSoftirq(ExecCtx& ctx, int ring, bool ksoftirqd) {
+  // Background RCU work piggybacks on the softirq tick (Table 3's tiny
+  // softirq_rcu row).
+  ctx.BeginEntry(KernelEntry::kSoftirqRcu);
+  ctx.ChargeInstr(kInstrSoftirqRcu);
+  ctx.EndEntry();
+
+  int budget = ksoftirqd ? 2 * kNapiBudget : kNapiBudget;
+  while (budget-- > 0) {
+    std::optional<Packet> packet = nic_->PopRx(ring);
+    if (!packet.has_value()) {
+      return;
+    }
+    ctx.BeginEntry(KernelEntry::kSoftirqNetRx);
+    ++stats_.packets_processed;
+
+    // The NIC DMA-wrote the packet buffer: allocate the sk_buff and parse
+    // headers, all cold in this core's cache.
+    SimObject skb = ctx.Alloc(types_->sk_buff);
+    mem_->DmaWriteObject(skb);
+    ctx.Mem(skb, types_->skb.node, kWrite);
+    ctx.Mem(skb, types_->skb.len, kWrite);
+    ctx.Mem(skb, types_->skb.data_ptrs, kWrite);
+    ctx.Mem(skb, types_->skb.headers, kWrite);
+    ctx.Mem(skb, types_->skb.dst, kWrite);
+
+    // Receive Flow Steering (Section 7.2): this core only routes. Look the
+    // flow up in the in-memory steering table and hand the packet to the
+    // core that last ran sendmsg() for it. Handshake packets (no table
+    // entry yet) are processed here.
+    if (config_.rfs && packet->kind != PacketKind::kSyn && packet->kind != PacketKind::kAck) {
+      CoreId dest = RfsLookup(ctx, packet->flow);
+      if (dest != kNoCore && dest != ctx.core()) {
+        ++stats_.rfs_forwarded;
+        Packet copy = *packet;
+        // Append to the destination core's backlog ("this queue acts like a
+        // virtual DMA ring") and kick it.
+        ctx.MemLine(rfs_backlog_lines_[static_cast<size_t>(dest)], kWrite);
+        ctx.ChargeCycles(kIpiCycles);
+        agent(dest).PostSoftirq(
+            [this, copy, skb](ExecCtx& nested) {
+              nested.BeginEntry(KernelEntry::kSoftirqNetRx);
+              ProcessPacket(nested, copy, skb);
+              nested.EndEntry();
+            },
+            ctx.VirtualNow());
+        ctx.EndEntry();
+        continue;
+      }
+    }
+
+    ProcessPacket(ctx, *packet, skb);
+    ctx.EndEntry();
+  }
+
+  // Budget exhausted with packets still pending: defer to ksoftirqd (task
+  // priority), exactly as __do_softirq does after ~2 ms. One 64-packet budget
+  // is ~2.4 ms here; unconditional softirq-priority reposting would be the
+  // pre-NAPI RX livelock (it starves every application thread on overloaded
+  // cores), while ksoftirqd shares the core fairly with process context --
+  // which is also what taxes a compute job co-located with hot flow groups
+  // (the Section 6.5 make experiment).
+  if (nic_->RxPending(ring) > 0) {
+    agent(ring).PostTask(
+        [this, ring](ExecCtx& nested) { RunSoftirq(nested, ring, /*ksoftirqd=*/true); },
+        ctx.VirtualNow());
+  }
+}
+
+void Kernel::ProcessPacket(ExecCtx& ctx, const Packet& packet_in, SimObject skb) {
+  const Packet* packet = &packet_in;
+  int ring = RingOf(ctx.core());
+  ctx.ChargeInstr(kInstrSoftirqPerPacket);
+  ctx.ChargeAuxMisses(kAuxMissSoftirqPerPacket);
+  {
+    switch (packet->kind) {
+      case PacketKind::kSyn: {
+        // Instruction cost is charged inside OnSyn, within the lock scope:
+        // under Stock-Accept the whole SYN path holds the listen lock.
+        if (listen_->OnSyn(ctx, *packet)) {
+          Packet synack;
+          synack.flow = packet->flow;
+          synack.kind = PacketKind::kSynAck;
+          synack.conn_id = packet->conn_id;
+          nic_->Transmit(ring, synack);
+        }
+        ctx.Free(skb);
+        break;
+      }
+      case PacketKind::kAck: {
+        // Instruction cost charged inside OnAck (under the listen lock for
+        // Stock-Accept).
+        HandleAck(ctx, *packet);
+        ctx.Free(skb);
+        break;
+      }
+      case PacketKind::kHttpRequest: {
+        HandleDataPacket(ctx, *packet, skb);
+        break;
+      }
+      case PacketKind::kDataAck: {
+        ctx.ChargeInstr(kInstrSoftirqDataAck);
+        ctx.ChargeAuxMisses(kAuxMissSoftirqDataAck);
+        HandleDataAck(ctx, *packet);
+        ctx.Free(skb);
+        break;
+      }
+      case PacketKind::kFin: {
+        ctx.ChargeInstr(kInstrSoftirqFin);
+        ctx.ChargeAuxMisses(kAuxMissSoftirqFin);
+        HandleFin(ctx, *packet);
+        ctx.Free(skb);
+        break;
+      }
+      case PacketKind::kSynAck:
+      case PacketKind::kHttpData:
+      case PacketKind::kRst:
+        // Server-bound traffic never carries these kinds.
+        ctx.Free(skb);
+        break;
+    }
+  }
+}
+
+CoreId Kernel::RfsLookup(ExecCtx& ctx, const FiveTuple& flow) {
+  // "Each routing core does the minimum work to extract the information
+  // needed to do a lookup in the hash table to find the destination core."
+  ctx.ChargeInstr(kInstrRfsRoute);
+  ctx.MemLine(rfs_table_lines_[FlowHash(flow) % rfs_table_lines_.size()], kRead);
+  auto it = rfs_dest_.find(flow);
+  return it != rfs_dest_.end() ? it->second : kNoCore;
+}
+
+void Kernel::RfsRecordSender(ExecCtx& ctx, Connection* conn) {
+  if (!config_.rfs) {
+    return;
+  }
+  // "On each call to sendmsg() the kernel updates the hash table entry with
+  // the core number on which sendmsg() executed."
+  ctx.ChargeInstr(kInstrRfsUpdate);
+  ctx.MemLine(rfs_table_lines_[FlowHash(conn->flow) % rfs_table_lines_.size()], kWrite);
+  rfs_dest_[conn->flow] = ctx.core();
+}
+
+void Kernel::TaxSockLock(ExecCtx& ctx) {
+  // lock_stat instruments every spin_lock/unlock in the kernel; the
+  // per-connection sock locks are the hottest. Model its accounting cost on
+  // each sock-lock round trip.
+  if (lock_stat_.enabled()) {
+    ctx.ChargeCycles(3 * kLockStatTaxCycles);
+  }
+}
+
+void Kernel::SendRst(ExecCtx& ctx, const Packet& packet) {
+  Packet rst;
+  rst.flow = packet.flow;
+  rst.kind = PacketKind::kRst;
+  rst.conn_id = packet.conn_id;
+  nic_->Transmit(RingOf(ctx.core()), rst);
+}
+
+void Kernel::HandleAck(ExecCtx& ctx, const Packet& packet) {
+  Connection* conn = listen_->OnAck(ctx, packet, packet.conn_id);
+  if (conn == nullptr) {
+    // Dropped: no request socket or accept-queue overflow. The client will
+    // learn via RST on its first data packet; for the overflow case Linux
+    // stays silent, but our client has no SYN-state retransmit for this
+    // stage, so the RST models the eventual reset.
+    SendRst(ctx, packet);
+    return;
+  }
+  conn->listen_id = 0;
+  connections_[conn->id] = conn;
+  established_->Insert(ctx, conn);
+  GlobalListInsert(ctx, conn);
+  if (on_acceptable_) {
+    on_acceptable_(ctx.core());
+  }
+}
+
+void Kernel::HandleDataPacket(ExecCtx& ctx, const Packet& packet, const SimObject& skb) {
+  Connection* conn = established_->Lookup(ctx, packet.flow);
+  if (conn == nullptr || conn->state == Connection::State::kClosed) {
+    ++stats_.packets_dropped_no_conn;
+    SendRst(ctx, packet);
+    ctx.Free(skb);
+    return;
+  }
+
+  // TCP receive: sequence bookkeeping under the per-connection sock lock
+  // (modeled as the ts.lock field write; per-connection locks are effectively
+  // uncontended in all of the paper's workloads).
+  SimObject payload = ctx.Alloc(types_->PayloadTypeFor(packet.wire_bytes));
+  mem_->DmaWriteObject(payload);
+
+  ctx.Mem(conn->sock, types_->ts.lock, kWrite);
+  TaxSockLock(ctx);
+  ctx.Mem(conn->sock, types_->ts.state, kRead);
+  ctx.Mem(conn->sock, types_->ts.rcv_nxt, kWrite);
+  ctx.Mem(conn->sock, types_->ts.receive_queue, kWrite);
+  ctx.Mem(conn->sock, types_->ts.rmem, kWrite);
+  ctx.Mem(conn->sock, types_->ts.backlog, kWrite);
+  ctx.Mem(conn->sock, types_->ts.delack_timer, kWrite);
+  ctx.Mem(conn->sock, types_->ts.rto_timer, kWrite);
+  ctx.Mem(conn->sock, types_->ts.flags, kRead);
+  ctx.Mem(conn->sock, types_->ts.route, kRead);
+  ctx.Mem(conn->sock, types_->ts.cong_ops, kRead);
+  // Receiving data schedules an ACK: the TX side of the socket is touched on
+  // the RX path too (this two-way traffic is why DProf sees 85% of tcp_sock's
+  // lines shared under Fine-Accept).
+  ctx.Mem(conn->sock, types_->ts.snd_nxt, kWrite);
+  ctx.Mem(conn->sock, types_->ts.snd_una, kRead);
+  ctx.Mem(conn->sock, types_->ts.cwnd, kRead);
+  ctx.Mem(conn->sock, types_->ts.wmem, kRead);
+  ctx.Mem(conn->sock, types_->ts.icsk, kWrite);
+  ctx.Mem(skb, types_->skb.cb, kWrite);
+  ctx.Mem(skb, types_->skb.truesize, kWrite);
+
+  RecvItem item;
+  item.skb = skb;
+  item.payload = payload;
+  item.bytes = packet.wire_bytes > kHeaderBytes ? packet.wire_bytes - kHeaderBytes : 0;
+  item.kind = PacketKind::kHttpRequest;
+  item.request_idx = packet.request_idx;
+  item.file_index = packet.file_index;
+  ++stats_.requests_delivered;
+  DeliverToSocket(ctx, conn, std::move(item));
+}
+
+void Kernel::HandleDataAck(ExecCtx& ctx, const Packet& packet) {
+  Connection* conn = established_->Lookup(ctx, packet.flow);
+  if (conn == nullptr) {
+    ++stats_.packets_dropped_no_conn;
+    return;
+  }
+  // ACK processing: TX-side state and retransmit-queue cleanup. Freeing the
+  // transmitted skbs happens *here*, on the softirq core -- the remote-free
+  // path when the app ran elsewhere.
+  ctx.Mem(conn->sock, types_->ts.lock, kWrite);
+  TaxSockLock(ctx);
+  ctx.Mem(conn->sock, types_->ts.snd_una, kWrite);
+  ctx.Mem(conn->sock, types_->ts.cwnd, kWrite);
+  ctx.Mem(conn->sock, types_->ts.write_queue, kWrite);
+  ctx.Mem(conn->sock, types_->ts.wmem, kWrite);
+  ctx.Mem(conn->sock, types_->ts.rto_timer, kWrite);
+  ctx.Mem(conn->sock, types_->ts.rcv_nxt, kRead);
+  ctx.Mem(conn->sock, types_->ts.snd_nxt, kRead);
+  ctx.Mem(conn->sock, types_->ts.icsk, kWrite);
+  ctx.Mem(conn->sock, types_->ts.flags, kRead);
+  ctx.Mem(conn->sock, types_->ts.route, kRead);
+  ctx.Mem(conn->sock, types_->ts.cong_ops, kRead);
+  ctx.Mem(conn->sock, types_->ts.callbacks, kRead);
+  while (!conn->unacked_tx.empty()) {
+    TxItem item = conn->unacked_tx.front();
+    conn->unacked_tx.pop_front();
+    // tcp_clean_rtx_queue: unlink, uncharge memory, free -- touching the
+    // sender-core-written skb fields from the softirq core.
+    ctx.Mem(item.skb, types_->skb.node, kWrite);
+    ctx.Mem(item.skb, types_->skb.len, kRead);
+    ctx.Mem(item.skb, types_->skb.data_ptrs, kRead);
+    ctx.Mem(item.skb, types_->skb.truesize, kRead);
+    ctx.Free(item.skb);
+    ctx.Free(item.payload);
+  }
+  // The app may be blocked on write space; none of our workloads are, so no
+  // wakeup here.
+}
+
+void Kernel::HandleFin(ExecCtx& ctx, const Packet& packet) {
+  Connection* conn = established_->Lookup(ctx, packet.flow);
+  if (conn == nullptr || conn->state == Connection::State::kClosed) {
+    ++stats_.packets_dropped_no_conn;
+    SendRst(ctx, packet);
+    return;
+  }
+  ctx.Mem(conn->sock, types_->ts.lock, kWrite);
+  TaxSockLock(ctx);
+  ctx.Mem(conn->sock, types_->ts.state, kWrite);
+  ctx.Mem(conn->sock, types_->ts.flags, kWrite);
+  conn->fin_received = true;
+  conn->state = Connection::State::kCloseWait;
+
+  RecvItem item;
+  item.kind = PacketKind::kFin;
+  DeliverToSocket(ctx, conn, std::move(item));
+}
+
+void Kernel::DeliverToSocket(ExecCtx& ctx, Connection* conn, RecvItem item) {
+  conn->recv_queue.push_back(std::move(item));
+  // sk_data_ready: read the callback pointer, touch the wait queue, wake the
+  // reader if one is parked.
+  ctx.Mem(conn->sock, types_->ts.callbacks, kRead);
+  ctx.Mem(conn->sock, types_->ts.wait_queue, kRead);
+  if (on_readable_) {
+    on_readable_(conn);
+  }
+  if (conn->reader != nullptr) {
+    scheduler_->Wake(conn->reader, &ctx);
+  }
+}
+
+void Kernel::GlobalListInsert(ExecCtx& ctx, Connection* conn) {
+  // Head insertion into the kernel's global socket list: writes the list head
+  // line, our node, and the previous head's node (a foreign socket). This is
+  // the residual sharing that remains even under Affinity-Accept
+  // (Section 6.4: "The sharing that is left is due to accesses to global
+  // data structures").
+  ctx.MemLine(global_sock_list_line_, kWrite);
+  ctx.Mem(conn->sock, types_->ts.global_node, kWrite);
+  if (global_list_head_valid_) {
+    ctx.Mem(global_list_head_sock_, types_->ts.global_node, kWrite);
+  }
+  global_list_head_sock_ = conn->sock;
+  global_list_head_valid_ = true;
+}
+
+void Kernel::GlobalListRemove(ExecCtx& ctx, Connection* conn) {
+  ctx.MemLine(global_sock_list_line_, kWrite);
+  ctx.Mem(conn->sock, types_->ts.global_node, kWrite);
+  if (global_list_head_valid_ && global_list_head_sock_.instance == conn->sock.instance) {
+    global_list_head_valid_ = false;
+  }
+}
+
+// --------------------------------------------------------------------------
+// Syscalls
+// --------------------------------------------------------------------------
+
+Connection* Kernel::SysAccept(ExecCtx& ctx, Thread* thread, bool nonblocking) {
+  ctx.BeginEntry(KernelEntry::kSysAccept4);
+  ctx.ChargeInstr(kInstrSysAccept4);
+  ctx.ChargeAuxMisses(kAuxMissSysAccept4);
+  Connection* conn = listen_->Accept(ctx, thread, /*park_on_empty=*/!nonblocking);
+  ctx.EndEntry();
+  return conn;
+}
+
+ReadResult Kernel::SysRead(ExecCtx& ctx, Thread* thread, Connection* conn, bool nonblocking) {
+  ctx.BeginEntry(KernelEntry::kSysRead);
+  ctx.ChargeInstr(kInstrSysRead);
+  ctx.ChargeAuxMisses(kAuxMissSysRead);
+  ReadResult result;
+
+  ctx.Mem(conn->sock, types_->ts.lock, kWrite);
+  TaxSockLock(ctx);
+  ctx.Mem(conn->sock, types_->ts.receive_queue, kRead);
+  if (conn->recv_queue.empty()) {
+    result.would_block = true;
+    if (!nonblocking) {
+      conn->reader = thread;
+      ctx.Mem(conn->sock, types_->ts.wait_queue, kWrite);
+      thread->Block();
+    }
+    ctx.EndEntry();
+    return result;
+  }
+
+  RecvItem item = std::move(conn->recv_queue.front());
+  conn->recv_queue.pop_front();
+
+  ctx.Mem(conn->sock, types_->ts.copied_seq, kWrite);
+  ctx.Mem(conn->sock, types_->ts.receive_queue, kWrite);
+  ctx.Mem(conn->sock, types_->ts.rmem, kWrite);
+  ctx.Mem(conn->sock, types_->ts.rcv_nxt, kRead);
+  // tcp_recvmsg also: re-arms delayed ACK / quickack state, updates the
+  // receive window, checks shutdown flags.
+  ctx.Mem(conn->sock, types_->ts.icsk, kWrite);
+  ctx.Mem(conn->sock, types_->ts.delack_timer, kWrite);
+  ctx.Mem(conn->sock, types_->ts.flags, kRead);
+  ctx.Mem(conn->sock, types_->ts.backlog, kRead);
+  ctx.Mem(conn->sock, types_->ts.wait_queue, kRead);
+
+  if (item.kind == PacketKind::kFin) {
+    result.fin = true;
+  } else {
+    // Copy to user space, then free skb + payload on *this* core (remote
+    // deallocation when the packet arrived on another core -- Section 2.2).
+    ctx.Mem(item.skb, types_->skb.len, kRead);
+    ctx.Mem(item.skb, types_->skb.data_ptrs, kRead);
+    ctx.Mem(item.skb, types_->skb.cb, kRead);
+    ctx.CopyPayload(item.payload, item.bytes, kRead);
+    ctx.Mem(item.skb, types_->skb.node, kWrite);
+    ctx.Mem(item.skb, types_->skb.truesize, kRead);
+    result.bytes = item.bytes;
+    result.request_idx = item.request_idx;
+    result.file_index = item.file_index;
+    ctx.Free(item.skb);
+    ctx.Free(item.payload);
+  }
+  ctx.EndEntry();
+  return result;
+}
+
+void Kernel::SysWritev(ExecCtx& ctx, Connection* conn, uint32_t bytes, uint32_t request_idx) {
+  ctx.BeginEntry(KernelEntry::kSysWritev);
+  ctx.ChargeInstr(kInstrSysWritev);
+  ctx.ChargeAuxMisses(kAuxMissSysWritev);
+
+  ctx.Mem(conn->sock, types_->ts.lock, kWrite);
+  TaxSockLock(ctx);
+  ctx.Mem(conn->sock, types_->ts.snd_nxt, kWrite);
+  ctx.Mem(conn->sock, types_->ts.write_queue, kWrite);
+  ctx.Mem(conn->sock, types_->ts.wmem, kWrite);
+  ctx.Mem(conn->sock, types_->ts.cwnd, kRead);
+  ctx.Mem(conn->sock, types_->ts.route, kRead);
+  ctx.Mem(conn->sock, types_->ts.cong_ops, kRead);
+  ctx.Mem(conn->sock, types_->ts.rto_timer, kWrite);
+  // tcp_sendmsg reads RX state for the piggybacked ACK and window.
+  ctx.Mem(conn->sock, types_->ts.rcv_nxt, kRead);
+  ctx.Mem(conn->sock, types_->ts.copied_seq, kRead);
+  ctx.Mem(conn->sock, types_->ts.icsk, kWrite);
+  ctx.Mem(conn->sock, types_->ts.delack_timer, kWrite);
+  ctx.Mem(conn->sock, types_->ts.flags, kRead);
+
+  uint32_t remaining = bytes;
+  bool first = true;
+  while (remaining > 0 || first) {
+    first = false;
+    uint32_t seg = remaining > kMssBytes ? kMssBytes : remaining;
+    remaining -= seg;
+
+    TxItem tx;
+    tx.skb = ctx.Alloc(types_->sk_buff);
+    tx.payload = ctx.Alloc(types_->PayloadTypeFor(seg + kHeaderBytes));
+    tx.bytes = seg;
+    ctx.Mem(tx.skb, types_->skb.node, kWrite);
+    ctx.Mem(tx.skb, types_->skb.len, kWrite);
+    ctx.Mem(tx.skb, types_->skb.data_ptrs, kWrite);
+    ctx.Mem(tx.skb, types_->skb.cb, kWrite);
+    ctx.Mem(tx.skb, types_->skb.headers, kWrite);
+    ctx.CopyPayload(tx.payload, seg, kWrite);
+
+    Packet packet;
+    packet.flow = conn->flow;
+    packet.kind = PacketKind::kHttpData;
+    packet.wire_bytes = seg + kHeaderBytes;
+    packet.conn_id = conn->id;
+    packet.request_idx = request_idx;
+    packet.last_segment = remaining == 0;
+    conn->unacked_tx.push_back(tx);
+    nic_->Transmit(RingOf(ctx.core()), packet);
+
+    ++tx_packet_count_[static_cast<size_t>(ctx.core())];
+    MaybeTwentyPolicySteer(ctx, conn);
+  }
+  RfsRecordSender(ctx, conn);
+  MaybeArfsSteer(ctx, conn);
+  ++stats_.responses_sent;
+  ctx.EndEntry();
+}
+
+void Kernel::MaybeArfsSteer(ExecCtx& ctx, Connection* conn) {
+  if (!config_.arfs) {
+    return;
+  }
+  // The RX descriptor carried the flow hash, so the update skips the
+  // 10k-cycle hash computation Twenty-Policy pays; only the table write and
+  // command overhead remain.
+  if (nic_->SteerOf(conn->flow) == RingOf(ctx.core())) {
+    return;  // already steered here
+  }
+  ctx.ChargeCycles(FdirTable::kTableWriteCost + 400);
+  Cycles flush_extra = nic_->SteerFlow(conn->flow, RingOf(ctx.core()));
+  // SteerFlow's return includes the insert cost constant; only charge the
+  // flush portion on top of the cheap aRFS write.
+  if (flush_extra > FdirTable::kInsertCost) {
+    ctx.ChargeCycles(flush_extra - FdirTable::kInsertCost);
+  }
+  ++stats_.fdir_updates;
+}
+
+void Kernel::ArfsScanTick() {
+  // Walk the hardware table querying the stack for dead connections; charge
+  // the scan to core 0's softirq context.
+  size_t entries = nic_->fdir().size();
+  stats_.arfs_scan_entries += entries;
+  agent(0).PostSoftirq([entries](ExecCtx& ctx) {
+    ctx.ChargeCycles(static_cast<Cycles>(entries) * 120);  // one lookup per entry
+  });
+  loop_->ScheduleAfter(config_.arfs_scan_period, [this] { ArfsScanTick(); });
+}
+
+void Kernel::MaybeTwentyPolicySteer(ExecCtx& ctx, Connection* conn) {
+  if (!config_.twenty_policy) {
+    return;
+  }
+  if (tx_packet_count_[static_cast<size_t>(ctx.core())] %
+          static_cast<uint64_t>(config_.twenty_policy_interval) !=
+      0) {
+    return;
+  }
+  // The IXGBE driver's scheme: point the flow's FDir entry at the core that
+  // is transmitting. Costs 10k cycles per update, more when the table is
+  // full and must be flushed (Section 7.1).
+  Cycles cost = nic_->SteerFlow(conn->flow, RingOf(ctx.core()));
+  ctx.ChargeCycles(cost);
+  ++stats_.fdir_updates;
+}
+
+bool Kernel::SysPoll(ExecCtx& ctx, Thread* thread, bool watch_listen,
+                     const std::vector<Connection*>& conns) {
+  ctx.BeginEntry(KernelEntry::kSysPoll);
+  ctx.ChargeInstr(kInstrSysPoll + 80 * conns.size());
+  ctx.ChargeAuxMisses(kAuxMissSysPoll);
+
+  bool ready = false;
+  for (Connection* conn : conns) {
+    ctx.Mem(conn->sock, types_->ts.receive_queue, kRead);
+    if (!conn->recv_queue.empty()) {
+      ready = true;
+    }
+  }
+  if (watch_listen && listen_->HasAcceptable(ctx, ctx.core())) {
+    ready = true;
+  }
+  if (!ready) {
+    if (watch_listen) {
+      listen_->ParkPoller(thread, ctx.core());
+    }
+    for (Connection* conn : conns) {
+      conn->reader = thread;
+    }
+    thread->Block();
+  }
+  ctx.EndEntry();
+  return ready;
+}
+
+bool Kernel::SysEpollWait(ExecCtx& ctx, Thread* thread, bool watch_listen,
+                          const std::vector<Connection*>& conns) {
+  ctx.BeginEntry(KernelEntry::kSysEpollWait);
+  ctx.ChargeInstr(kInstrSysEpollWait);
+
+  bool ready = false;
+  for (Connection* conn : conns) {
+    if (!conn->recv_queue.empty()) {
+      ready = true;
+      break;
+    }
+  }
+  if (!ready && watch_listen && listen_->HasAcceptable(ctx, ctx.core())) {
+    ready = true;
+  }
+  if (!ready) {
+    if (watch_listen) {
+      listen_->ParkPoller(thread, ctx.core());
+    }
+    for (Connection* conn : conns) {
+      conn->reader = thread;
+    }
+    thread->Block();
+  }
+  ctx.EndEntry();
+  return ready;
+}
+
+void Kernel::SysShutdown(ExecCtx& ctx, Connection* conn) {
+  ctx.BeginEntry(KernelEntry::kSysShutdown);
+  ctx.ChargeInstr(kInstrSysShutdown);
+  ctx.ChargeAuxMisses(kAuxMissSysShutdown);
+  ctx.Mem(conn->sock, types_->ts.lock, kWrite);
+  TaxSockLock(ctx);
+  ctx.Mem(conn->sock, types_->ts.state, kWrite);
+  ctx.Mem(conn->sock, types_->ts.flags, kWrite);
+
+  Packet fin;
+  fin.flow = conn->flow;
+  fin.kind = PacketKind::kFin;
+  fin.conn_id = conn->id;
+  nic_->Transmit(RingOf(ctx.core()), fin);
+  ctx.EndEntry();
+}
+
+void Kernel::SysClose(ExecCtx& ctx, Connection* conn) {
+  ctx.BeginEntry(KernelEntry::kSysClose);
+  ctx.ChargeInstr(kInstrSysClose);
+  ctx.ChargeAuxMisses(kAuxMissSysClose);
+
+  ctx.Mem(conn->sock, types_->ts.lock, kWrite);
+  TaxSockLock(ctx);
+  ctx.Mem(conn->sock, types_->ts.state, kWrite);
+  established_->Remove(ctx, conn);
+  GlobalListRemove(ctx, conn);
+
+  // Release anything still queued.
+  while (!conn->recv_queue.empty()) {
+    RecvItem item = std::move(conn->recv_queue.front());
+    conn->recv_queue.pop_front();
+    if (item.skb.valid()) {
+      ctx.Free(item.skb);
+    }
+    if (item.payload.valid()) {
+      ctx.Free(item.payload);
+    }
+  }
+  while (!conn->unacked_tx.empty()) {
+    TxItem item = conn->unacked_tx.front();
+    conn->unacked_tx.pop_front();
+    ctx.Free(item.skb);
+    ctx.Free(item.payload);
+  }
+  if (conn->has_sfd) {
+    ctx.Mem(conn->sfd, types_->sfd.file_ref, kWrite);
+    ctx.Free(conn->sfd);
+  }
+  ctx.Free(conn->sock);
+  conn->state = Connection::State::kClosed;
+  conn->reader = nullptr;
+
+  connections_.erase(conn->id);
+  if (config_.rfs) {
+    rfs_dest_.erase(conn->flow);
+  }
+  delete conn;
+  ctx.EndEntry();
+}
+
+void Kernel::SysFcntl(ExecCtx& ctx, Connection* conn) {
+  ctx.BeginEntry(KernelEntry::kSysFcntl);
+  ctx.ChargeInstr(kInstrSysFcntl);
+  if (conn->has_sfd) {
+    ctx.Mem(conn->sfd, types_->sfd.flags, kWrite);
+  }
+  ctx.EndEntry();
+}
+
+void Kernel::SysGetsockname(ExecCtx& ctx, Connection* conn) {
+  ctx.BeginEntry(KernelEntry::kSysGetsockname);
+  ctx.ChargeInstr(kInstrSysGetsockname);
+  ctx.Mem(conn->sock, types_->ts.state, kRead);
+  ctx.EndEntry();
+}
+
+void Kernel::SysFutexWait(ExecCtx& ctx, Thread* thread, Futex* futex) {
+  ctx.BeginEntry(KernelEntry::kSysFutex);
+  ctx.ChargeInstr(kInstrSysFutex);
+  ctx.ChargeAuxMisses(kAuxMissSysFutex);
+  ctx.MemLine(futex->line(), kWrite);
+  scheduler_->FutexWait(futex, thread);
+  ctx.EndEntry();
+}
+
+int Kernel::SysFutexWake(ExecCtx& ctx, Futex* futex, int count) {
+  ctx.BeginEntry(KernelEntry::kSysFutex);
+  ctx.ChargeInstr(kInstrSysFutex);
+  ctx.ChargeAuxMisses(kAuxMissSysFutex);
+  ctx.MemLine(futex->line(), kWrite);
+  int woken = scheduler_->FutexWake(futex, count, &ctx);
+  ctx.EndEntry();
+  return woken;
+}
+
+Connection* Kernel::FindConnection(uint64_t conn_id) {
+  auto it = connections_.find(conn_id);
+  return it != connections_.end() ? it->second : nullptr;
+}
+
+PerfCounters Kernel::AggregateCounters() const {
+  PerfCounters total;
+  for (const auto& agent : agents_) {
+    total.Merge(agent->counters());
+  }
+  return total;
+}
+
+Cycles Kernel::TotalBusyCycles() const {
+  Cycles total = 0;
+  for (const auto& agent : agents_) {
+    total += agent->busy_cycles();
+  }
+  return total;
+}
+
+Cycles Kernel::TotalSleepCycles() const {
+  Cycles total = 0;
+  for (const auto& agent : agents_) {
+    total += agent->sleep_cycles();
+  }
+  return total;
+}
+
+void Kernel::ResetAccounting() {
+  for (auto& agent : agents_) {
+    agent->ResetAccounting();
+  }
+  lock_stat_.Reset();
+  stats_ = KernelStats{};
+  listen_->ResetStats();
+  nic_->ResetStats();
+  scheduler_->ResetStats();
+  mem_->slab().ResetStats();
+  listen_->steal_policy().ResetTotal();
+}
+
+}  // namespace affinity

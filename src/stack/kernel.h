@@ -1,0 +1,238 @@
+// The simulated kernel: ties the NIC, memory system, scheduler, listen socket
+// and connection state together, and exposes the syscall surface the
+// application models (Apache / lighttpd) run against.
+//
+// Packet life cycle:
+//   client -> SimNic::DeliverFromWire -> RX ring -> softirq on the ring's
+//   core (RunSoftirq) -> protocol handling (listen socket for SYN/ACK,
+//   established table for everything else) -> application wakeup ->
+//   syscalls (accept/read/writev/...) on the application's core -> TX.
+//
+// Which core runs the softirq is decided by the NIC's steering (flow groups
+// under Affinity-Accept); which core runs the syscalls is decided by where
+// the application thread lives. The whole paper is about making those match.
+
+#ifndef AFFINITY_SRC_STACK_KERNEL_H_
+#define AFFINITY_SRC_STACK_KERNEL_H_
+
+#include <functional>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/hw/nic.h"
+#include "src/hw/topology.h"
+#include "src/balance/flow_migrator.h"
+#include "src/mem/memory_system.h"
+#include "src/net/kernel_types.h"
+#include "src/sim/event_loop.h"
+#include "src/stack/core_agent.h"
+#include "src/stack/established_table.h"
+#include "src/stack/listen_socket.h"
+#include "src/stack/lock_stat.h"
+#include "src/stack/sched.h"
+#include "src/stack/tcp_conn.h"
+
+namespace affinity {
+
+struct KernelConfig {
+  MachineSpec machine = Amd48();
+  int num_cores = 48;  // enabled cores (<= machine.total_cores())
+  NicConfig nic;       // num_rings is forced to num_cores
+  ListenConfig listen;
+
+  bool lock_stat = false;          // Table 2 profiling + its overhead
+  bool profiling = false;          // DProf-style sharing profiler (Table 4)
+  uint64_t profile_sample = 1;     // profile every Nth allocation
+
+  bool flow_migration = true;      // Section 3.3.2
+  Cycles migration_period = FlowGroupMigrator::kDefaultPeriod;
+
+  // Twenty-Policy (Section 7.1): reprogram FDir towards the sendmsg() core on
+  // every Nth transmitted packet. Implies per-flow FDir steering.
+  bool twenty_policy = false;
+  int twenty_policy_interval = 20;
+
+  // Receive Flow Steering (Section 7.2, Google's software steering): the
+  // steering table lives in main memory; sendmsg() records its core; RX
+  // cores route established-flow packets to the recorded core's backlog.
+  bool rfs = false;
+
+  // Accelerated RFS (Section 7.1): the kernel updates the NIC's FDir entry
+  // towards the sendmsg() core whenever it changes. Cheaper per update than
+  // Twenty-Policy (the NIC reported the flow hash in the RX descriptor, so
+  // no hash computation), but still bounded by the FDir table and still
+  // needs periodic dead-entry scans.
+  bool arfs = false;
+  Cycles arfs_scan_period = MsToCycles(100);
+
+  Cycles load_balance_period = MsToCycles(4);
+  bool scheduler_load_balancing = true;
+};
+
+struct KernelStats {
+  uint64_t packets_processed = 0;
+  uint64_t packets_dropped_no_conn = 0;
+  uint64_t requests_delivered = 0;  // HTTP requests handed to applications
+  uint64_t responses_sent = 0;
+  uint64_t fdir_updates = 0;        // Twenty-Policy / aRFS steering operations
+  uint64_t rfs_forwarded = 0;       // packets routed via the RFS backlog
+  uint64_t arfs_scan_entries = 0;   // dead-entry scan work (aRFS)
+};
+
+struct ReadResult {
+  bool would_block = false;
+  bool fin = false;
+  uint32_t bytes = 0;
+  uint32_t request_idx = 0;
+  uint32_t file_index = 0;
+};
+
+class Kernel {
+ public:
+  Kernel(const KernelConfig& config, EventLoop* loop);
+  ~Kernel();
+
+  Kernel(const Kernel&) = delete;
+  Kernel& operator=(const Kernel&) = delete;
+
+  // --- component access ---
+  EventLoop& loop() { return *loop_; }
+  MemorySystem& mem() { return *mem_; }
+  const KernelTypes& types() const { return *types_; }
+  SimNic& nic() { return *nic_; }
+  Scheduler& scheduler() { return *scheduler_; }
+  ListenSocket& listen() { return *listen_; }
+  EstablishedTable& established() { return *established_; }
+  LockStat& lock_stat() { return lock_stat_; }
+  CoreAgent& agent(CoreId core) { return *agents_[static_cast<size_t>(core)]; }
+  int num_cores() const { return config_.num_cores; }
+  const KernelConfig& config() const { return config_; }
+  const KernelStats& stats() const { return stats_; }
+
+  // Ring serving a core (1:1 in every experiment).
+  int RingOf(CoreId core) const { return core; }
+
+  // --- syscall surface (called from thread bodies) ---
+
+  // accept4(): returns the connection, or nullptr (after parking the thread
+  // unless `nonblocking`).
+  Connection* SysAccept(ExecCtx& ctx, Thread* thread, bool nonblocking = false);
+
+  // read()/recvmsg(): consumes one queued segment (one HTTP request or FIN).
+  // On empty queue, registers `thread` as the socket's reader and parks it
+  // (unless `nonblocking`).
+  ReadResult SysRead(ExecCtx& ctx, Thread* thread, Connection* conn, bool nonblocking = false);
+
+  // writev()/sendmsg(): segments and transmits an HTTP response.
+  void SysWritev(ExecCtx& ctx, Connection* conn, uint32_t bytes, uint32_t request_idx);
+
+  // poll(): true if the listen socket (when watched) or any watched
+  // connection is readable. Otherwise parks the thread as a poller (on the
+  // listen socket) and as reader of each watched connection.
+  bool SysPoll(ExecCtx& ctx, Thread* thread, bool watch_listen,
+               const std::vector<Connection*>& conns);
+
+  // epoll_wait flavor used by the lighttpd model: same semantics as SysPoll
+  // but with the (cheaper) epoll cost profile.
+  bool SysEpollWait(ExecCtx& ctx, Thread* thread, bool watch_listen,
+                    const std::vector<Connection*>& conns);
+
+  void SysShutdown(ExecCtx& ctx, Connection* conn);
+  void SysClose(ExecCtx& ctx, Connection* conn);
+
+  // Small per-connection syscalls Apache issues (Table 3 rows).
+  void SysFcntl(ExecCtx& ctx, Connection* conn);
+  void SysGetsockname(ExecCtx& ctx, Connection* conn);
+
+  // futex(): worker-pool handoff.
+  void SysFutexWait(ExecCtx& ctx, Thread* thread, Futex* futex);
+  int SysFutexWake(ExecCtx& ctx, Futex* futex, int count);
+
+  // --- application hooks ---
+
+  // Invoked (cost-free) whenever a connection becomes readable, so event-loop
+  // applications can maintain ready lists.
+  void set_readable_callback(std::function<void(Connection*)> cb) {
+    on_readable_ = std::move(cb);
+  }
+  // Invoked when a brand-new connection lands in an accept queue.
+  void set_acceptable_callback(std::function<void(CoreId)> cb) {
+    on_acceptable_ = std::move(cb);
+  }
+
+  Connection* FindConnection(uint64_t conn_id);
+  size_t live_connections() const { return connections_.size(); }
+
+  // Aggregated perf counters over all cores.
+  PerfCounters AggregateCounters() const;
+  // Busy cycles summed over enabled cores.
+  Cycles TotalBusyCycles() const;
+  Cycles TotalSleepCycles() const;
+  void ResetAccounting();
+
+ private:
+  // Softirq NET_RX: drains the ring with a NAPI budget. ksoftirqd rounds
+  // (deferred, task priority) run several budgets per slice, like the real
+  // ksoftirqd running until need_resched.
+  void RunSoftirq(ExecCtx& ctx, int ring, bool ksoftirqd = false);
+  // Protocol handling for one received packet (on the final core).
+  void ProcessPacket(ExecCtx& ctx, const Packet& packet, SimObject skb);
+  // RFS: destination core for a flow (kNoCore if the table has no entry).
+  CoreId RfsLookup(ExecCtx& ctx, const FiveTuple& flow);
+  // RFS: sendmsg() records its core in the steering table.
+  void RfsRecordSender(ExecCtx& ctx, Connection* conn);
+  void HandleDataPacket(ExecCtx& ctx, const Packet& packet, const SimObject& skb);
+  void HandleAck(ExecCtx& ctx, const Packet& packet);
+  void HandleFin(ExecCtx& ctx, const Packet& packet);
+  void HandleDataAck(ExecCtx& ctx, const Packet& packet);
+  // Common receive-queue append + reader wakeup.
+  void DeliverToSocket(ExecCtx& ctx, Connection* conn, RecvItem item);
+  // Global sock-list bookkeeping (residual sharing under Affinity-Accept).
+  void GlobalListInsert(ExecCtx& ctx, Connection* conn);
+  void GlobalListRemove(ExecCtx& ctx, Connection* conn);
+
+  void MigrationTick();
+  void MaybeTwentyPolicySteer(ExecCtx& ctx, Connection* conn);
+  // aRFS: steer the flow's FDir entry to the sendmsg() core if it moved.
+  void MaybeArfsSteer(ExecCtx& ctx, Connection* conn);
+  void ArfsScanTick();
+  // Resets the peer: no such connection here.
+  void SendRst(ExecCtx& ctx, const Packet& packet);
+  // lock_stat accounting tax on a per-connection sock-lock round trip.
+  void TaxSockLock(ExecCtx& ctx);
+
+  KernelConfig config_;
+  EventLoop* loop_;
+  std::unique_ptr<MemorySystem> mem_;
+  std::unique_ptr<KernelTypes> types_;
+  LockStat lock_stat_;
+  std::unique_ptr<SimNic> nic_;
+  std::vector<std::unique_ptr<CoreAgent>> agents_;
+  std::unique_ptr<Scheduler> scheduler_;
+  std::unique_ptr<EstablishedTable> established_;
+  std::unique_ptr<ListenSocket> listen_;
+  std::unique_ptr<FlowGroupMigrator> migrator_;
+
+  std::unordered_map<uint64_t, Connection*> connections_;
+  uint64_t next_conn_id_ = 1;
+
+  LineId global_sock_list_line_ = 0;
+  SimObject global_list_head_sock_;  // previous head, for neighbor writes
+  bool global_list_head_valid_ = false;
+
+  std::vector<uint64_t> tx_packet_count_;  // per core, for Twenty-Policy
+
+  // RFS state: in-memory steering table + per-core backlog lines.
+  std::unordered_map<FiveTuple, CoreId, FiveTupleHasher> rfs_dest_;
+  std::vector<LineId> rfs_table_lines_;
+  std::vector<LineId> rfs_backlog_lines_;
+
+  std::function<void(Connection*)> on_readable_;
+  std::function<void(CoreId)> on_acceptable_;
+  KernelStats stats_;
+};
+
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_STACK_KERNEL_H_

@@ -1,0 +1,32 @@
+#include "src/stack/lock_stat.h"
+
+namespace affinity {
+
+LockClassId LockStat::RegisterClass(const std::string& name) {
+  for (size_t i = 0; i < classes_.size(); ++i) {
+    if (classes_[i].name == name) {
+      return static_cast<LockClassId>(i);
+    }
+  }
+  classes_.push_back(LockClassStats{name});
+  return static_cast<LockClassId>(classes_.size() - 1);
+}
+
+void LockStat::Record(LockClassId cls, Cycles hold, Cycles spin_wait, Cycles mutex_wait) {
+  LockClassStats& stats = classes_[static_cast<size_t>(cls)];
+  ++stats.acquisitions;
+  if (spin_wait > 0 || mutex_wait > 0) {
+    ++stats.contended;
+  }
+  stats.hold += hold;
+  stats.spin_wait += spin_wait;
+  stats.mutex_wait += mutex_wait;
+}
+
+void LockStat::Reset() {
+  for (LockClassStats& stats : classes_) {
+    stats = LockClassStats{stats.name};
+  }
+}
+
+}  // namespace affinity

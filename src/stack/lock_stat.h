@@ -1,0 +1,59 @@
+// lock_stat: the kernel lock profiler used for Table 2.
+//
+// "The numbers are collected using lock_stat, a Linux kernel lock profiler
+//  that reports, for all kernel locks, how long each lock is held and the
+//  wait time to acquire the lock. Using lock_stat incurs substantial overhead
+//  due to accounting on each lock operation".
+//
+// When enabled, every SimLock operation records into its lock class here and
+// charges an accounting tax to the acquiring core, reproducing both the
+// numbers and the overhead.
+
+#ifndef AFFINITY_SRC_STACK_LOCK_STAT_H_
+#define AFFINITY_SRC_STACK_LOCK_STAT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "src/sim/time.h"
+
+namespace affinity {
+
+using LockClassId = int;
+
+struct LockClassStats {
+  std::string name;
+  uint64_t acquisitions = 0;
+  uint64_t contended = 0;
+  Cycles hold = 0;
+  Cycles spin_wait = 0;   // busy-waiting (spinlock mode)
+  Cycles mutex_wait = 0;  // sleeping (mutex mode); shows up as idle time
+};
+
+class LockStat {
+ public:
+  // Registers (or finds) a lock class by name.
+  LockClassId RegisterClass(const std::string& name);
+
+  void Record(LockClassId cls, Cycles hold, Cycles spin_wait, Cycles mutex_wait);
+
+  // Whether accounting (and its per-operation tax) is active.
+  void set_enabled(bool enabled) { enabled_ = enabled; }
+  bool enabled() const { return enabled_; }
+
+  const LockClassStats& stats(LockClassId cls) const {
+    return classes_[static_cast<size_t>(cls)];
+  }
+  const std::vector<LockClassStats>& all() const { return classes_; }
+
+  void Reset();
+
+ private:
+  std::vector<LockClassStats> classes_;
+  bool enabled_ = false;
+};
+
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_STACK_LOCK_STAT_H_

@@ -1,0 +1,69 @@
+#include "src/stack/perf_counters.h"
+
+namespace affinity {
+
+const char* KernelEntryName(KernelEntry entry) {
+  switch (entry) {
+    case KernelEntry::kSoftirqNetRx:
+      return "softirq_net_rx";
+    case KernelEntry::kSysRead:
+      return "sys_read";
+    case KernelEntry::kSchedule:
+      return "schedule";
+    case KernelEntry::kSysAccept4:
+      return "sys_accept4";
+    case KernelEntry::kSysWritev:
+      return "sys_writev";
+    case KernelEntry::kSysPoll:
+      return "sys_poll";
+    case KernelEntry::kSysShutdown:
+      return "sys_shutdown";
+    case KernelEntry::kSysFutex:
+      return "sys_futex";
+    case KernelEntry::kSysClose:
+      return "sys_close";
+    case KernelEntry::kSoftirqRcu:
+      return "softirq_rcu";
+    case KernelEntry::kSysFcntl:
+      return "sys_fcntl";
+    case KernelEntry::kSysGetsockname:
+      return "sys_getsockname";
+    case KernelEntry::kSysEpollWait:
+      return "sys_epoll_wait";
+    case KernelEntry::kUserSpace:
+      return "user_space";
+    case KernelEntry::kNumEntries:
+      break;
+  }
+  return "?";
+}
+
+void PerfCounters::Record(KernelEntry entry, uint64_t cycles, uint64_t instructions,
+                          uint64_t l2_misses) {
+  EntryCounters& e = entries_[static_cast<size_t>(entry)];
+  e.cycles += cycles;
+  e.instructions += instructions;
+  e.l2_misses += l2_misses;
+  ++e.invocations;
+}
+
+void PerfCounters::Merge(const PerfCounters& other) {
+  for (size_t i = 0; i < kNumKernelEntries; ++i) {
+    entries_[i].Merge(other.entries_[i]);
+  }
+}
+
+void PerfCounters::Reset() { entries_ = {}; }
+
+uint64_t PerfCounters::NetworkStackCycles() const {
+  uint64_t total = 0;
+  for (size_t i = 0; i < kNumKernelEntries; ++i) {
+    if (static_cast<KernelEntry>(i) == KernelEntry::kUserSpace) {
+      continue;
+    }
+    total += entries_[i].cycles;
+  }
+  return total;
+}
+
+}  // namespace affinity

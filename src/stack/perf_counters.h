@@ -1,0 +1,74 @@
+// Per-kernel-entry performance counters (paper Table 3).
+//
+// The paper instruments the kernel "to record a number of performance counter
+// events during each type of system call and interrupt": clock cycles,
+// instruction count and L2 misses, categorized by kernel entry point. We keep
+// the same categories and the same three counters.
+
+#ifndef AFFINITY_SRC_STACK_PERF_COUNTERS_H_
+#define AFFINITY_SRC_STACK_PERF_COUNTERS_H_
+
+#include <array>
+#include <cstdint>
+#include <string>
+
+namespace affinity {
+
+enum class KernelEntry : uint8_t {
+  kSoftirqNetRx = 0,
+  kSysRead,
+  kSchedule,
+  kSysAccept4,
+  kSysWritev,
+  kSysPoll,
+  kSysShutdown,
+  kSysFutex,
+  kSysClose,
+  kSoftirqRcu,
+  kSysFcntl,
+  kSysGetsockname,
+  kSysEpollWait,
+  kUserSpace,  // not a kernel entry; tracks app-level cycles for totals
+  kNumEntries,
+};
+
+inline constexpr size_t kNumKernelEntries = static_cast<size_t>(KernelEntry::kNumEntries);
+
+const char* KernelEntryName(KernelEntry entry);
+
+struct EntryCounters {
+  uint64_t cycles = 0;
+  uint64_t instructions = 0;
+  uint64_t l2_misses = 0;
+  uint64_t invocations = 0;
+
+  void Merge(const EntryCounters& other) {
+    cycles += other.cycles;
+    instructions += other.instructions;
+    l2_misses += other.l2_misses;
+    invocations += other.invocations;
+  }
+};
+
+// One table of counters (typically per core, merged for reporting).
+class PerfCounters {
+ public:
+  void Record(KernelEntry entry, uint64_t cycles, uint64_t instructions, uint64_t l2_misses);
+  void Merge(const PerfCounters& other);
+  void Reset();
+
+  const EntryCounters& entry(KernelEntry e) const {
+    return entries_[static_cast<size_t>(e)];
+  }
+
+  // Sum of cycles over network-stack entries (the paper's "30% improvement"
+  // aggregation: all sys_* and softirq entries, excluding user space).
+  uint64_t NetworkStackCycles() const;
+
+ private:
+  std::array<EntryCounters, kNumKernelEntries> entries_{};
+};
+
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_STACK_PERF_COUNTERS_H_

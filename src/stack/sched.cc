@@ -1,0 +1,217 @@
+#include "src/stack/sched.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace affinity {
+
+Scheduler::Scheduler(EventLoop* loop, MemorySystem* mem, const KernelTypes* types,
+                     std::vector<std::unique_ptr<CoreAgent>>* agents)
+    : loop_(loop), mem_(mem), types_(types), agents_(agents) {
+  run_queues_.resize(agents_->size());
+  last_thread_.resize(agents_->size(), nullptr);
+  queue_delay_.resize(agents_->size(), Ewma(/*alpha=*/0.05));
+}
+
+Thread* Scheduler::Spawn(CoreId core, int process_id, bool pinned, Thread::Body body) {
+  auto thread = std::make_unique<Thread>();
+  thread->id_ = static_cast<int>(threads_.size());
+  thread->process_id_ = process_id;
+  thread->core_ = core;
+  thread->pinned_ = pinned;
+  thread->body_ = std::move(body);
+  thread->state_ = Thread::State::kBlocked;
+  // The task_struct lives in memory local to the spawning core (the prefork
+  // NUMA discussion in Section 4.2 depends on this).
+  thread->task_ = mem_->Alloc(core, types_->task_struct, nullptr);
+  Thread* raw = thread.get();
+  threads_.push_back(std::move(thread));
+  return raw;
+}
+
+void Scheduler::EnqueueRunnable(Thread* thread, Cycles not_before) {
+  CoreId core = thread->core_;
+  thread->enqueued_at_ = std::max(loop_->Now(), not_before);
+  run_queues_[static_cast<size_t>(core)].push_back(thread);
+  CoreAgent* agent = (*agents_)[static_cast<size_t>(core)].get();
+  agent->PostTask([this, core](ExecCtx& ctx) { DispatchOne(ctx, core); }, not_before);
+}
+
+void Scheduler::Wake(Thread* thread, ExecCtx* waker) {
+  if (thread->state_ == Thread::State::kRunning) {
+    // The thread's body is executing right now (its work item dispatched
+    // earlier but logically overlaps this wake). If it decides to block, the
+    // dispatcher re-wakes it immediately -- the simulator analogue of the
+    // kernel's "add to wait queue, then re-check the condition" protocol.
+    thread->wake_pending_ = true;
+    return;
+  }
+  if (thread->state_ != Thread::State::kBlocked) {
+    return;  // already runnable; nothing to do
+  }
+  thread->state_ = Thread::State::kRunnable;
+  ++thread->wake_seq_;
+  ++stats_.wakeups;
+
+  // Wake-time balancing (the role CFS load tracking plays in Linux): an
+  // unpinned thread waking onto a core whose *scheduling delay* is far above
+  // the best available core moves there. Queue delay -- not queue length --
+  // is the signal: a core hogged by a long-running compute job has a short
+  // queue but a terrible delay, and that is exactly the core to flee.
+  if (!thread->pinned_ && balance_period_ > 0) {
+    double home = queue_delay_[static_cast<size_t>(thread->core_)].value();
+    if (home > static_cast<double>(MsToCycles(2.0))) {
+      size_t best = static_cast<size_t>(thread->core_);
+      for (size_t c = 0; c < queue_delay_.size(); ++c) {
+        if (queue_delay_[c].value() < queue_delay_[best].value()) {
+          best = c;
+        }
+      }
+      if (home > 4.0 * queue_delay_[best].value() &&
+          best != static_cast<size_t>(thread->core_)) {
+        thread->core_ = static_cast<CoreId>(best);
+        ++stats_.wake_migrations;
+      }
+    }
+  }
+
+  Cycles not_before = loop_->Now();
+  if (waker != nullptr) {
+    // try_to_wake_up writes the target's scheduler state and queues it; a
+    // cross-core wake also pays an IPI.
+    waker->Mem(thread->task_, types_->task.sched_state, kWrite);
+    waker->Mem(thread->task_, types_->task.rq_node, kWrite);
+    if (waker->core() != thread->core_) {
+      waker->ChargeCycles(kIpiCycles);
+      ++stats_.remote_wakeups;
+    }
+    not_before = waker->VirtualNow();
+  }
+  EnqueueRunnable(thread, not_before);
+}
+
+void Scheduler::WakeAt(Thread* thread, Cycles when) {
+  loop_->ScheduleAt(when, [this, thread] { Wake(thread, nullptr); });
+}
+
+void Scheduler::DispatchOne(ExecCtx& ctx, CoreId core) {
+  std::deque<Thread*>& queue = run_queues_[static_cast<size_t>(core)];
+  Thread* thread = nullptr;
+  while (!queue.empty()) {
+    Thread* candidate = queue.front();
+    queue.pop_front();
+    if (candidate->state_ == Thread::State::kRunnable && candidate->core_ == core) {
+      thread = candidate;
+      break;
+    }
+    // Stale entry: the thread was migrated or re-blocked; skip it.
+  }
+  if (thread == nullptr) {
+    return;  // dispatcher raced with migration; nothing to run
+  }
+  Cycles delay = ctx.start() > thread->enqueued_at_ ? ctx.start() - thread->enqueued_at_ : 0;
+  queue_delay_[static_cast<size_t>(core)].Update(static_cast<double>(delay));
+
+  // Context switch: only charged when the core actually switches threads.
+  if (last_thread_[static_cast<size_t>(core)] != thread) {
+    ctx.BeginEntry(KernelEntry::kSchedule);
+    ctx.ChargeInstr(kInstrSchedule);
+    ctx.ChargeAuxMisses(kAuxMissSchedule);
+    ctx.ChargeCycles(kContextSwitchCycles);
+    ctx.Mem(thread->task_, types_->task.sched_state, kWrite);
+    ctx.Mem(thread->task_, types_->task.local, kRead);
+    ctx.EndEntry();
+    last_thread_[static_cast<size_t>(core)] = thread;
+    ++stats_.context_switches;
+  }
+
+  thread->state_ = Thread::State::kRunning;
+  thread->wake_pending_ = false;
+  thread->body_(ctx, *thread);
+
+  if (thread->state_ == Thread::State::kRunning) {
+    // The body neither blocked nor exited: the thread yields and stays
+    // runnable (round-robin with its core's other threads).
+    thread->state_ = Thread::State::kRunnable;
+    EnqueueRunnable(thread, ctx.VirtualNow());
+  } else if (thread->state_ == Thread::State::kBlocked && thread->wake_pending_) {
+    // A wake raced with the body blocking itself: honor it now.
+    thread->wake_pending_ = false;
+    thread->state_ = Thread::State::kRunnable;
+    EnqueueRunnable(thread, ctx.VirtualNow());
+  }
+}
+
+bool Scheduler::Migrate(Thread* thread, CoreId to_core) {
+  if (thread->pinned_ || thread->state_ == Thread::State::kRunning || thread->core_ == to_core) {
+    return false;
+  }
+  CoreId from = thread->core_;
+  thread->core_ = to_core;
+  ++stats_.migrations;
+  if (thread->state_ == Thread::State::kRunnable) {
+    // Its old run-queue entry is now stale (DispatchOne skips it); requeue on
+    // the new core.
+    (void)from;
+    EnqueueRunnable(thread, loop_->Now());
+  }
+  return true;
+}
+
+void Scheduler::EnableLoadBalancing(Cycles period) {
+  balance_period_ = period;
+  loop_->ScheduleAfter(period, [this] { BalanceTick(); });
+}
+
+void Scheduler::BalanceTick() {
+  ++stats_.balance_ticks;
+  // Find the longest and shortest run queues.
+  size_t busiest = 0;
+  size_t idlest = 0;
+  for (size_t c = 1; c < run_queues_.size(); ++c) {
+    if (run_queues_[c].size() > run_queues_[busiest].size()) {
+      busiest = c;
+    }
+    if (run_queues_[c].size() < run_queues_[idlest].size()) {
+      idlest = c;
+    }
+  }
+  if (run_queues_[busiest].size() > run_queues_[idlest].size() + 1) {
+    // Move the first migratable runnable thread.
+    for (Thread* thread : run_queues_[busiest]) {
+      if (!thread->pinned_ && thread->state_ == Thread::State::kRunnable &&
+          thread->core_ == static_cast<CoreId>(busiest)) {
+        Migrate(thread, static_cast<CoreId>(idlest));
+        break;
+      }
+    }
+  }
+  loop_->ScheduleAfter(balance_period_, [this] { BalanceTick(); });
+}
+
+Futex* Scheduler::CreateFutex(CoreId home_core) {
+  (void)home_core;
+  futexes_.push_back(std::make_unique<Futex>(mem_->ReserveGlobalLine()));
+  return futexes_.back().get();
+}
+
+void Scheduler::FutexWait(Futex* futex, Thread* thread) {
+  thread->Block();
+  futex->waiters_.push_back(thread);
+}
+
+int Scheduler::FutexWake(Futex* futex, int count, ExecCtx* waker) {
+  int woken = 0;
+  while (woken < count && !futex->waiters_.empty()) {
+    Thread* thread = futex->waiters_.front();
+    futex->waiters_.pop_front();
+    if (thread->state_ != Thread::State::kBlocked) {
+      continue;
+    }
+    Wake(thread, waker);
+    ++woken;
+  }
+  return woken;
+}
+
+}  // namespace affinity

@@ -1,0 +1,160 @@
+// Thread and CPU scheduling model.
+//
+// Threads are blockable execution contexts. A thread's body is a callback
+// invoked every time the thread is dispatched; the application logic inside
+// is written as a state machine: it performs kernel calls (which charge costs
+// into the ExecCtx) and either blocks (the kernel parked it on a wait queue),
+// yields (stays runnable), or exits.
+//
+// The scheduler keeps a FIFO run queue per core and a Linux-like periodic
+// load balancer that migrates runnable, unpinned threads from long queues to
+// short ones. The paper relies on this being *rare* under even load ("the
+// Linux load balancer rarely migrates processes, as long as the load is close
+// to even across all cores") and on sched_setaffinity pinning for the Apache
+// configuration and the make experiment -- all of which this model supports.
+
+#ifndef AFFINITY_SRC_STACK_SCHED_H_
+#define AFFINITY_SRC_STACK_SCHED_H_
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "src/mem/memory_system.h"
+#include "src/net/kernel_types.h"
+#include "src/sim/event_loop.h"
+#include "src/sim/stats.h"
+#include "src/stack/core_agent.h"
+
+namespace affinity {
+
+class Scheduler;
+
+class Thread {
+ public:
+  enum class State : uint8_t { kRunnable, kRunning, kBlocked, kDone };
+
+  using Body = std::function<void(ExecCtx&, Thread&)>;
+
+  int id() const { return id_; }
+  int process_id() const { return process_id_; }
+  CoreId core() const { return core_; }
+  State state() const { return state_; }
+  bool pinned() const { return pinned_; }
+  const SimObject& task() const { return task_; }
+
+  void set_pinned(bool pinned) { pinned_ = pinned; }
+
+  // Marks this thread blocked; the body must return right after calling this.
+  void Block() { state_ = State::kBlocked; }
+  // Marks this thread finished.
+  void Exit() { state_ = State::kDone; }
+
+ private:
+  friend class Scheduler;
+
+  int id_ = 0;
+  int process_id_ = 0;
+  CoreId core_ = 0;
+  bool pinned_ = false;
+  State state_ = State::kBlocked;
+  Body body_;
+  SimObject task_;
+  uint64_t wake_seq_ = 0;   // guards against double-wake
+  bool wake_pending_ = false;  // wake raced with the body blocking itself
+  Cycles enqueued_at_ = 0;     // when it was last queued (queue-delay signal)
+};
+
+// A futex word threads can block on (Apache's worker-pool handoff).
+class Futex {
+ public:
+  explicit Futex(LineId line) : line_(line) {}
+  LineId line() const { return line_; }
+
+ private:
+  friend class Scheduler;
+  LineId line_;
+  std::deque<Thread*> waiters_;
+};
+
+struct SchedStats {
+  uint64_t context_switches = 0;
+  uint64_t wakeups = 0;
+  uint64_t remote_wakeups = 0;
+  uint64_t migrations = 0;       // load-balancer thread migrations
+  uint64_t wake_migrations = 0;  // wake-time idle-core placement
+  uint64_t balance_ticks = 0;
+};
+
+class Scheduler {
+ public:
+  Scheduler(EventLoop* loop, MemorySystem* mem, const KernelTypes* types,
+            std::vector<std::unique_ptr<CoreAgent>>* agents);
+
+  // Creates a thread on `core`. The thread starts blocked; call Wake() (or
+  // Start()) to make it runnable.
+  Thread* Spawn(CoreId core, int process_id, bool pinned, Thread::Body body);
+
+  // Makes `thread` runnable and queues it on its core. `waker` (nullable) is
+  // the execution context performing the wakeup; it is charged the
+  // task-struct writes and, for cross-core wakes, an IPI.
+  void Wake(Thread* thread, ExecCtx* waker);
+
+  // Convenience: initial kick of a newly spawned thread.
+  void Start(Thread* thread) { Wake(thread, nullptr); }
+
+  // Wakes `thread` at an absolute time (timer expiry, client think time).
+  void WakeAt(Thread* thread, Cycles when);
+
+  // Moves a runnable thread to another core's queue (load balancer or
+  // explicit migration). No-op for pinned/running threads.
+  bool Migrate(Thread* thread, CoreId to_core);
+
+  // Periodic load balancing: every `period`, move one runnable unpinned
+  // thread from the longest run queue to the shortest if they differ by more
+  // than one. Matches the "rarely migrates under even load" behaviour.
+  void EnableLoadBalancing(Cycles period);
+
+  // --- futexes ---
+  Futex* CreateFutex(CoreId home_core);
+  // Parks `thread` on the futex (caller charges the sys_futex entry).
+  void FutexWait(Futex* futex, Thread* thread);
+  // Wakes up to `count` waiters; returns how many were woken.
+  int FutexWake(Futex* futex, int count, ExecCtx* waker);
+
+  size_t RunQueueLength(CoreId core) const {
+    return run_queues_[static_cast<size_t>(core)].size();
+  }
+  // Smoothed scheduling delay on `core` (cycles between a thread becoming
+  // runnable and being dispatched) -- the load signal wake balancing uses.
+  double QueueDelay(CoreId core) const {
+    return queue_delay_[static_cast<size_t>(core)].value();
+  }
+  const SchedStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = SchedStats{}; }
+  size_t num_threads() const { return threads_.size(); }
+  Thread* thread(size_t i) { return threads_[i].get(); }
+
+ private:
+  void EnqueueRunnable(Thread* thread, Cycles not_before);
+  void DispatchOne(ExecCtx& ctx, CoreId core);
+  void BalanceTick();
+
+  EventLoop* loop_;
+  MemorySystem* mem_;
+  const KernelTypes* types_;
+  std::vector<std::unique_ptr<CoreAgent>>* agents_;
+  std::vector<std::unique_ptr<Thread>> threads_;
+  std::vector<std::unique_ptr<Futex>> futexes_;
+  std::vector<std::deque<Thread*>> run_queues_;
+  std::vector<Thread*> last_thread_;  // per core, for context-switch accounting
+  std::vector<Ewma> queue_delay_;     // per core, cycles
+  SchedStats stats_;
+  Cycles balance_period_ = 0;
+};
+
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_STACK_SCHED_H_

@@ -1,0 +1,49 @@
+#include "src/stack/sim_lock.h"
+
+#include <algorithm>
+
+#include "src/stack/costs.h"
+
+namespace affinity {
+
+SimLock::SimLock(LockClassId cls, LockStat* stat, LineId line)
+    : cls_(cls), stat_(stat), line_(line) {}
+
+SimLock::Grant SimLock::Acquire(Cycles arrival, Cycles hold, LockContext context) {
+  Grant grant;
+  grant.grant_time = std::max(arrival, free_at_);
+  Cycles wait = grant.grant_time - arrival;
+
+  if (context == LockContext::kSoftirq) {
+    grant.spin_wait = wait;
+  } else {
+    grant.spin_wait = std::min(wait, kMutexSpinCycles);
+    grant.sleep_wait = wait - grant.spin_wait;
+    if (grant.sleep_wait > 0) {
+      // The waiter slept: the lock sits dead while the wakeup + context
+      // switch complete. Subsequent acquirers queue behind the handoff.
+      grant.grant_time += kMutexHandoffCycles;
+      grant.sleep_wait += kMutexHandoffCycles;
+    }
+  }
+
+  // The uncontended atomic + barrier cost is part of the hold window.
+  Cycles effective_hold = hold + kLockOpCycles;
+  if (stat_ != nullptr && stat_->enabled()) {
+    // lock_stat accounting lengthens every operation.
+    effective_hold += kLockStatTaxCycles;
+  }
+  grant.release_time = grant.grant_time + effective_hold;
+  free_at_ = grant.release_time;
+
+  ++acquisitions_;
+  if (wait > 0) {
+    ++contentions_;
+  }
+  if (stat_ != nullptr && stat_->enabled()) {
+    stat_->Record(cls_, effective_hold, grant.spin_wait, grant.sleep_wait);
+  }
+  return grant;
+}
+
+}  // namespace affinity

@@ -1,0 +1,81 @@
+// Analytic lock model.
+//
+// Locks are the one place the simulator does not step cycle by cycle.
+// Instead each lock keeps the time at which it next becomes free; an acquirer
+// arriving at time A with a critical section of H cycles is granted the lock
+// at G = max(A, free_at) and extends free_at to G + H. The wait G - A is
+// charged to the acquirer:
+//   - softirq context always busy-waits (Linux's bh spinlock on the socket):
+//     the whole wait is *spin* time, and the core is busy throughout;
+//   - process context (lock_sock) spins briefly and then sleeps: wait beyond
+//     kMutexSpinCycles is *mutex* (sleep) time. The paper's Table 2 counts
+//     exactly these two buckets ("the socket lock works in two modes:
+//     spinlock mode where the kernel busy loops and mutex mode where the
+//     kernel puts the thread to sleep"); mutex wait is accounted as idle.
+//
+// This analytic treatment is deterministic and exact for FIFO lock handoff,
+// which is what a ticket spinlock provides.
+
+#ifndef AFFINITY_SRC_STACK_SIM_LOCK_H_
+#define AFFINITY_SRC_STACK_SIM_LOCK_H_
+
+#include <string>
+
+#include "src/mem/cacheline.h"
+#include "src/stack/lock_stat.h"
+#include "src/sim/time.h"
+
+namespace affinity {
+
+enum class LockContext : uint8_t {
+  kSoftirq,  // spin for the full wait
+  kProcess,  // spin up to kMutexSpinCycles, then sleep
+};
+
+class SimLock {
+ public:
+  // Process-context acquirers spin this long before sleeping.
+  static constexpr Cycles kMutexSpinCycles = 6000;
+
+  // When the lock is handed to a waiter that went to sleep, the critical
+  // section cannot start until that thread has been woken and scheduled.
+  // The lock is dead for the whole handoff -- the convoy that collapses
+  // Stock-Accept once accept() waiters start sleeping (Section 6.3's "idle
+  // time past 12 cores ... mutex mode where the kernel puts the thread to
+  // sleep").
+  static constexpr Cycles kMutexHandoffCycles = 26000;  // ~11 us at 2.4 GHz
+
+  // `line` is the cache line holding the lock word (the caller charges the
+  // coherence access; the lock itself only does time accounting).
+  SimLock(LockClassId cls, LockStat* stat, LineId line);
+
+  struct Grant {
+    Cycles grant_time = 0;  // when the critical section starts
+    Cycles spin_wait = 0;   // busy cycles burned waiting
+    Cycles sleep_wait = 0;  // slept cycles (idle) in mutex mode
+    Cycles release_time = 0;  // grant_time + hold
+  };
+
+  // Acquires at `arrival` for a critical section of `hold` cycles.
+  // Both the grant and the release are computed immediately (the model is
+  // analytic); the caller charges spin_wait as busy time, sleep_wait as idle
+  // time, and runs its critical section [grant_time, release_time).
+  Grant Acquire(Cycles arrival, Cycles hold, LockContext context);
+
+  Cycles free_at() const { return free_at_; }
+  LineId line() const { return line_; }
+  uint64_t acquisitions() const { return acquisitions_; }
+  uint64_t contentions() const { return contentions_; }
+
+ private:
+  LockClassId cls_;
+  LockStat* stat_;
+  LineId line_;
+  Cycles free_at_ = 0;
+  uint64_t acquisitions_ = 0;
+  uint64_t contentions_ = 0;
+};
+
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_STACK_SIM_LOCK_H_

@@ -1,0 +1,80 @@
+// Simulated kernel connection state.
+
+#ifndef AFFINITY_SRC_STACK_TCP_CONN_H_
+#define AFFINITY_SRC_STACK_TCP_CONN_H_
+
+#include <cstdint>
+#include <deque>
+
+#include "src/mem/object.h"
+#include "src/net/flow.h"
+#include "src/net/packet.h"
+#include "src/sim/time.h"
+
+namespace affinity {
+
+class Thread;
+
+// One segment queued on a connection's receive queue, waiting for recvmsg.
+struct RecvItem {
+  SimObject skb;
+  SimObject payload;  // slab buffer holding the data
+  uint32_t bytes = 0;
+  PacketKind kind = PacketKind::kHttpRequest;
+  uint32_t request_idx = 0;
+  uint32_t file_index = 0;
+};
+
+// An in-flight TX segment: freed when the client's cumulative ACK arrives
+// (which happens on the connection's softirq core -- the remote-free path
+// under Fine-Accept).
+struct TxItem {
+  SimObject skb;
+  SimObject payload;
+  uint32_t bytes = 0;
+};
+
+// Kernel view of one established TCP connection.
+struct Connection {
+  enum class State : uint8_t {
+    kAcceptQueue,  // 3WHS done, waiting in an accept queue
+    kEstablished,  // accepted; owned by an application thread
+    kCloseWait,    // FIN received
+    kClosed,
+  };
+
+  uint64_t id = 0;
+  FiveTuple flow;
+  State state = State::kAcceptQueue;
+  uint64_t listen_id = 0;
+
+  SimObject sock;  // tcp_sock
+  SimObject sfd;   // socket_fd, allocated at accept() time
+  bool has_sfd = false;
+  // The request socket stays attached until accept() consumes it (the Linux
+  // accept queue holds request_socks linking to the child socket) -- the
+  // paper's 100%-shared tcp_request_sock row under Fine-Accept comes from
+  // accept() reading it on another core.
+  SimObject request;
+  bool has_request = false;
+
+  // The core whose softirq created the socket (3WHS completion) and the core
+  // that accepted it. Equal under Affinity-Accept, usually different under
+  // Fine-Accept -- that difference is the entire paper.
+  CoreId softirq_core = kNoCore;
+  CoreId accept_core = kNoCore;
+
+  std::deque<RecvItem> recv_queue;
+  std::deque<TxItem> unacked_tx;
+  Thread* reader = nullptr;  // thread blocked waiting for data on this socket
+
+  bool fin_received = false;
+  uint32_t requests_served = 0;
+
+  // Application cookie (e.g. the event-server process owning this socket).
+  void* user_data = nullptr;
+};
+
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_STACK_TCP_CONN_H_

@@ -1,0 +1,311 @@
+#include "src/hw/nic.h"
+
+#include <gtest/gtest.h>
+
+#include "src/hw/nic_catalogue.h"
+#include "src/hw/topology.h"
+#include "src/net/flow.h"
+
+namespace affinity {
+namespace {
+
+Packet MakePacket(uint16_t src_port, PacketKind kind = PacketKind::kSyn,
+                  uint32_t bytes = kHeaderBytes) {
+  Packet p;
+  p.flow = FiveTuple{0x0a000001, 0x0a00ffff, src_port, 80};
+  p.kind = kind;
+  p.wire_bytes = bytes;
+  return p;
+}
+
+class NicTest : public ::testing::Test {
+ protected:
+  NicConfig BaseConfig() {
+    NicConfig config;
+    config.num_rings = 8;
+    config.num_flow_groups = 64;
+    return config;
+  }
+};
+
+TEST_F(NicTest, FlowGroupSteeringIsDeterministicPerFlow) {
+  EventLoop loop;
+  SimNic nic(BaseConfig(), &loop);
+  nic.ProgramFlowGroupsRoundRobin();
+  int ring = nic.SteerOf(MakePacket(1234).flow);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(nic.SteerOf(MakePacket(1234).flow), ring);
+  }
+}
+
+TEST_F(NicTest, FlowGroupIsLowBitsOfSourcePort) {
+  EventLoop loop;
+  SimNic nic(BaseConfig(), &loop);
+  nic.ProgramFlowGroupsRoundRobin();
+  // Ports equal mod 64 (the group count) share a flow group -> same ring.
+  int a = nic.SteerOf(MakePacket(100).flow);
+  int b = nic.SteerOf(MakePacket(100 + 64).flow);
+  int c = nic.SteerOf(MakePacket(100 + 128).flow);
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(b, c);
+}
+
+TEST_F(NicTest, ProgrammingCostsInsertPerGroup) {
+  EventLoop loop;
+  SimNic nic(BaseConfig(), &loop);
+  Cycles cost = nic.ProgramFlowGroupsRoundRobin();
+  EXPECT_EQ(cost, 64u * FdirTable::kInsertCost);
+}
+
+TEST_F(NicTest, RoundRobinGroupsCoverAllRings) {
+  EventLoop loop;
+  SimNic nic(BaseConfig(), &loop);
+  nic.ProgramFlowGroupsRoundRobin();
+  std::vector<int> hits(8, 0);
+  for (uint32_t g = 0; g < 64; ++g) {
+    ++hits[static_cast<size_t>(nic.RingOfFlowGroup(g))];
+  }
+  for (int h : hits) {
+    EXPECT_EQ(h, 8);
+  }
+}
+
+TEST_F(NicTest, MigrateFlowGroupRedirectsPackets) {
+  EventLoop loop;
+  SimNic nic(BaseConfig(), &loop);
+  nic.ProgramFlowGroupsRoundRobin();
+  FiveTuple flow = MakePacket(100).flow;
+  uint32_t group = FlowGroupOf(flow, 64);
+  Cycles cost = nic.MigrateFlowGroup(group, 5);
+  EXPECT_EQ(cost, FdirTable::kInsertCost);
+  EXPECT_EQ(nic.RingOfFlowGroup(group), 5);
+  EXPECT_EQ(nic.SteerOf(flow), 5);
+}
+
+TEST_F(NicTest, DeliveryLandsInSteeredRing) {
+  EventLoop loop;
+  SimNic nic(BaseConfig(), &loop);
+  nic.ProgramFlowGroupsRoundRobin();
+  Packet p = MakePacket(777);
+  int ring = nic.SteerOf(p.flow);
+  nic.DeliverFromWire(p);
+  loop.RunAll();
+  EXPECT_EQ(nic.RxPending(ring), 1u);
+  auto popped = nic.PopRx(ring);
+  ASSERT_TRUE(popped.has_value());
+  EXPECT_EQ(popped->flow, p.flow);
+}
+
+TEST_F(NicTest, InterruptRaisedOnEmptyToNonEmpty) {
+  EventLoop loop;
+  SimNic nic(BaseConfig(), &loop);
+  nic.ProgramFlowGroupsRoundRobin();
+  int interrupts = 0;
+  nic.set_rx_interrupt_handler([&](int) { ++interrupts; });
+  Packet p = MakePacket(777);
+  nic.DeliverFromWire(p);
+  loop.RunAll();
+  EXPECT_EQ(interrupts, 1);
+  // Second packet into a non-empty ring: no new interrupt.
+  nic.DeliverFromWire(p);
+  loop.RunAll();
+  EXPECT_EQ(interrupts, 1);
+}
+
+TEST_F(NicTest, RingOverflowDrops) {
+  NicConfig config = BaseConfig();
+  config.ring_capacity = 4;
+  EventLoop loop;
+  SimNic nic(config, &loop);
+  nic.ProgramFlowGroupsRoundRobin();
+  for (int i = 0; i < 10; ++i) {
+    nic.DeliverFromWire(MakePacket(777));
+    loop.RunAll();
+  }
+  EXPECT_EQ(nic.stats().rx_dropped_ring_full, 6u);
+  EXPECT_EQ(nic.stats().rx_packets, 4u);
+}
+
+TEST_F(NicTest, TransmitDeliversToWireHandlerAfterSerialization) {
+  EventLoop loop;
+  SimNic nic(BaseConfig(), &loop);
+  int delivered = 0;
+  Cycles when = 0;
+  nic.set_wire_tx_handler([&](const Packet&) {
+    ++delivered;
+    when = loop.Now();
+  });
+  nic.Transmit(0, MakePacket(1, PacketKind::kHttpData, 1500));
+  loop.RunAll();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_GT(when, 0u);  // serialization takes time
+}
+
+TEST_F(NicTest, PortSerializesTransmits) {
+  EventLoop loop;
+  SimNic nic(BaseConfig(), &loop);
+  std::vector<Cycles> times;
+  nic.set_wire_tx_handler([&](const Packet&) { times.push_back(loop.Now()); });
+  for (int i = 0; i < 3; ++i) {
+    nic.Transmit(0, MakePacket(1, PacketKind::kHttpData, 1500));
+  }
+  loop.RunAll();
+  ASSERT_EQ(times.size(), 3u);
+  Cycles gap1 = times[1] - times[0];
+  Cycles gap2 = times[2] - times[1];
+  EXPECT_EQ(gap1, gap2);  // back-to-back packets are spaced by wire time
+  EXPECT_GT(gap1, 0u);
+}
+
+TEST_F(NicTest, PpsCeilingDominatesForSmallPackets) {
+  // A 66-byte control packet's wire time at 10 Gb/s would be ~53 ns; the pps
+  // ceiling (3.2 Mpps -> 312 ns) is the binding constraint.
+  NicConfig config = BaseConfig();
+  EventLoop loop;
+  SimNic nic(config, &loop);
+  std::vector<Cycles> times;
+  nic.set_wire_tx_handler([&](const Packet&) { times.push_back(loop.Now()); });
+  nic.Transmit(0, MakePacket(1));
+  nic.Transmit(0, MakePacket(1));
+  loop.RunAll();
+  Cycles gap = times[1] - times[0];
+  EXPECT_EQ(gap, SecToCycles(1.0 / config.port_max_pps));
+}
+
+TEST_F(NicTest, RxOverloadDropsWhenBufferingExceeded) {
+  NicConfig config = BaseConfig();
+  config.port_max_pps = 1e4;              // absurdly slow port
+  config.max_rx_queue_delay = UsToCycles(100);
+  EventLoop loop;
+  SimNic nic(config, &loop);
+  nic.ProgramFlowGroupsRoundRobin();
+  for (int i = 0; i < 100; ++i) {
+    nic.DeliverFromWire(MakePacket(static_cast<uint16_t>(i)));
+  }
+  loop.RunAll();
+  EXPECT_GT(nic.stats().rx_dropped_overload, 0u);
+}
+
+TEST_F(NicTest, SteerFlowInsertsPerConnectionEntry) {
+  NicConfig config = BaseConfig();
+  config.mode = SteeringMode::kPerFlowFdir;
+  EventLoop loop;
+  SimNic nic(config, &loop);
+  FiveTuple flow = MakePacket(999).flow;
+  Cycles cost = nic.SteerFlow(flow, 6);
+  EXPECT_EQ(cost, FdirTable::kInsertCost);
+  EXPECT_EQ(nic.SteerOf(flow), 6);
+}
+
+TEST_F(NicTest, SteerFlowFullTableTriggersFlushAndTxHalt) {
+  NicConfig config = BaseConfig();
+  config.mode = SteeringMode::kPerFlowFdir;
+  config.fdir_capacity = 4;
+  EventLoop loop;
+  SimNic nic(config, &loop);
+  for (uint16_t p = 0; p < 4; ++p) {
+    nic.SteerFlow(MakePacket(p).flow, 0);
+  }
+  Cycles cost = nic.SteerFlow(MakePacket(100).flow, 0);
+  EXPECT_EQ(cost, FdirTable::kInsertCost + FdirTable::kFlushScheduleCost + FdirTable::kFlushCost);
+  EXPECT_GT(nic.tx_halted_until(), loop.Now());
+  EXPECT_EQ(nic.fdir().stats().flushes, 1u);
+  // Everything except the new flow was flushed.
+  EXPECT_EQ(nic.fdir().size(), 1u);
+}
+
+TEST_F(NicTest, RxDroppedDuringFlushInPerFlowMode) {
+  NicConfig config = BaseConfig();
+  config.mode = SteeringMode::kPerFlowFdir;
+  config.fdir_capacity = 1;
+  EventLoop loop;
+  SimNic nic(config, &loop);
+  nic.SteerFlow(MakePacket(1).flow, 0);
+  nic.SteerFlow(MakePacket(2).flow, 0);  // flush: TX halted, RX missed
+  nic.DeliverFromWire(MakePacket(3));
+  loop.RunAll();
+  EXPECT_EQ(nic.stats().rx_dropped_flush, 1u);
+}
+
+TEST_F(NicTest, FdirMissFallsBackToRss) {
+  NicConfig config = BaseConfig();
+  config.mode = SteeringMode::kPerFlowFdir;
+  EventLoop loop;
+  SimNic nic(config, &loop);
+  nic.SteerOf(MakePacket(42).flow);  // no entry programmed
+  EXPECT_EQ(nic.stats().rss_fallbacks, 1u);
+}
+
+TEST_F(NicTest, TwoPortsSplitRings) {
+  NicConfig config = BaseConfig();
+  config.num_rings = 80;
+  config.num_ports = 2;
+  EventLoop loop;
+  SimNic nic(config, &loop);
+  std::vector<Cycles> times;
+  nic.set_wire_tx_handler([&](const Packet&) { times.push_back(loop.Now()); });
+  // Rings on different ports transmit concurrently (same completion time).
+  nic.Transmit(0, MakePacket(1, PacketKind::kHttpData, 1500));
+  nic.Transmit(79, MakePacket(2, PacketKind::kHttpData, 1500));
+  loop.RunAll();
+  ASSERT_EQ(times.size(), 2u);
+  EXPECT_EQ(times[0], times[1]);
+}
+
+TEST(TopologyTest, Amd48Shape) {
+  MachineSpec spec = Amd48();
+  EXPECT_EQ(spec.total_cores(), 48);
+  EXPECT_EQ(spec.num_chips, 8);
+  EXPECT_EQ(spec.cores_per_chip, 6);
+  EXPECT_EQ(spec.ChipOf(0), 0);
+  EXPECT_EQ(spec.ChipOf(5), 0);
+  EXPECT_EQ(spec.ChipOf(6), 1);
+  EXPECT_TRUE(spec.SameChip(42, 47));
+  EXPECT_FALSE(spec.SameChip(5, 6));
+}
+
+TEST(TopologyTest, Intel80Shape) {
+  MachineSpec spec = Intel80();
+  EXPECT_EQ(spec.total_cores(), 80);
+  EXPECT_EQ(spec.cores_per_chip, 10);
+  EXPECT_EQ(spec.memory.name, "Intel");
+}
+
+TEST(NicCatalogueTest, Table5Rows) {
+  const auto& catalogue = NicCatalogue();
+  ASSERT_EQ(catalogue.size(), 4u);
+
+  const NicModel* intel = FindNicModel("Intel");
+  ASSERT_NE(intel, nullptr);
+  EXPECT_EQ(intel->hw_dma_rings, 64);
+  EXPECT_EQ(intel->rss_dma_rings, 16);
+  EXPECT_EQ(intel->flow_steering_entries, 32 * 1024);
+
+  const NicModel* solarflare = FindNicModel("Solarflare");
+  ASSERT_NE(solarflare, nullptr);
+  EXPECT_EQ(solarflare->hw_dma_rings, 32);
+  EXPECT_EQ(solarflare->flow_steering_entries, 8 * 1024);
+
+  const NicModel* myricom = FindNicModel("Myricom");
+  ASSERT_NE(myricom, nullptr);
+  EXPECT_FALSE(myricom->flow_steering_entries.has_value());
+
+  EXPECT_EQ(FindNicModel("Broadcom"), nullptr);
+}
+
+TEST(FlowHashTest, DeterministicAndSpread) {
+  FiveTuple a{1, 2, 3, 4};
+  EXPECT_EQ(FlowHash(a), FlowHash(a));
+  // Different ports give different hashes (with overwhelming probability).
+  FiveTuple b{1, 2, 5, 4};
+  EXPECT_NE(FlowHash(a), FlowHash(b));
+}
+
+TEST(FlowGroupTest, LowBitsOfSourcePort) {
+  FiveTuple t{9, 9, 0x1ABC, 80};
+  EXPECT_EQ(FlowGroupOf(t, 4096), 0xABCu);
+  EXPECT_EQ(FlowGroupOf(t, 16), 0xCu);
+}
+
+}  // namespace
+}  // namespace affinity

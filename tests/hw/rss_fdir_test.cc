@@ -1,0 +1,127 @@
+// RSS indirection table and FDir flow-steering table tests.
+
+#include <gtest/gtest.h>
+
+#include "src/hw/fdir.h"
+#include "src/hw/rss.h"
+
+namespace affinity {
+namespace {
+
+TEST(RssTest, DefaultsToRingZero) {
+  RssTable rss;
+  EXPECT_EQ(rss.Lookup(0xdeadbeef), 0);
+}
+
+TEST(RssTest, RoundRobinSpreadsOver16RingsMax) {
+  // The IXGBE limitation the paper calls out: 4-bit entries, 16 rings.
+  RssTable rss;
+  rss.DistributeRoundRobin(48);
+  int max_ring = 0;
+  for (int i = 0; i < RssTable::kEntries; ++i) {
+    max_ring = std::max(max_ring, rss.entry(i));
+  }
+  EXPECT_EQ(max_ring, 15);
+}
+
+TEST(RssTest, RoundRobinCoversAllRequestedRings) {
+  RssTable rss;
+  rss.DistributeRoundRobin(8);
+  std::vector<int> hits(8, 0);
+  for (int i = 0; i < RssTable::kEntries; ++i) {
+    ASSERT_LT(rss.entry(i), 8);
+    ++hits[static_cast<size_t>(rss.entry(i))];
+  }
+  for (int h : hits) {
+    EXPECT_EQ(h, RssTable::kEntries / 8);
+  }
+}
+
+TEST(RssTest, LookupIndexesByHashMod128) {
+  RssTable rss;
+  rss.SetEntry(5, 9);
+  EXPECT_EQ(rss.Lookup(5), 9);
+  EXPECT_EQ(rss.Lookup(5 + 128), 9);
+  EXPECT_EQ(rss.Lookup(5 + 256), 9);
+}
+
+TEST(RssTest, SetEntryValidatesRange) {
+  RssTable rss;
+  EXPECT_FALSE(rss.SetEntry(-1, 0));
+  EXPECT_FALSE(rss.SetEntry(128, 0));
+  EXPECT_FALSE(rss.SetEntry(0, 16));  // 4-bit identifiers only
+  EXPECT_TRUE(rss.SetEntry(0, 15));
+}
+
+TEST(FdirTest, InsertAndLookup) {
+  FdirTable fdir(16);
+  EXPECT_TRUE(fdir.Insert(0x1234, 7));
+  auto ring = fdir.Lookup(0x1234);
+  ASSERT_TRUE(ring.has_value());
+  EXPECT_EQ(*ring, 7);
+  EXPECT_FALSE(fdir.Lookup(0x9999).has_value());
+}
+
+TEST(FdirTest, UpdateExistingKeyDoesNotGrow) {
+  FdirTable fdir(1);
+  EXPECT_TRUE(fdir.Insert(1, 0));
+  EXPECT_TRUE(fdir.Insert(1, 5));  // update in place, even at capacity
+  EXPECT_EQ(*fdir.Lookup(1), 5);
+  EXPECT_EQ(fdir.stats().updates, 1u);
+  EXPECT_EQ(fdir.size(), 1u);
+}
+
+TEST(FdirTest, RejectsNewKeysWhenFull) {
+  FdirTable fdir(2);
+  EXPECT_TRUE(fdir.Insert(1, 0));
+  EXPECT_TRUE(fdir.Insert(2, 0));
+  EXPECT_FALSE(fdir.Insert(3, 0));
+  EXPECT_TRUE(fdir.Full());
+  EXPECT_EQ(fdir.stats().rejected_full, 1u);
+}
+
+TEST(FdirTest, FlushDropsEverything) {
+  FdirTable fdir(4);
+  fdir.Insert(1, 0);
+  fdir.Insert(2, 1);
+  fdir.Flush();
+  EXPECT_EQ(fdir.size(), 0u);
+  EXPECT_FALSE(fdir.Lookup(1).has_value());
+  EXPECT_EQ(fdir.stats().flushes, 1u);
+}
+
+TEST(FdirTest, LookupStatsTrackHitRate) {
+  FdirTable fdir(4);
+  fdir.Insert(1, 0);
+  fdir.Lookup(1);
+  fdir.Lookup(2);
+  EXPECT_EQ(fdir.stats().lookups, 2u);
+  EXPECT_EQ(fdir.stats().hits, 1u);
+}
+
+TEST(FdirTest, DefaultCapacityIs32K) {
+  FdirTable fdir;
+  EXPECT_EQ(fdir.capacity(), 32u * 1024u);
+}
+
+TEST(FdirTest, PaperCostConstants) {
+  // Section 7.1: "It takes 10,000 cycles to add an entry into the FDir hash
+  // table ... the table insert takes 600 cycles", "up to 80,000 cycles to
+  // schedule ... the flush operation, and 70,000 cycles to flush".
+  EXPECT_EQ(FdirTable::kInsertCost, 10000u);
+  EXPECT_EQ(FdirTable::kTableWriteCost, 600u);
+  EXPECT_EQ(FdirTable::kFlushScheduleCost, 80000u);
+  EXPECT_EQ(FdirTable::kFlushCost, 70000u);
+}
+
+TEST(FdirTest, HoldsAllFlowGroups) {
+  // Affinity-Accept needs 4,096 flow-group entries to fit comfortably.
+  FdirTable fdir(8 * 1024);  // even the smallest table in Table 5's range
+  for (uint32_t g = 0; g < 4096; ++g) {
+    ASSERT_TRUE(fdir.Insert(g, static_cast<int>(g % 48)));
+  }
+  EXPECT_EQ(fdir.size(), 4096u);
+}
+
+}  // namespace
+}  // namespace affinity

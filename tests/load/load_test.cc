@@ -1,0 +1,188 @@
+// Tests for the file-set workload and the httperf client model.
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.h"
+#include "src/load/httperf.h"
+#include "src/load/workload.h"
+
+namespace affinity {
+namespace {
+
+TEST(FileSetTest, PaperWorkloadShape) {
+  MemorySystem mem(AmdMemoryProfile(), 4, 2);
+  KernelTypes types(mem.registry());
+  FileSetConfig config;  // defaults = the paper's mix
+  FileSet files(config, &mem, &types, 4);
+
+  EXPECT_EQ(files.num_files(), 30000u);
+  uint32_t lo = UINT32_MAX;
+  uint32_t hi = 0;
+  for (uint32_t i = 0; i < files.num_files(); ++i) {
+    lo = std::min(lo, files.size_of(i));
+    hi = std::max(hi, files.size_of(i));
+  }
+  EXPECT_GE(lo, 30u);
+  EXPECT_LE(hi, 5670u);
+  // "The average file size ... is around 700 bytes" (Section 6.6).
+  EXPECT_NEAR(files.mean_size(), 700.0, 120.0);
+}
+
+TEST(FileSetTest, ScaleMultipliesSizes) {
+  MemorySystem mem(AmdMemoryProfile(), 2, 2);
+  KernelTypes types(mem.registry());
+  FileSetConfig small_cfg;
+  small_cfg.num_files = 100;
+  FileSetConfig big_cfg = small_cfg;
+  big_cfg.scale = 10.0;
+  FileSet small(small_cfg, &mem, &types, 2);
+  FileSet big(big_cfg, &mem, &types, 2);
+  for (uint32_t i = 0; i < 100; ++i) {
+    // Scaling happens before integer truncation; allow rounding slack.
+    EXPECT_NEAR(static_cast<double>(big.size_of(i)),
+                static_cast<double>(small.size_of(i)) * 10.0, 10.0);
+  }
+}
+
+TEST(FileSetTest, DeterministicForSameSeed) {
+  MemorySystem mem(AmdMemoryProfile(), 2, 2);
+  KernelTypes types(mem.registry());
+  FileSetConfig config;
+  config.num_files = 500;
+  FileSet a(config, &mem, &types, 2);
+  FileSet b(config, &mem, &types, 2);
+  for (uint32_t i = 0; i < 500; ++i) {
+    EXPECT_EQ(a.size_of(i), b.size_of(i));
+  }
+}
+
+TEST(FileSetTest, PickIsUniformish) {
+  MemorySystem mem(AmdMemoryProfile(), 2, 2);
+  KernelTypes types(mem.registry());
+  FileSetConfig config;
+  config.num_files = 10;
+  FileSet files(config, &mem, &types, 2);
+  Rng rng(3);
+  std::vector<int> hits(10, 0);
+  for (int i = 0; i < 10000; ++i) {
+    ++hits[files.Pick(rng)];
+  }
+  for (int h : hits) {
+    EXPECT_NEAR(h, 1000, 150);
+  }
+}
+
+TEST(FileSetTest, FileObjectsSpreadAcrossCores) {
+  MemorySystem mem(AmdMemoryProfile(), 4, 2);
+  KernelTypes types(mem.registry());
+  FileSetConfig config;
+  config.num_files = 8;
+  FileSet files(config, &mem, &types, 4);
+  EXPECT_EQ(files.object_of(0).alloc_core, 0);
+  EXPECT_EQ(files.object_of(1).alloc_core, 1);
+  EXPECT_EQ(files.object_of(5).alloc_core, 1);
+}
+
+// Client tests run against a real (small) kernel + server via Experiment.
+class HttperfIntegrationTest : public ::testing::Test {
+ protected:
+  ExperimentConfig SmallConfig() {
+    ExperimentConfig config;
+    config.kernel.machine = Amd48();
+    config.kernel.num_cores = 2;
+    config.kernel.listen.variant = AcceptVariant::kAffinity;
+    config.server = ServerKind::kApacheWorker;
+    config.worker.workers_per_process = 32;
+    config.client.num_sessions = 20;
+    config.client.ramp = MsToCycles(10);
+    config.warmup = MsToCycles(50);
+    config.measure = MsToCycles(600);
+    return config;
+  }
+};
+
+TEST_F(HttperfIntegrationTest, SessionsCompleteTheirSixRequests) {
+  Experiment experiment(SmallConfig());
+  ExperimentResult result = experiment.Run();
+  EXPECT_GT(result.conns_completed, 10u);
+  EXPECT_EQ(result.timeouts, 0u);
+  // 6 requests per connection.
+  EXPECT_NEAR(static_cast<double>(result.requests) /
+                  static_cast<double>(result.conns_completed),
+              6.0, 0.5);
+}
+
+TEST_F(HttperfIntegrationTest, ConnLatencyIncludesTwoThinkTimes) {
+  // 1+2+3 bursts with 100 ms think between: every connection takes >= 200 ms.
+  Experiment experiment(SmallConfig());
+  ExperimentResult result = experiment.Run();
+  ASSERT_GT(result.client.conn_latency.count(), 0u);
+  EXPECT_GE(result.client.conn_latency.min(), MsToCycles(200));
+  EXPECT_LE(result.client.conn_latency.Median(), MsToCycles(320));
+}
+
+TEST_F(HttperfIntegrationTest, NoThinkTimeRunsFast) {
+  ExperimentConfig config = SmallConfig();
+  config.client.burst_pattern = false;
+  config.client.think_time = 0;
+  Experiment experiment(config);
+  ExperimentResult result = experiment.Run();
+  ASSERT_GT(result.client.conn_latency.count(), 0u);
+  EXPECT_LT(result.client.conn_latency.Median(), MsToCycles(50));
+  EXPECT_GT(result.conns_completed, 100u);  // much faster turnover
+}
+
+TEST_F(HttperfIntegrationTest, RequestsPerConnectionConfigurable) {
+  ExperimentConfig config = SmallConfig();
+  config.client.requests_per_connection = 12;
+  // No think time: connections finish inside the window, so the
+  // requests/connection ratio is not skewed by in-flight sessions.
+  config.client.burst_pattern = false;
+  config.client.think_time = 0;
+  Experiment experiment(config);
+  ExperimentResult result = experiment.Run();
+  ASSERT_GT(result.conns_completed, 0u);
+  EXPECT_NEAR(static_cast<double>(result.requests) /
+                  static_cast<double>(result.conns_completed),
+              12.0, 1.0);
+}
+
+TEST_F(HttperfIntegrationTest, OpenLoopArrivalsApproximateRate) {
+  ExperimentConfig config = SmallConfig();
+  config.client.num_sessions = 0;
+  config.client.open_loop_conn_rate = 500.0;  // conns/sec
+  // Each worker thread holds one connection for its full ~230 ms lifetime:
+  // provision the pool above the ~115-connection steady state.
+  config.worker.workers_per_process = 128;
+  // Completions lag arrivals by a connection lifetime (~230 ms); warm up past
+  // that so the window sees the steady completion rate.
+  config.warmup = MsToCycles(600);
+  config.measure = MsToCycles(1000);
+  Experiment experiment(config);
+  ExperimentResult result = experiment.Run();
+  EXPECT_NEAR(static_cast<double>(result.conns_completed), 500.0, 130.0);
+}
+
+TEST_F(HttperfIntegrationTest, DeterministicAcrossRuns) {
+  ExperimentConfig config = SmallConfig();
+  ExperimentResult a = Experiment(config).Run();
+  ExperimentResult b = Experiment(config).Run();
+  EXPECT_EQ(a.requests, b.requests);
+  EXPECT_EQ(a.conns_completed, b.conns_completed);
+  EXPECT_EQ(a.counters.entry(KernelEntry::kSoftirqNetRx).cycles,
+            b.counters.entry(KernelEntry::kSoftirqNetRx).cycles);
+}
+
+TEST_F(HttperfIntegrationTest, ClientMetricsResetAtWindow) {
+  ExperimentConfig config = SmallConfig();
+  Experiment experiment(config);
+  experiment.Build();
+  experiment.RunFor(config.warmup);
+  uint64_t warm = experiment.client().metrics().requests_completed;
+  EXPECT_GT(warm, 0u);
+  experiment.BeginMeasurement();
+  EXPECT_EQ(experiment.client().metrics().requests_completed, 0u);
+}
+
+}  // namespace
+}  // namespace affinity

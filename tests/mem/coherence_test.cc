@@ -1,0 +1,237 @@
+#include "src/mem/coherence.h"
+
+#include <gtest/gtest.h>
+
+#include "src/mem/memory_profile.h"
+#include "src/mem/memory_system.h"  // kRead / kWrite
+#include "src/sim/rng.h"
+
+namespace affinity {
+namespace {
+
+// AMD topology: 6 cores per chip. Cores 0-5 on chip 0, 6-11 on chip 1, ...
+CoherenceModel AmdModel() { return CoherenceModel(AmdMemoryProfile(), 6); }
+
+TEST(CoreSetTest, InsertEraseContains) {
+  CoreSet set;
+  EXPECT_TRUE(set.Empty());
+  set.Insert(3);
+  set.Insert(100);
+  EXPECT_TRUE(set.Contains(3));
+  EXPECT_TRUE(set.Contains(100));
+  EXPECT_FALSE(set.Contains(4));
+  EXPECT_EQ(set.Count(), 2);
+  set.Erase(3);
+  EXPECT_FALSE(set.Contains(3));
+  EXPECT_EQ(set.Count(), 1);
+}
+
+TEST(CoreSetTest, AnyOtherSkipsSelf) {
+  CoreSet set;
+  set.Insert(5);
+  EXPECT_EQ(set.AnyOther(5), kNoCore);
+  set.Insert(9);
+  EXPECT_EQ(set.AnyOther(5), 9);
+  EXPECT_EQ(set.AnyOther(9), 5);
+}
+
+TEST(CoreSetTest, UnionWith) {
+  CoreSet a;
+  CoreSet b;
+  a.Insert(1);
+  b.Insert(64);
+  a.UnionWith(b);
+  EXPECT_TRUE(a.Contains(1));
+  EXPECT_TRUE(a.Contains(64));
+}
+
+TEST(CoherenceTest, ColdMissIsRamFill) {
+  CoherenceModel model = AmdModel();
+  AccessResult r = model.Access(0, 42, kRead);
+  EXPECT_EQ(r.source, MemSource::kRam);
+  EXPECT_EQ(r.latency, AmdMemoryProfile().ram);
+}
+
+TEST(CoherenceTest, RepeatedAccessHitsL1) {
+  CoherenceModel model = AmdModel();
+  model.Access(0, 42, kRead);
+  AccessResult r = model.Access(0, 42, kRead);
+  EXPECT_EQ(r.source, MemSource::kL1);
+  EXPECT_EQ(r.latency, AmdMemoryProfile().l1);
+}
+
+TEST(CoherenceTest, AgedSharedCopyHitsL2) {
+  CoherenceModel model = AmdModel();
+  model.Access(0, 42, kRead);
+  model.Access(1, 42, kRead);  // core 1 is now the last toucher
+  AccessResult r = model.Access(0, 42, kRead);
+  EXPECT_EQ(r.source, MemSource::kL2);
+}
+
+TEST(CoherenceTest, DirtyLineSameChipComesFromL3) {
+  CoherenceModel model = AmdModel();
+  model.Access(0, 7, kWrite);
+  AccessResult r = model.Access(3, 7, kRead);  // same chip (0-5)
+  EXPECT_EQ(r.source, MemSource::kL3);
+  EXPECT_EQ(r.latency, AmdMemoryProfile().l3);
+}
+
+TEST(CoherenceTest, DirtyLineRemoteChipIsRemoteCache) {
+  CoherenceModel model = AmdModel();
+  model.Access(0, 7, kWrite);
+  AccessResult r = model.Access(12, 7, kRead);  // chip 2
+  EXPECT_EQ(r.source, MemSource::kRemoteCache);
+  EXPECT_EQ(r.latency, AmdMemoryProfile().remote_l3);
+}
+
+TEST(CoherenceTest, CleanShareAcrossChipsServedByDram) {
+  CoherenceModel model = AmdModel();
+  model.Access(0, 7, kRead);  // clean copy on chip 0
+  AccessResult r = model.Access(12, 7, kRead);
+  EXPECT_EQ(r.source, MemSource::kRam);
+}
+
+TEST(CoherenceTest, WriteInvalidatesOtherSharers) {
+  CoherenceModel model = AmdModel();
+  model.Access(0, 7, kRead);
+  model.Access(12, 7, kRead);
+  // Core 0 upgrades to exclusive; core 12's copy dies.
+  model.Access(0, 7, kWrite);
+  AccessResult r = model.Access(12, 7, kRead);
+  EXPECT_EQ(r.source, MemSource::kRemoteCache);  // dirty in core 0's cache
+}
+
+TEST(CoherenceTest, UpgradeWriteChargesInvalidationDistance) {
+  CoherenceModel model = AmdModel();
+  model.Access(0, 7, kRead);
+  model.Access(12, 7, kRead);
+  // Core 0 holds a copy but must invalidate chip 2's copy: remote upgrade.
+  AccessResult r = model.Access(0, 7, kWrite);
+  EXPECT_EQ(r.source, MemSource::kRemoteCache);
+}
+
+TEST(CoherenceTest, UpgradeWriteSameChipCheaper) {
+  CoherenceModel model = AmdModel();
+  model.Access(0, 7, kRead);
+  model.Access(3, 7, kRead);  // same chip
+  AccessResult r = model.Access(0, 7, kWrite);
+  EXPECT_EQ(r.source, MemSource::kL3);
+}
+
+TEST(CoherenceTest, ExclusiveWriteIsCheap) {
+  CoherenceModel model = AmdModel();
+  model.Access(0, 7, kWrite);
+  AccessResult r = model.Access(0, 7, kWrite);
+  EXPECT_EQ(r.source, MemSource::kL1);
+}
+
+TEST(CoherenceTest, ReadOfDirtyRemoteCleansLine) {
+  CoherenceModel model = AmdModel();
+  model.Access(0, 7, kWrite);
+  model.Access(12, 7, kRead);  // forces writeback
+  // A third chip now reads: served by DRAM (clean), not the remote cache.
+  AccessResult r = model.Access(24, 7, kRead);
+  EXPECT_EQ(r.source, MemSource::kRam);
+}
+
+TEST(CoherenceTest, PingPongWritesAlwaysRemote) {
+  // The paper's cache-line ping-pong: alternating writers on distant chips.
+  CoherenceModel model = AmdModel();
+  model.Access(0, 99, kWrite);
+  for (int i = 0; i < 10; ++i) {
+    AccessResult a = model.Access(42, 99, kWrite);  // chip 7
+    EXPECT_EQ(a.source, MemSource::kRemoteCache);
+    AccessResult b = model.Access(0, 99, kWrite);
+    EXPECT_EQ(b.source, MemSource::kRemoteCache);
+  }
+}
+
+TEST(CoherenceTest, ClassifyDoesNotMutate) {
+  CoherenceModel model = AmdModel();
+  model.Access(0, 7, kWrite);
+  EXPECT_EQ(model.Classify(12, 7, kRead), MemSource::kRemoteCache);
+  // Still dirty in core 0: classify again, same answer.
+  EXPECT_EQ(model.Classify(12, 7, kRead), MemSource::kRemoteCache);
+  EXPECT_EQ(model.Classify(0, 7, kRead), MemSource::kL1);
+}
+
+TEST(CoherenceTest, ClassifyUnknownLineIsRam) {
+  CoherenceModel model = AmdModel();
+  EXPECT_EQ(model.Classify(0, 12345, kRead), MemSource::kRam);
+}
+
+TEST(CoherenceTest, ForgetLineMakesNextAccessCold) {
+  CoherenceModel model = AmdModel();
+  model.Access(0, 7, kWrite);
+  model.ForgetLine(7);
+  AccessResult r = model.Access(0, 7, kRead);
+  EXPECT_EQ(r.source, MemSource::kRam);
+}
+
+TEST(CoherenceTest, DmaWriteInvalidatesAllCaches) {
+  CoherenceModel model = AmdModel();
+  model.Access(0, 7, kWrite);
+  model.DmaWrite(7);
+  AccessResult r = model.Access(0, 7, kRead);
+  EXPECT_EQ(r.source, MemSource::kRam);
+}
+
+TEST(CoherenceTest, InstallPlacesLineInCache) {
+  CoherenceModel model = AmdModel();
+  model.Install(3, 7, /*dirty=*/true);
+  EXPECT_EQ(model.Classify(3, 7, kRead), MemSource::kL1);
+  EXPECT_EQ(model.Classify(10, 7, kRead), MemSource::kRemoteCache);
+}
+
+TEST(CoherenceTest, SameChipHelper) {
+  CoherenceModel model = AmdModel();
+  EXPECT_TRUE(model.SameChip(0, 5));
+  EXPECT_FALSE(model.SameChip(5, 6));
+  EXPECT_TRUE(model.SameChip(42, 47));
+}
+
+TEST(CoherenceTest, TracksAccessAndLineCounts) {
+  CoherenceModel model = AmdModel();
+  model.Access(0, 1, kRead);
+  model.Access(0, 2, kRead);
+  model.Access(0, 1, kRead);
+  EXPECT_EQ(model.accesses(), 3u);
+  EXPECT_EQ(model.tracked_lines(), 2u);
+}
+
+TEST(CoherenceTest, IntelProfileLatencies) {
+  CoherenceModel model(IntelMemoryProfile(), 10);
+  model.Access(0, 7, kWrite);
+  AccessResult r = model.Access(15, 7, kRead);  // chip 1
+  EXPECT_EQ(r.latency, IntelMemoryProfile().remote_l3);
+}
+
+// Property test: whatever the access pattern, the returned latency is always
+// one of the profile's levels and the sharer set stays consistent with the
+// last operation.
+class CoherencePropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(CoherencePropertyTest, LatencyAlwaysFromProfile) {
+  const MemoryProfile& p = AmdMemoryProfile();
+  CoherenceModel model(p, 6);
+  Rng rng(GetParam());
+  for (int i = 0; i < 5000; ++i) {
+    CoreId core = static_cast<CoreId>(rng.NextBelow(48));
+    LineId line = rng.NextBelow(64);
+    bool write = rng.NextBool(0.5);
+    AccessResult r = model.Access(core, line, write);
+    bool known = r.latency == p.l1 || r.latency == p.l2 || r.latency == p.l3 ||
+                 r.latency == p.ram || r.latency == p.remote_l3 || r.latency == p.remote_ram;
+    ASSERT_TRUE(known) << "latency " << r.latency;
+    // A write must leave the writer as exclusive owner: an immediate re-read
+    // is an L1 hit.
+    if (write) {
+      ASSERT_EQ(model.Classify(core, line, kRead), MemSource::kL1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CoherencePropertyTest, ::testing::Values(1, 2, 3, 4, 5));
+
+}  // namespace
+}  // namespace affinity

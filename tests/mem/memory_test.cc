@@ -1,0 +1,242 @@
+// Tests for memory profiles, the object registry, the slab allocator and the
+// MemorySystem facade.
+
+#include <gtest/gtest.h>
+
+#include "src/mem/memory_profile.h"
+#include "src/mem/memory_system.h"
+#include "src/mem/object.h"
+#include "src/net/kernel_types.h"
+
+namespace affinity {
+namespace {
+
+TEST(MemoryProfileTest, AmdMatchesPaperTable1) {
+  const MemoryProfile& p = AmdMemoryProfile();
+  EXPECT_EQ(p.l1, 3u);
+  EXPECT_EQ(p.l2, 14u);
+  EXPECT_EQ(p.l3, 28u);
+  EXPECT_EQ(p.ram, 120u);
+  EXPECT_EQ(p.remote_l3, 460u);
+  EXPECT_EQ(p.remote_ram, 500u);
+}
+
+TEST(MemoryProfileTest, IntelMatchesPaperTable1) {
+  const MemoryProfile& p = IntelMemoryProfile();
+  EXPECT_EQ(p.l1, 4u);
+  EXPECT_EQ(p.l2, 12u);
+  EXPECT_EQ(p.l3, 24u);
+  EXPECT_EQ(p.ram, 90u);
+  EXPECT_EQ(p.remote_l3, 200u);
+  EXPECT_EQ(p.remote_ram, 280u);
+}
+
+TEST(MemoryProfileTest, LatencyForMapsAllSources) {
+  const MemoryProfile& p = AmdMemoryProfile();
+  EXPECT_EQ(p.LatencyFor(MemSource::kL1), p.l1);
+  EXPECT_EQ(p.LatencyFor(MemSource::kL2), p.l2);
+  EXPECT_EQ(p.LatencyFor(MemSource::kL3), p.l3);
+  EXPECT_EQ(p.LatencyFor(MemSource::kRam), p.ram);
+  EXPECT_EQ(p.LatencyFor(MemSource::kRemoteCache), p.remote_l3);
+  EXPECT_EQ(p.LatencyFor(MemSource::kRemoteRam), p.remote_ram);
+}
+
+TEST(MemSourceTest, L2MissClassification) {
+  EXPECT_FALSE(IsL2Miss(MemSource::kL1));
+  EXPECT_FALSE(IsL2Miss(MemSource::kL2));
+  EXPECT_TRUE(IsL2Miss(MemSource::kL3));
+  EXPECT_TRUE(IsL2Miss(MemSource::kRam));
+  EXPECT_TRUE(IsL2Miss(MemSource::kRemoteCache));
+  EXPECT_TRUE(IsL2Miss(MemSource::kRemoteRam));
+}
+
+TEST(MemSourceTest, RemoteClassification) {
+  EXPECT_FALSE(IsRemote(MemSource::kL3));
+  EXPECT_FALSE(IsRemote(MemSource::kRam));
+  EXPECT_TRUE(IsRemote(MemSource::kRemoteCache));
+  EXPECT_TRUE(IsRemote(MemSource::kRemoteRam));
+}
+
+TEST(ObjectTypeTest, RegisterAndLookup) {
+  TypeRegistry reg;
+  ObjectType& t = reg.Register("foo", 256);
+  FieldId f = t.AddField("bar", 8, 16);
+  EXPECT_EQ(t.size_bytes(), 256u);
+  EXPECT_EQ(t.num_lines(), 4u);
+  EXPECT_EQ(t.FindField("bar"), f);
+  EXPECT_EQ(t.FindField("missing"), ObjectType::kInvalidField);
+  EXPECT_EQ(reg.FindByName("foo"), &reg.Get(t.id()));
+  EXPECT_EQ(reg.FindByName("nope"), nullptr);
+}
+
+TEST(ObjectTypeTest, ReRegisterSameNameReturnsExisting) {
+  TypeRegistry reg;
+  ObjectType& a = reg.Register("foo", 128);
+  ObjectType& b = reg.Register("foo", 128);
+  EXPECT_EQ(&a, &b);
+  EXPECT_EQ(reg.size(), 1u);
+}
+
+TEST(ObjectTypeTest, NumLinesRoundsUp) {
+  TypeRegistry reg;
+  EXPECT_EQ(reg.Register("a", 1).num_lines(), 1u);
+  EXPECT_EQ(reg.Register("b", 64).num_lines(), 1u);
+  EXPECT_EQ(reg.Register("c", 65).num_lines(), 2u);
+  EXPECT_EQ(reg.Register("d", 1664).num_lines(), 26u);
+}
+
+TEST(KernelTypesTest, PaperObjectSizes) {
+  TypeRegistry reg;
+  KernelTypes types(reg);
+  EXPECT_EQ(reg.Get(types.tcp_sock).size_bytes(), 1664u);       // Table 4
+  EXPECT_EQ(reg.Get(types.sk_buff).size_bytes(), 512u);         // Table 4
+  EXPECT_EQ(reg.Get(types.tcp_request_sock).size_bytes(), 128u);  // Table 4
+  EXPECT_EQ(reg.Get(types.socket_fd).size_bytes(), 640u);       // Table 4
+  EXPECT_EQ(reg.Get(types.file_obj).size_bytes(), 192u);        // Table 4
+  EXPECT_EQ(reg.Get(types.task_struct).size_bytes(), 5184u);    // Table 4
+}
+
+TEST(KernelTypesTest, TcpSockSpans26Lines) {
+  TypeRegistry reg;
+  KernelTypes types(reg);
+  EXPECT_EQ(reg.Get(types.tcp_sock).num_lines(), 26u);
+}
+
+TEST(KernelTypesTest, PayloadTypeSelection) {
+  TypeRegistry reg;
+  KernelTypes types(reg);
+  EXPECT_EQ(types.PayloadTypeFor(64), types.slab_128);
+  EXPECT_EQ(types.PayloadTypeFor(700), types.slab_1024);
+  EXPECT_EQ(types.PayloadTypeFor(1500), types.slab_4096);
+  EXPECT_EQ(types.PayloadTypeFor(8000), types.slab_16384);
+}
+
+TEST(SlabTest, AllocAssignsDisjointLines) {
+  MemorySystem mem(AmdMemoryProfile(), 4, 2);
+  TypeId t = mem.registry().Register("obj", 128).id();
+  SimObject a = mem.Alloc(0, t);
+  SimObject b = mem.Alloc(0, t);
+  EXPECT_NE(a.instance, b.instance);
+  EXPECT_NE(a.base_line, b.base_line);
+  EXPECT_GE(b.base_line, a.base_line + 2);  // 128 B = 2 lines
+}
+
+TEST(SlabTest, FreeRecyclesLocally) {
+  MemorySystem mem(AmdMemoryProfile(), 4, 2);
+  TypeId t = mem.registry().Register("obj", 128).id();
+  SimObject a = mem.Alloc(0, t);
+  LineId line = a.base_line;
+  mem.Free(0, a);
+  SimObject b = mem.Alloc(0, t);
+  EXPECT_EQ(b.base_line, line);  // LIFO reuse
+  EXPECT_EQ(mem.slab().stats().recycled, 1u);
+}
+
+TEST(SlabTest, RemoteFreeCounted) {
+  MemorySystem mem(AmdMemoryProfile(), 4, 2);
+  TypeId t = mem.registry().Register("obj", 128).id();
+  SimObject a = mem.Alloc(0, t);
+  mem.Free(3, a);  // freed on another core
+  EXPECT_EQ(mem.slab().stats().remote_frees, 1u);
+  // The buffer now sits in core 3's pool: core 3 reuses it.
+  SimObject b = mem.Alloc(3, t);
+  EXPECT_EQ(b.base_line, a.base_line);
+}
+
+TEST(SlabTest, RemoteFreeCostsMoreThanLocal) {
+  MemorySystem mem(AmdMemoryProfile(), 12, 6);
+  TypeId t = mem.registry().Register("obj", 128).id();
+
+  SimObject a = mem.Alloc(0, t);
+  Cycles local_cost = 0;
+  mem.Free(0, a, &local_cost);
+
+  SimObject b = mem.Alloc(0, t);
+  Cycles remote_cost = 0;
+  mem.Free(6, b, &remote_cost);  // other chip: must pull the dirty header line
+
+  EXPECT_GT(remote_cost, local_cost);
+}
+
+TEST(SlabTest, LiveObjectCount) {
+  MemorySystem mem(AmdMemoryProfile(), 2, 2);
+  TypeId t = mem.registry().Register("obj", 64).id();
+  SimObject a = mem.Alloc(0, t);
+  SimObject b = mem.Alloc(0, t);
+  EXPECT_EQ(mem.slab().live_objects(), 2u);
+  mem.Free(0, a);
+  mem.Free(0, b);
+  EXPECT_EQ(mem.slab().live_objects(), 0u);
+}
+
+TEST(MemorySystemTest, AccessFieldChargesAndCountsMisses) {
+  MemorySystem mem(AmdMemoryProfile(), 2, 2);
+  KernelTypes types(mem.registry());
+  SimObject sock = mem.Alloc(0, types.tcp_sock);
+
+  uint64_t misses_before = mem.total_l2_misses();
+  Cycles c = mem.AccessField(0, sock, types.ts.rcv_nxt, kWrite);
+  EXPECT_GT(c, 0u);
+  EXPECT_GT(mem.total_l2_misses(), misses_before);  // cold line
+
+  Cycles warm = mem.AccessField(0, sock, types.ts.rcv_nxt, kRead);
+  EXPECT_EQ(warm, AmdMemoryProfile().l1);
+}
+
+TEST(MemorySystemTest, FieldSpanningLinesChargesEachLine) {
+  MemorySystem mem(AmdMemoryProfile(), 2, 2);
+  ObjectType& t = mem.registry().Register("wide", 256);
+  FieldId wide = t.AddField("wide", 0, 200);  // 4 lines
+  SimObject obj = mem.Alloc(0, t.id());
+
+  // After warming, a read of the 4-line field costs 4 L1 hits.
+  mem.AccessField(0, obj, wide, kWrite);
+  Cycles c = mem.AccessField(0, obj, wide, kRead);
+  EXPECT_EQ(c, 4 * AmdMemoryProfile().l1);
+}
+
+TEST(MemorySystemTest, DmaWriteObjectColdMisses) {
+  MemorySystem mem(AmdMemoryProfile(), 2, 2);
+  KernelTypes types(mem.registry());
+  SimObject skb = mem.Alloc(0, types.sk_buff);
+  mem.AccessBytes(0, skb, 0, 512, kWrite);  // warm all lines
+  mem.DmaWriteObject(skb);
+  mem.AccessField(0, skb, types.skb.node, kRead);
+  EXPECT_EQ(mem.last_source(), MemSource::kRam);
+}
+
+TEST(MemorySystemTest, RemoteAccessTracked) {
+  MemorySystem mem(AmdMemoryProfile(), 12, 6);
+  KernelTypes types(mem.registry());
+  SimObject sock = mem.Alloc(0, types.tcp_sock);
+  mem.AccessField(0, sock, types.ts.rcv_nxt, kWrite);
+  uint64_t remote_before = mem.total_remote_accesses();
+  mem.AccessField(6, sock, types.ts.rcv_nxt, kRead);  // other chip
+  EXPECT_EQ(mem.total_remote_accesses(), remote_before + 1);
+}
+
+TEST(MemorySystemTest, DramContentionScalesWithCores) {
+  MemorySystem small(AmdMemoryProfile(), 1, 6);
+  MemorySystem big(AmdMemoryProfile(), 48, 6);
+  // A cold fill on the 48-core system costs more than on the 1-core system.
+  TypeId t1 = small.registry().Register("o", 64).id();
+  TypeId t2 = big.registry().Register("o", 64).id();
+  SimObject a = small.Alloc(0, t1);
+  SimObject b = big.Alloc(0, t2);
+  small.coherence().DmaWrite(a.base_line);
+  big.coherence().DmaWrite(b.base_line);
+  Cycles c1 = small.AccessBytes(0, a, 0, 8, kRead);
+  Cycles c2 = big.AccessBytes(0, b, 0, 8, kRead);
+  EXPECT_GT(c2, c1);
+  EXPECT_EQ(c1, AmdMemoryProfile().ram);  // single core: unloaded latency
+}
+
+TEST(MemorySystemTest, GlobalLinesAreDistinct) {
+  MemorySystem mem(AmdMemoryProfile(), 2, 2);
+  LineId a = mem.ReserveGlobalLine();
+  LineId b = mem.ReserveGlobalLine();
+  EXPECT_NE(a, b);
+}
+
+}  // namespace
+}  // namespace affinity

@@ -1,0 +1,156 @@
+#include "src/mem/sharing_profiler.h"
+
+#include <gtest/gtest.h>
+
+#include "src/mem/memory_system.h"
+#include "src/net/kernel_types.h"
+
+namespace affinity {
+namespace {
+
+class SharingProfilerTest : public ::testing::Test {
+ protected:
+  SharingProfilerTest() : mem_(AmdMemoryProfile(), 12, 6), types_(mem_.registry()) {
+    mem_.EnableProfiling();
+  }
+
+  // Finds a type's report row; fails the test if absent.
+  TypeSharingReport ReportFor(const std::string& name) {
+    mem_.profiler()->Flush();
+    for (const TypeSharingReport& r : mem_.profiler()->Report()) {
+      if (r.type_name == name) {
+        return r;
+      }
+    }
+    ADD_FAILURE() << "no report for " << name;
+    return {};
+  }
+
+  MemorySystem mem_;
+  KernelTypes types_;
+};
+
+TEST_F(SharingProfilerTest, SingleCoreObjectHasNoSharing) {
+  SimObject sock = mem_.Alloc(0, types_.tcp_sock);
+  mem_.AccessField(0, sock, types_.ts.rcv_nxt, kWrite);
+  mem_.AccessField(0, sock, types_.ts.snd_nxt, kWrite);
+  mem_.AccessField(0, sock, types_.ts.rcv_nxt, kRead);
+  mem_.Free(0, sock);
+
+  TypeSharingReport r = ReportFor("tcp_sock");
+  EXPECT_EQ(r.instances, 1u);
+  EXPECT_EQ(r.pct_lines_shared, 0.0);
+  EXPECT_EQ(r.pct_bytes_shared, 0.0);
+  EXPECT_EQ(r.cycles_on_shared, 0.0);
+}
+
+TEST_F(SharingProfilerTest, TwoCoreAccessMarksShared) {
+  SimObject sock = mem_.Alloc(0, types_.tcp_sock);
+  mem_.AccessField(0, sock, types_.ts.rcv_nxt, kWrite);
+  mem_.AccessField(7, sock, types_.ts.rcv_nxt, kRead);  // another core
+  mem_.Free(0, sock);
+
+  TypeSharingReport r = ReportFor("tcp_sock");
+  // rcv_nxt is 16 bytes of 1664 and sits on 1 of 26 lines.
+  EXPECT_NEAR(r.pct_lines_shared, 100.0 / 26.0, 0.1);
+  EXPECT_NEAR(r.pct_bytes_shared, 100.0 * 16.0 / 1664.0, 0.1);
+  EXPECT_GT(r.cycles_on_shared, 0.0);
+}
+
+TEST_F(SharingProfilerTest, ReadOnlySharingIsNotRw) {
+  SimObject sock = mem_.Alloc(0, types_.tcp_sock);
+  mem_.AccessField(0, sock, types_.ts.cong_ops, kRead);
+  mem_.AccessField(7, sock, types_.ts.cong_ops, kRead);
+  mem_.Free(0, sock);
+
+  TypeSharingReport r = ReportFor("tcp_sock");
+  EXPECT_GT(r.pct_bytes_shared, 0.0);
+  EXPECT_EQ(r.pct_bytes_shared_rw, 0.0);
+}
+
+TEST_F(SharingProfilerTest, WriterMakesSharingRw) {
+  SimObject sock = mem_.Alloc(0, types_.tcp_sock);
+  mem_.AccessField(0, sock, types_.ts.rcv_nxt, kWrite);
+  mem_.AccessField(7, sock, types_.ts.rcv_nxt, kRead);
+  mem_.Free(0, sock);
+
+  TypeSharingReport r = ReportFor("tcp_sock");
+  EXPECT_DOUBLE_EQ(r.pct_bytes_shared, r.pct_bytes_shared_rw);
+}
+
+TEST_F(SharingProfilerTest, AggregatesAcrossInstances) {
+  // Instance 1: shared; instance 2: private. Percentages average.
+  SimObject a = mem_.Alloc(0, types_.tcp_request_sock);
+  mem_.AccessField(0, a, types_.rs.seqs, kWrite);
+  mem_.AccessField(7, a, types_.rs.seqs, kRead);
+  mem_.Free(0, a);
+
+  SimObject b = mem_.Alloc(0, types_.tcp_request_sock);
+  mem_.AccessField(0, b, types_.rs.seqs, kWrite);
+  mem_.Free(0, b);
+
+  TypeSharingReport r = ReportFor("tcp_request_sock");
+  EXPECT_EQ(r.instances, 2u);
+  // One of two instances had 1 of 2 lines shared -> 25% average.
+  EXPECT_NEAR(r.pct_lines_shared, 25.0, 0.1);
+}
+
+TEST_F(SharingProfilerTest, FlushCapturesLiveInstances) {
+  SimObject sock = mem_.Alloc(0, types_.tcp_sock);
+  mem_.AccessField(0, sock, types_.ts.rcv_nxt, kWrite);
+  mem_.AccessField(7, sock, types_.ts.rcv_nxt, kRead);
+  // No Free: Flush must still fold the live instance in.
+  TypeSharingReport r = ReportFor("tcp_sock");
+  EXPECT_EQ(r.instances, 1u);
+  EXPECT_GT(r.pct_lines_shared, 0.0);
+}
+
+TEST_F(SharingProfilerTest, SharedLatencyHistogramFills) {
+  SimObject sock = mem_.Alloc(0, types_.tcp_sock);
+  mem_.AccessField(0, sock, types_.ts.rcv_nxt, kWrite);
+  mem_.AccessField(7, sock, types_.ts.rcv_nxt, kRead);   // becomes shared
+  mem_.AccessField(0, sock, types_.ts.rcv_nxt, kWrite);  // shared access
+  EXPECT_GT(mem_.profiler()->shared_access_latency().count(), 0u);
+}
+
+TEST_F(SharingProfilerTest, ReportSortedByCyclesOnShared) {
+  // tcp_sock gets expensive sharing, request sock cheap sharing.
+  SimObject sock = mem_.Alloc(0, types_.tcp_sock);
+  for (int i = 0; i < 10; ++i) {
+    mem_.AccessField(0, sock, types_.ts.rcv_nxt, kWrite);
+    mem_.AccessField(7, sock, types_.ts.rcv_nxt, kWrite);
+  }
+  SimObject req = mem_.Alloc(0, types_.tcp_request_sock);
+  mem_.AccessField(0, req, types_.rs.seqs, kWrite);
+  mem_.AccessField(7, req, types_.rs.seqs, kRead);
+  mem_.Free(0, sock);
+  mem_.Free(0, req);
+
+  mem_.profiler()->Flush();
+  auto reports = mem_.profiler()->Report();
+  ASSERT_GE(reports.size(), 2u);
+  EXPECT_EQ(reports[0].type_name, "tcp_sock");
+  for (size_t i = 1; i < reports.size(); ++i) {
+    EXPECT_GE(reports[i - 1].cycles_on_shared, reports[i].cycles_on_shared);
+  }
+}
+
+TEST(SharingProfilerSamplingTest, SamplePeriodSkipsInstances) {
+  MemorySystem mem(AmdMemoryProfile(), 2, 2);
+  mem.EnableProfiling(/*sample_period=*/2);
+  KernelTypes types(mem.registry());
+  for (int i = 0; i < 10; ++i) {
+    SimObject obj = mem.Alloc(0, types.sk_buff);
+    mem.AccessField(0, obj, types.skb.len, kWrite);
+    mem.Free(0, obj);
+  }
+  mem.profiler()->Flush();
+  for (const TypeSharingReport& r : mem.profiler()->Report()) {
+    if (r.type_name == "sk_buff") {
+      EXPECT_EQ(r.instances, 5u);  // every 2nd allocation profiled
+    }
+  }
+}
+
+}  // namespace
+}  // namespace affinity

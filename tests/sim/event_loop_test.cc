@@ -1,0 +1,168 @@
+#include "src/sim/event_loop.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace affinity {
+namespace {
+
+TEST(EventLoopTest, StartsAtTimeZero) {
+  EventLoop loop;
+  EXPECT_EQ(loop.Now(), 0u);
+  EXPECT_TRUE(loop.empty());
+}
+
+TEST(EventLoopTest, RunsEventsInTimeOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  loop.ScheduleAt(300, [&] { order.push_back(3); });
+  loop.ScheduleAt(100, [&] { order.push_back(1); });
+  loop.ScheduleAt(200, [&] { order.push_back(2); });
+  loop.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(loop.Now(), 300u);
+}
+
+TEST(EventLoopTest, EqualTimestampsRunInSchedulingOrder) {
+  EventLoop loop;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    loop.ScheduleAt(50, [&order, i] { order.push_back(i); });
+  }
+  loop.RunAll();
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(order[static_cast<size_t>(i)], i);
+  }
+}
+
+TEST(EventLoopTest, ScheduleAfterUsesCurrentTime) {
+  EventLoop loop;
+  Cycles seen = 0;
+  loop.ScheduleAt(100, [&] {
+    loop.ScheduleAfter(50, [&] { seen = loop.Now(); });
+  });
+  loop.RunAll();
+  EXPECT_EQ(seen, 150u);
+}
+
+TEST(EventLoopTest, SchedulingInThePastClampsToNow) {
+  EventLoop loop;
+  Cycles seen = 0;
+  loop.ScheduleAt(100, [&] {
+    loop.ScheduleAt(10, [&] { seen = loop.Now(); });  // in the past
+  });
+  loop.RunAll();
+  EXPECT_EQ(seen, 100u);
+  EXPECT_EQ(loop.past_schedules(), 1u);
+}
+
+TEST(EventLoopTest, CancelPreventsExecution) {
+  EventLoop loop;
+  bool ran = false;
+  EventId id = loop.ScheduleAt(100, [&] { ran = true; });
+  EXPECT_TRUE(loop.Cancel(id));
+  loop.RunAll();
+  EXPECT_FALSE(ran);
+}
+
+TEST(EventLoopTest, CancelReturnsFalseForUnknownId) {
+  EventLoop loop;
+  EXPECT_FALSE(loop.Cancel(0));
+  EXPECT_FALSE(loop.Cancel(12345));
+}
+
+TEST(EventLoopTest, CancelReturnsFalseAfterExecution) {
+  EventLoop loop;
+  EventId id = loop.ScheduleAt(10, [] {});
+  loop.RunAll();
+  EXPECT_FALSE(loop.Cancel(id));
+}
+
+TEST(EventLoopTest, DoubleCancelReturnsFalse) {
+  EventLoop loop;
+  EventId id = loop.ScheduleAt(10, [] {});
+  EXPECT_TRUE(loop.Cancel(id));
+  EXPECT_FALSE(loop.Cancel(id));
+}
+
+TEST(EventLoopTest, RunUntilStopsAtDeadline) {
+  EventLoop loop;
+  int count = 0;
+  loop.ScheduleAt(100, [&] { ++count; });
+  loop.ScheduleAt(200, [&] { ++count; });
+  loop.ScheduleAt(300, [&] { ++count; });
+  EXPECT_EQ(loop.RunUntil(250), 2u);
+  EXPECT_EQ(count, 2);
+  EXPECT_EQ(loop.Now(), 250u);  // advanced to the deadline
+  EXPECT_EQ(loop.pending(), 1u);
+}
+
+TEST(EventLoopTest, RunUntilAdvancesTimeEvenWithNoEvents) {
+  EventLoop loop;
+  loop.RunUntil(1000);
+  EXPECT_EQ(loop.Now(), 1000u);
+}
+
+TEST(EventLoopTest, EventAtDeadlineBoundaryRuns) {
+  EventLoop loop;
+  bool ran = false;
+  loop.ScheduleAt(250, [&] { ran = true; });
+  loop.RunUntil(250);
+  EXPECT_TRUE(ran);
+}
+
+TEST(EventLoopTest, RunOneExecutesExactlyOne) {
+  EventLoop loop;
+  int count = 0;
+  loop.ScheduleAt(1, [&] { ++count; });
+  loop.ScheduleAt(2, [&] { ++count; });
+  EXPECT_TRUE(loop.RunOne());
+  EXPECT_EQ(count, 1);
+  EXPECT_TRUE(loop.RunOne());
+  EXPECT_FALSE(loop.RunOne());
+}
+
+TEST(EventLoopTest, EventsCanScheduleMoreEvents) {
+  EventLoop loop;
+  int depth = 0;
+  std::function<void()> recurse = [&] {
+    if (++depth < 100) {
+      loop.ScheduleAfter(10, recurse);
+    }
+  };
+  loop.ScheduleAt(0, recurse);
+  loop.RunAll();
+  EXPECT_EQ(depth, 100);
+  EXPECT_EQ(loop.Now(), 990u);
+}
+
+TEST(EventLoopTest, ExecutedCounterTracksRuns) {
+  EventLoop loop;
+  for (int i = 0; i < 7; ++i) {
+    loop.ScheduleAt(static_cast<Cycles>(i), [] {});
+  }
+  loop.RunAll();
+  EXPECT_EQ(loop.executed(), 7u);
+}
+
+TEST(EventLoopTest, PendingCountsLiveEventsOnly) {
+  EventLoop loop;
+  EventId a = loop.ScheduleAt(10, [] {});
+  loop.ScheduleAt(20, [] {});
+  EXPECT_EQ(loop.pending(), 2u);
+  loop.Cancel(a);
+  EXPECT_EQ(loop.pending(), 1u);
+}
+
+TEST(EventLoopTest, CancelInsideEarlierEvent) {
+  EventLoop loop;
+  bool second_ran = false;
+  EventId second = loop.ScheduleAt(20, [&] { second_ran = true; });
+  loop.ScheduleAt(10, [&] { loop.Cancel(second); });
+  loop.RunAll();
+  EXPECT_FALSE(second_ran);
+}
+
+}  // namespace
+}  // namespace affinity

@@ -1,0 +1,217 @@
+#include "src/sim/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+namespace affinity {
+namespace {
+
+TEST(CounterTest, EmptyCounter) {
+  Counter c;
+  EXPECT_EQ(c.count(), 0u);
+  EXPECT_EQ(c.sum(), 0.0);
+  EXPECT_EQ(c.mean(), 0.0);
+  EXPECT_EQ(c.min(), 0.0);
+  EXPECT_EQ(c.max(), 0.0);
+}
+
+TEST(CounterTest, AccumulatesBasicStats) {
+  Counter c;
+  c.Add(2.0);
+  c.Add(4.0);
+  c.Add(9.0);
+  EXPECT_EQ(c.count(), 3u);
+  EXPECT_EQ(c.sum(), 15.0);
+  EXPECT_EQ(c.mean(), 5.0);
+  EXPECT_EQ(c.min(), 2.0);
+  EXPECT_EQ(c.max(), 9.0);
+}
+
+TEST(CounterTest, MergeCombines) {
+  Counter a;
+  Counter b;
+  a.Add(1.0);
+  b.Add(10.0);
+  b.Add(20.0);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 3u);
+  EXPECT_EQ(a.min(), 1.0);
+  EXPECT_EQ(a.max(), 20.0);
+}
+
+TEST(CounterTest, MergeEmptyIsNoop) {
+  Counter a;
+  a.Add(5.0);
+  Counter empty;
+  a.Merge(empty);
+  EXPECT_EQ(a.count(), 1u);
+  EXPECT_EQ(a.min(), 5.0);
+}
+
+TEST(CounterTest, ResetClears) {
+  Counter c;
+  c.Add(3.0);
+  c.Reset();
+  EXPECT_EQ(c.count(), 0u);
+  EXPECT_EQ(c.sum(), 0.0);
+}
+
+TEST(EwmaTest, FirstUpdateMovesTowardSample) {
+  Ewma e(0.5, 0.0);
+  e.Update(10.0);
+  EXPECT_DOUBLE_EQ(e.value(), 5.0);
+}
+
+TEST(EwmaTest, ConvergesToConstantInput) {
+  Ewma e(0.1, 0.0);
+  for (int i = 0; i < 500; ++i) {
+    e.Update(42.0);
+  }
+  EXPECT_NEAR(e.value(), 42.0, 0.01);
+}
+
+TEST(EwmaTest, SmallAlphaSmoothsOscillation) {
+  // The paper's point: the instantaneous queue length oscillates; a small
+  // alpha keeps the average near the long-term mean.
+  Ewma e(1.0 / 128.0, 32.0);
+  for (int i = 0; i < 1000; ++i) {
+    e.Update(i % 2 == 0 ? 0.0 : 64.0);
+  }
+  EXPECT_NEAR(e.value(), 32.0, 2.0);
+}
+
+TEST(EwmaTest, TracksUpdateCount) {
+  Ewma e(0.5);
+  e.Update(1.0);
+  e.Update(1.0);
+  EXPECT_EQ(e.updates(), 2u);
+  e.Reset();
+  EXPECT_EQ(e.updates(), 0u);
+  EXPECT_EQ(e.value(), 0.0);
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.Percentile(0.5), 0u);
+  EXPECT_TRUE(h.Cdf().empty());
+}
+
+TEST(HistogramTest, SingleValue) {
+  Histogram h;
+  h.Add(100);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_EQ(h.min(), 100u);
+  EXPECT_EQ(h.max(), 100u);
+  // Bucket resolution is ~3%: the median is the bucket's representative.
+  EXPECT_NEAR(static_cast<double>(h.Median()), 100.0, 4.0);
+}
+
+TEST(HistogramTest, ExactForSmallValues) {
+  // Values below 32 get one bucket each.
+  Histogram h;
+  for (uint64_t v = 0; v < 32; ++v) {
+    h.Add(v);
+  }
+  EXPECT_EQ(h.Percentile(0.0), 0u);
+  EXPECT_EQ(h.Percentile(1.0), 31u);
+}
+
+TEST(HistogramTest, MedianOfUniformRange) {
+  Histogram h;
+  for (uint64_t v = 1; v <= 1000; ++v) {
+    h.Add(v);
+  }
+  EXPECT_NEAR(static_cast<double>(h.Median()), 500.0, 20.0);
+  EXPECT_NEAR(static_cast<double>(h.Percentile(0.9)), 900.0, 35.0);
+}
+
+TEST(HistogramTest, MeanIsExact) {
+  Histogram h;
+  h.Add(10);
+  h.Add(20);
+  h.Add(30);
+  EXPECT_DOUBLE_EQ(h.mean(), 20.0);
+}
+
+TEST(HistogramTest, PercentilesAreMonotonic) {
+  Histogram h;
+  for (uint64_t v = 1; v < 100000; v += 7) {
+    h.Add(v);
+  }
+  uint64_t prev = 0;
+  for (double q = 0.0; q <= 1.0; q += 0.05) {
+    uint64_t p = h.Percentile(q);
+    EXPECT_GE(p, prev) << "q=" << q;
+    prev = p;
+  }
+}
+
+TEST(HistogramTest, CdfIsMonotonicAndEndsAtOne) {
+  Histogram h;
+  for (uint64_t v = 1; v < 5000; v += 3) {
+    h.Add(v);
+  }
+  auto cdf = h.Cdf();
+  ASSERT_FALSE(cdf.empty());
+  double prev = 0.0;
+  for (const auto& point : cdf) {
+    EXPECT_GE(point.fraction, prev);
+    prev = point.fraction;
+  }
+  EXPECT_DOUBLE_EQ(cdf.back().fraction, 1.0);
+}
+
+TEST(HistogramTest, MergeAddsCounts) {
+  Histogram a;
+  Histogram b;
+  a.Add(10);
+  b.Add(1000);
+  a.Merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min(), 10u);
+  EXPECT_EQ(a.max(), 1000u);
+}
+
+TEST(HistogramTest, ResetClears) {
+  Histogram h;
+  h.Add(5);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_TRUE(h.Cdf().empty());
+}
+
+TEST(HistogramTest, HandlesHugeValues) {
+  Histogram h;
+  h.Add(1ULL << 45);
+  EXPECT_EQ(h.count(), 1u);
+  EXPECT_GT(h.Median(), 1ULL << 44);
+}
+
+TEST(HistogramTest, CdfStringFormat) {
+  Histogram h;
+  h.Add(100);
+  std::string s = h.CdfToString();
+  EXPECT_NE(s.find("100.00"), std::string::npos);  // 100%
+}
+
+// Property-style sweep: relative error of percentile reconstruction stays
+// within the bucket resolution for geometric inputs.
+class HistogramAccuracyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HistogramAccuracyTest, BucketErrorBounded) {
+  uint64_t value = GetParam();
+  Histogram h;
+  h.Add(value);
+  double rep = static_cast<double>(h.Median());
+  double err = std::abs(rep - static_cast<double>(value)) / static_cast<double>(value);
+  EXPECT_LE(err, 1.0 / 32.0 + 1e-9) << "value=" << value;
+}
+
+INSTANTIATE_TEST_SUITE_P(Geometric, HistogramAccuracyTest,
+                         ::testing::Values(33, 100, 1000, 4097, 65537, 1000000, 123456789,
+                                           1ULL << 33, (1ULL << 40) + 12345));
+
+}  // namespace
+}  // namespace affinity

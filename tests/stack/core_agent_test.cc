@@ -1,0 +1,183 @@
+#include "src/stack/core_agent.h"
+
+#include <gtest/gtest.h>
+
+#include "src/mem/memory_system.h"
+#include "src/net/kernel_types.h"
+
+namespace affinity {
+namespace {
+
+class CoreAgentTest : public ::testing::Test {
+ protected:
+  CoreAgentTest() : mem_(AmdMemoryProfile(), 12, 6), types_(mem_.registry()) {
+    agent_ = std::make_unique<CoreAgent>(0, &loop_, &mem_);
+  }
+
+  EventLoop loop_;
+  MemorySystem mem_;
+  KernelTypes types_;
+  std::unique_ptr<CoreAgent> agent_;
+};
+
+TEST_F(CoreAgentTest, WorkRunsAndChargesBusyTime) {
+  Cycles end_time = 0;
+  agent_->PostTask([&](ExecCtx& ctx) { ctx.ChargeCycles(500); });
+  agent_->PostTask([&](ExecCtx& ctx) {
+    ctx.ChargeCycles(100);
+    end_time = ctx.start();
+  });
+  loop_.RunAll();
+  EXPECT_EQ(end_time, 500u);  // second item starts when the first finishes
+  EXPECT_EQ(agent_->busy_cycles(), 600u);
+}
+
+TEST_F(CoreAgentTest, SoftirqPreemptsQueuedTasks) {
+  std::vector<int> order;
+  agent_->PostTask([&](ExecCtx& ctx) {
+    ctx.ChargeCycles(100);
+    order.push_back(1);
+    // While this runs, queue one task then one softirq.
+    agent_->PostTask([&](ExecCtx&) { order.push_back(3); });
+    agent_->PostSoftirq([&](ExecCtx&) { order.push_back(2); });
+  });
+  loop_.RunAll();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST_F(CoreAgentTest, NotBeforeDelaysExecution) {
+  Cycles started = 0;
+  agent_->PostTask([&](ExecCtx& ctx) { started = ctx.start(); }, /*not_before=*/1000);
+  loop_.RunAll();
+  EXPECT_EQ(started, 1000u);
+}
+
+TEST_F(CoreAgentTest, ChargeInstrAppliesCpi) {
+  agent_->PostTask([&](ExecCtx& ctx) { ctx.ChargeInstr(1000); });
+  loop_.RunAll();
+  EXPECT_EQ(agent_->busy_cycles(), static_cast<Cycles>(1000 * kBaseCpi));
+}
+
+TEST_F(CoreAgentTest, SleepTrackedSeparately) {
+  agent_->PostTask([&](ExecCtx& ctx) {
+    ctx.ChargeCycles(100);
+    ctx.ChargeSleep(900);
+  });
+  loop_.RunAll();
+  EXPECT_EQ(agent_->busy_cycles(), 100u);
+  EXPECT_EQ(agent_->sleep_cycles(), 900u);
+  EXPECT_EQ(loop_.Now(), 1000u);  // the core was occupied for both
+}
+
+TEST_F(CoreAgentTest, EntryScopingAttributesCosts) {
+  agent_->PostTask([&](ExecCtx& ctx) {
+    ctx.BeginEntry(KernelEntry::kSysRead);
+    ctx.ChargeInstr(100);
+    ctx.ChargeAuxMisses(2);
+    ctx.EndEntry();
+    ctx.ChargeInstr(5000);  // outside any entry
+  });
+  loop_.RunAll();
+  const EntryCounters& e = agent_->counters().entry(KernelEntry::kSysRead);
+  EXPECT_EQ(e.invocations, 1u);
+  EXPECT_EQ(e.instructions, 100u);
+  EXPECT_EQ(e.l2_misses, 2u);
+  EXPECT_GT(e.cycles, 0u);
+  EXPECT_LT(e.cycles, agent_->busy_cycles());
+}
+
+TEST_F(CoreAgentTest, NestedEntriesAttributeToInner) {
+  agent_->PostTask([&](ExecCtx& ctx) {
+    ctx.BeginEntry(KernelEntry::kSoftirqNetRx);
+    ctx.ChargeInstr(50);
+    ctx.BeginEntry(KernelEntry::kSchedule);
+    ctx.ChargeInstr(10);
+    ctx.EndEntry();
+    ctx.EndEntry();
+  });
+  loop_.RunAll();
+  // The outer entry's counters include the inner work (scope deltas).
+  EXPECT_EQ(agent_->counters().entry(KernelEntry::kSchedule).instructions, 10u);
+  EXPECT_EQ(agent_->counters().entry(KernelEntry::kSoftirqNetRx).instructions, 60u);
+}
+
+TEST_F(CoreAgentTest, MemChargesCoherenceLatency) {
+  SimObject sock = mem_.Alloc(0, types_.tcp_sock);
+  agent_->PostTask([&](ExecCtx& ctx) { ctx.Mem(sock, types_.ts.rcv_nxt, kWrite); });
+  loop_.RunAll();
+  EXPECT_GE(agent_->busy_cycles(), AmdMemoryProfile().ram);  // cold miss
+}
+
+TEST_F(CoreAgentTest, AuxMissesCountAndCost) {
+  agent_->PostTask([&](ExecCtx& ctx) {
+    ctx.BeginEntry(KernelEntry::kSysRead);
+    ctx.ChargeAuxMisses(10);
+    ctx.EndEntry();
+  });
+  loop_.RunAll();
+  EXPECT_EQ(agent_->counters().entry(KernelEntry::kSysRead).l2_misses, 10u);
+  EXPECT_EQ(agent_->busy_cycles(), 10u * mem_.profile().ram);
+}
+
+TEST_F(CoreAgentTest, CopyPayloadScalesWithBytes) {
+  SimObject buf = mem_.Alloc(0, types_.slab_4096);
+  Cycles small = 0;
+  Cycles large = 0;
+  agent_->PostTask([&](ExecCtx& ctx) { small = ctx.CopyPayload(buf, 128, kRead); });
+  agent_->PostTask([&](ExecCtx& ctx) { large = ctx.CopyPayload(buf, 4096, kRead); });
+  loop_.RunAll();
+  EXPECT_GT(large, small);
+}
+
+TEST_F(CoreAgentTest, RemoteCopyCostsMore) {
+  SimObject buf = mem_.Alloc(0, types_.slab_1024);
+  CoreAgent remote(6, &loop_, &mem_);  // other chip
+  Cycles local_cost = 0;
+  Cycles remote_cost = 0;
+  agent_->PostTask([&](ExecCtx& ctx) {
+    ctx.CopyPayload(buf, 1024, kWrite);  // core 0 owns the buffer lines
+    local_cost = ctx.busy();
+  });
+  loop_.RunAll();
+  remote.PostTask([&](ExecCtx& ctx) {
+    ctx.CopyPayload(buf, 1024, kRead);
+    remote_cost = ctx.busy();
+  });
+  loop_.RunAll();
+  EXPECT_GT(remote_cost, local_cost);
+}
+
+TEST_F(CoreAgentTest, LockScopeChargesWaits) {
+  LockStat stat;
+  SimLock lock(stat.RegisterClass("l"), &stat, mem_.ReserveGlobalLine());
+  // Pre-occupy the lock far into the future.
+  lock.Acquire(0, 100000, LockContext::kSoftirq);
+  agent_->PostTask([&](ExecCtx& ctx) {
+    ExecCtx::LockScope scope = ctx.BeginLock(&lock, LockContext::kSoftirq);
+    ctx.ChargeCycles(10);  // critical section
+    ctx.EndLock(scope);
+  });
+  loop_.RunAll();
+  EXPECT_GT(agent_->busy_cycles(), 100000u);  // spun for the whole wait
+}
+
+TEST_F(CoreAgentTest, ResetAccountingClears) {
+  agent_->PostTask([&](ExecCtx& ctx) { ctx.ChargeCycles(100); });
+  loop_.RunAll();
+  agent_->ResetAccounting();
+  EXPECT_EQ(agent_->busy_cycles(), 0u);
+  EXPECT_EQ(agent_->counters().entry(KernelEntry::kSysRead).invocations, 0u);
+}
+
+TEST_F(CoreAgentTest, AllocFreeChargeCosts) {
+  agent_->PostTask([&](ExecCtx& ctx) {
+    SimObject obj = ctx.Alloc(types_.sk_buff);
+    ctx.Free(obj);
+  });
+  loop_.RunAll();
+  EXPECT_GT(agent_->busy_cycles(), 0u);
+  EXPECT_EQ(mem_.slab().live_objects(), 0u);
+}
+
+}  // namespace
+}  // namespace affinity

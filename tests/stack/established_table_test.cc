@@ -1,0 +1,138 @@
+#include "src/stack/established_table.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "src/mem/memory_system.h"
+
+namespace affinity {
+namespace {
+
+class EstablishedTableTest : public ::testing::Test {
+ protected:
+  EstablishedTableTest() : mem_(AmdMemoryProfile(), 4, 2), types_(mem_.registry()) {
+    agent_ = std::make_unique<CoreAgent>(0, &loop_, &mem_);
+    table_ = std::make_unique<EstablishedTable>(&mem_, &types_, &lock_stat_, 16);
+  }
+
+  Connection* MakeConn(uint16_t port, CoreId core) {
+    auto* conn = new Connection();
+    conn->id = next_id_++;
+    conn->flow = FiveTuple{1, 2, port, 80};
+    conn->sock = mem_.Alloc(core, types_.tcp_sock);
+    owned_.push_back(std::unique_ptr<Connection>(conn));
+    return conn;
+  }
+
+  void Run(std::function<void(ExecCtx&)> fn) {
+    agent_->PostTask(std::move(fn));
+    loop_.RunAll();
+  }
+
+  EventLoop loop_;
+  MemorySystem mem_;
+  KernelTypes types_;
+  LockStat lock_stat_;
+  std::unique_ptr<CoreAgent> agent_;
+  std::unique_ptr<EstablishedTable> table_;
+  std::vector<std::unique_ptr<Connection>> owned_;
+  uint64_t next_id_ = 1;
+};
+
+TEST_F(EstablishedTableTest, InsertLookupRemove) {
+  Connection* conn = MakeConn(100, 0);
+  Run([&](ExecCtx& ctx) {
+    table_->Insert(ctx, conn);
+    EXPECT_EQ(table_->size(), 1u);
+    EXPECT_EQ(table_->Lookup(ctx, conn->flow), conn);
+    table_->Remove(ctx, conn);
+    EXPECT_EQ(table_->size(), 0u);
+    EXPECT_EQ(table_->Lookup(ctx, conn->flow), nullptr);
+  });
+}
+
+TEST_F(EstablishedTableTest, LookupMissReturnsNull) {
+  Run([&](ExecCtx& ctx) {
+    EXPECT_EQ(table_->Lookup(ctx, FiveTuple{9, 9, 9, 9}), nullptr);
+  });
+}
+
+TEST_F(EstablishedTableTest, ManyConnectionsAllFindable) {
+  std::vector<Connection*> conns;
+  for (uint16_t p = 0; p < 100; ++p) {
+    conns.push_back(MakeConn(static_cast<uint16_t>(1000 + p), 0));
+  }
+  Run([&](ExecCtx& ctx) {
+    for (Connection* c : conns) {
+      table_->Insert(ctx, c);
+    }
+    for (Connection* c : conns) {
+      EXPECT_EQ(table_->Lookup(ctx, c->flow), c);
+    }
+  });
+  EXPECT_EQ(table_->size(), 100u);
+}
+
+TEST_F(EstablishedTableTest, RemoveMiddleOfChain) {
+  // Three conns that may or may not share buckets; remove the middle insert.
+  Connection* a = MakeConn(1, 0);
+  Connection* b = MakeConn(2, 0);
+  Connection* c = MakeConn(3, 0);
+  Run([&](ExecCtx& ctx) {
+    table_->Insert(ctx, a);
+    table_->Insert(ctx, b);
+    table_->Insert(ctx, c);
+    table_->Remove(ctx, b);
+    EXPECT_EQ(table_->Lookup(ctx, a->flow), a);
+    EXPECT_EQ(table_->Lookup(ctx, b->flow), nullptr);
+    EXPECT_EQ(table_->Lookup(ctx, c->flow), c);
+  });
+}
+
+TEST_F(EstablishedTableTest, RemoveTwiceIsSafe) {
+  Connection* conn = MakeConn(100, 0);
+  Run([&](ExecCtx& ctx) {
+    table_->Insert(ctx, conn);
+    table_->Remove(ctx, conn);
+    table_->Remove(ctx, conn);  // no-op
+  });
+  EXPECT_EQ(table_->size(), 0u);
+}
+
+TEST_F(EstablishedTableTest, NeighborInsertWritesPreviousHeadsSock) {
+  // Two sockets hashing into the same bucket (same table of 16 buckets is
+  // easy to collide by brute force): inserting the second writes the first's
+  // ehash_node -- the residual-sharing mechanism of Section 6.4.
+  Connection* first = nullptr;
+  Connection* second = nullptr;
+  // Find two flows in the same bucket.
+  for (uint16_t p = 1; p < 2000 && second == nullptr; ++p) {
+    FiveTuple t{1, 2, p, 80};
+    if (first == nullptr) {
+      first = MakeConn(p, 0);
+    } else if (FlowHash(t) % 16 == FlowHash(first->flow) % 16) {
+      second = MakeConn(p, 1);  // owned by another core
+    }
+  }
+  ASSERT_NE(second, nullptr);
+
+  Run([&](ExecCtx& ctx) { table_->Insert(ctx, first); });
+  // Warm first's ehash_node into core 0's cache.
+  Run([&](ExecCtx& ctx) { ctx.Mem(first->sock, types_.ts.ehash_node, kWrite); });
+
+  // Core 1 inserts the colliding socket: it must write first's node line.
+  CoreAgent other(1, &loop_, &mem_);
+  other.PostTask([&](ExecCtx& ctx) { table_->Insert(ctx, second); });
+  loop_.RunAll();
+
+  // Core 0's next read of its own sock's node is now a cache miss (another
+  // core wrote it).
+  Run([&](ExecCtx& ctx) {
+    ctx.Mem(first->sock, types_.ts.ehash_node, kRead);
+    EXPECT_TRUE(IsL2Miss(mem_.last_source()));
+  });
+}
+
+}  // namespace
+}  // namespace affinity

@@ -1,0 +1,285 @@
+// End-to-end kernel tests: packets in through the NIC, softirq, syscalls,
+// packets out.
+
+#include "src/stack/kernel.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace affinity {
+namespace {
+
+class KernelTest : public ::testing::Test {
+ protected:
+  void Init(AcceptVariant variant = AcceptVariant::kAffinity, bool twenty_policy = false) {
+    KernelConfig config;
+    config.machine = Amd48();
+    config.num_cores = 4;
+    config.listen.variant = variant;
+    config.twenty_policy = twenty_policy;
+    config.scheduler_load_balancing = false;
+    config.flow_migration = false;  // its periodic tick would make RunAll spin forever
+    kernel_ = std::make_unique<Kernel>(config, &loop_);
+    kernel_->nic().set_wire_tx_handler([this](const Packet& p) { tx_.push_back(p); });
+  }
+
+  FiveTuple Flow(uint16_t port) { return FiveTuple{1, 2, port, 80}; }
+
+  void Deliver(PacketKind kind, uint16_t port, uint64_t conn_id, uint32_t bytes = kHeaderBytes) {
+    Packet p;
+    p.flow = Flow(port);
+    p.kind = kind;
+    p.conn_id = conn_id;
+    p.wire_bytes = bytes;
+    kernel_->nic().DeliverFromWire(p);
+    loop_.RunAll();
+  }
+
+  // Count of transmitted packets of a kind.
+  int TxCount(PacketKind kind) {
+    int n = 0;
+    for (const Packet& p : tx_) {
+      if (p.kind == kind) {
+        ++n;
+      }
+    }
+    return n;
+  }
+
+  EventLoop loop_;
+  std::unique_ptr<Kernel> kernel_;
+  std::vector<Packet> tx_;
+};
+
+TEST_F(KernelTest, SynProducesSynAck) {
+  Init();
+  Deliver(PacketKind::kSyn, 100, 1);
+  EXPECT_EQ(TxCount(PacketKind::kSynAck), 1);
+  EXPECT_EQ(kernel_->stats().packets_processed, 1u);
+}
+
+TEST_F(KernelTest, HandshakeRegistersConnection) {
+  Init();
+  Deliver(PacketKind::kSyn, 100, 1);
+  Deliver(PacketKind::kAck, 100, 1);
+  EXPECT_EQ(kernel_->live_connections(), 1u);
+  Connection* conn = kernel_->FindConnection(1);
+  ASSERT_NE(conn, nullptr);
+  EXPECT_EQ(conn->flow, Flow(100));
+  // The connection is in the established table.
+  EXPECT_EQ(kernel_->established().size(), 1u);
+}
+
+TEST_F(KernelTest, RequestDeliveredToSocketAndReadable) {
+  Init();
+  Deliver(PacketKind::kSyn, 100, 1);
+  Deliver(PacketKind::kAck, 100, 1);
+
+  Connection* ready = nullptr;
+  kernel_->set_readable_callback([&](Connection* c) { ready = c; });
+  Packet req;
+  req.flow = Flow(100);
+  req.kind = PacketKind::kHttpRequest;
+  req.conn_id = 1;
+  req.wire_bytes = kHeaderBytes + 200;
+  req.file_index = 77;
+  kernel_->nic().DeliverFromWire(req);
+  loop_.RunAll();
+
+  Connection* conn = kernel_->FindConnection(1);
+  ASSERT_NE(conn, nullptr);
+  EXPECT_EQ(ready, conn);
+  ASSERT_EQ(conn->recv_queue.size(), 1u);
+  EXPECT_EQ(conn->recv_queue.front().bytes, 200u);
+  EXPECT_EQ(conn->recv_queue.front().file_index, 77u);
+  EXPECT_EQ(kernel_->stats().requests_delivered, 1u);
+}
+
+TEST_F(KernelTest, FullRequestResponseCycle) {
+  Init();
+  Deliver(PacketKind::kSyn, 100, 1);
+  Deliver(PacketKind::kAck, 100, 1);
+  Deliver(PacketKind::kHttpRequest, 100, 1, kHeaderBytes + 200);
+
+  Connection* conn = kernel_->FindConnection(1);
+  ASSERT_NE(conn, nullptr);
+
+  // Accept + read + respond from a thread on core 0.
+  Thread* t = kernel_->scheduler().Spawn(0, 0, true, [&](ExecCtx& ctx, Thread& self) {
+    Connection* accepted = kernel_->SysAccept(ctx, &self);
+    ASSERT_NE(accepted, nullptr);
+    ReadResult r = kernel_->SysRead(ctx, &self, accepted);
+    EXPECT_FALSE(r.would_block);
+    EXPECT_EQ(r.bytes, 200u);
+    kernel_->SysWritev(ctx, accepted, 3000, r.request_idx);  // 3 segments
+    self.Exit();
+  });
+  kernel_->scheduler().Start(t);
+  loop_.RunAll();
+
+  EXPECT_EQ(TxCount(PacketKind::kHttpData), 3);  // ceil(3000 / 1448)
+  // The last segment carries the flag.
+  int last_flags = 0;
+  for (const Packet& p : tx_) {
+    if (p.kind == PacketKind::kHttpData && p.last_segment) {
+      ++last_flags;
+    }
+  }
+  EXPECT_EQ(last_flags, 1);
+  EXPECT_EQ(kernel_->stats().responses_sent, 1u);
+  ASSERT_FALSE(conn->unacked_tx.empty());
+
+  // The client's cumulative ACK frees the TX buffers on the softirq core.
+  uint64_t live_before = kernel_->mem().slab().live_objects();
+  Deliver(PacketKind::kDataAck, 100, 1);
+  EXPECT_TRUE(conn->unacked_tx.empty());
+  EXPECT_LT(kernel_->mem().slab().live_objects(), live_before);
+}
+
+TEST_F(KernelTest, ReadOnEmptyQueueParksReader) {
+  Init();
+  Deliver(PacketKind::kSyn, 100, 1);
+  Deliver(PacketKind::kAck, 100, 1);
+  Connection* conn = kernel_->FindConnection(1);
+
+  int runs = 0;
+  Thread* t = kernel_->scheduler().Spawn(0, 0, true, [&](ExecCtx& ctx, Thread& self) {
+    ++runs;
+    if (runs == 1) {
+      Connection* accepted = kernel_->SysAccept(ctx, &self);
+      ASSERT_EQ(accepted, conn);
+      ReadResult r = kernel_->SysRead(ctx, &self, accepted);
+      EXPECT_TRUE(r.would_block);  // parked as reader
+    } else {
+      self.Exit();
+    }
+  });
+  kernel_->scheduler().Start(t);
+  loop_.RunAll();
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(conn->reader, t);
+
+  // Data arrival wakes the reader.
+  Deliver(PacketKind::kHttpRequest, 100, 1, kHeaderBytes + 100);
+  EXPECT_EQ(runs, 2);
+}
+
+TEST_F(KernelTest, FinMarksCloseWaitAndDeliversEof) {
+  Init();
+  Deliver(PacketKind::kSyn, 100, 1);
+  Deliver(PacketKind::kAck, 100, 1);
+  Deliver(PacketKind::kFin, 100, 1);
+  Connection* conn = kernel_->FindConnection(1);
+  ASSERT_NE(conn, nullptr);
+  EXPECT_TRUE(conn->fin_received);
+  EXPECT_EQ(conn->state, Connection::State::kCloseWait);
+  ASSERT_EQ(conn->recv_queue.size(), 1u);
+  EXPECT_EQ(conn->recv_queue.front().kind, PacketKind::kFin);
+}
+
+TEST_F(KernelTest, CloseFreesEverything) {
+  Init();
+  Deliver(PacketKind::kSyn, 100, 1);
+  Deliver(PacketKind::kAck, 100, 1);
+  Deliver(PacketKind::kHttpRequest, 100, 1, kHeaderBytes + 100);  // still queued
+
+  Connection* conn = kernel_->FindConnection(1);
+  ASSERT_NE(conn, nullptr);
+  Thread* t = kernel_->scheduler().Spawn(0, 0, true, [&](ExecCtx& ctx, Thread& self) {
+    Connection* accepted = kernel_->SysAccept(ctx, &self);
+    kernel_->SysShutdown(ctx, accepted);
+    kernel_->SysClose(ctx, accepted);
+    self.Exit();
+  });
+  kernel_->scheduler().Start(t);
+  loop_.RunAll();
+
+  EXPECT_EQ(kernel_->live_connections(), 0u);
+  EXPECT_EQ(kernel_->established().size(), 0u);
+  EXPECT_EQ(TxCount(PacketKind::kFin), 1);
+  // Only the file-set / global objects remain live (none allocated here).
+  EXPECT_EQ(kernel_->mem().slab().live_objects(), 1u);  // the thread's task_struct
+}
+
+TEST_F(KernelTest, DataForUnknownFlowGetsRst) {
+  Init();
+  Deliver(PacketKind::kHttpRequest, 999, 42, kHeaderBytes + 100);
+  EXPECT_EQ(kernel_->stats().packets_dropped_no_conn, 1u);
+  EXPECT_EQ(TxCount(PacketKind::kRst), 1);
+  EXPECT_EQ(tx_.back().conn_id, 42u);
+}
+
+TEST_F(KernelTest, SoftirqRunsOnSteeredCore) {
+  Init();
+  // Find a port whose flow group steers to ring 2.
+  uint16_t port = 0;
+  for (uint16_t p = 1; p < 5000; ++p) {
+    Packet probe;
+    probe.flow = Flow(p);
+    if (kernel_->nic().SteerOf(probe.flow) == 2) {
+      port = p;
+      break;
+    }
+  }
+  ASSERT_NE(port, 0);
+  Deliver(PacketKind::kSyn, port, 1);
+  Deliver(PacketKind::kAck, port, 1);
+  Connection* conn = kernel_->FindConnection(1);
+  ASSERT_NE(conn, nullptr);
+  EXPECT_EQ(conn->softirq_core, 2);
+  EXPECT_GT(kernel_->agent(2).busy_cycles(), 0u);
+  EXPECT_EQ(kernel_->agent(3).busy_cycles(), 0u);
+}
+
+TEST_F(KernelTest, PerfCountersPopulateByEntry) {
+  Init();
+  Deliver(PacketKind::kSyn, 100, 1);
+  Deliver(PacketKind::kAck, 100, 1);
+  PerfCounters counters = kernel_->AggregateCounters();
+  EXPECT_GE(counters.entry(KernelEntry::kSoftirqNetRx).invocations, 2u);
+  EXPECT_GT(counters.entry(KernelEntry::kSoftirqNetRx).cycles, 0u);
+  EXPECT_GT(counters.entry(KernelEntry::kSoftirqNetRx).l2_misses, 0u);
+  EXPECT_GT(counters.NetworkStackCycles(), 0u);
+}
+
+TEST_F(KernelTest, TwentyPolicySteersEveryTwentiethPacket) {
+  Init(AcceptVariant::kStock, /*twenty_policy=*/true);
+  Deliver(PacketKind::kSyn, 100, 1);
+  Deliver(PacketKind::kAck, 100, 1);
+  Connection* conn = kernel_->FindConnection(1);
+  ASSERT_NE(conn, nullptr);
+
+  Thread* t = kernel_->scheduler().Spawn(1, 0, true, [&](ExecCtx& ctx, Thread& self) {
+    Connection* accepted = kernel_->SysAccept(ctx, &self);
+    ASSERT_NE(accepted, nullptr);
+    // 25 one-segment responses: the 20th TX packet triggers a steering op.
+    for (uint32_t i = 0; i < 25; ++i) {
+      kernel_->SysWritev(ctx, accepted, 100, i);
+    }
+    self.Exit();
+  });
+  kernel_->scheduler().Start(t);
+  loop_.RunAll();
+  EXPECT_EQ(kernel_->stats().fdir_updates, 1u);
+  // After steering, the flow lands on the sender's ring.
+  EXPECT_EQ(kernel_->nic().SteerOf(conn->flow), kernel_->RingOf(1));
+}
+
+TEST_F(KernelTest, ResetAccountingZerosWindowStats) {
+  Init();
+  Deliver(PacketKind::kSyn, 100, 1);
+  kernel_->ResetAccounting();
+  EXPECT_EQ(kernel_->stats().packets_processed, 0u);
+  EXPECT_EQ(kernel_->listen().stats().syns, 0u);
+  EXPECT_EQ(kernel_->nic().stats().rx_packets, 0u);
+  EXPECT_EQ(kernel_->TotalBusyCycles(), 0u);
+}
+
+TEST_F(KernelTest, BacklogDefaultsTo256PerCore) {
+  Init();
+  EXPECT_EQ(kernel_->listen().max_local_queue_len(), 256);
+}
+
+}  // namespace
+}  // namespace affinity

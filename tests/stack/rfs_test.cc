@@ -1,0 +1,164 @@
+// Tests for the Receive Flow Steering model (paper Section 7.2).
+
+#include <gtest/gtest.h>
+
+#include "src/core/experiment.h"
+
+namespace affinity {
+namespace {
+
+class RfsTest : public ::testing::Test {
+ protected:
+  void Init() {
+    KernelConfig config;
+    config.machine = Amd48();
+    config.num_cores = 4;
+    config.listen.variant = AcceptVariant::kFine;
+    config.rfs = true;
+    config.scheduler_load_balancing = false;
+    config.flow_migration = false;
+    kernel_ = std::make_unique<Kernel>(config, &loop_);
+    kernel_->nic().set_wire_tx_handler([this](const Packet& p) { tx_.push_back(p); });
+  }
+
+  FiveTuple Flow(uint16_t port) { return FiveTuple{1, 2, port, 80}; }
+
+  void Deliver(PacketKind kind, uint16_t port, uint64_t conn_id,
+               uint32_t bytes = kHeaderBytes) {
+    Packet p;
+    p.flow = Flow(port);
+    p.kind = kind;
+    p.conn_id = conn_id;
+    p.wire_bytes = bytes;
+    kernel_->nic().DeliverFromWire(p);
+    loop_.RunAll();
+  }
+
+  // Establish a connection, accept it on `app_core`, and send one response so
+  // the RFS table learns the sendmsg() core.
+  Connection* EstablishAndRespondOn(CoreId app_core, uint16_t port, uint64_t conn_id) {
+    Deliver(PacketKind::kSyn, port, conn_id);
+    Deliver(PacketKind::kAck, port, conn_id);
+    Deliver(PacketKind::kHttpRequest, port, conn_id, kHeaderBytes + 100);
+    Connection* conn = kernel_->FindConnection(conn_id);
+    if (conn == nullptr) {
+      return nullptr;
+    }
+    Thread* t = kernel_->scheduler().Spawn(app_core, 0, true,
+                                           [&](ExecCtx& ctx, Thread& self) {
+      Connection* accepted = kernel_->SysAccept(ctx, &self);
+      if (accepted != nullptr) {
+        ReadResult r = kernel_->SysRead(ctx, &self, accepted, true);
+        kernel_->SysWritev(ctx, accepted, 200, r.request_idx);
+      }
+      self.Exit();
+    });
+    kernel_->scheduler().Start(t);
+    loop_.RunAll();
+    return conn;
+  }
+
+  EventLoop loop_;
+  std::unique_ptr<Kernel> kernel_;
+  std::vector<Packet> tx_;
+};
+
+TEST_F(RfsTest, HandshakeProcessedOnRoutingCore) {
+  Init();
+  // SYN/ACK have no steering entry: processed where the NIC delivered them.
+  Deliver(PacketKind::kSyn, 100, 1);
+  Deliver(PacketKind::kAck, 100, 1);
+  EXPECT_EQ(kernel_->stats().rfs_forwarded, 0u);
+  EXPECT_EQ(kernel_->live_connections(), 1u);
+}
+
+TEST_F(RfsTest, EstablishedPacketsForwardedToSenderCore) {
+  Init();
+  // Pick a flow whose NIC steering is NOT core 3, then serve it from core 3.
+  uint16_t port = 0;
+  for (uint16_t p = 100; p < 1000; ++p) {
+    Packet probe;
+    probe.flow = Flow(p);
+    if (kernel_->nic().SteerOf(probe.flow) != 3) {
+      port = p;
+      break;
+    }
+  }
+  ASSERT_NE(port, 0);
+  Connection* conn = EstablishAndRespondOn(3, port, 1);
+  ASSERT_NE(conn, nullptr);
+
+  // The next packet for the flow gets routed to core 3's backlog.
+  uint64_t before = kernel_->stats().rfs_forwarded;
+  Cycles busy3 = kernel_->agent(3).busy_cycles();
+  Deliver(PacketKind::kDataAck, port, 1);
+  EXPECT_EQ(kernel_->stats().rfs_forwarded, before + 1);
+  EXPECT_GT(kernel_->agent(3).busy_cycles(), busy3);  // protocol work ran there
+  EXPECT_TRUE(conn->unacked_tx.empty());              // the ACK was processed
+}
+
+TEST_F(RfsTest, ForwardedBuffersAreFreedRemotely) {
+  Init();
+  uint16_t port = 0;
+  for (uint16_t p = 100; p < 1000; ++p) {
+    Packet probe;
+    probe.flow = Flow(p);
+    if (kernel_->nic().SteerOf(probe.flow) != 3) {
+      port = p;
+      break;
+    }
+  }
+  ASSERT_NE(port, 0);
+  ASSERT_NE(EstablishAndRespondOn(3, port, 1), nullptr);
+
+  // A forwarded request packet: skb allocated on the routing core, freed by
+  // the read() on core 3 -- the paper's remote-deallocation problem.
+  uint64_t remote_before = kernel_->mem().slab().stats().remote_frees;
+  Deliver(PacketKind::kHttpRequest, port, 1, kHeaderBytes + 100);
+  Connection* conn = kernel_->FindConnection(1);
+  ASSERT_NE(conn, nullptr);
+  Thread* t = kernel_->scheduler().Spawn(3, 1, true, [&](ExecCtx& ctx, Thread& self) {
+    kernel_->SysRead(ctx, &self, conn, true);
+    self.Exit();
+  });
+  kernel_->scheduler().Start(t);
+  loop_.RunAll();
+  EXPECT_GT(kernel_->mem().slab().stats().remote_frees, remote_before);
+}
+
+TEST_F(RfsTest, DisabledByDefault) {
+  KernelConfig config;
+  config.machine = Amd48();
+  config.num_cores = 2;
+  EXPECT_FALSE(config.rfs);
+}
+
+TEST(RfsIntegrationTest, ImprovesFineLocalityAtACpuCost) {
+  auto run = [](bool rfs) {
+    ExperimentConfig config;
+    config.kernel.machine = Amd48();
+    config.kernel.num_cores = 8;
+    config.kernel.listen.variant = AcceptVariant::kFine;
+    config.kernel.rfs = rfs;
+    config.sessions_per_core = 400;
+    config.warmup = MsToCycles(600);
+    config.measure = MsToCycles(300);
+    return Experiment(config).Run();
+  };
+  ExperimentResult without = run(false);
+  ExperimentResult with = run(true);
+
+  // RFS moved packets to the app cores.
+  EXPECT_GT(with.kernel_stats.rfs_forwarded, with.requests / 2);
+  // Routing work shows up in the stack: softirq invocations roughly double
+  // (each forwarded packet is handled twice: route + process).
+  double with_inv = static_cast<double>(
+      with.counters.entry(KernelEntry::kSoftirqNetRx).invocations);
+  double without_inv = static_cast<double>(
+      without.counters.entry(KernelEntry::kSoftirqNetRx).invocations);
+  EXPECT_GT(with_inv / static_cast<double>(with.requests),
+            1.2 * without_inv / static_cast<double>(without.requests));
+}
+
+}  // namespace
+}  // namespace affinity

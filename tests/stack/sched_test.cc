@@ -1,0 +1,288 @@
+#include "src/stack/sched.h"
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "src/mem/memory_system.h"
+
+namespace affinity {
+namespace {
+
+class SchedTest : public ::testing::Test {
+ protected:
+  SchedTest() : mem_(AmdMemoryProfile(), 4, 2), types_(mem_.registry()) {
+    for (CoreId c = 0; c < 4; ++c) {
+      agents_.push_back(std::make_unique<CoreAgent>(c, &loop_, &mem_));
+    }
+    sched_ = std::make_unique<Scheduler>(&loop_, &mem_, &types_, &agents_);
+  }
+
+  EventLoop loop_;
+  MemorySystem mem_;
+  KernelTypes types_;
+  std::vector<std::unique_ptr<CoreAgent>> agents_;
+  std::unique_ptr<Scheduler> sched_;
+};
+
+TEST_F(SchedTest, SpawnedThreadStartsBlocked) {
+  Thread* t = sched_->Spawn(0, 0, false, [](ExecCtx&, Thread&) {});
+  EXPECT_EQ(t->state(), Thread::State::kBlocked);
+  loop_.RunAll();  // nothing runs
+  EXPECT_EQ(sched_->stats().wakeups, 0u);
+}
+
+TEST_F(SchedTest, StartRunsBody) {
+  int runs = 0;
+  Thread* t = sched_->Spawn(0, 0, false, [&](ExecCtx&, Thread& self) {
+    ++runs;
+    self.Exit();
+  });
+  sched_->Start(t);
+  loop_.RunAll();
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(t->state(), Thread::State::kDone);
+}
+
+TEST_F(SchedTest, RunnableThreadLoopsUntilBlocked) {
+  int runs = 0;
+  Thread* t = sched_->Spawn(0, 0, false, [&](ExecCtx& ctx, Thread& self) {
+    ctx.ChargeCycles(10);
+    if (++runs == 5) {
+      self.Block();
+    }
+  });
+  sched_->Start(t);
+  loop_.RunAll();
+  EXPECT_EQ(runs, 5);
+  EXPECT_EQ(t->state(), Thread::State::kBlocked);
+}
+
+TEST_F(SchedTest, RoundRobinSharesTheCoreFairly) {
+  // Two always-runnable threads on one core get turn counts within one of
+  // each other (dispatch interleaving details may vary, fairness must not).
+  std::vector<int> turns(2, 0);
+  int total = 0;
+  for (int i = 0; i < 2; ++i) {
+    Thread* t = sched_->Spawn(0, i, false, [&, i](ExecCtx& ctx, Thread& self) {
+      ctx.ChargeCycles(10);
+      ++turns[static_cast<size_t>(i)];
+      if (++total >= 40) {
+        self.Exit();
+      }
+    });
+    sched_->Start(t);
+  }
+  loop_.RunAll();
+  EXPECT_NEAR(turns[0], turns[1], 2);
+}
+
+TEST_F(SchedTest, WakeRunsBlockedThread) {
+  int runs = 0;
+  Thread* t = sched_->Spawn(1, 0, false, [&](ExecCtx&, Thread& self) {
+    ++runs;
+    self.Block();
+  });
+  sched_->Start(t);
+  loop_.RunAll();
+  EXPECT_EQ(runs, 1);
+  sched_->Wake(t, nullptr);
+  loop_.RunAll();
+  EXPECT_EQ(runs, 2);
+}
+
+TEST_F(SchedTest, WakeOfFinishedThreadIsNoop) {
+  Thread* t = sched_->Spawn(0, 0, false, [](ExecCtx&, Thread& self) { self.Exit(); });
+  sched_->Start(t);
+  loop_.RunAll();
+  ASSERT_EQ(t->state(), Thread::State::kDone);
+  uint64_t wakeups = sched_->stats().wakeups;
+  sched_->Wake(t, nullptr);
+  EXPECT_EQ(sched_->stats().wakeups, wakeups);
+  EXPECT_EQ(t->state(), Thread::State::kDone);
+}
+
+TEST_F(SchedTest, WakePendingResolvesBlockRace) {
+  // A thread blocks itself in its body, but a wake arrives logically during
+  // the body: the thread must still wake.
+  int runs = 0;
+  Thread* t = sched_->Spawn(0, 0, false, [&](ExecCtx&, Thread& self) {
+    ++runs;
+    if (runs == 1) {
+      sched_->Wake(&self, nullptr);  // wake targets the running thread itself
+      self.Block();
+    } else {
+      self.Exit();
+    }
+  });
+  sched_->Start(t);
+  loop_.RunAll();
+  EXPECT_EQ(runs, 2);
+}
+
+TEST_F(SchedTest, RemoteWakePaysIpi) {
+  Thread* target = sched_->Spawn(2, 0, false, [](ExecCtx&, Thread& self) { self.Block(); });
+  Thread* waker = sched_->Spawn(0, 1, false, [&](ExecCtx&, Thread& self) {
+    self.Exit();
+  });
+  sched_->Start(target);
+  loop_.RunAll();
+
+  // Wake from a core-0 execution context.
+  agents_[0]->PostTask([&](ExecCtx& ctx) { sched_->Wake(target, &ctx); });
+  loop_.RunAll();
+  EXPECT_EQ(sched_->stats().remote_wakeups, 1u);
+  (void)waker;
+}
+
+TEST_F(SchedTest, ContextSwitchChargedOnThreadChange) {
+  for (int i = 0; i < 2; ++i) {
+    Thread* t = sched_->Spawn(0, i, false, [&](ExecCtx& ctx, Thread& self) {
+      ctx.ChargeCycles(1);
+      self.Exit();
+    });
+    sched_->Start(t);
+  }
+  loop_.RunAll();
+  EXPECT_EQ(sched_->stats().context_switches, 2u);
+  EXPECT_EQ(agents_[0]->counters().entry(KernelEntry::kSchedule).invocations, 2u);
+}
+
+TEST_F(SchedTest, SameThreadRedispatchNoSwitch) {
+  int runs = 0;
+  Thread* t = sched_->Spawn(0, 0, false, [&](ExecCtx&, Thread& self) {
+    if (++runs == 3) {
+      self.Exit();
+    }
+  });
+  sched_->Start(t);
+  loop_.RunAll();
+  EXPECT_EQ(runs, 3);
+  EXPECT_EQ(sched_->stats().context_switches, 1u);  // only the first dispatch
+}
+
+TEST_F(SchedTest, MigrateMovesThread) {
+  Thread* t = sched_->Spawn(0, 0, false, [](ExecCtx&, Thread& self) { self.Block(); });
+  EXPECT_TRUE(sched_->Migrate(t, 3));
+  EXPECT_EQ(t->core(), 3);
+  sched_->Start(t);
+  loop_.RunAll();
+  EXPECT_GT(agents_[3]->busy_cycles(), 0u);
+  EXPECT_EQ(agents_[0]->busy_cycles(), 0u);
+}
+
+TEST_F(SchedTest, PinnedThreadDoesNotMigrate) {
+  Thread* t = sched_->Spawn(0, 0, /*pinned=*/true, [](ExecCtx&, Thread&) {});
+  EXPECT_FALSE(sched_->Migrate(t, 1));
+  EXPECT_EQ(t->core(), 0);
+}
+
+TEST_F(SchedTest, LoadBalancerMovesFromLongQueue) {
+  // Six spinning threads on core 0, none elsewhere.
+  for (int i = 0; i < 6; ++i) {
+    Thread* t = sched_->Spawn(0, i, false, [&](ExecCtx& ctx, Thread&) {
+      ctx.ChargeCycles(10000);  // spin forever (yields, stays runnable)
+    });
+    sched_->Start(t);
+  }
+  sched_->EnableLoadBalancing(MsToCycles(1));
+  loop_.RunUntil(MsToCycles(50));
+  EXPECT_GT(sched_->stats().migrations, 0u);
+  // Other cores got work.
+  EXPECT_GT(agents_[1]->busy_cycles() + agents_[2]->busy_cycles() + agents_[3]->busy_cycles(),
+            0u);
+}
+
+TEST_F(SchedTest, BalancedLoadMigratesRarely) {
+  // One pinned-free thread per core, evenly loaded: the balancer should not
+  // shuffle them ("the Linux load balancer rarely migrates processes, as
+  // long as the load is close to even across all cores").
+  for (int c = 0; c < 4; ++c) {
+    Thread* t = sched_->Spawn(c, c, false, [&](ExecCtx& ctx, Thread&) {
+      ctx.ChargeCycles(10000);
+    });
+    sched_->Start(t);
+  }
+  sched_->EnableLoadBalancing(MsToCycles(1));
+  loop_.RunUntil(MsToCycles(50));
+  EXPECT_EQ(sched_->stats().migrations, 0u);
+}
+
+TEST_F(SchedTest, FutexWaitWake) {
+  Futex* futex = sched_->CreateFutex(0);
+  int runs = 0;
+  Thread* waiter = sched_->Spawn(0, 0, false, [&](ExecCtx&, Thread& self) {
+    if (++runs == 1) {
+      sched_->FutexWait(futex, &self);
+    } else {
+      self.Exit();
+    }
+  });
+  sched_->Start(waiter);
+  loop_.RunAll();
+  EXPECT_EQ(runs, 1);
+  EXPECT_EQ(waiter->state(), Thread::State::kBlocked);
+
+  agents_[1]->PostTask([&](ExecCtx& ctx) {
+    EXPECT_EQ(sched_->FutexWake(futex, 1, &ctx), 1);
+  });
+  loop_.RunAll();
+  EXPECT_EQ(runs, 2);
+}
+
+TEST_F(SchedTest, FutexWakeLimitsCount) {
+  Futex* futex = sched_->CreateFutex(0);
+  std::vector<Thread*> waiters;
+  std::vector<bool> waited(3, false);
+  for (int i = 0; i < 3; ++i) {
+    Thread* t = sched_->Spawn(0, i, false, [&, i](ExecCtx&, Thread& self) {
+      if (!waited[static_cast<size_t>(i)]) {
+        waited[static_cast<size_t>(i)] = true;
+        sched_->FutexWait(futex, &self);
+      } else {
+        self.Exit();  // woken once: done
+      }
+    });
+    waiters.push_back(t);
+    sched_->Start(t);
+  }
+  loop_.RunAll();
+  agents_[1]->PostTask([&](ExecCtx& ctx) {
+    EXPECT_EQ(sched_->FutexWake(futex, 2, &ctx), 2);
+  });
+  loop_.RunAll();
+  int blocked = 0;
+  int done = 0;
+  for (Thread* t : waiters) {
+    if (t->state() == Thread::State::kBlocked) {
+      ++blocked;
+    }
+    if (t->state() == Thread::State::kDone) {
+      ++done;
+    }
+  }
+  EXPECT_EQ(blocked, 1);
+  EXPECT_EQ(done, 2);
+}
+
+TEST_F(SchedTest, WakeAtFiresAtTime) {
+  int runs = 0;
+  Thread* t = sched_->Spawn(0, 0, false, [&](ExecCtx& ctx, Thread& self) {
+    ++runs;
+    EXPECT_GE(ctx.start(), MsToCycles(5));
+    self.Exit();
+  });
+  sched_->WakeAt(t, MsToCycles(5));
+  loop_.RunAll();
+  EXPECT_EQ(runs, 1);
+}
+
+TEST_F(SchedTest, TaskStructAllocatedOnSpawnCore) {
+  Thread* t = sched_->Spawn(2, 0, false, [](ExecCtx&, Thread&) {});
+  EXPECT_EQ(t->task().alloc_core, 2);
+  EXPECT_TRUE(t->task().valid());
+}
+
+}  // namespace
+}  // namespace affinity
