@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_app_architectures.dir/bench_app_architectures.cc.o"
+  "CMakeFiles/bench_app_architectures.dir/bench_app_architectures.cc.o.d"
+  "bench_app_architectures"
+  "bench_app_architectures.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_app_architectures.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_arfs_steering.dir/bench_arfs_steering.cc.o"
+  "CMakeFiles/bench_arfs_steering.dir/bench_arfs_steering.cc.o.d"
+  "bench_arfs_steering"
+  "bench_arfs_steering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_arfs_steering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_twenty_policy.dir/bench_fig10_twenty_policy.cc.o"
+  "CMakeFiles/bench_fig10_twenty_policy.dir/bench_fig10_twenty_policy.cc.o.d"
+  "bench_fig10_twenty_policy"
+  "bench_fig10_twenty_policy.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_twenty_policy.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig6_lighttpd_intel.dir/bench_fig6_lighttpd_intel.cc.o"
+  "CMakeFiles/bench_fig6_lighttpd_intel.dir/bench_fig6_lighttpd_intel.cc.o.d"
+  "bench_fig6_lighttpd_intel"
+  "bench_fig6_lighttpd_intel.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig6_lighttpd_intel.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_request_reuse.dir/bench_fig7_request_reuse.cc.o"
+  "CMakeFiles/bench_fig7_request_reuse.dir/bench_fig7_request_reuse.cc.o.d"
+  "bench_fig7_request_reuse"
+  "bench_fig7_request_reuse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_request_reuse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

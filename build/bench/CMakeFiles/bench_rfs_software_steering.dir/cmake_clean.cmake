@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_rfs_software_steering.dir/bench_rfs_software_steering.cc.o"
+  "CMakeFiles/bench_rfs_software_steering.dir/bench_rfs_software_steering.cc.o.d"
+  "bench_rfs_software_steering"
+  "bench_rfs_software_steering.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_rfs_software_steering.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

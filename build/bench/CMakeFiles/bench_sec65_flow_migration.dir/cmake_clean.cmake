@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec65_flow_migration.dir/bench_sec65_flow_migration.cc.o"
+  "CMakeFiles/bench_sec65_flow_migration.dir/bench_sec65_flow_migration.cc.o.d"
+  "bench_sec65_flow_migration"
+  "bench_sec65_flow_migration.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec65_flow_migration.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

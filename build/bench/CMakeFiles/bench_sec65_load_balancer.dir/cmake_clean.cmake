@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_sec65_load_balancer.dir/bench_sec65_load_balancer.cc.o"
+  "CMakeFiles/bench_sec65_load_balancer.dir/bench_sec65_load_balancer.cc.o.d"
+  "bench_sec65_load_balancer"
+  "bench_sec65_load_balancer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_sec65_load_balancer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

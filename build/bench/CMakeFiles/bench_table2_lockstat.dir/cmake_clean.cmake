@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_lockstat.dir/bench_table2_lockstat.cc.o"
+  "CMakeFiles/bench_table2_lockstat.dir/bench_table2_lockstat.cc.o.d"
+  "bench_table2_lockstat"
+  "bench_table2_lockstat.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_lockstat.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

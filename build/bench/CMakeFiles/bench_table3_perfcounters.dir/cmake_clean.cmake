@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_perfcounters.dir/bench_table3_perfcounters.cc.o"
+  "CMakeFiles/bench_table3_perfcounters.dir/bench_table3_perfcounters.cc.o.d"
+  "bench_table3_perfcounters"
+  "bench_table3_perfcounters.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_perfcounters.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_dprof.dir/bench_table4_dprof.cc.o"
+  "CMakeFiles/bench_table4_dprof.dir/bench_table4_dprof.cc.o.d"
+  "bench_table4_dprof"
+  "bench_table4_dprof.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_dprof.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

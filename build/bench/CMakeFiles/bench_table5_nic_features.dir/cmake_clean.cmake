@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table5_nic_features.dir/bench_table5_nic_features.cc.o"
+  "CMakeFiles/bench_table5_nic_features.dir/bench_table5_nic_features.cc.o.d"
+  "bench_table5_nic_features"
+  "bench_table5_nic_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table5_nic_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

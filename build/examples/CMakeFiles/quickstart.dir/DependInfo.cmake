@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/quickstart.cpp" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o" "gcc" "examples/CMakeFiles/quickstart.dir/quickstart.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aff_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/aff_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/load/CMakeFiles/aff_load.dir/DependInfo.cmake"
+  "/root/repo/build/src/stack/CMakeFiles/aff_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/balance/CMakeFiles/aff_balance.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/aff_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/aff_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/aff_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aff_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aff_app.dir/compute_job.cc.o"
+  "CMakeFiles/aff_app.dir/compute_job.cc.o.d"
+  "CMakeFiles/aff_app.dir/event_server.cc.o"
+  "CMakeFiles/aff_app.dir/event_server.cc.o.d"
+  "CMakeFiles/aff_app.dir/prefork_server.cc.o"
+  "CMakeFiles/aff_app.dir/prefork_server.cc.o.d"
+  "CMakeFiles/aff_app.dir/server.cc.o"
+  "CMakeFiles/aff_app.dir/server.cc.o.d"
+  "CMakeFiles/aff_app.dir/worker_server.cc.o"
+  "CMakeFiles/aff_app.dir/worker_server.cc.o.d"
+  "libaff_app.a"
+  "libaff_app.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aff_app.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for aff_app.
+# This may be replaced when dependencies are built.

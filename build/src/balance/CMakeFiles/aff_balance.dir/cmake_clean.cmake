@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aff_balance.dir/busy_tracker.cc.o"
+  "CMakeFiles/aff_balance.dir/busy_tracker.cc.o.d"
+  "CMakeFiles/aff_balance.dir/flow_migrator.cc.o"
+  "CMakeFiles/aff_balance.dir/flow_migrator.cc.o.d"
+  "CMakeFiles/aff_balance.dir/steal_policy.cc.o"
+  "CMakeFiles/aff_balance.dir/steal_policy.cc.o.d"
+  "libaff_balance.a"
+  "libaff_balance.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aff_balance.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

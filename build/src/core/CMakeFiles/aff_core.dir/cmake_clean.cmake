@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aff_core.dir/experiment.cc.o"
+  "CMakeFiles/aff_core.dir/experiment.cc.o.d"
+  "CMakeFiles/aff_core.dir/reporter.cc.o"
+  "CMakeFiles/aff_core.dir/reporter.cc.o.d"
+  "libaff_core.a"
+  "libaff_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aff_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

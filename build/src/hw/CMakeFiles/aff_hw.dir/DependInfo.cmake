@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/hw/fdir.cc" "src/hw/CMakeFiles/aff_hw.dir/fdir.cc.o" "gcc" "src/hw/CMakeFiles/aff_hw.dir/fdir.cc.o.d"
+  "/root/repo/src/hw/nic.cc" "src/hw/CMakeFiles/aff_hw.dir/nic.cc.o" "gcc" "src/hw/CMakeFiles/aff_hw.dir/nic.cc.o.d"
+  "/root/repo/src/hw/nic_catalogue.cc" "src/hw/CMakeFiles/aff_hw.dir/nic_catalogue.cc.o" "gcc" "src/hw/CMakeFiles/aff_hw.dir/nic_catalogue.cc.o.d"
+  "/root/repo/src/hw/rss.cc" "src/hw/CMakeFiles/aff_hw.dir/rss.cc.o" "gcc" "src/hw/CMakeFiles/aff_hw.dir/rss.cc.o.d"
+  "/root/repo/src/hw/topology.cc" "src/hw/CMakeFiles/aff_hw.dir/topology.cc.o" "gcc" "src/hw/CMakeFiles/aff_hw.dir/topology.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/aff_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/aff_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aff_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

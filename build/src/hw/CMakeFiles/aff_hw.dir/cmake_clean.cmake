@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aff_hw.dir/fdir.cc.o"
+  "CMakeFiles/aff_hw.dir/fdir.cc.o.d"
+  "CMakeFiles/aff_hw.dir/nic.cc.o"
+  "CMakeFiles/aff_hw.dir/nic.cc.o.d"
+  "CMakeFiles/aff_hw.dir/nic_catalogue.cc.o"
+  "CMakeFiles/aff_hw.dir/nic_catalogue.cc.o.d"
+  "CMakeFiles/aff_hw.dir/rss.cc.o"
+  "CMakeFiles/aff_hw.dir/rss.cc.o.d"
+  "CMakeFiles/aff_hw.dir/topology.cc.o"
+  "CMakeFiles/aff_hw.dir/topology.cc.o.d"
+  "libaff_hw.a"
+  "libaff_hw.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aff_hw.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aff_load.dir/httperf.cc.o"
+  "CMakeFiles/aff_load.dir/httperf.cc.o.d"
+  "CMakeFiles/aff_load.dir/workload.cc.o"
+  "CMakeFiles/aff_load.dir/workload.cc.o.d"
+  "libaff_load.a"
+  "libaff_load.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aff_load.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

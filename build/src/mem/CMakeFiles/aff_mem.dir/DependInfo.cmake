@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/mem/coherence.cc" "src/mem/CMakeFiles/aff_mem.dir/coherence.cc.o" "gcc" "src/mem/CMakeFiles/aff_mem.dir/coherence.cc.o.d"
+  "/root/repo/src/mem/memory_profile.cc" "src/mem/CMakeFiles/aff_mem.dir/memory_profile.cc.o" "gcc" "src/mem/CMakeFiles/aff_mem.dir/memory_profile.cc.o.d"
+  "/root/repo/src/mem/memory_system.cc" "src/mem/CMakeFiles/aff_mem.dir/memory_system.cc.o" "gcc" "src/mem/CMakeFiles/aff_mem.dir/memory_system.cc.o.d"
+  "/root/repo/src/mem/object.cc" "src/mem/CMakeFiles/aff_mem.dir/object.cc.o" "gcc" "src/mem/CMakeFiles/aff_mem.dir/object.cc.o.d"
+  "/root/repo/src/mem/sharing_profiler.cc" "src/mem/CMakeFiles/aff_mem.dir/sharing_profiler.cc.o" "gcc" "src/mem/CMakeFiles/aff_mem.dir/sharing_profiler.cc.o.d"
+  "/root/repo/src/mem/slab.cc" "src/mem/CMakeFiles/aff_mem.dir/slab.cc.o" "gcc" "src/mem/CMakeFiles/aff_mem.dir/slab.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/aff_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

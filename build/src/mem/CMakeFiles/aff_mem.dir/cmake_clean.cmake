@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aff_mem.dir/coherence.cc.o"
+  "CMakeFiles/aff_mem.dir/coherence.cc.o.d"
+  "CMakeFiles/aff_mem.dir/memory_profile.cc.o"
+  "CMakeFiles/aff_mem.dir/memory_profile.cc.o.d"
+  "CMakeFiles/aff_mem.dir/memory_system.cc.o"
+  "CMakeFiles/aff_mem.dir/memory_system.cc.o.d"
+  "CMakeFiles/aff_mem.dir/object.cc.o"
+  "CMakeFiles/aff_mem.dir/object.cc.o.d"
+  "CMakeFiles/aff_mem.dir/sharing_profiler.cc.o"
+  "CMakeFiles/aff_mem.dir/sharing_profiler.cc.o.d"
+  "CMakeFiles/aff_mem.dir/slab.cc.o"
+  "CMakeFiles/aff_mem.dir/slab.cc.o.d"
+  "libaff_mem.a"
+  "libaff_mem.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aff_mem.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aff_net.dir/flow.cc.o"
+  "CMakeFiles/aff_net.dir/flow.cc.o.d"
+  "CMakeFiles/aff_net.dir/kernel_types.cc.o"
+  "CMakeFiles/aff_net.dir/kernel_types.cc.o.d"
+  "CMakeFiles/aff_net.dir/packet.cc.o"
+  "CMakeFiles/aff_net.dir/packet.cc.o.d"
+  "libaff_net.a"
+  "libaff_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aff_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aff_sim.dir/event_loop.cc.o"
+  "CMakeFiles/aff_sim.dir/event_loop.cc.o.d"
+  "CMakeFiles/aff_sim.dir/rng.cc.o"
+  "CMakeFiles/aff_sim.dir/rng.cc.o.d"
+  "CMakeFiles/aff_sim.dir/stats.cc.o"
+  "CMakeFiles/aff_sim.dir/stats.cc.o.d"
+  "libaff_sim.a"
+  "libaff_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aff_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

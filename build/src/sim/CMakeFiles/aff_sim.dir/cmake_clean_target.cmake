@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libaff_sim.a"
+)

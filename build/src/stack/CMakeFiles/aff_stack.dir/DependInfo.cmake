@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/stack/core_agent.cc" "src/stack/CMakeFiles/aff_stack.dir/core_agent.cc.o" "gcc" "src/stack/CMakeFiles/aff_stack.dir/core_agent.cc.o.d"
+  "/root/repo/src/stack/established_table.cc" "src/stack/CMakeFiles/aff_stack.dir/established_table.cc.o" "gcc" "src/stack/CMakeFiles/aff_stack.dir/established_table.cc.o.d"
+  "/root/repo/src/stack/kernel.cc" "src/stack/CMakeFiles/aff_stack.dir/kernel.cc.o" "gcc" "src/stack/CMakeFiles/aff_stack.dir/kernel.cc.o.d"
+  "/root/repo/src/stack/listen_socket.cc" "src/stack/CMakeFiles/aff_stack.dir/listen_socket.cc.o" "gcc" "src/stack/CMakeFiles/aff_stack.dir/listen_socket.cc.o.d"
+  "/root/repo/src/stack/lock_stat.cc" "src/stack/CMakeFiles/aff_stack.dir/lock_stat.cc.o" "gcc" "src/stack/CMakeFiles/aff_stack.dir/lock_stat.cc.o.d"
+  "/root/repo/src/stack/perf_counters.cc" "src/stack/CMakeFiles/aff_stack.dir/perf_counters.cc.o" "gcc" "src/stack/CMakeFiles/aff_stack.dir/perf_counters.cc.o.d"
+  "/root/repo/src/stack/sched.cc" "src/stack/CMakeFiles/aff_stack.dir/sched.cc.o" "gcc" "src/stack/CMakeFiles/aff_stack.dir/sched.cc.o.d"
+  "/root/repo/src/stack/sim_lock.cc" "src/stack/CMakeFiles/aff_stack.dir/sim_lock.cc.o" "gcc" "src/stack/CMakeFiles/aff_stack.dir/sim_lock.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/balance/CMakeFiles/aff_balance.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/aff_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/aff_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/aff_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aff_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

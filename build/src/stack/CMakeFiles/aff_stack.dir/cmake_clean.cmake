@@ -1,0 +1,25 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/aff_stack.dir/core_agent.cc.o"
+  "CMakeFiles/aff_stack.dir/core_agent.cc.o.d"
+  "CMakeFiles/aff_stack.dir/established_table.cc.o"
+  "CMakeFiles/aff_stack.dir/established_table.cc.o.d"
+  "CMakeFiles/aff_stack.dir/kernel.cc.o"
+  "CMakeFiles/aff_stack.dir/kernel.cc.o.d"
+  "CMakeFiles/aff_stack.dir/listen_socket.cc.o"
+  "CMakeFiles/aff_stack.dir/listen_socket.cc.o.d"
+  "CMakeFiles/aff_stack.dir/lock_stat.cc.o"
+  "CMakeFiles/aff_stack.dir/lock_stat.cc.o.d"
+  "CMakeFiles/aff_stack.dir/perf_counters.cc.o"
+  "CMakeFiles/aff_stack.dir/perf_counters.cc.o.d"
+  "CMakeFiles/aff_stack.dir/sched.cc.o"
+  "CMakeFiles/aff_stack.dir/sched.cc.o.d"
+  "CMakeFiles/aff_stack.dir/sim_lock.cc.o"
+  "CMakeFiles/aff_stack.dir/sim_lock.cc.o.d"
+  "libaff_stack.a"
+  "libaff_stack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/aff_stack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,48 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/app/app_test.cc" "tests/CMakeFiles/affinity_tests.dir/app/app_test.cc.o" "gcc" "tests/CMakeFiles/affinity_tests.dir/app/app_test.cc.o.d"
+  "/root/repo/tests/balance/balance_test.cc" "tests/CMakeFiles/affinity_tests.dir/balance/balance_test.cc.o" "gcc" "tests/CMakeFiles/affinity_tests.dir/balance/balance_test.cc.o.d"
+  "/root/repo/tests/core/experiment_test.cc" "tests/CMakeFiles/affinity_tests.dir/core/experiment_test.cc.o" "gcc" "tests/CMakeFiles/affinity_tests.dir/core/experiment_test.cc.o.d"
+  "/root/repo/tests/hw/nic_test.cc" "tests/CMakeFiles/affinity_tests.dir/hw/nic_test.cc.o" "gcc" "tests/CMakeFiles/affinity_tests.dir/hw/nic_test.cc.o.d"
+  "/root/repo/tests/hw/rss_fdir_test.cc" "tests/CMakeFiles/affinity_tests.dir/hw/rss_fdir_test.cc.o" "gcc" "tests/CMakeFiles/affinity_tests.dir/hw/rss_fdir_test.cc.o.d"
+  "/root/repo/tests/load/load_test.cc" "tests/CMakeFiles/affinity_tests.dir/load/load_test.cc.o" "gcc" "tests/CMakeFiles/affinity_tests.dir/load/load_test.cc.o.d"
+  "/root/repo/tests/mem/coherence_test.cc" "tests/CMakeFiles/affinity_tests.dir/mem/coherence_test.cc.o" "gcc" "tests/CMakeFiles/affinity_tests.dir/mem/coherence_test.cc.o.d"
+  "/root/repo/tests/mem/memory_test.cc" "tests/CMakeFiles/affinity_tests.dir/mem/memory_test.cc.o" "gcc" "tests/CMakeFiles/affinity_tests.dir/mem/memory_test.cc.o.d"
+  "/root/repo/tests/mem/sharing_profiler_test.cc" "tests/CMakeFiles/affinity_tests.dir/mem/sharing_profiler_test.cc.o" "gcc" "tests/CMakeFiles/affinity_tests.dir/mem/sharing_profiler_test.cc.o.d"
+  "/root/repo/tests/properties_test.cc" "tests/CMakeFiles/affinity_tests.dir/properties_test.cc.o" "gcc" "tests/CMakeFiles/affinity_tests.dir/properties_test.cc.o.d"
+  "/root/repo/tests/sim/event_loop_test.cc" "tests/CMakeFiles/affinity_tests.dir/sim/event_loop_test.cc.o" "gcc" "tests/CMakeFiles/affinity_tests.dir/sim/event_loop_test.cc.o.d"
+  "/root/repo/tests/sim/rng_test.cc" "tests/CMakeFiles/affinity_tests.dir/sim/rng_test.cc.o" "gcc" "tests/CMakeFiles/affinity_tests.dir/sim/rng_test.cc.o.d"
+  "/root/repo/tests/sim/stats_test.cc" "tests/CMakeFiles/affinity_tests.dir/sim/stats_test.cc.o" "gcc" "tests/CMakeFiles/affinity_tests.dir/sim/stats_test.cc.o.d"
+  "/root/repo/tests/stack/arfs_test.cc" "tests/CMakeFiles/affinity_tests.dir/stack/arfs_test.cc.o" "gcc" "tests/CMakeFiles/affinity_tests.dir/stack/arfs_test.cc.o.d"
+  "/root/repo/tests/stack/core_agent_test.cc" "tests/CMakeFiles/affinity_tests.dir/stack/core_agent_test.cc.o" "gcc" "tests/CMakeFiles/affinity_tests.dir/stack/core_agent_test.cc.o.d"
+  "/root/repo/tests/stack/established_table_test.cc" "tests/CMakeFiles/affinity_tests.dir/stack/established_table_test.cc.o" "gcc" "tests/CMakeFiles/affinity_tests.dir/stack/established_table_test.cc.o.d"
+  "/root/repo/tests/stack/kernel_test.cc" "tests/CMakeFiles/affinity_tests.dir/stack/kernel_test.cc.o" "gcc" "tests/CMakeFiles/affinity_tests.dir/stack/kernel_test.cc.o.d"
+  "/root/repo/tests/stack/listen_socket_test.cc" "tests/CMakeFiles/affinity_tests.dir/stack/listen_socket_test.cc.o" "gcc" "tests/CMakeFiles/affinity_tests.dir/stack/listen_socket_test.cc.o.d"
+  "/root/repo/tests/stack/rfs_test.cc" "tests/CMakeFiles/affinity_tests.dir/stack/rfs_test.cc.o" "gcc" "tests/CMakeFiles/affinity_tests.dir/stack/rfs_test.cc.o.d"
+  "/root/repo/tests/stack/sched_test.cc" "tests/CMakeFiles/affinity_tests.dir/stack/sched_test.cc.o" "gcc" "tests/CMakeFiles/affinity_tests.dir/stack/sched_test.cc.o.d"
+  "/root/repo/tests/stack/sim_lock_test.cc" "tests/CMakeFiles/affinity_tests.dir/stack/sim_lock_test.cc.o" "gcc" "tests/CMakeFiles/affinity_tests.dir/stack/sim_lock_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/aff_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/app/CMakeFiles/aff_app.dir/DependInfo.cmake"
+  "/root/repo/build/src/load/CMakeFiles/aff_load.dir/DependInfo.cmake"
+  "/root/repo/build/src/stack/CMakeFiles/aff_stack.dir/DependInfo.cmake"
+  "/root/repo/build/src/balance/CMakeFiles/aff_balance.dir/DependInfo.cmake"
+  "/root/repo/build/src/hw/CMakeFiles/aff_hw.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/aff_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/mem/CMakeFiles/aff_mem.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/aff_sim.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
