@@ -1,0 +1,137 @@
+#include "src/balance/balance_policy.h"
+
+namespace affinity {
+
+WatermarkBalancePolicy::WatermarkBalancePolicy(int num_cores, int max_local_len,
+                                               const BalanceTuning& tuning)
+    : num_cores_(num_cores),
+      busy_(num_cores, max_local_len, tuning.high_watermark, tuning.low_watermark),
+      steals_(num_cores, tuning.steal_ratio) {}
+
+bool WatermarkBalancePolicy::OnEnqueue(CoreId core, size_t len_after) {
+  return busy_.OnEnqueue(core, len_after);
+}
+
+bool WatermarkBalancePolicy::OnDequeue(CoreId core, size_t len_after) {
+  return busy_.OnDequeue(core, len_after);
+}
+
+bool WatermarkBalancePolicy::IsBusy(CoreId core) const { return busy_.IsBusy(core); }
+
+bool WatermarkBalancePolicy::AnyBusy() const { return busy_.AnyBusy(); }
+
+bool WatermarkBalancePolicy::ShouldStealThisTime(CoreId core) {
+  return steals_.ShouldStealThisTime(core);
+}
+
+CoreId WatermarkBalancePolicy::PickBusyVictim(CoreId thief) {
+  return steals_.PickBusyVictim(thief, busy_);
+}
+
+CoreId WatermarkBalancePolicy::PickAnyVictim(
+    CoreId thief, const std::function<bool(CoreId)>& has_connections) {
+  return steals_.PickAnyVictim(thief, num_cores_, has_connections);
+}
+
+void WatermarkBalancePolicy::OnSteal(CoreId thief, CoreId victim) {
+  steals_.OnSteal(thief, victim);
+}
+
+CoreId WatermarkBalancePolicy::TopVictimOf(CoreId thief) const {
+  return steals_.TopVictimOf(thief);
+}
+
+void WatermarkBalancePolicy::ResetEpochCounts(CoreId thief) {
+  steals_.ResetEpochCounts(thief);
+}
+
+uint64_t WatermarkBalancePolicy::total_steals() const { return steals_.total_steals(); }
+
+void WatermarkBalancePolicy::ResetTotalSteals() { steals_.ResetTotal(); }
+
+uint64_t WatermarkBalancePolicy::transitions_to_busy() const {
+  return busy_.transitions_to_busy();
+}
+
+uint64_t WatermarkBalancePolicy::transitions_to_nonbusy() const {
+  return busy_.transitions_to_nonbusy();
+}
+
+LockedBalancePolicy::LockedBalancePolicy(int num_cores, int max_local_len,
+                                         const BalanceTuning& tuning)
+    : inner_(num_cores, max_local_len, tuning) {}
+
+bool LockedBalancePolicy::OnEnqueue(CoreId core, size_t len_after) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inner_.OnEnqueue(core, len_after);
+}
+
+bool LockedBalancePolicy::OnDequeue(CoreId core, size_t len_after) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inner_.OnDequeue(core, len_after);
+}
+
+bool LockedBalancePolicy::IsBusy(CoreId core) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inner_.IsBusy(core);
+}
+
+bool LockedBalancePolicy::AnyBusy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inner_.AnyBusy();
+}
+
+bool LockedBalancePolicy::ShouldStealThisTime(CoreId core) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inner_.ShouldStealThisTime(core);
+}
+
+CoreId LockedBalancePolicy::PickBusyVictim(CoreId thief) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inner_.PickBusyVictim(thief);
+}
+
+CoreId LockedBalancePolicy::PickAnyVictim(
+    CoreId thief, const std::function<bool(CoreId)>& has_connections) {
+  // The predicate runs under the policy mutex; it must not call back into
+  // this policy (reactor predicates only read queue lengths).
+  std::lock_guard<std::mutex> lock(mu_);
+  return inner_.PickAnyVictim(thief, has_connections);
+}
+
+void LockedBalancePolicy::OnSteal(CoreId thief, CoreId victim) {
+  std::lock_guard<std::mutex> lock(mu_);
+  inner_.OnSteal(thief, victim);
+}
+
+CoreId LockedBalancePolicy::TopVictimOf(CoreId thief) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inner_.TopVictimOf(thief);
+}
+
+void LockedBalancePolicy::ResetEpochCounts(CoreId thief) {
+  std::lock_guard<std::mutex> lock(mu_);
+  inner_.ResetEpochCounts(thief);
+}
+
+uint64_t LockedBalancePolicy::total_steals() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inner_.total_steals();
+}
+
+void LockedBalancePolicy::ResetTotalSteals() {
+  std::lock_guard<std::mutex> lock(mu_);
+  inner_.ResetTotalSteals();
+}
+
+uint64_t LockedBalancePolicy::transitions_to_busy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inner_.transitions_to_busy();
+}
+
+uint64_t LockedBalancePolicy::transitions_to_nonbusy() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inner_.transitions_to_nonbusy();
+}
+
+}  // namespace affinity

@@ -1,0 +1,148 @@
+// BalancePolicy: the load-balancing decision surface of Affinity-Accept
+// (paper Section 3.3.1), extracted so the discrete-event simulator
+// (src/stack/listen_socket.cc) and the real-socket runtime (src/rt/) drive
+// byte-for-byte identical watermark / EWMA / proportional-share logic.
+//
+// Two adapters are provided:
+//  - WatermarkBalancePolicy: the paper's policy (BusyTracker + StealPolicy),
+//    single-threaded, used directly by the simulator.
+//  - LockedBalancePolicy: wraps a WatermarkBalancePolicy behind one mutex so
+//    the runtime's reactor threads can share it. Decisions are identical to
+//    the wrapped policy given the same event sequence.
+
+#ifndef AFFINITY_SRC_BALANCE_BALANCE_POLICY_H_
+#define AFFINITY_SRC_BALANCE_BALANCE_POLICY_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+
+#include "src/balance/busy_tracker.h"
+#include "src/balance/steal_policy.h"
+#include "src/mem/cacheline.h"
+
+namespace affinity {
+
+// Tuning knobs shared by every adapter (defaults are the paper's settings).
+struct BalanceTuning {
+  int steal_ratio = 5;           // 5 local : 1 stolen
+  double high_watermark = 0.75;  // fraction of max local queue length
+  double low_watermark = 0.10;
+};
+
+class BalancePolicy {
+ public:
+  virtual ~BalancePolicy() = default;
+
+  // --- busy tracking (Section 3.3.1, "Tracking busy cores") ---
+
+  // A connection landed on `core`'s accept queue; `len_after` includes it.
+  // Returns true if the core's busy bit flipped (callers charge a bit-vector
+  // write in the simulator; the runtime just uses the decision).
+  virtual bool OnEnqueue(CoreId core, size_t len_after) = 0;
+
+  // A connection left `core`'s accept queue. Returns true if the busy bit
+  // flipped.
+  virtual bool OnDequeue(CoreId core, size_t len_after) = 0;
+
+  virtual bool IsBusy(CoreId core) const = 0;
+  virtual bool AnyBusy() const = 0;
+
+  // --- connection stealing (Section 3.3.1, "Connection stealing") ---
+
+  // Proportional share: with local connections available and a busy victim
+  // in sight, should this accept() go remote? Advances the 5:1 counter.
+  virtual bool ShouldStealThisTime(CoreId core) = 0;
+
+  // Next busy victim for `thief`, round-robin one past the last victim;
+  // kNoCore when no other core is busy.
+  virtual CoreId PickBusyVictim(CoreId thief) = 0;
+
+  // Round-robin scan over all remote cores with a queue-nonempty predicate
+  // (the polling path: local queue, then busy remotes, then any remote).
+  virtual CoreId PickAnyVictim(CoreId thief,
+                               const std::function<bool(CoreId)>& has_connections) = 0;
+
+  // Records a successful steal (feeds flow-group migration).
+  virtual void OnSteal(CoreId thief, CoreId victim) = 0;
+
+  // --- migration feed (Section 3.3.2) ---
+
+  virtual CoreId TopVictimOf(CoreId thief) const = 0;
+  virtual void ResetEpochCounts(CoreId thief) = 0;
+
+  // --- accounting ---
+  virtual uint64_t total_steals() const = 0;
+  virtual void ResetTotalSteals() = 0;
+  virtual uint64_t transitions_to_busy() const = 0;
+  virtual uint64_t transitions_to_nonbusy() const = 0;
+};
+
+// The paper's policy, composed from the existing BusyTracker and StealPolicy.
+// Not thread-safe: the simulator runs it from one event loop.
+class WatermarkBalancePolicy : public BalancePolicy {
+ public:
+  WatermarkBalancePolicy(int num_cores, int max_local_len,
+                         const BalanceTuning& tuning = BalanceTuning{});
+
+  bool OnEnqueue(CoreId core, size_t len_after) override;
+  bool OnDequeue(CoreId core, size_t len_after) override;
+  bool IsBusy(CoreId core) const override;
+  bool AnyBusy() const override;
+  bool ShouldStealThisTime(CoreId core) override;
+  CoreId PickBusyVictim(CoreId thief) override;
+  CoreId PickAnyVictim(CoreId thief,
+                       const std::function<bool(CoreId)>& has_connections) override;
+  void OnSteal(CoreId thief, CoreId victim) override;
+  CoreId TopVictimOf(CoreId thief) const override;
+  void ResetEpochCounts(CoreId thief) override;
+  uint64_t total_steals() const override;
+  void ResetTotalSteals() override;
+  uint64_t transitions_to_busy() const override;
+  uint64_t transitions_to_nonbusy() const override;
+
+  // The underlying trackers, for tests and simulator cost accounting.
+  BusyTracker& busy() { return busy_; }
+  const BusyTracker& busy() const { return busy_; }
+  StealPolicy& steals() { return steals_; }
+  const StealPolicy& steals() const { return steals_; }
+
+ private:
+  int num_cores_;
+  BusyTracker busy_;
+  StealPolicy steals_;
+};
+
+// Thread-safe adapter for the runtime: every call takes one mutex. With the
+// same (serialized) event sequence it produces the same decisions as the
+// wrapped WatermarkBalancePolicy -- tests/balance/balance_policy_test.cc
+// holds the two in lock-step.
+class LockedBalancePolicy : public BalancePolicy {
+ public:
+  LockedBalancePolicy(int num_cores, int max_local_len,
+                      const BalanceTuning& tuning = BalanceTuning{});
+
+  bool OnEnqueue(CoreId core, size_t len_after) override;
+  bool OnDequeue(CoreId core, size_t len_after) override;
+  bool IsBusy(CoreId core) const override;
+  bool AnyBusy() const override;
+  bool ShouldStealThisTime(CoreId core) override;
+  CoreId PickBusyVictim(CoreId thief) override;
+  CoreId PickAnyVictim(CoreId thief,
+                       const std::function<bool(CoreId)>& has_connections) override;
+  void OnSteal(CoreId thief, CoreId victim) override;
+  CoreId TopVictimOf(CoreId thief) const override;
+  void ResetEpochCounts(CoreId thief) override;
+  uint64_t total_steals() const override;
+  void ResetTotalSteals() override;
+  uint64_t transitions_to_busy() const override;
+  uint64_t transitions_to_nonbusy() const override;
+
+ private:
+  mutable std::mutex mu_;
+  WatermarkBalancePolicy inner_;
+};
+
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_BALANCE_BALANCE_POLICY_H_

@@ -18,14 +18,13 @@ bool FlowGroupMigrator::PickGroupOnRing(int victim_ring, uint32_t* group) {
   return false;
 }
 
-Cycles FlowGroupMigrator::RunEpoch(Cycles now, const BusyTracker& busy, StealPolicy* steals,
-                                   int num_cores) {
+Cycles FlowGroupMigrator::RunEpoch(Cycles now, BalancePolicy* policy, int num_cores) {
   Cycles total_cost = 0;
   for (CoreId core = 0; core < num_cores; ++core) {
-    if (busy.IsBusy(core)) {
+    if (policy->IsBusy(core)) {
       continue;  // busy cores do not pull more load to themselves
     }
-    CoreId victim = steals->TopVictimOf(core);
+    CoreId victim = policy->TopVictimOf(core);
     if (victim == kNoCore) {
       continue;  // did not steal this epoch: leave the steering alone
     }
@@ -34,7 +33,7 @@ Cycles FlowGroupMigrator::RunEpoch(Cycles now, const BusyTracker& busy, StealPol
       total_cost += nic_->MigrateFlowGroup(group, ring_of_core_(core));
       history_.push_back(MigrationRecord{now, group, victim, core});
     }
-    steals->ResetEpochCounts(core);
+    policy->ResetEpochCounts(core);
   }
   return total_cost;
 }

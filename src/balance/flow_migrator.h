@@ -12,8 +12,7 @@
 #include <functional>
 #include <vector>
 
-#include "src/balance/busy_tracker.h"
-#include "src/balance/steal_policy.h"
+#include "src/balance/balance_policy.h"
 #include "src/hw/nic.h"
 #include "src/mem/cacheline.h"
 #include "src/sim/time.h"
@@ -37,7 +36,7 @@ class FlowGroupMigrator {
   // from its top steal victim to itself, then reset that core's epoch steal
   // counts. Returns the cycles of driver work charged (FDir reprogramming),
   // attributed by the caller to the initiating cores.
-  Cycles RunEpoch(Cycles now, const BusyTracker& busy, StealPolicy* steals, int num_cores);
+  Cycles RunEpoch(Cycles now, BalancePolicy* policy, int num_cores);
 
   // Picks a flow group currently steered at `victim_ring`, rotating through
   // the group space so repeated migrations move different groups. Returns

@@ -19,6 +19,7 @@
 #ifndef AFFINITY_SRC_CORE_AFFINITY_ACCEPT_H_
 #define AFFINITY_SRC_CORE_AFFINITY_ACCEPT_H_
 
+#include "src/balance/balance_policy.h"
 #include "src/balance/busy_tracker.h"
 #include "src/balance/flow_migrator.h"
 #include "src/balance/steal_policy.h"

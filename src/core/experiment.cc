@@ -129,7 +129,7 @@ ExperimentResult Experiment::Collect(Cycles measured_duration) {
   result.nic_stats = kernel_->nic().stats();
   result.sched_stats = kernel_->scheduler().stats();
   result.slab_stats = kernel_->mem().slab().stats();
-  result.steals = kernel_->listen().steal_policy().total_steals();
+  result.steals = kernel_->listen().balance().total_steals();
   result.live_connections_at_end = kernel_->live_connections();
 
   // Per-request time composition (Table 2). "Total time" is the per-core

@@ -133,15 +133,32 @@ void SimNic::Transmit(int ring, const Packet& packet) {
   });
 }
 
+Cycles SimNic::InsertOrFlush(uint32_t key, int ring) {
+  Cycles cost = FdirTable::kInsertCost;
+  if (!fdir_.Insert(key, ring)) {
+    // Table full: schedule + run a flush, halting TX; then retry the insert.
+    // The driver cannot remove individual entries, so an undersized table
+    // keeps cycling through full flushes (Section 7.1).
+    cost += FdirTable::kFlushScheduleCost + FdirTable::kFlushCost;
+    tx_halted_until_ = std::max(tx_halted_until_, loop_->Now() + FdirTable::kFlushScheduleCost +
+                                                      FdirTable::kFlushCost);
+    fdir_.Flush();
+    bool ok = fdir_.Insert(key, ring);
+    assert(ok && "FDir insert must succeed right after a flush");
+  }
+  return cost;
+}
+
 Cycles SimNic::ProgramFlowGroupsRoundRobin() {
   config_.mode = SteeringMode::kFlowGroups;
   Cycles cost = 0;
   for (uint32_t group = 0; group < config_.num_flow_groups; ++group) {
     int ring = static_cast<int>(group % static_cast<uint32_t>(config_.num_rings));
-    bool ok = fdir_.Insert(GroupKey(group), ring);
-    assert(ok && "flow-group table must fit in FDir");
+    // A table smaller than the flow-group count cannot hold every group at
+    // once; earlier entries are lost to flushes and those groups fall back to
+    // RSS until re-steered. The driver's shadow copy keeps the intent.
+    cost += InsertOrFlush(GroupKey(group), ring);
     group_ring_[group] = ring;
-    cost += FdirTable::kInsertCost;
   }
   return cost;
 }
@@ -149,24 +166,13 @@ Cycles SimNic::ProgramFlowGroupsRoundRobin() {
 Cycles SimNic::MigrateFlowGroup(uint32_t group, int ring) {
   assert(group < config_.num_flow_groups);
   assert(ring >= 0 && ring < config_.num_rings);
-  bool ok = fdir_.Insert(GroupKey(group), ring);
-  assert(ok);
+  Cycles cost = InsertOrFlush(GroupKey(group), ring);
   group_ring_[group] = ring;
-  return FdirTable::kInsertCost;
+  return cost;
 }
 
 Cycles SimNic::SteerFlow(const FiveTuple& flow, int ring) {
-  Cycles cost = FdirTable::kInsertCost;
-  if (!fdir_.Insert(FlowHash(flow), ring)) {
-    // Table full: schedule + run a flush, halting TX; then retry the insert.
-    cost += FdirTable::kFlushScheduleCost + FdirTable::kFlushCost;
-    tx_halted_until_ = std::max(tx_halted_until_, loop_->Now() + FdirTable::kFlushScheduleCost +
-                                                      FdirTable::kFlushCost);
-    fdir_.Flush();
-    bool ok = fdir_.Insert(FlowHash(flow), ring);
-    assert(ok);
-  }
-  return cost;
+  return InsertOrFlush(FlowHash(flow), ring);
 }
 
 int SimNic::RingOfFlowGroup(uint32_t group) const {

@@ -94,7 +94,9 @@ class SimNic {
   //     calling core) ---
 
   // Affinity-Accept setup: map all flow groups round-robin over rings and
-  // switch to kFlowGroups mode.
+  // switch to kFlowGroups mode. If the FDir table is smaller than the group
+  // count the driver flush path runs (fdir().stats().flushes counts them)
+  // and only the most recent groups stay resident.
   Cycles ProgramFlowGroupsRoundRobin();
 
   // Moves one flow group to a new ring (flow-group migration, Section 3.3.2).
@@ -118,6 +120,10 @@ class SimNic {
   Cycles tx_halted_until() const { return tx_halted_until_; }
 
  private:
+  // Programs `key -> ring`, running the flush path (TX halt, table clear)
+  // first when the table is full. Returns the cycles charged to the driver.
+  Cycles InsertOrFlush(uint32_t key, int ring);
+
   int PortOfRing(int ring) const;
   // Serialization time of a packet through one port direction.
   Cycles WireTime(uint32_t bytes) const;

@@ -1,0 +1,90 @@
+// Per-core pending-connection queue for the real-socket runtime.
+//
+// The runtime analogue of the simulator's cloned accept queues
+// (src/stack/listen_socket.cc): each reactor owns one, pushes freshly
+// accept()ed fds into it, and drains it (or a victim's, when stealing).
+// One mutex per queue -- the whole point of the per-core design is that the
+// common case is a core touching only its own queue, so the lock is
+// uncontended; stock mode shares a single instance to reproduce the global
+// accept-queue bottleneck.
+
+#ifndef AFFINITY_SRC_RT_ACCEPT_QUEUE_H_
+#define AFFINITY_SRC_RT_ACCEPT_QUEUE_H_
+
+#include <chrono>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+
+namespace affinity {
+namespace rt {
+
+// A connection that completed the kernel handshake and was accept()ed but
+// not yet handed to application code.
+struct PendingConn {
+  int fd = -1;
+  std::chrono::steady_clock::time_point accepted_at{};
+};
+
+class AcceptQueue {
+ public:
+  // `capacity` is the max local accept queue length (listen() backlog split
+  // across cores). Pushes beyond it are refused, mirroring the kernel
+  // dropping connections on accept-queue overflow.
+  explicit AcceptQueue(size_t capacity) : capacity_(capacity) {}
+
+  AcceptQueue(const AcceptQueue&) = delete;
+  AcceptQueue& operator=(const AcceptQueue&) = delete;
+
+  // Returns false when full (the caller closes the fd); on success
+  // *len_after is the queue length including the new connection.
+  bool Push(const PendingConn& conn, size_t* len_after) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (conns_.size() >= capacity_) {
+      return false;
+    }
+    conns_.push_back(conn);
+    *len_after = conns_.size();
+    return true;
+  }
+
+  // Returns false when empty; on success *len_after is the length left
+  // behind (feeds BusyTracker::OnDequeue).
+  bool TryPop(PendingConn* out, size_t* len_after) {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (conns_.empty()) {
+      return false;
+    }
+    *out = conns_.front();
+    conns_.pop_front();
+    *len_after = conns_.size();
+    return true;
+  }
+
+  // Unsynchronized-in-spirit length probe (takes the lock; used for the
+  // steal-or-local decision, where a stale answer is acceptable).
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mu_);
+    return conns_.size();
+  }
+
+  // Pops everything; the caller closes the fds (shutdown path).
+  std::deque<PendingConn> DrainAll() {
+    std::lock_guard<std::mutex> lock(mu_);
+    std::deque<PendingConn> out;
+    out.swap(conns_);
+    return out;
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  mutable std::mutex mu_;
+  std::deque<PendingConn> conns_;
+  size_t capacity_;
+};
+
+}  // namespace rt
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_RT_ACCEPT_QUEUE_H_

@@ -1,0 +1,106 @@
+#include "src/rt/load_client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <chrono>
+
+namespace affinity {
+namespace rt {
+
+LoadClient::LoadClient(const LoadClientConfig& config) : config_(config) {
+  if (config_.num_threads < 1) {
+    config_.num_threads = 1;
+  }
+}
+
+LoadClient::~LoadClient() { Stop(); }
+
+void LoadClient::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  for (int i = 0; i < config_.num_threads; ++i) {
+    threads_.emplace_back([this] { RunThread(); });
+  }
+}
+
+void LoadClient::Stop() {
+  if (!started_) {
+    return;
+  }
+  stop_.store(true, std::memory_order_release);
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+  threads_.clear();
+  started_ = false;
+}
+
+void LoadClient::WaitForMaxConns() {
+  while (config_.max_conns > 0 && !stop_.load(std::memory_order_acquire) &&
+         completed_.load(std::memory_order_relaxed) < config_.max_conns) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  Stop();
+}
+
+void LoadClient::RunThread() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    if (config_.max_conns > 0 &&
+        completed_.load(std::memory_order_relaxed) >= config_.max_conns) {
+      return;
+    }
+    if (OneConnection()) {
+      completed_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      ++errors_;
+      // Back off briefly so a wedged server does not spin us at 100% CPU.
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+}
+
+bool LoadClient::OneConnection() {
+  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    return false;
+  }
+  // Bound every blocking call so Stop() is honored within ~1s even if the
+  // server stops serving while we are connected.
+  timeval tv{1, 0};
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  sockaddr_in addr;
+  memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(config_.port);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    close(fd);
+    return false;
+  }
+
+  // Read the response until orderly EOF.
+  bool got_byte = false;
+  char buf[16];
+  for (;;) {
+    ssize_t n = read(fd, buf, sizeof(buf));
+    if (n > 0) {
+      got_byte = true;
+      continue;
+    }
+    close(fd);
+    return n == 0 && got_byte;
+  }
+}
+
+}  // namespace rt
+}  // namespace affinity

@@ -1,0 +1,56 @@
+// Loopback load generator: closed-loop client threads that connect to the
+// runtime's port, read the one-byte response until EOF, and immediately
+// reconnect. Connection-per-request, like the paper's ab/apachebench setup.
+
+#ifndef AFFINITY_SRC_RT_LOAD_CLIENT_H_
+#define AFFINITY_SRC_RT_LOAD_CLIENT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+namespace affinity {
+namespace rt {
+
+struct LoadClientConfig {
+  uint16_t port = 0;
+  int num_threads = 4;
+  // Stop after this many total completed connections (0 = run until Stop()).
+  uint64_t max_conns = 0;
+};
+
+class LoadClient {
+ public:
+  explicit LoadClient(const LoadClientConfig& config);
+  ~LoadClient();
+
+  LoadClient(const LoadClient&) = delete;
+  LoadClient& operator=(const LoadClient&) = delete;
+
+  void Start();
+  // Signals the client threads and joins them. Idempotent.
+  void Stop();
+  // Blocks until max_conns completions (requires max_conns > 0), then stops.
+  void WaitForMaxConns();
+
+  uint64_t completed() const { return completed_.load(std::memory_order_relaxed); }
+  uint64_t errors() const { return errors_.load(std::memory_order_relaxed); }
+
+ private:
+  void RunThread();
+  // One connect / read-to-EOF / close cycle. Returns false on error.
+  bool OneConnection();
+
+  LoadClientConfig config_;
+  std::vector<std::thread> threads_;
+  std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> errors_{0};
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+};
+
+}  // namespace rt
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_RT_LOAD_CLIENT_H_

@@ -1,0 +1,206 @@
+#include "src/rt/reactor.h"
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+
+#include "src/rt/listener.h"
+
+namespace affinity {
+namespace rt {
+
+const char* RtModeName(RtMode mode) {
+  switch (mode) {
+    case RtMode::kStock:
+      return "stock";
+    case RtMode::kFine:
+      return "fine";
+    case RtMode::kAffinity:
+      return "affinity";
+  }
+  return "?";
+}
+
+Reactor::Reactor(int index, int listen_fd, ReactorShared* shared)
+    : index_(index), listen_fd_(listen_fd), shared_(shared) {}
+
+void Reactor::Run() {
+  if (shared_->pin_threads) {
+    PinCurrentThreadToCpu(index_);
+  }
+
+  int ep = epoll_create1(EPOLL_CLOEXEC);
+  if (ep < 0) {
+    return;
+  }
+  epoll_event ev{};
+  ev.events = EPOLLIN;  // level-triggered: stock mode herds on purpose
+  ev.data.fd = listen_fd_;
+  epoll_ctl(ep, EPOLL_CTL_ADD, listen_fd_, &ev);
+
+  epoll_event events[8];
+  while (!shared_->stop.load(std::memory_order_acquire)) {
+    // Short timeout so stop and cross-queue work (stolen connections pushed
+    // by other shards) are noticed even when our own shard is idle.
+    int n = epoll_wait(ep, events, 8, /*timeout_ms=*/1);
+    if (n > 0) {
+      ++stats_.epoll_wakeups;
+      AcceptBatch();
+    } else if (n < 0 && errno != EINTR) {
+      break;
+    }
+    int served = ServeBatch();
+    if (n <= 0 && served == 0) {
+      // Nothing local and nothing accepted: one widened pass before going
+      // back to sleep (the paper's "polling" order).
+      ServeOne(/*idle=*/true);
+    }
+  }
+  close(ep);
+}
+
+void Reactor::AcceptBatch() {
+  bool stock = shared_->mode == RtMode::kStock;
+  size_t qi = stock ? 0 : static_cast<size_t>(index_);
+  AcceptQueue& queue = *shared_->queues[qi];
+
+  for (int i = 0; i < shared_->accept_batch; ++i) {
+    int fd = accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd < 0) {
+      break;  // EAGAIN (drained), or a transient error: retry next wakeup
+    }
+    ++stats_.accepted;
+    PendingConn conn{fd, std::chrono::steady_clock::now()};
+    size_t len_after = 0;
+    if (!queue.Push(conn, &len_after)) {
+      close(fd);
+      ++stats_.overflow_drops;
+      continue;
+    }
+    if (shared_->policy != nullptr) {
+      shared_->policy->OnEnqueue(static_cast<CoreId>(qi), len_after);
+    }
+  }
+}
+
+int Reactor::ServeBatch() {
+  int served = 0;
+  while (served < shared_->accept_batch && ServeOne(/*idle=*/false)) {
+    ++served;
+  }
+  return served;
+}
+
+bool Reactor::PopFrom(size_t qi, PendingConn* out) {
+  size_t len_after = 0;
+  if (!shared_->queues[qi]->TryPop(out, &len_after)) {
+    return false;
+  }
+  if (shared_->policy != nullptr) {
+    shared_->policy->OnDequeue(static_cast<CoreId>(qi), len_after);
+  }
+  return true;
+}
+
+bool Reactor::ServeOne(bool idle) {
+  PendingConn conn;
+
+  switch (shared_->mode) {
+    case RtMode::kStock: {
+      if (!PopFrom(0, &conn)) {
+        return false;
+      }
+      Serve(conn, /*local=*/true);
+      return true;
+    }
+
+    case RtMode::kFine: {
+      // Round-robin over all queues through the shared cursor; every core
+      // serves every queue, so there is no connection affinity.
+      size_t n = shared_->queues.size();
+      size_t start =
+          static_cast<size_t>(shared_->rr_cursor.fetch_add(1, std::memory_order_relaxed)) % n;
+      for (size_t i = 0; i < n; ++i) {
+        size_t qi = (start + i) % n;
+        if (PopFrom(qi, &conn)) {
+          Serve(conn, qi == static_cast<size_t>(index_));
+          return true;
+        }
+      }
+      return false;
+    }
+
+    case RtMode::kAffinity: {
+      // Same decision sequence as ListenSocket::Accept, driven by the same
+      // BalancePolicy: proportional-share steal-first check, local queue,
+      // late steal, then (only before sleeping) the widened scan.
+      BalancePolicy* policy = shared_->policy;
+      CoreId me = index_;
+      bool self_busy = policy->IsBusy(me);
+      bool may_steal = !self_busy && policy->AnyBusy();
+      size_t local_len = shared_->queues[static_cast<size_t>(me)]->size();
+      bool steal_first = false;
+      if (may_steal) {
+        steal_first = local_len == 0 || policy->ShouldStealThisTime(me);
+      }
+
+      if (steal_first) {
+        CoreId victim = policy->PickBusyVictim(me);
+        if (victim != kNoCore && PopFrom(static_cast<size_t>(victim), &conn)) {
+          policy->OnSteal(me, victim);
+          ++stats_.steals;
+          Serve(conn, /*local=*/false);
+          return true;
+        }
+      }
+      if (PopFrom(static_cast<size_t>(me), &conn)) {
+        Serve(conn, /*local=*/true);
+        return true;
+      }
+      if (may_steal && !steal_first) {
+        CoreId victim = policy->PickBusyVictim(me);
+        if (victim != kNoCore && PopFrom(static_cast<size_t>(victim), &conn)) {
+          policy->OnSteal(me, victim);
+          ++stats_.steals;
+          Serve(conn, /*local=*/false);
+          return true;
+        }
+      }
+      if (idle && !self_busy) {
+        CoreId victim = policy->PickAnyVictim(me, [this](CoreId c) {
+          return shared_->queues[static_cast<size_t>(c)]->size() > 0;
+        });
+        if (victim != kNoCore && PopFrom(static_cast<size_t>(victim), &conn)) {
+          policy->OnSteal(me, victim);
+          ++stats_.steals;
+          Serve(conn, /*local=*/false);
+          return true;
+        }
+      }
+      return false;
+    }
+  }
+  return false;
+}
+
+void Reactor::Serve(const PendingConn& conn, bool local) {
+  auto wait = std::chrono::steady_clock::now() - conn.accepted_at;
+  stats_.queue_wait_ns.Add(static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(wait).count()));
+  if (local) {
+    ++stats_.served_local;
+  } else {
+    ++stats_.served_remote;
+  }
+  // Minimal request/response: one byte, then an orderly close. Enough for
+  // the load client to observe end-to-end completion; per-connection
+  // application work is the load generator's think-time knob, not ours.
+  char byte = 'A';
+  (void)send(conn.fd, &byte, 1, MSG_NOSIGNAL);
+  close(conn.fd);
+}
+
+}  // namespace rt
+}  // namespace affinity

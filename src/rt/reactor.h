@@ -1,0 +1,96 @@
+// One reactor thread: pinned to a core, epoll loop over its listen shard,
+// serving connections from per-core accept queues with optional stealing.
+//
+// This is the live-socket counterpart of the simulator's accept paths in
+// src/stack/listen_socket.cc, in the same three arrangements:
+//  - stock:    every reactor polls ONE shared listen socket and one shared
+//              accept queue (thundering herd + global lock contention),
+//  - fine:     per-core SO_REUSEPORT shards and queues, but service is
+//              round-robin over all queues through a shared cursor
+//              (no affinity, like Fine-Accept),
+//  - affinity: per-core shards and queues, local-first service, with
+//              short-term connection stealing driven by the exact same
+//              BalancePolicy (watermarks, EWMA, 5:1 share) the simulator
+//              uses.
+
+#ifndef AFFINITY_SRC_RT_REACTOR_H_
+#define AFFINITY_SRC_RT_REACTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/balance/balance_policy.h"
+#include "src/rt/accept_queue.h"
+#include "src/sim/stats.h"
+
+namespace affinity {
+namespace rt {
+
+enum class RtMode : uint8_t { kStock, kFine, kAffinity };
+
+const char* RtModeName(RtMode mode);
+
+struct ReactorStats {
+  uint64_t accepted = 0;        // accept() returned a connection
+  uint64_t served_local = 0;    // served from this core's queue (or the shared one)
+  uint64_t served_remote = 0;   // served from another core's queue
+  uint64_t steals = 0;          // affinity-mode steals (subset of served_remote)
+  uint64_t overflow_drops = 0;  // local queue full: connection closed on arrival
+  uint64_t epoll_wakeups = 0;
+  Histogram queue_wait_ns;      // accept() -> service latency per connection
+};
+
+// State shared by every reactor of one Runtime.
+struct ReactorShared {
+  RtMode mode = RtMode::kAffinity;
+  int num_reactors = 1;
+  int accept_batch = 64;
+  bool pin_threads = true;
+  // 1 entry (stock) or one per reactor (fine/affinity).
+  std::vector<std::unique_ptr<AcceptQueue>> queues;
+  // Thread-safe policy (LockedBalancePolicy); null outside affinity mode.
+  BalancePolicy* policy = nullptr;
+  // Fine-Accept's shared round-robin dequeue cursor -- deliberately one
+  // contended cache line, as in the paper.
+  std::atomic<uint64_t> rr_cursor{0};
+  std::atomic<bool> stop{false};
+};
+
+class Reactor {
+ public:
+  // `listen_fd` is this reactor's shard (or the shared stock socket; the
+  // Runtime owns and closes it either way).
+  Reactor(int index, int listen_fd, ReactorShared* shared);
+
+  // Thread body: loops until shared->stop. Closes nothing but the fds it
+  // serves and its epoll instance.
+  void Run();
+
+  // Stable after the thread is joined.
+  const ReactorStats& stats() const { return stats_; }
+
+ private:
+  // Accepts until EAGAIN or the batch limit; enqueues into the target queue.
+  void AcceptBatch();
+  // Serves up to accept_batch queued connections; returns how many.
+  int ServeBatch();
+  // Picks and pops one connection per the mode's service discipline.
+  // `idle` marks the pre-sleep pass, where affinity mode widens its scan
+  // (the paper's polling path). Returns false when nothing was available.
+  bool ServeOne(bool idle);
+  void Serve(const PendingConn& conn, bool local);
+  // Pops from queue `qi`, running the policy dequeue hook in affinity mode.
+  bool PopFrom(size_t qi, PendingConn* out);
+
+  int index_;
+  int listen_fd_;
+  ReactorShared* shared_;
+  ReactorStats stats_;
+};
+
+}  // namespace rt
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_RT_REACTOR_H_

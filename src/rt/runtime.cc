@@ -1,0 +1,119 @@
+#include "src/rt/runtime.h"
+
+#include <unistd.h>
+
+#include <algorithm>
+
+#include "src/rt/listener.h"
+
+namespace affinity {
+namespace rt {
+
+Runtime::Runtime(const RtConfig& config) : config_(config) {
+  if (config_.num_threads < 1) {
+    config_.num_threads = 1;
+  }
+  if (config_.accept_batch < 1) {
+    config_.accept_batch = 1;
+  }
+  // Same split as ListenSocket: the backlog is divided evenly across the
+  // per-core queues, and that share is the busy-tracking reference length.
+  max_local_len_ = std::max(1, config_.backlog / config_.num_threads);
+}
+
+Runtime::~Runtime() { Stop(); }
+
+bool Runtime::Start(std::string* error) {
+  if (started_) {
+    *error = "already started";
+    return false;
+  }
+
+  bool stock = config_.mode == RtMode::kStock;
+  port_ = config_.port;
+
+  int num_sockets = stock ? 1 : config_.num_threads;
+  for (int i = 0; i < num_sockets; ++i) {
+    // The first bind may pick the port; later shards must reuse it.
+    int fd = CreateListenSocket(&port_, config_.backlog, /*reuseport=*/!stock, error);
+    if (fd < 0) {
+      for (int other : listen_fds_) {
+        close(other);
+      }
+      listen_fds_.clear();
+      return false;
+    }
+    listen_fds_.push_back(fd);
+  }
+
+  shared_.mode = config_.mode;
+  shared_.num_reactors = config_.num_threads;
+  shared_.accept_batch = config_.accept_batch;
+  shared_.pin_threads = config_.pin_threads;
+  int num_queues = stock ? 1 : config_.num_threads;
+  size_t queue_cap = stock ? static_cast<size_t>(std::max(1, config_.backlog))
+                           : static_cast<size_t>(max_local_len_);
+  for (int i = 0; i < num_queues; ++i) {
+    shared_.queues.emplace_back(new AcceptQueue(queue_cap));
+  }
+  if (config_.mode == RtMode::kAffinity) {
+    policy_.reset(new LockedBalancePolicy(config_.num_threads,
+                                          static_cast<size_t>(max_local_len_), config_.tuning));
+    shared_.policy = policy_.get();
+  }
+
+  for (int i = 0; i < config_.num_threads; ++i) {
+    int fd = stock ? listen_fds_[0] : listen_fds_[static_cast<size_t>(i)];
+    reactors_.emplace_back(new Reactor(i, fd, &shared_));
+  }
+  for (int i = 0; i < config_.num_threads; ++i) {
+    Reactor* r = reactors_[static_cast<size_t>(i)].get();
+    threads_.emplace_back([r] { r->Run(); });
+  }
+  started_ = true;
+  return true;
+}
+
+void Runtime::Stop() {
+  if (!started_ || stopped_) {
+    return;
+  }
+  shared_.stop.store(true, std::memory_order_release);
+  for (std::thread& t : threads_) {
+    t.join();
+  }
+  threads_.clear();
+  for (int fd : listen_fds_) {
+    close(fd);
+  }
+  listen_fds_.clear();
+  for (auto& queue : shared_.queues) {
+    for (const PendingConn& conn : queue->DrainAll()) {
+      close(conn.fd);
+      ++drained_at_stop_;
+    }
+  }
+  stopped_ = true;
+}
+
+RtTotals Runtime::Totals() const {
+  RtTotals totals;
+  for (const auto& reactor : reactors_) {
+    const ReactorStats& s = reactor->stats();
+    totals.accepted += s.accepted;
+    totals.served_local += s.served_local;
+    totals.served_remote += s.served_remote;
+    totals.steals += s.steals;
+    totals.overflow_drops += s.overflow_drops;
+    totals.queue_wait_ns.Merge(s.queue_wait_ns);
+  }
+  totals.drained_at_stop = drained_at_stop_;
+  if (policy_ != nullptr) {
+    totals.transitions_to_busy = policy_->transitions_to_busy();
+    totals.transitions_to_nonbusy = policy_->transitions_to_nonbusy();
+  }
+  return totals;
+}
+
+}  // namespace rt
+}  // namespace affinity

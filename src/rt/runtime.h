@@ -1,0 +1,94 @@
+// The multithreaded SO_REUSEPORT runtime: N reactor threads executing the
+// Affinity-Accept design on live kernel sockets (loopback), in the same
+// three arrangements the simulator models (stock / fine / affinity).
+//
+// Lifecycle: construct -> Start() -> traffic -> Stop() -> Totals().
+
+#ifndef AFFINITY_SRC_RT_RUNTIME_H_
+#define AFFINITY_SRC_RT_RUNTIME_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "src/balance/balance_policy.h"
+#include "src/rt/reactor.h"
+#include "src/sim/stats.h"
+
+namespace affinity {
+namespace rt {
+
+struct RtConfig {
+  RtMode mode = RtMode::kAffinity;
+  int num_threads = 4;
+  uint16_t port = 0;  // 0 = kernel-chosen; read back via Runtime::port()
+  // listen() backlog per shard; also split across cores as the max local
+  // accept queue length, exactly like ListenConfig::backlog.
+  int backlog = 1024;
+  int accept_batch = 64;
+  bool pin_threads = true;
+  BalanceTuning tuning;  // the paper's 5:1 / 75% / 10% defaults
+};
+
+// Aggregated over all reactors (valid after Stop()).
+struct RtTotals {
+  uint64_t accepted = 0;
+  uint64_t served_local = 0;
+  uint64_t served_remote = 0;
+  uint64_t steals = 0;
+  uint64_t overflow_drops = 0;
+  uint64_t drained_at_stop = 0;  // queued but unserved when Stop() ran
+  uint64_t transitions_to_busy = 0;
+  uint64_t transitions_to_nonbusy = 0;
+  Histogram queue_wait_ns;
+  uint64_t served() const { return served_local + served_remote; }
+};
+
+class Runtime {
+ public:
+  explicit Runtime(const RtConfig& config);
+  ~Runtime();
+
+  Runtime(const Runtime&) = delete;
+  Runtime& operator=(const Runtime&) = delete;
+
+  // Binds the listen socket(s) and launches the reactor threads. Returns
+  // false with *error set on socket failures.
+  bool Start(std::string* error);
+
+  // Signals the reactors, joins them, closes the listen sockets and any
+  // still-queued connections. Idempotent.
+  void Stop();
+
+  // The bound port (after Start()).
+  uint16_t port() const { return port_; }
+
+  const RtConfig& config() const { return config_; }
+
+  int max_local_queue_len() const { return max_local_len_; }
+
+  // Per-reactor stats (valid after Stop()).
+  const ReactorStats& reactor_stats(int i) const { return reactors_[static_cast<size_t>(i)]->stats(); }
+
+  RtTotals Totals() const;
+
+ private:
+  RtConfig config_;
+  uint16_t port_ = 0;
+  int max_local_len_ = 0;
+  std::vector<int> listen_fds_;  // 1 (stock) or one per reactor
+  std::unique_ptr<LockedBalancePolicy> policy_;
+  ReactorShared shared_;
+  std::vector<std::unique_ptr<Reactor>> reactors_;
+  std::vector<std::thread> threads_;
+  uint64_t drained_at_stop_ = 0;
+  bool started_ = false;
+  bool stopped_ = false;
+};
+
+}  // namespace rt
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_RT_RUNTIME_H_

@@ -41,7 +41,10 @@ Kernel::Kernel(const KernelConfig& config, EventLoop* loop) : config_(config), l
   config_.nic.mode = config_.twenty_policy || config_.arfs ? SteeringMode::kPerFlowFdir
                                                             : SteeringMode::kFlowGroups;
   nic_ = std::make_unique<SimNic>(config_.nic, loop_);
-  if (!config_.twenty_policy) {
+  if (!config_.twenty_policy && !config_.arfs) {
+    // Per-flow steering modes must not pre-program flow groups: doing so
+    // would flip the NIC back to kFlowGroups mode and the per-flow entries
+    // would never be consulted (unsteered flows fall back to RSS instead).
     nic_->ProgramFlowGroupsRoundRobin();
   }
   nic_->set_rx_interrupt_handler([this](int ring) {
@@ -85,8 +88,7 @@ Kernel::~Kernel() {
 
 void Kernel::MigrationTick() {
   size_t before = migrator_->history().size();
-  migrator_->RunEpoch(loop_->Now(), listen_->busy_tracker(), &listen_->steal_policy(),
-                      config_.num_cores);
+  migrator_->RunEpoch(loop_->Now(), &listen_->balance(), config_.num_cores);
   // Charge the FDir reprogramming to the cores that initiated each migration.
   for (size_t i = before; i < migrator_->history().size(); ++i) {
     CoreId to_core = migrator_->history()[i].to_core;
@@ -791,7 +793,7 @@ void Kernel::ResetAccounting() {
   nic_->ResetStats();
   scheduler_->ResetStats();
   mem_->slab().ResetStats();
-  listen_->steal_policy().ResetTotal();
+  listen_->balance().ResetTotalSteals();
 }
 
 }  // namespace affinity

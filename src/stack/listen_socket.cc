@@ -53,8 +53,8 @@ ListenSocket::ListenSocket(const ListenConfig& config, MemorySystem* mem,
       max_local_len_(config.variant == AcceptVariant::kStock
                          ? config.backlog
                          : std::max(1, config.backlog / config.num_cores)),
-      busy_(config.num_cores, max_local_len_, config.high_watermark, config.low_watermark),
-      steals_(config.num_cores, config.steal_ratio) {
+      balance_(config.num_cores, max_local_len_,
+               BalanceTuning{config.steal_ratio, config.high_watermark, config.low_watermark}) {
   size_t num_queues =
       config.variant == AcceptVariant::kStock ? 1 : static_cast<size_t>(config.num_cores);
   LockClassId queue_cls = lock_stat->RegisterClass("accept_queue");
@@ -237,7 +237,7 @@ Connection* ListenSocket::OnAck(ExecCtx& ctx, const Packet& packet, uint64_t con
 
   queue.connections.push_back(conn);
   if (config_.variant == AcceptVariant::kAffinity) {
-    if (busy_.OnEnqueue(core, queue.connections.size())) {
+    if (balance_.OnEnqueue(core, queue.connections.size())) {
       ctx.MemLine(busy_bits_line_, kWrite);  // busy bit flipped
     }
   }
@@ -292,7 +292,7 @@ void ListenSocket::WakeAfterEnqueue(ExecCtx& ctx, size_t qi) {
       // No local thread at all: wake a waiter on a non-busy remote core
       // (Section 3.3.1, "Polling").
       for (size_t i = 0; i < queues_.size(); ++i) {
-        if (i == qi || busy_.IsBusy(static_cast<CoreId>(i))) {
+        if (i == qi || balance_.IsBusy(static_cast<CoreId>(i))) {
           continue;
         }
         if (!queues_[i].waiters.empty()) {
@@ -328,7 +328,7 @@ Connection* ListenSocket::DequeueFrom(ExecCtx& ctx, size_t qi, LockContext conte
   }
   ctx.EndLock(lock);
   if (conn != nullptr && config_.variant == AcceptVariant::kAffinity) {
-    if (busy_.OnDequeue(static_cast<CoreId>(qi), queue.connections.size())) {
+    if (balance_.OnDequeue(static_cast<CoreId>(qi), queue.connections.size())) {
       ctx.MemLine(busy_bits_line_, kWrite);
     }
   }
@@ -421,25 +421,25 @@ Connection* ListenSocket::Accept(ExecCtx& ctx, Thread* thread, bool park_on_empt
   }
 
   // --- Affinity-Accept ---
-  bool self_busy = busy_.IsBusy(core);
+  bool self_busy = balance_.IsBusy(core);
   ctx.MemLine(busy_bits_line_, kRead);  // one read tells us who is busy
-  bool may_steal = config_.connection_stealing && !self_busy && busy_.AnyBusy();
+  bool may_steal = config_.connection_stealing && !self_busy && balance_.AnyBusy();
 
   size_t local_len = queues_[static_cast<size_t>(core)].connections.size();
   bool steal_first = false;
   if (may_steal) {
     // With local connections available, proportional share decides (5:1);
     // with an empty local queue, go remote immediately.
-    steal_first = local_len == 0 || steals_.ShouldStealThisTime(core);
+    steal_first = local_len == 0 || balance_.ShouldStealThisTime(core);
   }
 
   Connection* conn = nullptr;
   if (steal_first) {
-    CoreId victim = steals_.PickBusyVictim(core, busy_);
+    CoreId victim = balance_.PickBusyVictim(core);
     if (victim != kNoCore) {
       conn = DequeueFrom(ctx, static_cast<size_t>(victim), LockContext::kProcess);
       if (conn != nullptr) {
-        steals_.OnSteal(core, victim);
+        balance_.OnSteal(core, victim);
         ++stats_.accepted_remote;
       }
     }
@@ -452,11 +452,11 @@ Connection* ListenSocket::Accept(ExecCtx& ctx, Thread* thread, bool park_on_empt
   }
   if (conn == nullptr && may_steal && !steal_first) {
     // Local was empty after all; try busy cores before giving up.
-    CoreId victim = steals_.PickBusyVictim(core, busy_);
+    CoreId victim = balance_.PickBusyVictim(core);
     if (victim != kNoCore) {
       conn = DequeueFrom(ctx, static_cast<size_t>(victim), LockContext::kProcess);
       if (conn != nullptr) {
-        steals_.OnSteal(core, victim);
+        balance_.OnSteal(core, victim);
         ++stats_.accepted_remote;
       }
     }
@@ -465,14 +465,14 @@ Connection* ListenSocket::Accept(ExecCtx& ctx, Thread* thread, bool park_on_empt
     // Section 3.3.1 "Polling": local queue, then busy remotes, then non-busy
     // remotes -- but only on the way to sleep. A non-blocking accept (batch
     // draining) stops at the local queue so it does not strip other cores.
-    CoreId victim = steals_.PickAnyVictim(core, config_.num_cores, [&](CoreId c) {
+    CoreId victim = balance_.PickAnyVictim(core, [&](CoreId c) {
       ctx.MemLine(queues_[static_cast<size_t>(c)].head_line, kRead);
       return !queues_[static_cast<size_t>(c)].connections.empty();
     });
     if (victim != kNoCore) {
       conn = DequeueFrom(ctx, static_cast<size_t>(victim), LockContext::kProcess);
       if (conn != nullptr) {
-        steals_.OnSteal(core, victim);
+        balance_.OnSteal(core, victim);
         ++stats_.accepted_remote;
       }
     }
@@ -513,7 +513,7 @@ bool ListenSocket::HasAcceptable(ExecCtx& ctx, CoreId core) {
     return false;
   }
   // Affinity: only steal-eligible queues make a poller runnable.
-  if (!config_.connection_stealing || busy_.IsBusy(core)) {
+  if (!config_.connection_stealing || balance_.IsBusy(core)) {
     return false;
   }
   ctx.MemLine(busy_bits_line_, kRead);
@@ -521,7 +521,7 @@ bool ListenSocket::HasAcceptable(ExecCtx& ctx, CoreId core) {
     if (i == static_cast<size_t>(core)) {
       continue;
     }
-    if (!busy_.IsBusy(static_cast<CoreId>(i))) {
+    if (!balance_.IsBusy(static_cast<CoreId>(i))) {
       continue;
     }
     ctx.MemLine(queues_[i].head_line, kRead);

@@ -25,8 +25,7 @@
 #include <unordered_map>
 #include <vector>
 
-#include "src/balance/busy_tracker.h"
-#include "src/balance/steal_policy.h"
+#include "src/balance/balance_policy.h"
 #include "src/mem/memory_system.h"
 #include "src/net/kernel_types.h"
 #include "src/stack/core_agent.h"
@@ -104,8 +103,12 @@ class ListenSocket {
   void ParkPoller(Thread* thread, CoreId core);
 
   // --- balancer hooks ---
-  BusyTracker& busy_tracker() { return busy_; }
-  StealPolicy& steal_policy() { return steals_; }
+  // The watermark/EWMA/proportional-share policy, through the interface the
+  // runtime (src/rt/) shares. The concrete trackers stay reachable for cost
+  // accounting and tests.
+  BalancePolicy& balance() { return balance_; }
+  BusyTracker& busy_tracker() { return balance_.busy(); }
+  StealPolicy& steal_policy() { return balance_.steals(); }
   const ListenStats& stats() const { return stats_; }
   void ResetStats() { stats_ = ListenStats{}; }
   int max_local_queue_len() const { return max_local_len_; }
@@ -163,8 +166,7 @@ class ListenSocket {
   LineId rr_cursor_line_ = 0;             // Fine-Accept's shared dequeue cursor
 
   int max_local_len_;
-  BusyTracker busy_;
-  StealPolicy steals_;
+  WatermarkBalancePolicy balance_;
   uint64_t rr_cursor_ = 0;
   ListenStats stats_;
 };

@@ -1,0 +1,213 @@
+// BalancePolicy adapter tests: the simulator's WatermarkBalancePolicy and
+// the runtime's LockedBalancePolicy must make byte-for-byte identical
+// decisions from identical event sequences -- that equivalence is what lets
+// the live-socket runtime claim to execute the paper's policy, not a
+// reimplementation of it.
+
+#include "src/balance/balance_policy.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+namespace affinity {
+namespace {
+
+constexpr int kCores = 4;
+constexpr int kMaxLocalLen = 100;  // high watermark 75, low watermark 10
+
+// Deterministic pseudo-random stream (no external seeding, reproducible).
+class Lcg {
+ public:
+  explicit Lcg(uint64_t seed) : state_(seed) {}
+  uint64_t Next() {
+    state_ = state_ * 6364136223846793005ULL + 1442695040888963407ULL;
+    return state_ >> 33;
+  }
+
+ private:
+  uint64_t state_;
+};
+
+TEST(BalancePolicyTest, FiveToOneProportionalShare) {
+  WatermarkBalancePolicy sim(kCores, kMaxLocalLen);
+  LockedBalancePolicy rt(kCores, kMaxLocalLen);
+
+  // With the paper's 5:1 tuning, exactly one accept in every six goes
+  // remote, on both adapters, in the same positions.
+  int sim_steals = 0;
+  int rt_steals = 0;
+  for (int i = 1; i <= 60; ++i) {
+    bool sim_decision = sim.ShouldStealThisTime(0);
+    bool rt_decision = rt.ShouldStealThisTime(0);
+    EXPECT_EQ(sim_decision, rt_decision) << "call " << i;
+    EXPECT_EQ(sim_decision, i % 6 == 0) << "call " << i;
+    sim_steals += sim_decision ? 1 : 0;
+    rt_steals += rt_decision ? 1 : 0;
+  }
+  EXPECT_EQ(sim_steals, 10);
+  EXPECT_EQ(rt_steals, 10);
+
+  // The share counter is per-core: core 1's cadence is independent.
+  EXPECT_FALSE(sim.ShouldStealThisTime(1));
+  EXPECT_FALSE(rt.ShouldStealThisTime(1));
+}
+
+TEST(BalancePolicyTest, CustomStealRatioRespected) {
+  BalanceTuning tuning;
+  tuning.steal_ratio = 2;  // 2 local : 1 remote
+  WatermarkBalancePolicy sim(kCores, kMaxLocalLen, tuning);
+  LockedBalancePolicy rt(kCores, kMaxLocalLen, tuning);
+  for (int i = 1; i <= 12; ++i) {
+    bool expected = i % 3 == 0;
+    EXPECT_EQ(sim.ShouldStealThisTime(0), expected) << "call " << i;
+    EXPECT_EQ(rt.ShouldStealThisTime(0), expected) << "call " << i;
+  }
+}
+
+TEST(BalancePolicyTest, WatermarkTransitionsMatchOnBothAdapters) {
+  WatermarkBalancePolicy sim(kCores, kMaxLocalLen);
+  LockedBalancePolicy rt(kCores, kMaxLocalLen);
+
+  // Below the 75% high watermark: not busy.
+  EXPECT_FALSE(sim.OnEnqueue(0, 75));
+  EXPECT_FALSE(rt.OnEnqueue(0, 75));
+  EXPECT_FALSE(sim.IsBusy(0));
+  EXPECT_FALSE(rt.IsBusy(0));
+
+  // Crossing it flips the bit (both adapters report the flip).
+  EXPECT_TRUE(sim.OnEnqueue(0, 76));
+  EXPECT_TRUE(rt.OnEnqueue(0, 76));
+  EXPECT_TRUE(sim.IsBusy(0));
+  EXPECT_TRUE(rt.IsBusy(0));
+  EXPECT_TRUE(sim.AnyBusy());
+  EXPECT_TRUE(rt.AnyBusy());
+  EXPECT_EQ(sim.transitions_to_busy(), 1u);
+  EXPECT_EQ(rt.transitions_to_busy(), 1u);
+
+  // An instantaneous dip does NOT clear the bit: the EWMA (seeded at 76)
+  // must first decay below the 10% low watermark.
+  EXPECT_FALSE(sim.OnDequeue(0, 0));
+  EXPECT_FALSE(rt.OnDequeue(0, 0));
+  EXPECT_TRUE(sim.IsBusy(0));
+  EXPECT_TRUE(rt.IsBusy(0));
+
+  // Drain: both adapters shed the busy bit on the same event.
+  int sim_cleared_at = -1;
+  int rt_cleared_at = -1;
+  for (int i = 0; i < 2000 && (sim_cleared_at < 0 || rt_cleared_at < 0); ++i) {
+    if (sim.OnDequeue(0, 0) && sim_cleared_at < 0) {
+      sim_cleared_at = i;
+    }
+    if (rt.OnDequeue(0, 0) && rt_cleared_at < 0) {
+      rt_cleared_at = i;
+    }
+  }
+  EXPECT_GE(sim_cleared_at, 0);
+  EXPECT_EQ(sim_cleared_at, rt_cleared_at);
+  EXPECT_FALSE(sim.IsBusy(0));
+  EXPECT_FALSE(rt.IsBusy(0));
+  EXPECT_EQ(sim.transitions_to_nonbusy(), 1u);
+  EXPECT_EQ(rt.transitions_to_nonbusy(), 1u);
+}
+
+TEST(BalancePolicyTest, VictimSelectionRoundRobinMatches) {
+  WatermarkBalancePolicy sim(kCores, kMaxLocalLen);
+  LockedBalancePolicy rt(kCores, kMaxLocalLen);
+
+  // Make cores 1 and 3 busy on both adapters.
+  for (CoreId busy_core : {1, 3}) {
+    EXPECT_TRUE(sim.OnEnqueue(busy_core, 80));
+    EXPECT_TRUE(rt.OnEnqueue(busy_core, 80));
+  }
+
+  // Round-robin one past the last victim: 1, 3, 1, 3, ... for thief 0.
+  for (int i = 0; i < 6; ++i) {
+    CoreId sim_victim = sim.PickBusyVictim(0);
+    CoreId rt_victim = rt.PickBusyVictim(0);
+    EXPECT_EQ(sim_victim, rt_victim) << "pick " << i;
+    EXPECT_EQ(sim_victim, i % 2 == 0 ? 1 : 3) << "pick " << i;
+    sim.OnSteal(0, sim_victim);
+    rt.OnSteal(0, rt_victim);
+  }
+  EXPECT_EQ(sim.total_steals(), 6u);
+  EXPECT_EQ(rt.total_steals(), 6u);
+  EXPECT_EQ(sim.TopVictimOf(0), rt.TopVictimOf(0));
+
+  // PickAnyVictim honors the predicate identically (only core 2 claims
+  // connections here) and never returns the thief itself.
+  auto only_core2 = [](CoreId c) { return c == 2; };
+  EXPECT_EQ(sim.PickAnyVictim(0, only_core2), 2);
+  EXPECT_EQ(rt.PickAnyVictim(0, only_core2), 2);
+  auto only_thief = [](CoreId c) { return c == 0; };
+  EXPECT_EQ(sim.PickAnyVictim(0, only_thief), kNoCore);
+  EXPECT_EQ(rt.PickAnyVictim(0, only_thief), kNoCore);
+}
+
+// Lock-step fuzz: a long randomized event sequence applied to both adapters
+// must produce identical observable behaviour at every single step.
+TEST(BalancePolicyTest, LockStepFuzzParity) {
+  WatermarkBalancePolicy sim(kCores, kMaxLocalLen);
+  LockedBalancePolicy rt(kCores, kMaxLocalLen);
+  Lcg rng(0xA11FEEDu);
+  std::vector<size_t> queue_len(kCores, 0);
+
+  for (int step = 0; step < 20000; ++step) {
+    CoreId core = static_cast<CoreId>(rng.Next() % kCores);
+    switch (rng.Next() % 6) {
+      case 0:
+      case 1: {  // enqueue burst
+        size_t burst = 1 + rng.Next() % 40;
+        for (size_t i = 0; i < burst; ++i) {
+          size_t& len = queue_len[static_cast<size_t>(core)];
+          if (len >= static_cast<size_t>(kMaxLocalLen)) {
+            break;
+          }
+          ++len;
+          ASSERT_EQ(sim.OnEnqueue(core, len), rt.OnEnqueue(core, len)) << "step " << step;
+        }
+        break;
+      }
+      case 2:
+      case 3: {  // dequeue burst
+        size_t burst = 1 + rng.Next() % 40;
+        for (size_t i = 0; i < burst; ++i) {
+          size_t& len = queue_len[static_cast<size_t>(core)];
+          if (len == 0) {
+            break;
+          }
+          --len;
+          ASSERT_EQ(sim.OnDequeue(core, len), rt.OnDequeue(core, len)) << "step " << step;
+        }
+        break;
+      }
+      case 4: {  // steal attempt
+        ASSERT_EQ(sim.ShouldStealThisTime(core), rt.ShouldStealThisTime(core)) << "step " << step;
+        break;
+      }
+      case 5: {  // victim picks
+        CoreId sim_victim = sim.PickBusyVictim(core);
+        CoreId rt_victim = rt.PickBusyVictim(core);
+        ASSERT_EQ(sim_victim, rt_victim) << "step " << step;
+        if (sim_victim != kNoCore) {
+          sim.OnSteal(core, sim_victim);
+          rt.OnSteal(core, rt_victim);
+        }
+        break;
+      }
+    }
+    ASSERT_EQ(sim.AnyBusy(), rt.AnyBusy()) << "step " << step;
+    for (CoreId c = 0; c < kCores; ++c) {
+      ASSERT_EQ(sim.IsBusy(c), rt.IsBusy(c)) << "step " << step << " core " << c;
+    }
+  }
+  EXPECT_EQ(sim.total_steals(), rt.total_steals());
+  EXPECT_EQ(sim.transitions_to_busy(), rt.transitions_to_busy());
+  EXPECT_EQ(sim.transitions_to_nonbusy(), rt.transitions_to_nonbusy());
+  EXPECT_GT(sim.total_steals(), 0u);
+  EXPECT_GT(sim.transitions_to_busy(), 0u);
+}
+
+}  // namespace
+}  // namespace affinity

@@ -3,6 +3,7 @@
 
 #include <gtest/gtest.h>
 
+#include "src/balance/balance_policy.h"
 #include "src/balance/busy_tracker.h"
 #include "src/balance/flow_migrator.h"
 #include "src/balance/steal_policy.h"
@@ -200,13 +201,12 @@ class FlowMigratorTest : public ::testing::Test {
 };
 
 TEST_F(FlowMigratorTest, MigratesOneGroupFromTopVictim) {
-  BusyTracker busy(4, 8);
-  StealPolicy steals(4, 5);
-  busy.OnEnqueue(3, 8);  // core 3 busy
-  steals.OnSteal(0, 3);
-  steals.OnSteal(0, 3);
+  WatermarkBalancePolicy policy(4, 8);
+  policy.OnEnqueue(3, 8);  // core 3 busy
+  policy.OnSteal(0, 3);
+  policy.OnSteal(0, 3);
 
-  Cycles cost = migrator_->RunEpoch(loop_.Now(), busy, &steals, 4);
+  Cycles cost = migrator_->RunEpoch(loop_.Now(), &policy, 4);
   EXPECT_EQ(cost, FdirTable::kInsertCost);
   ASSERT_EQ(migrator_->migrations(), 1u);
   const MigrationRecord& rec = migrator_->history()[0];
@@ -214,32 +214,29 @@ TEST_F(FlowMigratorTest, MigratesOneGroupFromTopVictim) {
   EXPECT_EQ(rec.to_core, 0);
   EXPECT_EQ(nic_->RingOfFlowGroup(rec.group), 0);
   // Epoch counts were consumed.
-  EXPECT_EQ(steals.TopVictimOf(0), kNoCore);
+  EXPECT_EQ(policy.TopVictimOf(0), kNoCore);
 }
 
 TEST_F(FlowMigratorTest, BusyCoresDoNotPull) {
-  BusyTracker busy(4, 8);
-  StealPolicy steals(4, 5);
-  busy.OnEnqueue(0, 8);  // the would-be thief is itself busy
-  steals.OnSteal(0, 3);
-  migrator_->RunEpoch(loop_.Now(), busy, &steals, 4);
+  WatermarkBalancePolicy policy(4, 8);
+  policy.OnEnqueue(0, 8);  // the would-be thief is itself busy
+  policy.OnSteal(0, 3);
+  migrator_->RunEpoch(loop_.Now(), &policy, 4);
   EXPECT_EQ(migrator_->migrations(), 0u);
 }
 
 TEST_F(FlowMigratorTest, NoStealsNoMigration) {
-  BusyTracker busy(4, 8);
-  StealPolicy steals(4, 5);
-  migrator_->RunEpoch(loop_.Now(), busy, &steals, 4);
+  WatermarkBalancePolicy policy(4, 8);
+  migrator_->RunEpoch(loop_.Now(), &policy, 4);
   EXPECT_EQ(migrator_->migrations(), 0u);
 }
 
 TEST_F(FlowMigratorTest, RepeatedEpochsDrainVictimGroups) {
-  BusyTracker busy(4, 8);
-  StealPolicy steals(4, 5);
+  WatermarkBalancePolicy policy(4, 8);
   // Victim 3 starts with 4 of 16 groups. Three epochs move three of them.
   for (int epoch = 0; epoch < 3; ++epoch) {
-    steals.OnSteal(0, 3);
-    migrator_->RunEpoch(loop_.Now(), busy, &steals, 4);
+    policy.OnSteal(0, 3);
+    migrator_->RunEpoch(loop_.Now(), &policy, 4);
   }
   int remaining = 0;
   for (uint32_t g = 0; g < 16; ++g) {

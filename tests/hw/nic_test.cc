@@ -57,6 +57,31 @@ TEST_F(NicTest, ProgrammingCostsInsertPerGroup) {
   EXPECT_EQ(cost, 64u * FdirTable::kInsertCost);
 }
 
+TEST_F(NicTest, UndersizedTableFlushesInsteadOfCrashing) {
+  EventLoop loop;
+  NicConfig config = BaseConfig();
+  config.fdir_capacity = 16;  // 64 flow groups cannot fit
+  SimNic nic(config, &loop);
+  Cycles cost = nic.ProgramFlowGroupsRoundRobin();
+  // Every 16 inserts fill the table and force a full flush: 3 flushes to
+  // push 64 groups through, each costing schedule + flush on top of inserts.
+  EXPECT_EQ(nic.fdir().stats().flushes, 3u);
+  EXPECT_LE(nic.fdir().size(), 16u);
+  EXPECT_EQ(cost, 64u * FdirTable::kInsertCost +
+                      3u * (FdirTable::kFlushScheduleCost + FdirTable::kFlushCost));
+  // The driver's shadow copy still records the intended placement even for
+  // groups whose entries were lost to a flush.
+  for (uint32_t group = 0; group < 64; ++group) {
+    EXPECT_EQ(nic.RingOfFlowGroup(group), static_cast<int>(group % 8));
+  }
+  // Migration into a full table takes the flush path rather than asserting.
+  uint64_t flushes_before = nic.fdir().stats().flushes;
+  for (uint32_t group = 0; group < 32; ++group) {
+    nic.MigrateFlowGroup(group, 0);
+  }
+  EXPECT_GT(nic.fdir().stats().flushes, flushes_before);
+}
+
 TEST_F(NicTest, RoundRobinGroupsCoverAllRings) {
   EventLoop loop;
   SimNic nic(BaseConfig(), &loop);

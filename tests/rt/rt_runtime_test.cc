@@ -1,0 +1,155 @@
+// End-to-end tests for the live-socket runtime (src/rt/): real TCP
+// connections over loopback, all three accept arrangements. These run under
+// ThreadSanitizer in CI (the rt_tests target), so they double as the data
+// race check for the reactor/queue/policy plumbing.
+
+#include "src/rt/runtime.h"
+
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <string>
+
+#include "src/rt/accept_queue.h"
+#include "src/rt/listener.h"
+#include "src/rt/load_client.h"
+
+namespace affinity {
+namespace rt {
+namespace {
+
+TEST(AcceptQueueTest, BoundedFifo) {
+  AcceptQueue queue(2);
+  EXPECT_EQ(queue.capacity(), 2u);
+  EXPECT_EQ(queue.size(), 0u);
+
+  size_t len = 0;
+  EXPECT_TRUE(queue.Push(PendingConn{10, {}}, &len));
+  EXPECT_EQ(len, 1u);
+  EXPECT_TRUE(queue.Push(PendingConn{11, {}}, &len));
+  EXPECT_EQ(len, 2u);
+  // Full: the caller keeps ownership of the fd (and closes it).
+  EXPECT_FALSE(queue.Push(PendingConn{12, {}}, &len));
+  EXPECT_EQ(queue.size(), 2u);
+
+  PendingConn conn;
+  EXPECT_TRUE(queue.TryPop(&conn, &len));
+  EXPECT_EQ(conn.fd, 10);
+  EXPECT_EQ(len, 1u);
+  EXPECT_TRUE(queue.TryPop(&conn, &len));
+  EXPECT_EQ(conn.fd, 11);
+  EXPECT_FALSE(queue.TryPop(&conn, &len));
+}
+
+TEST(AcceptQueueTest, DrainAllEmptiesTheQueue) {
+  AcceptQueue queue(8);
+  size_t len = 0;
+  for (int fd = 0; fd < 5; ++fd) {
+    ASSERT_TRUE(queue.Push(PendingConn{fd, {}}, &len));
+  }
+  auto drained = queue.DrainAll();
+  ASSERT_EQ(drained.size(), 5u);
+  EXPECT_EQ(drained.front().fd, 0);
+  EXPECT_EQ(drained.back().fd, 4);
+  EXPECT_EQ(queue.size(), 0u);
+}
+
+TEST(ListenerTest, ReuseportShardsShareOnePort) {
+  std::string error;
+  uint16_t port = 0;
+  int a = CreateListenSocket(&port, 16, /*reuseport=*/true, &error);
+  ASSERT_GE(a, 0) << error;
+  ASSERT_GT(port, 0);
+  // Second shard binds the port the kernel just picked.
+  int b = CreateListenSocket(&port, 16, /*reuseport=*/true, &error);
+  EXPECT_GE(b, 0) << error;
+  // A non-reuseport socket cannot join them.
+  uint16_t same_port = port;
+  int c = CreateListenSocket(&same_port, 16, /*reuseport=*/false, &error);
+  EXPECT_LT(c, 0);
+  close(a);
+  if (b >= 0) close(b);
+  if (c >= 0) close(c);
+}
+
+class RtRuntimeTest : public ::testing::TestWithParam<RtMode> {};
+
+// Serve a fixed number of real loopback connections and check the books
+// balance: every accepted connection is served, drained at shutdown, or
+// dropped on overflow -- nothing leaks, in any mode, under TSan.
+TEST_P(RtRuntimeTest, ServesLoopbackConnections) {
+  RtConfig config;
+  config.mode = GetParam();
+  config.num_threads = 4;
+  Runtime runtime(config);
+  std::string error;
+  ASSERT_TRUE(runtime.Start(&error)) << error;
+  ASSERT_GT(runtime.port(), 0);
+
+  constexpr uint64_t kConns = 400;
+  LoadClientConfig client_config;
+  client_config.port = runtime.port();
+  client_config.num_threads = 4;
+  client_config.max_conns = kConns;
+  LoadClient client(client_config);
+  client.Start();
+  client.WaitForMaxConns();
+  runtime.Stop();
+
+  EXPECT_GE(client.completed(), kConns);
+  EXPECT_EQ(client.errors(), 0u);
+
+  RtTotals totals = runtime.Totals();
+  EXPECT_GE(totals.served(), kConns);
+  EXPECT_EQ(totals.accepted,
+            totals.served() + totals.drained_at_stop + totals.overflow_drops);
+  EXPECT_EQ(totals.queue_wait_ns.count(), totals.served());
+  if (GetParam() == RtMode::kStock) {
+    // One shared queue: everything counts as local, nothing is stolen.
+    EXPECT_EQ(totals.served_remote, 0u);
+    EXPECT_EQ(totals.steals, 0u);
+  }
+  if (GetParam() != RtMode::kAffinity) {
+    EXPECT_EQ(totals.steals, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, RtRuntimeTest,
+                         ::testing::Values(RtMode::kStock, RtMode::kFine, RtMode::kAffinity),
+                         [](const ::testing::TestParamInfo<RtMode>& mode_info) {
+                           return std::string(RtModeName(mode_info.param));
+                         });
+
+TEST(RtLifecycleTest, StopWithoutTrafficIsClean) {
+  RtConfig config;
+  config.mode = RtMode::kAffinity;
+  config.num_threads = 2;
+  Runtime runtime(config);
+  std::string error;
+  ASSERT_TRUE(runtime.Start(&error)) << error;
+  runtime.Stop();
+  RtTotals totals = runtime.Totals();
+  EXPECT_EQ(totals.accepted, 0u);
+  EXPECT_EQ(totals.served(), 0u);
+}
+
+TEST(RtLifecycleTest, StockModeUsesOneListenSocketAndQueue) {
+  // Two runtimes on port 0 must not collide; stock mode must refuse a second
+  // bind of ITS port (no SO_REUSEPORT), which we verify indirectly by
+  // binding a reuseport socket to the stock port and failing.
+  RtConfig config;
+  config.mode = RtMode::kStock;
+  config.num_threads = 2;
+  Runtime runtime(config);
+  std::string error;
+  ASSERT_TRUE(runtime.Start(&error)) << error;
+  uint16_t port = runtime.port();
+  int fd = CreateListenSocket(&port, 4, /*reuseport=*/true, &error);
+  EXPECT_LT(fd, 0);
+  if (fd >= 0) close(fd);
+  runtime.Stop();
+}
+
+}  // namespace
+}  // namespace rt
+}  // namespace affinity
