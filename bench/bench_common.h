@@ -8,12 +8,75 @@
 #ifndef AFFINITY_BENCH_BENCH_COMMON_H_
 #define AFFINITY_BENCH_BENCH_COMMON_H_
 
+#include <cstdio>
 #include <string>
 #include <vector>
 
 #include "src/core/affinity_accept.h"
+#include "src/obs/json_writer.h"
 
 namespace affinity {
+
+// One row of a bench's machine-readable results (one mode / variant /
+// configuration). `series_json` optionally carries a pre-rendered JSON
+// array (e.g. the StatsSampler's per-interval time series).
+struct BenchJsonRow {
+  std::string mode;
+  double conns_per_sec = 0;
+  double p50_queue_wait_us = 0;
+  double p90_queue_wait_us = 0;
+  double p99_queue_wait_us = 0;
+  uint64_t served_local = 0;
+  uint64_t served_remote = 0;
+  uint64_t steals = 0;
+  uint64_t overflow_drops = 0;
+  uint64_t client_errors = 0;
+  std::string series_json;  // optional: rendered JSON array of intervals
+};
+
+// Writes `BENCH_<name>.json`-style results for the perf trajectory: one
+// top-level object with the run configuration and one entry per row.
+// Returns false (with a message on stderr) when the file cannot be written.
+inline bool WriteBenchResultsJson(const std::string& path, const std::string& bench_name,
+                                  int threads, int clients, int duration_ms,
+                                  const std::vector<BenchJsonRow>& rows) {
+  obs::JsonWriter w;
+  w.BeginObject();
+  w.Key("bench").String(bench_name);
+  w.Key("threads").Int(threads);
+  w.Key("clients").Int(clients);
+  w.Key("duration_ms").Int(duration_ms);
+  w.Key("results").BeginArray();
+  for (const BenchJsonRow& row : rows) {
+    w.BeginObject();
+    w.Key("mode").String(row.mode);
+    w.Key("conns_per_sec").Double(row.conns_per_sec);
+    w.Key("p50_queue_wait_us").Double(row.p50_queue_wait_us);
+    w.Key("p90_queue_wait_us").Double(row.p90_queue_wait_us);
+    w.Key("p99_queue_wait_us").Double(row.p99_queue_wait_us);
+    w.Key("served_local").UInt(row.served_local);
+    w.Key("served_remote").UInt(row.served_remote);
+    w.Key("steals").UInt(row.steals);
+    w.Key("overflow_drops").UInt(row.overflow_drops);
+    w.Key("client_errors").UInt(row.client_errors);
+    if (!row.series_json.empty()) {
+      w.Key("intervals").Raw(row.series_json);
+    }
+    w.EndObject();
+  }
+  w.EndArray();
+  w.EndObject();
+
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  std::fwrite(w.str().data(), 1, w.str().size(), f);
+  std::fputc('\n', f);
+  std::fclose(f);
+  return true;
+}
 
 // Baseline experiment for the paper's main workload: Apache (worker, pinned)
 // or lighttpd serving the SpecWeb-like mix, 6 requests/connection with 100 ms

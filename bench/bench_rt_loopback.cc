@@ -20,15 +20,26 @@
 //                                     least ~90% of stock's conns/sec; the
 //                                     margin absorbs scheduler noise on the
 //                                     shared-CPU CI hosts)
+//   --stats-interval=N               (snapshot the live metrics registry every
+//                                     N ms while the run is in flight and print
+//                                     per-interval conns/sec + steal rates;
+//                                     0 = off, the paper's balancer tick is 100)
+//   --json=FILE                      (write machine-readable results -- and the
+//                                     interval time series when --stats-interval
+//                                     is on -- via the shared bench JSON writer)
 
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <chrono>
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "src/core/reporter.h"
+#include "src/obs/json_writer.h"
+#include "src/obs/stats_sampler.h"
 #include "src/rt/load_client.h"
 #include "src/rt/runtime.h"
 
@@ -44,6 +55,8 @@ struct Options {
   int duration_ms = 1000;
   bool pin = true;
   bool check = false;
+  int stats_interval_ms = 0;  // 0 = no live sampling
+  std::string json_path;
 };
 
 bool ParseFlag(const char* arg, const char* name, const char** value) {
@@ -67,6 +80,10 @@ Options ParseOptions(int argc, char** argv) {
       opt.clients = atoi(v);
     } else if (ParseFlag(argv[i], "--duration-ms", &v)) {
       opt.duration_ms = atoi(v);
+    } else if (ParseFlag(argv[i], "--stats-interval", &v)) {
+      opt.stats_interval_ms = atoi(v);
+    } else if (ParseFlag(argv[i], "--json", &v)) {
+      opt.json_path = v;
     } else if (strcmp(argv[i], "--no-pin") == 0) {
       opt.pin = false;
     } else if (strcmp(argv[i], "--check") == 0) {
@@ -74,7 +91,8 @@ Options ParseOptions(int argc, char** argv) {
     } else {
       fprintf(stderr,
               "usage: %s [--mode=stock|fine|affinity|all] [--threads=N] "
-              "[--clients=N] [--duration-ms=N] [--no-pin] [--check]\n",
+              "[--clients=N] [--duration-ms=N] [--no-pin] [--check] "
+              "[--stats-interval=N] [--json=FILE]\n",
               argv[0]);
       exit(2);
     }
@@ -88,12 +106,60 @@ Options ParseOptions(int argc, char** argv) {
 struct RunResult {
   double conns_per_sec = 0;
   double p50_us = 0;
+  double p90_us = 0;
   double p99_us = 0;
   RtTotals totals;
   uint64_t client_completed = 0;
   uint64_t client_errors = 0;
+  std::vector<obs::IntervalSample> intervals;  // when --stats-interval is on
   bool ok = false;
 };
+
+// Renders the sampler's per-interval series as a JSON array: per-core
+// conns/sec, total conns/sec, steals/sec, and cumulative steals per sample.
+std::string IntervalsToJson(const std::vector<obs::IntervalSample>& intervals) {
+  obs::JsonWriter w;
+  w.BeginArray();
+  for (const obs::IntervalSample& s : intervals) {
+    const obs::RateSeries* local = s.Find("rt_served_local");
+    const obs::RateSeries* remote = s.Find("rt_served_remote");
+    const obs::RateSeries* steal_rate = s.Find("rt_steals");
+    const obs::SeriesSnap* steals_cum = s.snapshot.Find("rt_steals");
+    w.BeginObject();
+    w.Key("t_ms").UInt(s.t_ms);
+    w.Key("interval_s").Double(s.interval_s);
+    double total = 0;
+    w.Key("conns_per_sec_per_core").BeginArray();
+    size_t cores = local != nullptr ? local->per_core.size() : 0;
+    for (size_t c = 0; c < cores; ++c) {
+      double per_core = local->per_core[c] + (remote != nullptr ? remote->per_core[c] : 0.0);
+      total += per_core;
+      w.Double(per_core);
+    }
+    w.EndArray();
+    w.Key("conns_per_sec").Double(total);
+    w.Key("steals_per_sec").Double(steal_rate != nullptr ? steal_rate->total : 0.0);
+    w.Key("steals").UInt(steals_cum != nullptr ? steals_cum->total : 0);
+    w.EndObject();
+  }
+  w.EndArray();
+  return w.str();
+}
+
+void PrintIntervalLine(RtMode mode, const obs::IntervalSample& s) {
+  const obs::RateSeries* local = s.Find("rt_served_local");
+  const obs::RateSeries* remote = s.Find("rt_served_remote");
+  const obs::RateSeries* steal_rate = s.Find("rt_steals");
+  double total = (local != nullptr ? local->total : 0.0) + (remote != nullptr ? remote->total : 0.0);
+  std::printf("    [%s] t=%4llu ms  conns/s=%7.0f  steals/s=%5.0f  per-core:",
+              RtModeName(mode), static_cast<unsigned long long>(s.t_ms), total,
+              steal_rate != nullptr ? steal_rate->total : 0.0);
+  size_t cores = local != nullptr ? local->per_core.size() : 0;
+  for (size_t c = 0; c < cores; ++c) {
+    std::printf(" %.0f", local->per_core[c] + (remote != nullptr ? remote->per_core[c] : 0.0));
+  }
+  std::printf("\n");
+}
 
 RunResult RunMode(RtMode mode, const Options& opt) {
   RunResult result;
@@ -114,9 +180,22 @@ RunResult RunMode(RtMode mode, const Options& opt) {
   client_config.num_threads = opt.clients;
   LoadClient client(client_config);
 
+  // Live sampling: snapshots the registry mid-run, while the reactors and
+  // clients are all in flight (the whole point of the obs registry).
+  std::unique_ptr<obs::StatsSampler> sampler;
+  if (opt.stats_interval_ms > 0) {
+    sampler.reset(new obs::StatsSampler(&runtime.metrics(), opt.stats_interval_ms));
+  }
+
   auto start = std::chrono::steady_clock::now();
   client.Start();
+  if (sampler != nullptr) {
+    sampler->Start();
+  }
   std::this_thread::sleep_for(std::chrono::milliseconds(opt.duration_ms));
+  if (sampler != nullptr) {
+    sampler->Stop();  // before the runtime stops: every sample is a live one
+  }
   client.Stop();
   auto elapsed = std::chrono::steady_clock::now() - start;
   runtime.Stop();
@@ -124,9 +203,16 @@ RunResult RunMode(RtMode mode, const Options& opt) {
   result.totals = runtime.Totals();
   result.client_completed = client.completed();
   result.client_errors = client.errors();
+  if (sampler != nullptr) {
+    result.intervals = sampler->Samples();
+    for (const obs::IntervalSample& s : result.intervals) {
+      PrintIntervalLine(mode, s);
+    }
+  }
   double secs = std::chrono::duration<double>(elapsed).count();
   result.conns_per_sec = secs > 0 ? static_cast<double>(result.totals.served()) / secs : 0;
   result.p50_us = static_cast<double>(result.totals.queue_wait_ns.Median()) / 1e3;
+  result.p90_us = static_cast<double>(result.totals.queue_wait_ns.Percentile(0.90)) / 1e3;
   result.p99_us = static_cast<double>(result.totals.queue_wait_ns.Percentile(0.99)) / 1e3;
   result.ok = true;
   return result;
@@ -164,6 +250,7 @@ int main(int argc, char** argv) {
   bool all_ok = true;
   double stock_rate = 0;
   double affinity_rate = 0;
+  std::vector<BenchJsonRow> json_rows;
   for (RtMode mode : modes) {
     RunResult r = RunMode(mode, opt);
     if (!r.ok) {
@@ -181,8 +268,31 @@ int main(int argc, char** argv) {
                   TablePrinter::Num(local_pct, 1), TablePrinter::Int(r.totals.steals),
                   TablePrinter::Int(r.totals.overflow_drops),
                   TablePrinter::Int(r.client_errors)});
+    BenchJsonRow row;
+    row.mode = RtModeName(mode);
+    row.conns_per_sec = r.conns_per_sec;
+    row.p50_queue_wait_us = r.p50_us;
+    row.p90_queue_wait_us = r.p90_us;
+    row.p99_queue_wait_us = r.p99_us;
+    row.served_local = r.totals.served_local;
+    row.served_remote = r.totals.served_remote;
+    row.steals = r.totals.steals;
+    row.overflow_drops = r.totals.overflow_drops;
+    row.client_errors = r.client_errors;
+    if (!r.intervals.empty()) {
+      row.series_json = IntervalsToJson(r.intervals);
+    }
+    json_rows.push_back(std::move(row));
   }
   table.Print();
+  if (!opt.json_path.empty()) {
+    if (WriteBenchResultsJson(opt.json_path, "rt_loopback", opt.threads, opt.clients,
+                              opt.duration_ms, json_rows)) {
+      std::printf("\n  json results written to %s\n", opt.json_path.c_str());
+    } else {
+      all_ok = false;
+    }
+  }
   std::printf("\n  note: loopback collapses the paper's NIC/IRQ path; what remains is the\n"
               "  accept-queue arrangement itself. 'local %%' is the paper's connection\n"
               "  affinity; stock counts everything local because there is one queue.\n");

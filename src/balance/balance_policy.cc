@@ -20,6 +20,8 @@ bool WatermarkBalancePolicy::IsBusy(CoreId core) const { return busy_.IsBusy(cor
 
 bool WatermarkBalancePolicy::AnyBusy() const { return busy_.AnyBusy(); }
 
+double WatermarkBalancePolicy::EwmaValue(CoreId core) const { return busy_.EwmaValue(core); }
+
 bool WatermarkBalancePolicy::ShouldStealThisTime(CoreId core) {
   return steals_.ShouldStealThisTime(core);
 }
@@ -79,6 +81,11 @@ bool LockedBalancePolicy::IsBusy(CoreId core) const {
 bool LockedBalancePolicy::AnyBusy() const {
   std::lock_guard<std::mutex> lock(mu_);
   return inner_.AnyBusy();
+}
+
+double LockedBalancePolicy::EwmaValue(CoreId core) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inner_.EwmaValue(core);
 }
 
 bool LockedBalancePolicy::ShouldStealThisTime(CoreId core) {

@@ -48,6 +48,10 @@ class BalancePolicy {
   virtual bool IsBusy(CoreId core) const = 0;
   virtual bool AnyBusy() const = 0;
 
+  // The EWMA queue length driving `core`'s low-watermark check; exposed for
+  // decision tracing (obs::TraceRing records it at every busy flip).
+  virtual double EwmaValue(CoreId core) const = 0;
+
   // --- connection stealing (Section 3.3.1, "Connection stealing") ---
 
   // Proportional share: with local connections available and a busy victim
@@ -89,6 +93,7 @@ class WatermarkBalancePolicy : public BalancePolicy {
   bool OnDequeue(CoreId core, size_t len_after) override;
   bool IsBusy(CoreId core) const override;
   bool AnyBusy() const override;
+  double EwmaValue(CoreId core) const override;
   bool ShouldStealThisTime(CoreId core) override;
   CoreId PickBusyVictim(CoreId thief) override;
   CoreId PickAnyVictim(CoreId thief,
@@ -126,6 +131,7 @@ class LockedBalancePolicy : public BalancePolicy {
   bool OnDequeue(CoreId core, size_t len_after) override;
   bool IsBusy(CoreId core) const override;
   bool AnyBusy() const override;
+  double EwmaValue(CoreId core) const override;
   bool ShouldStealThisTime(CoreId core) override;
   CoreId PickBusyVictim(CoreId thief) override;
   CoreId PickAnyVictim(CoreId thief,

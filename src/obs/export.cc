@@ -1,0 +1,141 @@
+#include "src/obs/export.h"
+
+#include <cstdio>
+
+#include "src/obs/json_writer.h"
+
+namespace affinity {
+namespace obs {
+
+namespace {
+
+void AppendLabeled(std::string* out, const std::string& name, const std::string& label_key,
+                   const std::string& label_value, const char* extra_label_key = nullptr,
+                   const std::string& extra_label_value = std::string()) {
+  *out += name;
+  *out += '{';
+  *out += label_key;
+  *out += "=\"";
+  *out += label_value;
+  *out += '"';
+  if (extra_label_key != nullptr) {
+    *out += ',';
+    *out += extra_label_key;
+    *out += "=\"";
+    *out += extra_label_value;
+    *out += '"';
+  }
+  *out += "} ";
+}
+
+std::string FormatDouble(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6g", v);
+  return buf;
+}
+
+}  // namespace
+
+std::string ToPrometheusText(const MetricsSnapshot& snapshot, const std::string& prefix) {
+  std::string out;
+
+  for (const SeriesSnap& s : snapshot.series) {
+    bool counter = s.kind == MetricKind::kCounter;
+    std::string name = prefix + s.name;
+    if (counter && (name.size() < 6 || name.compare(name.size() - 6, 6, "_total") != 0)) {
+      name += "_total";
+    }
+    if (!s.help.empty()) {
+      out += "# HELP " + name + " " + s.help + "\n";
+    }
+    out += "# TYPE " + name + (counter ? " counter\n" : " gauge\n");
+    for (size_t i = 0; i < s.values.size(); ++i) {
+      AppendLabeled(&out, name, s.label_key, s.label_values[i]);
+      out += std::to_string(s.values[i]);
+      out += '\n';
+    }
+  }
+
+  for (const HistSnap& h : snapshot.histograms) {
+    std::string name = prefix + h.name;
+    if (!h.help.empty()) {
+      out += "# HELP " + name + " " + h.help + "\n";
+    }
+    out += "# TYPE " + name + " histogram\n";
+    for (size_t i = 0; i < h.per_label.size(); ++i) {
+      const Histogram& hist = h.per_label[i];
+      for (const Histogram::CumulativePoint& p : hist.CumulativeCounts()) {
+        AppendLabeled(&out, name + "_bucket", h.label_key, h.label_values[i], "le",
+                      std::to_string(p.value));
+        out += std::to_string(p.cumulative);
+        out += '\n';
+      }
+      AppendLabeled(&out, name + "_bucket", h.label_key, h.label_values[i], "le", "+Inf");
+      out += std::to_string(hist.count());
+      out += '\n';
+      AppendLabeled(&out, name + "_sum", h.label_key, h.label_values[i]);
+      out += FormatDouble(hist.mean() * static_cast<double>(hist.count()));
+      out += '\n';
+      AppendLabeled(&out, name + "_count", h.label_key, h.label_values[i]);
+      out += std::to_string(hist.count());
+      out += '\n';
+    }
+  }
+  return out;
+}
+
+std::string ToJson(const MetricsSnapshot& snapshot) {
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("mono_ns").UInt(snapshot.mono_ns);
+
+  w.Key("series").BeginArray();
+  for (const SeriesSnap& s : snapshot.series) {
+    w.BeginObject();
+    w.Key("name").String(s.name);
+    w.Key("kind").String(s.kind == MetricKind::kCounter ? "counter" : "gauge");
+    w.Key("label_key").String(s.label_key);
+    w.Key("values").BeginObject();
+    for (size_t i = 0; i < s.values.size(); ++i) {
+      w.Key(s.label_values[i]).UInt(s.values[i]);
+    }
+    w.EndObject();
+    w.Key("total").UInt(s.total);
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.Key("histograms").BeginArray();
+  for (const HistSnap& h : snapshot.histograms) {
+    Histogram merged = h.Merged();
+    w.BeginObject();
+    w.Key("name").String(h.name);
+    w.Key("label_key").String(h.label_key);
+    w.Key("count").UInt(merged.count());
+    w.Key("mean").Double(merged.mean());
+    w.Key("min").UInt(merged.min());
+    w.Key("max").UInt(merged.max());
+    w.Key("p50").UInt(merged.Percentile(0.50));
+    w.Key("p90").UInt(merged.Percentile(0.90));
+    w.Key("p99").UInt(merged.Percentile(0.99));
+    w.Key("per_label").BeginObject();
+    for (size_t i = 0; i < h.per_label.size(); ++i) {
+      const Histogram& hist = h.per_label[i];
+      w.Key(h.label_values[i]).BeginObject();
+      w.Key("count").UInt(hist.count());
+      w.Key("p50").UInt(hist.Percentile(0.50));
+      w.Key("p90").UInt(hist.Percentile(0.90));
+      w.Key("p99").UInt(hist.Percentile(0.99));
+      w.EndObject();
+    }
+    w.EndObject();
+    w.EndObject();
+  }
+  w.EndArray();
+
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace obs
+}  // namespace affinity

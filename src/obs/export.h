@@ -1,0 +1,30 @@
+// Exporters: one snapshot model (src/obs/snapshot.h) rendered two ways.
+//
+//  - ToPrometheusText: Prometheus text exposition format. Counters get the
+//    `_total` suffix, every per-label value is one sample line, histograms
+//    become classic `le`-bucket histograms built from the exact cumulative
+//    counts of the log-bucketed Histogram.
+//  - ToJson: the same snapshot as a JSON document (per-label values plus
+//    derived percentiles for histograms), for the bench time-series files
+//    and offline analysis.
+
+#ifndef AFFINITY_SRC_OBS_EXPORT_H_
+#define AFFINITY_SRC_OBS_EXPORT_H_
+
+#include <string>
+
+#include "src/obs/snapshot.h"
+
+namespace affinity {
+namespace obs {
+
+// `prefix` is prepended to every metric name ("affinity_" by default).
+std::string ToPrometheusText(const MetricsSnapshot& snapshot,
+                             const std::string& prefix = "affinity_");
+
+std::string ToJson(const MetricsSnapshot& snapshot);
+
+}  // namespace obs
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_OBS_EXPORT_H_

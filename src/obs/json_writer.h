@@ -1,0 +1,162 @@
+// Minimal append-only JSON writer shared by the obs exporters and the bench
+// results files. No DOM, no external deps: callers emit tokens in document
+// order and the writer handles commas, quoting and escaping.
+
+#ifndef AFFINITY_SRC_OBS_JSON_WRITER_H_
+#define AFFINITY_SRC_OBS_JSON_WRITER_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace affinity {
+namespace obs {
+
+class JsonWriter {
+ public:
+  std::string& str() { return out_; }
+  const std::string& str() const { return out_; }
+
+  JsonWriter& BeginObject() {
+    Comma();
+    pending_key_ = false;
+    out_ += '{';
+    stack_.push_back(false);
+    return *this;
+  }
+  JsonWriter& EndObject() {
+    out_ += '}';
+    stack_.pop_back();
+    MarkValue();
+    return *this;
+  }
+  JsonWriter& BeginArray() {
+    Comma();
+    pending_key_ = false;
+    out_ += '[';
+    stack_.push_back(false);
+    return *this;
+  }
+  JsonWriter& EndArray() {
+    out_ += ']';
+    stack_.pop_back();
+    MarkValue();
+    return *this;
+  }
+
+  JsonWriter& Key(const std::string& key) {
+    Comma();
+    AppendQuoted(key);
+    out_ += ':';
+    pending_key_ = true;
+    return *this;
+  }
+
+  JsonWriter& String(const std::string& value) {
+    Comma();
+    AppendQuoted(value);
+    MarkValue();
+    return *this;
+  }
+  JsonWriter& UInt(uint64_t value) {
+    Comma();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%llu", static_cast<unsigned long long>(value));
+    out_ += buf;
+    MarkValue();
+    return *this;
+  }
+  JsonWriter& Int(int64_t value) {
+    Comma();
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(value));
+    out_ += buf;
+    MarkValue();
+    return *this;
+  }
+  JsonWriter& Double(double value) {
+    Comma();
+    if (!std::isfinite(value)) {
+      out_ += "null";  // JSON has no Inf/NaN
+    } else {
+      char buf[32];
+      std::snprintf(buf, sizeof(buf), "%.6g", value);
+      out_ += buf;
+    }
+    MarkValue();
+    return *this;
+  }
+  JsonWriter& Bool(bool value) {
+    Comma();
+    out_ += value ? "true" : "false";
+    MarkValue();
+    return *this;
+  }
+  // Splices pre-rendered JSON (the caller guarantees it is a valid value).
+  JsonWriter& Raw(const std::string& json) {
+    Comma();
+    out_ += json;
+    MarkValue();
+    return *this;
+  }
+
+ private:
+  // Emits the separating comma unless this token opens a container, follows
+  // a key, or is the first element.
+  void Comma() {
+    if (pending_key_) {
+      return;  // value directly after "key":
+    }
+    if (!stack_.empty() && stack_.back()) {
+      out_ += ',';
+    }
+  }
+  void MarkValue() {
+    pending_key_ = false;
+    if (!stack_.empty()) {
+      stack_.back() = true;
+    }
+  }
+  void AppendQuoted(const std::string& s) {
+    out_ += '"';
+    for (char c : s) {
+      switch (c) {
+        case '"':
+          out_ += "\\\"";
+          break;
+        case '\\':
+          out_ += "\\\\";
+          break;
+        case '\n':
+          out_ += "\\n";
+          break;
+        case '\t':
+          out_ += "\\t";
+          break;
+        case '\r':
+          out_ += "\\r";
+          break;
+        default:
+          if (static_cast<unsigned char>(c) < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+            out_ += buf;
+          } else {
+            out_ += c;
+          }
+      }
+    }
+    out_ += '"';
+  }
+
+  std::string out_;
+  std::vector<bool> stack_;  // per open container: "has emitted an element"
+  bool pending_key_ = false;
+};
+
+}  // namespace obs
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_OBS_JSON_WRITER_H_

@@ -1,0 +1,179 @@
+#include "src/obs/metrics.h"
+
+#include <cassert>
+#include <chrono>
+
+namespace affinity {
+namespace obs {
+
+namespace {
+
+uint64_t MonoNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+void AtomicMin(std::atomic<uint64_t>* target, uint64_t value) {
+  uint64_t cur = target->load(std::memory_order_relaxed);
+  while (value < cur &&
+         !target->compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+void AtomicMax(std::atomic<uint64_t>* target, uint64_t value) {
+  uint64_t cur = target->load(std::memory_order_relaxed);
+  while (value > cur &&
+         !target->compare_exchange_weak(cur, value, std::memory_order_relaxed)) {
+  }
+}
+
+}  // namespace
+
+AtomicHistogram::AtomicHistogram()
+    : buckets_(new std::atomic<uint64_t>[Histogram::kNumBuckets]) {
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+void AtomicHistogram::Add(uint64_t value) {
+  buckets_[Histogram::BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  AtomicMin(&min_, value);
+  AtomicMax(&max_, value);
+}
+
+void AtomicHistogram::SnapshotTo(Histogram* out) const {
+  uint64_t raw[Histogram::kNumBuckets];
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    raw[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  out->RestoreRaw(raw, static_cast<double>(sum_.load(std::memory_order_relaxed)),
+                  min_.load(std::memory_order_relaxed), max_.load(std::memory_order_relaxed));
+}
+
+Histogram AtomicHistogram::Snapshot() const {
+  Histogram out;
+  SnapshotTo(&out);
+  return out;
+}
+
+void AtomicHistogram::Reset() {
+  for (int i = 0; i < Histogram::kNumBuckets; ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+  sum_.store(0, std::memory_order_relaxed);
+  min_.store(std::numeric_limits<uint64_t>::max(), std::memory_order_relaxed);
+  max_.store(0, std::memory_order_relaxed);
+}
+
+MetricsRegistry::MetricsRegistry(int num_cores) : num_cores_(num_cores < 1 ? 1 : num_cores) {}
+
+MetricsRegistry::MetricId MetricsRegistry::RegisterCounter(const std::string& name,
+                                                           const std::string& help) {
+  scalars_.push_back(
+      {name, help, MetricKind::kCounter, std::unique_ptr<Cell[]>(new Cell[num_cores_])});
+  return static_cast<MetricId>(scalars_.size() - 1);
+}
+
+MetricsRegistry::MetricId MetricsRegistry::RegisterGauge(const std::string& name,
+                                                         const std::string& help) {
+  scalars_.push_back(
+      {name, help, MetricKind::kGauge, std::unique_ptr<Cell[]>(new Cell[num_cores_])});
+  return static_cast<MetricId>(scalars_.size() - 1);
+}
+
+MetricsRegistry::MetricId MetricsRegistry::RegisterHistogram(const std::string& name,
+                                                             const std::string& help) {
+  histograms_.push_back({name, help,
+                         std::unique_ptr<AtomicHistogram[]>(
+                             new AtomicHistogram[static_cast<size_t>(num_cores_)])});
+  return static_cast<MetricId>(histograms_.size() - 1);
+}
+
+void MetricsRegistry::Add(MetricId id, int core, uint64_t delta) {
+  assert(id >= 0 && static_cast<size_t>(id) < scalars_.size());
+  assert(core >= 0 && core < num_cores_);
+  scalars_[static_cast<size_t>(id)].cells[core].v.fetch_add(delta, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::GaugeSet(MetricId id, int core, uint64_t value) {
+  assert(id >= 0 && static_cast<size_t>(id) < scalars_.size());
+  assert(core >= 0 && core < num_cores_);
+  scalars_[static_cast<size_t>(id)].cells[core].v.store(value, std::memory_order_relaxed);
+}
+
+void MetricsRegistry::Observe(MetricId id, int core, uint64_t value) {
+  assert(id >= 0 && static_cast<size_t>(id) < histograms_.size());
+  assert(core >= 0 && core < num_cores_);
+  histograms_[static_cast<size_t>(id)].per_core[core].Add(value);
+}
+
+uint64_t MetricsRegistry::Value(MetricId id, int core) const {
+  return scalars_[static_cast<size_t>(id)].cells[core].v.load(std::memory_order_relaxed);
+}
+
+uint64_t MetricsRegistry::Total(MetricId id) const {
+  uint64_t total = 0;
+  for (int core = 0; core < num_cores_; ++core) {
+    total += Value(id, core);
+  }
+  return total;
+}
+
+Histogram MetricsRegistry::HistogramSnapshot(MetricId id, int core) const {
+  return histograms_[static_cast<size_t>(id)].per_core[core].Snapshot();
+}
+
+Histogram MetricsRegistry::HistogramMerged(MetricId id) const {
+  Histogram merged;
+  Histogram tmp;
+  for (int core = 0; core < num_cores_; ++core) {
+    histograms_[static_cast<size_t>(id)].per_core[core].SnapshotTo(&tmp);
+    merged.Merge(tmp);
+  }
+  return merged;
+}
+
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  MetricsSnapshot snap;
+  snap.mono_ns = MonoNs();
+
+  std::vector<std::string> core_labels;
+  core_labels.reserve(static_cast<size_t>(num_cores_));
+  for (int core = 0; core < num_cores_; ++core) {
+    core_labels.push_back(std::to_string(core));
+  }
+
+  for (const ScalarDef& def : scalars_) {
+    SeriesSnap s;
+    s.name = def.name;
+    s.help = def.help;
+    s.kind = def.kind;
+    s.label_values = core_labels;
+    s.values.reserve(static_cast<size_t>(num_cores_));
+    for (int core = 0; core < num_cores_; ++core) {
+      uint64_t v = def.cells[core].v.load(std::memory_order_relaxed);
+      s.values.push_back(v);
+      s.total += v;
+    }
+    snap.series.push_back(std::move(s));
+  }
+
+  for (const HistDef& def : histograms_) {
+    HistSnap h;
+    h.name = def.name;
+    h.help = def.help;
+    h.label_values = core_labels;
+    h.per_label.resize(static_cast<size_t>(num_cores_));
+    for (int core = 0; core < num_cores_; ++core) {
+      def.per_core[core].SnapshotTo(&h.per_label[static_cast<size_t>(core)]);
+    }
+    snap.histograms.push_back(std::move(h));
+  }
+  return snap;
+}
+
+}  // namespace obs
+}  // namespace affinity

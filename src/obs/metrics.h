@@ -1,0 +1,116 @@
+// MetricsRegistry: per-core-sharded live metrics for the runtime.
+//
+// The paper's evaluation reads its instrumentation while the system serves
+// traffic (per-entry perf counters, lock_stat, the 100 ms balancer tick).
+// This registry gives src/rt/ the same property: reactor threads bump
+// relaxed atomics on their own cache line, and any thread can Snapshot()
+// the whole registry mid-run without stopping the reactors and without
+// data races.
+//
+// Concurrency contract:
+//  - Register*() is NOT thread-safe; register everything before the writer
+//    threads start (the Runtime registers in its constructor).
+//  - Add/GaugeSet/Observe and Snapshot/CounterValue are safe from any
+//    thread, any time. Counters are monotone, so a snapshot is a valid
+//    (slightly stale) state even when taken mid-increment.
+
+#ifndef AFFINITY_SRC_OBS_METRICS_H_
+#define AFFINITY_SRC_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/mem/cacheline.h"
+#include "src/obs/snapshot.h"
+#include "src/sim/stats.h"
+
+namespace affinity {
+namespace obs {
+
+// Histogram with the exact bucket geometry of affinity::Histogram but
+// relaxed-atomic buckets, so writer threads can Add() while a reader
+// snapshots. Count is derived from the buckets at snapshot time, keeping
+// the bucket-sum == count invariant even for concurrent snapshots; sum and
+// min/max may trail the buckets by in-flight samples.
+class AtomicHistogram {
+ public:
+  AtomicHistogram();
+
+  AtomicHistogram(const AtomicHistogram&) = delete;
+  AtomicHistogram& operator=(const AtomicHistogram&) = delete;
+
+  void Add(uint64_t value);
+
+  // Copies the current contents into a plain Histogram.
+  void SnapshotTo(Histogram* out) const;
+  Histogram Snapshot() const;
+
+  void Reset();
+
+ private:
+  std::unique_ptr<std::atomic<uint64_t>[]> buckets_;  // Histogram::kNumBuckets
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{std::numeric_limits<uint64_t>::max()};
+  std::atomic<uint64_t> max_{0};
+};
+
+class MetricsRegistry {
+ public:
+  using MetricId = int;
+
+  explicit MetricsRegistry(int num_cores);
+
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  int num_cores() const { return num_cores_; }
+
+  // --- registration (before writer threads start) ---
+  MetricId RegisterCounter(const std::string& name, const std::string& help);
+  MetricId RegisterGauge(const std::string& name, const std::string& help);
+  MetricId RegisterHistogram(const std::string& name, const std::string& help);
+
+  // --- hot path (any thread) ---
+  void Add(MetricId id, int core, uint64_t delta = 1);
+  void GaugeSet(MetricId id, int core, uint64_t value);
+  void Observe(MetricId id, int core, uint64_t value);  // histogram sample
+
+  // --- live reads (any thread) ---
+  uint64_t Value(MetricId id, int core) const;
+  uint64_t Total(MetricId id) const;
+  Histogram HistogramSnapshot(MetricId id, int core) const;
+  Histogram HistogramMerged(MetricId id) const;
+
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  // One cache line per (metric, core): a reactor's increments never
+  // false-share with a sibling core's.
+  struct alignas(kCacheLineBytes) Cell {
+    std::atomic<uint64_t> v{0};
+  };
+  struct ScalarDef {
+    std::string name;
+    std::string help;
+    MetricKind kind;
+    std::unique_ptr<Cell[]> cells;  // num_cores_ entries
+  };
+  struct HistDef {
+    std::string name;
+    std::string help;
+    std::unique_ptr<AtomicHistogram[]> per_core;  // num_cores_ entries
+  };
+
+  int num_cores_;
+  std::vector<ScalarDef> scalars_;
+  std::vector<HistDef> histograms_;
+};
+
+}  // namespace obs
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_OBS_METRICS_H_

@@ -1,0 +1,105 @@
+#include "src/obs/sim_adapters.h"
+
+namespace affinity {
+namespace obs {
+
+namespace {
+
+SeriesSnap MakeSeries(const std::string& name, const std::string& help,
+                      const std::string& label_key, std::vector<std::string> labels) {
+  SeriesSnap s;
+  s.name = name;
+  s.help = help;
+  s.kind = MetricKind::kCounter;
+  s.label_key = label_key;
+  s.label_values = std::move(labels);
+  s.values.reserve(s.label_values.size());
+  return s;
+}
+
+void PushValue(SeriesSnap* s, uint64_t v) {
+  s->values.push_back(v);
+  s->total += v;
+}
+
+}  // namespace
+
+MetricsSnapshot SnapshotFromPerfCounters(const PerfCounters& counters) {
+  std::vector<std::string> labels;
+  for (size_t i = 0; i < kNumKernelEntries; ++i) {
+    labels.push_back(KernelEntryName(static_cast<KernelEntry>(i)));
+  }
+
+  SeriesSnap cycles = MakeSeries("perf_cycles", "cycles spent per kernel entry (Table 3)",
+                                 "entry", labels);
+  SeriesSnap instructions =
+      MakeSeries("perf_instructions", "instructions retired per kernel entry (Table 3)",
+                 "entry", labels);
+  SeriesSnap l2_misses =
+      MakeSeries("perf_l2_misses", "L2 misses per kernel entry (Table 3)", "entry", labels);
+  SeriesSnap invocations =
+      MakeSeries("perf_invocations", "invocations per kernel entry", "entry", labels);
+
+  for (size_t i = 0; i < kNumKernelEntries; ++i) {
+    const EntryCounters& e = counters.entry(static_cast<KernelEntry>(i));
+    PushValue(&cycles, e.cycles);
+    PushValue(&instructions, e.instructions);
+    PushValue(&l2_misses, e.l2_misses);
+    PushValue(&invocations, e.invocations);
+  }
+
+  MetricsSnapshot snap;
+  snap.series.push_back(std::move(cycles));
+  snap.series.push_back(std::move(instructions));
+  snap.series.push_back(std::move(l2_misses));
+  snap.series.push_back(std::move(invocations));
+  return snap;
+}
+
+MetricsSnapshot SnapshotFromLockStat(const LockStat& lock_stat) {
+  std::vector<std::string> labels;
+  for (const LockClassStats& cls : lock_stat.all()) {
+    labels.push_back(cls.name);
+  }
+
+  SeriesSnap acquisitions =
+      MakeSeries("lock_acquisitions", "lock acquisitions per class (Table 2)", "lock", labels);
+  SeriesSnap contended =
+      MakeSeries("lock_contended", "contended acquisitions per class (Table 2)", "lock", labels);
+  SeriesSnap hold =
+      MakeSeries("lock_hold_cycles", "cycles the lock was held (Table 2)", "lock", labels);
+  SeriesSnap spin = MakeSeries("lock_spin_wait_cycles",
+                               "cycles spent busy-waiting to acquire (Table 2)", "lock", labels);
+  SeriesSnap mutex_wait = MakeSeries(
+      "lock_mutex_wait_cycles", "cycles spent sleeping to acquire (Table 2)", "lock", labels);
+
+  for (const LockClassStats& cls : lock_stat.all()) {
+    PushValue(&acquisitions, cls.acquisitions);
+    PushValue(&contended, cls.contended);
+    PushValue(&hold, static_cast<uint64_t>(cls.hold));
+    PushValue(&spin, static_cast<uint64_t>(cls.spin_wait));
+    PushValue(&mutex_wait, static_cast<uint64_t>(cls.mutex_wait));
+  }
+
+  MetricsSnapshot snap;
+  snap.series.push_back(std::move(acquisitions));
+  snap.series.push_back(std::move(contended));
+  snap.series.push_back(std::move(hold));
+  snap.series.push_back(std::move(spin));
+  snap.series.push_back(std::move(mutex_wait));
+  return snap;
+}
+
+void AppendHistogram(MetricsSnapshot* snapshot, const std::string& name,
+                     const std::string& help, const Histogram& histogram) {
+  HistSnap h;
+  h.name = name;
+  h.help = help;
+  h.label_key = "series";
+  h.label_values = {"all"};
+  h.per_label.push_back(histogram);
+  snapshot->histograms.push_back(std::move(h));
+}
+
+}  // namespace obs
+}  // namespace affinity

@@ -1,0 +1,34 @@
+// Adapters from the simulator's ad-hoc stat objects onto the unified
+// snapshot model, so PerfCounters (Table 3), LockStat (Table 2) and
+// Histogram CDFs (Figure 4) export through the same Prometheus/JSON path
+// as the live runtime's registry.
+
+#ifndef AFFINITY_SRC_OBS_SIM_ADAPTERS_H_
+#define AFFINITY_SRC_OBS_SIM_ADAPTERS_H_
+
+#include <string>
+
+#include "src/obs/snapshot.h"
+#include "src/stack/lock_stat.h"
+#include "src/stack/perf_counters.h"
+
+namespace affinity {
+namespace obs {
+
+// Per-kernel-entry cycles / instructions / L2 misses / invocations, labeled
+// by entry name (label key "entry").
+MetricsSnapshot SnapshotFromPerfCounters(const PerfCounters& counters);
+
+// Per-lock-class acquisitions / contended counts and hold / spin / mutex
+// wait cycles, labeled by lock class name (label key "lock").
+MetricsSnapshot SnapshotFromLockStat(const LockStat& lock_stat);
+
+// Wraps one plain Histogram as a single-label snapshot entry (e.g. a
+// simulator latency CDF) so it can ride the same exporters.
+void AppendHistogram(MetricsSnapshot* snapshot, const std::string& name,
+                     const std::string& help, const Histogram& histogram);
+
+}  // namespace obs
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_OBS_SIM_ADAPTERS_H_

@@ -1,0 +1,108 @@
+#include "src/obs/stats_sampler.h"
+
+#include <chrono>
+
+namespace affinity {
+namespace obs {
+
+namespace {
+
+// Rates for every counter series: (cur - prev) / dt. Gauges are levels, not
+// flows, so they are skipped (their current value is in the snapshot).
+std::vector<RateSeries> RatesBetween(const MetricsSnapshot& prev, const MetricsSnapshot& cur,
+                                     double dt_s) {
+  std::vector<RateSeries> rates;
+  if (dt_s <= 0) {
+    return rates;
+  }
+  for (const SeriesSnap& s : cur.series) {
+    if (s.kind != MetricKind::kCounter) {
+      continue;
+    }
+    const SeriesSnap* before = prev.Find(s.name);
+    RateSeries r;
+    r.name = s.name;
+    r.per_core.reserve(s.values.size());
+    for (size_t i = 0; i < s.values.size(); ++i) {
+      uint64_t prev_v = (before != nullptr && i < before->values.size()) ? before->values[i] : 0;
+      double d = static_cast<double>(s.values[i] - prev_v) / dt_s;
+      r.per_core.push_back(d);
+      r.total += d;
+    }
+    rates.push_back(std::move(r));
+  }
+  return rates;
+}
+
+}  // namespace
+
+StatsSampler::StatsSampler(const MetricsRegistry* registry, int interval_ms)
+    : registry_(registry), interval_ms_(interval_ms < 1 ? 1 : interval_ms) {}
+
+StatsSampler::~StatsSampler() { Stop(); }
+
+void StatsSampler::Start() {
+  if (started_) {
+    return;
+  }
+  started_ = true;
+  stop_ = false;
+  thread_ = std::thread([this] { RunThread(); });
+}
+
+void StatsSampler::Stop() {
+  if (!started_) {
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) {
+    thread_.join();
+  }
+  started_ = false;
+}
+
+std::vector<IntervalSample> StatsSampler::Samples() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return samples_;
+}
+
+void StatsSampler::RunThread() {
+  using Clock = std::chrono::steady_clock;
+  const auto start = Clock::now();
+  MetricsSnapshot prev = registry_->Snapshot();
+  auto prev_time = start;
+
+  std::unique_lock<std::mutex> lock(mu_);
+  while (!stop_) {
+    cv_.wait_for(lock, std::chrono::milliseconds(interval_ms_), [this] { return stop_; });
+    auto now = Clock::now();
+    double dt_s = std::chrono::duration<double>(now - prev_time).count();
+    // On shutdown, keep a trailing partial interval only if it is long
+    // enough to give meaningful rates.
+    if (stop_ && dt_s * 1000.0 < static_cast<double>(interval_ms_) / 2.0) {
+      break;
+    }
+    lock.unlock();
+    MetricsSnapshot cur = registry_->Snapshot();
+    IntervalSample sample;
+    sample.t_ms = static_cast<uint64_t>(
+        std::chrono::duration_cast<std::chrono::milliseconds>(now - start).count());
+    sample.interval_s = dt_s;
+    sample.rates = RatesBetween(prev, cur, dt_s);
+    sample.snapshot = cur;
+    prev = std::move(cur);
+    prev_time = now;
+    lock.lock();
+    samples_.push_back(std::move(sample));
+    if (stop_) {
+      break;
+    }
+  }
+}
+
+}  // namespace obs
+}  // namespace affinity

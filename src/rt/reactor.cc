@@ -46,7 +46,7 @@ void Reactor::Run() {
     // by other shards) are noticed even when our own shard is idle.
     int n = epoll_wait(ep, events, 8, /*timeout_ms=*/1);
     if (n > 0) {
-      ++stats_.epoll_wakeups;
+      shared_->metrics->Add(shared_->ids.epoll_wakeups, index_);
       AcceptBatch();
     } else if (n < 0 && errno != EINTR) {
       break;
@@ -61,6 +61,22 @@ void Reactor::Run() {
   close(ep);
 }
 
+void Reactor::RecordBusyFlip(size_t queue, size_t len_after) {
+  bool now_busy = shared_->policy->IsBusy(static_cast<CoreId>(queue));
+  shared_->metrics->Add(now_busy ? shared_->ids.to_busy : shared_->ids.to_nonbusy,
+                        static_cast<int>(queue));
+  shared_->metrics->GaugeSet(shared_->ids.busy, static_cast<int>(queue), now_busy ? 1 : 0);
+  if (shared_->trace != nullptr) {
+    obs::TraceEvent event;
+    event.type = now_busy ? obs::TraceEventType::kBusyOn : obs::TraceEventType::kBusyOff;
+    event.core = static_cast<int16_t>(index_);
+    event.src = static_cast<int16_t>(queue);
+    event.ewma = shared_->policy->EwmaValue(static_cast<CoreId>(queue));
+    event.qlen = static_cast<uint32_t>(len_after);
+    shared_->trace->Record(index_, event);
+  }
+}
+
 void Reactor::AcceptBatch() {
   bool stock = shared_->mode == RtMode::kStock;
   size_t qi = stock ? 0 : static_cast<size_t>(index_);
@@ -71,16 +87,25 @@ void Reactor::AcceptBatch() {
     if (fd < 0) {
       break;  // EAGAIN (drained), or a transient error: retry next wakeup
     }
-    ++stats_.accepted;
+    shared_->metrics->Add(shared_->ids.accepted, index_);
     PendingConn conn{fd, std::chrono::steady_clock::now()};
     size_t len_after = 0;
     if (!queue.Push(conn, &len_after)) {
       close(fd);
-      ++stats_.overflow_drops;
+      shared_->metrics->Add(shared_->ids.overflow_drops, index_);
+      if (shared_->trace != nullptr) {
+        obs::TraceEvent event;
+        event.type = obs::TraceEventType::kOverflowDrop;
+        event.core = static_cast<int16_t>(index_);
+        event.src = static_cast<int16_t>(qi);
+        event.qlen = static_cast<uint32_t>(queue.capacity());
+        shared_->trace->Record(index_, event);
+      }
       continue;
     }
-    if (shared_->policy != nullptr) {
-      shared_->policy->OnEnqueue(static_cast<CoreId>(qi), len_after);
+    shared_->metrics->GaugeSet(shared_->ids.queue_len, static_cast<int>(qi), len_after);
+    if (shared_->policy != nullptr && shared_->policy->OnEnqueue(static_cast<CoreId>(qi), len_after)) {
+      RecordBusyFlip(qi, len_after);
     }
   }
 }
@@ -98,10 +123,25 @@ bool Reactor::PopFrom(size_t qi, PendingConn* out) {
   if (!shared_->queues[qi]->TryPop(out, &len_after)) {
     return false;
   }
-  if (shared_->policy != nullptr) {
-    shared_->policy->OnDequeue(static_cast<CoreId>(qi), len_after);
+  shared_->metrics->GaugeSet(shared_->ids.queue_len, static_cast<int>(qi), len_after);
+  if (shared_->policy != nullptr && shared_->policy->OnDequeue(static_cast<CoreId>(qi), len_after)) {
+    RecordBusyFlip(qi, len_after);
   }
   return true;
+}
+
+void Reactor::RecordSteal(CoreId victim, size_t victim_len_after) {
+  shared_->policy->OnSteal(index_, victim);
+  shared_->metrics->Add(shared_->ids.steals, index_);
+  if (shared_->trace != nullptr) {
+    obs::TraceEvent event;
+    event.type = obs::TraceEventType::kSteal;
+    event.core = static_cast<int16_t>(index_);
+    event.src = static_cast<int16_t>(victim);
+    event.dst = static_cast<int16_t>(index_);
+    event.qlen = static_cast<uint32_t>(victim_len_after);
+    shared_->trace->Record(index_, event);
+  }
 }
 
 bool Reactor::ServeOne(bool idle) {
@@ -149,8 +189,7 @@ bool Reactor::ServeOne(bool idle) {
       if (steal_first) {
         CoreId victim = policy->PickBusyVictim(me);
         if (victim != kNoCore && PopFrom(static_cast<size_t>(victim), &conn)) {
-          policy->OnSteal(me, victim);
-          ++stats_.steals;
+          RecordSteal(victim, shared_->queues[static_cast<size_t>(victim)]->size());
           Serve(conn, /*local=*/false);
           return true;
         }
@@ -162,8 +201,7 @@ bool Reactor::ServeOne(bool idle) {
       if (may_steal && !steal_first) {
         CoreId victim = policy->PickBusyVictim(me);
         if (victim != kNoCore && PopFrom(static_cast<size_t>(victim), &conn)) {
-          policy->OnSteal(me, victim);
-          ++stats_.steals;
+          RecordSteal(victim, shared_->queues[static_cast<size_t>(victim)]->size());
           Serve(conn, /*local=*/false);
           return true;
         }
@@ -173,8 +211,7 @@ bool Reactor::ServeOne(bool idle) {
           return shared_->queues[static_cast<size_t>(c)]->size() > 0;
         });
         if (victim != kNoCore && PopFrom(static_cast<size_t>(victim), &conn)) {
-          policy->OnSteal(me, victim);
-          ++stats_.steals;
+          RecordSteal(victim, shared_->queues[static_cast<size_t>(victim)]->size());
           Serve(conn, /*local=*/false);
           return true;
         }
@@ -187,13 +224,10 @@ bool Reactor::ServeOne(bool idle) {
 
 void Reactor::Serve(const PendingConn& conn, bool local) {
   auto wait = std::chrono::steady_clock::now() - conn.accepted_at;
-  stats_.queue_wait_ns.Add(static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(wait).count()));
-  if (local) {
-    ++stats_.served_local;
-  } else {
-    ++stats_.served_remote;
-  }
+  shared_->metrics->Observe(
+      shared_->ids.queue_wait, index_,
+      static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(wait).count()));
+  shared_->metrics->Add(local ? shared_->ids.served_local : shared_->ids.served_remote, index_);
   // Minimal request/response: one byte, then an orderly close. Enough for
   // the load client to observe end-to-end completion; per-connection
   // application work is the load generator's think-time knob, not ours.

@@ -22,6 +22,8 @@
 #include <vector>
 
 #include "src/balance/balance_policy.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace_ring.h"
 #include "src/rt/accept_queue.h"
 #include "src/sim/stats.h"
 
@@ -32,6 +34,10 @@ enum class RtMode : uint8_t { kStock, kFine, kAffinity };
 
 const char* RtModeName(RtMode mode);
 
+// A point-in-time copy of one reactor's counters, built from the Runtime's
+// MetricsRegistry. Safe to take while the reactor is running: the backing
+// cells are relaxed atomics, so a live snapshot is merely slightly stale,
+// never racy.
 struct ReactorStats {
   uint64_t accepted = 0;        // accept() returned a connection
   uint64_t served_local = 0;    // served from this core's queue (or the shared one)
@@ -40,6 +46,22 @@ struct ReactorStats {
   uint64_t overflow_drops = 0;  // local queue full: connection closed on arrival
   uint64_t epoll_wakeups = 0;
   Histogram queue_wait_ns;      // accept() -> service latency per connection
+};
+
+// Registry handles for the runtime's per-core metrics; registered once by
+// the Runtime before the reactor threads start.
+struct RtMetricIds {
+  obs::MetricsRegistry::MetricId accepted = 0;
+  obs::MetricsRegistry::MetricId served_local = 0;
+  obs::MetricsRegistry::MetricId served_remote = 0;
+  obs::MetricsRegistry::MetricId steals = 0;
+  obs::MetricsRegistry::MetricId overflow_drops = 0;
+  obs::MetricsRegistry::MetricId epoll_wakeups = 0;
+  obs::MetricsRegistry::MetricId to_busy = 0;
+  obs::MetricsRegistry::MetricId to_nonbusy = 0;
+  obs::MetricsRegistry::MetricId queue_len = 0;  // gauge, per accept queue
+  obs::MetricsRegistry::MetricId busy = 0;       // gauge, 0/1 busy bit mirror
+  obs::MetricsRegistry::MetricId queue_wait = 0;  // histogram
 };
 
 // State shared by every reactor of one Runtime.
@@ -52,6 +74,11 @@ struct ReactorShared {
   std::vector<std::unique_ptr<AcceptQueue>> queues;
   // Thread-safe policy (LockedBalancePolicy); null outside affinity mode.
   BalancePolicy* policy = nullptr;
+  // Live metrics (owned by the Runtime; never null while reactors run).
+  obs::MetricsRegistry* metrics = nullptr;
+  RtMetricIds ids;
+  // Balancer decision trace; null when tracing is disabled.
+  obs::TraceRing* trace = nullptr;
   // Fine-Accept's shared round-robin dequeue cursor -- deliberately one
   // contended cache line, as in the paper.
   std::atomic<uint64_t> rr_cursor{0};
@@ -65,11 +92,9 @@ class Reactor {
   Reactor(int index, int listen_fd, ReactorShared* shared);
 
   // Thread body: loops until shared->stop. Closes nothing but the fds it
-  // serves and its epoll instance.
+  // serves and its epoll instance. All stats land in shared->metrics, so
+  // any thread can read them while this one runs.
   void Run();
-
-  // Stable after the thread is joined.
-  const ReactorStats& stats() const { return stats_; }
 
  private:
   // Accepts until EAGAIN or the batch limit; enqueues into the target queue.
@@ -83,11 +108,14 @@ class Reactor {
   void Serve(const PendingConn& conn, bool local);
   // Pops from queue `qi`, running the policy dequeue hook in affinity mode.
   bool PopFrom(size_t qi, PendingConn* out);
+  // Metrics + trace bookkeeping for a successful steal from `victim`.
+  void RecordSteal(CoreId victim, size_t victim_len_after);
+  // Busy-bit flip bookkeeping after an OnEnqueue/OnDequeue hook fired.
+  void RecordBusyFlip(size_t queue, size_t len_after);
 
   int index_;
   int listen_fd_;
   ReactorShared* shared_;
-  ReactorStats stats_;
 };
 
 }  // namespace rt

@@ -19,6 +19,30 @@ Runtime::Runtime(const RtConfig& config) : config_(config) {
   // Same split as ListenSocket: the backlog is divided evenly across the
   // per-core queues, and that share is the busy-tracking reference length.
   max_local_len_ = std::max(1, config_.backlog / config_.num_threads);
+
+  // Register everything up front: registration is the only non-thread-safe
+  // registry operation, and the reactor threads don't exist yet.
+  metrics_.reset(new obs::MetricsRegistry(config_.num_threads));
+  ids_.accepted = metrics_->RegisterCounter("rt_accepted", "connections returned by accept()");
+  ids_.served_local =
+      metrics_->RegisterCounter("rt_served_local", "connections served from the core's own queue");
+  ids_.served_remote =
+      metrics_->RegisterCounter("rt_served_remote", "connections served from another core's queue");
+  ids_.steals = metrics_->RegisterCounter("rt_steals", "affinity-mode connection steals");
+  ids_.overflow_drops =
+      metrics_->RegisterCounter("rt_overflow_drops", "connections dropped on a full local queue");
+  ids_.epoll_wakeups = metrics_->RegisterCounter("rt_epoll_wakeups", "epoll_wait returns with work");
+  ids_.to_busy =
+      metrics_->RegisterCounter("rt_transitions_to_busy", "high-watermark busy-bit sets");
+  ids_.to_nonbusy =
+      metrics_->RegisterCounter("rt_transitions_to_nonbusy", "low-watermark busy-bit clears");
+  ids_.queue_len = metrics_->RegisterGauge("rt_queue_len", "accept-queue length at last update");
+  ids_.busy = metrics_->RegisterGauge("rt_busy", "busy bit (1 = over high watermark)");
+  ids_.queue_wait =
+      metrics_->RegisterHistogram("rt_queue_wait_ns", "accept() -> service latency per connection");
+  if (config_.trace_capacity > 0) {
+    trace_.reset(new obs::TraceRing(config_.num_threads, config_.trace_capacity));
+  }
 }
 
 Runtime::~Runtime() { Stop(); }
@@ -50,6 +74,9 @@ bool Runtime::Start(std::string* error) {
   shared_.num_reactors = config_.num_threads;
   shared_.accept_batch = config_.accept_batch;
   shared_.pin_threads = config_.pin_threads;
+  shared_.metrics = metrics_.get();
+  shared_.ids = ids_;
+  shared_.trace = trace_.get();
   int num_queues = stock ? 1 : config_.num_threads;
   size_t queue_cap = stock ? static_cast<size_t>(std::max(1, config_.backlog))
                            : static_cast<size_t>(max_local_len_);
@@ -87,31 +114,40 @@ void Runtime::Stop() {
     close(fd);
   }
   listen_fds_.clear();
+  uint64_t drained = 0;
   for (auto& queue : shared_.queues) {
     for (const PendingConn& conn : queue->DrainAll()) {
       close(conn.fd);
-      ++drained_at_stop_;
+      ++drained;
     }
   }
+  drained_at_stop_.store(drained, std::memory_order_release);
   stopped_ = true;
+}
+
+ReactorStats Runtime::reactor_stats(int i) const {
+  ReactorStats s;
+  s.accepted = metrics_->Value(ids_.accepted, i);
+  s.served_local = metrics_->Value(ids_.served_local, i);
+  s.served_remote = metrics_->Value(ids_.served_remote, i);
+  s.steals = metrics_->Value(ids_.steals, i);
+  s.overflow_drops = metrics_->Value(ids_.overflow_drops, i);
+  s.epoll_wakeups = metrics_->Value(ids_.epoll_wakeups, i);
+  s.queue_wait_ns = metrics_->HistogramSnapshot(ids_.queue_wait, i);
+  return s;
 }
 
 RtTotals Runtime::Totals() const {
   RtTotals totals;
-  for (const auto& reactor : reactors_) {
-    const ReactorStats& s = reactor->stats();
-    totals.accepted += s.accepted;
-    totals.served_local += s.served_local;
-    totals.served_remote += s.served_remote;
-    totals.steals += s.steals;
-    totals.overflow_drops += s.overflow_drops;
-    totals.queue_wait_ns.Merge(s.queue_wait_ns);
-  }
-  totals.drained_at_stop = drained_at_stop_;
-  if (policy_ != nullptr) {
-    totals.transitions_to_busy = policy_->transitions_to_busy();
-    totals.transitions_to_nonbusy = policy_->transitions_to_nonbusy();
-  }
+  totals.accepted = metrics_->Total(ids_.accepted);
+  totals.served_local = metrics_->Total(ids_.served_local);
+  totals.served_remote = metrics_->Total(ids_.served_remote);
+  totals.steals = metrics_->Total(ids_.steals);
+  totals.overflow_drops = metrics_->Total(ids_.overflow_drops);
+  totals.transitions_to_busy = metrics_->Total(ids_.to_busy);
+  totals.transitions_to_nonbusy = metrics_->Total(ids_.to_nonbusy);
+  totals.queue_wait_ns = metrics_->HistogramMerged(ids_.queue_wait);
+  totals.drained_at_stop = drained_at_stop_.load(std::memory_order_acquire);
   return totals;
 }
 

@@ -3,10 +3,20 @@
 // three arrangements the simulator models (stock / fine / affinity).
 //
 // Lifecycle: construct -> Start() -> traffic -> Stop() -> Totals().
+//
+// Observability: all reactor stats live in an obs::MetricsRegistry with
+// per-core relaxed-atomic shards, so Totals(), reactor_stats() and
+// metrics().Snapshot() are safe to call from ANY thread WHILE the reactors
+// run -- a live snapshot is merely slightly stale (counters are monotone),
+// never racy. `drained_at_stop` is the one field that only settles after
+// Stop() returns. Balancer decisions (steals, busy flips, overflow drops)
+// are additionally recorded into an obs::TraceRing for per-decision
+// debugging.
 
 #ifndef AFFINITY_SRC_RT_RUNTIME_H_
 #define AFFINITY_SRC_RT_RUNTIME_H_
 
+#include <atomic>
 #include <cstdint>
 #include <memory>
 #include <string>
@@ -14,6 +24,8 @@
 #include <vector>
 
 #include "src/balance/balance_policy.h"
+#include "src/obs/metrics.h"
+#include "src/obs/trace_ring.h"
 #include "src/rt/reactor.h"
 #include "src/sim/stats.h"
 
@@ -29,10 +41,13 @@ struct RtConfig {
   int backlog = 1024;
   int accept_batch = 64;
   bool pin_threads = true;
+  // Balancer decision trace ring slots per core; 0 disables tracing.
+  size_t trace_capacity = 1024;
   BalanceTuning tuning;  // the paper's 5:1 / 75% / 10% defaults
 };
 
-// Aggregated over all reactors (valid after Stop()).
+// Aggregated over all reactors. Valid at any time (live snapshot); see the
+// header comment for the mid-run semantics.
 struct RtTotals {
   uint64_t accepted = 0;
   uint64_t served_local = 0;
@@ -69,9 +84,18 @@ class Runtime {
 
   int max_local_queue_len() const { return max_local_len_; }
 
-  // Per-reactor stats (valid after Stop()).
-  const ReactorStats& reactor_stats(int i) const { return reactors_[static_cast<size_t>(i)]->stats(); }
+  // The live metrics backing every stat below; snapshot or export it at
+  // any time (obs::ToPrometheusText / obs::ToJson / obs::StatsSampler).
+  const obs::MetricsRegistry& metrics() const { return *metrics_; }
 
+  // Balancer decision trace; null when config.trace_capacity == 0.
+  const obs::TraceRing* trace() const { return trace_.get(); }
+
+  // Live per-reactor snapshot; callable while the reactors run.
+  ReactorStats reactor_stats(int i) const;
+
+  // Live aggregate snapshot; callable while the reactors run.
+  // `drained_at_stop` is 0 until Stop() completes.
   RtTotals Totals() const;
 
  private:
@@ -80,10 +104,13 @@ class Runtime {
   int max_local_len_ = 0;
   std::vector<int> listen_fds_;  // 1 (stock) or one per reactor
   std::unique_ptr<LockedBalancePolicy> policy_;
+  std::unique_ptr<obs::MetricsRegistry> metrics_;
+  std::unique_ptr<obs::TraceRing> trace_;
+  RtMetricIds ids_;
   ReactorShared shared_;
   std::vector<std::unique_ptr<Reactor>> reactors_;
   std::vector<std::thread> threads_;
-  uint64_t drained_at_stop_ = 0;
+  std::atomic<uint64_t> drained_at_stop_{0};
   bool started_ = false;
   bool stopped_ = false;
 };

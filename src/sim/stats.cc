@@ -109,6 +109,37 @@ uint64_t Histogram::Percentile(double q) const {
   return max_;
 }
 
+std::vector<Histogram::CumulativePoint> Histogram::CumulativeCounts() const {
+  std::vector<CumulativePoint> points;
+  uint64_t seen = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    uint64_t n = buckets_[static_cast<size_t>(i)];
+    if (n == 0) {
+      continue;
+    }
+    seen += n;
+    points.push_back({BucketValue(i), seen});
+  }
+  return points;
+}
+
+void Histogram::RestoreRaw(const uint64_t* bucket_counts, double sum, uint64_t min,
+                           uint64_t max) {
+  count_ = 0;
+  for (int i = 0; i < kNumBuckets; ++i) {
+    buckets_[static_cast<size_t>(i)] = bucket_counts[i];
+    count_ += bucket_counts[i];
+  }
+  sum_ = sum;
+  if (count_ > 0) {
+    min_ = min;
+    max_ = max;
+  } else {
+    min_ = std::numeric_limits<uint64_t>::max();
+    max_ = 0;
+  }
+}
+
 std::vector<Histogram::CdfPoint> Histogram::Cdf() const {
   std::vector<CdfPoint> points;
   if (count_ == 0) {

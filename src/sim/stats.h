@@ -60,6 +60,16 @@ class Ewma {
 // plenty for the CDFs and percentiles the paper reports.
 class Histogram {
  public:
+  static constexpr int kSubBucketBits = 5;  // 32 sub-buckets per octave
+  static constexpr int kSubBuckets = 1 << kSubBucketBits;
+  static constexpr int kOctaves = 44;  // covers > 2^48 cycles
+  static constexpr int kNumBuckets = kOctaves * kSubBuckets;
+
+  // The bucket geometry, exposed so parallel representations (the obs
+  // layer's lock-free AtomicHistogram) can share it exactly.
+  static int BucketFor(uint64_t value);
+  static uint64_t BucketValue(int bucket);
+
   Histogram();
 
   void Add(uint64_t value);
@@ -88,15 +98,22 @@ class Histogram {
   // Renders the CDF as tab-separated "value<TAB>percent" lines.
   std::string CdfToString() const;
 
+  // Cumulative sample counts at each non-empty bucket boundary, as
+  // (upper_value, cumulative_count) pairs -- the exact-count form of Cdf(),
+  // used by the Prometheus exporter's `le` buckets.
+  struct CumulativePoint {
+    uint64_t value;
+    uint64_t cumulative;
+  };
+  std::vector<CumulativePoint> CumulativeCounts() const;
+
+  // Replaces this histogram's contents with raw per-bucket counts captured
+  // elsewhere in the same geometry (kNumBuckets entries). The aggregate
+  // fields are the caller's: a concurrent snapshot may be slightly ahead or
+  // behind the buckets, which is acceptable for live reads.
+  void RestoreRaw(const uint64_t* bucket_counts, double sum, uint64_t min, uint64_t max);
+
  private:
-  static constexpr int kSubBucketBits = 5;  // 32 sub-buckets per octave
-  static constexpr int kSubBuckets = 1 << kSubBucketBits;
-  static constexpr int kOctaves = 44;  // covers > 2^48 cycles
-  static constexpr int kNumBuckets = kOctaves * kSubBuckets;
-
-  static int BucketFor(uint64_t value);
-  static uint64_t BucketValue(int bucket);
-
   std::vector<uint64_t> buckets_;
   uint64_t count_ = 0;
   double sum_ = 0.0;
