@@ -27,6 +27,24 @@
 //   --json=FILE                      (write machine-readable results -- and the
 //                                     interval time series when --stats-interval
 //                                     is on -- via the shared bench JSON writer)
+//   --skew=G                         (flow-group steering experiment: G flow
+//                                     groups of deterministic source-port load,
+//                                     all initially owned by core 0 -- the
+//                                     paper's Section 6.5 skew. Replaces the
+//                                     mode sweep with two affinity runs,
+//                                     "steal-only" (migration off) and
+//                                     "migrate" (the 100 ms balancer), and
+//                                     turns on interval sampling so the
+//                                     convergence curve is visible. --check
+//                                     then requires the migrate run's
+//                                     steady-state remote-serve fraction to
+//                                     beat steal-only's)
+//   --steer=off|on|fallback          (flow-group steering for affinity runs:
+//                                     "on" attaches the SO_ATTACH_REUSEPORT_CBPF
+//                                     program (degrading at runtime if the
+//                                     kernel refuses), "fallback" skips the
+//                                     attach and steers in user space only.
+//                                     Default: off, or "on" when --skew is set)
 
 #include <cstdio>
 #include <cstdlib>
@@ -42,6 +60,8 @@
 #include "src/obs/stats_sampler.h"
 #include "src/rt/load_client.h"
 #include "src/rt/runtime.h"
+#include "src/steer/flow_director.h"
+#include "src/steer/skew.h"
 
 using namespace affinity;
 using namespace affinity::rt;
@@ -57,6 +77,8 @@ struct Options {
   bool check = false;
   int stats_interval_ms = 0;  // 0 = no live sampling
   std::string json_path;
+  int skew_groups = 0;        // 0 = even load, >0 = skewed flow groups at core 0
+  std::string steer = "off";  // off | on | fallback
 };
 
 bool ParseFlag(const char* arg, const char* name, const char** value) {
@@ -84,6 +106,13 @@ Options ParseOptions(int argc, char** argv) {
       opt.stats_interval_ms = atoi(v);
     } else if (ParseFlag(argv[i], "--json", &v)) {
       opt.json_path = v;
+    } else if (ParseFlag(argv[i], "--skew", &v)) {
+      opt.skew_groups = atoi(v);
+      if (strcmp(opt.steer.c_str(), "off") == 0) {
+        opt.steer = "on";  // skew without steering would just be noise
+      }
+    } else if (ParseFlag(argv[i], "--steer", &v)) {
+      opt.steer = v;
     } else if (strcmp(argv[i], "--no-pin") == 0) {
       opt.pin = false;
     } else if (strcmp(argv[i], "--check") == 0) {
@@ -92,7 +121,8 @@ Options ParseOptions(int argc, char** argv) {
       fprintf(stderr,
               "usage: %s [--mode=stock|fine|affinity|all] [--threads=N] "
               "[--clients=N] [--duration-ms=N] [--no-pin] [--check] "
-              "[--stats-interval=N] [--json=FILE]\n",
+              "[--stats-interval=N] [--json=FILE] [--skew=G] "
+              "[--steer=off|on|fallback]\n",
               argv[0]);
       exit(2);
     }
@@ -100,8 +130,26 @@ Options ParseOptions(int argc, char** argv) {
   if (opt.threads < 1) opt.threads = 1;
   if (opt.clients <= 0) opt.clients = 2 * opt.threads;
   if (opt.duration_ms < 1) opt.duration_ms = 1;
+  if (opt.skew_groups > 0 && opt.stats_interval_ms <= 0) {
+    opt.stats_interval_ms = 100;  // the convergence curve needs intervals
+  }
+  if (opt.steer != "off" && opt.steer != "on" && opt.steer != "fallback") {
+    fprintf(stderr, "unknown --steer=%s\n", opt.steer.c_str());
+    exit(2);
+  }
   return opt;
 }
+
+// One benchmark run: a mode plus its steering arrangement. The skew
+// experiment runs the same affinity mode twice with different labels.
+struct RunSpec {
+  RtMode mode = RtMode::kAffinity;
+  std::string label;
+  bool steer = false;
+  bool force_fallback = false;
+  int migrate_interval_ms = 0;  // 0 = migration off
+  int skew_groups = 0;          // 0 = ephemeral ports, >0 = skewed to core 0
+};
 
 struct RunResult {
   double conns_per_sec = 0;
@@ -112,19 +160,45 @@ struct RunResult {
   uint64_t client_completed = 0;
   uint64_t client_errors = 0;
   std::vector<obs::IntervalSample> intervals;  // when --stats-interval is on
+  std::string kernel_steering;                 // "cbpf" / "fallback" when steering
   bool ok = false;
 };
 
+// Remote-serve fraction over the steady-state tail (the last half of the
+// interval series); whole-run totals when sampling was off. This is the
+// convergence metric: with migration on, the steering table rewrites pull
+// the skewed groups to their stealers and remote service dies away; without
+// it, every skewed connection keeps being served by a steal.
+double SteadyRemoteFrac(const RunResult& r) {
+  double local = 0;
+  double remote = 0;
+  for (size_t i = r.intervals.size() / 2; i < r.intervals.size(); ++i) {
+    const obs::RateSeries* l = r.intervals[i].Find("rt_served_local");
+    const obs::RateSeries* rm = r.intervals[i].Find("rt_served_remote");
+    local += l != nullptr ? l->total : 0.0;
+    remote += rm != nullptr ? rm->total : 0.0;
+  }
+  if (local + remote <= 0) {
+    local = static_cast<double>(r.totals.served_local);
+    remote = static_cast<double>(r.totals.served_remote);
+  }
+  return local + remote > 0 ? remote / (local + remote) : 0.0;
+}
+
 // Renders the sampler's per-interval series as a JSON array: per-core
-// conns/sec, total conns/sec, steals/sec, and cumulative steals per sample.
+// conns/sec and accept shares, total conns/sec, steal and remote-serve
+// rates, and cumulative steals/migrations per sample -- the skew
+// experiment's convergence curve.
 std::string IntervalsToJson(const std::vector<obs::IntervalSample>& intervals) {
   obs::JsonWriter w;
   w.BeginArray();
   for (const obs::IntervalSample& s : intervals) {
     const obs::RateSeries* local = s.Find("rt_served_local");
     const obs::RateSeries* remote = s.Find("rt_served_remote");
+    const obs::RateSeries* accepted = s.Find("rt_accepted");
     const obs::RateSeries* steal_rate = s.Find("rt_steals");
     const obs::SeriesSnap* steals_cum = s.snapshot.Find("rt_steals");
+    const obs::SeriesSnap* migrations_cum = s.snapshot.Find("rt_migrations");
     w.BeginObject();
     w.Key("t_ms").UInt(s.t_ms);
     w.Key("interval_s").Double(s.interval_s);
@@ -137,23 +211,44 @@ std::string IntervalsToJson(const std::vector<obs::IntervalSample>& intervals) {
       w.Double(per_core);
     }
     w.EndArray();
+    // Where accept() ran this interval: with flow-group steering attached
+    // this share follows the steering table, so migration shows up as the
+    // hot core's share spreading out.
+    double accept_total = 0;
+    w.Key("accepts_per_sec_per_core").BeginArray();
+    size_t accept_cores = accepted != nullptr ? accepted->per_core.size() : 0;
+    for (size_t c = 0; c < accept_cores; ++c) {
+      accept_total += accepted->per_core[c];
+      w.Double(accepted->per_core[c]);
+    }
+    w.EndArray();
+    w.Key("accepts_per_sec").Double(accept_total);
     w.Key("conns_per_sec").Double(total);
+    w.Key("remote_frac")
+        .Double(total > 0 ? (remote != nullptr ? remote->total : 0.0) / total : 0.0);
     w.Key("steals_per_sec").Double(steal_rate != nullptr ? steal_rate->total : 0.0);
     w.Key("steals").UInt(steals_cum != nullptr ? steals_cum->total : 0);
+    w.Key("migrations").UInt(migrations_cum != nullptr ? migrations_cum->total : 0);
     w.EndObject();
   }
   w.EndArray();
   return w.str();
 }
 
-void PrintIntervalLine(RtMode mode, const obs::IntervalSample& s) {
+void PrintIntervalLine(const std::string& label, const obs::IntervalSample& s) {
   const obs::RateSeries* local = s.Find("rt_served_local");
   const obs::RateSeries* remote = s.Find("rt_served_remote");
   const obs::RateSeries* steal_rate = s.Find("rt_steals");
-  double total = (local != nullptr ? local->total : 0.0) + (remote != nullptr ? remote->total : 0.0);
-  std::printf("    [%s] t=%4llu ms  conns/s=%7.0f  steals/s=%5.0f  per-core:",
-              RtModeName(mode), static_cast<unsigned long long>(s.t_ms), total,
-              steal_rate != nullptr ? steal_rate->total : 0.0);
+  const obs::SeriesSnap* migrations_cum = s.snapshot.Find("rt_migrations");
+  double remote_total = remote != nullptr ? remote->total : 0.0;
+  double total = (local != nullptr ? local->total : 0.0) + remote_total;
+  std::printf("    [%s] t=%4llu ms  conns/s=%7.0f  remote=%4.1f%%  steals/s=%5.0f  migr=%3llu"
+              "  per-core:",
+              label.c_str(), static_cast<unsigned long long>(s.t_ms), total,
+              total > 0 ? 100.0 * remote_total / total : 0.0,
+              steal_rate != nullptr ? steal_rate->total : 0.0,
+              static_cast<unsigned long long>(migrations_cum != nullptr ? migrations_cum->total
+                                                                        : 0));
   size_t cores = local != nullptr ? local->per_core.size() : 0;
   for (size_t c = 0; c < cores; ++c) {
     std::printf(" %.0f", local->per_core[c] + (remote != nullptr ? remote->per_core[c] : 0.0));
@@ -161,23 +256,37 @@ void PrintIntervalLine(RtMode mode, const obs::IntervalSample& s) {
   std::printf("\n");
 }
 
-RunResult RunMode(RtMode mode, const Options& opt) {
+RunResult RunMode(const RunSpec& spec, const Options& opt) {
   RunResult result;
 
   RtConfig config;
-  config.mode = mode;
+  config.mode = spec.mode;
   config.num_threads = opt.threads;
   config.pin_threads = opt.pin;
+  config.steer = spec.steer;
+  config.steer_force_fallback = spec.force_fallback;
+  config.migrate_interval_ms = spec.migrate_interval_ms;
   Runtime runtime(config);
   std::string error;
   if (!runtime.Start(&error)) {
-    fprintf(stderr, "  %s: runtime start failed: %s\n", RtModeName(mode), error.c_str());
+    fprintf(stderr, "  %s: runtime start failed: %s\n", spec.label.c_str(), error.c_str());
     return result;
+  }
+  if (runtime.director() != nullptr) {
+    result.kernel_steering = steer::KernelSteeringName(runtime.kernel_steering());
   }
 
   LoadClientConfig client_config;
   client_config.port = runtime.port();
   client_config.num_threads = opt.clients;
+  if (spec.skew_groups > 0) {
+    // Section 6.5's skew: every connection's flow group is initially owned
+    // by core 0, from deterministic source ports.
+    client_config.src_ports =
+        steer::SkewedSourcePorts(/*owner_core=*/0, opt.threads, config.num_flow_groups,
+                                 spec.skew_groups, /*ports_per_group=*/8,
+                                 /*exclude_port=*/runtime.port());
+  }
   LoadClient client(client_config);
 
   // Live sampling: snapshots the registry mid-run, while the reactors and
@@ -206,7 +315,7 @@ RunResult RunMode(RtMode mode, const Options& opt) {
   if (sampler != nullptr) {
     result.intervals = sampler->Samples();
     for (const obs::IntervalSample& s : result.intervals) {
-      PrintIntervalLine(mode, s);
+      PrintIntervalLine(spec.label, s);
     }
   }
   double secs = std::chrono::duration<double>(elapsed).count();
@@ -230,46 +339,85 @@ int main(int argc, char** argv) {
   PrintKv("client threads", std::to_string(opt.clients));
   PrintKv("duration", std::to_string(opt.duration_ms) + " ms per mode");
   PrintKv("pinning", opt.pin ? "on" : "off");
+  PrintKv("steering", opt.steer);
+  if (opt.skew_groups > 0) {
+    PrintKv("skew", std::to_string(opt.skew_groups) + " flow groups at core 0");
+  }
 
-  std::vector<RtMode> modes;
-  if (opt.mode == "all") {
-    modes = {RtMode::kStock, RtMode::kFine, RtMode::kAffinity};
-  } else if (opt.mode == "stock") {
-    modes = {RtMode::kStock};
-  } else if (opt.mode == "fine") {
-    modes = {RtMode::kFine};
-  } else if (opt.mode == "affinity") {
-    modes = {RtMode::kAffinity};
+  bool steer_on = opt.steer != "off";
+  bool force_fallback = opt.steer == "fallback";
+  std::vector<RunSpec> specs;
+  if (opt.skew_groups > 0) {
+    // The Section 6.5 experiment: same skewed load twice -- short-term
+    // stealing alone, then stealing + the 100 ms flow-group balancer.
+    RunSpec steal_only;
+    steal_only.label = "steal-only";
+    steal_only.steer = true;
+    steal_only.force_fallback = force_fallback;
+    steal_only.migrate_interval_ms = 0;
+    steal_only.skew_groups = opt.skew_groups;
+    specs.push_back(steal_only);
+    RunSpec migrate = steal_only;
+    migrate.label = "migrate";
+    migrate.migrate_interval_ms = 100;
+    specs.push_back(migrate);
   } else {
-    fprintf(stderr, "unknown --mode=%s\n", opt.mode.c_str());
-    return 2;
+    std::vector<RtMode> modes;
+    if (opt.mode == "all") {
+      modes = {RtMode::kStock, RtMode::kFine, RtMode::kAffinity};
+    } else if (opt.mode == "stock") {
+      modes = {RtMode::kStock};
+    } else if (opt.mode == "fine") {
+      modes = {RtMode::kFine};
+    } else if (opt.mode == "affinity") {
+      modes = {RtMode::kAffinity};
+    } else {
+      fprintf(stderr, "unknown --mode=%s\n", opt.mode.c_str());
+      return 2;
+    }
+    for (RtMode mode : modes) {
+      RunSpec spec;
+      spec.mode = mode;
+      spec.label = RtModeName(mode);
+      spec.steer = steer_on && mode == RtMode::kAffinity;
+      spec.force_fallback = force_fallback;
+      spec.migrate_interval_ms = spec.steer ? 100 : 0;
+      specs.push_back(spec);
+    }
   }
 
   TablePrinter table({"mode", "conns/sec", "p50 wait us", "p99 wait us", "local %", "steals",
-                      "drops", "client errs"});
+                      "migr", "drops", "client errs"});
   bool all_ok = true;
   double stock_rate = 0;
   double affinity_rate = 0;
+  double steal_only_remote_frac = -1;
+  double migrate_remote_frac = -1;
+  std::string live_steering;
   std::vector<BenchJsonRow> json_rows;
-  for (RtMode mode : modes) {
-    RunResult r = RunMode(mode, opt);
+  for (const RunSpec& spec : specs) {
+    RunResult r = RunMode(spec, opt);
     if (!r.ok) {
       all_ok = false;
       continue;
     }
-    if (mode == RtMode::kStock) stock_rate = r.conns_per_sec;
-    if (mode == RtMode::kAffinity) affinity_rate = r.conns_per_sec;
+    if (spec.mode == RtMode::kStock) stock_rate = r.conns_per_sec;
+    if (spec.mode == RtMode::kAffinity) affinity_rate = r.conns_per_sec;
+    if (spec.label == "steal-only") steal_only_remote_frac = SteadyRemoteFrac(r);
+    if (spec.label == "migrate") migrate_remote_frac = SteadyRemoteFrac(r);
+    if (!r.kernel_steering.empty()) live_steering = r.kernel_steering;
     uint64_t served = r.totals.served();
     double local_pct =
         served > 0 ? 100.0 * static_cast<double>(r.totals.served_local) / static_cast<double>(served)
                    : 0;
-    table.AddRow({RtModeName(mode), TablePrinter::Num(r.conns_per_sec, 0),
+    table.AddRow({spec.label, TablePrinter::Num(r.conns_per_sec, 0),
                   TablePrinter::Num(r.p50_us, 1), TablePrinter::Num(r.p99_us, 1),
                   TablePrinter::Num(local_pct, 1), TablePrinter::Int(r.totals.steals),
+                  TablePrinter::Int(r.totals.migrations),
                   TablePrinter::Int(r.totals.overflow_drops),
                   TablePrinter::Int(r.client_errors)});
     BenchJsonRow row;
-    row.mode = RtModeName(mode);
+    row.mode = spec.label;
     row.conns_per_sec = r.conns_per_sec;
     row.p50_queue_wait_us = r.p50_us;
     row.p90_queue_wait_us = r.p90_us;
@@ -296,15 +444,35 @@ int main(int argc, char** argv) {
   std::printf("\n  note: loopback collapses the paper's NIC/IRQ path; what remains is the\n"
               "  accept-queue arrangement itself. 'local %%' is the paper's connection\n"
               "  affinity; stock counts everything local because there is one queue.\n");
+  if (!live_steering.empty()) {
+    std::printf("  steering ran via: %s\n", live_steering.c_str());
+  }
   if (opt.check) {
-    if (stock_rate <= 0 || affinity_rate <= 0) {
-      fprintf(stderr, "check: need both stock and affinity runs (use --mode=all)\n");
-      return 1;
-    }
-    double ratio = affinity_rate / stock_rate;
-    std::printf("  check: affinity/stock conns/sec ratio = %.3f (floor 0.90)\n", ratio);
-    if (ratio < 0.90) {
-      return 1;
+    if (opt.skew_groups > 0) {
+      if (steal_only_remote_frac < 0 || migrate_remote_frac < 0) {
+        fprintf(stderr, "check: need both the steal-only and migrate runs\n");
+        return 1;
+      }
+      // The Section 6.5 claim on live sockets: the long-term balancer must
+      // retire most of the remote service that stealing alone sustains
+      // forever. The 0.7 factor absorbs the pre-convergence head of the
+      // migrate run that leaks into its steady-state tail on slow hosts.
+      std::printf("  check: steady-state remote-serve fraction: steal-only=%.3f migrate=%.3f "
+                  "(must be < steal-only * 0.7)\n",
+                  steal_only_remote_frac, migrate_remote_frac);
+      if (migrate_remote_frac >= steal_only_remote_frac * 0.7) {
+        return 1;
+      }
+    } else {
+      if (stock_rate <= 0 || affinity_rate <= 0) {
+        fprintf(stderr, "check: need both stock and affinity runs (use --mode=all)\n");
+        return 1;
+      }
+      double ratio = affinity_rate / stock_rate;
+      std::printf("  check: affinity/stock conns/sec ratio = %.3f (floor 0.90)\n", ratio);
+      if (ratio < 0.90) {
+        return 1;
+      }
     }
   }
   return all_ok ? 0 : 1;

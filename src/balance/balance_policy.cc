@@ -47,6 +47,10 @@ void WatermarkBalancePolicy::ResetEpochCounts(CoreId thief) {
   steals_.ResetEpochCounts(thief);
 }
 
+uint64_t WatermarkBalancePolicy::EpochSteals(CoreId thief, CoreId victim) const {
+  return steals_.steals(thief, victim);
+}
+
 uint64_t WatermarkBalancePolicy::total_steals() const { return steals_.total_steals(); }
 
 void WatermarkBalancePolicy::ResetTotalSteals() { steals_.ResetTotal(); }
@@ -119,6 +123,11 @@ CoreId LockedBalancePolicy::TopVictimOf(CoreId thief) const {
 void LockedBalancePolicy::ResetEpochCounts(CoreId thief) {
   std::lock_guard<std::mutex> lock(mu_);
   inner_.ResetEpochCounts(thief);
+}
+
+uint64_t LockedBalancePolicy::EpochSteals(CoreId thief, CoreId victim) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inner_.EpochSteals(thief, victim);
 }
 
 uint64_t LockedBalancePolicy::total_steals() const {

@@ -75,6 +75,12 @@ class BalancePolicy {
   virtual CoreId TopVictimOf(CoreId thief) const = 0;
   virtual void ResetEpochCounts(CoreId thief) = 0;
 
+  // This epoch's steal count of `thief` against `victim` -- the number the
+  // 100 ms migration loop targets by ("the victim core from which it has
+  // stolen the largest number of connections"). Exposed so migration
+  // telemetry can record *why* a group moved.
+  virtual uint64_t EpochSteals(CoreId thief, CoreId victim) const = 0;
+
   // --- accounting ---
   virtual uint64_t total_steals() const = 0;
   virtual void ResetTotalSteals() = 0;
@@ -101,6 +107,7 @@ class WatermarkBalancePolicy : public BalancePolicy {
   void OnSteal(CoreId thief, CoreId victim) override;
   CoreId TopVictimOf(CoreId thief) const override;
   void ResetEpochCounts(CoreId thief) override;
+  uint64_t EpochSteals(CoreId thief, CoreId victim) const override;
   uint64_t total_steals() const override;
   void ResetTotalSteals() override;
   uint64_t transitions_to_busy() const override;
@@ -139,6 +146,7 @@ class LockedBalancePolicy : public BalancePolicy {
   void OnSteal(CoreId thief, CoreId victim) override;
   CoreId TopVictimOf(CoreId thief) const override;
   void ResetEpochCounts(CoreId thief) override;
+  uint64_t EpochSteals(CoreId thief, CoreId victim) const override;
   uint64_t total_steals() const override;
   void ResetTotalSteals() override;
   uint64_t transitions_to_busy() const override;

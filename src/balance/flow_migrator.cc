@@ -1,5 +1,7 @@
 #include "src/balance/flow_migrator.h"
 
+#include "src/balance/migration_epoch.h"
+
 namespace affinity {
 
 FlowGroupMigrator::FlowGroupMigrator(SimNic* nic, std::function<int(CoreId)> ring_of_core)
@@ -20,21 +22,13 @@ bool FlowGroupMigrator::PickGroupOnRing(int victim_ring, uint32_t* group) {
 
 Cycles FlowGroupMigrator::RunEpoch(Cycles now, BalancePolicy* policy, int num_cores) {
   Cycles total_cost = 0;
-  for (CoreId core = 0; core < num_cores; ++core) {
-    if (policy->IsBusy(core)) {
-      continue;  // busy cores do not pull more load to themselves
-    }
-    CoreId victim = policy->TopVictimOf(core);
-    if (victim == kNoCore) {
-      continue;  // did not steal this epoch: leave the steering alone
-    }
+  RunMigrationEpoch(policy, num_cores, [&](CoreId core, CoreId victim) {
     uint32_t group = 0;
     if (PickGroupOnRing(ring_of_core_(victim), &group)) {
       total_cost += nic_->MigrateFlowGroup(group, ring_of_core_(core));
       history_.push_back(MigrationRecord{now, group, victim, core});
     }
-    policy->ResetEpochCounts(core);
-  }
+  });
   return total_cost;
 }
 

@@ -1,0 +1,49 @@
+// The shared driver for one long-term-balancer epoch (paper Section 3.3.2).
+//
+// Both migration executors -- the simulator's FlowGroupMigrator (which
+// reprograms the SimNic's FDir table) and the runtime's steer::FlowDirector
+// (which rewrites the SO_REUSEPORT cBPF steering table) -- run exactly this
+// decision sequence, so the (victim, group, destination) choices they make
+// from the same steal/busy history are identical by construction.
+// tests/steer/steer_parity_test.cc holds the two in lock-step.
+
+#ifndef AFFINITY_SRC_BALANCE_MIGRATION_EPOCH_H_
+#define AFFINITY_SRC_BALANCE_MIGRATION_EPOCH_H_
+
+#include "src/balance/balance_policy.h"
+#include "src/mem/cacheline.h"
+
+namespace affinity {
+
+// One core's migration decision: a non-busy core that stole this epoch pulls
+// one flow group from its top victim. `migrate_one(core, victim)` performs
+// the table rewrite (and may fail to find a group still owned by the
+// victim). The epoch steal counts are reset whenever a victim was chosen,
+// whether or not a group could be moved -- the paper's balancer restarts its
+// census every 100 ms regardless.
+template <typename MigrateOne>
+inline void MigrateForCoreThisEpoch(BalancePolicy* policy, CoreId core,
+                                    MigrateOne&& migrate_one) {
+  if (policy->IsBusy(core)) {
+    return;  // busy cores do not pull more load to themselves
+  }
+  CoreId victim = policy->TopVictimOf(core);
+  if (victim == kNoCore) {
+    return;  // did not steal this epoch: leave the steering alone
+  }
+  migrate_one(core, victim);
+  policy->ResetEpochCounts(core);
+}
+
+// A full centralized epoch, core 0 first -- the order the simulator uses and
+// the order the parity test replays.
+template <typename MigrateOne>
+inline void RunMigrationEpoch(BalancePolicy* policy, int num_cores, MigrateOne&& migrate_one) {
+  for (CoreId core = 0; core < num_cores; ++core) {
+    MigrateForCoreThisEpoch(policy, core, migrate_one);
+  }
+}
+
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_BALANCE_MIGRATION_EPOCH_H_

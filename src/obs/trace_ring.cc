@@ -17,6 +17,8 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "busy_off";
     case TraceEventType::kOverflowDrop:
       return "overflow_drop";
+    case TraceEventType::kMigrate:
+      return "migrate";
   }
   return "?";
 }
@@ -102,6 +104,13 @@ std::string TraceRing::DumpToString() const {
         std::snprintf(line, sizeof(line), "%12llu ns seq=%llu core=%d overflow_drop qlen=%u\n",
                       static_cast<unsigned long long>(ev.t_ns),
                       static_cast<unsigned long long>(ev.seq), ev.core, ev.qlen);
+        break;
+      case TraceEventType::kMigrate:
+        std::snprintf(line, sizeof(line),
+                      "%12llu ns seq=%llu core=%d migrate group=%u %d -> %d tick=%u\n",
+                      static_cast<unsigned long long>(ev.t_ns),
+                      static_cast<unsigned long long>(ev.seq), ev.core, ev.group, ev.src, ev.dst,
+                      ev.tick);
         break;
     }
     out += line;

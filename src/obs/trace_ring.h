@@ -27,6 +27,7 @@ enum class TraceEventType : uint8_t {
   kBusyOn,        // core crossed the high watermark
   kBusyOff,       // core's EWMA fell below the low watermark
   kOverflowDrop,  // local accept queue full, connection closed on arrival
+  kMigrate,       // flow group moved src -> dst at migration tick `tick`
 };
 
 const char* TraceEventTypeName(TraceEventType type);
@@ -36,10 +37,12 @@ struct TraceEvent {
   uint64_t t_ns = 0;  // steady-clock ns (assigned by Record)
   TraceEventType type = TraceEventType::kSteal;
   int16_t core = -1;   // core whose ring holds the event (the decider)
-  int16_t src = -1;    // steal: victim core; transitions: the flipping core
-  int16_t dst = -1;    // steal: thief core
+  int16_t src = -1;    // steal/migrate: victim core; transitions: the flipping core
+  int16_t dst = -1;    // steal: thief core; migrate: the group's new owner
   double ewma = 0.0;   // busy transitions: EWMA queue length at the flip
   uint32_t qlen = 0;   // decided queue's length at decision time
+  uint32_t group = 0;  // migrate: the flow group that moved
+  uint32_t tick = 0;   // migrate: the decider's 100 ms epoch counter
 };
 
 class TraceRing {

@@ -27,7 +27,7 @@ void LoadClient::Start() {
   }
   started_ = true;
   for (int i = 0; i < config_.num_threads; ++i) {
-    threads_.emplace_back([this] { RunThread(); });
+    threads_.emplace_back([this, i] { RunThread(i); });
   }
 }
 
@@ -51,13 +51,23 @@ void LoadClient::WaitForMaxConns() {
   Stop();
 }
 
-void LoadClient::RunThread() {
+void LoadClient::RunThread(int thread_index) {
+  // This thread's round-robin slice of the deterministic source ports.
+  // Disjoint slices mean two threads never race to bind the same port.
+  std::vector<uint16_t> ports;
+  for (size_t i = static_cast<size_t>(thread_index); i < config_.src_ports.size();
+       i += static_cast<size_t>(config_.num_threads)) {
+    ports.push_back(config_.src_ports[i]);
+  }
+  size_t cursor = 0;
+
   while (!stop_.load(std::memory_order_acquire)) {
     if (config_.max_conns > 0 &&
         completed_.load(std::memory_order_relaxed) >= config_.max_conns) {
       return;
     }
-    if (OneConnection()) {
+    uint16_t src_port = ports.empty() ? 0 : ports[cursor++ % ports.size()];
+    if (OneConnection(src_port)) {
       completed_.fetch_add(1, std::memory_order_relaxed);
     } else {
       ++errors_;
@@ -67,7 +77,7 @@ void LoadClient::RunThread() {
   }
 }
 
-bool LoadClient::OneConnection() {
+bool LoadClient::OneConnection(uint16_t src_port) {
   int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) {
     return false;
@@ -77,6 +87,20 @@ bool LoadClient::OneConnection() {
   timeval tv{1, 0};
   setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+
+  if (src_port != 0) {
+    int one = 1;
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in src;
+    memset(&src, 0, sizeof(src));
+    src.sin_family = AF_INET;
+    src.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    src.sin_port = htons(src_port);
+    if (bind(fd, reinterpret_cast<sockaddr*>(&src), sizeof(src)) < 0) {
+      close(fd);
+      return false;
+    }
+  }
 
   sockaddr_in addr;
   memset(&addr, 0, sizeof(addr));
@@ -96,6 +120,13 @@ bool LoadClient::OneConnection() {
     if (n > 0) {
       got_byte = true;
       continue;
+    }
+    if (src_port != 0) {
+      // RST-close: a FIN would leave this exact 4-tuple in TIME_WAIT and the
+      // next cycle's bind+connect to the same port would fail, but the port
+      // IS the flow-group key, so we cannot substitute another one.
+      linger lg{1, 0};
+      setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
     }
     close(fd);
     return n == 0 && got_byte;

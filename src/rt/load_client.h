@@ -18,6 +18,14 @@ struct LoadClientConfig {
   int num_threads = 4;
   // Stop after this many total completed connections (0 = run until Stop()).
   uint64_t max_conns = 0;
+  // Deterministic source ports: when non-empty, thread t cycles through the
+  // slice {src_ports[i] : i % num_threads == t}, binding each connection's
+  // source port explicitly. The source port is the flow-group key (Section
+  // 3.1), so this produces a KNOWN flow-group mix -- build the list with
+  // steer::SkewedSourcePorts. Each such connection is RST-closed
+  // (SO_LINGER{1,0}) instead of orderly-closed so the 4-tuple never lingers
+  // in TIME_WAIT and the port is immediately reusable.
+  std::vector<uint16_t> src_ports;
 };
 
 class LoadClient {
@@ -38,9 +46,10 @@ class LoadClient {
   uint64_t errors() const { return errors_.load(std::memory_order_relaxed); }
 
  private:
-  void RunThread();
-  // One connect / read-to-EOF / close cycle. Returns false on error.
-  bool OneConnection();
+  void RunThread(int thread_index);
+  // One connect / read-to-EOF / close cycle; `src_port` 0 lets the kernel
+  // pick an ephemeral port. Returns false on error.
+  bool OneConnection(uint16_t src_port);
 
   LoadClientConfig config_;
   std::vector<std::thread> threads_;

@@ -1,10 +1,12 @@
 #include "src/rt/reactor.h"
 
+#include <netinet/in.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 
 #include "src/rt/listener.h"
 
@@ -40,6 +42,11 @@ void Reactor::Run() {
   ev.data.fd = listen_fd_;
   epoll_ctl(ep, EPOLL_CTL_ADD, listen_fd_, &ev);
 
+  bool migrate = shared_->director != nullptr && shared_->migrate_interval_ms > 0;
+  auto migrate_period = std::chrono::milliseconds(
+      migrate ? shared_->migrate_interval_ms : 1);
+  auto next_migrate = std::chrono::steady_clock::now() + migrate_period;
+
   epoll_event events[8];
   while (!shared_->stop.load(std::memory_order_acquire)) {
     // Short timeout so stop and cross-queue work (stolen connections pushed
@@ -57,8 +64,39 @@ void Reactor::Run() {
       // back to sleep (the paper's "polling" order).
       ServeOne(/*idle=*/true);
     }
+    if (migrate && std::chrono::steady_clock::now() >= next_migrate) {
+      // The paper's long-term balancer: every 100 ms each (non-busy) core
+      // makes its own migration decision. The epoll timeout above bounds
+      // how late a tick can fire.
+      MigrationTick();
+      next_migrate += migrate_period;
+    }
   }
   close(ep);
+}
+
+void Reactor::MigrationTick() {
+  ++migrate_tick_;
+  steer::Migration m;
+  if (!shared_->director->MigrateForCore(index_, shared_->policy, migrate_tick_, &m)) {
+    return;
+  }
+  shared_->metrics->Add(shared_->ids.migrations, index_);
+  shared_->metrics->GaugeSet(shared_->ids.groups_owned, static_cast<int>(m.from_core),
+                             static_cast<uint64_t>(shared_->director->table().OwnedBy(m.from_core)));
+  shared_->metrics->GaugeSet(shared_->ids.groups_owned, static_cast<int>(m.to_core),
+                             static_cast<uint64_t>(shared_->director->table().OwnedBy(m.to_core)));
+  if (shared_->trace != nullptr) {
+    obs::TraceEvent event;
+    event.type = obs::TraceEventType::kMigrate;
+    event.core = static_cast<int16_t>(index_);
+    event.src = static_cast<int16_t>(m.from_core);
+    event.dst = static_cast<int16_t>(m.to_core);
+    event.group = m.group;
+    event.tick = static_cast<uint32_t>(m.tick);
+    event.qlen = static_cast<uint32_t>(m.victim_steals);
+    shared_->trace->Record(index_, event);
+  }
 }
 
 void Reactor::RecordBusyFlip(size_t queue, size_t len_after) {
@@ -79,15 +117,33 @@ void Reactor::RecordBusyFlip(size_t queue, size_t len_after) {
 
 void Reactor::AcceptBatch() {
   bool stock = shared_->mode == RtMode::kStock;
-  size_t qi = stock ? 0 : static_cast<size_t>(index_);
-  AcceptQueue& queue = *shared_->queues[qi];
+  size_t default_qi = stock ? 0 : static_cast<size_t>(index_);
 
   for (int i = 0; i < shared_->accept_batch; ++i) {
-    int fd = accept4(listen_fd_, nullptr, nullptr, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    sockaddr_in peer;
+    socklen_t peer_len = sizeof(peer);
+    int fd = accept4(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &peer_len,
+                     SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       break;  // EAGAIN (drained), or a transient error: retry next wakeup
     }
     shared_->metrics->Add(shared_->ids.accepted, index_);
+    size_t qi = default_qi;
+    if (shared_->director != nullptr && peer_len >= sizeof(peer)) {
+      // Flow-group steering: the connection belongs to whichever core owns
+      // its source port's group. With cBPF attached the kernel already
+      // delivered the SYN to the owner's shard, so owner == self except
+      // for connections in flight across a migration; in fallback mode
+      // this re-steer IS the steering (one cross-core queue push).
+      CoreId owner = shared_->director->OwnerOfPort(ntohs(peer.sin_port));
+      if (owner >= 0 && owner < shared_->num_reactors) {
+        qi = static_cast<size_t>(owner);
+      }
+      shared_->metrics->Add(qi == static_cast<size_t>(index_) ? shared_->ids.steer_owner_accepts
+                                                              : shared_->ids.steer_cross_accepts,
+                            index_);
+    }
+    AcceptQueue& queue = *shared_->queues[qi];
     PendingConn conn{fd, std::chrono::steady_clock::now()};
     size_t len_after = 0;
     if (!queue.Push(conn, &len_after)) {

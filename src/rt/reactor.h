@@ -26,6 +26,7 @@
 #include "src/obs/trace_ring.h"
 #include "src/rt/accept_queue.h"
 #include "src/sim/stats.h"
+#include "src/steer/flow_director.h"
 
 namespace affinity {
 namespace rt {
@@ -62,6 +63,12 @@ struct RtMetricIds {
   obs::MetricsRegistry::MetricId queue_len = 0;  // gauge, per accept queue
   obs::MetricsRegistry::MetricId busy = 0;       // gauge, 0/1 busy bit mirror
   obs::MetricsRegistry::MetricId queue_wait = 0;  // histogram
+  // Steering (registered only when the FlowDirector is on):
+  obs::MetricsRegistry::MetricId steer_owner_accepts = 0;  // accepted on the owning shard
+  obs::MetricsRegistry::MetricId steer_cross_accepts = 0;  // re-steered to the owner's queue
+  obs::MetricsRegistry::MetricId migrations = 0;           // flow groups pulled by this core
+  obs::MetricsRegistry::MetricId steer_cbpf = 0;     // gauge, 1 = cBPF attached (core 0)
+  obs::MetricsRegistry::MetricId groups_owned = 0;   // gauge, steering-table groups per core
 };
 
 // State shared by every reactor of one Runtime.
@@ -79,6 +86,12 @@ struct ReactorShared {
   RtMetricIds ids;
   // Balancer decision trace; null when tracing is disabled.
   obs::TraceRing* trace = nullptr;
+  // Flow-group steering table + long-term balancer; null when steering is
+  // off (affinity mode only). Owned by the Runtime.
+  steer::FlowDirector* director = nullptr;
+  // Long-term balancer tick; <= 0 disables migration (steering-only mode,
+  // the paper's Section 6.5 no-migration baseline).
+  int migrate_interval_ms = 0;
   // Fine-Accept's shared round-robin dequeue cursor -- deliberately one
   // contended cache line, as in the paper.
   std::atomic<uint64_t> rr_cursor{0};
@@ -112,10 +125,14 @@ class Reactor {
   void RecordSteal(CoreId victim, size_t victim_len_after);
   // Busy-bit flip bookkeeping after an OnEnqueue/OnDequeue hook fired.
   void RecordBusyFlip(size_t queue, size_t len_after);
+  // This core's 100 ms long-term balancer decision (Section 3.3.2): runs the
+  // FlowDirector migration and records metrics + the kMigrate trace event.
+  void MigrationTick();
 
   int index_;
   int listen_fd_;
   ReactorShared* shared_;
+  uint64_t migrate_tick_ = 0;  // epochs elapsed on this reactor
 };
 
 }  // namespace rt

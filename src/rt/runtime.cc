@@ -3,6 +3,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cstdio>
 
 #include "src/rt/listener.h"
 
@@ -40,6 +41,18 @@ Runtime::Runtime(const RtConfig& config) : config_(config) {
   ids_.busy = metrics_->RegisterGauge("rt_busy", "busy bit (1 = over high watermark)");
   ids_.queue_wait =
       metrics_->RegisterHistogram("rt_queue_wait_ns", "accept() -> service latency per connection");
+  if (config_.steer && config_.mode == RtMode::kAffinity) {
+    ids_.steer_owner_accepts = metrics_->RegisterCounter(
+        "rt_steer_owner_accepts", "connections accepted on the shard owning their flow group");
+    ids_.steer_cross_accepts = metrics_->RegisterCounter(
+        "rt_steer_cross_accepts", "connections re-steered in user space to their owner's queue");
+    ids_.migrations =
+        metrics_->RegisterCounter("rt_migrations", "flow groups pulled by the long-term balancer");
+    ids_.steer_cbpf =
+        metrics_->RegisterGauge("rt_steer_cbpf", "1 = SO_ATTACH_REUSEPORT_CBPF program attached");
+    ids_.groups_owned =
+        metrics_->RegisterGauge("rt_steer_groups_owned", "steering-table flow groups per core");
+  }
   if (config_.trace_capacity > 0) {
     trace_.reset(new obs::TraceRing(config_.num_threads, config_.trace_capacity));
   }
@@ -87,6 +100,33 @@ bool Runtime::Start(std::string* error) {
     policy_.reset(new LockedBalancePolicy(config_.num_threads,
                                           static_cast<size_t>(max_local_len_), config_.tuning));
     shared_.policy = policy_.get();
+  }
+  if (config_.steer && config_.mode == RtMode::kAffinity) {
+    steer::FlowDirectorConfig dcfg;
+    dcfg.num_groups = config_.num_flow_groups;
+    dcfg.num_cores = config_.num_threads;
+    director_.reset(new steer::FlowDirector(dcfg));
+    if (!config_.steer_force_fallback) {
+      // Attaching to any one socket of the reuseport group programs the
+      // whole group (the kernel stores the program on the group). Failure
+      // is survivable: the director stays in fallback mode and the accept
+      // path re-steers in user space.
+      std::string attach_error;
+      if (!director_->Attach(listen_fds_[0], &attach_error)) {
+        std::fprintf(stderr,
+                     "rt: SO_ATTACH_REUSEPORT_CBPF unavailable (%s); "
+                     "steering falls back to user-space re-steer\n",
+                     attach_error.c_str());
+      }
+    }
+    shared_.director = director_.get();
+    shared_.migrate_interval_ms = config_.migrate_interval_ms;
+    metrics_->GaugeSet(ids_.steer_cbpf, 0,
+                       director_->kernel_steering() == steer::KernelSteering::kAttached ? 1 : 0);
+    for (int i = 0; i < config_.num_threads; ++i) {
+      metrics_->GaugeSet(ids_.groups_owned, i,
+                         static_cast<uint64_t>(director_->table().OwnedBy(i)));
+    }
   }
 
   for (int i = 0; i < config_.num_threads; ++i) {
@@ -146,6 +186,11 @@ RtTotals Runtime::Totals() const {
   totals.overflow_drops = metrics_->Total(ids_.overflow_drops);
   totals.transitions_to_busy = metrics_->Total(ids_.to_busy);
   totals.transitions_to_nonbusy = metrics_->Total(ids_.to_nonbusy);
+  if (director_ != nullptr) {
+    totals.steer_owner_accepts = metrics_->Total(ids_.steer_owner_accepts);
+    totals.steer_cross_accepts = metrics_->Total(ids_.steer_cross_accepts);
+    totals.migrations = metrics_->Total(ids_.migrations);
+  }
   totals.queue_wait_ns = metrics_->HistogramMerged(ids_.queue_wait);
   totals.drained_at_stop = drained_at_stop_.load(std::memory_order_acquire);
   return totals;

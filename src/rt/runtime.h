@@ -28,6 +28,7 @@
 #include "src/obs/trace_ring.h"
 #include "src/rt/reactor.h"
 #include "src/sim/stats.h"
+#include "src/steer/flow_director.h"
 
 namespace affinity {
 namespace rt {
@@ -44,6 +45,19 @@ struct RtConfig {
   // Balancer decision trace ring slots per core; 0 disables tracing.
   size_t trace_capacity = 1024;
   BalanceTuning tuning;  // the paper's 5:1 / 75% / 10% defaults
+
+  // Flow-group steering (affinity mode only): route each connection to the
+  // core owning its source port's flow group, via a cBPF program on the
+  // reuseport group when the kernel permits (degrading to user-space
+  // re-steering when not -- see steer::FlowDirector).
+  bool steer = false;
+  uint32_t num_flow_groups = 4096;  // power of two (Section 3.1)
+  // Long-term balancer epoch per reactor; <= 0 runs steering without
+  // migration (the Section 6.5 no-migration baseline).
+  int migrate_interval_ms = 100;
+  // Skip the cBPF attach even if the kernel would allow it; exercises the
+  // fallback path deterministically (tests, non-root CI).
+  bool steer_force_fallback = false;
 };
 
 // Aggregated over all reactors. Valid at any time (live snapshot); see the
@@ -57,6 +71,10 @@ struct RtTotals {
   uint64_t drained_at_stop = 0;  // queued but unserved when Stop() ran
   uint64_t transitions_to_busy = 0;
   uint64_t transitions_to_nonbusy = 0;
+  // Steering (0 when config.steer is off):
+  uint64_t steer_owner_accepts = 0;  // accepted directly on the owning shard
+  uint64_t steer_cross_accepts = 0;  // accepted elsewhere, re-steered in user space
+  uint64_t migrations = 0;           // flow groups moved by the 100 ms balancer
   Histogram queue_wait_ns;
   uint64_t served() const { return served_local + served_remote; }
 };
@@ -91,6 +109,17 @@ class Runtime {
   // Balancer decision trace; null when config.trace_capacity == 0.
   const obs::TraceRing* trace() const { return trace_.get(); }
 
+  // The flow-group steering table + migration history; null unless
+  // config.steer was on in affinity mode. Valid while the reactors run.
+  const steer::FlowDirector* director() const { return director_.get(); }
+
+  // Where SYN steering happens (kFallback until Start(), or forever when
+  // the cBPF attach was refused/disabled).
+  steer::KernelSteering kernel_steering() const {
+    return director_ != nullptr ? director_->kernel_steering()
+                                : steer::KernelSteering::kFallback;
+  }
+
   // Live per-reactor snapshot; callable while the reactors run.
   ReactorStats reactor_stats(int i) const;
 
@@ -104,6 +133,7 @@ class Runtime {
   int max_local_len_ = 0;
   std::vector<int> listen_fds_;  // 1 (stock) or one per reactor
   std::unique_ptr<LockedBalancePolicy> policy_;
+  std::unique_ptr<steer::FlowDirector> director_;
   std::unique_ptr<obs::MetricsRegistry> metrics_;
   std::unique_ptr<obs::TraceRing> trace_;
   RtMetricIds ids_;

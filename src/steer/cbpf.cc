@@ -1,0 +1,62 @@
+#include "src/steer/cbpf.h"
+
+#include <string.h>
+#include <sys/socket.h>
+
+#include <cerrno>
+
+namespace affinity {
+namespace steer {
+
+std::vector<sock_filter> BuildFlowDirectorProgram(uint32_t num_groups, uint32_t num_sockets,
+                                                  const std::vector<GroupException>& exceptions) {
+  std::vector<sock_filter> prog;
+  if (exceptions.size() > MaxCbpfExceptions()) {
+    return prog;
+  }
+  prog.reserve(kCbpfFixedInsns + 2 * exceptions.size());
+
+  // X = IP header length (4 * IHL), read relative to the network header --
+  // the skb data pointer sits past the TCP header at reuseport time, but
+  // SKF_NET_OFF-relative loads are position-independent.
+  prog.push_back(BPF_STMT(BPF_LDX | BPF_B | BPF_MSH, static_cast<uint32_t>(SKF_NET_OFF)));
+  // A = TCP source port (first two bytes of the transport header).
+  prog.push_back(BPF_STMT(BPF_LD | BPF_H | BPF_IND, static_cast<uint32_t>(SKF_NET_OFF)));
+  // A = flow group: the paper's "hash the low 12 bits of the source port".
+  prog.push_back(BPF_STMT(BPF_ALU | BPF_AND | BPF_K, num_groups - 1));
+
+  // Migrated groups: jeq #group -> ret #core. jt/jf are 0/1 so the encoding
+  // never hits the 255-instruction conditional-jump range limit, whatever
+  // the list length.
+  for (const GroupException& e : exceptions) {
+    prog.push_back(BPF_JUMP(BPF_JMP | BPF_JEQ | BPF_K, e.group, 0, 1));
+    prog.push_back(BPF_STMT(BPF_RET | BPF_K, e.core));
+  }
+
+  // Round-robin base mapping, the initial FDir program.
+  prog.push_back(BPF_STMT(BPF_ALU | BPF_MOD | BPF_K, num_sockets));
+  prog.push_back(BPF_STMT(BPF_RET | BPF_A, 0));
+  return prog;
+}
+
+bool AttachReuseportProgram(int fd, const std::vector<sock_filter>& prog, std::string* error) {
+  if (prog.empty() || prog.size() > BPF_MAXINSNS) {
+    if (error != nullptr) {
+      *error = "program empty or over BPF_MAXINSNS";
+    }
+    return false;
+  }
+  sock_fprog fprog;
+  fprog.len = static_cast<unsigned short>(prog.size());
+  fprog.filter = const_cast<sock_filter*>(prog.data());
+  if (setsockopt(fd, SOL_SOCKET, SO_ATTACH_REUSEPORT_CBPF, &fprog, sizeof(fprog)) < 0) {
+    if (error != nullptr) {
+      *error = std::string("setsockopt(SO_ATTACH_REUSEPORT_CBPF): ") + strerror(errno);
+    }
+    return false;
+  }
+  return true;
+}
+
+}  // namespace steer
+}  // namespace affinity

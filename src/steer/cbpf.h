@@ -1,0 +1,68 @@
+// Classic-BPF flow-director program for SO_ATTACH_REUSEPORT_CBPF.
+//
+// The kernel's reuseport BPF hook is the user-space analogue of programming
+// the NIC's FDir table (paper Section 3.1): the program picks which listen
+// shard -- and therefore which core -- receives each incoming SYN, exactly
+// as FDir picks the RX DMA ring. We emit the same steering function the
+// paper programs into the 82599:
+//
+//   group = tcp_source_port & (num_groups - 1)     // low 12 bits -> 4,096
+//   core  = table[group]
+//
+// Classic BPF has no maps, so the table is compiled INTO the program: a
+// round-robin base mapping (group % num_sockets, the initial FDir layout)
+// plus a jump-table of exceptions for every group the 100 ms balancer has
+// migrated away from its base core. Re-"programming the NIC" is then
+// rebuilding + re-attaching the program -- a few microseconds every 100 ms,
+// the same order as the paper's 10k-cycle FDir update.
+//
+// The packet loads use the SKF_NET_OFF negative-offset window: the reuseport
+// hook runs with skb data already advanced past the TCP header, but
+// absolute loads relative to the network header still reach the IP IHL and
+// the TCP source port. Verified against the running kernel by
+// tests/steer/steer_test.cc's live-socket cases.
+
+#ifndef AFFINITY_SRC_STEER_CBPF_H_
+#define AFFINITY_SRC_STEER_CBPF_H_
+
+#include <linux/filter.h>
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace affinity {
+namespace steer {
+
+// One group whose owner differs from the round-robin base mapping.
+struct GroupException {
+  uint32_t group = 0;
+  uint32_t core = 0;
+};
+
+// Instructions that are not per-exception: IHL load, port load, group mask,
+// the round-robin default (mod + ret). Each exception adds two (jeq + ret).
+inline constexpr size_t kCbpfFixedInsns = 5;
+
+// The most migrated-away groups one program can encode (BPF_MAXINSNS cap).
+inline constexpr size_t MaxCbpfExceptions() {
+  return (BPF_MAXINSNS - kCbpfFixedInsns) / 2;
+}
+
+// Builds the steering program for `num_groups` flow groups (power of two)
+// over `num_sockets` reuseport members. Returns an empty vector when the
+// exception list cannot fit under BPF_MAXINSNS -- the caller keeps steering
+// in user space and the kernel keeps the last attached program.
+std::vector<sock_filter> BuildFlowDirectorProgram(uint32_t num_groups, uint32_t num_sockets,
+                                                  const std::vector<GroupException>& exceptions);
+
+// Attaches `prog` to the reuseport group `fd` belongs to (any member works;
+// the program is group state, inherited by later members). Returns false
+// with *error set when the kernel refuses -- sandboxed/seccomp'd or ancient
+// kernels -- in which case the caller degrades to the fallback path.
+bool AttachReuseportProgram(int fd, const std::vector<sock_filter>& prog, std::string* error);
+
+}  // namespace steer
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_STEER_CBPF_H_

@@ -1,0 +1,130 @@
+#include "src/steer/flow_director.h"
+
+#include "src/balance/migration_epoch.h"
+
+namespace affinity {
+namespace steer {
+
+const char* KernelSteeringName(KernelSteering steering) {
+  switch (steering) {
+    case KernelSteering::kFallback:
+      return "fallback";
+    case KernelSteering::kAttached:
+      return "cbpf";
+  }
+  return "?";
+}
+
+FlowDirector::FlowDirector(const FlowDirectorConfig& config)
+    : config_(config), table_(config.num_groups, config.num_cores) {}
+
+bool FlowDirector::Attach(int fd, std::string* error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<sock_filter> prog = BuildFlowDirectorProgram(
+      table_.num_groups(), static_cast<uint32_t>(table_.num_cores()), table_.Exceptions());
+  if (!AttachReuseportProgram(fd, prog, error)) {
+    status_.store(0, std::memory_order_release);
+    return false;
+  }
+  attach_fd_ = fd;
+  status_.store(1, std::memory_order_release);
+  ++cbpf_updates_;
+  return true;
+}
+
+bool FlowDirector::PickGroupOwnedByLocked(CoreId victim, uint32_t* group) {
+  uint32_t num_groups = table_.num_groups();
+  for (uint32_t i = 0; i < num_groups; ++i) {
+    uint32_t candidate = (scan_cursor_ + i) % num_groups;
+    if (table_.OwnerOf(candidate) == victim) {
+      scan_cursor_ = (candidate + 1) % num_groups;
+      *group = candidate;
+      return true;
+    }
+  }
+  return false;
+}
+
+void FlowDirector::ReprogramLocked() {
+  if (status_.load(std::memory_order_relaxed) != 1 || attach_fd_ < 0) {
+    return;
+  }
+  std::vector<GroupException> exceptions = table_.Exceptions();
+  if (exceptions.size() > config_.max_exceptions) {
+    // The table no longer compresses into one program. The user-space
+    // re-steer keeps enforcing it; the kernel keeps the last program.
+    ++cbpf_update_skips_;
+    return;
+  }
+  std::vector<sock_filter> prog = BuildFlowDirectorProgram(
+      table_.num_groups(), static_cast<uint32_t>(table_.num_cores()), exceptions);
+  std::string error;
+  if (AttachReuseportProgram(attach_fd_, prog, &error)) {
+    ++cbpf_updates_;
+  } else {
+    // A kernel that accepted the first program should accept every rebuild;
+    // if it stops, degrade rather than steer with a stale table forever.
+    status_.store(0, std::memory_order_release);
+  }
+}
+
+bool FlowDirector::MigrateForCore(CoreId core, BalancePolicy* policy, uint64_t tick,
+                                  Migration* out) {
+  bool migrated = false;
+  MigrateForCoreThisEpoch(policy, core, [&](CoreId thief, CoreId victim) {
+    std::lock_guard<std::mutex> lock(mu_);
+    uint32_t group = 0;
+    if (!PickGroupOwnedByLocked(victim, &group)) {
+      return;  // victim owns no groups (all already migrated away)
+    }
+    Migration m;
+    m.group = group;
+    m.from_core = victim;
+    m.to_core = thief;
+    m.tick = tick;
+    m.victim_steals = policy->EpochSteals(thief, victim);
+    table_.Set(group, thief);
+    ReprogramLocked();
+    history_.push_back(m);
+    if (out != nullptr) {
+      *out = m;
+    }
+    migrated = true;
+  });
+  return migrated;
+}
+
+std::vector<Migration> FlowDirector::RunEpoch(BalancePolicy* policy, int num_cores,
+                                              uint64_t tick) {
+  std::vector<Migration> out;
+  for (CoreId core = 0; core < num_cores; ++core) {
+    Migration m;
+    if (MigrateForCore(core, policy, tick, &m)) {
+      out.push_back(m);
+    }
+  }
+  return out;
+}
+
+std::vector<Migration> FlowDirector::history() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_;
+}
+
+uint64_t FlowDirector::migrations() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return history_.size();
+}
+
+uint64_t FlowDirector::cbpf_updates() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cbpf_updates_;
+}
+
+uint64_t FlowDirector::cbpf_update_skips() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return cbpf_update_skips_;
+}
+
+}  // namespace steer
+}  // namespace affinity

@@ -1,0 +1,133 @@
+// FlowDirector: live flow-group steering + the 100 ms long-term balancer
+// for the real-socket runtime -- the third leg of the Affinity-Accept design
+// (paper Sections 3.1 and 3.3.2) on real kernel sockets.
+//
+// The simulator routes flow groups to cores through the SimNic's FDir table
+// and repairs skew with FlowGroupMigrator. The runtime has no NIC to
+// program, but SO_REUSEPORT's cBPF hook is the same mechanism one layer up:
+// a program that maps each SYN's flow group (source port low bits) to a
+// listen shard. This class owns the group->core table, compiles it into
+// that program (src/steer/cbpf.h), and runs the paper's migration rule --
+// every 100 ms each non-busy core pulls one flow group from the victim it
+// stole from most -- through the same epoch driver
+// (src/balance/migration_epoch.h) the simulator uses, so both sides make
+// identical (victim, group, destination) decisions from the same history.
+//
+// Degradation: when the kernel refuses the cBPF attach (sandboxes, old
+// kernels) the director runs in kFallback -- SYNs spread by the kernel's
+// default reuseport hash, and the accepting reactor re-steers each
+// connection to the owning core's queue in user space. Serving stays
+// correct and migration still converges; only the "accept on the owning
+// core" half of the win is lost. The same user-space re-steer runs in
+// kAttached mode too, catching connections that were already queued on a
+// shard when their group migrated away.
+//
+// Thread safety: table reads are lock-free (reactor accept paths); all
+// writes -- migrations, reprogramming, history -- serialize on one mutex.
+// Migrations take the director mutex before the BalancePolicy mutex; no
+// caller holds them in the reverse order.
+
+#ifndef AFFINITY_SRC_STEER_FLOW_DIRECTOR_H_
+#define AFFINITY_SRC_STEER_FLOW_DIRECTOR_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "src/balance/balance_policy.h"
+#include "src/steer/steering_table.h"
+
+namespace affinity {
+namespace steer {
+
+// Where SYN steering currently happens.
+enum class KernelSteering : uint8_t {
+  kFallback,  // kernel default reuseport hash + user-space re-steer
+  kAttached,  // cBPF program delivers each SYN to its owning shard
+};
+
+const char* KernelSteeringName(KernelSteering steering);
+
+// One long-term-balancer decision, the runtime twin of the simulator's
+// MigrationRecord (wall-clock tick instead of simulated cycles).
+struct Migration {
+  uint32_t group = 0;
+  CoreId from_core = kNoCore;
+  CoreId to_core = kNoCore;
+  uint64_t tick = 0;           // the deciding reactor's epoch counter
+  uint64_t victim_steals = 0;  // why: steals charged to the victim this epoch
+};
+
+struct FlowDirectorConfig {
+  uint32_t num_groups = 4096;  // power of two (Section 3.1's 4,096)
+  int num_cores = 1;
+  // Exception-list cap for the compiled program; beyond it kernel updates
+  // are skipped (counted) and user-space re-steer carries the table.
+  size_t max_exceptions = MaxCbpfExceptions();
+};
+
+class FlowDirector {
+ public:
+  explicit FlowDirector(const FlowDirectorConfig& config);
+
+  FlowDirector(const FlowDirector&) = delete;
+  FlowDirector& operator=(const FlowDirector&) = delete;
+
+  // Compiles the current table and attaches it to the reuseport group `fd`
+  // belongs to; keeps `fd` for migration-time reprogramming (the caller owns
+  // the fd and must outlive the last migration -- the Runtime joins its
+  // reactors before closing shards). On refusal returns false with *error
+  // set and stays in kFallback; that is degradation, not failure.
+  bool Attach(int fd, std::string* error);
+
+  KernelSteering kernel_steering() const {
+    return status_.load(std::memory_order_acquire) == 1 ? KernelSteering::kAttached
+                                                        : KernelSteering::kFallback;
+  }
+
+  const SteeringTable& table() const { return table_; }
+  CoreId OwnerOfPort(uint16_t src_port) const {
+    return table_.OwnerOf(table_.GroupOfPort(src_port));
+  }
+
+  // One core's Section 3.3.2 decision: if `core` is non-busy and stole this
+  // epoch, move one flow group from its top victim to itself and reprogram
+  // the kernel. Returns true (with *out filled) when a group moved. Epoch
+  // steal counts reset per the shared migration_epoch.h driver either way.
+  bool MigrateForCore(CoreId core, BalancePolicy* policy, uint64_t tick, Migration* out);
+
+  // A centralized epoch in core order -- what the simulator's
+  // FlowGroupMigrator::RunEpoch does; used by the sim/rt parity test.
+  std::vector<Migration> RunEpoch(BalancePolicy* policy, int num_cores, uint64_t tick);
+
+  std::vector<Migration> history() const;
+  uint64_t migrations() const;
+  // Successful program re-attaches / updates skipped because the exception
+  // list outgrew the program budget (table still authoritative via the
+  // user-space re-steer).
+  uint64_t cbpf_updates() const;
+  uint64_t cbpf_update_skips() const;
+
+ private:
+  // Same scan as FlowGroupMigrator::PickGroupOnRing: rotate from the shared
+  // cursor so repeated migrations move different groups.
+  bool PickGroupOwnedByLocked(CoreId victim, uint32_t* group);
+  void ReprogramLocked();
+
+  FlowDirectorConfig config_;
+  SteeringTable table_;
+  std::atomic<int> status_{0};  // 0 = kFallback, 1 = kAttached
+  mutable std::mutex mu_;
+  int attach_fd_ = -1;
+  uint32_t scan_cursor_ = 0;
+  std::vector<Migration> history_;
+  uint64_t cbpf_updates_ = 0;
+  uint64_t cbpf_update_skips_ = 0;
+};
+
+}  // namespace steer
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_STEER_FLOW_DIRECTOR_H_

@@ -1,0 +1,53 @@
+#include "src/steer/skew.h"
+
+#include <cstddef>
+
+namespace affinity {
+namespace steer {
+
+std::vector<uint16_t> SourcePortsForGroup(uint32_t group, uint32_t num_groups,
+                                          uint16_t exclude_port) {
+  std::vector<uint16_t> ports;
+  for (uint32_t port = group; port <= 65535; port += num_groups) {
+    if (port >= 1024 && port != exclude_port) {
+      ports.push_back(static_cast<uint16_t>(port));
+    }
+  }
+  return ports;
+}
+
+std::vector<uint16_t> SkewedSourcePorts(int owner_core, int num_cores, uint32_t num_groups,
+                                        int groups, int ports_per_group, uint16_t exclude_port) {
+  std::vector<std::vector<uint16_t>> per_group;
+  for (int j = 0; j < groups; ++j) {
+    uint32_t group = static_cast<uint32_t>(owner_core + j * num_cores);
+    if (group >= num_groups) {
+      break;  // wrapping would leave the owner's residue class
+    }
+    std::vector<uint16_t> ports = SourcePortsForGroup(group, num_groups, exclude_port);
+    if (ports_per_group > 0 && ports.size() > static_cast<size_t>(ports_per_group)) {
+      ports.resize(static_cast<size_t>(ports_per_group));
+    }
+    if (!ports.empty()) {
+      per_group.push_back(std::move(ports));
+    }
+  }
+  // Interleave so truncated lists still cover every chosen group.
+  std::vector<uint16_t> out;
+  for (size_t i = 0;; ++i) {
+    bool any = false;
+    for (const std::vector<uint16_t>& ports : per_group) {
+      if (i < ports.size()) {
+        out.push_back(ports[i]);
+        any = true;
+      }
+    }
+    if (!any) {
+      break;
+    }
+  }
+  return out;
+}
+
+}  // namespace steer
+}  // namespace affinity

@@ -1,0 +1,36 @@
+// Deterministic skewed source-port sets for benchmarks and tests.
+//
+// The flow group of a connection is its client source port's low bits, so a
+// *chosen* set of source ports constructs a *chosen* flow-group load -- the
+// lever the paper pulls with 25 client machines and that ephemeral-port luck
+// cannot provide. Adding num_groups to a port preserves its group, so each
+// group contributes a stride of interchangeable ports (group + k*num_groups)
+// that a load client can cycle through.
+
+#ifndef AFFINITY_SRC_STEER_SKEW_H_
+#define AFFINITY_SRC_STEER_SKEW_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace affinity {
+namespace steer {
+
+// All usable (>= 1024, != exclude_port) source ports for one flow group.
+std::vector<uint16_t> SourcePortsForGroup(uint32_t group, uint32_t num_groups,
+                                          uint16_t exclude_port = 0);
+
+// Source ports confined to `groups` flow groups that the round-robin initial
+// steering table assigns to `owner_core` (group = owner_core + j*num_cores):
+// the skewed load of Section 6.5, where every new connection initially lands
+// on one core and the balancer must first steal, then migrate. Ports are
+// interleaved across the groups so any prefix of the list is still skewed to
+// the same owner, and per group capped at ports_per_group (0 = all).
+std::vector<uint16_t> SkewedSourcePorts(int owner_core, int num_cores, uint32_t num_groups,
+                                        int groups, int ports_per_group,
+                                        uint16_t exclude_port = 0);
+
+}  // namespace steer
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_STEER_SKEW_H_

@@ -1,0 +1,96 @@
+// The live flow-group -> core steering table (paper Section 3.1).
+//
+// The user-space twin of the SimNic's group_ring_ shadow copy: 4,096 (or any
+// power-of-two) slots mapping a flow group to the core that owns it. Writers
+// (the 100 ms migration loop) serialize in FlowDirector; readers (every
+// reactor's accept path) are lock-free relaxed loads -- a reader racing a
+// migration sees either owner, both of which serve the connection correctly,
+// exactly like a packet in flight during an FDir rewrite.
+
+#ifndef AFFINITY_SRC_STEER_STEERING_TABLE_H_
+#define AFFINITY_SRC_STEER_STEERING_TABLE_H_
+
+#include <atomic>
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "src/mem/cacheline.h"
+#include "src/steer/cbpf.h"
+
+namespace affinity {
+namespace steer {
+
+class SteeringTable {
+ public:
+  // Starts round-robin (group % num_cores), the SimNic's
+  // ProgramFlowGroupsRoundRobin layout and the cBPF program's base mapping.
+  SteeringTable(uint32_t num_groups, int num_cores)
+      : num_groups_(num_groups),
+        num_cores_(num_cores),
+        table_(new std::atomic<int32_t>[num_groups]),
+        owned_(new std::atomic<int32_t>[static_cast<size_t>(num_cores)]) {
+    assert(num_groups > 0 && (num_groups & (num_groups - 1)) == 0);
+    assert(num_cores > 0);
+    for (int c = 0; c < num_cores_; ++c) {
+      owned_[c].store(0, std::memory_order_relaxed);
+    }
+    for (uint32_t g = 0; g < num_groups_; ++g) {
+      int32_t owner = static_cast<int32_t>(g % static_cast<uint32_t>(num_cores_));
+      table_[g].store(owner, std::memory_order_relaxed);
+      owned_[owner].fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  uint32_t num_groups() const { return num_groups_; }
+  int num_cores() const { return num_cores_; }
+
+  // The paper's flow-group function: low log2(num_groups) bits of the client
+  // source port (src/net/flow.h's FlowGroupOf, on a live port).
+  uint32_t GroupOfPort(uint16_t src_port) const {
+    return static_cast<uint32_t>(src_port) & (num_groups_ - 1);
+  }
+
+  CoreId OwnerOf(uint32_t group) const {
+    return table_[group & (num_groups_ - 1)].load(std::memory_order_relaxed);
+  }
+
+  // Single-writer (FlowDirector's mutex); keeps the per-core owned counts.
+  void Set(uint32_t group, CoreId core) {
+    assert(core >= 0 && core < num_cores_);
+    int32_t prev = table_[group & (num_groups_ - 1)].exchange(static_cast<int32_t>(core),
+                                                              std::memory_order_relaxed);
+    if (prev != core) {
+      owned_[prev].fetch_sub(1, std::memory_order_relaxed);
+      owned_[core].fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  // How many groups `core` currently owns (steering-table gauge).
+  int OwnedBy(CoreId core) const { return owned_[core].load(std::memory_order_relaxed); }
+
+  // Every group whose owner differs from the round-robin base -- the cBPF
+  // exception list. Size is the "distance" migration has moved the table.
+  std::vector<GroupException> Exceptions() const {
+    std::vector<GroupException> out;
+    for (uint32_t g = 0; g < num_groups_; ++g) {
+      uint32_t owner = static_cast<uint32_t>(table_[g].load(std::memory_order_relaxed));
+      if (owner != g % static_cast<uint32_t>(num_cores_)) {
+        out.push_back(GroupException{g, owner});
+      }
+    }
+    return out;
+  }
+
+ private:
+  uint32_t num_groups_;
+  int num_cores_;
+  std::unique_ptr<std::atomic<int32_t>[]> table_;
+  std::unique_ptr<std::atomic<int32_t>[]> owned_;
+};
+
+}  // namespace steer
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_STEER_STEERING_TABLE_H_

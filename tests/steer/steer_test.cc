@@ -1,0 +1,320 @@
+// Tests for src/steer/: the cBPF flow-director program, the steering table,
+// deterministic skewed source ports, the FlowDirector migration loop, and
+// live end-to-end steering through the runtime (attached and fallback).
+// These run under ThreadSanitizer in CI (the rt_tests target).
+
+#include <gtest/gtest.h>
+#include <linux/filter.h>
+
+#include <cstdint>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "src/balance/balance_policy.h"
+#include "src/rt/load_client.h"
+#include "src/rt/runtime.h"
+#include "src/steer/cbpf.h"
+#include "src/steer/flow_director.h"
+#include "src/steer/skew.h"
+#include "src/steer/steering_table.h"
+
+namespace affinity {
+namespace steer {
+namespace {
+
+// Interprets the emitted program from the group-mask instruction on, with A
+// pre-loaded with a source port -- checking the steering decision without a
+// kernel. The two packet loads ahead of it are covered by the live tests.
+uint32_t RunSteeringProgram(const std::vector<sock_filter>& prog, uint16_t src_port) {
+  uint32_t a = src_port;
+  for (size_t pc = 2; pc < prog.size(); ++pc) {
+    const sock_filter& insn = prog[pc];
+    switch (insn.code) {
+      case BPF_ALU | BPF_AND | BPF_K:
+        a &= insn.k;
+        break;
+      case BPF_ALU | BPF_MOD | BPF_K:
+        a %= insn.k;
+        break;
+      case BPF_JMP | BPF_JEQ | BPF_K:
+        pc += (a == insn.k) ? insn.jt : insn.jf;
+        break;
+      case BPF_RET | BPF_K:
+        return insn.k;
+      case BPF_RET | BPF_A:
+        return a;
+      default:
+        ADD_FAILURE() << "unexpected opcode " << insn.code << " at " << pc;
+        return ~0u;
+    }
+  }
+  ADD_FAILURE() << "program fell off the end";
+  return ~0u;
+}
+
+TEST(CbpfProgramTest, EncodesBaseMappingAndExceptions) {
+  const uint32_t kGroups = 16;
+  const uint32_t kSockets = 4;
+  std::vector<GroupException> exceptions{{5, 2}, {7, 0}, {12, 3}};
+  std::vector<sock_filter> prog = BuildFlowDirectorProgram(kGroups, kSockets, exceptions);
+  ASSERT_EQ(prog.size(), kCbpfFixedInsns + 2 * exceptions.size());
+
+  // The packet loads come first (checked live by the EndToEnd tests).
+  EXPECT_EQ(prog[0].code, BPF_LDX | BPF_B | BPF_MSH);
+  EXPECT_EQ(prog[1].code, BPF_LD | BPF_H | BPF_IND);
+  EXPECT_EQ(prog[2].code, BPF_ALU | BPF_AND | BPF_K);
+  EXPECT_EQ(prog[2].k, kGroups - 1);
+
+  // Every port steers to table[port & 15]: round-robin unless excepted.
+  for (uint32_t port = 1024; port < 1024 + 64; ++port) {
+    uint32_t group = port & (kGroups - 1);
+    uint32_t want = group % kSockets;
+    for (const GroupException& e : exceptions) {
+      if (e.group == group) {
+        want = e.core;
+      }
+    }
+    EXPECT_EQ(RunSteeringProgram(prog, static_cast<uint16_t>(port)), want) << "port " << port;
+  }
+}
+
+TEST(CbpfProgramTest, RefusesOversizedExceptionLists) {
+  std::vector<GroupException> too_many;
+  for (uint32_t g = 0; g < MaxCbpfExceptions() + 1; ++g) {
+    too_many.push_back(GroupException{g, 1});
+  }
+  EXPECT_TRUE(BuildFlowDirectorProgram(4096, 4, too_many).empty());
+  // The largest representable list still compiles, under BPF_MAXINSNS.
+  too_many.pop_back();
+  std::vector<sock_filter> prog = BuildFlowDirectorProgram(4096, 4, too_many);
+  EXPECT_FALSE(prog.empty());
+  EXPECT_LE(prog.size(), static_cast<size_t>(BPF_MAXINSNS));
+  // An empty program is refused at the attach layer, without a socket.
+  std::string error;
+  EXPECT_FALSE(AttachReuseportProgram(-1, {}, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(SteeringTableTest, RoundRobinStartAndOwnedCounts) {
+  SteeringTable table(16, 4);
+  for (uint32_t g = 0; g < 16; ++g) {
+    EXPECT_EQ(table.OwnerOf(g), static_cast<CoreId>(g % 4));
+  }
+  for (int c = 0; c < 4; ++c) {
+    EXPECT_EQ(table.OwnedBy(c), 4);
+  }
+  EXPECT_TRUE(table.Exceptions().empty());
+
+  table.Set(5, 0);  // group 5's base owner is core 1
+  EXPECT_EQ(table.OwnerOf(5), 0);
+  EXPECT_EQ(table.OwnedBy(0), 5);
+  EXPECT_EQ(table.OwnedBy(1), 3);
+  std::vector<GroupException> exceptions = table.Exceptions();
+  ASSERT_EQ(exceptions.size(), 1u);
+  EXPECT_EQ(exceptions[0].group, 5u);
+  EXPECT_EQ(exceptions[0].core, 0u);
+
+  table.Set(5, 1);  // back to base: the exception disappears
+  EXPECT_TRUE(table.Exceptions().empty());
+  EXPECT_EQ(table.OwnedBy(0), 4);
+
+  // The group function masks to the low bits, like net::FlowGroupOf.
+  EXPECT_EQ(table.GroupOfPort(0x1234), 0x1234u & 15u);
+}
+
+TEST(SkewTest, PortsStayInTheirGroup) {
+  std::vector<uint16_t> ports = SourcePortsForGroup(7, 4096, /*exclude_port=*/7 + 4096);
+  ASSERT_FALSE(ports.empty());
+  for (uint16_t port : ports) {
+    EXPECT_EQ(port & 4095u, 7u);
+    EXPECT_GE(port, 1024);
+    EXPECT_NE(port, 7 + 4096);
+  }
+}
+
+TEST(SkewTest, SkewedPortsTargetOneCoreAndInterleave) {
+  const int kCores = 4;
+  const uint32_t kGroups = 4096;
+  std::vector<uint16_t> ports =
+      SkewedSourcePorts(/*owner_core=*/1, kCores, kGroups, /*groups=*/3, /*ports_per_group=*/2);
+  ASSERT_EQ(ports.size(), 6u);
+  std::set<uint32_t> groups_seen;
+  for (uint16_t port : ports) {
+    uint32_t group = port & (kGroups - 1);
+    // Every chosen group round-robins to core 1.
+    EXPECT_EQ(group % kCores, 1u) << "port " << port;
+    groups_seen.insert(group);
+  }
+  EXPECT_EQ(groups_seen.size(), 3u);
+  // Interleaved: the first `groups` entries already cover every group.
+  std::set<uint32_t> head;
+  for (size_t i = 0; i < 3; ++i) {
+    head.insert(ports[i] & (kGroups - 1));
+  }
+  EXPECT_EQ(head.size(), 3u);
+}
+
+TEST(FlowDirectorTest, MigratesOneGroupFromTopVictim) {
+  FlowDirectorConfig config;
+  config.num_groups = 16;
+  config.num_cores = 4;
+  FlowDirector director(config);
+  WatermarkBalancePolicy policy(4, 8);
+
+  // Core 0 stole three times from core 1, once from core 2.
+  policy.OnSteal(0, 1);
+  policy.OnSteal(0, 1);
+  policy.OnSteal(0, 1);
+  policy.OnSteal(0, 2);
+
+  Migration m;
+  ASSERT_TRUE(director.MigrateForCore(0, &policy, /*tick=*/1, &m));
+  EXPECT_EQ(m.from_core, 1);
+  EXPECT_EQ(m.to_core, 0);
+  EXPECT_EQ(m.victim_steals, 3u);
+  EXPECT_EQ(m.tick, 1u);
+  EXPECT_EQ(director.table().OwnerOf(m.group), 0);
+  EXPECT_EQ(director.table().OwnedBy(0), 5);
+  EXPECT_EQ(director.table().OwnedBy(1), 3);
+  EXPECT_EQ(director.migrations(), 1u);
+
+  // The epoch counts were reset: no second migration without new steals.
+  EXPECT_FALSE(director.MigrateForCore(0, &policy, /*tick=*/2, &m));
+}
+
+TEST(FlowDirectorTest, BusyCoresDoNotPullGroups) {
+  FlowDirectorConfig config;
+  config.num_groups = 16;
+  config.num_cores = 4;
+  FlowDirector director(config);
+  WatermarkBalancePolicy policy(4, 8);
+  policy.OnSteal(0, 1);
+  policy.OnEnqueue(0, 8);  // over the high watermark: core 0 is busy
+  Migration m;
+  EXPECT_FALSE(director.MigrateForCore(0, &policy, /*tick=*/1, &m));
+  EXPECT_EQ(director.migrations(), 0u);
+}
+
+TEST(FlowDirectorTest, RepeatedMigrationsRotateGroups) {
+  FlowDirectorConfig config;
+  config.num_groups = 16;
+  config.num_cores = 4;
+  FlowDirector director(config);
+  WatermarkBalancePolicy policy(4, 8);
+  std::set<uint32_t> moved;
+  for (int epoch = 0; epoch < 4; ++epoch) {
+    policy.OnSteal(2, 3);
+    Migration m;
+    ASSERT_TRUE(director.MigrateForCore(2, &policy, static_cast<uint64_t>(epoch), &m));
+    EXPECT_EQ(m.from_core, 3);
+    EXPECT_TRUE(moved.insert(m.group).second) << "group " << m.group << " moved twice";
+  }
+  EXPECT_EQ(director.table().OwnedBy(3), 0);
+  // Core 3 owns nothing left to take.
+  policy.OnSteal(2, 3);
+  Migration m;
+  EXPECT_FALSE(director.MigrateForCore(2, &policy, /*tick=*/5, &m));
+}
+
+// --- live end-to-end steering through the runtime ---
+
+rt::RtConfig SteerConfig(bool force_fallback, int migrate_interval_ms) {
+  rt::RtConfig config;
+  config.mode = rt::RtMode::kAffinity;
+  config.num_threads = 4;
+  config.steer = true;
+  config.steer_force_fallback = force_fallback;
+  config.migrate_interval_ms = migrate_interval_ms;
+  return config;
+}
+
+uint64_t RunClient(uint16_t port, uint64_t conns, const std::vector<uint16_t>& src_ports) {
+  rt::LoadClientConfig client_config;
+  client_config.port = port;
+  client_config.num_threads = 4;
+  client_config.max_conns = conns;
+  client_config.src_ports = src_ports;
+  rt::LoadClient client(client_config);
+  client.Start();
+  client.WaitForMaxConns();
+  EXPECT_GE(client.completed(), conns);
+  return client.errors();
+}
+
+// With the cBPF program attached, the kernel delivers every SYN to the shard
+// of the core owning its flow group, so (with migration off) no accept ever
+// needs a user-space re-steer. This is the live check of the packet-load
+// instructions RunSteeringProgram skips.
+TEST(SteerEndToEndTest, CbpfDeliversConnectionsToTheOwningShard) {
+  rt::Runtime runtime(SteerConfig(/*force_fallback=*/false, /*migrate_interval_ms=*/0));
+  std::string error;
+  ASSERT_TRUE(runtime.Start(&error)) << error;
+  if (runtime.kernel_steering() != KernelSteering::kAttached) {
+    GTEST_SKIP() << "SO_ATTACH_REUSEPORT_CBPF unavailable here; fallback covered below";
+  }
+
+  EXPECT_EQ(RunClient(runtime.port(), 400, {}), 0u);
+  runtime.Stop();
+
+  rt::RtTotals totals = runtime.Totals();
+  EXPECT_EQ(totals.steer_owner_accepts + totals.steer_cross_accepts, totals.accepted);
+  EXPECT_EQ(totals.steer_cross_accepts, 0u);
+  EXPECT_GT(totals.accepted, 0u);
+  EXPECT_EQ(totals.accepted, totals.served() + totals.drained_at_stop + totals.overflow_drops);
+}
+
+// Forced fallback: SYNs spread by the kernel's default reuseport hash and the
+// accepting reactor re-steers each connection to its owner's queue. Serving
+// must stay correct and the books must balance.
+TEST(SteerEndToEndTest, FallbackServesCorrectly) {
+  rt::Runtime runtime(SteerConfig(/*force_fallback=*/true, /*migrate_interval_ms=*/0));
+  std::string error;
+  ASSERT_TRUE(runtime.Start(&error)) << error;
+  EXPECT_EQ(runtime.kernel_steering(), KernelSteering::kFallback);
+  ASSERT_NE(runtime.director(), nullptr);
+
+  EXPECT_EQ(RunClient(runtime.port(), 400, {}), 0u);
+  runtime.Stop();
+
+  rt::RtTotals totals = runtime.Totals();
+  EXPECT_EQ(totals.steer_owner_accepts + totals.steer_cross_accepts, totals.accepted);
+  EXPECT_EQ(totals.accepted, totals.served() + totals.drained_at_stop + totals.overflow_drops);
+  EXPECT_EQ(totals.migrations, 0u);
+  EXPECT_EQ(runtime.director()->cbpf_updates(), 0u);
+}
+
+// Skewed load (every source port's group owned by core 0) plus the 100 ms
+// balancer: other cores steal from core 0, then migrate its groups to
+// themselves. The steering table must visibly drain away from core 0.
+TEST(SteerEndToEndTest, MigrationMovesGroupsAwayFromTheHotCore) {
+  rt::RtConfig config = SteerConfig(/*force_fallback=*/true, /*migrate_interval_ms=*/10);
+  rt::Runtime runtime(config);
+  std::string error;
+  ASSERT_TRUE(runtime.Start(&error)) << error;
+
+  std::vector<uint16_t> src_ports =
+      SkewedSourcePorts(/*owner_core=*/0, config.num_threads, config.num_flow_groups,
+                        /*groups=*/8, /*ports_per_group=*/4, /*exclude_port=*/runtime.port());
+  ASSERT_FALSE(src_ports.empty());
+  for (uint16_t port : src_ports) {
+    ASSERT_EQ(runtime.director()->OwnerOfPort(port), 0) << "port " << port;
+  }
+
+  EXPECT_EQ(RunClient(runtime.port(), 1500, src_ports), 0u);
+  runtime.Stop();
+
+  rt::RtTotals totals = runtime.Totals();
+  // The skew forced remote service (steals feed the migration decision)...
+  EXPECT_GT(totals.steals, 0u);
+  // ...and the balancer acted on it: groups moved off the hot core.
+  EXPECT_GT(totals.migrations, 0u);
+  const int initial_share = static_cast<int>(config.num_flow_groups) / config.num_threads;
+  EXPECT_LT(runtime.director()->table().OwnedBy(0), initial_share);
+  ASSERT_NE(runtime.trace(), nullptr);
+  EXPECT_NE(runtime.trace()->DumpToString().find("migrate"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace steer
+}  // namespace affinity
