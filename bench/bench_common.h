@@ -25,6 +25,7 @@ struct BenchJsonRow {
   double conns_per_sec = 0;
   double p50_queue_wait_us = 0;
   double p90_queue_wait_us = 0;
+  double p95_queue_wait_us = 0;
   double p99_queue_wait_us = 0;
   uint64_t served_local = 0;
   uint64_t served_remote = 0;
@@ -53,6 +54,7 @@ inline bool WriteBenchResultsJson(const std::string& path, const std::string& be
     w.Key("conns_per_sec").Double(row.conns_per_sec);
     w.Key("p50_queue_wait_us").Double(row.p50_queue_wait_us);
     w.Key("p90_queue_wait_us").Double(row.p90_queue_wait_us);
+    w.Key("p95_queue_wait_us").Double(row.p95_queue_wait_us);
     w.Key("p99_queue_wait_us").Double(row.p99_queue_wait_us);
     w.Key("served_local").UInt(row.served_local);
     w.Key("served_remote").UInt(row.served_remote);

@@ -45,6 +45,12 @@
 //                                     kernel refuses), "fallback" skips the
 //                                     attach and steers in user space only.
 //                                     Default: off, or "on" when --skew is set)
+//   --baseline=FILE                  (perf regression gate: read a committed
+//                                     BENCH_rt_loopback.json and exit nonzero
+//                                     unless this run's affinity conns/sec
+//                                     holds at least 90% of the baseline's --
+//                                     the same noise margin as --check, for
+//                                     the same shared-CPU CI hosts)
 
 #include <cstdio>
 #include <cstdlib>
@@ -77,6 +83,7 @@ struct Options {
   bool check = false;
   int stats_interval_ms = 0;  // 0 = no live sampling
   std::string json_path;
+  std::string baseline_path;
   int skew_groups = 0;        // 0 = even load, >0 = skewed flow groups at core 0
   std::string steer = "off";  // off | on | fallback
 };
@@ -106,6 +113,8 @@ Options ParseOptions(int argc, char** argv) {
       opt.stats_interval_ms = atoi(v);
     } else if (ParseFlag(argv[i], "--json", &v)) {
       opt.json_path = v;
+    } else if (ParseFlag(argv[i], "--baseline", &v)) {
+      opt.baseline_path = v;
     } else if (ParseFlag(argv[i], "--skew", &v)) {
       opt.skew_groups = atoi(v);
       if (strcmp(opt.steer.c_str(), "off") == 0) {
@@ -121,7 +130,7 @@ Options ParseOptions(int argc, char** argv) {
       fprintf(stderr,
               "usage: %s [--mode=stock|fine|affinity|all] [--threads=N] "
               "[--clients=N] [--duration-ms=N] [--no-pin] [--check] "
-              "[--stats-interval=N] [--json=FILE] [--skew=G] "
+              "[--stats-interval=N] [--json=FILE] [--baseline=FILE] [--skew=G] "
               "[--steer=off|on|fallback]\n",
               argv[0]);
       exit(2);
@@ -155,6 +164,7 @@ struct RunResult {
   double conns_per_sec = 0;
   double p50_us = 0;
   double p90_us = 0;
+  double p95_us = 0;
   double p99_us = 0;
   RtTotals totals;
   uint64_t client_completed = 0;
@@ -322,9 +332,42 @@ RunResult RunMode(const RunSpec& spec, const Options& opt) {
   result.conns_per_sec = secs > 0 ? static_cast<double>(result.totals.served()) / secs : 0;
   result.p50_us = static_cast<double>(result.totals.queue_wait_ns.Median()) / 1e3;
   result.p90_us = static_cast<double>(result.totals.queue_wait_ns.Percentile(0.90)) / 1e3;
+  result.p95_us = static_cast<double>(result.totals.queue_wait_ns.Percentile(0.95)) / 1e3;
   result.p99_us = static_cast<double>(result.totals.queue_wait_ns.Percentile(0.99)) / 1e3;
   result.ok = true;
   return result;
+}
+
+// Pulls the affinity row's conns_per_sec out of a committed
+// BENCH_rt_loopback.json. A two-anchor scan ("mode":"affinity", then the
+// next "conns_per_sec":) instead of a JSON parser: the file is our own
+// writer's output, and the bench must not grow a parser dependency.
+bool ReadBaselineAffinityRate(const std::string& path, double* rate) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    fprintf(stderr, "baseline: cannot read %s\n", path.c_str());
+    return false;
+  }
+  std::string text;
+  char buf[4096];
+  size_t n = 0;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    text.append(buf, n);
+  }
+  std::fclose(f);
+  size_t mode_pos = text.find("\"mode\":\"affinity\"");
+  if (mode_pos == std::string::npos) {
+    fprintf(stderr, "baseline: no affinity row in %s\n", path.c_str());
+    return false;
+  }
+  const char kKey[] = "\"conns_per_sec\":";
+  size_t rate_pos = text.find(kKey, mode_pos);
+  if (rate_pos == std::string::npos) {
+    fprintf(stderr, "baseline: affinity row in %s has no conns_per_sec\n", path.c_str());
+    return false;
+  }
+  *rate = atof(text.c_str() + rate_pos + sizeof(kKey) - 1);
+  return *rate > 0;
 }
 
 }  // namespace
@@ -386,8 +429,8 @@ int main(int argc, char** argv) {
     }
   }
 
-  TablePrinter table({"mode", "conns/sec", "p50 wait us", "p99 wait us", "local %", "steals",
-                      "migr", "drops", "client errs"});
+  TablePrinter table({"mode", "conns/sec", "p50 wait us", "p95 wait us", "p99 wait us",
+                      "local %", "steals", "migr", "drops", "client errs"});
   bool all_ok = true;
   double stock_rate = 0;
   double affinity_rate = 0;
@@ -411,7 +454,8 @@ int main(int argc, char** argv) {
         served > 0 ? 100.0 * static_cast<double>(r.totals.served_local) / static_cast<double>(served)
                    : 0;
     table.AddRow({spec.label, TablePrinter::Num(r.conns_per_sec, 0),
-                  TablePrinter::Num(r.p50_us, 1), TablePrinter::Num(r.p99_us, 1),
+                  TablePrinter::Num(r.p50_us, 1), TablePrinter::Num(r.p95_us, 1),
+                  TablePrinter::Num(r.p99_us, 1),
                   TablePrinter::Num(local_pct, 1), TablePrinter::Int(r.totals.steals),
                   TablePrinter::Int(r.totals.migrations),
                   TablePrinter::Int(r.totals.overflow_drops),
@@ -421,6 +465,7 @@ int main(int argc, char** argv) {
     row.conns_per_sec = r.conns_per_sec;
     row.p50_queue_wait_us = r.p50_us;
     row.p90_queue_wait_us = r.p90_us;
+    row.p95_queue_wait_us = r.p95_us;
     row.p99_queue_wait_us = r.p99_us;
     row.served_local = r.totals.served_local;
     row.served_remote = r.totals.served_remote;
@@ -473,6 +518,23 @@ int main(int argc, char** argv) {
       if (ratio < 0.90) {
         return 1;
       }
+    }
+  }
+  if (!opt.baseline_path.empty()) {
+    double baseline_rate = 0;
+    if (!ReadBaselineAffinityRate(opt.baseline_path, &baseline_rate)) {
+      return 1;
+    }
+    if (affinity_rate <= 0) {
+      fprintf(stderr, "baseline: need an affinity run (use --mode=all or --mode=affinity)\n");
+      return 1;
+    }
+    double ratio = affinity_rate / baseline_rate;
+    std::printf("  baseline: affinity conns/sec %.0f vs committed %.0f -> ratio %.3f "
+                "(floor 0.90)\n",
+                affinity_rate, baseline_rate, ratio);
+    if (ratio < 0.90) {
+      return 1;
     }
   }
   return all_ok ? 0 : 1;

@@ -45,6 +45,21 @@ class BalancePolicy {
   // flipped.
   virtual bool OnDequeue(CoreId core, size_t len_after) = 0;
 
+  // Batched reporting: the runtime's reactor drains accept4 (or serves) in
+  // batches and reports each touched queue ONCE per batch -- one EWMA/
+  // watermark update with the post-batch length instead of one per
+  // connection, so the policy's shared state is touched per batch, not per
+  // SYN. With batch size 1 the decisions are identical to the per-
+  // connection hooks. `count` is the number of connections the batch moved.
+  virtual bool OnEnqueueBatch(CoreId core, size_t count, size_t len_after) {
+    (void)count;
+    return OnEnqueue(core, len_after);
+  }
+  virtual bool OnDequeueBatch(CoreId core, size_t count, size_t len_after) {
+    (void)count;
+    return OnDequeue(core, len_after);
+  }
+
   virtual bool IsBusy(CoreId core) const = 0;
   virtual bool AnyBusy() const = 0;
 

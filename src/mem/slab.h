@@ -23,16 +23,10 @@
 
 #include "src/mem/coherence.h"
 #include "src/mem/object.h"
+#include "src/mem/pool_stats.h"
 #include "src/sim/time.h"
 
 namespace affinity {
-
-struct SlabStats {
-  uint64_t allocs = 0;
-  uint64_t frees = 0;
-  uint64_t remote_frees = 0;  // freed on a core != the core that allocated
-  uint64_t recycled = 0;      // allocation satisfied from a freelist
-};
 
 class SlabAllocator {
  public:

@@ -73,14 +73,14 @@ MetricsRegistry::MetricsRegistry(int num_cores) : num_cores_(num_cores < 1 ? 1 :
 MetricsRegistry::MetricId MetricsRegistry::RegisterCounter(const std::string& name,
                                                            const std::string& help) {
   scalars_.push_back(
-      {name, help, MetricKind::kCounter, std::unique_ptr<Cell[]>(new Cell[num_cores_])});
+      {name, help, MetricKind::kCounter, std::unique_ptr<PaddedCell[]>(new PaddedCell[num_cores_])});
   return static_cast<MetricId>(scalars_.size() - 1);
 }
 
 MetricsRegistry::MetricId MetricsRegistry::RegisterGauge(const std::string& name,
                                                          const std::string& help) {
   scalars_.push_back(
-      {name, help, MetricKind::kGauge, std::unique_ptr<Cell[]>(new Cell[num_cores_])});
+      {name, help, MetricKind::kGauge, std::unique_ptr<PaddedCell[]>(new PaddedCell[num_cores_])});
   return static_cast<MetricId>(scalars_.size() - 1);
 }
 
@@ -90,6 +90,18 @@ MetricsRegistry::MetricId MetricsRegistry::RegisterHistogram(const std::string& 
                          std::unique_ptr<AtomicHistogram[]>(
                              new AtomicHistogram[static_cast<size_t>(num_cores_)])});
   return static_cast<MetricId>(histograms_.size() - 1);
+}
+
+std::atomic<uint64_t>* MetricsRegistry::Cell(MetricId id, int core) {
+  assert(id >= 0 && static_cast<size_t>(id) < scalars_.size());
+  assert(core >= 0 && core < num_cores_);
+  return &scalars_[static_cast<size_t>(id)].cells[core].v;
+}
+
+AtomicHistogram* MetricsRegistry::HistCell(MetricId id, int core) {
+  assert(id >= 0 && static_cast<size_t>(id) < histograms_.size());
+  assert(core >= 0 && core < num_cores_);
+  return &histograms_[static_cast<size_t>(id)].per_core[core];
 }
 
 void MetricsRegistry::Add(MetricId id, int core, uint64_t delta) {

@@ -79,6 +79,15 @@ class MetricsRegistry {
   void GaugeSet(MetricId id, int core, uint64_t value);
   void Observe(MetricId id, int core, uint64_t value);  // histogram sample
 
+  // --- pre-resolved hot-path handles ---
+  // Resolve once after ALL registration is done (registering may reallocate
+  // the definition tables) and before the writer threads start; the returned
+  // cells are stable for the registry's lifetime. A reactor then increments
+  // its per-core cell directly -- no id bounds checks, no table indexing, no
+  // registry lookups on the per-connection path.
+  std::atomic<uint64_t>* Cell(MetricId id, int core);
+  AtomicHistogram* HistCell(MetricId id, int core);
+
   // --- live reads (any thread) ---
   uint64_t Value(MetricId id, int core) const;
   uint64_t Total(MetricId id) const;
@@ -90,14 +99,14 @@ class MetricsRegistry {
  private:
   // One cache line per (metric, core): a reactor's increments never
   // false-share with a sibling core's.
-  struct alignas(kCacheLineBytes) Cell {
+  struct alignas(kCacheLineBytes) PaddedCell {
     std::atomic<uint64_t> v{0};
   };
   struct ScalarDef {
     std::string name;
     std::string help;
     MetricKind kind;
-    std::unique_ptr<Cell[]> cells;  // num_cores_ entries
+    std::unique_ptr<PaddedCell[]> cells;  // num_cores_ entries
   };
   struct HistDef {
     std::string name;

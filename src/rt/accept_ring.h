@@ -1,0 +1,54 @@
+// Per-core pending-connection ring for the real-socket runtime.
+//
+// Replaces the original mutex+deque AcceptQueue: the runtime analogue of
+// the simulator's cloned accept queues (src/stack/listen_socket.cc), but
+// built for the paper's Table 3 accounting -- the queue itself is a
+// bounded, allocation-free MPMC ring (src/mem/bounded_ring.h), and the
+// connections it carries are handles into a per-core slab pool
+// (src/mem/conn_pool.h) so the steady-state accept->serve lifecycle never
+// touches the heap:
+//  - the accepting reactor allocates a PendingConn from ITS core's pool
+//    and pushes the 32-bit handle onto the target ring,
+//  - the serving reactor (usually the same core; a thief or re-steer
+//    target otherwise) reads the block and frees it back to the OWNER's
+//    pool -- a plain local push in the common case, a counted remote free
+//    (the paper's slow path) when the connection crossed cores.
+// Stock mode shares a single ring to reproduce the global accept-queue
+// bottleneck; the ring being lock-free does not save it from the shared
+// head/tail cache lines, which is the point.
+
+#ifndef AFFINITY_SRC_RT_ACCEPT_RING_H_
+#define AFFINITY_SRC_RT_ACCEPT_RING_H_
+
+#include <chrono>
+#include <cstddef>
+
+#include "src/mem/bounded_ring.h"
+#include "src/mem/conn_pool.h"
+
+namespace affinity {
+namespace rt {
+
+// A connection that completed the kernel handshake and was accept()ed but
+// not yet handed to application code. Lives in a ConnPool block.
+struct PendingConn {
+  int fd = -1;
+  std::chrono::steady_clock::time_point accepted_at{};
+};
+
+// One pool block per in-flight accepted connection, owned by the core that
+// accept()ed it.
+using ConnPool = PerCorePool<PendingConn>;
+using ConnHandle = ConnPool::Handle;
+inline constexpr ConnHandle kNullConn = ConnPool::kNullHandle;
+
+// The per-core accept queue: a bounded ring of pool handles. `capacity` is
+// the max local accept queue length (listen() backlog split across cores);
+// pushes beyond it are refused, mirroring the kernel dropping connections
+// on accept-queue overflow.
+using AcceptRing = BoundedRing<ConnHandle>;
+
+}  // namespace rt
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_RT_ACCEPT_RING_H_

@@ -67,7 +67,19 @@ void LoadClient::RunThread(int thread_index) {
       return;
     }
     uint16_t src_port = ports.empty() ? 0 : ports[cursor++ % ports.size()];
-    if (OneConnection(src_port)) {
+    ConnOutcome outcome = OneConnection(src_port);
+    // A lingering 4-tuple (e.g. the server closed first and our RST-close
+    // raced it) makes this exact port transiently unbindable; the skew set
+    // has several ports per flow group, so move on to the next one instead
+    // of failing the run. One full lap of the slice without a bindable
+    // port is a real error.
+    size_t lap = 0;
+    while (outcome == ConnOutcome::kPortInUse && !ports.empty() && ++lap < ports.size() &&
+           !stop_.load(std::memory_order_acquire)) {
+      src_port = ports[cursor++ % ports.size()];
+      outcome = OneConnection(src_port);
+    }
+    if (outcome == ConnOutcome::kOk) {
       completed_.fetch_add(1, std::memory_order_relaxed);
     } else {
       ++errors_;
@@ -77,10 +89,10 @@ void LoadClient::RunThread(int thread_index) {
   }
 }
 
-bool LoadClient::OneConnection(uint16_t src_port) {
+LoadClient::ConnOutcome LoadClient::OneConnection(uint16_t src_port) {
   int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) {
-    return false;
+    return ConnOutcome::kError;
   }
   // Bound every blocking call so Stop() is honored within ~1s even if the
   // server stops serving while we are connected.
@@ -97,8 +109,9 @@ bool LoadClient::OneConnection(uint16_t src_port) {
     src.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
     src.sin_port = htons(src_port);
     if (bind(fd, reinterpret_cast<sockaddr*>(&src), sizeof(src)) < 0) {
+      int bind_errno = errno;
       close(fd);
-      return false;
+      return bind_errno == EADDRINUSE ? ConnOutcome::kPortInUse : ConnOutcome::kError;
     }
   }
 
@@ -108,8 +121,11 @@ bool LoadClient::OneConnection(uint16_t src_port) {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(config_.port);
   if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
+    // A connect from a just-reused 4-tuple can also bounce off TIME_WAIT.
+    int connect_errno = errno;
     close(fd);
-    return false;
+    return src_port != 0 && connect_errno == EADDRNOTAVAIL ? ConnOutcome::kPortInUse
+                                                           : ConnOutcome::kError;
   }
 
   // Read the response until orderly EOF.
@@ -129,7 +145,7 @@ bool LoadClient::OneConnection(uint16_t src_port) {
       setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
     }
     close(fd);
-    return n == 0 && got_byte;
+    return n == 0 && got_byte ? ConnOutcome::kOk : ConnOutcome::kError;
   }
 }
 

@@ -46,10 +46,16 @@ class LoadClient {
   uint64_t errors() const { return errors_.load(std::memory_order_relaxed); }
 
  private:
+  enum class ConnOutcome {
+    kOk,
+    kPortInUse,  // bind(src_port) hit EADDRINUSE: retry with the next port
+    kError,
+  };
+
   void RunThread(int thread_index);
   // One connect / read-to-EOF / close cycle; `src_port` 0 lets the kernel
-  // pick an ephemeral port. Returns false on error.
-  bool OneConnection(uint16_t src_port);
+  // pick an ephemeral port.
+  ConnOutcome OneConnection(uint16_t src_port);
 
   LoadClientConfig config_;
   std::vector<std::thread> threads_;

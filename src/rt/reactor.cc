@@ -13,6 +13,19 @@
 namespace affinity {
 namespace rt {
 
+namespace {
+
+// Stack-array cap for one accept4 drain. accept_batch is clamped to this so
+// a batch's bookkeeping never leaves the stack.
+constexpr int kMaxAcceptBatch = 256;
+
+uint64_t ToNs(std::chrono::steady_clock::duration d) {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(d).count());
+}
+
+}  // namespace
+
 const char* RtModeName(RtMode mode) {
   switch (mode) {
     case RtMode::kStock:
@@ -28,10 +41,39 @@ const char* RtModeName(RtMode mode) {
 Reactor::Reactor(int index, int listen_fd, ReactorShared* shared)
     : index_(index), listen_fd_(listen_fd), shared_(shared) {}
 
+void Reactor::ResolveHotCells() {
+  obs::MetricsRegistry* m = shared_->metrics;
+  const RtMetricIds& ids = shared_->ids;
+  hot_.accepted = m->Cell(ids.accepted, index_);
+  hot_.served_local = m->Cell(ids.served_local, index_);
+  hot_.served_remote = m->Cell(ids.served_remote, index_);
+  hot_.steals = m->Cell(ids.steals, index_);
+  hot_.overflow_drops = m->Cell(ids.overflow_drops, index_);
+  hot_.epoll_wakeups = m->Cell(ids.epoll_wakeups, index_);
+  hot_.conn_remote_frees = m->Cell(ids.conn_remote_frees, index_);
+  hot_.pool_exhausted = m->Cell(ids.pool_exhausted, index_);
+  hot_.queue_wait = m->HistCell(ids.queue_wait, index_);
+  if (shared_->director != nullptr) {
+    hot_.steer_owner_accepts = m->Cell(ids.steer_owner_accepts, index_);
+    hot_.steer_cross_accepts = m->Cell(ids.steer_cross_accepts, index_);
+  }
+  size_t num_queues = shared_->queues.size();
+  hot_.queue_len.resize(num_queues);
+  for (size_t qi = 0; qi < num_queues; ++qi) {
+    hot_.queue_len[qi] = m->Cell(ids.queue_len, static_cast<int>(qi));
+  }
+  // Batch scratch state: sized once here, reused every batch.
+  enq_.q.resize(num_queues);
+  enq_.touched.reserve(num_queues);
+  deq_.q.resize(num_queues);
+  deq_.touched.reserve(num_queues);
+}
+
 void Reactor::Run() {
   if (shared_->pin_threads) {
     PinCurrentThreadToCpu(index_);
   }
+  ResolveHotCells();
 
   int ep = epoll_create1(EPOLL_CLOEXEC);
   if (ep < 0) {
@@ -47,13 +89,16 @@ void Reactor::Run() {
       migrate ? shared_->migrate_interval_ms : 1);
   auto next_migrate = std::chrono::steady_clock::now() + migrate_period;
 
-  epoll_event events[8];
+  // The listen shard is the only registered fd, so one ready event means
+  // "drain accept4"; the array still takes a batch of wakeup reasons in one
+  // syscall if more fds ever join the set.
+  epoll_event events[64];
   while (!shared_->stop.load(std::memory_order_acquire)) {
-    // Short timeout so stop and cross-queue work (stolen connections pushed
+    // Short timeout so stop and cross-ring work (stolen connections pushed
     // by other shards) are noticed even when our own shard is idle.
-    int n = epoll_wait(ep, events, 8, /*timeout_ms=*/1);
+    int n = epoll_wait(ep, events, 64, /*timeout_ms=*/1);
     if (n > 0) {
-      shared_->metrics->Add(shared_->ids.epoll_wakeups, index_);
+      hot_.epoll_wakeups->fetch_add(1, std::memory_order_relaxed);
       AcceptBatch();
     } else if (n < 0 && errno != EINTR) {
       break;
@@ -63,6 +108,7 @@ void Reactor::Run() {
       // Nothing local and nothing accepted: one widened pass before going
       // back to sleep (the paper's "polling" order).
       ServeOne(/*idle=*/true);
+      FlushDequeues();
     }
     if (migrate && std::chrono::steady_clock::now() >= next_migrate) {
       // The paper's long-term balancer: every 100 ms each (non-busy) core
@@ -118,8 +164,20 @@ void Reactor::RecordBusyFlip(size_t queue, size_t len_after) {
 void Reactor::AcceptBatch() {
   bool stock = shared_->mode == RtMode::kStock;
   size_t default_qi = stock ? 0 : static_cast<size_t>(index_);
+  int limit = shared_->accept_batch < kMaxAcceptBatch ? shared_->accept_batch : kMaxAcceptBatch;
 
-  for (int i = 0; i < shared_->accept_batch; ++i) {
+  // Stage 1: drain the kernel queue until EAGAIN (or the cap) into a stack
+  // array -- no bookkeeping between accept4 calls, so the kernel side is
+  // drained as fast as the syscall allows.
+  struct Accepted {
+    int fd;
+    uint32_t qi;
+  };
+  Accepted batch[kMaxAcceptBatch];
+  int n = 0;
+  uint32_t owner_accepts = 0;
+  uint32_t cross_accepts = 0;
+  while (n < limit) {
     sockaddr_in peer;
     socklen_t peer_len = sizeof(peer);
     int fd = accept4(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &peer_len,
@@ -127,43 +185,92 @@ void Reactor::AcceptBatch() {
     if (fd < 0) {
       break;  // EAGAIN (drained), or a transient error: retry next wakeup
     }
-    shared_->metrics->Add(shared_->ids.accepted, index_);
     size_t qi = default_qi;
     if (shared_->director != nullptr && peer_len >= sizeof(peer)) {
       // Flow-group steering: the connection belongs to whichever core owns
       // its source port's group. With cBPF attached the kernel already
       // delivered the SYN to the owner's shard, so owner == self except
       // for connections in flight across a migration; in fallback mode
-      // this re-steer IS the steering (one cross-core queue push).
+      // this re-steer IS the steering (one cross-core ring push).
       CoreId owner = shared_->director->OwnerOfPort(ntohs(peer.sin_port));
       if (owner >= 0 && owner < shared_->num_reactors) {
         qi = static_cast<size_t>(owner);
       }
-      shared_->metrics->Add(qi == static_cast<size_t>(index_) ? shared_->ids.steer_owner_accepts
-                                                              : shared_->ids.steer_cross_accepts,
-                            index_);
+      if (qi == static_cast<size_t>(index_)) {
+        ++owner_accepts;
+      } else {
+        ++cross_accepts;
+      }
     }
-    AcceptQueue& queue = *shared_->queues[qi];
-    PendingConn conn{fd, std::chrono::steady_clock::now()};
+    batch[n].fd = fd;
+    batch[n].qi = static_cast<uint32_t>(qi);
+    ++n;
+  }
+  if (n == 0) {
+    return;
+  }
+
+  // Stage 2: pool blocks + ring pushes, aggregating per-ring counts.
+  uint32_t overflow_drops = 0;
+  uint32_t pool_drops = 0;
+  for (int i = 0; i < n; ++i) {
+    size_t qi = batch[i].qi;
+    ConnHandle handle = shared_->pool->Alloc(index_);
+    if (handle == kNullConn) {
+      // Arena exhausted (sized to cover every ring plus a batch, so this
+      // means the rings are full anyway): same observable outcome as a
+      // ring overflow.
+      close(batch[i].fd);
+      ++overflow_drops;
+      ++pool_drops;
+      continue;
+    }
+    PendingConn* conn = shared_->pool->Get(handle);
+    conn->fd = batch[i].fd;
+    conn->accepted_at = std::chrono::steady_clock::now();
     size_t len_after = 0;
-    if (!queue.Push(conn, &len_after)) {
-      close(fd);
-      shared_->metrics->Add(shared_->ids.overflow_drops, index_);
+    if (!shared_->queues[qi]->Push(handle, &len_after)) {
+      shared_->pool->Free(index_, handle);  // we just allocated it: local free
+      close(batch[i].fd);
+      ++overflow_drops;
       if (shared_->trace != nullptr) {
         obs::TraceEvent event;
         event.type = obs::TraceEventType::kOverflowDrop;
         event.core = static_cast<int16_t>(index_);
         event.src = static_cast<int16_t>(qi);
-        event.qlen = static_cast<uint32_t>(queue.capacity());
+        event.qlen = static_cast<uint32_t>(shared_->queues[qi]->capacity());
         shared_->trace->Record(index_, event);
       }
       continue;
     }
-    shared_->metrics->GaugeSet(shared_->ids.queue_len, static_cast<int>(qi), len_after);
-    if (shared_->policy != nullptr && shared_->policy->OnEnqueue(static_cast<CoreId>(qi), len_after)) {
-      RecordBusyFlip(qi, len_after);
-    }
+    enq_.NoteMove(qi, len_after);
   }
+
+  // Stage 3: one flush per touched ring -- queue-length gauge and the
+  // policy's EWMA/watermark update see the post-batch state once.
+  hot_.accepted->fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+  if (owner_accepts > 0) {
+    hot_.steer_owner_accepts->fetch_add(owner_accepts, std::memory_order_relaxed);
+  }
+  if (cross_accepts > 0) {
+    hot_.steer_cross_accepts->fetch_add(cross_accepts, std::memory_order_relaxed);
+  }
+  if (overflow_drops > 0) {
+    hot_.overflow_drops->fetch_add(overflow_drops, std::memory_order_relaxed);
+  }
+  if (pool_drops > 0) {
+    hot_.pool_exhausted->fetch_add(pool_drops, std::memory_order_relaxed);
+  }
+  for (uint32_t qi : enq_.touched) {
+    QueueBatch::PerQueue& entry = enq_.q[qi];
+    hot_.queue_len[qi]->store(entry.last_len, std::memory_order_relaxed);
+    if (shared_->policy != nullptr &&
+        shared_->policy->OnEnqueueBatch(static_cast<CoreId>(qi), entry.moved, entry.last_len)) {
+      RecordBusyFlip(qi, entry.last_len);
+    }
+    entry.moved = 0;
+  }
+  enq_.touched.clear();
 }
 
 int Reactor::ServeBatch() {
@@ -171,24 +278,43 @@ int Reactor::ServeBatch() {
   while (served < shared_->accept_batch && ServeOne(/*idle=*/false)) {
     ++served;
   }
+  FlushDequeues();
   return served;
 }
 
-bool Reactor::PopFrom(size_t qi, PendingConn* out) {
+bool Reactor::PopFrom(size_t qi, ConnHandle* out) {
   size_t len_after = 0;
   if (!shared_->queues[qi]->TryPop(out, &len_after)) {
     return false;
   }
-  shared_->metrics->GaugeSet(shared_->ids.queue_len, static_cast<int>(qi), len_after);
-  if (shared_->policy != nullptr && shared_->policy->OnDequeue(static_cast<CoreId>(qi), len_after)) {
-    RecordBusyFlip(qi, len_after);
-  }
+  deq_.NoteMove(qi, len_after);
   return true;
+}
+
+void Reactor::FlushDequeues() {
+  for (uint32_t qi : deq_.touched) {
+    QueueBatch::PerQueue& entry = deq_.q[qi];
+    hot_.queue_len[qi]->store(entry.last_len, std::memory_order_relaxed);
+    if (shared_->policy != nullptr &&
+        shared_->policy->OnDequeueBatch(static_cast<CoreId>(qi), entry.moved, entry.last_len)) {
+      RecordBusyFlip(qi, entry.last_len);
+    }
+    entry.moved = 0;
+  }
+  deq_.touched.clear();
+  if (batch_served_local_ > 0) {
+    hot_.served_local->fetch_add(batch_served_local_, std::memory_order_relaxed);
+    batch_served_local_ = 0;
+  }
+  if (batch_served_remote_ > 0) {
+    hot_.served_remote->fetch_add(batch_served_remote_, std::memory_order_relaxed);
+    batch_served_remote_ = 0;
+  }
 }
 
 void Reactor::RecordSteal(CoreId victim, size_t victim_len_after) {
   shared_->policy->OnSteal(index_, victim);
-  shared_->metrics->Add(shared_->ids.steals, index_);
+  hot_.steals->fetch_add(1, std::memory_order_relaxed);
   if (shared_->trace != nullptr) {
     obs::TraceEvent event;
     event.type = obs::TraceEventType::kSteal;
@@ -201,7 +327,7 @@ void Reactor::RecordSteal(CoreId victim, size_t victim_len_after) {
 }
 
 bool Reactor::ServeOne(bool idle) {
-  PendingConn conn;
+  ConnHandle conn = kNullConn;
 
   switch (shared_->mode) {
     case RtMode::kStock: {
@@ -213,8 +339,8 @@ bool Reactor::ServeOne(bool idle) {
     }
 
     case RtMode::kFine: {
-      // Round-robin over all queues through the shared cursor; every core
-      // serves every queue, so there is no connection affinity.
+      // Round-robin over all rings through the shared cursor; every core
+      // serves every ring, so there is no connection affinity.
       size_t n = shared_->queues.size();
       size_t start =
           static_cast<size_t>(shared_->rr_cursor.fetch_add(1, std::memory_order_relaxed)) % n;
@@ -230,8 +356,10 @@ bool Reactor::ServeOne(bool idle) {
 
     case RtMode::kAffinity: {
       // Same decision sequence as ListenSocket::Accept, driven by the same
-      // BalancePolicy: proportional-share steal-first check, local queue,
-      // late steal, then (only before sleeping) the widened scan.
+      // BalancePolicy: proportional-share steal-first check, local ring,
+      // late steal, then (only before sleeping) the widened scan. Dequeue
+      // reporting is deferred to the end of the batch, so decisions within
+      // one batch see busy bits at most one batch stale.
       BalancePolicy* policy = shared_->policy;
       CoreId me = index_;
       bool self_busy = policy->IsBusy(me);
@@ -278,18 +406,27 @@ bool Reactor::ServeOne(bool idle) {
   return false;
 }
 
-void Reactor::Serve(const PendingConn& conn, bool local) {
-  auto wait = std::chrono::steady_clock::now() - conn.accepted_at;
-  shared_->metrics->Observe(
-      shared_->ids.queue_wait, index_,
-      static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(wait).count()));
-  shared_->metrics->Add(local ? shared_->ids.served_local : shared_->ids.served_remote, index_);
+void Reactor::Serve(ConnHandle handle, bool local) {
+  PendingConn* conn = shared_->pool->Get(handle);
+  hot_.queue_wait->Add(ToNs(std::chrono::steady_clock::now() - conn->accepted_at));
+  if (local) {
+    ++batch_served_local_;
+  } else {
+    ++batch_served_remote_;
+  }
   // Minimal request/response: one byte, then an orderly close. Enough for
   // the load client to observe end-to-end completion; per-connection
   // application work is the load generator's think-time knob, not ours.
   char byte = 'A';
-  (void)send(conn.fd, &byte, 1, MSG_NOSIGNAL);
-  close(conn.fd);
+  (void)send(conn->fd, &byte, 1, MSG_NOSIGNAL);
+  close(conn->fd);
+  // Return the block to the accepting core's pool -- the paper's remote
+  // deallocation when this connection was stolen or re-steered here.
+  CoreId owner = shared_->pool->OwnerOf(handle);
+  shared_->pool->Free(index_, handle);
+  if (owner != index_) {
+    hot_.conn_remote_frees->fetch_add(1, std::memory_order_relaxed);
+  }
 }
 
 }  // namespace rt

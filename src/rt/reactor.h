@@ -1,17 +1,29 @@
 // One reactor thread: pinned to a core, epoll loop over its listen shard,
-// serving connections from per-core accept queues with optional stealing.
+// serving connections from per-core accept rings with optional stealing.
 //
 // This is the live-socket counterpart of the simulator's accept paths in
 // src/stack/listen_socket.cc, in the same three arrangements:
 //  - stock:    every reactor polls ONE shared listen socket and one shared
-//              accept queue (thundering herd + global lock contention),
-//  - fine:     per-core SO_REUSEPORT shards and queues, but service is
-//              round-robin over all queues through a shared cursor
+//              accept ring (thundering herd + shared-line contention),
+//  - fine:     per-core SO_REUSEPORT shards and rings, but service is
+//              round-robin over all rings through a shared cursor
 //              (no affinity, like Fine-Accept),
-//  - affinity: per-core shards and queues, local-first service, with
+//  - affinity: per-core shards and rings, local-first service, with
 //              short-term connection stealing driven by the exact same
 //              BalancePolicy (watermarks, EWMA, 5:1 share) the simulator
 //              uses.
+//
+// Hot-path discipline (the Table 3 refactor): the reactor loop is batched
+// and allocation-free in steady state --
+//  - accept4 is drained until EAGAIN (or the batch cap) into a stack
+//    array; each connection gets a PendingConn block from the accepting
+//    core's slab pool and its 32-bit handle is pushed onto the target
+//    ring (no mutex, no heap),
+//  - queue lengths / EWMA updates are reported to the BalancePolicy once
+//    per touched queue per batch (OnEnqueueBatch/OnDequeueBatch), not per
+//    connection, so the policy's shared state is touched per batch,
+//  - metric updates go through cells pre-resolved at thread start
+//    (obs::MetricsRegistry::Cell), one relaxed add on a core-private line.
 
 #ifndef AFFINITY_SRC_RT_REACTOR_H_
 #define AFFINITY_SRC_RT_REACTOR_H_
@@ -24,7 +36,7 @@
 #include "src/balance/balance_policy.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace_ring.h"
-#include "src/rt/accept_queue.h"
+#include "src/rt/accept_ring.h"
 #include "src/sim/stats.h"
 #include "src/steer/flow_director.h"
 
@@ -41,10 +53,10 @@ const char* RtModeName(RtMode mode);
 // never racy.
 struct ReactorStats {
   uint64_t accepted = 0;        // accept() returned a connection
-  uint64_t served_local = 0;    // served from this core's queue (or the shared one)
-  uint64_t served_remote = 0;   // served from another core's queue
+  uint64_t served_local = 0;    // served from this core's ring (or the shared one)
+  uint64_t served_remote = 0;   // served from another core's ring
   uint64_t steals = 0;          // affinity-mode steals (subset of served_remote)
-  uint64_t overflow_drops = 0;  // local queue full: connection closed on arrival
+  uint64_t overflow_drops = 0;  // local ring full: connection closed on arrival
   uint64_t epoll_wakeups = 0;
   Histogram queue_wait_ns;      // accept() -> service latency per connection
 };
@@ -60,9 +72,12 @@ struct RtMetricIds {
   obs::MetricsRegistry::MetricId epoll_wakeups = 0;
   obs::MetricsRegistry::MetricId to_busy = 0;
   obs::MetricsRegistry::MetricId to_nonbusy = 0;
-  obs::MetricsRegistry::MetricId queue_len = 0;  // gauge, per accept queue
+  obs::MetricsRegistry::MetricId queue_len = 0;  // gauge, per accept ring
   obs::MetricsRegistry::MetricId busy = 0;       // gauge, 0/1 busy bit mirror
   obs::MetricsRegistry::MetricId queue_wait = 0;  // histogram
+  // Slab-pool discipline (paper Section 2.2 on live connection state):
+  obs::MetricsRegistry::MetricId conn_remote_frees = 0;  // blocks freed off-owner
+  obs::MetricsRegistry::MetricId pool_exhausted = 0;     // accepts dropped: no pool block
   // Steering (registered only when the FlowDirector is on):
   obs::MetricsRegistry::MetricId steer_owner_accepts = 0;  // accepted on the owning shard
   obs::MetricsRegistry::MetricId steer_cross_accepts = 0;  // re-steered to the owner's queue
@@ -78,7 +93,11 @@ struct ReactorShared {
   int accept_batch = 64;
   bool pin_threads = true;
   // 1 entry (stock) or one per reactor (fine/affinity).
-  std::vector<std::unique_ptr<AcceptQueue>> queues;
+  std::vector<std::unique_ptr<AcceptRing>> queues;
+  // Per-core PendingConn slab pool (owned by the Runtime; never null while
+  // reactors run). Blocks are allocated on the accepting core and returned
+  // to it, possibly remotely, by the serving core.
+  ConnPool* pool = nullptr;
   // Thread-safe policy (LockedBalancePolicy); null outside affinity mode.
   BalancePolicy* policy = nullptr;
   // Live metrics (owned by the Runtime; never null while reactors run).
@@ -110,20 +129,50 @@ class Reactor {
   void Run();
 
  private:
-  // Accepts until EAGAIN or the batch limit; enqueues into the target queue.
+  // Per-batch aggregation for one side (enqueue or dequeue) of the rings:
+  // how many connections a batch moved per queue and the last observed
+  // length, flushed to the policy/gauges once per batch. Sized once at
+  // thread start; no steady-state allocation.
+  struct QueueBatch {
+    struct PerQueue {
+      uint32_t moved = 0;
+      size_t last_len = 0;
+    };
+    std::vector<PerQueue> q;        // one entry per accept ring
+    std::vector<uint32_t> touched;  // queue indices with moved > 0
+    void NoteMove(size_t qi, size_t len_after) {
+      PerQueue& entry = q[qi];
+      if (entry.moved == 0) {
+        touched.push_back(static_cast<uint32_t>(qi));
+      }
+      ++entry.moved;
+      entry.last_len = len_after;
+    }
+  };
+
+  // Accepts until EAGAIN or the batch limit; enqueues into the target
+  // rings, then reports each touched ring to the policy once.
   void AcceptBatch();
   // Serves up to accept_batch queued connections; returns how many.
+  // Dequeue-side policy reporting is flushed once at the end of the batch.
   int ServeBatch();
   // Picks and pops one connection per the mode's service discipline.
   // `idle` marks the pre-sleep pass, where affinity mode widens its scan
   // (the paper's polling path). Returns false when nothing was available.
   bool ServeOne(bool idle);
-  void Serve(const PendingConn& conn, bool local);
-  // Pops from queue `qi`, running the policy dequeue hook in affinity mode.
-  bool PopFrom(size_t qi, PendingConn* out);
+  void Serve(ConnHandle handle, bool local);
+  // Pops from ring `qi` into the dequeue batch (policy hook deferred to
+  // FlushDequeues).
+  bool PopFrom(size_t qi, ConnHandle* out);
+  // Reports the dequeue batch: queue-length gauges, OnDequeueBatch policy
+  // hooks, and the served-local/remote counter cells.
+  void FlushDequeues();
+  // Resolves the hot-path metric cells for this core (after registration,
+  // before traffic).
+  void ResolveHotCells();
   // Metrics + trace bookkeeping for a successful steal from `victim`.
   void RecordSteal(CoreId victim, size_t victim_len_after);
-  // Busy-bit flip bookkeeping after an OnEnqueue/OnDequeue hook fired.
+  // Busy-bit flip bookkeeping after a policy enqueue/dequeue hook fired.
   void RecordBusyFlip(size_t queue, size_t len_after);
   // This core's 100 ms long-term balancer decision (Section 3.3.2): runs the
   // FlowDirector migration and records metrics + the kMigrate trace event.
@@ -133,6 +182,27 @@ class Reactor {
   int listen_fd_;
   ReactorShared* shared_;
   uint64_t migrate_tick_ = 0;  // epochs elapsed on this reactor
+
+  // Pre-resolved per-core metric cells (see obs::MetricsRegistry::Cell).
+  struct HotCells {
+    std::atomic<uint64_t>* accepted = nullptr;
+    std::atomic<uint64_t>* served_local = nullptr;
+    std::atomic<uint64_t>* served_remote = nullptr;
+    std::atomic<uint64_t>* steals = nullptr;
+    std::atomic<uint64_t>* overflow_drops = nullptr;
+    std::atomic<uint64_t>* epoll_wakeups = nullptr;
+    std::atomic<uint64_t>* conn_remote_frees = nullptr;
+    std::atomic<uint64_t>* pool_exhausted = nullptr;
+    std::atomic<uint64_t>* steer_owner_accepts = nullptr;  // null: steering off
+    std::atomic<uint64_t>* steer_cross_accepts = nullptr;
+    obs::AtomicHistogram* queue_wait = nullptr;
+    std::vector<std::atomic<uint64_t>*> queue_len;  // gauge cells, per ring
+  };
+  HotCells hot_;
+  QueueBatch enq_;
+  QueueBatch deq_;
+  uint32_t batch_served_local_ = 0;
+  uint32_t batch_served_remote_ = 0;
 };
 
 }  // namespace rt

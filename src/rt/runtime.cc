@@ -14,6 +14,9 @@ Runtime::Runtime(const RtConfig& config) : config_(config) {
   if (config_.num_threads < 1) {
     config_.num_threads = 1;
   }
+  if (config_.num_threads > kMaxCores) {
+    config_.num_threads = kMaxCores;  // pool handles encode the core id
+  }
   if (config_.accept_batch < 1) {
     config_.accept_batch = 1;
   }
@@ -37,6 +40,10 @@ Runtime::Runtime(const RtConfig& config) : config_(config) {
       metrics_->RegisterCounter("rt_transitions_to_busy", "high-watermark busy-bit sets");
   ids_.to_nonbusy =
       metrics_->RegisterCounter("rt_transitions_to_nonbusy", "low-watermark busy-bit clears");
+  ids_.conn_remote_frees = metrics_->RegisterCounter(
+      "rt_conn_remote_frees", "PendingConn blocks freed by a core other than their owner");
+  ids_.pool_exhausted = metrics_->RegisterCounter(
+      "rt_pool_exhausted", "connections dropped because the conn pool had no free block");
   ids_.queue_len = metrics_->RegisterGauge("rt_queue_len", "accept-queue length at last update");
   ids_.busy = metrics_->RegisterGauge("rt_busy", "busy bit (1 = over high watermark)");
   ids_.queue_wait =
@@ -94,8 +101,15 @@ bool Runtime::Start(std::string* error) {
   size_t queue_cap = stock ? static_cast<size_t>(std::max(1, config_.backlog))
                            : static_cast<size_t>(max_local_len_);
   for (int i = 0; i < num_queues; ++i) {
-    shared_.queues.emplace_back(new AcceptQueue(queue_cap));
+    shared_.queues.emplace_back(new AcceptRing(queue_cap));
   }
+  // Each core's arena covers every ring filling up (any core's accepts can
+  // land on any ring under steering or stock mode) plus one in-flight
+  // batch; beyond that the rings are full and the accept is a drop anyway.
+  uint32_t blocks_per_core = static_cast<uint32_t>(
+      static_cast<size_t>(num_queues) * queue_cap + static_cast<size_t>(config_.accept_batch) + 1);
+  pool_.reset(new ConnPool(config_.num_threads, blocks_per_core));
+  shared_.pool = pool_.get();
   if (config_.mode == RtMode::kAffinity) {
     policy_.reset(new LockedBalancePolicy(config_.num_threads,
                                           static_cast<size_t>(max_local_len_), config_.tuning));
@@ -156,8 +170,11 @@ void Runtime::Stop() {
   listen_fds_.clear();
   uint64_t drained = 0;
   for (auto& queue : shared_.queues) {
-    for (const PendingConn& conn : queue->DrainAll()) {
-      close(conn.fd);
+    // Quiescent by now (reactors joined): drain the ring and hand each
+    // block back to its owner core's freelist.
+    for (ConnHandle handle : queue->DrainAll()) {
+      close(pool_->Get(handle)->fd);
+      pool_->Free(pool_->OwnerOf(handle), handle);
       ++drained;
     }
   }
@@ -186,6 +203,11 @@ RtTotals Runtime::Totals() const {
   totals.overflow_drops = metrics_->Total(ids_.overflow_drops);
   totals.transitions_to_busy = metrics_->Total(ids_.to_busy);
   totals.transitions_to_nonbusy = metrics_->Total(ids_.to_nonbusy);
+  totals.conn_remote_frees = metrics_->Total(ids_.conn_remote_frees);
+  totals.pool_exhausted = metrics_->Total(ids_.pool_exhausted);
+  if (pool_ != nullptr) {
+    totals.pool = pool_->StatsSnapshot();
+  }
   if (director_ != nullptr) {
     totals.steer_owner_accepts = metrics_->Total(ids_.steer_owner_accepts);
     totals.steer_cross_accepts = metrics_->Total(ids_.steer_cross_accepts);

@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "src/balance/balance_policy.h"
+#include "src/mem/pool_stats.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace_ring.h"
 #include "src/rt/reactor.h"
@@ -71,6 +72,10 @@ struct RtTotals {
   uint64_t drained_at_stop = 0;  // queued but unserved when Stop() ran
   uint64_t transitions_to_busy = 0;
   uint64_t transitions_to_nonbusy = 0;
+  // Slab-pool discipline (paper Section 2.2 on live connection state):
+  uint64_t conn_remote_frees = 0;  // PendingConn blocks freed off their owner core
+  uint64_t pool_exhausted = 0;     // accepts dropped for want of a pool block
+  SlabStats pool;                  // the ConnPool's own per-core accounting
   // Steering (0 when config.steer is off):
   uint64_t steer_owner_accepts = 0;  // accepted directly on the owning shard
   uint64_t steer_cross_accepts = 0;  // accepted elsewhere, re-steered in user space
@@ -102,6 +107,10 @@ class Runtime {
 
   int max_local_queue_len() const { return max_local_len_; }
 
+  // The per-core PendingConn slab pool; null before Start(). Stats are
+  // safe to read while the reactors run.
+  const ConnPool* conn_pool() const { return pool_.get(); }
+
   // The live metrics backing every stat below; snapshot or export it at
   // any time (obs::ToPrometheusText / obs::ToJson / obs::StatsSampler).
   const obs::MetricsRegistry& metrics() const { return *metrics_; }
@@ -132,6 +141,7 @@ class Runtime {
   uint16_t port_ = 0;
   int max_local_len_ = 0;
   std::vector<int> listen_fds_;  // 1 (stock) or one per reactor
+  std::unique_ptr<ConnPool> pool_;
   std::unique_ptr<LockedBalancePolicy> policy_;
   std::unique_ptr<steer::FlowDirector> director_;
   std::unique_ptr<obs::MetricsRegistry> metrics_;

@@ -1,0 +1,156 @@
+// The acceptance test for the allocation-free hot path: global operator
+// new/delete are replaced with counting hooks, the runtime is warmed up,
+// and then a measurement window of ~1000 live loopback connections must
+// complete with ZERO heap allocations from any thread -- reactors (accept,
+// pool, ring, policy, metrics, trace) and load-client threads alike.
+//
+// This binary is deliberately separate from rt_tests: the hooks are global,
+// so they must not contaminate unrelated tests.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <cstdlib>
+#include <new>
+#include <string>
+#include <thread>
+
+#include "src/rt/load_client.h"
+#include "src/rt/runtime.h"
+
+namespace {
+
+std::atomic<uint64_t> g_news{0};
+std::atomic<bool> g_counting{false};
+
+inline void CountOne() {
+  if (g_counting.load(std::memory_order_relaxed)) {
+    g_news.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void* CountedAlloc(std::size_t size) {
+  CountOne();
+  void* p = std::malloc(size == 0 ? 1 : size);
+  if (p == nullptr) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+void* CountedAlignedAlloc(std::size_t size, std::size_t align) {
+  CountOne();
+  void* p = nullptr;
+  if (posix_memalign(&p, align < sizeof(void*) ? sizeof(void*) : align,
+                     size == 0 ? 1 : size) != 0) {
+    throw std::bad_alloc();
+  }
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return CountedAlloc(size); }
+void* operator new[](std::size_t size) { return CountedAlloc(size); }
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  CountOne();
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  CountOne();
+  return std::malloc(size == 0 ? 1 : size);
+}
+void* operator new(std::size_t size, std::align_val_t align) {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return CountedAlignedAlloc(size, static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+void operator delete(void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete[](void* p, const std::nothrow_t&) noexcept { std::free(p); }
+void operator delete(void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::align_val_t) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept { std::free(p); }
+
+namespace affinity {
+namespace rt {
+namespace {
+
+// Spin (allocation-free) until the client completes `target` connections or
+// the deadline passes. Returns false on timeout.
+bool WaitForCompleted(const LoadClient& client, uint64_t target,
+                      std::chrono::steady_clock::time_point deadline) {
+  while (client.completed() < target) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+class RtAllocFreeTest : public ::testing::TestWithParam<RtMode> {};
+
+TEST_P(RtAllocFreeTest, SteadyStateServesConnectionsWithZeroHeapAllocations) {
+  RtConfig config;
+  config.mode = GetParam();
+  config.num_threads = 4;
+  Runtime runtime(config);
+  std::string error;
+  ASSERT_TRUE(runtime.Start(&error)) << error;
+
+  LoadClientConfig client_config;
+  client_config.port = runtime.port();
+  client_config.num_threads = 2;
+  client_config.max_conns = 0;  // run until Stop(); we window by count
+  LoadClient client(client_config);
+  client.Start();
+
+  // Warm-up: past thread spawn, epoll setup, metric-cell resolution, and
+  // the first busy flips, so lazy one-time costs are off the books.
+  constexpr uint64_t kWarmup = 500;
+  constexpr uint64_t kWindow = 1000;
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  ASSERT_TRUE(WaitForCompleted(client, kWarmup, deadline)) << "warm-up stalled";
+
+  // Measurement window. NOTHING in here may allocate: the polling loop is
+  // atomic loads + nanosleep, the reactors and client threads are the
+  // system under test.
+  uint64_t window_start = client.completed();
+  g_news.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_release);
+  bool window_done = WaitForCompleted(client, window_start + kWindow, deadline);
+  g_counting.store(false, std::memory_order_release);
+  uint64_t news_in_window = g_news.load(std::memory_order_relaxed);
+  uint64_t window_conns = client.completed() - window_start;
+
+  client.Stop();
+  runtime.Stop();
+
+  ASSERT_TRUE(window_done) << "measurement window stalled";
+  EXPECT_EQ(news_in_window, 0u)
+      << "heap allocations observed while serving " << window_conns
+      << " steady-state connections";
+  EXPECT_EQ(client.errors(), 0u);
+  RtTotals totals = runtime.Totals();
+  EXPECT_GE(totals.served(), kWarmup + kWindow);
+  EXPECT_EQ(totals.pool.frees, totals.pool.allocs);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, RtAllocFreeTest,
+                         ::testing::Values(RtMode::kStock, RtMode::kFine, RtMode::kAffinity),
+                         [](const ::testing::TestParamInfo<RtMode>& mode_info) {
+                           return std::string(RtModeName(mode_info.param));
+                         });
+
+}  // namespace
+}  // namespace rt
+}  // namespace affinity

@@ -10,49 +10,13 @@
 
 #include <string>
 
-#include "src/rt/accept_queue.h"
+#include "src/rt/accept_ring.h"
 #include "src/rt/listener.h"
 #include "src/rt/load_client.h"
 
 namespace affinity {
 namespace rt {
 namespace {
-
-TEST(AcceptQueueTest, BoundedFifo) {
-  AcceptQueue queue(2);
-  EXPECT_EQ(queue.capacity(), 2u);
-  EXPECT_EQ(queue.size(), 0u);
-
-  size_t len = 0;
-  EXPECT_TRUE(queue.Push(PendingConn{10, {}}, &len));
-  EXPECT_EQ(len, 1u);
-  EXPECT_TRUE(queue.Push(PendingConn{11, {}}, &len));
-  EXPECT_EQ(len, 2u);
-  // Full: the caller keeps ownership of the fd (and closes it).
-  EXPECT_FALSE(queue.Push(PendingConn{12, {}}, &len));
-  EXPECT_EQ(queue.size(), 2u);
-
-  PendingConn conn;
-  EXPECT_TRUE(queue.TryPop(&conn, &len));
-  EXPECT_EQ(conn.fd, 10);
-  EXPECT_EQ(len, 1u);
-  EXPECT_TRUE(queue.TryPop(&conn, &len));
-  EXPECT_EQ(conn.fd, 11);
-  EXPECT_FALSE(queue.TryPop(&conn, &len));
-}
-
-TEST(AcceptQueueTest, DrainAllEmptiesTheQueue) {
-  AcceptQueue queue(8);
-  size_t len = 0;
-  for (int fd = 0; fd < 5; ++fd) {
-    ASSERT_TRUE(queue.Push(PendingConn{fd, {}}, &len));
-  }
-  auto drained = queue.DrainAll();
-  ASSERT_EQ(drained.size(), 5u);
-  EXPECT_EQ(drained.front().fd, 0);
-  EXPECT_EQ(drained.back().fd, 4);
-  EXPECT_EQ(queue.size(), 0u);
-}
 
 TEST(ListenerTest, ReuseportShardsShareOnePort) {
   std::string error;
@@ -104,6 +68,13 @@ TEST_P(RtRuntimeTest, ServesLoopbackConnections) {
   EXPECT_EQ(totals.accepted,
             totals.served() + totals.drained_at_stop + totals.overflow_drops);
   EXPECT_EQ(totals.queue_wait_ns.count(), totals.served());
+  // Pool books balance: every accepted connection got exactly one block
+  // (unless the pool itself refused, which counts as an overflow drop) and
+  // every block went back to its owner by the time Stop() returned.
+  EXPECT_EQ(totals.pool.allocs, totals.accepted - totals.pool_exhausted);
+  EXPECT_EQ(totals.pool.frees, totals.pool.allocs);
+  ASSERT_NE(runtime.conn_pool(), nullptr);
+  EXPECT_EQ(runtime.conn_pool()->live_objects(), 0u);
   if (GetParam() == RtMode::kStock) {
     // One shared queue: everything counts as local, nothing is stolen.
     EXPECT_EQ(totals.served_remote, 0u);
