@@ -51,6 +51,17 @@
 //                                     holds at least 90% of the baseline's --
 //                                     the same noise margin as --check, for
 //                                     the same shared-CPU CI hosts)
+//   --connect-timeout-ms=N           (client-side bound on every blocking
+//                                     socket call; also the client's retry
+//                                     backoff trigger -- see rt::LoadClient.
+//                                     Default 1000)
+//   --chaos=none|stall|kill          (fault injection on the last reactor:
+//                                     "stall" wedges its epoll_wait for 500 ms
+//                                     mid-run (watchdog fails it over, then it
+//                                     recovers), "kill" makes it exit its loop
+//                                     permanently. Both arm the watchdog and
+//                                     print the failover ledger. --baseline
+//                                     runs with injection disabled regardless)
 
 #include <cstdio>
 #include <cstdlib>
@@ -62,6 +73,7 @@
 
 #include "bench/bench_common.h"
 #include "src/core/reporter.h"
+#include "src/fault/fault_plan.h"
 #include "src/obs/json_writer.h"
 #include "src/obs/stats_sampler.h"
 #include "src/rt/load_client.h"
@@ -86,6 +98,8 @@ struct Options {
   std::string baseline_path;
   int skew_groups = 0;        // 0 = even load, >0 = skewed flow groups at core 0
   std::string steer = "off";  // off | on | fallback
+  int connect_timeout_ms = 1000;
+  std::string chaos = "none";  // none | stall | kill
 };
 
 bool ParseFlag(const char* arg, const char* name, const char** value) {
@@ -122,6 +136,10 @@ Options ParseOptions(int argc, char** argv) {
       }
     } else if (ParseFlag(argv[i], "--steer", &v)) {
       opt.steer = v;
+    } else if (ParseFlag(argv[i], "--connect-timeout-ms", &v)) {
+      opt.connect_timeout_ms = atoi(v);
+    } else if (ParseFlag(argv[i], "--chaos", &v)) {
+      opt.chaos = v;
     } else if (strcmp(argv[i], "--no-pin") == 0) {
       opt.pin = false;
     } else if (strcmp(argv[i], "--check") == 0) {
@@ -131,7 +149,8 @@ Options ParseOptions(int argc, char** argv) {
               "usage: %s [--mode=stock|fine|affinity|all] [--threads=N] "
               "[--clients=N] [--duration-ms=N] [--no-pin] [--check] "
               "[--stats-interval=N] [--json=FILE] [--baseline=FILE] [--skew=G] "
-              "[--steer=off|on|fallback]\n",
+              "[--steer=off|on|fallback] [--connect-timeout-ms=N] "
+              "[--chaos=none|stall|kill]\n",
               argv[0]);
       exit(2);
     }
@@ -146,6 +165,17 @@ Options ParseOptions(int argc, char** argv) {
     fprintf(stderr, "unknown --steer=%s\n", opt.steer.c_str());
     exit(2);
   }
+  if (opt.chaos != "none" && opt.chaos != "stall" && opt.chaos != "kill") {
+    fprintf(stderr, "unknown --chaos=%s\n", opt.chaos.c_str());
+    exit(2);
+  }
+  if (opt.chaos != "none" && !opt.baseline_path.empty()) {
+    // The committed baseline was measured without injection; a chaos run
+    // against it would only ever report a bogus regression.
+    fprintf(stderr, "--chaos is incompatible with --baseline\n");
+    exit(2);
+  }
+  if (opt.connect_timeout_ms < 1) opt.connect_timeout_ms = 1;
   return opt;
 }
 
@@ -276,6 +306,16 @@ RunResult RunMode(const RunSpec& spec, const Options& opt) {
   config.steer = spec.steer;
   config.steer_force_fallback = spec.force_fallback;
   config.migrate_interval_ms = spec.migrate_interval_ms;
+  if (opt.chaos != "none") {
+    // Wound the last reactor (core 0 owns the skewed flow groups, so it
+    // stays healthy) once the run has warmed up, and arm the watchdog.
+    int victim = opt.threads - 1;
+    config.fault_plan = opt.chaos == "stall"
+                            ? fault::FaultPlan::ReactorStall(victim, /*after_calls=*/200,
+                                                            /*stall_ms=*/500)
+                            : fault::FaultPlan::ReactorKill(victim, /*after_calls=*/200);
+    config.watchdog_timeout_ms = 50;
+  }
   Runtime runtime(config);
   std::string error;
   if (!runtime.Start(&error)) {
@@ -289,6 +329,7 @@ RunResult RunMode(const RunSpec& spec, const Options& opt) {
   LoadClientConfig client_config;
   client_config.port = runtime.port();
   client_config.num_threads = opt.clients;
+  client_config.connect_timeout_ms = opt.connect_timeout_ms;
   if (spec.skew_groups > 0) {
     // Section 6.5's skew: every connection's flow group is initially owned
     // by core 0, from deterministic source ports.
@@ -386,6 +427,10 @@ int main(int argc, char** argv) {
   if (opt.skew_groups > 0) {
     PrintKv("skew", std::to_string(opt.skew_groups) + " flow groups at core 0");
   }
+  if (opt.chaos != "none") {
+    PrintKv("chaos", opt.chaos + " on reactor " + std::to_string(opt.threads - 1) +
+                         " (watchdog 50 ms)");
+  }
 
   bool steer_on = opt.steer != "off";
   bool force_fallback = opt.steer == "fallback";
@@ -453,6 +498,24 @@ int main(int argc, char** argv) {
     double local_pct =
         served > 0 ? 100.0 * static_cast<double>(r.totals.served_local) / static_cast<double>(served)
                    : 0;
+    if (opt.chaos != "none") {
+      // The failover ledger plus the conservation equation every chaos run
+      // must balance: accepted == served + drained + dropped + shed.
+      std::printf("    [%s] chaos: injected=%llu failovers=%llu recoveries=%llu "
+                  "group_moves=%llu shed=%llu | accepted=%llu accounted=%llu (%s)\n",
+                  spec.label.c_str(),
+                  static_cast<unsigned long long>(r.totals.fault_injected),
+                  static_cast<unsigned long long>(r.totals.failovers),
+                  static_cast<unsigned long long>(r.totals.recoveries),
+                  static_cast<unsigned long long>(r.totals.failover_group_moves),
+                  static_cast<unsigned long long>(r.totals.admission_shed),
+                  static_cast<unsigned long long>(r.totals.accepted),
+                  static_cast<unsigned long long>(r.totals.accounted()),
+                  r.totals.accepted == r.totals.accounted() ? "balanced" : "IMBALANCED");
+      if (r.totals.accepted != r.totals.accounted()) {
+        all_ok = false;
+      }
+    }
     table.AddRow({spec.label, TablePrinter::Num(r.conns_per_sec, 0),
                   TablePrinter::Num(r.p50_us, 1), TablePrinter::Num(r.p95_us, 1),
                   TablePrinter::Num(r.p99_us, 1),

@@ -20,6 +20,14 @@ bool WatermarkBalancePolicy::IsBusy(CoreId core) const { return busy_.IsBusy(cor
 
 bool WatermarkBalancePolicy::AnyBusy() const { return busy_.AnyBusy(); }
 
+void WatermarkBalancePolicy::SetForcedBusy(CoreId core, bool forced) {
+  busy_.SetForcedBusy(core, forced);
+}
+
+bool WatermarkBalancePolicy::IsForcedBusy(CoreId core) const {
+  return busy_.IsForcedBusy(core);
+}
+
 double WatermarkBalancePolicy::EwmaValue(CoreId core) const { return busy_.EwmaValue(core); }
 
 bool WatermarkBalancePolicy::ShouldStealThisTime(CoreId core) {
@@ -85,6 +93,16 @@ bool LockedBalancePolicy::IsBusy(CoreId core) const {
 bool LockedBalancePolicy::AnyBusy() const {
   std::lock_guard<std::mutex> lock(mu_);
   return inner_.AnyBusy();
+}
+
+void LockedBalancePolicy::SetForcedBusy(CoreId core, bool forced) {
+  std::lock_guard<std::mutex> lock(mu_);
+  inner_.SetForcedBusy(core, forced);
+}
+
+bool LockedBalancePolicy::IsForcedBusy(CoreId core) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return inner_.IsForcedBusy(core);
 }
 
 double LockedBalancePolicy::EwmaValue(CoreId core) const {

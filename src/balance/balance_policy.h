@@ -63,6 +63,22 @@ class BalancePolicy {
   virtual bool IsBusy(CoreId core) const = 0;
   virtual bool AnyBusy() const = 0;
 
+  // --- failure domains (src/fault watchdog failover) ---
+
+  // Pins `core`'s busy bit on regardless of its watermarks: failover marks a
+  // dead reactor permanently busy so peers steal its ring dry and migration
+  // treats it as a victim only; recovery lifts the pin and the watermark
+  // state underneath regains authority. Default: unsupported, no-op (the
+  // simulator has no failure domains).
+  virtual void SetForcedBusy(CoreId core, bool forced) {
+    (void)core;
+    (void)forced;
+  }
+  virtual bool IsForcedBusy(CoreId core) const {
+    (void)core;
+    return false;
+  }
+
   // The EWMA queue length driving `core`'s low-watermark check; exposed for
   // decision tracing (obs::TraceRing records it at every busy flip).
   virtual double EwmaValue(CoreId core) const = 0;
@@ -114,6 +130,8 @@ class WatermarkBalancePolicy : public BalancePolicy {
   bool OnDequeue(CoreId core, size_t len_after) override;
   bool IsBusy(CoreId core) const override;
   bool AnyBusy() const override;
+  void SetForcedBusy(CoreId core, bool forced) override;
+  bool IsForcedBusy(CoreId core) const override;
   double EwmaValue(CoreId core) const override;
   bool ShouldStealThisTime(CoreId core) override;
   CoreId PickBusyVictim(CoreId thief) override;
@@ -153,6 +171,8 @@ class LockedBalancePolicy : public BalancePolicy {
   bool OnDequeue(CoreId core, size_t len_after) override;
   bool IsBusy(CoreId core) const override;
   bool AnyBusy() const override;
+  void SetForcedBusy(CoreId core, bool forced) override;
+  bool IsForcedBusy(CoreId core) const override;
   double EwmaValue(CoreId core) const override;
   bool ShouldStealThisTime(CoreId core) override;
   CoreId PickBusyVictim(CoreId thief) override;

@@ -10,7 +10,8 @@ BusyTracker::BusyTracker(int num_cores, int max_local_len, double high_watermark
     : max_local_len_(max_local_len),
       high_(static_cast<size_t>(std::max(1.0, high_watermark_pct * max_local_len))),
       low_(static_cast<size_t>(std::max(1.0, low_watermark_pct * max_local_len))),
-      busy_(static_cast<size_t>(num_cores), false) {
+      busy_(static_cast<size_t>(num_cores), false),
+      forced_(static_cast<size_t>(num_cores), false) {
   assert(num_cores > 0);
   assert(max_local_len > 0);
   // "EWMA's alpha parameter is set to one over twice the max local accept
@@ -37,6 +38,15 @@ bool BusyTracker::SetBusy(CoreId core, bool busy) {
   return true;
 }
 
+void BusyTracker::SetForcedBusy(CoreId core, bool forced) {
+  size_t idx = static_cast<size_t>(core);
+  if (forced_[idx] == forced) {
+    return;
+  }
+  forced_[idx] = forced;
+  forced_count_ += forced ? 1 : -1;
+}
+
 bool BusyTracker::OnEnqueue(CoreId core, size_t len_after) {
   Ewma& avg = ewma_[static_cast<size_t>(core)];
   avg.Update(static_cast<double>(len_after));
@@ -50,12 +60,13 @@ bool BusyTracker::OnEnqueue(CoreId core, size_t len_after) {
       // zero) would clear the bit on the very next enqueue.
       avg.Reset(static_cast<double>(len_after));
     }
-    return flipped;
+    return flipped && !forced_[static_cast<size_t>(core)];
   }
   // Clearing is conservative: only when the long-term average has decayed
-  // below the low watermark.
-  if (IsBusy(core) && avg.value() < static_cast<double>(low_)) {
-    return SetBusy(core, false);
+  // below the low watermark. Watermark state, not the forced overlay,
+  // decides the clear -- and while forced, the flip is invisible.
+  if (busy_[static_cast<size_t>(core)] && avg.value() < static_cast<double>(low_)) {
+    return SetBusy(core, false) && !forced_[static_cast<size_t>(core)];
   }
   return false;
 }
@@ -67,8 +78,8 @@ bool BusyTracker::OnDequeue(CoreId core, size_t len_after) {
   // stream the behaviour is identical.
   Ewma& avg = ewma_[static_cast<size_t>(core)];
   avg.Update(static_cast<double>(len_after));
-  if (IsBusy(core) && avg.value() < static_cast<double>(low_)) {
-    return SetBusy(core, false);
+  if (busy_[static_cast<size_t>(core)] && avg.value() < static_cast<double>(low_)) {
+    return SetBusy(core, false) && !forced_[static_cast<size_t>(core)];
   }
   return false;
 }

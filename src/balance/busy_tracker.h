@@ -40,10 +40,21 @@ class BusyTracker {
   // still needs its bit cleared). Returns true if the busy bit changed.
   bool OnDequeue(CoreId core, size_t len_after);
 
-  bool IsBusy(CoreId core) const { return busy_[static_cast<size_t>(core)]; }
+  bool IsBusy(CoreId core) const {
+    return forced_[static_cast<size_t>(core)] || busy_[static_cast<size_t>(core)];
+  }
+
+  // Failover overlay (the src/fault watchdog): a forced-busy core reads
+  // busy to every policy check regardless of its watermarks, so peers steal
+  // its ring dry and the migration loop treats it as a victim, never a
+  // destination. The watermark machinery keeps updating underneath and
+  // regains authority the moment the force is lifted; while forced, the
+  // enqueue/dequeue hooks report no flips (the effective bit cannot move).
+  void SetForcedBusy(CoreId core, bool forced);
+  bool IsForcedBusy(CoreId core) const { return forced_[static_cast<size_t>(core)]; }
 
   // Any core marked busy right now? (single bit-vector read)
-  bool AnyBusy() const { return busy_count_ > 0; }
+  bool AnyBusy() const { return busy_count_ > 0 || forced_count_ > 0; }
   int busy_count() const { return busy_count_; }
 
   double EwmaValue(CoreId core) const { return ewma_[static_cast<size_t>(core)].value(); }
@@ -64,7 +75,9 @@ class BusyTracker {
   size_t low_;
   std::vector<Ewma> ewma_;
   std::vector<bool> busy_;
+  std::vector<bool> forced_;
   int busy_count_ = 0;
+  int forced_count_ = 0;
   uint64_t to_busy_ = 0;
   uint64_t to_nonbusy_ = 0;
 };

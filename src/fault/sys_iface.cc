@@ -1,0 +1,35 @@
+#include "src/fault/sys_iface.h"
+
+#include <unistd.h>
+
+namespace affinity {
+namespace fault {
+
+int SysIface::Accept4(int core, int sockfd, sockaddr* addr, socklen_t* addrlen, int flags) {
+  (void)core;
+  return accept4(sockfd, addr, addrlen, flags);
+}
+
+int SysIface::EpollWait(int core, int epfd, epoll_event* events, int maxevents, int timeout_ms) {
+  (void)core;
+  return epoll_wait(epfd, events, maxevents, timeout_ms);
+}
+
+int SysIface::Close(int core, int fd) {
+  (void)core;
+  return close(fd);
+}
+
+int SysIface::AttachFilter(int core, int sockfd, int level, int optname, const void* optval,
+                           socklen_t optlen) {
+  (void)core;
+  return setsockopt(sockfd, level, optname, optval, optlen);
+}
+
+SysIface* DefaultSys() {
+  static SysIface passthrough;
+  return &passthrough;
+}
+
+}  // namespace fault
+}  // namespace affinity

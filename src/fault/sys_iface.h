@@ -1,0 +1,53 @@
+// SysIface: the reactor's hot-path syscall surface, made substitutable.
+//
+// The runtime's failure story (watchdog, failover, shaped overload) is only
+// testable if its failure triggers are reproducible. Real EMFILE storms,
+// stalled cores, and flaky accept(2)s cannot be scheduled from a unit test,
+// so every syscall the reactor's fate depends on -- accept4, epoll_wait,
+// close, and the SO_ATTACH_REUSEPORT_CBPF attach -- is routed through this
+// one-virtual-call-deep interface. The default implementation is a pure
+// passthrough (DefaultSys(), a process-wide singleton with no state); chaos
+// runs substitute fault::FaultInjector, which consults a seeded, per-core,
+// per-call-site FaultPlan and is deterministic enough to replay in CI.
+//
+// Every method takes the calling reactor's core index first: the injector
+// keys its schedules by (call site, core), and the passthrough ignores it.
+// One virtual dispatch per syscall is noise next to the syscall itself
+// (bench_rt_loopback's --baseline gate holds with the passthrough in place).
+
+#ifndef AFFINITY_SRC_FAULT_SYS_IFACE_H_
+#define AFFINITY_SRC_FAULT_SYS_IFACE_H_
+
+#include <sys/epoll.h>
+#include <sys/socket.h>
+
+namespace affinity {
+namespace fault {
+
+class SysIface {
+ public:
+  // Sentinel EpollWait return: the plan scheduled a reactor death. The
+  // reactor must exit Run() as if its thread had been lost -- the watchdog
+  // and its peers take it from there. The passthrough never returns this.
+  static constexpr int kKillReactor = -2;
+
+  virtual ~SysIface() = default;
+
+  virtual int Accept4(int core, int sockfd, sockaddr* addr, socklen_t* addrlen, int flags);
+  virtual int EpollWait(int core, int epfd, epoll_event* events, int maxevents, int timeout_ms);
+  // Always releases the fd, even when reporting an injected error -- chaos
+  // runs must not leak descriptors.
+  virtual int Close(int core, int fd);
+  // The cBPF flow-director attach (steer::AttachReuseportProgram routes
+  // here). Injected failure exercises the kFallback degradation path.
+  virtual int AttachFilter(int core, int sockfd, int level, int optname, const void* optval,
+                           socklen_t optlen);
+};
+
+// The shared passthrough instance; stateless, safe from every thread.
+SysIface* DefaultSys();
+
+}  // namespace fault
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_FAULT_SYS_IFACE_H_

@@ -1,0 +1,81 @@
+// TokenBucket: the per-core drop budget behind shaped overload.
+//
+// The paper's Section 3.3 bounded-queue argument assumes overload is shed,
+// not convoyed; ROADMAP's backpressure study asks what the shedding should
+// look like. This bucket rates the "accept-then-RST" half of the admission
+// policy: each RST disposition spends one token, tokens refill at
+// `rate_per_sec`, and the bucket holds at most one second of budget. When
+// the bucket is dry the reactor stops RSTing and pushes back into the
+// kernel backlog instead, so a drop storm degrades into bounded queueing
+// rather than an RST flood.
+//
+// Single-threaded by design: each reactor owns one bucket. Time is passed
+// in (the reactor already reads the clock once per loop), which also makes
+// the refill math unit-testable without sleeping.
+
+#ifndef AFFINITY_SRC_FAULT_TOKEN_BUCKET_H_
+#define AFFINITY_SRC_FAULT_TOKEN_BUCKET_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace affinity {
+namespace fault {
+
+class TokenBucket {
+ public:
+  using Clock = std::chrono::steady_clock;
+
+  // rate_per_sec <= 0 builds an unlimited bucket (TryTake always true).
+  TokenBucket(int64_t rate_per_sec, Clock::time_point now)
+      : rate_per_sec_(rate_per_sec), tokens_(rate_per_sec > 0 ? rate_per_sec : 0), last_(now) {}
+
+  bool unlimited() const { return rate_per_sec_ <= 0; }
+
+  // Spends one token if available. Refills lazily from elapsed time.
+  bool TryTake(Clock::time_point now) {
+    if (unlimited()) {
+      return true;
+    }
+    Refill(now);
+    if (tokens_ < 1) {
+      return false;
+    }
+    tokens_ -= 1;
+    return true;
+  }
+
+  // Whole tokens currently available (after a refill at `now`).
+  int64_t available(Clock::time_point now) {
+    if (unlimited()) {
+      return INT64_MAX;
+    }
+    Refill(now);
+    return tokens_;
+  }
+
+ private:
+  void Refill(Clock::time_point now) {
+    if (now <= last_) {
+      return;
+    }
+    auto elapsed_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(now - last_).count();
+    // Integer refill: carry the remainder by only advancing last_ by the
+    // time actually converted into tokens.
+    int64_t earned = elapsed_ns * rate_per_sec_ / 1000000000ll;
+    if (earned <= 0) {
+      return;
+    }
+    last_ += std::chrono::nanoseconds(earned * 1000000000ll / rate_per_sec_);
+    tokens_ = tokens_ + earned > rate_per_sec_ ? rate_per_sec_ : tokens_ + earned;
+  }
+
+  int64_t rate_per_sec_;
+  int64_t tokens_;
+  Clock::time_point last_;
+};
+
+}  // namespace fault
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_FAULT_TOKEN_BUCKET_H_

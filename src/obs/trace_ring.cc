@@ -19,6 +19,12 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "overflow_drop";
     case TraceEventType::kMigrate:
       return "migrate";
+    case TraceEventType::kReactorDead:
+      return "reactor_dead";
+    case TraceEventType::kReactorRecover:
+      return "reactor_recover";
+    case TraceEventType::kAdmissionShed:
+      return "admission_shed";
   }
   return "?";
 }
@@ -111,6 +117,18 @@ std::string TraceRing::DumpToString() const {
                       static_cast<unsigned long long>(ev.t_ns),
                       static_cast<unsigned long long>(ev.seq), ev.core, ev.group, ev.src, ev.dst,
                       ev.tick);
+        break;
+      case TraceEventType::kReactorDead:
+      case TraceEventType::kReactorRecover:
+        std::snprintf(line, sizeof(line), "%12llu ns seq=%llu core=%d %s reactor=%d tick=%u\n",
+                      static_cast<unsigned long long>(ev.t_ns),
+                      static_cast<unsigned long long>(ev.seq), ev.core,
+                      TraceEventTypeName(ev.type), ev.src, ev.tick);
+        break;
+      case TraceEventType::kAdmissionShed:
+        std::snprintf(line, sizeof(line), "%12llu ns seq=%llu core=%d admission_shed qlen=%u\n",
+                      static_cast<unsigned long long>(ev.t_ns),
+                      static_cast<unsigned long long>(ev.seq), ev.core, ev.qlen);
         break;
     }
     out += line;

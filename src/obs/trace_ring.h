@@ -28,6 +28,9 @@ enum class TraceEventType : uint8_t {
   kBusyOff,       // core's EWMA fell below the low watermark
   kOverflowDrop,  // local accept queue full, connection closed on arrival
   kMigrate,       // flow group moved src -> dst at migration tick `tick`
+  kReactorDead,   // watchdog failover: src reactor marked dead by core's reactor
+  kReactorRecover,  // src reactor came back; failover reversed
+  kAdmissionShed,   // shaped overload: connection accepted then shed (RST)
 };
 
 const char* TraceEventTypeName(TraceEventType type);

@@ -7,15 +7,40 @@
 #include <sys/time.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 
 namespace affinity {
 namespace rt {
 
+namespace {
+
+// xorshift64*: cheap, per-thread jitter stream. Not for statistics -- only
+// for desynchronizing backoff windows across client threads.
+uint64_t NextRand(uint64_t* state) {
+  uint64_t x = *state;
+  x ^= x >> 12;
+  x ^= x << 25;
+  x ^= x >> 27;
+  *state = x;
+  return x * 0x2545f4914f6cdd1dull;
+}
+
+}  // namespace
+
 LoadClient::LoadClient(const LoadClientConfig& config) : config_(config) {
   if (config_.num_threads < 1) {
     config_.num_threads = 1;
+  }
+  if (config_.connect_timeout_ms < 1) {
+    config_.connect_timeout_ms = 1;
+  }
+  if (config_.backoff_base_ms < 1) {
+    config_.backoff_base_ms = 1;
+  }
+  if (config_.backoff_max_ms < config_.backoff_base_ms) {
+    config_.backoff_max_ms = config_.backoff_base_ms;
   }
 }
 
@@ -60,6 +85,8 @@ void LoadClient::RunThread(int thread_index) {
     ports.push_back(config_.src_ports[i]);
   }
   size_t cursor = 0;
+  uint64_t rng = config_.backoff_seed + static_cast<uint64_t>(thread_index) * 0x9e3779b9ull + 1;
+  int backoff_ms = 0;
 
   while (!stop_.load(std::memory_order_acquire)) {
     if (config_.max_conns > 0 &&
@@ -80,23 +107,66 @@ void LoadClient::RunThread(int thread_index) {
       outcome = OneConnection(src_port);
     }
     if (outcome == ConnOutcome::kOk) {
-      completed_.fetch_add(1, std::memory_order_relaxed);
-    } else {
-      ++errors_;
-      // Back off briefly so a wedged server does not spin us at 100% CPU.
-      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      backoff_ms = 0;
+      continue;
     }
+    if (outcome == ConnOutcome::kRefused || outcome == ConnOutcome::kTimedOut) {
+      // Capped exponential backoff with jitter: double the window up to the
+      // cap, sleep a uniform draw from [window/2, window] so the client
+      // threads spread out instead of re-hammering in lockstep.
+      backoff_ms = backoff_ms == 0 ? config_.backoff_base_ms
+                                   : std::min(backoff_ms * 2, config_.backoff_max_ms);
+      int low = backoff_ms / 2 < 1 ? 1 : backoff_ms / 2;
+      int jittered =
+          low + static_cast<int>(NextRand(&rng) % static_cast<uint64_t>(backoff_ms - low + 1));
+      backoffs_.fetch_add(1, std::memory_order_relaxed);
+      auto deadline =
+          std::chrono::steady_clock::now() + std::chrono::milliseconds(jittered);
+      while (std::chrono::steady_clock::now() < deadline &&
+             !stop_.load(std::memory_order_acquire)) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      continue;
+    }
+    // kError (or an exhausted port-busy lap): brief fixed pause so a wedged
+    // server does not spin us at 100% CPU.
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
   }
 }
 
 LoadClient::ConnOutcome LoadClient::OneConnection(uint16_t src_port) {
+  attempted_.fetch_add(1, std::memory_order_relaxed);
+  auto fail = [this](ConnOutcome outcome) {
+    switch (outcome) {
+      case ConnOutcome::kPortInUse:
+        port_busy_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ConnOutcome::kRefused:
+        refused_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ConnOutcome::kTimedOut:
+        timeouts_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ConnOutcome::kError:
+        errors_.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case ConnOutcome::kOk:
+        completed_.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
+    return outcome;
+  };
+
   int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
   if (fd < 0) {
-    return ConnOutcome::kError;
+    return fail(ConnOutcome::kError);
   }
-  // Bound every blocking call so Stop() is honored within ~1s even if the
-  // server stops serving while we are connected.
-  timeval tv{1, 0};
+  // Bound every blocking call so Stop() is honored within the timeout even
+  // if the server stops serving while we are connected. SO_SNDTIMEO also
+  // bounds the blocking connect itself.
+  timeval tv;
+  tv.tv_sec = config_.connect_timeout_ms / 1000;
+  tv.tv_usec = (config_.connect_timeout_ms % 1000) * 1000;
   setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 
@@ -111,7 +181,7 @@ LoadClient::ConnOutcome LoadClient::OneConnection(uint16_t src_port) {
     if (bind(fd, reinterpret_cast<sockaddr*>(&src), sizeof(src)) < 0) {
       int bind_errno = errno;
       close(fd);
-      return bind_errno == EADDRINUSE ? ConnOutcome::kPortInUse : ConnOutcome::kError;
+      return fail(bind_errno == EADDRINUSE ? ConnOutcome::kPortInUse : ConnOutcome::kError);
     }
   }
 
@@ -121,11 +191,23 @@ LoadClient::ConnOutcome LoadClient::OneConnection(uint16_t src_port) {
   addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
   addr.sin_port = htons(config_.port);
   if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    // A connect from a just-reused 4-tuple can also bounce off TIME_WAIT.
     int connect_errno = errno;
     close(fd);
-    return src_port != 0 && connect_errno == EADDRNOTAVAIL ? ConnOutcome::kPortInUse
-                                                           : ConnOutcome::kError;
+    // A connect from a just-reused 4-tuple can also bounce off TIME_WAIT.
+    if (src_port != 0 && connect_errno == EADDRNOTAVAIL) {
+      return fail(ConnOutcome::kPortInUse);
+    }
+    if (connect_errno == ECONNREFUSED) {
+      return fail(ConnOutcome::kRefused);
+    }
+    // A blocking connect bounded by SO_SNDTIMEO reports expiry as
+    // EINPROGRESS/EWOULDBLOCK; ETIMEDOUT is the kernel's own handshake
+    // timeout.
+    if (connect_errno == ETIMEDOUT || connect_errno == EINPROGRESS ||
+        connect_errno == EWOULDBLOCK || connect_errno == EAGAIN) {
+      return fail(ConnOutcome::kTimedOut);
+    }
+    return fail(ConnOutcome::kError);
   }
 
   // Read the response until orderly EOF.
@@ -137,6 +219,7 @@ LoadClient::ConnOutcome LoadClient::OneConnection(uint16_t src_port) {
       got_byte = true;
       continue;
     }
+    bool timed_out = n < 0 && (errno == EWOULDBLOCK || errno == EAGAIN);
     if (src_port != 0) {
       // RST-close: a FIN would leave this exact 4-tuple in TIME_WAIT and the
       // next cycle's bind+connect to the same port would fail, but the port
@@ -145,7 +228,10 @@ LoadClient::ConnOutcome LoadClient::OneConnection(uint16_t src_port) {
       setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
     }
     close(fd);
-    return n == 0 && got_byte ? ConnOutcome::kOk : ConnOutcome::kError;
+    if (n == 0 && got_byte) {
+      return fail(ConnOutcome::kOk);
+    }
+    return fail(timed_out ? ConnOutcome::kTimedOut : ConnOutcome::kError);
   }
 }
 

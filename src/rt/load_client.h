@@ -1,6 +1,13 @@
 // Loopback load generator: closed-loop client threads that connect to the
 // runtime's port, read the one-byte response until EOF, and immediately
 // reconnect. Connection-per-request, like the paper's ab/apachebench setup.
+//
+// Robustness: every blocking call is bounded by connect_timeout_ms, and a
+// refused or timed-out connect enters capped exponential backoff with
+// jitter -- a restarting or overloaded server sees a decaying retry storm,
+// not a synchronized hammer. Outcomes are conserved: every attempt is
+// exactly one of completed, refused, timed out, port-busy, or error, so
+// chaos tests can balance the client ledger against the server's.
 
 #ifndef AFFINITY_SRC_RT_LOAD_CLIENT_H_
 #define AFFINITY_SRC_RT_LOAD_CLIENT_H_
@@ -26,6 +33,15 @@ struct LoadClientConfig {
   // (SO_LINGER{1,0}) instead of orderly-closed so the 4-tuple never lingers
   // in TIME_WAIT and the port is immediately reusable.
   std::vector<uint16_t> src_ports;
+  // Bound on every blocking socket call (connect, read); also how fast
+  // Stop() is honored mid-connection.
+  int connect_timeout_ms = 1000;
+  // Capped exponential backoff after ECONNREFUSED/ETIMEDOUT: first window
+  // backoff_base_ms, doubling to backoff_max_ms, with uniform jitter in
+  // [window/2, window] so client threads desynchronize.
+  int backoff_base_ms = 1;
+  int backoff_max_ms = 100;
+  uint64_t backoff_seed = 1;  // per-thread jitter streams derive from this
 };
 
 class LoadClient {
@@ -42,25 +58,39 @@ class LoadClient {
   // Blocks until max_conns completions (requires max_conns > 0), then stops.
   void WaitForMaxConns();
 
+  // Outcome ledger: attempted() == completed + refused + timeouts +
+  // port_busy + errors once the threads are joined.
+  uint64_t attempted() const { return attempted_.load(std::memory_order_relaxed); }
   uint64_t completed() const { return completed_.load(std::memory_order_relaxed); }
+  uint64_t refused() const { return refused_.load(std::memory_order_relaxed); }
+  uint64_t timeouts() const { return timeouts_.load(std::memory_order_relaxed); }
+  uint64_t port_busy() const { return port_busy_.load(std::memory_order_relaxed); }
   uint64_t errors() const { return errors_.load(std::memory_order_relaxed); }
+  uint64_t backoffs() const { return backoffs_.load(std::memory_order_relaxed); }
 
  private:
   enum class ConnOutcome {
     kOk,
     kPortInUse,  // bind(src_port) hit EADDRINUSE: retry with the next port
+    kRefused,    // connect ECONNREFUSED: nothing listening (yet)
+    kTimedOut,   // connect or read exceeded connect_timeout_ms
     kError,
   };
 
   void RunThread(int thread_index);
   // One connect / read-to-EOF / close cycle; `src_port` 0 lets the kernel
-  // pick an ephemeral port.
+  // pick an ephemeral port. Increments attempted_ and the outcome counter.
   ConnOutcome OneConnection(uint16_t src_port);
 
   LoadClientConfig config_;
   std::vector<std::thread> threads_;
+  std::atomic<uint64_t> attempted_{0};
   std::atomic<uint64_t> completed_{0};
+  std::atomic<uint64_t> refused_{0};
+  std::atomic<uint64_t> timeouts_{0};
+  std::atomic<uint64_t> port_busy_{0};
   std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> backoffs_{0};
   std::atomic<bool> stop_{false};
   bool started_ = false;
 };

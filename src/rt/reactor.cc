@@ -1,10 +1,12 @@
 #include "src/rt/reactor.h"
 
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 
@@ -18,6 +20,12 @@ namespace {
 // Stack-array cap for one accept4 drain. accept_batch is clamped to this so
 // a batch's bookkeeping never leaves the stack.
 constexpr int kMaxAcceptBatch = 256;
+
+// Capped exponential accept backoff after EMFILE/ENFILE: first window 1 ms,
+// doubling to at most 100 ms -- long enough for fds to free up, short
+// enough that the listen backlog keeps a bound on client-visible latency.
+constexpr int kBackoffFirstMs = 1;
+constexpr int kBackoffCapMs = 100;
 
 uint64_t ToNs(std::chrono::steady_clock::duration d) {
   return static_cast<uint64_t>(
@@ -38,6 +46,16 @@ const char* RtModeName(RtMode mode) {
   return "?";
 }
 
+const char* OverloadPolicyName(OverloadPolicy policy) {
+  switch (policy) {
+    case OverloadPolicy::kAcceptThenRst:
+      return "accept_then_rst";
+    case OverloadPolicy::kLeaveInBacklog:
+      return "leave_in_backlog";
+  }
+  return "?";
+}
+
 Reactor::Reactor(int index, int listen_fd, ReactorShared* shared)
     : index_(index), listen_fd_(listen_fd), shared_(shared) {}
 
@@ -52,6 +70,12 @@ void Reactor::ResolveHotCells() {
   hot_.epoll_wakeups = m->Cell(ids.epoll_wakeups, index_);
   hot_.conn_remote_frees = m->Cell(ids.conn_remote_frees, index_);
   hot_.pool_exhausted = m->Cell(ids.pool_exhausted, index_);
+  hot_.accept_eintr = m->Cell(ids.accept_eintr, index_);
+  hot_.accept_econnaborted = m->Cell(ids.accept_econnaborted, index_);
+  hot_.accept_eproto = m->Cell(ids.accept_eproto, index_);
+  hot_.accept_emfile = m->Cell(ids.accept_emfile, index_);
+  hot_.accept_backoff = m->Cell(ids.accept_backoff, index_);
+  hot_.admission_shed = m->Cell(ids.admission_shed, index_);
   hot_.queue_wait = m->HistCell(ids.queue_wait, index_);
   if (shared_->director != nullptr) {
     hot_.steer_owner_accepts = m->Cell(ids.steer_owner_accepts, index_);
@@ -75,31 +99,73 @@ void Reactor::Run() {
   }
   ResolveHotCells();
 
-  int ep = epoll_create1(EPOLL_CLOEXEC);
-  if (ep < 0) {
+  ep_ = epoll_create1(EPOLL_CLOEXEC);
+  if (ep_ < 0) {
     return;
   }
   epoll_event ev{};
   ev.events = EPOLLIN;  // level-triggered: stock mode herds on purpose
   ev.data.fd = listen_fd_;
-  epoll_ctl(ep, EPOLL_CTL_ADD, listen_fd_, &ev);
+  epoll_ctl(ep_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  sources_.clear();
+  sources_.push_back(ListenSource{
+      listen_fd_, shared_->mode == RtMode::kStock ? 0u : static_cast<uint32_t>(index_)});
+
+  // EMFILE rescue reserve: one fd held back so fd exhaustion can still
+  // accept-and-RST (keeping the backlog moving) instead of wedging.
+  reserve_fd_ = open("/dev/null", O_RDONLY | O_CLOEXEC);
+  backoff_ms_ = 0;
+  backoff_until_ = std::chrono::steady_clock::time_point{};
+  drop_bucket_.reset(
+      new fault::TokenBucket(shared_->drop_budget_per_sec, std::chrono::steady_clock::now()));
 
   bool migrate = shared_->director != nullptr && shared_->migrate_interval_ms > 0;
   auto migrate_period = std::chrono::milliseconds(
       migrate ? shared_->migrate_interval_ms : 1);
   auto next_migrate = std::chrono::steady_clock::now() + migrate_period;
 
-  // The listen shard is the only registered fd, so one ready event means
-  // "drain accept4"; the array still takes a batch of wakeup reasons in one
-  // syscall if more fds ever join the set.
+  bool watchdog = shared_->domains != nullptr && shared_->watchdog_timeout_ms > 0;
+  std::unique_ptr<fault::WatchdogMonitor> monitor;
+  auto watchdog_period = std::chrono::milliseconds(
+      watchdog ? std::max(1, shared_->watchdog_timeout_ms / 4) : 1);
+  auto next_watchdog = std::chrono::steady_clock::now() + watchdog_period;
+  if (watchdog) {
+    monitor.reset(new fault::WatchdogMonitor(
+        shared_->domains, index_,
+        std::chrono::milliseconds(shared_->watchdog_timeout_ms)));
+  }
+
+  // The listen shard is usually the only registered fd; adopted shards from
+  // dead peers join the set after a failover, so events are dispatched per
+  // fd.
   epoll_event events[64];
   while (!shared_->stop.load(std::memory_order_acquire)) {
+    if (shared_->domains != nullptr) {
+      shared_->domains->Beat(index_);
+      if (shared_->domains->IsDead(index_)) {
+        // A peer failed us over while we were stalled; reverse it.
+        SelfRecover();
+      }
+    }
     // Short timeout so stop and cross-ring work (stolen connections pushed
     // by other shards) are noticed even when our own shard is idle.
-    int n = epoll_wait(ep, events, 64, /*timeout_ms=*/1);
+    int n = shared_->sys->EpollWait(index_, ep_, events, 64, /*timeout_ms=*/1);
+    if (n == fault::SysIface::kKillReactor) {
+      // The chaos plan killed this reactor: exit as if the thread died.
+      // Deliberately no recovery, no draining -- the watchdog and the
+      // surviving peers own everything from here.
+      break;
+    }
     if (n > 0) {
       hot_.epoll_wakeups->fetch_add(1, std::memory_order_relaxed);
-      AcceptBatch();
+      for (int i = 0; i < n; ++i) {
+        for (const ListenSource& src : sources_) {
+          if (src.fd == events[i].data.fd) {
+            AcceptBatch(src.fd, src.qi);
+            break;
+          }
+        }
+      }
     } else if (n < 0 && errno != EINTR) {
       break;
     }
@@ -110,15 +176,25 @@ void Reactor::Run() {
       ServeOne(/*idle=*/true);
       FlushDequeues();
     }
-    if (migrate && std::chrono::steady_clock::now() >= next_migrate) {
+    auto now = std::chrono::steady_clock::now();
+    if (migrate && now >= next_migrate) {
       // The paper's long-term balancer: every 100 ms each (non-busy) core
       // makes its own migration decision. The epoll timeout above bounds
       // how late a tick can fire.
       MigrationTick();
       next_migrate += migrate_period;
     }
+    if (watchdog && now >= next_watchdog) {
+      WatchdogTick(monitor.get());
+      next_watchdog += watchdog_period;
+    }
   }
-  close(ep);
+  if (reserve_fd_ >= 0) {
+    close(reserve_fd_);
+    reserve_fd_ = -1;
+  }
+  close(ep_);
+  ep_ = -1;
 }
 
 void Reactor::MigrationTick() {
@@ -145,6 +221,115 @@ void Reactor::MigrationTick() {
   }
 }
 
+void Reactor::WatchdogTick(fault::WatchdogMonitor* monitor) {
+  ReleaseRecoveredAdoptions();
+  std::vector<int> stalled;
+  monitor->Scan(std::chrono::steady_clock::now(), &stalled);
+  for (int peer : stalled) {
+    if (!shared_->domains->IsDead(peer)) {
+      TryFailover(peer);
+    }
+  }
+}
+
+void Reactor::TryFailover(int dead) {
+  std::lock_guard<std::mutex> lock(shared_->failover_mu);
+  if (!shared_->domains->MarkDead(dead)) {
+    return;  // another reactor won, or the peer is already dead
+  }
+  // From here this reactor owns the failover actions; the mutex keeps a
+  // concurrently-recovering peer from interleaving with them.
+  shared_->metrics->Add(shared_->ids.failovers, index_);
+  shared_->metrics->GaugeSet(shared_->ids.reactor_dead, dead, 1);
+  if (shared_->policy != nullptr) {
+    // Permanently busy: peers steal the dead ring dry, and the migration
+    // loop never picks the dead core as a destination.
+    shared_->policy->SetForcedBusy(dead, true);
+    shared_->metrics->GaugeSet(shared_->ids.busy, dead, 1);
+  }
+  if (shared_->director != nullptr) {
+    size_t moved = shared_->director->FailOverCore(dead, shared_->policy, migrate_tick_);
+    if (moved > 0) {
+      shared_->metrics->Add(shared_->ids.failover_group_moves, index_,
+                            static_cast<uint64_t>(moved));
+      for (int c = 0; c < shared_->num_reactors; ++c) {
+        shared_->metrics->GaugeSet(shared_->ids.groups_owned, c,
+                                   static_cast<uint64_t>(shared_->director->table().OwnedBy(c)));
+      }
+    }
+  }
+  // Adopt the dead peer's listen shard: SYNs the kernel already queued
+  // there (and, in fallback steering, keeps hashing there) would otherwise
+  // strand. Accepts land on the dead core's ring by default, where
+  // forced-busy stealing drains them.
+  if (shared_->mode != RtMode::kStock &&
+      dead < static_cast<int>(shared_->listen_fds.size())) {
+    int lfd = shared_->listen_fds[static_cast<size_t>(dead)];
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = lfd;
+    if (epoll_ctl(ep_, EPOLL_CTL_ADD, lfd, &ev) == 0) {
+      sources_.push_back(ListenSource{lfd, static_cast<uint32_t>(dead)});
+    }
+  }
+  if (shared_->trace != nullptr) {
+    obs::TraceEvent event;
+    event.type = obs::TraceEventType::kReactorDead;
+    event.core = static_cast<int16_t>(index_);
+    event.src = static_cast<int16_t>(dead);
+    event.tick = static_cast<uint32_t>(migrate_tick_);
+    shared_->trace->Record(index_, event);
+  }
+}
+
+void Reactor::SelfRecover() {
+  std::lock_guard<std::mutex> lock(shared_->failover_mu);
+  if (!shared_->domains->MarkAlive(index_)) {
+    return;
+  }
+  shared_->metrics->Add(shared_->ids.recoveries, index_);
+  shared_->metrics->GaugeSet(shared_->ids.reactor_dead, index_, 0);
+  if (shared_->policy != nullptr) {
+    shared_->policy->SetForcedBusy(index_, false);
+    shared_->metrics->GaugeSet(shared_->ids.busy, index_,
+                               shared_->policy->IsBusy(index_) ? 1 : 0);
+  }
+  if (shared_->director != nullptr) {
+    size_t returned = shared_->director->RecoverCore(index_, migrate_tick_);
+    if (returned > 0) {
+      shared_->metrics->Add(shared_->ids.failover_group_moves, index_,
+                            static_cast<uint64_t>(returned));
+      for (int c = 0; c < shared_->num_reactors; ++c) {
+        shared_->metrics->GaugeSet(shared_->ids.groups_owned, c,
+                                   static_cast<uint64_t>(shared_->director->table().OwnedBy(c)));
+      }
+    }
+  }
+  // The adopter still holds our listen fd in its epoll until its next
+  // watchdog tick (ReleaseRecoveredAdoptions); the brief double-drain is
+  // harmless -- accept4 hands each connection to exactly one caller.
+  if (shared_->trace != nullptr) {
+    obs::TraceEvent event;
+    event.type = obs::TraceEventType::kReactorRecover;
+    event.core = static_cast<int16_t>(index_);
+    event.src = static_cast<int16_t>(index_);
+    event.tick = static_cast<uint32_t>(migrate_tick_);
+    shared_->trace->Record(index_, event);
+  }
+}
+
+void Reactor::ReleaseRecoveredAdoptions() {
+  if (sources_.size() <= 1) {
+    return;
+  }
+  for (size_t i = sources_.size(); i-- > 1;) {
+    if (!shared_->domains->IsDead(static_cast<int>(sources_[i].qi))) {
+      epoll_ctl(ep_, EPOLL_CTL_DEL, sources_[i].fd, nullptr);
+      sources_.erase(sources_.begin() + static_cast<long>(i));
+    }
+  }
+}
+
 void Reactor::RecordBusyFlip(size_t queue, size_t len_after) {
   bool now_busy = shared_->policy->IsBusy(static_cast<CoreId>(queue));
   shared_->metrics->Add(now_busy ? shared_->ids.to_busy : shared_->ids.to_nonbusy,
@@ -161,9 +346,82 @@ void Reactor::RecordBusyFlip(size_t queue, size_t len_after) {
   }
 }
 
-void Reactor::AcceptBatch() {
-  bool stock = shared_->mode == RtMode::kStock;
-  size_t default_qi = stock ? 0 : static_cast<size_t>(index_);
+void Reactor::RstClose(int fd) {
+  // SO_LINGER{on, 0}: close() sends a reset instead of an orderly FIN, so
+  // the shed client fails fast (ECONNRESET) rather than reading a clean EOF
+  // it could mistake for service.
+  struct linger lg;
+  lg.l_onoff = 1;
+  lg.l_linger = 0;
+  setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+  shared_->sys->Close(index_, fd);
+}
+
+bool Reactor::ShedOrDrop(int fd, size_t qi, std::chrono::steady_clock::time_point now) {
+  if (shared_->overload == OverloadPolicy::kAcceptThenRst && drop_bucket_->TryTake(now)) {
+    RstClose(fd);
+    if (shared_->trace != nullptr) {
+      obs::TraceEvent event;
+      event.type = obs::TraceEventType::kAdmissionShed;
+      event.core = static_cast<int16_t>(index_);
+      event.src = static_cast<int16_t>(qi);
+      event.qlen = static_cast<uint32_t>(shared_->queues[qi]->size());
+      shared_->trace->Record(index_, event);
+    }
+    return true;
+  }
+  // kLeaveInBacklog, or the RST budget is dry: orderly close, counted as an
+  // overflow drop -- the stage-1 backlog gate does the actual pushing back.
+  shared_->sys->Close(index_, fd);
+  if (shared_->trace != nullptr) {
+    obs::TraceEvent event;
+    event.type = obs::TraceEventType::kOverflowDrop;
+    event.core = static_cast<int16_t>(index_);
+    event.src = static_cast<int16_t>(qi);
+    event.qlen = static_cast<uint32_t>(shared_->queues[qi]->capacity());
+    shared_->trace->Record(index_, event);
+  }
+  return false;
+}
+
+void Reactor::FdExhaustionRescue(int listen_fd) {
+  hot_.accept_emfile->fetch_add(1, std::memory_order_relaxed);
+  if (reserve_fd_ >= 0) {
+    // Burn the reserve to accept exactly one connection and RST it: the
+    // client gets a fast failure instead of hanging in a backlog no fd can
+    // drain, and the backlog keeps moving.
+    close(reserve_fd_);
+    reserve_fd_ = -1;
+    sockaddr_in peer;
+    socklen_t peer_len = sizeof(peer);
+    int fd = shared_->sys->Accept4(index_, listen_fd, reinterpret_cast<sockaddr*>(&peer),
+                                   &peer_len, SOCK_NONBLOCK | SOCK_CLOEXEC);
+    if (fd >= 0) {
+      RstClose(fd);
+      hot_.accepted->fetch_add(1, std::memory_order_relaxed);
+      hot_.admission_shed->fetch_add(1, std::memory_order_relaxed);
+      if (shared_->trace != nullptr) {
+        obs::TraceEvent event;
+        event.type = obs::TraceEventType::kAdmissionShed;
+        event.core = static_cast<int16_t>(index_);
+        event.src = static_cast<int16_t>(index_);
+        shared_->trace->Record(index_, event);
+      }
+    }
+    reserve_fd_ = open("/dev/null", O_RDONLY | O_CLOEXEC);
+  }
+  // Capped exponential backoff: stop hammering accept4 while the process is
+  // out of fds; the kernel backlog holds the line meanwhile.
+  backoff_ms_ = backoff_ms_ == 0 ? kBackoffFirstMs : std::min(backoff_ms_ * 2, kBackoffCapMs);
+  backoff_until_ = std::chrono::steady_clock::now() + std::chrono::milliseconds(backoff_ms_);
+  hot_.accept_backoff->fetch_add(1, std::memory_order_relaxed);
+}
+
+void Reactor::AcceptBatch(int listen_fd, size_t default_qi) {
+  auto now = std::chrono::steady_clock::now();
+  if (now < backoff_until_) {
+    return;  // fd-exhaustion backoff window: leave the backlog queued
+  }
   int limit = shared_->accept_batch < kMaxAcceptBatch ? shared_->accept_batch : kMaxAcceptBatch;
 
   // Stage 1: drain the kernel queue until EAGAIN (or the cap) into a stack
@@ -177,13 +435,42 @@ void Reactor::AcceptBatch() {
   int n = 0;
   uint32_t owner_accepts = 0;
   uint32_t cross_accepts = 0;
+  uint32_t eintr = 0;
+  uint32_t aborted = 0;
+  uint32_t eproto = 0;
+  int soft_skips = 0;
+  bool fd_exhausted = false;
   while (n < limit) {
+    if (shared_->overload == OverloadPolicy::kLeaveInBacklog) {
+      // Admission gate: a full local ring stops the drain so the burst
+      // queues in the kernel backlog instead of being accepted into a drop.
+      const AcceptRing& ring = *shared_->queues[default_qi];
+      if (ring.size() >= ring.capacity()) {
+        break;
+      }
+    }
     sockaddr_in peer;
     socklen_t peer_len = sizeof(peer);
-    int fd = accept4(listen_fd_, reinterpret_cast<sockaddr*>(&peer), &peer_len,
-                     SOCK_NONBLOCK | SOCK_CLOEXEC);
+    int fd = shared_->sys->Accept4(index_, listen_fd, reinterpret_cast<sockaddr*>(&peer),
+                                   &peer_len, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
-      break;  // EAGAIN (drained), or a transient error: retry next wakeup
+      // Soft errors are skip-and-continue with a per-class counter: the
+      // connection behind an ECONNABORTED/EPROTO is gone, and EINTR aborted
+      // nothing -- neither says the listen socket is bad. The skip budget
+      // bounds an injected errno burst to one batch's worth of retries.
+      if (errno == EINTR) {
+        ++eintr;
+        if (++soft_skips <= limit) continue;
+      } else if (errno == ECONNABORTED) {
+        ++aborted;
+        if (++soft_skips <= limit) continue;
+      } else if (errno == EPROTO) {
+        ++eproto;
+        if (++soft_skips <= limit) continue;
+      } else if (errno == EMFILE || errno == ENFILE) {
+        fd_exhausted = true;
+      }
+      break;  // EAGAIN (drained), or a hard error: retry next wakeup
     }
     size_t qi = default_qi;
     if (shared_->director != nullptr && peer_len >= sizeof(peer)) {
@@ -206,23 +493,44 @@ void Reactor::AcceptBatch() {
     batch[n].qi = static_cast<uint32_t>(qi);
     ++n;
   }
+  if (eintr > 0) {
+    hot_.accept_eintr->fetch_add(eintr, std::memory_order_relaxed);
+  }
+  if (aborted > 0) {
+    hot_.accept_econnaborted->fetch_add(aborted, std::memory_order_relaxed);
+  }
+  if (eproto > 0) {
+    hot_.accept_eproto->fetch_add(eproto, std::memory_order_relaxed);
+  }
+  if (n > 0) {
+    backoff_ms_ = 0;  // fd pressure is over: reset the exponential window
+  }
+  if (fd_exhausted) {
+    FdExhaustionRescue(listen_fd);
+  }
   if (n == 0) {
     return;
   }
 
   // Stage 2: pool blocks + ring pushes, aggregating per-ring counts.
+  // Connections that cannot be queued go through the admission policy:
+  // RST-shed while the drop budget lasts, orderly close otherwise.
   uint32_t overflow_drops = 0;
+  uint32_t admission_sheds = 0;
   uint32_t pool_drops = 0;
   for (int i = 0; i < n; ++i) {
     size_t qi = batch[i].qi;
     ConnHandle handle = shared_->pool->Alloc(index_);
     if (handle == kNullConn) {
       // Arena exhausted (sized to cover every ring plus a batch, so this
-      // means the rings are full anyway): same observable outcome as a
-      // ring overflow.
-      close(batch[i].fd);
-      ++overflow_drops;
+      // means the rings are full anyway): same disposition as a ring
+      // overflow, plus its own counter.
       ++pool_drops;
+      if (ShedOrDrop(batch[i].fd, qi, now)) {
+        ++admission_sheds;
+      } else {
+        ++overflow_drops;
+      }
       continue;
     }
     PendingConn* conn = shared_->pool->Get(handle);
@@ -231,15 +539,10 @@ void Reactor::AcceptBatch() {
     size_t len_after = 0;
     if (!shared_->queues[qi]->Push(handle, &len_after)) {
       shared_->pool->Free(index_, handle);  // we just allocated it: local free
-      close(batch[i].fd);
-      ++overflow_drops;
-      if (shared_->trace != nullptr) {
-        obs::TraceEvent event;
-        event.type = obs::TraceEventType::kOverflowDrop;
-        event.core = static_cast<int16_t>(index_);
-        event.src = static_cast<int16_t>(qi);
-        event.qlen = static_cast<uint32_t>(shared_->queues[qi]->capacity());
-        shared_->trace->Record(index_, event);
+      if (ShedOrDrop(batch[i].fd, qi, now)) {
+        ++admission_sheds;
+      } else {
+        ++overflow_drops;
       }
       continue;
     }
@@ -257,6 +560,9 @@ void Reactor::AcceptBatch() {
   }
   if (overflow_drops > 0) {
     hot_.overflow_drops->fetch_add(overflow_drops, std::memory_order_relaxed);
+  }
+  if (admission_sheds > 0) {
+    hot_.admission_shed->fetch_add(admission_sheds, std::memory_order_relaxed);
   }
   if (pool_drops > 0) {
     hot_.pool_exhausted->fetch_add(pool_drops, std::memory_order_relaxed);
@@ -419,7 +725,7 @@ void Reactor::Serve(ConnHandle handle, bool local) {
   // application work is the load generator's think-time knob, not ours.
   char byte = 'A';
   (void)send(conn->fd, &byte, 1, MSG_NOSIGNAL);
-  close(conn->fd);
+  shared_->sys->Close(index_, conn->fd);
   // Return the block to the accepting core's pool -- the paper's remote
   // deallocation when this connection was stolen or re-steered here.
   CoreId owner = shared_->pool->OwnerOf(handle);

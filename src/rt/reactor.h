@@ -29,11 +29,16 @@
 #define AFFINITY_SRC_RT_REACTOR_H_
 
 #include <atomic>
+#include <chrono>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "src/balance/balance_policy.h"
+#include "src/fault/failure_domain.h"
+#include "src/fault/sys_iface.h"
+#include "src/fault/token_bucket.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace_ring.h"
 #include "src/rt/accept_ring.h"
@@ -46,6 +51,22 @@ namespace rt {
 enum class RtMode : uint8_t { kStock, kFine, kAffinity };
 
 const char* RtModeName(RtMode mode);
+
+// What to do with an accepted connection that cannot be queued (its target
+// ring is full or the conn pool is dry):
+//  - kAcceptThenRst sheds it immediately with an RST, telling the client to
+//    fail fast and retry elsewhere -- but only while the per-core drop
+//    budget (fault::TokenBucket) has tokens; a dry bucket degrades to the
+//    backlog behaviour below so an overload burst cannot become an RST
+//    flood.
+//  - kLeaveInBacklog stops draining accept4 while the local ring is full,
+//    letting the kernel's listen backlog absorb the burst (the paper's
+//    Section 3.3 bounded-queue argument: overload turns into bounded
+//    queueing, not unbounded work). The connection already accepted when
+//    the ring filled is closed in order (counted as an overflow drop).
+enum class OverloadPolicy : uint8_t { kAcceptThenRst, kLeaveInBacklog };
+
+const char* OverloadPolicyName(OverloadPolicy policy);
 
 // A point-in-time copy of one reactor's counters, built from the Runtime's
 // MetricsRegistry. Safe to take while the reactor is running: the backing
@@ -84,6 +105,19 @@ struct RtMetricIds {
   obs::MetricsRegistry::MetricId migrations = 0;           // flow groups pulled by this core
   obs::MetricsRegistry::MetricId steer_cbpf = 0;     // gauge, 1 = cBPF attached (core 0)
   obs::MetricsRegistry::MetricId groups_owned = 0;   // gauge, steering-table groups per core
+  // Accept-loop soft errors, one counter per errno class (skip-and-continue):
+  obs::MetricsRegistry::MetricId accept_eintr = 0;
+  obs::MetricsRegistry::MetricId accept_econnaborted = 0;  // also EPROTO's sibling
+  obs::MetricsRegistry::MetricId accept_eproto = 0;
+  obs::MetricsRegistry::MetricId accept_emfile = 0;    // EMFILE/ENFILE hits
+  obs::MetricsRegistry::MetricId accept_backoff = 0;   // backoff windows entered
+  // Shaped overload + failure domains:
+  obs::MetricsRegistry::MetricId admission_shed = 0;   // accepted then shed (RST)
+  obs::MetricsRegistry::MetricId fault_injected = 0;   // chaos-plan injections
+  obs::MetricsRegistry::MetricId failovers = 0;        // peer failovers won by this core
+  obs::MetricsRegistry::MetricId recoveries = 0;       // self-recoveries after failover
+  obs::MetricsRegistry::MetricId failover_group_moves = 0;  // groups moved by fail/recover
+  obs::MetricsRegistry::MetricId reactor_dead = 0;     // gauge, 1 = watchdog marked dead
 };
 
 // State shared by every reactor of one Runtime.
@@ -111,6 +145,23 @@ struct ReactorShared {
   // Long-term balancer tick; <= 0 disables migration (steering-only mode,
   // the paper's Section 6.5 no-migration baseline).
   int migrate_interval_ms = 0;
+  // Syscall surface for the hot path; never null while reactors run
+  // (fault::DefaultSys passthrough, or the FaultInjector in chaos runs).
+  fault::SysIface* sys = nullptr;
+  // Heartbeats + alive/dead state; null when the watchdog is disabled.
+  fault::FailureDomains* domains = nullptr;
+  int watchdog_timeout_ms = 0;  // <= 0 disables peer monitoring
+  // Serializes every failover/recovery state transition AND its actions
+  // (forced-busy flips, flow-group mass moves, listen-shard adoption), so a
+  // recovering reactor can never interleave with a concurrent failover.
+  std::mutex failover_mu;
+  // The runtime's listen fds in reactor order (one shared entry in stock
+  // mode), so a failover winner can adopt a dead peer's shard.
+  std::vector<int> listen_fds;
+  // Shaped overload: what to do when a connection cannot be queued, and the
+  // per-core RST budget (0 = unlimited).
+  OverloadPolicy overload = OverloadPolicy::kAcceptThenRst;
+  int64_t drop_budget_per_sec = 0;
   // Fine-Accept's shared round-robin dequeue cursor -- deliberately one
   // contended cache line, as in the paper.
   std::atomic<uint64_t> rr_cursor{0};
@@ -150,9 +201,11 @@ class Reactor {
     }
   };
 
-  // Accepts until EAGAIN or the batch limit; enqueues into the target
-  // rings, then reports each touched ring to the policy once.
-  void AcceptBatch();
+  // Accepts from `listen_fd` until EAGAIN or the batch limit; enqueues into
+  // the target rings (default_qi unless steering redirects), then reports
+  // each touched ring to the policy once. A reactor normally drains only
+  // its own shard; after a failover it also drains adopted shards.
+  void AcceptBatch(int listen_fd, size_t default_qi);
   // Serves up to accept_batch queued connections; returns how many.
   // Dequeue-side policy reporting is flushed once at the end of the batch.
   int ServeBatch();
@@ -178,10 +231,50 @@ class Reactor {
   // FlowDirector migration and records metrics + the kMigrate trace event.
   void MigrationTick();
 
+  // --- failure domains ---
+  // Scans peer heartbeats; for each stalled peer attempts the failover CAS
+  // and, on winning, runs the failover actions. Also returns adopted shards
+  // whose owner has come back.
+  void WatchdogTick(fault::WatchdogMonitor* monitor);
+  // The failover actions for `dead`, run under shared_->failover_mu by the
+  // reactor that won the MarkDead CAS.
+  void TryFailover(int dead);
+  // Called when this reactor finds its own state is kDead (it was stalled
+  // and a peer failed it over): CAS back to alive and reverse the failover.
+  void SelfRecover();
+  // Removes adopted shards whose owner recovered (watchdog cadence).
+  void ReleaseRecoveredAdoptions();
+
+  // --- shaped overload ---
+  // Disposes of an accepted-but-unqueueable connection per the admission
+  // policy; returns true when it was shed with an RST (admission_shed),
+  // false when it was closed in order (overflow_drop).
+  bool ShedOrDrop(int fd, size_t qi, std::chrono::steady_clock::time_point now);
+  // RST-close: SO_LINGER{1,0} so the kernel sends a reset, telling the
+  // client to fail fast rather than read a clean EOF.
+  void RstClose(int fd);
+  // EMFILE/ENFILE rescue: burn the reserve fd to accept-and-RST one
+  // connection (so the backlog keeps moving), then re-arm the reserve and
+  // enter capped exponential accept backoff.
+  void FdExhaustionRescue(int listen_fd);
+
   int index_;
   int listen_fd_;
   ReactorShared* shared_;
   uint64_t migrate_tick_ = 0;  // epochs elapsed on this reactor
+  int ep_ = -1;                // this reactor's epoll instance (Run() scope)
+  // Listen fds this reactor drains: [0] is its own shard; later entries are
+  // adopted from dead peers (qi = the dead core's ring).
+  struct ListenSource {
+    int fd = -1;
+    uint32_t qi = 0;
+  };
+  std::vector<ListenSource> sources_;
+  int reserve_fd_ = -1;  // EMFILE rescue reserve (an open /dev/null)
+  // Capped exponential accept backoff after fd exhaustion.
+  std::chrono::steady_clock::time_point backoff_until_{};
+  int backoff_ms_ = 0;
+  std::unique_ptr<fault::TokenBucket> drop_bucket_;
 
   // Pre-resolved per-core metric cells (see obs::MetricsRegistry::Cell).
   struct HotCells {
@@ -195,6 +288,12 @@ class Reactor {
     std::atomic<uint64_t>* pool_exhausted = nullptr;
     std::atomic<uint64_t>* steer_owner_accepts = nullptr;  // null: steering off
     std::atomic<uint64_t>* steer_cross_accepts = nullptr;
+    std::atomic<uint64_t>* accept_eintr = nullptr;
+    std::atomic<uint64_t>* accept_econnaborted = nullptr;
+    std::atomic<uint64_t>* accept_eproto = nullptr;
+    std::atomic<uint64_t>* accept_emfile = nullptr;
+    std::atomic<uint64_t>* accept_backoff = nullptr;
+    std::atomic<uint64_t>* admission_shed = nullptr;
     obs::AtomicHistogram* queue_wait = nullptr;
     std::vector<std::atomic<uint64_t>*> queue_len;  // gauge cells, per ring
   };

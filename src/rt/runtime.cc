@@ -44,6 +44,28 @@ Runtime::Runtime(const RtConfig& config) : config_(config) {
       "rt_conn_remote_frees", "PendingConn blocks freed by a core other than their owner");
   ids_.pool_exhausted = metrics_->RegisterCounter(
       "rt_pool_exhausted", "connections dropped because the conn pool had no free block");
+  ids_.accept_eintr =
+      metrics_->RegisterCounter("rt_accept_eintr", "accept4 EINTR skip-and-continue");
+  ids_.accept_econnaborted = metrics_->RegisterCounter(
+      "rt_accept_econnaborted", "accept4 ECONNABORTED: connection gone before accept");
+  ids_.accept_eproto =
+      metrics_->RegisterCounter("rt_accept_eproto", "accept4 EPROTO skip-and-continue");
+  ids_.accept_emfile =
+      metrics_->RegisterCounter("rt_accept_emfile", "accept4 EMFILE/ENFILE: out of fds");
+  ids_.accept_backoff = metrics_->RegisterCounter(
+      "rt_accept_backoff", "capped exponential accept backoff windows entered");
+  ids_.admission_shed = metrics_->RegisterCounter(
+      "rt_admission_shed", "connections accepted then shed (RST) by the admission policy");
+  ids_.fault_injected =
+      metrics_->RegisterCounter("rt_fault_injected", "faults injected by the chaos plan");
+  ids_.failovers =
+      metrics_->RegisterCounter("rt_failovers", "watchdog failovers won by this core");
+  ids_.recoveries =
+      metrics_->RegisterCounter("rt_recoveries", "reactors recovered after failover");
+  ids_.failover_group_moves = metrics_->RegisterCounter(
+      "rt_failover_group_moves", "flow groups mass-moved by failover/recovery");
+  ids_.reactor_dead =
+      metrics_->RegisterGauge("rt_reactor_dead", "1 = this reactor is marked dead");
   ids_.queue_len = metrics_->RegisterGauge("rt_queue_len", "accept-queue length at last update");
   ids_.busy = metrics_->RegisterGauge("rt_busy", "busy bit (1 = over high watermark)");
   ids_.queue_wait =
@@ -72,6 +94,13 @@ bool Runtime::Start(std::string* error) {
     *error = "already started";
     return false;
   }
+  // Reset per-run state (Stop() -> Start() reuse): metrics and the drained
+  // counter are cumulative, everything else starts fresh.
+  shared_.stop.store(false, std::memory_order_release);
+  shared_.rr_cursor.store(0, std::memory_order_relaxed);
+  reactors_.clear();
+  shared_.queues.clear();
+  shared_.listen_fds.clear();
 
   bool stock = config_.mode == RtMode::kStock;
   port_ = config_.port;
@@ -97,6 +126,36 @@ bool Runtime::Start(std::string* error) {
   shared_.metrics = metrics_.get();
   shared_.ids = ids_;
   shared_.trace = trace_.get();
+  shared_.listen_fds = listen_fds_;
+  shared_.overload = config_.overload;
+  shared_.drop_budget_per_sec = config_.drop_budget_per_sec;
+
+  // Syscall surface: passthrough unless the chaos plan has rules.
+  shared_.sys = fault::DefaultSys();
+  if (!config_.fault_plan.empty()) {
+    injector_.reset(new fault::FaultInjector(config_.fault_plan, config_.num_threads));
+    injector_->set_stop_flag(&shared_.stop);
+    injector_->set_on_inject([this](fault::CallSite, int core) {
+      metrics_->Add(ids_.fault_injected, core);
+    });
+    shared_.sys = injector_.get();
+  } else {
+    injector_.reset();
+  }
+  // Failure domains + watchdog.
+  if (config_.watchdog_timeout_ms > 0) {
+    domains_.reset(new fault::FailureDomains(config_.num_threads));
+    shared_.domains = domains_.get();
+    shared_.watchdog_timeout_ms = config_.watchdog_timeout_ms;
+  } else {
+    domains_.reset();
+    shared_.domains = nullptr;
+    shared_.watchdog_timeout_ms = 0;
+  }
+  for (int i = 0; i < config_.num_threads; ++i) {
+    metrics_->GaugeSet(ids_.reactor_dead, i, 0);
+  }
+
   int num_queues = stock ? 1 : config_.num_threads;
   size_t queue_cap = stock ? static_cast<size_t>(std::max(1, config_.backlog))
                            : static_cast<size_t>(max_local_len_);
@@ -106,8 +165,12 @@ bool Runtime::Start(std::string* error) {
   // Each core's arena covers every ring filling up (any core's accepts can
   // land on any ring under steering or stock mode) plus one in-flight
   // batch; beyond that the rings are full and the accept is a drop anyway.
-  uint32_t blocks_per_core = static_cast<uint32_t>(
-      static_cast<size_t>(num_queues) * queue_cap + static_cast<size_t>(config_.accept_batch) + 1);
+  // config.pool_blocks_per_core overrides for pool-exhaustion tests.
+  uint32_t blocks_per_core =
+      config_.pool_blocks_per_core > 0
+          ? config_.pool_blocks_per_core
+          : static_cast<uint32_t>(static_cast<size_t>(num_queues) * queue_cap +
+                                  static_cast<size_t>(config_.accept_batch) + 1);
   pool_.reset(new ConnPool(config_.num_threads, blocks_per_core));
   shared_.pool = pool_.get();
   if (config_.mode == RtMode::kAffinity) {
@@ -119,6 +182,7 @@ bool Runtime::Start(std::string* error) {
     steer::FlowDirectorConfig dcfg;
     dcfg.num_groups = config_.num_flow_groups;
     dcfg.num_cores = config_.num_threads;
+    dcfg.sys = shared_.sys;
     director_.reset(new steer::FlowDirector(dcfg));
     if (!config_.steer_force_fallback) {
       // Attaching to any one socket of the reuseport group programs the
@@ -156,7 +220,7 @@ bool Runtime::Start(std::string* error) {
 }
 
 void Runtime::Stop() {
-  if (!started_ || stopped_) {
+  if (!started_) {
     return;
   }
   shared_.stop.store(true, std::memory_order_release);
@@ -168,6 +232,7 @@ void Runtime::Stop() {
     close(fd);
   }
   listen_fds_.clear();
+  shared_.listen_fds.clear();
   uint64_t drained = 0;
   for (auto& queue : shared_.queues) {
     // Quiescent by now (reactors joined): drain the ring and hand each
@@ -178,8 +243,10 @@ void Runtime::Stop() {
       ++drained;
     }
   }
-  drained_at_stop_.store(drained, std::memory_order_release);
-  stopped_ = true;
+  // Accumulate (not overwrite): across Stop()/Start() cycles the metrics
+  // registry keeps counting, so conservation must too.
+  drained_at_stop_.fetch_add(drained, std::memory_order_acq_rel);
+  started_ = false;
 }
 
 ReactorStats Runtime::reactor_stats(int i) const {
@@ -205,6 +272,16 @@ RtTotals Runtime::Totals() const {
   totals.transitions_to_nonbusy = metrics_->Total(ids_.to_nonbusy);
   totals.conn_remote_frees = metrics_->Total(ids_.conn_remote_frees);
   totals.pool_exhausted = metrics_->Total(ids_.pool_exhausted);
+  totals.accept_eintr = metrics_->Total(ids_.accept_eintr);
+  totals.accept_econnaborted = metrics_->Total(ids_.accept_econnaborted);
+  totals.accept_eproto = metrics_->Total(ids_.accept_eproto);
+  totals.accept_emfile = metrics_->Total(ids_.accept_emfile);
+  totals.accept_backoff = metrics_->Total(ids_.accept_backoff);
+  totals.admission_shed = metrics_->Total(ids_.admission_shed);
+  totals.fault_injected = metrics_->Total(ids_.fault_injected);
+  totals.failovers = metrics_->Total(ids_.failovers);
+  totals.recoveries = metrics_->Total(ids_.recoveries);
+  totals.failover_group_moves = metrics_->Total(ids_.failover_group_moves);
   if (pool_ != nullptr) {
     totals.pool = pool_->StatsSnapshot();
   }

@@ -24,6 +24,9 @@
 #include <vector>
 
 #include "src/balance/balance_policy.h"
+#include "src/fault/failure_domain.h"
+#include "src/fault/fault_plan.h"
+#include "src/fault/injector.h"
 #include "src/mem/pool_stats.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace_ring.h"
@@ -59,6 +62,22 @@ struct RtConfig {
   // Skip the cBPF attach even if the kernel would allow it; exercises the
   // fallback path deterministically (tests, non-root CI).
   bool steer_force_fallback = false;
+
+  // --- fault injection + failure domains (src/fault) ---
+
+  // Chaos schedule for the reactors' syscall surface; empty = passthrough
+  // (no injector constructed, no overhead beyond one virtual dispatch).
+  fault::FaultPlan fault_plan;
+  // Peer-heartbeat timeout for the watchdog; <= 0 disables failure domains
+  // entirely (no heartbeats, no failover).
+  int watchdog_timeout_ms = 0;
+  // Shaped overload: disposition for connections that cannot be queued, and
+  // the per-core RST budget per second (0 = unlimited).
+  OverloadPolicy overload = OverloadPolicy::kAcceptThenRst;
+  int64_t drop_budget_per_sec = 0;
+  // Overrides the automatic conn-pool sizing (0 = auto: every ring plus a
+  // batch). Small values force pool exhaustion for overload tests.
+  uint32_t pool_blocks_per_core = 0;
 };
 
 // Aggregated over all reactors. Valid at any time (live snapshot); see the
@@ -80,8 +99,25 @@ struct RtTotals {
   uint64_t steer_owner_accepts = 0;  // accepted directly on the owning shard
   uint64_t steer_cross_accepts = 0;  // accepted elsewhere, re-steered in user space
   uint64_t migrations = 0;           // flow groups moved by the 100 ms balancer
+  // Robustness (fault injection, failure domains, shaped overload):
+  uint64_t accept_eintr = 0;
+  uint64_t accept_econnaborted = 0;
+  uint64_t accept_eproto = 0;
+  uint64_t accept_emfile = 0;      // EMFILE/ENFILE hits in the accept loop
+  uint64_t accept_backoff = 0;     // exponential backoff windows entered
+  uint64_t admission_shed = 0;     // accepted then shed (RST) by admission
+  uint64_t fault_injected = 0;     // chaos-plan injections that fired
+  uint64_t failovers = 0;          // watchdog failovers won
+  uint64_t recoveries = 0;         // reactors that came back
+  uint64_t failover_group_moves = 0;  // flow groups mass-moved by fail/recover
   Histogram queue_wait_ns;
   uint64_t served() const { return served_local + served_remote; }
+  // Connection conservation: every accepted connection is exactly one of
+  // served, drained at stop, overflow-dropped, or admission-shed. The chaos
+  // tests gate on this equation holding after every run.
+  uint64_t accounted() const {
+    return served() + drained_at_stop + overflow_drops + admission_shed;
+  }
 };
 
 class Runtime {
@@ -97,7 +133,10 @@ class Runtime {
   bool Start(std::string* error);
 
   // Signals the reactors, joins them, closes the listen sockets and any
-  // still-queued connections. Idempotent.
+  // still-queued connections. Idempotent, and the Runtime is restartable:
+  // a later Start() launches a fresh set of reactors (new port when
+  // config.port == 0). Metrics and `drained_at_stop` accumulate across
+  // restarts, so the conservation equation holds cumulatively.
   void Stop();
 
   // The bound port (after Start()).
@@ -129,6 +168,14 @@ class Runtime {
                                 : steer::KernelSteering::kFallback;
   }
 
+  // The chaos injector; null unless config.fault_plan has rules. Valid
+  // while the reactors run.
+  const fault::FaultInjector* injector() const { return injector_.get(); }
+
+  // Heartbeats + alive/dead states; null unless config.watchdog_timeout_ms
+  // is positive. Valid while the reactors run.
+  const fault::FailureDomains* domains() const { return domains_.get(); }
+
   // Live per-reactor snapshot; callable while the reactors run.
   ReactorStats reactor_stats(int i) const;
 
@@ -144,15 +191,16 @@ class Runtime {
   std::unique_ptr<ConnPool> pool_;
   std::unique_ptr<LockedBalancePolicy> policy_;
   std::unique_ptr<steer::FlowDirector> director_;
+  std::unique_ptr<fault::FaultInjector> injector_;
+  std::unique_ptr<fault::FailureDomains> domains_;
   std::unique_ptr<obs::MetricsRegistry> metrics_;
   std::unique_ptr<obs::TraceRing> trace_;
   RtMetricIds ids_;
   ReactorShared shared_;
   std::vector<std::unique_ptr<Reactor>> reactors_;
   std::vector<std::thread> threads_;
-  std::atomic<uint64_t> drained_at_stop_{0};
+  std::atomic<uint64_t> drained_at_stop_{0};  // cumulative across restarts
   bool started_ = false;
-  bool stopped_ = false;
 };
 
 }  // namespace rt

@@ -39,7 +39,8 @@ std::vector<sock_filter> BuildFlowDirectorProgram(uint32_t num_groups, uint32_t 
   return prog;
 }
 
-bool AttachReuseportProgram(int fd, const std::vector<sock_filter>& prog, std::string* error) {
+bool AttachReuseportProgram(int fd, const std::vector<sock_filter>& prog, std::string* error,
+                            fault::SysIface* sys) {
   if (prog.empty() || prog.size() > BPF_MAXINSNS) {
     if (error != nullptr) {
       *error = "program empty or over BPF_MAXINSNS";
@@ -49,7 +50,13 @@ bool AttachReuseportProgram(int fd, const std::vector<sock_filter>& prog, std::s
   sock_fprog fprog;
   fprog.len = static_cast<unsigned short>(prog.size());
   fprog.filter = const_cast<sock_filter*>(prog.data());
-  if (setsockopt(fd, SOL_SOCKET, SO_ATTACH_REUSEPORT_CBPF, &fprog, sizeof(fprog)) < 0) {
+  // The attach is group state, not per-core work; injection schedules key it
+  // under core 0 regardless of which thread reprograms.
+  int rc = sys != nullptr
+               ? sys->AttachFilter(0, fd, SOL_SOCKET, SO_ATTACH_REUSEPORT_CBPF, &fprog,
+                                   sizeof(fprog))
+               : setsockopt(fd, SOL_SOCKET, SO_ATTACH_REUSEPORT_CBPF, &fprog, sizeof(fprog));
+  if (rc < 0) {
     if (error != nullptr) {
       *error = std::string("setsockopt(SO_ATTACH_REUSEPORT_CBPF): ") + strerror(errno);
     }

@@ -31,6 +31,8 @@
 #include <string>
 #include <vector>
 
+#include "src/fault/sys_iface.h"
+
 namespace affinity {
 namespace steer {
 
@@ -59,8 +61,11 @@ std::vector<sock_filter> BuildFlowDirectorProgram(uint32_t num_groups, uint32_t 
 // Attaches `prog` to the reuseport group `fd` belongs to (any member works;
 // the program is group state, inherited by later members). Returns false
 // with *error set when the kernel refuses -- sandboxed/seccomp'd or ancient
-// kernels -- in which case the caller degrades to the fallback path.
-bool AttachReuseportProgram(int fd, const std::vector<sock_filter>& prog, std::string* error);
+// kernels -- in which case the caller degrades to the fallback path. `sys`
+// routes the setsockopt through the fault-injection surface; nullptr means
+// the real syscall.
+bool AttachReuseportProgram(int fd, const std::vector<sock_filter>& prog, std::string* error,
+                            fault::SysIface* sys = nullptr);
 
 }  // namespace steer
 }  // namespace affinity

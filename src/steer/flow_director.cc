@@ -16,13 +16,15 @@ const char* KernelSteeringName(KernelSteering steering) {
 }
 
 FlowDirector::FlowDirector(const FlowDirectorConfig& config)
-    : config_(config), table_(config.num_groups, config.num_cores) {}
+    : config_(config),
+      table_(config.num_groups, config.num_cores),
+      failed_over_(static_cast<size_t>(config.num_cores)) {}
 
 bool FlowDirector::Attach(int fd, std::string* error) {
   std::lock_guard<std::mutex> lock(mu_);
   std::vector<sock_filter> prog = BuildFlowDirectorProgram(
       table_.num_groups(), static_cast<uint32_t>(table_.num_cores()), table_.Exceptions());
-  if (!AttachReuseportProgram(fd, prog, error)) {
+  if (!AttachReuseportProgram(fd, prog, error, config_.sys)) {
     status_.store(0, std::memory_order_release);
     return false;
   }
@@ -59,7 +61,7 @@ void FlowDirector::ReprogramLocked() {
   std::vector<sock_filter> prog = BuildFlowDirectorProgram(
       table_.num_groups(), static_cast<uint32_t>(table_.num_cores()), exceptions);
   std::string error;
-  if (AttachReuseportProgram(attach_fd_, prog, &error)) {
+  if (AttachReuseportProgram(attach_fd_, prog, &error, config_.sys)) {
     ++cbpf_updates_;
   } else {
     // A kernel that accepted the first program should accept every rebuild;
@@ -92,6 +94,82 @@ bool FlowDirector::MigrateForCore(CoreId core, BalancePolicy* policy, uint64_t t
     migrated = true;
   });
   return migrated;
+}
+
+size_t FlowDirector::FailOverCore(CoreId dead, BalancePolicy* policy, uint64_t tick) {
+  std::lock_guard<std::mutex> lock(mu_);
+  int num_cores = table_.num_cores();
+  if (num_cores < 2) {
+    return 0;  // nowhere to park the groups
+  }
+  // Survivor rotation: prefer cores the policy reads as non-busy so the
+  // failover load spreads away from hot peers; if everything is busy (or
+  // forced busy), spread over all survivors anyway -- a dead owner is worse
+  // than a loaded one. Lock order: director mutex, then policy mutex.
+  std::vector<CoreId> targets;
+  for (CoreId c = 0; c < num_cores; ++c) {
+    if (c != dead && !policy->IsBusy(c)) {
+      targets.push_back(c);
+    }
+  }
+  if (targets.empty()) {
+    for (CoreId c = 0; c < num_cores; ++c) {
+      if (c != dead) {
+        targets.push_back(c);
+      }
+    }
+  }
+  std::vector<FailedOverGroup>& parked = failed_over_[static_cast<size_t>(dead)];
+  parked.clear();
+  size_t moved = 0;
+  uint32_t num_groups = table_.num_groups();
+  for (uint32_t group = 0; group < num_groups; ++group) {
+    if (table_.OwnerOf(group) != dead) {
+      continue;
+    }
+    CoreId target = targets[moved % targets.size()];
+    table_.Set(group, target);
+    parked.push_back(FailedOverGroup{group, target});
+    Migration m;
+    m.group = group;
+    m.from_core = dead;
+    m.to_core = target;
+    m.tick = tick;
+    m.victim_steals = 0;  // failover, not a steal-driven move
+    history_.push_back(m);
+    ++moved;
+  }
+  if (moved > 0) {
+    ReprogramLocked();
+  }
+  return moved;
+}
+
+size_t FlowDirector::RecoverCore(CoreId core, uint64_t tick) {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<FailedOverGroup>& parked = failed_over_[static_cast<size_t>(core)];
+  size_t returned = 0;
+  for (const FailedOverGroup& fg : parked) {
+    // Only undo moves that still stand; groups the balancer re-homed since
+    // belong to their new owner now.
+    if (table_.OwnerOf(fg.group) != fg.target) {
+      continue;
+    }
+    table_.Set(fg.group, core);
+    Migration m;
+    m.group = fg.group;
+    m.from_core = fg.target;
+    m.to_core = core;
+    m.tick = tick;
+    m.victim_steals = 0;
+    history_.push_back(m);
+    ++returned;
+  }
+  parked.clear();
+  if (returned > 0) {
+    ReprogramLocked();
+  }
+  return returned;
 }
 
 std::vector<Migration> FlowDirector::RunEpoch(BalancePolicy* policy, int num_cores,

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "src/balance/balance_policy.h"
+#include "src/fault/sys_iface.h"
 #include "src/steer/steering_table.h"
 
 namespace affinity {
@@ -66,6 +67,9 @@ struct FlowDirectorConfig {
   // Exception-list cap for the compiled program; beyond it kernel updates
   // are skipped (counted) and user-space re-steer carries the table.
   size_t max_exceptions = MaxCbpfExceptions();
+  // Syscall surface for the cBPF attach; nullptr = real setsockopt. Chaos
+  // runs pass the FaultInjector to exercise the kFallback degradation.
+  fault::SysIface* sys = nullptr;
 };
 
 class FlowDirector {
@@ -102,6 +106,22 @@ class FlowDirector {
   // FlowGroupMigrator::RunEpoch does; used by the sim/rt parity test.
   std::vector<Migration> RunEpoch(BalancePolicy* policy, int num_cores, uint64_t tick);
 
+  // --- failure domains (src/fault watchdog failover) ---
+
+  // Mass-migrates every group owned by `dead` to the surviving cores,
+  // round-robin over cores the policy does not consider busy (so one
+  // failover cannot bury an already-overloaded peer). Records each move in
+  // the migration history, remembers (group, target) pairs for RecoverCore,
+  // and reprograms the kernel once. Returns the number of groups moved.
+  // Called by the failover winner under the runtime's failover mutex.
+  size_t FailOverCore(CoreId dead, BalancePolicy* policy, uint64_t tick);
+
+  // Reverses FailOverCore: groups that are still where the failover parked
+  // them come home to `core`; groups the balancer has since moved elsewhere
+  // stay (their new owner earned them). One reprogram. Returns groups
+  // returned.
+  size_t RecoverCore(CoreId core, uint64_t tick);
+
   std::vector<Migration> history() const;
   uint64_t migrations() const;
   // Successful program re-attaches / updates skipped because the exception
@@ -125,6 +145,14 @@ class FlowDirector {
   std::vector<Migration> history_;
   uint64_t cbpf_updates_ = 0;
   uint64_t cbpf_update_skips_ = 0;
+  // Per-core parking record from the last FailOverCore: which groups left
+  // and where they went, so RecoverCore can bring back exactly the ones the
+  // balancer has not since reassigned.
+  struct FailedOverGroup {
+    uint32_t group = 0;
+    CoreId target = kNoCore;
+  };
+  std::vector<std::vector<FailedOverGroup>> failed_over_;
 };
 
 }  // namespace steer

@@ -209,5 +209,62 @@ TEST(BalancePolicyTest, LockStepFuzzParity) {
   EXPECT_GT(sim.transitions_to_busy(), 0u);
 }
 
+TEST(BalancePolicyTest, ForcedBusyOverridesWatermarks) {
+  WatermarkBalancePolicy policy(kCores, kMaxLocalLen);
+  EXPECT_FALSE(policy.IsBusy(2));
+  EXPECT_FALSE(policy.AnyBusy());
+
+  // The failover pin: busy regardless of an empty queue, and visible to
+  // victim picking (a forced-busy core is exactly what thieves drain).
+  policy.SetForcedBusy(2, true);
+  EXPECT_TRUE(policy.IsForcedBusy(2));
+  EXPECT_TRUE(policy.IsBusy(2));
+  EXPECT_TRUE(policy.AnyBusy());
+  EXPECT_EQ(2, policy.PickBusyVictim(0));
+
+  // Lifting the pin restores the watermark state underneath (still empty,
+  // still non-busy).
+  policy.SetForcedBusy(2, false);
+  EXPECT_FALSE(policy.IsForcedBusy(2));
+  EXPECT_FALSE(policy.IsBusy(2));
+  EXPECT_FALSE(policy.AnyBusy());
+  EXPECT_EQ(kNoCore, policy.PickBusyVictim(0));
+}
+
+TEST(BalancePolicyTest, ForcedBusySuppressesFlipReportsButNotState) {
+  WatermarkBalancePolicy policy(kCores, kMaxLocalLen);
+  policy.SetForcedBusy(1, true);
+
+  // While forced, crossing the high watermark cannot flip the effective bit
+  // (it is already pinned on), so no flip is reported...
+  EXPECT_FALSE(policy.OnEnqueue(1, static_cast<size_t>(kMaxLocalLen)));
+  uint64_t to_busy = policy.transitions_to_busy();
+
+  // ...but the underlying watermark state did update: after the pin lifts,
+  // the core is still busy on its own merits until the EWMA decays.
+  policy.SetForcedBusy(1, false);
+  EXPECT_TRUE(policy.IsBusy(1));
+  // The EWMA (seeded at the spike) needs ~2*max_local_len*ln(high/low)
+  // empty-queue updates to decay below the low watermark.
+  for (int i = 0; i < 1000 && policy.IsBusy(1); ++i) {
+    EXPECT_FALSE(policy.IsForcedBusy(1));
+    policy.OnDequeue(1, 0);
+    policy.OnEnqueue(1, 0);
+  }
+  EXPECT_FALSE(policy.IsBusy(1));
+  EXPECT_GE(policy.transitions_to_busy(), to_busy);
+}
+
+TEST(BalancePolicyTest, ForcedBusyLockedAdapterMatches) {
+  LockedBalancePolicy policy(kCores, kMaxLocalLen);
+  policy.SetForcedBusy(3, true);
+  EXPECT_TRUE(policy.IsBusy(3));
+  EXPECT_TRUE(policy.IsForcedBusy(3));
+  EXPECT_TRUE(policy.AnyBusy());
+  policy.SetForcedBusy(3, false);
+  EXPECT_FALSE(policy.IsBusy(3));
+  EXPECT_FALSE(policy.AnyBusy());
+}
+
 }  // namespace
 }  // namespace affinity

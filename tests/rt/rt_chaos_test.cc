@@ -1,0 +1,320 @@
+// The chaos matrix: live-socket runtime runs with scheduled faults from
+// src/fault. Each test wounds the runtime in a specific way -- a stalled
+// reactor, a killed reactor, an EMFILE storm, an exhausted conn pool -- and
+// gates on two invariants: the runtime keeps accepting, and the books
+// balance exactly (accepted == served + drained + dropped + shed; client
+// attempts == completed + refused + timeouts + port-busy + errors). These
+// run under ThreadSanitizer in CI (the rt_tests target), so the failover
+// paths are also race-checked.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "src/fault/fault_plan.h"
+#include "src/rt/load_client.h"
+#include "src/rt/runtime.h"
+#include "src/steer/flow_director.h"
+
+namespace affinity {
+namespace rt {
+namespace {
+
+// Polls `cond` until it holds or `timeout` passes; TSan hosts are slow, so
+// every wait in this file is a deadline poll, never a fixed sleep.
+bool WaitFor(const std::function<bool()>& cond, std::chrono::milliseconds timeout) {
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (cond()) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return cond();
+}
+
+void ExpectBooksBalance(const Runtime& runtime, const LoadClient& client) {
+  RtTotals totals = runtime.Totals();
+  EXPECT_EQ(totals.accepted, totals.accounted())
+      << "accepted=" << totals.accepted << " served=" << totals.served()
+      << " drained=" << totals.drained_at_stop << " overflow=" << totals.overflow_drops
+      << " shed=" << totals.admission_shed;
+  ASSERT_NE(runtime.conn_pool(), nullptr);
+  EXPECT_EQ(runtime.conn_pool()->live_objects(), 0u);
+  EXPECT_EQ(client.attempted(), client.completed() + client.refused() + client.timeouts() +
+                                    client.port_busy() + client.errors());
+}
+
+RtConfig ChaosConfig(int threads) {
+  RtConfig config;
+  config.mode = RtMode::kAffinity;
+  config.num_threads = threads;
+  config.steer = true;
+  config.steer_force_fallback = true;  // deterministic in non-root CI
+  config.migrate_interval_ms = 50;
+  config.watchdog_timeout_ms = 100;
+  return config;
+}
+
+TEST(RtChaosTest, ReactorStallFailsOverThenRecovers) {
+  const int kThreads = 4;
+  const int kVictim = 3;
+  RtConfig config = ChaosConfig(kThreads);
+  // The victim's epoll_wait wedges for 800 ms -- far past the 100 ms
+  // watchdog timeout -- then resumes, so the run sees both transitions.
+  config.fault_plan = fault::FaultPlan::ReactorStall(kVictim, /*after_calls=*/50,
+                                                     /*stall_ms=*/800);
+  Runtime runtime(config);
+  std::string error;
+  ASSERT_TRUE(runtime.Start(&error)) << error;
+
+  LoadClientConfig client_config;
+  client_config.port = runtime.port();
+  client_config.num_threads = 4;
+  client_config.connect_timeout_ms = 2000;
+  LoadClient client(client_config);
+  client.Start();
+
+  // A peer must win the failover while the victim is wedged...
+  EXPECT_TRUE(WaitFor([&] { return runtime.Totals().failovers >= 1; },
+                      std::chrono::seconds(10)))
+      << "no failover within the deadline";
+  // ...and the victim must self-recover once the stall ends.
+  EXPECT_TRUE(WaitFor([&] { return runtime.Totals().recoveries >= 1; },
+                      std::chrono::seconds(10)))
+      << "no recovery within the deadline";
+  ASSERT_NE(runtime.domains(), nullptr);
+  EXPECT_TRUE(WaitFor([&] { return !runtime.domains()->IsDead(kVictim); },
+                      std::chrono::seconds(2)));
+
+  // Traffic must have kept flowing across the whole episode.
+  uint64_t before = runtime.Totals().served();
+  EXPECT_TRUE(WaitFor([&] { return runtime.Totals().served() > before + 20; },
+                      std::chrono::seconds(10)));
+
+  client.Stop();
+  runtime.Stop();
+
+  RtTotals totals = runtime.Totals();
+  EXPECT_GE(totals.failovers, 1u);
+  EXPECT_GE(totals.recoveries, 1u);
+  // The failover mass-migrated the victim's flow groups and recovery
+  // brought (at least some of) them home: moves in both directions.
+  EXPECT_GE(totals.failover_group_moves, 2u);
+  EXPECT_GE(totals.fault_injected, 1u);
+  ExpectBooksBalance(runtime, client);
+  ASSERT_NE(runtime.trace(), nullptr);
+  std::string trace = runtime.trace()->DumpToString();
+  EXPECT_NE(trace.find("reactor_dead"), std::string::npos);
+  EXPECT_NE(trace.find("reactor_recover"), std::string::npos);
+}
+
+// The acceptance e2e: one reactor dies mid-run and never comes back; the
+// runtime keeps accepting because the survivors steal its ring dry, adopt
+// its listen shard, and take over its flow groups.
+TEST(RtChaosTest, ReactorKillSurvivorsKeepAccepting) {
+  const int kThreads = 4;
+  const int kVictim = 2;
+  RtConfig config = ChaosConfig(kThreads);
+  config.fault_plan = fault::FaultPlan::ReactorKill(kVictim, /*after_calls=*/50);
+  Runtime runtime(config);
+  std::string error;
+  ASSERT_TRUE(runtime.Start(&error)) << error;
+
+  constexpr uint64_t kConns = 800;
+  LoadClientConfig client_config;
+  client_config.port = runtime.port();
+  client_config.num_threads = 4;
+  client_config.max_conns = kConns;
+  client_config.connect_timeout_ms = 2000;
+  LoadClient client(client_config);
+  client.Start();
+
+  EXPECT_TRUE(WaitFor([&] { return runtime.Totals().failovers >= 1; },
+                      std::chrono::seconds(10)))
+      << "watchdog never failed the killed reactor over";
+  ASSERT_NE(runtime.domains(), nullptr);
+  EXPECT_TRUE(runtime.domains()->IsDead(kVictim));
+  // Every flow group has left the dead core.
+  ASSERT_NE(runtime.director(), nullptr);
+  EXPECT_TRUE(WaitFor([&] { return runtime.director()->table().OwnedBy(kVictim) == 0; },
+                      std::chrono::seconds(5)));
+
+  // The whole quota completes with only three reactors alive.
+  client.WaitForMaxConns();
+  runtime.Stop();
+
+  EXPECT_GE(client.completed(), kConns);
+  RtTotals totals = runtime.Totals();
+  EXPECT_GE(totals.failovers, 1u);
+  EXPECT_EQ(totals.recoveries, 0u);  // a killed reactor stays dead
+  EXPECT_GE(totals.failover_group_moves, 1u);
+  ExpectBooksBalance(runtime, client);
+  ASSERT_NE(runtime.trace(), nullptr);
+  EXPECT_NE(runtime.trace()->DumpToString().find("reactor_dead"), std::string::npos);
+}
+
+TEST(RtChaosTest, EmfileStormBacksOffAndBalances) {
+  RtConfig config;
+  config.mode = RtMode::kAffinity;
+  config.num_threads = 2;
+  // Every core's accept4 reports EMFILE for 30 calls mid-run: the reactor
+  // must burn its reserve fd, enter capped backoff, and come back out.
+  config.fault_plan = fault::FaultPlan::AcceptErrnoBurst(EMFILE, /*after_calls=*/10,
+                                                         /*count=*/30);
+  Runtime runtime(config);
+  std::string error;
+  ASSERT_TRUE(runtime.Start(&error)) << error;
+
+  LoadClientConfig client_config;
+  client_config.port = runtime.port();
+  client_config.num_threads = 4;
+  client_config.connect_timeout_ms = 500;
+  LoadClient client(client_config);
+  client.Start();
+
+  EXPECT_TRUE(WaitFor([&] { return runtime.Totals().accept_emfile >= 1; },
+                      std::chrono::seconds(10)));
+  // Service must resume after the burst window passes.
+  uint64_t seen = runtime.Totals().served();
+  EXPECT_TRUE(WaitFor([&] { return runtime.Totals().served() > seen + 50; },
+                      std::chrono::seconds(10)));
+
+  client.Stop();
+  runtime.Stop();
+
+  RtTotals totals = runtime.Totals();
+  EXPECT_GE(totals.accept_emfile, 1u);
+  EXPECT_GE(totals.accept_backoff, 1u);
+  EXPECT_GE(totals.fault_injected, totals.accept_emfile);
+  ExpectBooksBalance(runtime, client);
+}
+
+TEST(RtChaosTest, SoftAcceptErrnosAreSkippedNotFatal) {
+  RtConfig config;
+  config.mode = RtMode::kAffinity;
+  config.num_threads = 2;
+  // ECONNABORTED bursts are the common real-world flake: the peer reset
+  // between SYN and accept. The loop must skip, count, and keep serving.
+  config.fault_plan = fault::FaultPlan::AcceptErrnoBurst(ECONNABORTED, /*after_calls=*/5,
+                                                         /*count=*/20);
+  Runtime runtime(config);
+  std::string error;
+  ASSERT_TRUE(runtime.Start(&error)) << error;
+
+  constexpr uint64_t kConns = 300;
+  LoadClientConfig client_config;
+  client_config.port = runtime.port();
+  client_config.num_threads = 4;
+  client_config.max_conns = kConns;
+  LoadClient client(client_config);
+  client.Start();
+  client.WaitForMaxConns();
+  runtime.Stop();
+
+  EXPECT_GE(client.completed(), kConns);
+  RtTotals totals = runtime.Totals();
+  EXPECT_GE(totals.accept_econnaborted, 1u);
+  EXPECT_EQ(totals.accept_emfile, 0u);
+  ExpectBooksBalance(runtime, client);
+}
+
+TEST(RtChaosTest, PoolExhaustionShedsWithRst) {
+  RtConfig config;
+  config.mode = RtMode::kAffinity;
+  config.num_threads = 2;
+  config.pool_blocks_per_core = 2;  // 4 blocks total against 16 clients
+  Runtime runtime(config);
+  std::string error;
+  ASSERT_TRUE(runtime.Start(&error)) << error;
+
+  LoadClientConfig client_config;
+  client_config.port = runtime.port();
+  client_config.num_threads = 16;
+  client_config.connect_timeout_ms = 500;
+  LoadClient client(client_config);
+  client.Start();
+
+  EXPECT_TRUE(WaitFor([&] { return runtime.Totals().pool_exhausted >= 1; },
+                      std::chrono::seconds(10)))
+      << "the starved pool never refused an accept";
+  // Service continues underneath the shedding.
+  uint64_t seen = runtime.Totals().served();
+  EXPECT_TRUE(WaitFor([&] { return runtime.Totals().served() > seen + 50; },
+                      std::chrono::seconds(10)));
+
+  client.Stop();
+  runtime.Stop();
+
+  RtTotals totals = runtime.Totals();
+  EXPECT_GE(totals.pool_exhausted, 1u);
+  // Default admission policy with an unlimited budget: every pool refusal
+  // was an accept-then-RST shed, none an orderly-close overflow.
+  EXPECT_GE(totals.admission_shed, 1u);
+  EXPECT_EQ(totals.admission_shed + totals.overflow_drops, totals.pool_exhausted);
+  ExpectBooksBalance(runtime, client);
+  ASSERT_NE(runtime.trace(), nullptr);
+  EXPECT_NE(runtime.trace()->DumpToString().find("admission_shed"), std::string::npos);
+}
+
+TEST(RtChaosTest, LeaveInBacklogShedsNothing) {
+  RtConfig config;
+  config.mode = RtMode::kAffinity;
+  config.num_threads = 2;
+  config.overload = OverloadPolicy::kLeaveInBacklog;
+  Runtime runtime(config);
+  std::string error;
+  ASSERT_TRUE(runtime.Start(&error)) << error;
+
+  constexpr uint64_t kConns = 300;
+  LoadClientConfig client_config;
+  client_config.port = runtime.port();
+  client_config.num_threads = 8;
+  client_config.max_conns = kConns;
+  LoadClient client(client_config);
+  client.Start();
+  client.WaitForMaxConns();
+  runtime.Stop();
+
+  EXPECT_GE(client.completed(), kConns);
+  RtTotals totals = runtime.Totals();
+  // The pushback policy never RSTs: overload stays in the kernel backlog.
+  EXPECT_EQ(totals.admission_shed, 0u);
+  ExpectBooksBalance(runtime, client);
+}
+
+TEST(RtChaosTest, DropBudgetDegradesToOrderlyClose) {
+  RtConfig config;
+  config.mode = RtMode::kAffinity;
+  config.num_threads = 2;
+  config.pool_blocks_per_core = 2;
+  config.drop_budget_per_sec = 3;  // tiny RST budget: most sheds degrade
+  Runtime runtime(config);
+  std::string error;
+  ASSERT_TRUE(runtime.Start(&error)) << error;
+
+  LoadClientConfig client_config;
+  client_config.port = runtime.port();
+  client_config.num_threads = 16;
+  client_config.connect_timeout_ms = 500;
+  LoadClient client(client_config);
+  client.Start();
+  EXPECT_TRUE(WaitFor([&] { return runtime.Totals().pool_exhausted >= 50; },
+                      std::chrono::seconds(10)));
+  client.Stop();
+  runtime.Stop();
+
+  RtTotals totals = runtime.Totals();
+  // With ~3 tokens/sec against >= 50 refusals, the dry bucket must have
+  // degraded some dispositions to orderly closes.
+  EXPECT_GE(totals.overflow_drops, 1u);
+  EXPECT_EQ(totals.admission_shed + totals.overflow_drops, totals.pool_exhausted);
+  ExpectBooksBalance(runtime, client);
+}
+
+}  // namespace
+}  // namespace rt
+}  // namespace affinity

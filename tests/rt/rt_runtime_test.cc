@@ -8,7 +8,9 @@
 #include <gtest/gtest.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <string>
+#include <thread>
 
 #include "src/rt/accept_ring.h"
 #include "src/rt/listener.h"
@@ -65,8 +67,7 @@ TEST_P(RtRuntimeTest, ServesLoopbackConnections) {
 
   RtTotals totals = runtime.Totals();
   EXPECT_GE(totals.served(), kConns);
-  EXPECT_EQ(totals.accepted,
-            totals.served() + totals.drained_at_stop + totals.overflow_drops);
+  EXPECT_EQ(totals.accepted, totals.accounted());
   EXPECT_EQ(totals.queue_wait_ns.count(), totals.served());
   // Pool books balance: every accepted connection got exactly one block
   // (unless the pool itself refused, which counts as an overflow drop) and
@@ -102,6 +103,89 @@ TEST(RtLifecycleTest, StopWithoutTrafficIsClean) {
   RtTotals totals = runtime.Totals();
   EXPECT_EQ(totals.accepted, 0u);
   EXPECT_EQ(totals.served(), 0u);
+}
+
+// --- shutdown robustness: Stop() under live load, double Stop, restart ---
+
+TEST(RtLifecycleTest, StopRacesLiveLoad) {
+  // Stop() while clients are mid-connect: nothing may leak or double-free,
+  // and the books must still balance. The client sees refusals/timeouts
+  // after the listen sockets close -- that is the point.
+  RtConfig config;
+  config.mode = RtMode::kAffinity;
+  config.num_threads = 4;
+  Runtime runtime(config);
+  std::string error;
+  ASSERT_TRUE(runtime.Start(&error)) << error;
+
+  LoadClientConfig client_config;
+  client_config.port = runtime.port();
+  client_config.num_threads = 4;
+  client_config.connect_timeout_ms = 100;
+  LoadClient client(client_config);
+  client.Start();
+  // Let traffic build, then stop the server out from under the client.
+  while (runtime.Totals().accepted < 50) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  runtime.Stop();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  client.Stop();
+
+  RtTotals totals = runtime.Totals();
+  EXPECT_GE(totals.accepted, 50u);
+  EXPECT_EQ(totals.accepted, totals.accounted());
+  ASSERT_NE(runtime.conn_pool(), nullptr);
+  EXPECT_EQ(runtime.conn_pool()->live_objects(), 0u);
+  // Client ledger: every attempt landed in exactly one outcome bucket.
+  EXPECT_EQ(client.attempted(), client.completed() + client.refused() + client.timeouts() +
+                                    client.port_busy() + client.errors());
+}
+
+TEST(RtLifecycleTest, DoubleStopIsIdempotent) {
+  RtConfig config;
+  config.mode = RtMode::kAffinity;
+  config.num_threads = 2;
+  Runtime runtime(config);
+  std::string error;
+  ASSERT_TRUE(runtime.Start(&error)) << error;
+  runtime.Stop();
+  RtTotals first = runtime.Totals();
+  runtime.Stop();  // second Stop: no joins, no double-closes, same books
+  RtTotals second = runtime.Totals();
+  EXPECT_EQ(first.accepted, second.accepted);
+  EXPECT_EQ(first.drained_at_stop, second.drained_at_stop);
+}
+
+TEST(RtLifecycleTest, StartAfterStopServesAgain) {
+  RtConfig config;
+  config.mode = RtMode::kAffinity;
+  config.num_threads = 2;
+  Runtime runtime(config);
+  std::string error;
+
+  uint64_t served_after_first = 0;
+  for (int round = 0; round < 2; ++round) {
+    ASSERT_TRUE(runtime.Start(&error)) << "round " << round << ": " << error;
+    ASSERT_GT(runtime.port(), 0);
+    LoadClientConfig client_config;
+    client_config.port = runtime.port();
+    client_config.num_threads = 2;
+    client_config.max_conns = 50;
+    LoadClient client(client_config);
+    client.Start();
+    client.WaitForMaxConns();
+    runtime.Stop();
+    RtTotals totals = runtime.Totals();
+    EXPECT_GE(client.completed(), 50u) << "round " << round;
+    // Metrics accumulate across restarts; conservation holds cumulatively.
+    EXPECT_EQ(totals.accepted, totals.accounted()) << "round " << round;
+    if (round == 0) {
+      served_after_first = totals.served();
+    } else {
+      EXPECT_GE(totals.served(), served_after_first + 50);
+    }
+  }
 }
 
 TEST(RtLifecycleTest, StockModeUsesOneListenSocketAndQueue) {

@@ -217,6 +217,95 @@ TEST(FlowDirectorTest, RepeatedMigrationsRotateGroups) {
   EXPECT_FALSE(director.MigrateForCore(2, &policy, /*tick=*/5, &m));
 }
 
+// --- watchdog failover: FailOverCore / RecoverCore ---
+
+TEST(FlowDirectorTest, FailOverMovesEveryGroupAndRecoveryReverses) {
+  FlowDirectorConfig config;
+  config.num_groups = 16;
+  config.num_cores = 4;
+  FlowDirector director(config);
+  WatermarkBalancePolicy policy(4, 8);
+
+  // The runtime pins the dead core busy before mass-migrating; mirror that,
+  // so the dead core cannot be picked as its own failover target.
+  policy.SetForcedBusy(1, true);
+  EXPECT_EQ(4u, director.FailOverCore(1, &policy, /*tick=*/10));
+  EXPECT_EQ(0, director.table().OwnedBy(1));
+  for (uint32_t g = 0; g < 16; ++g) {
+    EXPECT_NE(1, director.table().OwnerOf(g)) << "group " << g;
+  }
+  EXPECT_EQ(4u, director.migrations());
+
+  // Recovery brings exactly the original groups home.
+  policy.SetForcedBusy(1, false);
+  EXPECT_EQ(4u, director.RecoverCore(1, /*tick=*/20));
+  EXPECT_EQ(4, director.table().OwnedBy(1));
+  for (uint32_t g = 0; g < 16; ++g) {
+    EXPECT_EQ(static_cast<CoreId>(g % 4), director.table().OwnerOf(g)) << "group " << g;
+  }
+  // The parking record is consumed: a second recovery is a no-op.
+  EXPECT_EQ(0u, director.RecoverCore(1, /*tick=*/21));
+}
+
+TEST(FlowDirectorTest, FailOverAvoidsBusySurvivors) {
+  FlowDirectorConfig config;
+  config.num_groups = 16;
+  config.num_cores = 4;
+  FlowDirector director(config);
+  WatermarkBalancePolicy policy(4, 8);
+  policy.SetForcedBusy(1, true);
+  policy.OnEnqueue(3, 8);  // over the high watermark: core 3 is overloaded
+  ASSERT_TRUE(policy.IsBusy(3));
+
+  EXPECT_EQ(4u, director.FailOverCore(1, &policy, /*tick=*/1));
+  // One failover must not bury an already-overloaded peer: everything lands
+  // on the non-busy survivors.
+  for (uint32_t g = 0; g < 16; ++g) {
+    CoreId owner = director.table().OwnerOf(g);
+    EXPECT_NE(1, owner) << "group " << g;
+    if (g % 4 != 3) {
+      EXPECT_NE(3, owner) << "group " << g;
+    }
+  }
+}
+
+TEST(FlowDirectorTest, RecoveryLeavesRehomedGroupsWithTheirNewOwner) {
+  FlowDirectorConfig config;
+  config.num_groups = 16;
+  config.num_cores = 4;
+  FlowDirector director(config);
+  WatermarkBalancePolicy policy(4, 8);
+
+  // Core 1 dies; its groups park across {0, 2, 3}.
+  policy.SetForcedBusy(1, true);
+  ASSERT_EQ(4u, director.FailOverCore(1, &policy, /*tick=*/1));
+  // Then core 2 dies too: whatever parked there moves again -- that second
+  // move is a legitimate re-homing core 1's recovery must respect.
+  policy.SetForcedBusy(2, true);
+  size_t second_wave = director.FailOverCore(2, &policy, /*tick=*/2);
+  EXPECT_GE(second_wave, 4u);  // core 2's own groups, plus any parked on it
+
+  policy.SetForcedBusy(1, false);
+  size_t returned = director.RecoverCore(1, /*tick=*/3);
+  // Only the groups still sitting where core 1's failover parked them come
+  // home; the ones core 2's failover re-homed stay put.
+  EXPECT_LT(returned, 4u);
+  EXPECT_EQ(static_cast<size_t>(director.table().OwnedBy(1)), returned);
+  for (uint32_t g = 0; g < 16; ++g) {
+    EXPECT_NE(2, director.table().OwnerOf(g)) << "group " << g;
+  }
+}
+
+TEST(FlowDirectorTest, FailOverNeedsASurvivor) {
+  FlowDirectorConfig config;
+  config.num_groups = 4;
+  config.num_cores = 1;
+  FlowDirector director(config);
+  WatermarkBalancePolicy policy(1, 8);
+  EXPECT_EQ(0u, director.FailOverCore(0, &policy, /*tick=*/1));
+  EXPECT_EQ(4, director.table().OwnedBy(0));
+}
+
 // --- live end-to-end steering through the runtime ---
 
 rt::RtConfig SteerConfig(bool force_fallback, int migrate_interval_ms) {
