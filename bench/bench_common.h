@@ -32,6 +32,24 @@ struct BenchJsonRow {
   uint64_t steals = 0;
   uint64_t overflow_drops = 0;
   uint64_t client_errors = 0;
+  // Request/response workloads (svc handlers): per-request rate and
+  // client-observed latency. Emitted only when has_requests is set, so the
+  // legacy accept-workload rows -- and the committed baseline files parsed
+  // by the two-anchor scan -- keep their exact shape.
+  bool has_requests = false;
+  std::string workload;
+  double requests_per_sec = 0;
+  double req_p50_us = 0;
+  double req_p95_us = 0;
+  double req_p99_us = 0;
+  // Backpressure sweep rows: offered load vs what actually got through, and
+  // how fast the refusals came back. Emitted only when is_sweep is set.
+  bool is_sweep = false;
+  int offered_clients = 0;
+  uint64_t refused = 0;
+  uint64_t timeouts = 0;
+  double connect_p95_us = 0;
+  double refused_connect_p95_us = 0;
   std::string series_json;  // optional: rendered JSON array of intervals
 };
 
@@ -61,6 +79,20 @@ inline bool WriteBenchResultsJson(const std::string& path, const std::string& be
     w.Key("steals").UInt(row.steals);
     w.Key("overflow_drops").UInt(row.overflow_drops);
     w.Key("client_errors").UInt(row.client_errors);
+    if (row.has_requests) {
+      w.Key("workload").String(row.workload);
+      w.Key("requests_per_sec").Double(row.requests_per_sec);
+      w.Key("req_p50_us").Double(row.req_p50_us);
+      w.Key("req_p95_us").Double(row.req_p95_us);
+      w.Key("req_p99_us").Double(row.req_p99_us);
+    }
+    if (row.is_sweep) {
+      w.Key("offered_clients").Int(row.offered_clients);
+      w.Key("refused").UInt(row.refused);
+      w.Key("timeouts").UInt(row.timeouts);
+      w.Key("connect_p95_us").Double(row.connect_p95_us);
+      w.Key("refused_connect_p95_us").Double(row.refused_connect_p95_us);
+    }
     if (!row.series_json.empty()) {
       w.Key("intervals").Raw(row.series_json);
     }

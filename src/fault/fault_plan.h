@@ -27,8 +27,14 @@ enum class CallSite : uint8_t {
   kEpollWait = 1,
   kClose = 2,
   kAttachFilter = 3,
+  // The request/response data path (svc handlers + held-conn epoll arming):
+  kRead = 4,
+  kWrite = 5,
+  kEpollCtl = 6,
+  // The client side: rt::LoadClient's connect(2), keyed by client thread.
+  kConnect = 7,
 };
-inline constexpr int kNumCallSites = 4;
+inline constexpr int kNumCallSites = 8;
 
 const char* CallSiteName(CallSite site);
 
@@ -98,6 +104,42 @@ struct FaultPlan {
     rule.err = err;
     rule.after_calls = after_calls;
     rule.count = count;
+    plan.rules.push_back(rule);
+    return plan;
+  }
+
+  // Generic errno burst at any site: `count` calls at `site` on `core`
+  // (-1 = every core) fail with `err` starting at call `after_calls`. The
+  // building block for data-path (read/write) and client-side (connect)
+  // chaos shapes.
+  static FaultPlan ErrnoBurst(CallSite site, int core, int err, uint64_t after_calls,
+                              uint64_t count) {
+    FaultPlan plan;
+    FaultRule rule;
+    rule.site = site;
+    rule.core = core;
+    rule.action = FaultAction::kErrno;
+    rule.err = err;
+    rule.after_calls = after_calls;
+    rule.count = count;
+    plan.rules.push_back(rule);
+    return plan;
+  }
+
+  // Two reactors die, staggered: the correlated-failure shape where the
+  // second death lands on a survivor set that already absorbed a failover
+  // (failover-onto-failed-over).
+  static FaultPlan TwoReactorsDie(int first_core, uint64_t first_after, int second_core,
+                                  uint64_t second_after) {
+    FaultPlan plan;
+    FaultRule rule;
+    rule.site = CallSite::kEpollWait;
+    rule.action = FaultAction::kKill;
+    rule.core = first_core;
+    rule.after_calls = first_after;
+    plan.rules.push_back(rule);
+    rule.core = second_core;
+    rule.after_calls = second_after;
     plan.rules.push_back(rule);
     return plan;
   }

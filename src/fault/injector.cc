@@ -35,6 +35,14 @@ const char* CallSiteName(CallSite site) {
       return "close";
     case CallSite::kAttachFilter:
       return "attach_filter";
+    case CallSite::kRead:
+      return "read";
+    case CallSite::kWrite:
+      return "write";
+    case CallSite::kEpollCtl:
+      return "epoll_ctl";
+    case CallSite::kConnect:
+      return "connect";
   }
   return "?";
 }
@@ -176,6 +184,68 @@ int FaultInjector::AttachFilter(int core, int sockfd, int level, int optname, co
     }
   }
   return real_->AttachFilter(core, sockfd, level, optname, optval, optlen);
+}
+
+ssize_t FaultInjector::Read(int core, int fd, void* buf, size_t count) {
+  const FaultRule* rule = Match(CallSite::kRead, core);
+  if (rule != nullptr) {
+    NoteInjected(CallSite::kRead, core);
+    if (rule->action == FaultAction::kErrno) {
+      errno = rule->err;
+      return -1;
+    }
+    if (rule->action == FaultAction::kDelay || rule->action == FaultAction::kStall) {
+      SleepFor(rule->duration_us);
+    }
+  }
+  return real_->Read(core, fd, buf, count);
+}
+
+ssize_t FaultInjector::Write(int core, int fd, const void* buf, size_t count) {
+  const FaultRule* rule = Match(CallSite::kWrite, core);
+  if (rule != nullptr) {
+    NoteInjected(CallSite::kWrite, core);
+    if (rule->action == FaultAction::kErrno) {
+      errno = rule->err;
+      return -1;
+    }
+    if (rule->action == FaultAction::kDelay || rule->action == FaultAction::kStall) {
+      SleepFor(rule->duration_us);
+    }
+  }
+  return real_->Write(core, fd, buf, count);
+}
+
+int FaultInjector::EpollCtl(int core, int epfd, int op, int fd, epoll_event* event) {
+  const FaultRule* rule = Match(CallSite::kEpollCtl, core);
+  if (rule != nullptr) {
+    NoteInjected(CallSite::kEpollCtl, core);
+    if (rule->action == FaultAction::kErrno) {
+      // Fail WITHOUT performing the arm: the reactor must dispose of the
+      // connection instead of waiting on an event that can never fire.
+      errno = rule->err;
+      return -1;
+    }
+    if (rule->action == FaultAction::kDelay || rule->action == FaultAction::kStall) {
+      SleepFor(rule->duration_us);
+    }
+  }
+  return real_->EpollCtl(core, epfd, op, fd, event);
+}
+
+int FaultInjector::Connect(int core, int sockfd, const sockaddr* addr, socklen_t addrlen) {
+  const FaultRule* rule = Match(CallSite::kConnect, core);
+  if (rule != nullptr) {
+    NoteInjected(CallSite::kConnect, core);
+    if (rule->action == FaultAction::kErrno) {
+      errno = rule->err;
+      return -1;
+    }
+    if (rule->action == FaultAction::kDelay || rule->action == FaultAction::kStall) {
+      SleepFor(rule->duration_us);
+    }
+  }
+  return real_->Connect(core, sockfd, addr, addrlen);
 }
 
 InjectorStats FaultInjector::Stats() const {

@@ -29,7 +29,7 @@ namespace fault {
 
 // Per-site injection totals, snapshot-safe while reactors run.
 struct InjectorStats {
-  uint64_t injected[kNumCallSites] = {0, 0, 0, 0};
+  uint64_t injected[kNumCallSites] = {};
   uint64_t total() const {
     uint64_t sum = 0;
     for (int i = 0; i < kNumCallSites; ++i) sum += injected[i];
@@ -58,6 +58,12 @@ class FaultInjector : public SysIface {
   int Close(int core, int fd) override;
   int AttachFilter(int core, int sockfd, int level, int optname, const void* optval,
                    socklen_t optlen) override;
+  ssize_t Read(int core, int fd, void* buf, size_t count) override;
+  ssize_t Write(int core, int fd, const void* buf, size_t count) override;
+  // kErrno fails WITHOUT performing the epoll_ctl: an arming failure, the
+  // shape that strands a held connection if the reactor mishandles it.
+  int EpollCtl(int core, int epfd, int op, int fd, epoll_event* event) override;
+  int Connect(int core, int sockfd, const sockaddr* addr, socklen_t addrlen) override;
 
   InjectorStats Stats() const;
   uint64_t calls(CallSite site, int core) const;

@@ -26,6 +26,28 @@ int SysIface::AttachFilter(int core, int sockfd, int level, int optname, const v
   return setsockopt(sockfd, level, optname, optval, optlen);
 }
 
+ssize_t SysIface::Read(int core, int fd, void* buf, size_t count) {
+  (void)core;
+  return read(fd, buf, count);
+}
+
+ssize_t SysIface::Write(int core, int fd, const void* buf, size_t count) {
+  (void)core;
+  // Every Write site is a socket; MSG_NOSIGNAL turns the peer-reset SIGPIPE
+  // into a plain EPIPE the handler state machine can classify.
+  return send(fd, buf, count, MSG_NOSIGNAL);
+}
+
+int SysIface::EpollCtl(int core, int epfd, int op, int fd, epoll_event* event) {
+  (void)core;
+  return epoll_ctl(epfd, op, fd, event);
+}
+
+int SysIface::Connect(int core, int sockfd, const sockaddr* addr, socklen_t addrlen) {
+  (void)core;
+  return connect(sockfd, addr, addrlen);
+}
+
 SysIface* DefaultSys() {
   static SysIface passthrough;
   return &passthrough;

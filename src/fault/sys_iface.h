@@ -20,6 +20,7 @@
 
 #include <sys/epoll.h>
 #include <sys/socket.h>
+#include <sys/types.h>
 
 namespace affinity {
 namespace fault {
@@ -42,6 +43,17 @@ class SysIface {
   // here). Injected failure exercises the kFallback degradation path.
   virtual int AttachFilter(int core, int sockfd, int level, int optname, const void* optval,
                            socklen_t optlen);
+
+  // The request/response data path (src/svc handlers) and the epoll
+  // (re-)arming of held connections.
+  virtual ssize_t Read(int core, int fd, void* buf, size_t count);
+  virtual ssize_t Write(int core, int fd, const void* buf, size_t count);
+  virtual int EpollCtl(int core, int epfd, int op, int fd, epoll_event* event);
+
+  // The client side of the seam: rt::LoadClient routes its connect(2)
+  // through here (with `core` = the client thread index), so chaos plans
+  // can refuse or delay connections from the client's vantage too.
+  virtual int Connect(int core, int sockfd, const sockaddr* addr, socklen_t addrlen);
 };
 
 // The shared passthrough instance; stateless, safe from every thread.

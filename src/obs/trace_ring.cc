@@ -25,6 +25,10 @@ const char* TraceEventTypeName(TraceEventType type) {
       return "reactor_recover";
     case TraceEventType::kAdmissionShed:
       return "admission_shed";
+    case TraceEventType::kConnOpen:
+      return "conn_open";
+    case TraceEventType::kConnClose:
+      return "conn_close";
   }
   return "?";
 }
@@ -129,6 +133,13 @@ std::string TraceRing::DumpToString() const {
         std::snprintf(line, sizeof(line), "%12llu ns seq=%llu core=%d admission_shed qlen=%u\n",
                       static_cast<unsigned long long>(ev.t_ns),
                       static_cast<unsigned long long>(ev.seq), ev.core, ev.qlen);
+        break;
+      case TraceEventType::kConnOpen:
+      case TraceEventType::kConnClose:
+        std::snprintf(line, sizeof(line), "%12llu ns seq=%llu core=%d %s listener=%d reqs=%u\n",
+                      static_cast<unsigned long long>(ev.t_ns),
+                      static_cast<unsigned long long>(ev.seq), ev.core,
+                      TraceEventTypeName(ev.type), ev.src, ev.qlen);
         break;
     }
     out += line;

@@ -25,15 +25,21 @@
 
 #include "src/mem/bounded_ring.h"
 #include "src/mem/conn_pool.h"
+#include "src/svc/conn_state.h"
 
 namespace affinity {
 namespace rt {
 
 // A connection that completed the kernel handshake and was accept()ed but
-// not yet handed to application code. Lives in a ConnPool block.
+// not yet handed to application code. Lives in a ConnPool block. The
+// embedded svc::ConnState (request/response cursors + staging buffers) is
+// what lets a handler-driven connection survive across epoll rounds without
+// any heap allocation: the whole per-connection footprint is this one pool
+// block, recycled on close.
 struct PendingConn {
   int fd = -1;
   std::chrono::steady_clock::time_point accepted_at{};
+  svc::ConnState svc;
 };
 
 // One pool block per in-flight accepted connection, owned by the core that

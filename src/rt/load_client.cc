@@ -2,14 +2,19 @@
 
 #include <arpa/inet.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <string.h>
 #include <sys/socket.h>
 #include <sys/time.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
+
+#include "src/svc/conn_state.h"
 
 namespace affinity {
 namespace rt {
@@ -27,6 +32,16 @@ uint64_t NextRand(uint64_t* state) {
   return x * 0x2545f4914f6cdd1dull;
 }
 
+uint64_t NowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+// Scratch sizing: the largest request line the server accepts, plus header
+// room. Stack arrays, so the steady-state request loop never allocates.
+constexpr int kMaxPayload = static_cast<int>(svc::kReqBufBytes) - 8;
+
 }  // namespace
 
 LoadClient::LoadClient(const LoadClientConfig& config) : config_(config) {
@@ -42,6 +57,16 @@ LoadClient::LoadClient(const LoadClientConfig& config) : config_(config) {
   if (config_.backoff_max_ms < config_.backoff_base_ms) {
     config_.backoff_max_ms = config_.backoff_base_ms;
   }
+  if (config_.requests_per_conn < 1) {
+    config_.requests_per_conn = 1;
+  }
+  config_.payload_bytes = std::max(1, std::min(config_.payload_bytes, kMaxPayload));
+  if (config_.num_keys < 1) {
+    config_.num_keys = 1;
+  }
+  if (config_.sys == nullptr) {
+    config_.sys = fault::DefaultSys();
+  }
 }
 
 LoadClient::~LoadClient() { Stop(); }
@@ -51,6 +76,12 @@ void LoadClient::Start() {
     return;
   }
   started_ = true;
+  // Ledgers exist before any thread runs and survive until the next Start:
+  // the reader merges them after Stop() without locking.
+  ledgers_.clear();
+  for (int i = 0; i < config_.num_threads; ++i) {
+    ledgers_.emplace_back(new ThreadLedger);
+  }
   for (int i = 0; i < config_.num_threads; ++i) {
     threads_.emplace_back([this, i] { RunThread(i); });
   }
@@ -76,6 +107,30 @@ void LoadClient::WaitForMaxConns() {
   Stop();
 }
 
+Histogram LoadClient::RequestLatencyNs() const {
+  Histogram merged;
+  for (const auto& ledger : ledgers_) {
+    merged.Merge(ledger->request_ns);
+  }
+  return merged;
+}
+
+Histogram LoadClient::ConnectLatencyNs() const {
+  Histogram merged;
+  for (const auto& ledger : ledgers_) {
+    merged.Merge(ledger->connect_ns);
+  }
+  return merged;
+}
+
+Histogram LoadClient::RefusedConnectLatencyNs() const {
+  Histogram merged;
+  for (const auto& ledger : ledgers_) {
+    merged.Merge(ledger->refused_ns);
+  }
+  return merged;
+}
+
 void LoadClient::RunThread(int thread_index) {
   // This thread's round-robin slice of the deterministic source ports.
   // Disjoint slices mean two threads never race to bind the same port.
@@ -87,6 +142,7 @@ void LoadClient::RunThread(int thread_index) {
   size_t cursor = 0;
   uint64_t rng = config_.backoff_seed + static_cast<uint64_t>(thread_index) * 0x9e3779b9ull + 1;
   int backoff_ms = 0;
+  ThreadLedger* ledger = ledgers_[static_cast<size_t>(thread_index)].get();
 
   while (!stop_.load(std::memory_order_acquire)) {
     if (config_.max_conns > 0 &&
@@ -94,7 +150,7 @@ void LoadClient::RunThread(int thread_index) {
       return;
     }
     uint16_t src_port = ports.empty() ? 0 : ports[cursor++ % ports.size()];
-    ConnOutcome outcome = OneConnection(src_port);
+    ConnOutcome outcome = OneConnection(thread_index, src_port, ledger);
     // A lingering 4-tuple (e.g. the server closed first and our RST-close
     // raced it) makes this exact port transiently unbindable; the skew set
     // has several ports per flow group, so move on to the next one instead
@@ -104,7 +160,7 @@ void LoadClient::RunThread(int thread_index) {
     while (outcome == ConnOutcome::kPortInUse && !ports.empty() && ++lap < ports.size() &&
            !stop_.load(std::memory_order_acquire)) {
       src_port = ports[cursor++ % ports.size()];
-      outcome = OneConnection(src_port);
+      outcome = OneConnection(thread_index, src_port, ledger);
     }
     if (outcome == ConnOutcome::kOk) {
       backoff_ms = 0;
@@ -134,7 +190,217 @@ void LoadClient::RunThread(int thread_index) {
   }
 }
 
-LoadClient::ConnOutcome LoadClient::OneConnection(uint16_t src_port) {
+int LoadClient::ConnectSocket(int thread_index, uint16_t src_port, ThreadLedger* ledger,
+                              ConnOutcome* outcome) {
+  const bool is_unix = !config_.unix_path.empty();
+  int fd = socket(is_unix ? AF_UNIX : AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (fd < 0) {
+    *outcome = ConnOutcome::kError;
+    return -1;
+  }
+  // Bound every blocking call so Stop() is honored within the timeout even
+  // if the server stops serving while we are connected. SO_SNDTIMEO also
+  // bounds the blocking connect itself.
+  timeval tv;
+  tv.tv_sec = config_.connect_timeout_ms / 1000;
+  tv.tv_usec = (config_.connect_timeout_ms % 1000) * 1000;
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  if (!is_unix) {
+    // Request lines are small; Nagle would batch them behind the previous
+    // round's ACK and poison every latency sample with delayed-ACK waits.
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+
+  if (!is_unix && src_port != 0) {
+    int one = 1;
+    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in src;
+    memset(&src, 0, sizeof(src));
+    src.sin_family = AF_INET;
+    src.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    src.sin_port = htons(src_port);
+    if (bind(fd, reinterpret_cast<sockaddr*>(&src), sizeof(src)) < 0) {
+      int bind_errno = errno;
+      close(fd);
+      *outcome = bind_errno == EADDRINUSE ? ConnOutcome::kPortInUse : ConnOutcome::kError;
+      return -1;
+    }
+  }
+
+  sockaddr_storage addr_storage;
+  memset(&addr_storage, 0, sizeof(addr_storage));
+  socklen_t addr_len;
+  if (is_unix) {
+    auto* addr = reinterpret_cast<sockaddr_un*>(&addr_storage);
+    addr->sun_family = AF_UNIX;
+    const std::string& path = config_.unix_path;
+    if (path.size() > sizeof(addr->sun_path) - 1) {
+      close(fd);
+      *outcome = ConnOutcome::kError;
+      return -1;
+    }
+    if (path[0] == '@') {
+      memcpy(addr->sun_path + 1, path.data() + 1, path.size() - 1);
+      addr_len = static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) + path.size());
+    } else {
+      memcpy(addr->sun_path, path.data(), path.size());
+      addr_len = static_cast<socklen_t>(offsetof(sockaddr_un, sun_path) + path.size() + 1);
+    }
+  } else {
+    auto* addr = reinterpret_cast<sockaddr_in*>(&addr_storage);
+    addr->sin_family = AF_INET;
+    addr->sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr->sin_port = htons(config_.port);
+    addr_len = sizeof(sockaddr_in);
+  }
+
+  uint64_t t0 = NowNs();
+  if (config_.sys->Connect(thread_index, fd, reinterpret_cast<sockaddr*>(&addr_storage),
+                           addr_len) < 0) {
+    int connect_errno = errno;
+    close(fd);
+    // A connect from a just-reused 4-tuple can also bounce off TIME_WAIT.
+    if (!is_unix && src_port != 0 && connect_errno == EADDRNOTAVAIL) {
+      *outcome = ConnOutcome::kPortInUse;
+      return -1;
+    }
+    if (connect_errno == ECONNREFUSED) {
+      // The refusal's own latency: how fast an overloaded/absent server
+      // turns the client around (the Section 3.3 fail-fast property).
+      ledger->refused_ns.Add(NowNs() - t0);
+      *outcome = ConnOutcome::kRefused;
+      return -1;
+    }
+    // A blocking connect bounded by SO_SNDTIMEO reports expiry as
+    // EINPROGRESS/EWOULDBLOCK; ETIMEDOUT is the kernel's own handshake
+    // timeout.
+    if (connect_errno == ETIMEDOUT || connect_errno == EINPROGRESS ||
+        connect_errno == EWOULDBLOCK || connect_errno == EAGAIN) {
+      *outcome = ConnOutcome::kTimedOut;
+      return -1;
+    }
+    *outcome = ConnOutcome::kError;
+    return -1;
+  }
+  ledger->connect_ns.Add(NowNs() - t0);
+  *outcome = ConnOutcome::kOk;
+  return fd;
+}
+
+LoadClient::ConnOutcome LoadClient::RunRounds(int thread_index, int fd, ThreadLedger* ledger) {
+  char req[svc::kReqBufBytes];
+  char resp[4096];
+  fault::SysIface* sys = config_.sys;
+
+  for (int round = 0; round < config_.requests_per_conn; ++round) {
+    if (stop_.load(std::memory_order_acquire)) {
+      return ConnOutcome::kAbortedAtStop;
+    }
+    // Build the request line in place (no allocation): a fixed 'x' payload
+    // for echo/think, a rotating "obj<k>" key for static content.
+    int req_len;
+    if (config_.workload == svc::WorkloadKind::kStatic) {
+      uint64_t key = ledger->key_cursor++ % static_cast<uint64_t>(config_.num_keys);
+      req_len = std::snprintf(req, sizeof(req), "obj%llu\n",
+                              static_cast<unsigned long long>(key));
+    } else {
+      memset(req, 'x', static_cast<size_t>(config_.payload_bytes));
+      req[config_.payload_bytes] = '\n';
+      req_len = config_.payload_bytes + 1;
+    }
+
+    uint64_t t0 = NowNs();
+    // Write the full line; the socket is blocking with SO_SNDTIMEO, so a
+    // short or EAGAIN write means the timeout expired.
+    int off = 0;
+    while (off < req_len) {
+      ssize_t n = sys->Write(thread_index, fd, req + off, static_cast<size_t>(req_len - off));
+      if (n > 0) {
+        off += static_cast<int>(n);
+        continue;
+      }
+      if (n < 0 && errno == EINTR) {
+        continue;
+      }
+      return n < 0 && (errno == EWOULDBLOCK || errno == EAGAIN) ? ConnOutcome::kTimedOut
+                                                                : ConnOutcome::kError;
+    }
+
+    // Read the framed response: a "<len>\n" decimal header, then len
+    // payload bytes. Header bytes accumulate in resp; payload bytes are
+    // counted and discarded (the ledger wants latency, not contents).
+    uint32_t have = 0;
+    uint32_t header_end = 0;  // index one past the header's newline; 0 = not found
+    uint64_t payload_len = 0;
+    uint64_t payload_got = 0;
+    for (;;) {
+      if (header_end == 0) {
+        ssize_t n = sys->Read(thread_index, fd, resp + have, sizeof(resp) - have);
+        if (n == 0) {
+          return ConnOutcome::kError;  // EOF mid-response
+        }
+        if (n < 0) {
+          if (errno == EINTR) {
+            continue;
+          }
+          return errno == EWOULDBLOCK || errno == EAGAIN ? ConnOutcome::kTimedOut
+                                                         : ConnOutcome::kError;
+        }
+        have += static_cast<uint32_t>(n);
+        for (uint32_t i = 0; i < have; ++i) {
+          if (resp[i] == '\n') {
+            header_end = i + 1;
+            break;
+          }
+        }
+        if (header_end == 0) {
+          if (have >= sizeof(resp)) {
+            return ConnOutcome::kError;  // unframed garbage
+          }
+          continue;
+        }
+        payload_len = 0;
+        for (uint32_t i = 0; i + 1 < header_end; ++i) {
+          if (resp[i] < '0' || resp[i] > '9') {
+            return ConnOutcome::kError;
+          }
+          payload_len = payload_len * 10 + static_cast<uint64_t>(resp[i] - '0');
+        }
+        payload_got = have - header_end;
+      }
+      if (payload_got >= payload_len) {
+        break;
+      }
+      uint64_t want = payload_len - payload_got;
+      size_t chunk = want < sizeof(resp) ? static_cast<size_t>(want) : sizeof(resp);
+      ssize_t n = sys->Read(thread_index, fd, resp, chunk);
+      if (n == 0) {
+        return ConnOutcome::kError;
+      }
+      if (n < 0) {
+        if (errno == EINTR) {
+          continue;
+        }
+        return errno == EWOULDBLOCK || errno == EAGAIN ? ConnOutcome::kTimedOut
+                                                       : ConnOutcome::kError;
+      }
+      payload_got += static_cast<uint64_t>(n);
+    }
+
+    ledger->request_ns.Add(NowNs() - t0);
+    requests_.fetch_add(1, std::memory_order_relaxed);
+
+    if (config_.think_time_us > 0 && round + 1 < config_.requests_per_conn) {
+      std::this_thread::sleep_for(std::chrono::microseconds(config_.think_time_us));
+    }
+  }
+  return ConnOutcome::kOk;
+}
+
+LoadClient::ConnOutcome LoadClient::OneConnection(int thread_index, uint16_t src_port,
+                                                  ThreadLedger* ledger) {
   attempted_.fetch_add(1, std::memory_order_relaxed);
   auto fail = [this](ConnOutcome outcome) {
     switch (outcome) {
@@ -147,6 +413,9 @@ LoadClient::ConnOutcome LoadClient::OneConnection(uint16_t src_port) {
       case ConnOutcome::kTimedOut:
         timeouts_.fetch_add(1, std::memory_order_relaxed);
         break;
+      case ConnOutcome::kAbortedAtStop:
+        aborted_.fetch_add(1, std::memory_order_relaxed);
+        break;
       case ConnOutcome::kError:
         errors_.fetch_add(1, std::memory_order_relaxed);
         break;
@@ -157,73 +426,40 @@ LoadClient::ConnOutcome LoadClient::OneConnection(uint16_t src_port) {
     return outcome;
   };
 
-  int fd = socket(AF_INET, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  ConnOutcome outcome = ConnOutcome::kError;
+  int fd = ConnectSocket(thread_index, src_port, ledger, &outcome);
   if (fd < 0) {
-    return fail(ConnOutcome::kError);
+    return fail(outcome);
   }
-  // Bound every blocking call so Stop() is honored within the timeout even
-  // if the server stops serving while we are connected. SO_SNDTIMEO also
-  // bounds the blocking connect itself.
-  timeval tv;
-  tv.tv_sec = config_.connect_timeout_ms / 1000;
-  tv.tv_usec = (config_.connect_timeout_ms % 1000) * 1000;
-  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
 
-  if (src_port != 0) {
-    int one = 1;
-    setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
-    sockaddr_in src;
-    memset(&src, 0, sizeof(src));
-    src.sin_family = AF_INET;
-    src.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-    src.sin_port = htons(src_port);
-    if (bind(fd, reinterpret_cast<sockaddr*>(&src), sizeof(src)) < 0) {
-      int bind_errno = errno;
-      close(fd);
-      return fail(bind_errno == EADDRINUSE ? ConnOutcome::kPortInUse : ConnOutcome::kError);
+  if (config_.workload != svc::WorkloadKind::kAccept) {
+    outcome = RunRounds(thread_index, fd, ledger);
+    if (src_port != 0 && config_.unix_path.empty()) {
+      // RST-close: a FIN would leave this exact 4-tuple in TIME_WAIT and the
+      // next cycle's bind+connect to the same port would fail, but the port
+      // IS the flow-group key, so we cannot substitute another one.
+      linger lg{1, 0};
+      setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
     }
-  }
-
-  sockaddr_in addr;
-  memset(&addr, 0, sizeof(addr));
-  addr.sin_family = AF_INET;
-  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
-  addr.sin_port = htons(config_.port);
-  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) < 0) {
-    int connect_errno = errno;
     close(fd);
-    // A connect from a just-reused 4-tuple can also bounce off TIME_WAIT.
-    if (src_port != 0 && connect_errno == EADDRNOTAVAIL) {
-      return fail(ConnOutcome::kPortInUse);
-    }
-    if (connect_errno == ECONNREFUSED) {
-      return fail(ConnOutcome::kRefused);
-    }
-    // A blocking connect bounded by SO_SNDTIMEO reports expiry as
-    // EINPROGRESS/EWOULDBLOCK; ETIMEDOUT is the kernel's own handshake
-    // timeout.
-    if (connect_errno == ETIMEDOUT || connect_errno == EINPROGRESS ||
-        connect_errno == EWOULDBLOCK || connect_errno == EAGAIN) {
-      return fail(ConnOutcome::kTimedOut);
-    }
-    return fail(ConnOutcome::kError);
+    return fail(outcome);
   }
 
-  // Read the response until orderly EOF.
+  // kAccept: read the one-byte response until orderly EOF.
   bool got_byte = false;
   char buf[16];
   for (;;) {
-    ssize_t n = read(fd, buf, sizeof(buf));
+    ssize_t n = config_.sys->Read(thread_index, fd, buf, sizeof(buf));
     if (n > 0) {
       got_byte = true;
       continue;
     }
+    if (n < 0 && errno == EINTR) {
+      continue;
+    }
     bool timed_out = n < 0 && (errno == EWOULDBLOCK || errno == EAGAIN);
     if (src_port != 0) {
-      // RST-close: a FIN would leave this exact 4-tuple in TIME_WAIT and the
-      // next cycle's bind+connect to the same port would fail, but the port
-      // IS the flow-group key, so we cannot substitute another one.
+      // See above: RST-close keeps the deterministic source port reusable.
       linger lg{1, 0};
       setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
     }

@@ -1,6 +1,12 @@
 // Loopback load generator: closed-loop client threads that connect to the
-// runtime's port, read the one-byte response until EOF, and immediately
-// reconnect. Connection-per-request, like the paper's ab/apachebench setup.
+// runtime and drive its workload. Under kAccept (the legacy mode) each
+// connection reads the one-byte response until EOF and reconnects --
+// connection-per-request, like the paper's ab/apachebench setup. Under the
+// request/response workloads (echo/static/think) each connection carries
+// `requests_per_conn` newline-terminated requests, reading back the
+// "<len>\n<payload>" response per round and stamping a per-request latency
+// into a per-thread histogram ledger -- the paper's persistent-connection
+// Apache traffic.
 //
 // Robustness: every blocking call is bounded by connect_timeout_ms, and a
 // refused or timed-out connect enters capped exponential backoff with
@@ -8,14 +14,24 @@
 // not a synchronized hammer. Outcomes are conserved: every attempt is
 // exactly one of completed, refused, timed out, port-busy, or error, so
 // chaos tests can balance the client ledger against the server's.
+//
+// All socket I/O (connect/read/write) routes through a fault::SysIface
+// keyed by the client THREAD index, so chaos plans can fault the client
+// side of the conversation independently of the server.
 
 #ifndef AFFINITY_SRC_RT_LOAD_CLIENT_H_
 #define AFFINITY_SRC_RT_LOAD_CLIENT_H_
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
+#include <string>
 #include <thread>
 #include <vector>
+
+#include "src/fault/sys_iface.h"
+#include "src/sim/stats.h"
+#include "src/svc/conn_handler.h"
 
 namespace affinity {
 namespace rt {
@@ -42,6 +58,28 @@ struct LoadClientConfig {
   int backoff_base_ms = 1;
   int backoff_max_ms = 100;
   uint64_t backoff_seed = 1;  // per-thread jitter streams derive from this
+
+  // --- request/response traffic (must match the server's workload) ---
+
+  // kAccept reproduces the legacy read-to-EOF cycle; anything else sends
+  // request lines and reads framed responses.
+  svc::WorkloadKind workload = svc::WorkloadKind::kAccept;
+  // Requests per connection before the client closes. For an echo-N server
+  // (HandlerParams::echo_rounds > 0) set this to N; the server closes after
+  // the Nth response either way.
+  int requests_per_conn = 1;
+  // Request payload bytes before the terminating newline (echo/think).
+  int payload_bytes = 64;
+  // Client-side pause between rounds on one connection, modeling user think
+  // time (0 = closed-loop as fast as responses return).
+  int think_time_us = 0;
+  // kStatic: request keys cycle obj0..obj<num_keys-1>.
+  int num_keys = 64;
+  // Non-empty: connect to this UNIX-domain socket path instead of TCP
+  // (leading '@' = abstract namespace). src_ports are ignored.
+  std::string unix_path;
+  // Client-side fault seam (core = thread index); null = passthrough.
+  fault::SysIface* sys = nullptr;
 };
 
 class LoadClient {
@@ -59,38 +97,68 @@ class LoadClient {
   void WaitForMaxConns();
 
   // Outcome ledger: attempted() == completed + refused + timeouts +
-  // port_busy + errors once the threads are joined.
+  // port_busy + errors + aborted_at_stop once the threads are joined.
   uint64_t attempted() const { return attempted_.load(std::memory_order_relaxed); }
   uint64_t completed() const { return completed_.load(std::memory_order_relaxed); }
   uint64_t refused() const { return refused_.load(std::memory_order_relaxed); }
   uint64_t timeouts() const { return timeouts_.load(std::memory_order_relaxed); }
   uint64_t port_busy() const { return port_busy_.load(std::memory_order_relaxed); }
   uint64_t errors() const { return errors_.load(std::memory_order_relaxed); }
+  // Conversations Stop() tore down mid-flight: the client walked away, the
+  // server did nothing wrong. The client-side mirror of the server's
+  // aborted_at_stop term.
+  uint64_t aborted_at_stop() const { return aborted_.load(std::memory_order_relaxed); }
   uint64_t backoffs() const { return backoffs_.load(std::memory_order_relaxed); }
+  // Completed request/response rounds (0 under kAccept). Live.
+  uint64_t requests() const { return requests_.load(std::memory_order_relaxed); }
+
+  // Per-thread latency ledgers merged on demand. Call AFTER Stop() (or
+  // WaitForMaxConns): merging races thread-local Add()s otherwise.
+  Histogram RequestLatencyNs() const;         // per completed request round
+  Histogram ConnectLatencyNs() const;         // per successful connect
+  Histogram RefusedConnectLatencyNs() const;  // time to receive ECONNREFUSED
 
  private:
   enum class ConnOutcome {
     kOk,
     kPortInUse,  // bind(src_port) hit EADDRINUSE: retry with the next port
     kRefused,    // connect ECONNREFUSED: nothing listening (yet)
-    kTimedOut,   // connect or read exceeded connect_timeout_ms
+    kTimedOut,       // connect or read exceeded connect_timeout_ms
+    kAbortedAtStop,  // Stop() landed mid-conversation
     kError,
   };
 
+  // Thread-local latency ledger; histograms allocate at Start(), never in
+  // steady state.
+  struct ThreadLedger {
+    Histogram request_ns;
+    Histogram connect_ns;
+    Histogram refused_ns;
+    uint64_t key_cursor = 0;  // kStatic: rotates the requested object
+  };
+
   void RunThread(int thread_index);
-  // One connect / read-to-EOF / close cycle; `src_port` 0 lets the kernel
-  // pick an ephemeral port. Increments attempted_ and the outcome counter.
-  ConnOutcome OneConnection(uint16_t src_port);
+  // One connection's full lifecycle; `src_port` 0 lets the kernel pick an
+  // ephemeral port. Increments attempted_ and the outcome counter.
+  ConnOutcome OneConnection(int thread_index, uint16_t src_port, ThreadLedger* ledger);
+  // The request/response rounds on a connected socket. Returns kOk when
+  // every round completed.
+  ConnOutcome RunRounds(int thread_index, int fd, ThreadLedger* ledger);
+  int ConnectSocket(int thread_index, uint16_t src_port, ThreadLedger* ledger,
+                    ConnOutcome* outcome);
 
   LoadClientConfig config_;
   std::vector<std::thread> threads_;
+  std::vector<std::unique_ptr<ThreadLedger>> ledgers_;
   std::atomic<uint64_t> attempted_{0};
   std::atomic<uint64_t> completed_{0};
   std::atomic<uint64_t> refused_{0};
   std::atomic<uint64_t> timeouts_{0};
   std::atomic<uint64_t> port_busy_{0};
   std::atomic<uint64_t> errors_{0};
+  std::atomic<uint64_t> aborted_{0};
   std::atomic<uint64_t> backoffs_{0};
+  std::atomic<uint64_t> requests_{0};
   std::atomic<bool> stop_{false};
   bool started_ = false;
 };

@@ -2,6 +2,7 @@
 
 #include <fcntl.h>
 #include <netinet/in.h>
+#include <netinet/tcp.h>
 #include <sys/epoll.h>
 #include <sys/socket.h>
 #include <unistd.h>
@@ -56,8 +57,7 @@ const char* OverloadPolicyName(OverloadPolicy policy) {
   return "?";
 }
 
-Reactor::Reactor(int index, int listen_fd, ReactorShared* shared)
-    : index_(index), listen_fd_(listen_fd), shared_(shared) {}
+Reactor::Reactor(int index, ReactorShared* shared) : index_(index), shared_(shared) {}
 
 void Reactor::ResolveHotCells() {
   obs::MetricsRegistry* m = shared_->metrics;
@@ -76,7 +76,11 @@ void Reactor::ResolveHotCells() {
   hot_.accept_emfile = m->Cell(ids.accept_emfile, index_);
   hot_.accept_backoff = m->Cell(ids.accept_backoff, index_);
   hot_.admission_shed = m->Cell(ids.admission_shed, index_);
+  hot_.requests = m->Cell(ids.requests, index_);
+  hot_.aborted_at_stop = m->Cell(ids.aborted_at_stop, index_);
+  hot_.conn_open = m->Cell(ids.conn_open, index_);
   hot_.queue_wait = m->HistCell(ids.queue_wait, index_);
+  hot_.request_latency = m->HistCell(ids.request_latency, index_);
   if (shared_->director != nullptr) {
     hot_.steer_owner_accepts = m->Cell(ids.steer_owner_accepts, index_);
     hot_.steer_cross_accepts = m->Cell(ids.steer_cross_accepts, index_);
@@ -103,13 +107,25 @@ void Reactor::Run() {
   if (ep_ < 0) {
     return;
   }
-  epoll_event ev{};
-  ev.events = EPOLLIN;  // level-triggered: stock mode herds on purpose
-  ev.data.fd = listen_fd_;
-  epoll_ctl(ep_, EPOLL_CTL_ADD, listen_fd_, &ev);
+  // One source per listener: this reactor's shard of a per-shard listener,
+  // or the single shared fd (stock mode, and UNIX sockets always -- every
+  // reactor polls it, level-triggered, so a shared listener herds like
+  // stock accept while per-shard ones stay private). Accepts land on this
+  // core's ring outside stock mode regardless of which fd produced them.
   sources_.clear();
-  sources_.push_back(ListenSource{
-      listen_fd_, shared_->mode == RtMode::kStock ? 0u : static_cast<uint32_t>(index_)});
+  for (RtListener* listener : shared_->listeners) {
+    int fd = listener->fds.size() == 1 ? listener->fds[0]
+                                       : listener->fds[static_cast<size_t>(index_)];
+    uint32_t qi = shared_->mode == RtMode::kStock ? 0u : static_cast<uint32_t>(index_);
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.u64 = static_cast<uint64_t>(static_cast<uint32_t>(fd));  // bit 63 clear: listen fd
+    epoll_ctl(ep_, EPOLL_CTL_ADD, fd, &ev);
+    sources_.push_back(ListenSource{fd, qi, listener});
+  }
+  base_sources_ = sources_.size();
+  open_head_ = kNullConn;
+  open_count_ = 0;
 
   // EMFILE rescue reserve: one fd held back so fd exhaustion can still
   // accept-and-RST (keeping the backlog moving) instead of wedging.
@@ -159,9 +175,15 @@ void Reactor::Run() {
     if (n > 0) {
       hot_.epoll_wakeups->fetch_add(1, std::memory_order_relaxed);
       for (int i = 0; i < n; ++i) {
+        uint64_t data = events[i].data.u64;
+        if ((data & kConnTag) != 0) {
+          DriveConn(static_cast<ConnHandle>(data & 0xFFFFFFFFull), events[i].events);
+          continue;
+        }
+        int fd = static_cast<int>(data);
         for (const ListenSource& src : sources_) {
-          if (src.fd == events[i].data.fd) {
-            AcceptBatch(src.fd, src.qi);
+          if (src.fd == fd) {
+            AcceptBatch(src);
             break;
           }
         }
@@ -189,6 +211,12 @@ void Reactor::Run() {
       next_watchdog += watchdog_period;
     }
   }
+  FlushDequeues();
+  // Close every connection still mid-conversation -- on the orderly stop
+  // path AND the chaos kill path (a killed reactor models a dead process,
+  // whose fds the kernel would close; doing it here keeps the pool drained
+  // and the conservation ledger exact). Counted as aborted, never served.
+  CloseAllOpen();
   if (reserve_fd_ >= 0) {
     close(reserve_fd_);
     reserve_fd_ = -1;
@@ -258,18 +286,25 @@ void Reactor::TryFailover(int dead) {
       }
     }
   }
-  // Adopt the dead peer's listen shard: SYNs the kernel already queued
-  // there (and, in fallback steering, keeps hashing there) would otherwise
-  // strand. Accepts land on the dead core's ring by default, where
+  // Adopt the dead peer's listen shards -- one per per-shard listener:
+  // SYNs the kernel already queued there (and, in fallback steering, keeps
+  // hashing there) would otherwise strand. Shared-fd listeners (UNIX
+  // sockets, stock mode) need no adoption; every reactor polls them
+  // already. Accepts land on the dead core's ring by default, where
   // forced-busy stealing drains them.
-  if (shared_->mode != RtMode::kStock &&
-      dead < static_cast<int>(shared_->listen_fds.size())) {
-    int lfd = shared_->listen_fds[static_cast<size_t>(dead)];
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.fd = lfd;
-    if (epoll_ctl(ep_, EPOLL_CTL_ADD, lfd, &ev) == 0) {
-      sources_.push_back(ListenSource{lfd, static_cast<uint32_t>(dead)});
+  if (shared_->mode != RtMode::kStock) {
+    for (RtListener* listener : shared_->listeners) {
+      if (listener->fds.size() != static_cast<size_t>(shared_->num_reactors) ||
+          dead >= static_cast<int>(listener->fds.size())) {
+        continue;
+      }
+      int lfd = listener->fds[static_cast<size_t>(dead)];
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.u64 = static_cast<uint64_t>(static_cast<uint32_t>(lfd));
+      if (epoll_ctl(ep_, EPOLL_CTL_ADD, lfd, &ev) == 0) {
+        sources_.push_back(ListenSource{lfd, static_cast<uint32_t>(dead), listener});
+      }
     }
   }
   if (shared_->trace != nullptr) {
@@ -319,10 +354,10 @@ void Reactor::SelfRecover() {
 }
 
 void Reactor::ReleaseRecoveredAdoptions() {
-  if (sources_.size() <= 1) {
+  if (sources_.size() <= base_sources_) {
     return;
   }
-  for (size_t i = sources_.size(); i-- > 1;) {
+  for (size_t i = sources_.size(); i-- > base_sources_;) {
     if (!shared_->domains->IsDead(static_cast<int>(sources_[i].qi))) {
       epoll_ctl(ep_, EPOLL_CTL_DEL, sources_[i].fd, nullptr);
       sources_.erase(sources_.begin() + static_cast<long>(i));
@@ -392,7 +427,7 @@ void Reactor::FdExhaustionRescue(int listen_fd) {
     // drain, and the backlog keeps moving.
     close(reserve_fd_);
     reserve_fd_ = -1;
-    sockaddr_in peer;
+    sockaddr_storage peer;
     socklen_t peer_len = sizeof(peer);
     int fd = shared_->sys->Accept4(index_, listen_fd, reinterpret_cast<sockaddr*>(&peer),
                                    &peer_len, SOCK_NONBLOCK | SOCK_CLOEXEC);
@@ -417,12 +452,18 @@ void Reactor::FdExhaustionRescue(int listen_fd) {
   hot_.accept_backoff->fetch_add(1, std::memory_order_relaxed);
 }
 
-void Reactor::AcceptBatch(int listen_fd, size_t default_qi) {
+void Reactor::AcceptBatch(const ListenSource& src) {
+  const size_t default_qi = src.qi;
   auto now = std::chrono::steady_clock::now();
   if (now < backoff_until_) {
     return;  // fd-exhaustion backoff window: leave the backlog queued
   }
   int limit = shared_->accept_batch < kMaxAcceptBatch ? shared_->accept_batch : kMaxAcceptBatch;
+  // Steering decisions apply only to the primary TCP listener: its source
+  // ports are the flow-group key. Extra ports and UNIX sockets keep plain
+  // accepting-core affinity.
+  const bool steer = shared_->director != nullptr && src.listener != nullptr &&
+                     src.listener->id == 0 && !src.listener->is_unix;
 
   // Stage 1: drain the kernel queue until EAGAIN (or the cap) into a stack
   // array -- no bookkeeping between accept4 calls, so the kernel side is
@@ -449,9 +490,9 @@ void Reactor::AcceptBatch(int listen_fd, size_t default_qi) {
         break;
       }
     }
-    sockaddr_in peer;
+    sockaddr_storage peer;
     socklen_t peer_len = sizeof(peer);
-    int fd = shared_->sys->Accept4(index_, listen_fd, reinterpret_cast<sockaddr*>(&peer),
+    int fd = shared_->sys->Accept4(index_, src.fd, reinterpret_cast<sockaddr*>(&peer),
                                    &peer_len, SOCK_NONBLOCK | SOCK_CLOEXEC);
     if (fd < 0) {
       // Soft errors are skip-and-continue with a per-class counter: the
@@ -472,14 +513,22 @@ void Reactor::AcceptBatch(int listen_fd, size_t default_qi) {
       }
       break;  // EAGAIN (drained), or a hard error: retry next wakeup
     }
+    if (peer.ss_family == AF_INET) {
+      // The response is written as two small segments (length header, then
+      // payload); without TCP_NODELAY, Nagle holds the second until the
+      // client's delayed ACK (~40 ms) -- fatal for request/response latency.
+      int one = 1;
+      setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    }
     size_t qi = default_qi;
-    if (shared_->director != nullptr && peer_len >= sizeof(peer)) {
+    if (steer && peer.ss_family == AF_INET) {
       // Flow-group steering: the connection belongs to whichever core owns
       // its source port's group. With cBPF attached the kernel already
       // delivered the SYN to the owner's shard, so owner == self except
       // for connections in flight across a migration; in fallback mode
       // this re-steer IS the steering (one cross-core ring push).
-      CoreId owner = shared_->director->OwnerOfPort(ntohs(peer.sin_port));
+      CoreId owner = shared_->director->OwnerOfPort(
+          ntohs(reinterpret_cast<const sockaddr_in*>(&peer)->sin_port));
       if (owner >= 0 && owner < shared_->num_reactors) {
         qi = static_cast<size_t>(owner);
       }
@@ -506,7 +555,7 @@ void Reactor::AcceptBatch(int listen_fd, size_t default_qi) {
     backoff_ms_ = 0;  // fd pressure is over: reset the exponential window
   }
   if (fd_exhausted) {
-    FdExhaustionRescue(listen_fd);
+    FdExhaustionRescue(src.fd);
   }
   if (n == 0) {
     return;
@@ -536,6 +585,7 @@ void Reactor::AcceptBatch(int listen_fd, size_t default_qi) {
     PendingConn* conn = shared_->pool->Get(handle);
     conn->fd = batch[i].fd;
     conn->accepted_at = std::chrono::steady_clock::now();
+    conn->svc.Reset(src.listener != nullptr ? static_cast<uint8_t>(src.listener->id) : 0);
     size_t len_after = 0;
     if (!shared_->queues[qi]->Push(handle, &len_after)) {
       shared_->pool->Free(index_, handle);  // we just allocated it: local free
@@ -552,6 +602,9 @@ void Reactor::AcceptBatch(int listen_fd, size_t default_qi) {
   // Stage 3: one flush per touched ring -- queue-length gauge and the
   // policy's EWMA/watermark update see the post-batch state once.
   hot_.accepted->fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+  if (src.listener != nullptr) {
+    src.listener->accepted.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
+  }
   if (owner_accepts > 0) {
     hot_.steer_owner_accepts->fetch_add(owner_accepts, std::memory_order_relaxed);
   }
@@ -715,24 +768,202 @@ bool Reactor::ServeOne(bool idle) {
 void Reactor::Serve(ConnHandle handle, bool local) {
   PendingConn* conn = shared_->pool->Get(handle);
   hot_.queue_wait->Add(ToNs(std::chrono::steady_clock::now() - conn->accepted_at));
-  if (local) {
-    ++batch_served_local_;
-  } else {
-    ++batch_served_remote_;
+  svc::ConnHandler* handler = shared_->listeners[conn->svc.listener]->handler;
+  if (handler == nullptr) {
+    // The legacy accept workload: one byte, then an orderly close. Enough
+    // for the load client to observe end-to-end completion; per-connection
+    // application work is what the handlers above this path add.
+    if (local) {
+      ++batch_served_local_;
+    } else {
+      ++batch_served_remote_;
+    }
+    char byte = 'A';
+    (void)send(conn->fd, &byte, 1, MSG_NOSIGNAL);
+    shared_->sys->Close(index_, conn->fd);
+    // Return the block to the accepting core's pool -- the paper's remote
+    // deallocation when this connection was stolen or re-steered here.
+    FreeConn(handle);
+    return;
   }
-  // Minimal request/response: one byte, then an orderly close. Enough for
-  // the load client to observe end-to-end completion; per-connection
-  // application work is the load generator's think-time knob, not ours.
-  char byte = 'A';
-  (void)send(conn->fd, &byte, 1, MSG_NOSIGNAL);
-  shared_->sys->Close(index_, conn->fd);
-  // Return the block to the accepting core's pool -- the paper's remote
-  // deallocation when this connection was stolen or re-steered here.
+  // Request/response: the connection enters service on THIS reactor and
+  // stays here until a close verdict -- the locality decision was made at
+  // the pop, so it is recorded now and accounted at close.
+  svc::ConnState& st = conn->svc;
+  st.remote_served = !local;
+  st.opened = true;
+  OpenListAdd(handle, conn);
+  ++open_count_;
+  hot_.conn_open->store(open_count_, std::memory_order_relaxed);
+  if (shared_->trace != nullptr) {
+    obs::TraceEvent event;
+    event.type = obs::TraceEventType::kConnOpen;
+    event.core = static_cast<int16_t>(index_);
+    event.src = static_cast<int16_t>(st.listener);
+    shared_->trace->Record(index_, event);
+  }
+  svc::ConnRef ref{&st, conn->fd, index_, shared_->sys};
+  uint16_t prev = st.rounds_done;
+  svc::Verdict verdict = handler->OnAccept(ref);
+  NoteRounds(conn, prev);
+  Finish(handle, conn, verdict);
+}
+
+void Reactor::DriveConn(ConnHandle handle, uint32_t ev_events) {
+  PendingConn* conn = shared_->pool->Get(handle);
+  svc::ConnState& st = conn->svc;
+  if ((ev_events & (EPOLLERR | EPOLLHUP)) != 0 && (ev_events & (EPOLLIN | EPOLLOUT)) == 0) {
+    // Pure error readiness (peer RST with nothing readable): no callback
+    // could make progress, so close directly. OnClose still runs.
+    CloseConn(handle, conn, /*rst=*/false);
+    return;
+  }
+  svc::ConnHandler* handler = shared_->listeners[st.listener]->handler;
+  svc::ConnRef ref{&st, conn->fd, index_, shared_->sys};
+  uint16_t prev = st.rounds_done;
+  svc::Verdict verdict = st.phase == svc::ConnPhase::kWriting ? handler->OnWritable(ref)
+                                                              : handler->OnReadable(ref);
+  NoteRounds(conn, prev);
+  Finish(handle, conn, verdict);
+}
+
+void Reactor::NoteRounds(PendingConn* conn, uint16_t prev_rounds) {
+  uint16_t done = conn->svc.rounds_done;
+  if (done == prev_rounds) {
+    return;
+  }
+  uint32_t delta = static_cast<uint32_t>(done - prev_rounds);
+  hot_.requests->fetch_add(delta, std::memory_order_relaxed);
+  // One handler call can complete several rounds back-to-back (requests
+  // already queued in the socket buffer); the per-round latencies are then
+  // within one pump of each other, so the last one stands in for the batch.
+  for (uint32_t i = 0; i < delta; ++i) {
+    hot_.request_latency->Add(conn->svc.last_request_ns);
+  }
+}
+
+void Reactor::Finish(ConnHandle handle, PendingConn* conn, svc::Verdict verdict) {
+  switch (verdict) {
+    case svc::Verdict::kWantRead:
+      Arm(handle, conn, EPOLLIN);
+      return;
+    case svc::Verdict::kWantWrite:
+      Arm(handle, conn, EPOLLOUT);
+      return;
+    case svc::Verdict::kClose:
+      CloseConn(handle, conn, /*rst=*/false);
+      return;
+    case svc::Verdict::kRstClose:
+      CloseConn(handle, conn, /*rst=*/true);
+      return;
+  }
+}
+
+void Reactor::Arm(ConnHandle handle, PendingConn* conn, uint32_t want) {
+  svc::ConnState& st = conn->svc;
+  if (st.armed == want) {
+    return;  // level-triggered: the existing registration keeps firing
+  }
+  epoll_event ev{};
+  ev.events = want;
+  ev.data.u64 = kConnTag | static_cast<uint64_t>(handle);
+  int op = st.armed == 0 ? EPOLL_CTL_ADD : EPOLL_CTL_MOD;
+  if (shared_->sys->EpollCtl(index_, ep_, op, conn->fd, &ev) != 0) {
+    // A connection epoll cannot watch would be held forever: fail it fast.
+    CloseConn(handle, conn, /*rst=*/true);
+    return;
+  }
+  st.armed = want;
+}
+
+void Reactor::CloseConn(ConnHandle handle, PendingConn* conn, bool rst) {
+  svc::ConnState& st = conn->svc;
+  svc::ConnHandler* handler = shared_->listeners[st.listener]->handler;
+  if (st.opened && handler != nullptr) {
+    svc::ConnRef ref{&st, conn->fd, index_, shared_->sys};
+    handler->OnClose(ref);
+  }
+  OpenListRemove(handle, conn);
+  --open_count_;
+  hot_.conn_open->store(open_count_, std::memory_order_relaxed);
+  if (shared_->trace != nullptr) {
+    obs::TraceEvent event;
+    event.type = obs::TraceEventType::kConnClose;
+    event.core = static_cast<int16_t>(index_);
+    event.src = static_cast<int16_t>(st.listener);
+    event.qlen = st.rounds_done;
+    shared_->trace->Record(index_, event);
+  }
+  if (rst) {
+    RstClose(conn->fd);
+  } else {
+    shared_->sys->Close(index_, conn->fd);
+  }
+  // Served accounting happens at close, under the locality recorded when
+  // the connection was popped -- held-open connections are in rt_conn_open
+  // until this moment, which is what keeps `accepted == served + open +
+  // drops` exact at any instant.
+  if (st.remote_served) {
+    ++batch_served_remote_;
+  } else {
+    ++batch_served_local_;
+  }
+  FreeConn(handle);
+}
+
+void Reactor::FreeConn(ConnHandle handle) {
   CoreId owner = shared_->pool->OwnerOf(handle);
   shared_->pool->Free(index_, handle);
   if (owner != index_) {
     hot_.conn_remote_frees->fetch_add(1, std::memory_order_relaxed);
   }
+}
+
+void Reactor::OpenListAdd(ConnHandle handle, PendingConn* conn) {
+  conn->svc.open_prev = kNullConn;
+  conn->svc.open_next = open_head_;
+  if (open_head_ != kNullConn) {
+    shared_->pool->Get(open_head_)->svc.open_prev = handle;
+  }
+  open_head_ = handle;
+}
+
+void Reactor::OpenListRemove(ConnHandle handle, PendingConn* conn) {
+  uint32_t prev = conn->svc.open_prev;
+  uint32_t next = conn->svc.open_next;
+  if (prev != kNullConn) {
+    shared_->pool->Get(prev)->svc.open_next = next;
+  } else {
+    open_head_ = next;
+  }
+  if (next != kNullConn) {
+    shared_->pool->Get(next)->svc.open_prev = prev;
+  }
+  conn->svc.open_prev = kNullConn;
+  conn->svc.open_next = kNullConn;
+}
+
+void Reactor::CloseAllOpen() {
+  uint64_t aborted = 0;
+  while (open_head_ != kNullConn) {
+    ConnHandle handle = open_head_;
+    PendingConn* conn = shared_->pool->Get(handle);
+    svc::ConnState& st = conn->svc;
+    svc::ConnHandler* handler = shared_->listeners[st.listener]->handler;
+    if (st.opened && handler != nullptr) {
+      svc::ConnRef ref{&st, conn->fd, index_, shared_->sys};
+      handler->OnClose(ref);
+    }
+    OpenListRemove(handle, conn);
+    shared_->sys->Close(index_, conn->fd);
+    FreeConn(handle);
+    ++aborted;
+  }
+  if (aborted > 0) {
+    hot_.aborted_at_stop->fetch_add(aborted, std::memory_order_relaxed);
+  }
+  open_count_ = 0;
+  hot_.conn_open->store(0, std::memory_order_relaxed);
 }
 
 }  // namespace rt

@@ -44,6 +44,7 @@
 #include "src/rt/accept_ring.h"
 #include "src/sim/stats.h"
 #include "src/steer/flow_director.h"
+#include "src/svc/conn_handler.h"
 
 namespace affinity {
 namespace rt {
@@ -67,6 +68,27 @@ const char* RtModeName(RtMode mode);
 enum class OverloadPolicy : uint8_t { kAcceptThenRst, kLeaveInBacklog };
 
 const char* OverloadPolicyName(OverloadPolicy policy);
+
+// Epoll user-data tagging: bit 63 set means the low 32 bits are a ConnHandle
+// (a held request/response connection); clear means the value is a listen fd.
+// Listen fds are nonnegative ints, so the tag bit can never collide.
+inline constexpr uint64_t kConnTag = 1ull << 63;
+
+// One logical listening endpoint multiplexed onto the reactor set. The
+// primary TCP listener is id 0 (the only one the FlowDirector steers);
+// extras -- more TCP ports or UNIX-domain sockets -- share the same rings,
+// conn pool, and reactors, each with its own handler and accept counter.
+// `fds` holds per-reactor SO_REUSEPORT shards (size == num_reactors) or a
+// single fd every reactor polls (stock mode, and UNIX sockets always).
+struct RtListener {
+  int id = 0;
+  bool is_unix = false;
+  std::vector<int> fds;
+  // Null = the legacy accept workload (serve-and-close inline); otherwise
+  // the pluggable request/response handler, shared by all reactors.
+  svc::ConnHandler* handler = nullptr;
+  std::atomic<uint64_t> accepted{0};
+};
 
 // A point-in-time copy of one reactor's counters, built from the Runtime's
 // MetricsRegistry. Safe to take while the reactor is running: the backing
@@ -118,6 +140,11 @@ struct RtMetricIds {
   obs::MetricsRegistry::MetricId recoveries = 0;       // self-recoveries after failover
   obs::MetricsRegistry::MetricId failover_group_moves = 0;  // groups moved by fail/recover
   obs::MetricsRegistry::MetricId reactor_dead = 0;     // gauge, 1 = watchdog marked dead
+  // Request/response service layer (src/svc):
+  obs::MetricsRegistry::MetricId requests = 0;         // completed request rounds
+  obs::MetricsRegistry::MetricId request_latency = 0;  // histogram, per-request ns
+  obs::MetricsRegistry::MetricId conn_open = 0;        // gauge, held conns per core
+  obs::MetricsRegistry::MetricId aborted_at_stop = 0;  // held conns closed by Run() exit
 };
 
 // State shared by every reactor of one Runtime.
@@ -155,9 +182,11 @@ struct ReactorShared {
   // (forced-busy flips, flow-group mass moves, listen-shard adoption), so a
   // recovering reactor can never interleave with a concurrent failover.
   std::mutex failover_mu;
-  // The runtime's listen fds in reactor order (one shared entry in stock
-  // mode), so a failover winner can adopt a dead peer's shard.
-  std::vector<int> listen_fds;
+  // Every listening endpoint, indexed by RtListener::id ([0] = the primary
+  // TCP listener). Owned by the Runtime; reactors derive their listen
+  // sources from it, and a failover winner adopts a dead peer's shard from
+  // every per-shard listener here.
+  std::vector<RtListener*> listeners;
   // Shaped overload: what to do when a connection cannot be queued, and the
   // per-core RST budget (0 = unlimited).
   OverloadPolicy overload = OverloadPolicy::kAcceptThenRst;
@@ -170,9 +199,10 @@ struct ReactorShared {
 
 class Reactor {
  public:
-  // `listen_fd` is this reactor's shard (or the shared stock socket; the
-  // Runtime owns and closes it either way).
-  Reactor(int index, int listen_fd, ReactorShared* shared);
+  // Listen fds are derived from shared->listeners (this reactor's shard of
+  // each per-shard listener, plus every shared fd; the Runtime owns and
+  // closes them all).
+  Reactor(int index, ReactorShared* shared);
 
   // Thread body: loops until shared->stop. Closes nothing but the fds it
   // serves and its epoll instance. All stats land in shared->metrics, so
@@ -201,11 +231,20 @@ class Reactor {
     }
   };
 
-  // Accepts from `listen_fd` until EAGAIN or the batch limit; enqueues into
-  // the target rings (default_qi unless steering redirects), then reports
+  // Listen fds this reactor drains: startup sources (its own shard of each
+  // listener, or the shared fd), then shards adopted from dead peers
+  // (qi = the dead core's ring).
+  struct ListenSource {
+    int fd = -1;
+    uint32_t qi = 0;
+    RtListener* listener = nullptr;
+  };
+
+  // Accepts from `src.fd` until EAGAIN or the batch limit; enqueues into
+  // the target rings (src.qi unless steering redirects), then reports
   // each touched ring to the policy once. A reactor normally drains only
-  // its own shard; after a failover it also drains adopted shards.
-  void AcceptBatch(int listen_fd, size_t default_qi);
+  // its own sources; after a failover it also drains adopted shards.
+  void AcceptBatch(const ListenSource& src);
   // Serves up to accept_batch queued connections; returns how many.
   // Dequeue-side policy reporting is flushed once at the end of the batch.
   int ServeBatch();
@@ -213,7 +252,36 @@ class Reactor {
   // `idle` marks the pre-sleep pass, where affinity mode widens its scan
   // (the paper's polling path). Returns false when nothing was available.
   bool ServeOne(bool idle);
+  // First touch of a popped connection. Without a handler this is the
+  // legacy inline accept workload (1 byte + close); with one it opens the
+  // request/response conversation (OnAccept) and the connection joins this
+  // reactor's open list + epoll set until a close verdict.
   void Serve(ConnHandle handle, bool local);
+  // Epoll readiness on a held connection: run the phase-appropriate handler
+  // callback and apply its verdict.
+  void DriveConn(ConnHandle handle, uint32_t ev_events);
+  // Applies a handler verdict: (re-)arm epoll or close the connection.
+  void Finish(ConnHandle handle, PendingConn* conn, svc::Verdict verdict);
+  // Arms `want` (EPOLLIN or EPOLLOUT) for the connection's fd, ADD on first
+  // registration, MOD after. An arming failure closes the connection with a
+  // reset -- a conn epoll cannot see would be held forever.
+  void Arm(ConnHandle handle, PendingConn* conn, uint32_t want);
+  // Every close path for an opened connection: OnClose hook, open-list
+  // removal, trace, close (RST on protocol violations), served accounting,
+  // pool free.
+  void CloseConn(ConnHandle handle, PendingConn* conn, bool rst);
+  // Returns the block to its owner's pool, counting remote frees.
+  void FreeConn(ConnHandle handle);
+  void OpenListAdd(ConnHandle handle, PendingConn* conn);
+  void OpenListRemove(ConnHandle handle, PendingConn* conn);
+  // Run() exit: close every connection still held open (counted as
+  // rt_aborted_at_stop, not served) so the pool drains and the conservation
+  // ledger stays exact. Runs on the kill path too: a "dead" reactor's
+  // process would have had its fds closed by the kernel anyway.
+  void CloseAllOpen();
+  // Request-counter + latency-histogram bookkeeping after a handler call
+  // completed `rounds_done - prev_rounds` rounds.
+  void NoteRounds(PendingConn* conn, uint16_t prev_rounds);
   // Pops from ring `qi` into the dequeue batch (policy hook deferred to
   // FlushDequeues).
   bool PopFrom(size_t qi, ConnHandle* out);
@@ -259,17 +327,17 @@ class Reactor {
   void FdExhaustionRescue(int listen_fd);
 
   int index_;
-  int listen_fd_;
   ReactorShared* shared_;
   uint64_t migrate_tick_ = 0;  // epochs elapsed on this reactor
   int ep_ = -1;                // this reactor's epoll instance (Run() scope)
-  // Listen fds this reactor drains: [0] is its own shard; later entries are
-  // adopted from dead peers (qi = the dead core's ring).
-  struct ListenSource {
-    int fd = -1;
-    uint32_t qi = 0;
-  };
   std::vector<ListenSource> sources_;
+  // How many of sources_ are startup sources; entries past this are
+  // failover adoptions (released when the owner recovers).
+  size_t base_sources_ = 0;
+  // Intrusive list head of this reactor's open handler connections
+  // (ConnState::open_prev/open_next), kNullConn when empty.
+  ConnHandle open_head_ = kNullConn;
+  uint64_t open_count_ = 0;
   int reserve_fd_ = -1;  // EMFILE rescue reserve (an open /dev/null)
   // Capped exponential accept backoff after fd exhaustion.
   std::chrono::steady_clock::time_point backoff_until_{};
@@ -294,7 +362,11 @@ class Reactor {
     std::atomic<uint64_t>* accept_emfile = nullptr;
     std::atomic<uint64_t>* accept_backoff = nullptr;
     std::atomic<uint64_t>* admission_shed = nullptr;
+    std::atomic<uint64_t>* requests = nullptr;
+    std::atomic<uint64_t>* aborted_at_stop = nullptr;
+    std::atomic<uint64_t>* conn_open = nullptr;  // gauge cell
     obs::AtomicHistogram* queue_wait = nullptr;
+    obs::AtomicHistogram* request_latency = nullptr;
     std::vector<std::atomic<uint64_t>*> queue_len;  // gauge cells, per ring
   };
   HotCells hot_;

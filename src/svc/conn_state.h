@@ -1,0 +1,101 @@
+// Per-connection service state for the request/response layer.
+//
+// The paper's workloads (Section 6: Apache serving the SpecWeb-like mix)
+// are request/response conversations on held connections, not one-shot
+// accepts. That means connection state must outlive a single epoll round:
+// a partially read request, a partially written response, and the epoll
+// event mask the reactor last armed all have to live somewhere between
+// wakeups. That somewhere is this struct, embedded in the pooled
+// rt::PendingConn block -- so the steady-state request/response lifecycle
+// stays zero-malloc (the rt_allocfree_test gate), and a stolen connection
+// carries its conversation with it to the thief.
+//
+// Deliberately trivially destructible (fixed char arrays, no owning
+// members): PerCorePool requires it, and it is what makes a block reusable
+// with a plain Reset() instead of destructor bookkeeping.
+
+#ifndef AFFINITY_SRC_SVC_CONN_STATE_H_
+#define AFFINITY_SRC_SVC_CONN_STATE_H_
+
+#include <cstdint>
+
+namespace affinity {
+namespace svc {
+
+// Request staging capacity. Requests are one newline-terminated line; a
+// line that overflows this is a protocol violation (RST-closed), never a
+// reallocation.
+inline constexpr uint32_t kReqBufBytes = 2048;
+
+// Response header staging: "<payload-len>\n" in decimal.
+inline constexpr uint32_t kHeadBufBytes = 16;
+
+// Where the conversation stands between epoll rounds.
+enum class ConnPhase : uint8_t {
+  kReading,  // accumulating a request line into req_buf
+  kWriting,  // flushing head_buf then the response payload
+};
+
+struct ConnState {
+  ConnPhase phase = ConnPhase::kReading;
+  uint8_t listener = 0;       // which rt listener accepted this connection
+  bool remote_served = false;  // popped from another core's ring (steal/re-steer)
+  bool opened = false;         // OnAccept ran; OnClose is owed exactly once
+
+  uint16_t rounds_done = 0;  // completed request/response rounds
+
+  // The epoll event mask currently registered for this connection's fd;
+  // 0 = not registered (the reactor is driving it eagerly).
+  uint32_t armed = 0;
+
+  uint32_t req_len = 0;  // bytes staged in req_buf so far
+
+  // Response cursor. resp_data points into req_buf (echo/think) or into
+  // handler-owned storage that outlives every connection (static content);
+  // the handler never copies payload bytes.
+  const char* resp_data = nullptr;
+  uint32_t resp_len = 0;
+  uint32_t resp_off = 0;
+  uint32_t head_len = 0;
+  uint32_t head_off = 0;
+
+  // Per-request service latency: stamped when the first byte of a request
+  // arrives, read back by the reactor when the response completes.
+  uint64_t req_start_ns = 0;
+  uint64_t last_request_ns = 0;
+
+  // Intrusive doubly-linked list of a reactor's open connections (handles
+  // into the conn pool), so Run() exit can close every held connection it
+  // still owns. 0xFFFFFFFF (rt::kNullConn) terminates.
+  uint32_t open_prev = 0xFFFFFFFFu;
+  uint32_t open_next = 0xFFFFFFFFu;
+
+  char head_buf[kHeadBufBytes];
+  char req_buf[kReqBufBytes];
+
+  // Fresh-conversation state for a block coming out of the pool. Buffers
+  // are left as-is: req_len/resp cursors gate every read of them.
+  void Reset(uint8_t listener_id) {
+    phase = ConnPhase::kReading;
+    listener = listener_id;
+    remote_served = false;
+    opened = false;
+    rounds_done = 0;
+    armed = 0;
+    req_len = 0;
+    resp_data = nullptr;
+    resp_len = 0;
+    resp_off = 0;
+    head_len = 0;
+    head_off = 0;
+    req_start_ns = 0;
+    last_request_ns = 0;
+    open_prev = 0xFFFFFFFFu;
+    open_next = 0xFFFFFFFFu;
+  }
+};
+
+}  // namespace svc
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_SVC_CONN_STATE_H_

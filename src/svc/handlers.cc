@@ -1,0 +1,288 @@
+#include "src/svc/handlers.h"
+
+#include <cerrno>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+
+namespace affinity {
+namespace svc {
+
+namespace {
+
+uint64_t NowNs() {
+  return static_cast<uint64_t>(std::chrono::duration_cast<std::chrono::nanoseconds>(
+                                   std::chrono::steady_clock::now().time_since_epoch())
+                                   .count());
+}
+
+constexpr char kNotFound[] = "no such object";
+
+}  // namespace
+
+const char* VerdictName(Verdict verdict) {
+  switch (verdict) {
+    case Verdict::kWantRead:
+      return "want_read";
+    case Verdict::kWantWrite:
+      return "want_write";
+    case Verdict::kClose:
+      return "close";
+    case Verdict::kRstClose:
+      return "rst_close";
+  }
+  return "?";
+}
+
+const char* WorkloadName(WorkloadKind kind) {
+  switch (kind) {
+    case WorkloadKind::kAccept:
+      return "accept";
+    case WorkloadKind::kEcho:
+      return "echo";
+    case WorkloadKind::kStatic:
+      return "static";
+    case WorkloadKind::kThink:
+      return "think";
+  }
+  return "?";
+}
+
+bool ParseWorkload(const char* name, WorkloadKind* out) {
+  if (std::strcmp(name, "accept") == 0) {
+    *out = WorkloadKind::kAccept;
+  } else if (std::strcmp(name, "echo") == 0) {
+    *out = WorkloadKind::kEcho;
+  } else if (std::strcmp(name, "static") == 0) {
+    *out = WorkloadKind::kStatic;
+  } else if (std::strcmp(name, "think") == 0) {
+    *out = WorkloadKind::kThink;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+const char* StaticNotFoundBody() { return kNotFound; }
+
+void BurnCpuUs(uint64_t us) {
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::microseconds(us);
+  // volatile sink so the arithmetic is real work the optimizer keeps.
+  volatile uint64_t sink = 0;
+  while (std::chrono::steady_clock::now() < deadline) {
+    for (int i = 0; i < 64; ++i) {
+      sink = sink + static_cast<uint64_t>(i);
+    }
+  }
+}
+
+void RequestResponseHandler::StageHead(ConnState* st, uint32_t payload_len) {
+  int n = std::snprintf(st->head_buf, sizeof(st->head_buf), "%u\n", payload_len);
+  st->head_len = n > 0 ? static_cast<uint32_t>(n) : 0;
+  st->head_off = 0;
+}
+
+Verdict RequestResponseHandler::OnAccept(const ConnRef& c) {
+  // The request may already be sitting in the socket buffer (it usually is
+  // for a connection that waited in a ring), so drive eagerly right away.
+  return Pump(c);
+}
+
+Verdict RequestResponseHandler::OnReadable(const ConnRef& c) { return Pump(c); }
+
+Verdict RequestResponseHandler::OnWritable(const ConnRef& c) { return Pump(c); }
+
+void RequestResponseHandler::OnClose(const ConnRef& c) { (void)c; }
+
+Verdict RequestResponseHandler::ReadPhase(const ConnRef& c) {
+  ConnState* st = c.st;
+  for (;;) {
+    if (st->req_len >= kReqBufBytes) {
+      return Verdict::kRstClose;  // request line overflows the staging buffer
+    }
+    ssize_t n = c.sys->Read(c.core, c.fd, st->req_buf + st->req_len,
+                            kReqBufBytes - st->req_len);
+    if (n == 0) {
+      // Orderly EOF. Between requests this is the client being done; mid-
+      // request it is an aborted conversation. Either way: orderly close.
+      return Verdict::kClose;
+    }
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Verdict::kWantRead;
+      }
+      if (errno == EINTR) {
+        continue;
+      }
+      // ECONNRESET and friends: the peer is gone, nothing to reset back.
+      return Verdict::kClose;
+    }
+    if (st->req_len == 0) {
+      st->req_start_ns = NowNs();
+    }
+    // Scan only the bytes this read delivered for the terminator.
+    const char* nl = static_cast<const char*>(
+        std::memchr(st->req_buf + st->req_len, '\n', static_cast<size_t>(n)));
+    st->req_len += static_cast<uint32_t>(n);
+    if (nl == nullptr) {
+      continue;  // partial request: keep reading
+    }
+    uint32_t line_len = static_cast<uint32_t>(nl - st->req_buf);
+    if (line_len + 1 != st->req_len) {
+      // Bytes beyond the terminator: this protocol has no pipelining, and
+      // echo responses alias req_buf, so trailing bytes cannot be staged.
+      return Verdict::kRstClose;
+    }
+    BuildResponse(c, line_len);
+    st->resp_off = 0;
+    st->phase = ConnPhase::kWriting;
+    return Verdict::kWantWrite;  // phase transition, not an EAGAIN
+  }
+}
+
+Verdict RequestResponseHandler::WritePhase(const ConnRef& c) {
+  ConnState* st = c.st;
+  while (st->head_off < st->head_len) {
+    ssize_t n = c.sys->Write(c.core, c.fd, st->head_buf + st->head_off,
+                             st->head_len - st->head_off);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Verdict::kWantWrite;
+      }
+      if (errno == EINTR) {
+        continue;
+      }
+      return Verdict::kClose;  // EPIPE/ECONNRESET: peer gone mid-response
+    }
+    st->head_off += static_cast<uint32_t>(n);
+  }
+  while (st->resp_off < st->resp_len) {
+    ssize_t n = c.sys->Write(c.core, c.fd, st->resp_data + st->resp_off,
+                             st->resp_len - st->resp_off);
+    if (n < 0) {
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        return Verdict::kWantWrite;
+      }
+      if (errno == EINTR) {
+        continue;
+      }
+      return Verdict::kClose;
+    }
+    st->resp_off += static_cast<uint32_t>(n);
+  }
+  // Round complete: stamp the latency, reset for the next request.
+  ++st->rounds_done;
+  st->last_request_ns = NowNs() - st->req_start_ns;
+  st->req_len = 0;
+  st->phase = ConnPhase::kReading;
+  if (max_rounds_ > 0 && st->rounds_done >= static_cast<uint16_t>(max_rounds_)) {
+    return Verdict::kClose;
+  }
+  return Verdict::kWantRead;  // phase transition, not an EAGAIN
+}
+
+Verdict RequestResponseHandler::Pump(const ConnRef& c) {
+  // Loop phases until the socket blocks or the conversation ends. The loop
+  // is bounded by the kernel socket buffers: each full lap consumes a whole
+  // request from them, and the protocol forbids pipelining.
+  for (;;) {
+    if (c.st->phase == ConnPhase::kReading) {
+      Verdict v = ReadPhase(c);
+      if (v != Verdict::kWantWrite) {
+        return v;  // EAGAIN (kWantRead) or a close decision
+      }
+      // Fall through: a response is staged, try to write it now.
+    }
+    Verdict v = WritePhase(c);
+    if (v != Verdict::kWantRead) {
+      return v;  // EAGAIN (kWantWrite) or a close decision
+    }
+    // Response fully written: eagerly try the next request (usually EAGAIN,
+    // but a stolen connection may have one queued already).
+  }
+}
+
+void EchoHandler::BuildResponse(const ConnRef& c, uint32_t req_len) {
+  ConnState* st = c.st;
+  st->resp_data = st->req_buf;  // zero copy: the request IS the payload
+  st->resp_len = req_len;
+  StageHead(st, req_len);
+}
+
+StaticHandler::StaticHandler(int num_objects, int object_bytes)
+    : RequestResponseHandler(/*max_rounds=*/0) {  // client-driven close
+  if (num_objects < 1) {
+    num_objects = 1;
+  }
+  if (object_bytes < 1) {
+    object_bytes = 1;
+  }
+  objects_.reserve(static_cast<size_t>(num_objects));
+  for (int i = 0; i < num_objects; ++i) {
+    // Deterministic per-object contents so a test can verify which object
+    // came back.
+    objects_.push_back(
+        std::string(static_cast<size_t>(object_bytes), static_cast<char>('a' + i % 26)));
+  }
+}
+
+void StaticHandler::BuildResponse(const ConnRef& c, uint32_t req_len) {
+  ConnState* st = c.st;
+  // Key format: "obj<index>". Parsed by hand: the hot path must not
+  // allocate, and atoi on a non-terminated buffer would walk off the line.
+  const char* line = st->req_buf;
+  long index = -1;
+  if (req_len > 3 && line[0] == 'o' && line[1] == 'b' && line[2] == 'j') {
+    index = 0;
+    for (uint32_t i = 3; i < req_len; ++i) {
+      if (line[i] < '0' || line[i] > '9') {
+        index = -1;
+        break;
+      }
+      index = index * 10 + (line[i] - '0');
+      if (index >= static_cast<long>(objects_.size())) {
+        index = -1;
+        break;
+      }
+    }
+  }
+  if (index < 0) {
+    st->resp_data = kNotFound;
+    st->resp_len = static_cast<uint32_t>(sizeof(kNotFound) - 1);
+  } else {
+    const std::string& obj = objects_[static_cast<size_t>(index)];
+    st->resp_data = obj.data();
+    st->resp_len = static_cast<uint32_t>(obj.size());
+  }
+  StageHead(st, st->resp_len);
+}
+
+void ThinkHandler::BuildResponse(const ConnRef& c, uint32_t req_len) {
+  // The think time is application CPU attributable to the request, burned
+  // on the SERVING core -- which for a stolen connection is the thief, the
+  // locality cost the paper's Figure 8 sweep measures.
+  BurnCpuUs(static_cast<uint64_t>(think_us_));
+  ConnState* st = c.st;
+  st->resp_data = st->req_buf;
+  st->resp_len = req_len;
+  StageHead(st, req_len);
+}
+
+std::unique_ptr<ConnHandler> MakeHandler(WorkloadKind kind, const HandlerParams& params) {
+  switch (kind) {
+    case WorkloadKind::kAccept:
+      return nullptr;
+    case WorkloadKind::kEcho:
+      return std::unique_ptr<ConnHandler>(new EchoHandler(params.echo_rounds));
+    case WorkloadKind::kStatic:
+      return std::unique_ptr<ConnHandler>(
+          new StaticHandler(params.num_objects, params.object_bytes));
+    case WorkloadKind::kThink:
+      return std::unique_ptr<ConnHandler>(
+          new ThinkHandler(params.think_us, params.echo_rounds));
+  }
+  return nullptr;
+}
+
+}  // namespace svc
+}  // namespace affinity

@@ -1,0 +1,110 @@
+// The built-in request/response handlers mirroring the paper's Section 6
+// workload mix:
+//  - EchoHandler:    echo-N, the request-reuse axis of Figure 7 (N rounds
+//                    per connection amortize the accept),
+//  - StaticHandler:  in-memory object table keyed by the request line, the
+//                    static-content file-size axis of Figure 9,
+//  - ThinkHandler:   CPU burn before the reply, the think-time axis of
+//                    Figure 8 (app::ComputeJob's busy-loop, live).
+//
+// Protocol (shared with rt::LoadClient): a request is one newline-
+// terminated line; a response is "<payload-len>\n" followed by exactly
+// payload-len bytes. Requests are not pipelined -- bytes after the
+// terminator are a protocol violation (RST).
+//
+// All three share one state machine (RequestResponseHandler::Pump) that
+// reads until a full request line, builds a response, and writes it
+// through, looping until the socket says EAGAIN -- so a verdict always
+// means "epoll must wake us", never "try again immediately".
+
+#ifndef AFFINITY_SRC_SVC_HANDLERS_H_
+#define AFFINITY_SRC_SVC_HANDLERS_H_
+
+#include <string>
+#include <vector>
+
+#include "src/svc/conn_handler.h"
+
+namespace affinity {
+namespace svc {
+
+class RequestResponseHandler : public ConnHandler {
+ public:
+  // `max_rounds` > 0: the server closes after that many responses (echo-N);
+  // 0: serve until the client closes.
+  explicit RequestResponseHandler(int max_rounds) : max_rounds_(max_rounds) {}
+
+  Verdict OnAccept(const ConnRef& c) override;
+  Verdict OnReadable(const ConnRef& c) override;
+  Verdict OnWritable(const ConnRef& c) override;
+  void OnClose(const ConnRef& c) override;
+
+ protected:
+  // Points c.st's response cursor (head_buf/head_len + resp_data/resp_len)
+  // at the reply for the request line in c.st->req_buf[0..req_len). Must
+  // not allocate; resp_data must outlive the connection's write phase.
+  virtual void BuildResponse(const ConnRef& c, uint32_t req_len) = 0;
+
+  // Writes the "<len>\n" framing header into c.st->head_buf.
+  static void StageHead(ConnState* st, uint32_t payload_len);
+
+ private:
+  // The full state machine: read -> respond -> write, looping until EAGAIN
+  // or a close decision.
+  Verdict Pump(const ConnRef& c);
+  // One phase each; kWantRead/kWantWrite mean EAGAIN, anything else is a
+  // terminal decision or phase completion.
+  Verdict ReadPhase(const ConnRef& c);
+  Verdict WritePhase(const ConnRef& c);
+
+  int max_rounds_;
+};
+
+class EchoHandler : public RequestResponseHandler {
+ public:
+  explicit EchoHandler(int max_rounds) : RequestResponseHandler(max_rounds) {}
+  const char* name() const override { return "echo"; }
+
+ protected:
+  void BuildResponse(const ConnRef& c, uint32_t req_len) override;
+};
+
+class StaticHandler : public RequestResponseHandler {
+ public:
+  StaticHandler(int num_objects, int object_bytes);
+  const char* name() const override { return "static"; }
+
+  int num_objects() const { return static_cast<int>(objects_.size()); }
+
+ protected:
+  void BuildResponse(const ConnRef& c, uint32_t req_len) override;
+
+ private:
+  // Immutable after construction; responses point straight into these
+  // strings (zero copy), so reactors share them read-only.
+  std::vector<std::string> objects_;
+};
+
+class ThinkHandler : public RequestResponseHandler {
+ public:
+  ThinkHandler(int think_us, int max_rounds)
+      : RequestResponseHandler(max_rounds), think_us_(think_us) {}
+  const char* name() const override { return "think"; }
+
+ protected:
+  void BuildResponse(const ConnRef& c, uint32_t req_len) override;
+
+ private:
+  int think_us_;
+};
+
+// Busy-burns approximately `us` microseconds of CPU (steady-clock bounded).
+void BurnCpuUs(uint64_t us);
+
+// The fixed not-found payload StaticHandler serves for unknown keys.
+const char* StaticNotFoundBody();
+
+}  // namespace svc
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_SVC_HANDLERS_H_

@@ -42,11 +42,33 @@ class FakeSys : public SysIface {
     ++attaches;
     return 0;
   }
+  ssize_t Read(int /*core*/, int /*fd*/, void* /*buf*/, size_t count) override {
+    ++reads;
+    return static_cast<ssize_t>(count);
+  }
+  ssize_t Write(int /*core*/, int /*fd*/, const void* /*buf*/, size_t count) override {
+    ++writes;
+    return static_cast<ssize_t>(count);
+  }
+  int EpollCtl(int /*core*/, int /*epfd*/, int /*op*/, int /*fd*/,
+               epoll_event* /*event*/) override {
+    ++epoll_ctls;
+    return 0;
+  }
+  int Connect(int /*core*/, int /*sockfd*/, const sockaddr* /*addr*/,
+              socklen_t /*addrlen*/) override {
+    ++connects;
+    return 0;
+  }
 
   int accepts = 0;
   int epoll_waits = 0;
   int closes = 0;
   int attaches = 0;
+  int reads = 0;
+  int writes = 0;
+  int epoll_ctls = 0;
+  int connects = 0;
   int last_closed = -1;
 };
 
@@ -162,6 +184,76 @@ TEST(FaultInjectorTest, AttachRefusalHitsTheAttachSite) {
   EXPECT_EQ(-1, injector.AttachFilter(0, 3, 1, 2, nullptr, 0));
   EXPECT_EQ(EPERM, errno);
   EXPECT_EQ(0, sys.attaches);
+}
+
+// The data-path and client-side sites added for the service layer follow
+// the same schedule discipline as accept4: an errno burst covers exactly
+// its window, nothing leaks to other sites, and injected errors do NOT
+// reach the real syscall (except Close's release guarantee, tested above).
+TEST(FaultInjectorTest, DataPathSitesInjectIndependently) {
+  FakeSys sys;
+  FaultPlan plan;
+  for (CallSite site : {CallSite::kRead, CallSite::kWrite, CallSite::kConnect}) {
+    FaultRule rule;
+    rule.site = site;
+    rule.action = FaultAction::kErrno;
+    rule.err = site == CallSite::kConnect ? ECONNREFUSED : ECONNRESET;
+    rule.after_calls = 1;  // first call forwards, second injects
+    rule.count = 1;
+    plan.rules.push_back(rule);
+  }
+  FaultInjector injector(plan, /*num_cores=*/1, &sys);
+  char buf[8];
+
+  EXPECT_EQ(8, injector.Read(0, 3, buf, sizeof(buf)));
+  errno = 0;
+  EXPECT_EQ(-1, injector.Read(0, 3, buf, sizeof(buf)));
+  EXPECT_EQ(ECONNRESET, errno);
+  EXPECT_EQ(8, injector.Read(0, 3, buf, sizeof(buf)));  // window is 1 call wide
+
+  EXPECT_EQ(8, injector.Write(0, 3, buf, sizeof(buf)));
+  errno = 0;
+  EXPECT_EQ(-1, injector.Write(0, 3, buf, sizeof(buf)));
+  EXPECT_EQ(ECONNRESET, errno);
+
+  EXPECT_EQ(0, injector.Connect(0, 3, nullptr, 0));
+  errno = 0;
+  EXPECT_EQ(-1, injector.Connect(0, 3, nullptr, 0));
+  EXPECT_EQ(ECONNREFUSED, errno);
+
+  // Injected calls never reached the fake; forwarded ones all did.
+  EXPECT_EQ(2, sys.reads);
+  EXPECT_EQ(1, sys.writes);
+  EXPECT_EQ(1, sys.connects);
+  InjectorStats stats = injector.Stats();
+  EXPECT_EQ(1u, stats.injected[static_cast<int>(CallSite::kRead)]);
+  EXPECT_EQ(1u, stats.injected[static_cast<int>(CallSite::kWrite)]);
+  EXPECT_EQ(1u, stats.injected[static_cast<int>(CallSite::kConnect)]);
+  EXPECT_EQ(0u, stats.injected[static_cast<int>(CallSite::kAccept4)]);
+}
+
+TEST(FaultInjectorTest, InjectedEpollCtlFailsWithoutArming) {
+  FakeSys sys;
+  FaultPlan plan;
+  FaultRule rule;
+  rule.site = CallSite::kEpollCtl;
+  rule.action = FaultAction::kErrno;
+  rule.err = ENOSPC;  // the real-world epoll_ctl failure (watch limit)
+  rule.count = UINT64_MAX;
+  plan.rules.push_back(rule);
+  FaultInjector injector(plan, /*num_cores=*/1, &sys);
+  errno = 0;
+  EXPECT_EQ(-1, injector.EpollCtl(0, 5, EPOLL_CTL_ADD, 9, nullptr));
+  EXPECT_EQ(ENOSPC, errno);
+  // Unlike Close, a failed arm must NOT have happened underneath: the
+  // reactor's recovery path assumes the fd is not registered.
+  EXPECT_EQ(0, sys.epoll_ctls);
+}
+
+TEST(FaultInjectorTest, CallSiteNamesCoverEverySite) {
+  for (int i = 0; i < kNumCallSites; ++i) {
+    EXPECT_STRNE("?", CallSiteName(static_cast<CallSite>(i))) << "site " << i;
+  }
 }
 
 TEST(FaultInjectorTest, OutOfRangeCoreForwardsUninjected) {

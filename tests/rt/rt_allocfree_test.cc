@@ -151,6 +151,75 @@ INSTANTIATE_TEST_SUITE_P(AllModes, RtAllocFreeTest,
                            return std::string(RtModeName(mode_info.param));
                          });
 
+// Spin (allocation-free) until the client completes `target` REQUESTS.
+bool WaitForRequests(const LoadClient& client, uint64_t target,
+                     std::chrono::steady_clock::time_point deadline) {
+  while (client.requests() < target) {
+    if (std::chrono::steady_clock::now() >= deadline) {
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  return true;
+}
+
+// The service-layer version of the proof: held echo connections carrying
+// multiple request/response rounds each, windowed by REQUEST count. The
+// whole conversation machinery -- ConnState in the pooled block, epoll
+// (re-)arming, the open-conn list, per-request metrics and histograms --
+// must be allocation-free per request, not just per accept.
+class RtSvcAllocFreeTest : public ::testing::TestWithParam<RtMode> {};
+
+TEST_P(RtSvcAllocFreeTest, SteadyStateServesRequestsWithZeroHeapAllocations) {
+  RtConfig config;
+  config.mode = GetParam();
+  config.num_threads = 4;
+  config.workload = svc::WorkloadKind::kEcho;
+  Runtime runtime(config);
+  std::string error;
+  ASSERT_TRUE(runtime.Start(&error)) << error;
+
+  LoadClientConfig client_config;
+  client_config.port = runtime.port();
+  client_config.num_threads = 2;
+  client_config.workload = svc::WorkloadKind::kEcho;
+  client_config.requests_per_conn = 8;
+  client_config.payload_bytes = 128;
+  LoadClient client(client_config);
+  client.Start();
+
+  constexpr uint64_t kWarmupRequests = 1000;
+  constexpr uint64_t kWindowRequests = 2000;
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  ASSERT_TRUE(WaitForRequests(client, kWarmupRequests, deadline)) << "warm-up stalled";
+
+  uint64_t window_start = client.requests();
+  g_news.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_release);
+  bool window_done = WaitForRequests(client, window_start + kWindowRequests, deadline);
+  g_counting.store(false, std::memory_order_release);
+  uint64_t news_in_window = g_news.load(std::memory_order_relaxed);
+  uint64_t window_requests = client.requests() - window_start;
+
+  client.Stop();
+  runtime.Stop();
+
+  ASSERT_TRUE(window_done) << "measurement window stalled";
+  EXPECT_EQ(news_in_window, 0u)
+      << "heap allocations observed while serving " << window_requests
+      << " steady-state requests";
+  EXPECT_EQ(client.errors(), 0u);
+  RtTotals totals = runtime.Totals();
+  EXPECT_GE(totals.requests, kWarmupRequests + kWindowRequests);
+  EXPECT_EQ(totals.pool.frees, totals.pool.allocs);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, RtSvcAllocFreeTest,
+                         ::testing::Values(RtMode::kStock, RtMode::kFine, RtMode::kAffinity),
+                         [](const ::testing::TestParamInfo<RtMode>& mode_info) {
+                           return std::string(RtModeName(mode_info.param));
+                         });
+
 }  // namespace
 }  // namespace rt
 }  // namespace affinity

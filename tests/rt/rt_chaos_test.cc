@@ -15,9 +15,11 @@
 #include <thread>
 
 #include "src/fault/fault_plan.h"
+#include "src/fault/injector.h"
 #include "src/rt/load_client.h"
 #include "src/rt/runtime.h"
 #include "src/steer/flow_director.h"
+#include "src/svc/conn_handler.h"
 
 namespace affinity {
 namespace rt {
@@ -45,7 +47,8 @@ void ExpectBooksBalance(const Runtime& runtime, const LoadClient& client) {
   ASSERT_NE(runtime.conn_pool(), nullptr);
   EXPECT_EQ(runtime.conn_pool()->live_objects(), 0u);
   EXPECT_EQ(client.attempted(), client.completed() + client.refused() + client.timeouts() +
-                                    client.port_busy() + client.errors());
+                                    client.port_busy() + client.errors() +
+                                    client.aborted_at_stop());
 }
 
 RtConfig ChaosConfig(int threads) {
@@ -283,6 +286,116 @@ TEST(RtChaosTest, LeaveInBacklogShedsNothing) {
   RtTotals totals = runtime.Totals();
   // The pushback policy never RSTs: overload stays in the kernel backlog.
   EXPECT_EQ(totals.admission_shed, 0u);
+  ExpectBooksBalance(runtime, client);
+}
+
+// Correlated failure: two of four reactors die at staggered times, so the
+// second death lands on a survivor set that already absorbed a failover.
+// The echo workload means the dead reactors abandon HELD conversations, not
+// just queued accepts -- the close-time accounting (aborted_at_stop) must
+// keep the conservation equation exact anyway.
+TEST(RtChaosTest, TwoReactorsDieUnderHeldConnections) {
+  const int kThreads = 4;
+  RtConfig config = ChaosConfig(kThreads);
+  config.workload = svc::WorkloadKind::kEcho;
+  config.fault_plan = fault::FaultPlan::TwoReactorsDie(/*first_core=*/2, /*first_after=*/100,
+                                                       /*second_core=*/3,
+                                                       /*second_after=*/250);
+  Runtime runtime(config);
+  std::string error;
+  ASSERT_TRUE(runtime.Start(&error)) << error;
+
+  LoadClientConfig client_config;
+  client_config.port = runtime.port();
+  client_config.num_threads = 4;
+  client_config.workload = svc::WorkloadKind::kEcho;
+  client_config.requests_per_conn = 4;
+  client_config.connect_timeout_ms = 2000;
+  LoadClient client(client_config);
+  client.Start();
+
+  // Both deaths must be failed over, in order, by the shrinking survivor
+  // set.
+  EXPECT_TRUE(WaitFor([&] { return runtime.Totals().failovers >= 2; },
+                      std::chrono::seconds(15)))
+      << "second failover never happened";
+  ASSERT_NE(runtime.domains(), nullptr);
+  EXPECT_TRUE(runtime.domains()->IsDead(2));
+  EXPECT_TRUE(runtime.domains()->IsDead(3));
+
+  // The two survivors keep completing whole conversations.
+  uint64_t before = runtime.Totals().requests;
+  EXPECT_TRUE(WaitFor([&] { return runtime.Totals().requests > before + 50; },
+                      std::chrono::seconds(10)))
+      << "request service stalled after the second death";
+
+  client.Stop();
+  runtime.Stop();
+
+  RtTotals totals = runtime.Totals();
+  EXPECT_GE(totals.failovers, 2u);
+  EXPECT_EQ(totals.recoveries, 0u);
+  ExpectBooksBalance(runtime, client);
+}
+
+// The client's side of the SysIface seam: a chaos plan refuses the client's
+// connect(2)s and then errors its reads mid-conversation. The client must
+// classify every outcome (refusals land in the refused-connect latency
+// ledger; read errors become conn errors), keep its ledger conserved, and
+// keep going -- while the server's books stay balanced through the partner
+// misbehaving.
+TEST(RtChaosTest, ClientSideFaultsAreClassifiedAndConserved) {
+  RtConfig config;
+  config.mode = RtMode::kAffinity;
+  config.num_threads = 2;
+  config.workload = svc::WorkloadKind::kEcho;
+  Runtime runtime(config);
+  std::string error;
+  ASSERT_TRUE(runtime.Start(&error)) << error;
+
+  // Client thread 0: 30 connects refused at the seam starting at call 5;
+  // client thread 1: 20 reads die with ECONNRESET starting at call 50.
+  fault::FaultPlan plan = fault::FaultPlan::ErrnoBurst(fault::CallSite::kConnect, /*core=*/0,
+                                                       ECONNREFUSED, /*after_calls=*/5,
+                                                       /*count=*/30);
+  {
+    fault::FaultPlan reads = fault::FaultPlan::ErrnoBurst(fault::CallSite::kRead, /*core=*/1,
+                                                          ECONNRESET, /*after_calls=*/50,
+                                                          /*count=*/20);
+    for (const fault::FaultRule& rule : reads.rules) {
+      plan.rules.push_back(rule);
+    }
+  }
+  fault::FaultInjector client_sys(plan, /*num_cores=*/4);
+
+  LoadClientConfig client_config;
+  client_config.port = runtime.port();
+  client_config.num_threads = 4;
+  client_config.workload = svc::WorkloadKind::kEcho;
+  client_config.requests_per_conn = 2;
+  client_config.connect_timeout_ms = 1000;
+  client_config.sys = &client_sys;
+  LoadClient client(client_config);
+  client.Start();
+
+  EXPECT_TRUE(WaitFor([&] { return client.refused() >= 30; }, std::chrono::seconds(15)))
+      << "injected connect refusals never surfaced";
+  EXPECT_TRUE(WaitFor([&] { return client.errors() >= 1; }, std::chrono::seconds(15)))
+      << "injected read resets never surfaced";
+  // Service must continue despite the flaky partner.
+  uint64_t before = client.requests();
+  EXPECT_TRUE(WaitFor([&] { return client.requests() > before + 20; },
+                      std::chrono::seconds(10)));
+
+  client.Stop();
+  runtime.Stop();
+
+  // Every injected refusal was timed: the refused-connect ledger holds one
+  // sample per ECONNREFUSED the client observed.
+  fault::InjectorStats stats = client_sys.Stats();
+  EXPECT_GE(stats.injected[static_cast<int>(fault::CallSite::kConnect)], 30u);
+  EXPECT_GE(stats.injected[static_cast<int>(fault::CallSite::kRead)], 1u);
+  EXPECT_EQ(client.RefusedConnectLatencyNs().count(), client.refused());
   ExpectBooksBalance(runtime, client);
 }
 

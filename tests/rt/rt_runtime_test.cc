@@ -139,7 +139,8 @@ TEST(RtLifecycleTest, StopRacesLiveLoad) {
   EXPECT_EQ(runtime.conn_pool()->live_objects(), 0u);
   // Client ledger: every attempt landed in exactly one outcome bucket.
   EXPECT_EQ(client.attempted(), client.completed() + client.refused() + client.timeouts() +
-                                    client.port_busy() + client.errors());
+                                    client.port_busy() + client.errors() +
+                                    client.aborted_at_stop());
 }
 
 TEST(RtLifecycleTest, DoubleStopIsIdempotent) {
