@@ -50,6 +50,22 @@ struct BenchJsonRow {
   uint64_t timeouts = 0;
   double connect_p95_us = 0;
   double refused_connect_p95_us = 0;
+  // Connection-locality ledger + hardware counters (src/obs/hwprof). Emitted
+  // only when has_locality is set; appended after every pre-existing key so
+  // the committed baselines' two-anchor scans keep working. locality_pct is
+  // requests served on their accept core; the per-request hardware rates are
+  // 0 when the PMU refused to open (then also hwprof_available=false) or
+  // when that specific event was rejected (VMs without a PMU open the
+  // software events but not cycles/LLC).
+  bool has_locality = false;
+  double locality_pct = 0;
+  uint64_t conn_migrations = 0;
+  bool hwprof_available = false;
+  double cycles_per_req = 0;
+  double llc_miss_per_req = 0;
+  // Which overload policy the run sheds with ("rst" / "backlog"); emitted
+  // when non-empty (the --sweep-policy arm labels).
+  std::string overload_policy;
   std::string series_json;  // optional: rendered JSON array of intervals
 };
 
@@ -92,6 +108,16 @@ inline bool WriteBenchResultsJson(const std::string& path, const std::string& be
       w.Key("timeouts").UInt(row.timeouts);
       w.Key("connect_p95_us").Double(row.connect_p95_us);
       w.Key("refused_connect_p95_us").Double(row.refused_connect_p95_us);
+    }
+    if (row.has_locality) {
+      w.Key("locality_pct").Double(row.locality_pct);
+      w.Key("conn_migrations").UInt(row.conn_migrations);
+      w.Key("hwprof_available").Bool(row.hwprof_available);
+      w.Key("cycles_per_req").Double(row.cycles_per_req);
+      w.Key("llc_miss_per_req").Double(row.llc_miss_per_req);
+    }
+    if (!row.overload_policy.empty()) {
+      w.Key("overload_policy").String(row.overload_policy);
     }
     if (!row.series_json.empty()) {
       w.Key("intervals").Raw(row.series_json);

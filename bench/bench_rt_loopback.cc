@@ -89,6 +89,23 @@
 //                                     connects and the refusals themselves --
 //                                     how fast an overloaded server turns
 //                                     clients around. Replaces the mode sweep)
+//   --sweep-policy=rst|backlog       (overload disposition when a connection
+//                                     cannot be queued: "rst" sheds it
+//                                     immediately with an RST -- the default,
+//                                     and what the committed baseline was
+//                                     measured with -- "backlog" leaves the
+//                                     overflow to age in the kernel's accept
+//                                     backlog. The second arm of the
+//                                     backpressure sweep: same offered load,
+//                                     opposite shedding story)
+//   --hwprof=on|off                  (per-reactor perf_event counter groups
+//                                     and the hardware columns they feed:
+//                                     cycles/req and LLC-miss/req, plus the
+//                                     connection-locality ledger's locality %.
+//                                     Default on. When the PMU refuses --
+//                                     perf_event_paranoid, containers, CI --
+//                                     the hardware columns print "unavail"
+//                                     and the run still succeeds)
 
 #include <cstdio>
 #include <cstdlib>
@@ -134,6 +151,8 @@ struct Options {
   int payload = 64;   // request payload bytes (echo/think)
   int think_us = 100; // server-side burn per request (think)
   int sweep = 0;      // >0: backpressure sweep with this many load steps
+  std::string sweep_policy = "rst";  // rst | backlog (overload disposition)
+  bool hwprof = true;                // perf_event counters + locality columns
 };
 
 bool ParseFlag(const char* arg, const char* name, const char** value) {
@@ -187,6 +206,17 @@ Options ParseOptions(int argc, char** argv) {
       opt.think_us = atoi(v);
     } else if (ParseFlag(argv[i], "--sweep", &v)) {
       opt.sweep = atoi(v);
+    } else if (ParseFlag(argv[i], "--sweep-policy", &v)) {
+      opt.sweep_policy = v;
+    } else if (ParseFlag(argv[i], "--hwprof", &v)) {
+      if (strcmp(v, "on") == 0) {
+        opt.hwprof = true;
+      } else if (strcmp(v, "off") == 0) {
+        opt.hwprof = false;
+      } else {
+        fprintf(stderr, "unknown --hwprof=%s\n", v);
+        exit(2);
+      }
     } else if (strcmp(argv[i], "--no-pin") == 0) {
       opt.pin = false;
     } else if (strcmp(argv[i], "--check") == 0) {
@@ -199,7 +229,8 @@ Options ParseOptions(int argc, char** argv) {
               "[--steer=off|on|fallback] [--connect-timeout-ms=N] "
               "[--chaos=none|stall|kill] "
               "[--workload=accept|echo|static|think] [--rpc=N] [--payload=N] "
-              "[--think-us=N] [--sweep=N]\n",
+              "[--think-us=N] [--sweep=N] [--sweep-policy=rst|backlog] "
+              "[--hwprof=on|off]\n",
               argv[0]);
       exit(2);
     }
@@ -229,6 +260,16 @@ Options ParseOptions(int argc, char** argv) {
   if (opt.payload < 1) opt.payload = 1;
   if (opt.think_us < 0) opt.think_us = 0;
   if (opt.sweep < 0) opt.sweep = 0;
+  if (opt.sweep_policy != "rst" && opt.sweep_policy != "backlog") {
+    fprintf(stderr, "unknown --sweep-policy=%s\n", opt.sweep_policy.c_str());
+    exit(2);
+  }
+  if (opt.sweep_policy == "backlog" && !opt.baseline_path.empty()) {
+    // The committed baseline was measured under the RST policy; a backlog
+    // run against it measures a different shedding story.
+    fprintf(stderr, "--sweep-policy=backlog is incompatible with --baseline\n");
+    exit(2);
+  }
   if (opt.sweep > 0) {
     if (opt.skew_groups > 0 || !opt.baseline_path.empty()) {
       // The sweep replaces the mode sweep; mixing it with the skew
@@ -283,6 +324,7 @@ struct RunResult {
   double refused_connect_p95_us = 0;
   std::vector<obs::IntervalSample> intervals;  // when --stats-interval is on
   std::string kernel_steering;                 // "cbpf" / "fallback" when steering
+  std::string hwprof_reason;  // why the PMU refused, when it did (core 0's story)
   bool ok = false;
 };
 
@@ -305,6 +347,54 @@ double SteadyRemoteFrac(const RunResult& r) {
     remote = static_cast<double>(r.totals.served_remote);
   }
   return local + remote > 0 ? remote / (local + remote) : 0.0;
+}
+
+// Denominator for the per-request hardware rates: completed requests for
+// the request/response workloads, served connections for the legacy
+// connection-per-request cycle (there, the connection IS the request).
+uint64_t HwDenominator(const RunResult& r) {
+  return r.totals.requests > 0 ? r.totals.requests : r.totals.served();
+}
+
+bool HwAvailable(const RunResult& r) {
+  return r.totals.hwprof_enabled && r.totals.hw_available_cores > 0;
+}
+
+// One hardware-rate table cell: counter total / requests, or "unavail" when
+// the event never counted -- either the whole group failed to open
+// (perf_event_paranoid, containers) or just this event did (VMs routinely
+// reject the hardware/LLC events while software events open fine; a live
+// cycles counter cannot read zero across thousands of requests). The
+// degraded path is a reported state, not a failure.
+std::string HwPerReqCell(const RunResult& r, uint64_t numer, int decimals) {
+  uint64_t den = HwDenominator(r);
+  if (!HwAvailable(r) || den == 0 || numer == 0) {
+    return "unavail";
+  }
+  return TablePrinter::Num(static_cast<double>(numer) / static_cast<double>(den), decimals);
+}
+
+// The locality ledger's score: % of requests served on their accept core.
+// "n/a" before any request completed.
+std::string LocalityCell(const RunResult& r) {
+  double f = r.totals.locality_fraction();
+  return f >= 0 ? TablePrinter::Num(100.0 * f, 1) : "n/a";
+}
+
+// Shared JSON fill for the locality/hwprof block (mode rows and sweep rows).
+void FillLocalityRow(BenchJsonRow* row, const RunResult& r) {
+  row->has_locality = true;
+  double f = r.totals.locality_fraction();
+  row->locality_pct = f >= 0 ? 100.0 * f : 0;
+  row->conn_migrations = r.totals.conn_migrations;
+  row->hwprof_available = HwAvailable(r);
+  uint64_t den = HwDenominator(r);
+  if (row->hwprof_available && den > 0) {
+    row->cycles_per_req =
+        static_cast<double>(r.totals.hw_cycles) / static_cast<double>(den);
+    row->llc_miss_per_req =
+        static_cast<double>(r.totals.hw_llc_misses) / static_cast<double>(den);
+  }
 }
 
 // Renders the sampler's per-interval series as a JSON array: per-core
@@ -390,6 +480,9 @@ RunResult RunMode(const RunSpec& spec, const Options& opt) {
   config.steer = spec.steer;
   config.steer_force_fallback = spec.force_fallback;
   config.migrate_interval_ms = spec.migrate_interval_ms;
+  config.hwprof = opt.hwprof;
+  config.overload = opt.sweep_policy == "backlog" ? OverloadPolicy::kLeaveInBacklog
+                                                  : OverloadPolicy::kAcceptThenRst;
   if (opt.chaos != "none") {
     // Wound the last reactor (core 0 owns the skewed flow groups, so it
     // stays healthy) once the run has warmed up, and arm the watchdog.
@@ -448,6 +541,9 @@ RunResult RunMode(const RunSpec& spec, const Options& opt) {
   runtime.Stop();
 
   result.totals = runtime.Totals();
+  if (runtime.hwprof() != nullptr && runtime.hwprof()->AvailableCores() == 0) {
+    result.hwprof_reason = runtime.hwprof()->unavailable_reason(0);
+  }
   result.client_completed = client.completed();
   result.client_errors = client.errors();
   if (sampler != nullptr) {
@@ -536,6 +632,10 @@ int main(int argc, char** argv) {
   PrintKv("duration", std::to_string(opt.duration_ms) + " ms per mode");
   PrintKv("pinning", opt.pin ? "on" : "off");
   PrintKv("steering", opt.steer);
+  PrintKv("hwprof", opt.hwprof ? "on" : "off");
+  if (opt.sweep_policy != "rst") {
+    PrintKv("overload policy", opt.sweep_policy);
+  }
   PrintKv("workload", svc::WorkloadName(opt.workload));
   if (opt.workload != svc::WorkloadKind::kAccept) {
     PrintKv("requests/conn", std::to_string(opt.rpc));
@@ -561,7 +661,8 @@ int main(int argc, char** argv) {
     // size; the ledger shows where goodput flattens and what the turned-away
     // clients experienced (refusal latency is the fail-fast half of the
     // paper's Section 3.3 argument -- shedding must be CHEAPER than serving).
-    PrintKv("sweep", std::to_string(opt.sweep) + " offered-load steps (affinity)");
+    PrintKv("sweep", std::to_string(opt.sweep) + " offered-load steps (affinity, " +
+                         opt.sweep_policy + " shedding)");
     TablePrinter table({"offered clients", "conns/sec", "goodput req/s", "req p95 us",
                         "refused", "timeouts", "connect p95 us", "refused p95 us"});
     std::vector<BenchJsonRow> json_rows;
@@ -612,6 +713,8 @@ int main(int argc, char** argv) {
       row.timeouts = r.client_timeouts;
       row.connect_p95_us = r.connect_p95_us;
       row.refused_connect_p95_us = r.refused_connect_p95_us;
+      FillLocalityRow(&row, r);
+      row.overload_policy = opt.sweep_policy;
       json_rows.push_back(std::move(row));
     }
     table.Print();
@@ -675,7 +778,8 @@ int main(int argc, char** argv) {
     headers.insert(headers.end(), {"req/s", "req p50 us", "req p95 us"});
   }
   headers.insert(headers.end(), {"p50 wait us", "p95 wait us", "p99 wait us", "local %",
-                                 "steals", "migr", "drops", "client errs"});
+                                 "locality %", "cyc/req", "LLCm/req", "steals", "migr",
+                                 "drops", "client errs"});
   TablePrinter table(headers);
   bool all_ok = true;
   double stock_rate = 0;
@@ -690,6 +794,7 @@ int main(int argc, char** argv) {
   double steal_only_remote_frac = -1;
   double migrate_remote_frac = -1;
   std::string live_steering;
+  std::string hwprof_reason;
   std::vector<BenchJsonRow> json_rows;
   for (const RunSpec& spec : specs) {
     RunResult r = RunMode(spec, opt);
@@ -745,6 +850,9 @@ int main(int argc, char** argv) {
     cells.push_back(TablePrinter::Num(r.p95_us, 1));
     cells.push_back(TablePrinter::Num(r.p99_us, 1));
     cells.push_back(TablePrinter::Num(local_pct, 1));
+    cells.push_back(LocalityCell(r));
+    cells.push_back(HwPerReqCell(r, r.totals.hw_cycles, 0));
+    cells.push_back(HwPerReqCell(r, r.totals.hw_llc_misses, 2));
     cells.push_back(TablePrinter::Int(r.totals.steals));
     cells.push_back(TablePrinter::Int(r.totals.migrations));
     cells.push_back(TablePrinter::Int(r.totals.overflow_drops));
@@ -770,12 +878,20 @@ int main(int argc, char** argv) {
       row.req_p95_us = r.req_p95_us;
       row.req_p99_us = r.req_p99_us;
     }
+    FillLocalityRow(&row, r);
+    if (opt.sweep_policy != "rst") {
+      row.overload_policy = opt.sweep_policy;
+    }
+    if (!r.hwprof_reason.empty()) hwprof_reason = r.hwprof_reason;
     if (!r.intervals.empty()) {
       row.series_json = IntervalsToJson(r.intervals);
     }
     json_rows.push_back(std::move(row));
   }
   table.Print();
+  if (opt.hwprof && !hwprof_reason.empty()) {
+    std::printf("\n  hwprof: hardware counters unavailable: %s\n", hwprof_reason.c_str());
+  }
   if (!opt.json_path.empty()) {
     if (WriteBenchResultsJson(opt.json_path, "rt_loopback", opt.threads, opt.clients,
                               opt.duration_ms, json_rows)) {

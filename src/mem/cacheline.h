@@ -21,6 +21,15 @@ using CoreId = int;
 
 inline constexpr CoreId kNoCore = -1;
 
+// A T padded out to its own cache line(s), for arrays indexed by core where
+// neighbouring elements are written by different threads (per-core profiler
+// state, scripted counter slots). Same intent as MetricsRegistry's padded
+// cells, reusable anywhere a per-core array must not false-share.
+template <typename T>
+struct alignas(kCacheLineBytes) CachePadded {
+  T value{};
+};
+
 // Where an access was satisfied from; determines its latency and whether it
 // counts as an L2 miss (everything from kL3 outward misses the private L2).
 enum class MemSource : uint8_t {

@@ -9,6 +9,28 @@ namespace obs {
 
 namespace {
 
+// Label values per the Prometheus text exposition format: backslash, double
+// quote, and line feed must be escaped (\\, \", \n) or a hostile/odd label
+// value -- say a UNIX listener path with a quote in it -- corrupts the whole
+// scrape.
+void AppendEscapedLabelValue(std::string* out, const std::string& value) {
+  for (char c : value) {
+    switch (c) {
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      default:
+        *out += c;
+    }
+  }
+}
+
 void AppendLabeled(std::string* out, const std::string& name, const std::string& label_key,
                    const std::string& label_value, const char* extra_label_key = nullptr,
                    const std::string& extra_label_value = std::string()) {
@@ -16,13 +38,13 @@ void AppendLabeled(std::string* out, const std::string& name, const std::string&
   *out += '{';
   *out += label_key;
   *out += "=\"";
-  *out += label_value;
+  AppendEscapedLabelValue(out, label_value);
   *out += '"';
   if (extra_label_key != nullptr) {
     *out += ',';
     *out += extra_label_key;
     *out += "=\"";
-    *out += extra_label_value;
+    AppendEscapedLabelValue(out, extra_label_value);
     *out += '"';
   }
   *out += "} ";

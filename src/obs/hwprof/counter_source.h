@@ -1,0 +1,95 @@
+// The counter-source seam for hardware profiling: everything the profiler
+// needs from perf_event_open(2), behind a virtual interface so tests can
+// script exact counter deltas (mirroring fault::SysIface for syscalls).
+//
+// One "group" is the per-thread set of six counters the paper's Table 3
+// evaluation used on live hardware -- cycles, instructions, LLC loads and
+// misses, plus task-clock and context-switches as software sanity events.
+// The group is opened for the CALLING thread (the pinned reactor), read in
+// one syscall, and carries time_enabled/time_running so a multiplexed PMU
+// (more groups than hardware counters) can be scaled back to estimates.
+//
+// Graceful degradation is part of the contract, not an error path: on hosts
+// where perf_event_paranoid or a seccomp filter forbids perf_event_open
+// (most CI containers), OpenThreadGroup returns false with a reason and the
+// profiler runs in "unavailable" mode -- phase-entry counts still work,
+// hardware columns report unavailable, nothing fails.
+
+#ifndef AFFINITY_SRC_OBS_HWPROF_COUNTER_SOURCE_H_
+#define AFFINITY_SRC_OBS_HWPROF_COUNTER_SOURCE_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace affinity {
+namespace obs {
+namespace hwprof {
+
+// The grouped events, in group order. kCycles is the group leader; the
+// hardware events mirror the simulator's stack::EntryCounters (cycles,
+// instructions, L2 misses) with LLC loads added so miss RATE is computable.
+enum class HwEvent : uint8_t {
+  kCycles = 0,
+  kInstructions,
+  kLlcLoads,
+  kLlcMisses,
+  kTaskClock,
+  kContextSwitches,
+  kNumEvents,
+};
+
+inline constexpr size_t kNumHwEvents = static_cast<size_t>(HwEvent::kNumEvents);
+
+// Metric-name fragment for an event ("cycles", "llc_misses", ...).
+const char* HwEventName(HwEvent event);
+
+// One read of the whole group. Values are raw (unscaled); time_enabled vs
+// time_running is how long the group existed vs how long it was actually
+// counting -- they differ only when the kernel multiplexed the PMU, and the
+// profiler scales raw deltas by enabled/running to estimate the full-window
+// value (the standard perf extrapolation).
+struct GroupReading {
+  uint64_t value[kNumHwEvents] = {};
+  uint64_t time_enabled_ns = 0;
+  uint64_t time_running_ns = 0;
+};
+
+// The seam. Implementations: the real perf_event source below, and the
+// ScriptedCounterSource tests drive. Per-core slots; OpenThreadGroup /
+// ReadGroup / CloseThreadGroup for a given core are called only by that
+// core's reactor thread (open at thread start, reads on the hot path,
+// close at thread exit), so implementations need no per-slot locking.
+class CounterSource {
+ public:
+  virtual ~CounterSource() = default;
+
+  // Opens the group for the calling thread. On success fills `active` --
+  // which events actually count (a follower the PMU rejects, e.g. LLC
+  // events in a VM, is inactive but the group still works) -- and returns
+  // true. On failure (no perf access at all) returns false with a
+  // human-readable reason in *why; the caller must then treat core `core`
+  // as unavailable and never call ReadGroup for it.
+  virtual bool OpenThreadGroup(int core, bool active[kNumHwEvents], std::string* why) = 0;
+
+  // One snapshot of the group. Allocation-free (hot path). Returns false
+  // if the read failed; the caller skips the sample.
+  virtual bool ReadGroup(int core, GroupReading* out) = 0;
+
+  virtual void CloseThreadGroup(int core) = 0;
+};
+
+// The real thing: grouped perf_event_open counters for the calling thread
+// (pid=0, cpu=-1), leader cycles, read format GROUP|TOTAL_TIME_ENABLED|
+// TOTAL_TIME_RUNNING, one read(2) per ReadGroup. Tries kernel+user counting
+// first and retries user-only when perf_event_paranoid forbids kernel
+// visibility. One instance per Runtime (not a singleton): per-core slots
+// would collide across concurrently running runtimes.
+std::unique_ptr<CounterSource> MakePerfEventSource();
+
+}  // namespace hwprof
+}  // namespace obs
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_OBS_HWPROF_COUNTER_SOURCE_H_

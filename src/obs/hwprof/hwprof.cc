@@ -1,0 +1,224 @@
+#include "src/obs/hwprof/hwprof.h"
+
+#include <string>
+
+namespace affinity {
+namespace obs {
+namespace hwprof {
+
+const char* PhaseName(Phase phase) {
+  switch (phase) {
+    case Phase::kEpollWait:
+      return "epoll_wait";
+    case Phase::kAccept:
+      return "accept";
+    case Phase::kServe:
+      return "serve";
+    case Phase::kSteal:
+      return "steal";
+    case Phase::kMaintenance:
+      return "maintenance";
+    case Phase::kNumPhases:
+      break;
+  }
+  return "?";
+}
+
+HwProf::HwProf(const HwProfConfig& config, int num_cores, MetricsRegistry* registry)
+    : config_(config), num_cores_(num_cores), registry_(registry) {
+  if (config_.sample_every < 1) {
+    config_.sample_every = 1;
+  }
+  if (config_.source != nullptr) {
+    source_ = config_.source;
+  } else {
+    owned_source_ = MakePerfEventSource();
+    source_ = owned_source_.get();
+  }
+  // The live Table 3 grid: one per-core counter per (phase, event), plus
+  // the entry/sample counts that turn sampled attributions into estimates.
+  for (size_t p = 0; p < kNumPhases; ++p) {
+    const char* phase = PhaseName(static_cast<Phase>(p));
+    entries_ids_[p] = registry_->RegisterCounter(
+        std::string("hwprof_phase_entries_") + phase,
+        std::string("reactor transitions into the ") + phase + " phase");
+    samples_ids_[p] = registry_->RegisterCounter(
+        std::string("hwprof_phase_samples_") + phase,
+        std::string("sampled spans attributed to the ") + phase + " phase");
+    for (size_t e = 0; e < kNumHwEvents; ++e) {
+      const char* event = HwEventName(static_cast<HwEvent>(e));
+      value_ids_[p][e] = registry_->RegisterCounter(
+          std::string("hwprof_") + event + "_" + phase,
+          std::string(event) + " attributed to the " + phase +
+              " phase (multiplex-scaled, sampled spans only)");
+    }
+  }
+  time_enabled_id_ = registry_->RegisterCounter(
+      "hwprof_time_enabled_ns", "group lifetime covered by attributed spans");
+  time_running_id_ = registry_->RegisterCounter(
+      "hwprof_time_running_ns", "PMU-counting time within attributed spans");
+  available_id_ = registry_->RegisterGauge(
+      "hwprof_available", "1 = hardware counters opened for this reactor");
+  cores_.reset(new CachePadded<PerCore>[static_cast<size_t>(num_cores_)]);
+}
+
+HwProf::~HwProf() = default;
+
+ThreadProfile* HwProf::AttachThread(int core) {
+  PerCore& pc = cores_[static_cast<size_t>(core)].value;
+  pc.profile.Attach(this, core);
+  registry_->GaugeSet(available_id_, core, pc.profile.active() ? 1 : 0);
+  return &pc.profile;
+}
+
+void HwProf::DetachThread(int core) {
+  cores_[static_cast<size_t>(core)].value.profile.Detach();
+}
+
+bool HwProf::available(int core) const {
+  return registry_->Value(available_id_, core) != 0;
+}
+
+int HwProf::AvailableCores() const {
+  int n = 0;
+  for (int core = 0; core < num_cores_; ++core) {
+    if (available(core)) {
+      ++n;
+    }
+  }
+  return n;
+}
+
+const std::string& HwProf::unavailable_reason(int core) const {
+  return cores_[static_cast<size_t>(core)].value.reason;
+}
+
+uint64_t HwProf::EstimatedPhaseTotal(Phase phase, HwEvent event) const {
+  size_t p = static_cast<size_t>(phase);
+  size_t e = static_cast<size_t>(event);
+  double total = 0;
+  // Scale per (core, phase): cores can sample at different effective rates
+  // (an idle reactor transitions less), so the extrapolation must not mix
+  // one core's entries with another's samples.
+  for (int core = 0; core < num_cores_; ++core) {
+    uint64_t attributed = registry_->Value(value_ids_[p][e], core);
+    uint64_t samples = registry_->Value(samples_ids_[p], core);
+    uint64_t entries = registry_->Value(entries_ids_[p], core);
+    if (samples == 0) {
+      continue;
+    }
+    total += static_cast<double>(attributed) * static_cast<double>(entries) /
+             static_cast<double>(samples);
+  }
+  return static_cast<uint64_t>(total + 0.5);
+}
+
+uint64_t HwProf::EstimatedTotal(HwEvent event) const {
+  uint64_t total = 0;
+  for (size_t p = 0; p < kNumPhases; ++p) {
+    total += EstimatedPhaseTotal(static_cast<Phase>(p), event);
+  }
+  return total;
+}
+
+uint64_t HwProf::PhaseEntries(Phase phase) const {
+  return registry_->Total(entries_ids_[static_cast<size_t>(phase)]);
+}
+
+void ThreadProfile::Attach(HwProf* owner, int core) {
+  source_ = owner->source_;
+  core_ = core;
+  sample_every_ = owner->config_.sample_every;
+  span_open_ = false;
+  countdown_ = sample_every_;
+  current_ = Phase::kMaintenance;  // thread setup counts as maintenance
+  for (size_t p = 0; p < kNumPhases; ++p) {
+    entries_[p] = owner->registry_->Cell(owner->entries_ids_[p], core);
+    samples_[p] = owner->registry_->Cell(owner->samples_ids_[p], core);
+    for (size_t e = 0; e < kNumHwEvents; ++e) {
+      values_[p][e] = owner->registry_->Cell(owner->value_ids_[p][e], core);
+    }
+  }
+  time_enabled_ = owner->registry_->Cell(owner->time_enabled_id_, core);
+  time_running_ = owner->registry_->Cell(owner->time_running_id_, core);
+  std::string why;
+  HwProf::PerCore& pc = owner->cores_[static_cast<size_t>(core)].value;
+  active_ = source_->OpenThreadGroup(core, event_active_, &why);
+  pc.reason = active_ ? std::string() : why;
+}
+
+void ThreadProfile::Detach() {
+  if (!active_) {
+    return;
+  }
+  if (span_open_) {
+    GroupReading r;
+    if (source_->ReadGroup(core_, &r)) {
+      Attribute(current_, span_start_, r);
+    }
+    span_open_ = false;
+  }
+  source_->CloseThreadGroup(core_);
+  active_ = false;
+}
+
+void ThreadProfile::EnterPhase(Phase next) {
+  entries_[static_cast<size_t>(next)]->fetch_add(1, std::memory_order_relaxed);
+  if (!active_) {
+    current_ = next;
+    return;
+  }
+  if (span_open_) {
+    GroupReading r;
+    if (source_->ReadGroup(core_, &r)) {
+      Attribute(current_, span_start_, r);
+      if (sample_every_ <= 1) {
+        span_start_ = r;  // continuous mode: every transition closes+opens
+      } else {
+        span_open_ = false;
+        countdown_ = sample_every_ - 1;
+      }
+    } else {
+      span_open_ = false;
+      countdown_ = sample_every_;
+    }
+  } else if (--countdown_ <= 0) {
+    countdown_ = sample_every_;
+    span_open_ = source_->ReadGroup(core_, &span_start_);
+  }
+  current_ = next;
+}
+
+void ThreadProfile::Attribute(Phase phase, const GroupReading& r0, const GroupReading& r1) {
+  size_t p = static_cast<size_t>(phase);
+  uint64_t d_enabled = r1.time_enabled_ns - r0.time_enabled_ns;
+  uint64_t d_running = r1.time_running_ns - r0.time_running_ns;
+  // Multiplex extrapolation: the PMU counted for d_running of the span's
+  // d_enabled lifetime; raw * enabled/running estimates the full-span
+  // value. scale == 1 when the group was never descheduled from the PMU
+  // (and when a scripted reading carries no time info: a never-running
+  // counter has raw == 0 anyway).
+  double scale = d_running > 0 ? static_cast<double>(d_enabled) / static_cast<double>(d_running)
+                               : 1.0;
+  for (size_t e = 0; e < kNumHwEvents; ++e) {
+    if (!event_active_[e]) {
+      continue;
+    }
+    uint64_t raw = r1.value[e] - r0.value[e];
+    uint64_t scaled = static_cast<uint64_t>(static_cast<double>(raw) * scale + 0.5);
+    if (scaled > 0) {
+      values_[p][e]->fetch_add(scaled, std::memory_order_relaxed);
+    }
+  }
+  samples_[p]->fetch_add(1, std::memory_order_relaxed);
+  if (d_enabled > 0) {
+    time_enabled_->fetch_add(d_enabled, std::memory_order_relaxed);
+  }
+  if (d_running > 0) {
+    time_running_->fetch_add(d_running, std::memory_order_relaxed);
+  }
+}
+
+}  // namespace hwprof
+}  // namespace obs
+}  // namespace affinity

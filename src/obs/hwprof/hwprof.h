@@ -1,0 +1,178 @@
+// HwProf: live Table 3 for the runtime -- per-reactor hardware counters
+// attributed to reactor phases.
+//
+// The paper's Table 3 breaks kernel time down per entry point (cycles,
+// instructions, L2 misses per kernel entry); the simulator reproduces that
+// with stack::PerfCounters. This is the live-socket counterpart: each
+// pinned reactor thread opens one grouped perf_event set (through the
+// CounterSource seam) and the reactor calls EnterPhase() at every phase
+// transition -- epoll_wait / accept / serve / steal / maintenance. The
+// profiler reads the group at SAMPLED transitions (every Nth, to bound the
+// read(2) overhead on the hot path) and attributes the delta to the phase
+// that just ended; exact per-phase entry counts are kept unconditionally,
+// so sampled attributions extrapolate to whole-run estimates
+// (estimate = attributed * entries / samples, per core and phase).
+//
+// Everything lands in the shared MetricsRegistry as per-core series
+// (hwprof_<event>_<phase>, hwprof_phase_entries_<phase>, ...), so the
+// Prometheus/JSON exporters and the StatsSampler's rate series pick it up
+// with zero extra plumbing.
+//
+// Degradation: when the source refuses to open (perf_event_paranoid,
+// seccomp, no PMU), the thread's profile stays attached but inactive --
+// entry counts still flow, hardware series stay zero, hwprof_available
+// reports 0 for the core, and AvailableCores()==0 tells the bench to print
+// "unavailable" instead of cycles/req.
+
+#ifndef AFFINITY_SRC_OBS_HWPROF_HWPROF_H_
+#define AFFINITY_SRC_OBS_HWPROF_HWPROF_H_
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "src/mem/cacheline.h"
+#include "src/obs/hwprof/counter_source.h"
+#include "src/obs/metrics.h"
+
+namespace affinity {
+namespace obs {
+namespace hwprof {
+
+// The reactor loop's phases (what the counters are attributed to). One
+// phase is always current; a transition ends the previous one.
+enum class Phase : uint8_t {
+  kEpollWait = 0,   // blocked in (or returning from) epoll_wait
+  kAccept,          // draining accept4 + pool alloc + ring push
+  kServe,           // serving connections (handler callbacks included)
+  kSteal,           // popping and first-serving a stolen connection
+  kMaintenance,     // migration tick, watchdog, batch flushes
+  kNumPhases,
+};
+
+inline constexpr size_t kNumPhases = static_cast<size_t>(Phase::kNumPhases);
+
+// Metric-name fragment ("epoll_wait", "accept", ...).
+const char* PhaseName(Phase phase);
+
+struct HwProfConfig {
+  // Attribute one span every `sample_every` phase transitions; 1 = read at
+  // EVERY transition (exact attribution, highest overhead -- tests use it).
+  int sample_every = 32;
+  // The seam. Null = the profiler owns a real MakePerfEventSource().
+  CounterSource* source = nullptr;
+};
+
+class HwProf;
+
+// Per-reactor-thread profiler state: the sampling state machine and the
+// pre-resolved metric cells. Owned by HwProf (one padded slot per core);
+// used only by the owning reactor thread between Attach and Detach.
+class ThreadProfile {
+ public:
+  // The hot-path hook: the reactor entered `next`. Counts the entry,
+  // closes/opens a sampling span per the countdown, attributes deltas.
+  void EnterPhase(Phase next);
+
+  // Whether hardware counters are live for this thread (false = degraded:
+  // entries only).
+  bool active() const { return active_; }
+
+ private:
+  friend class HwProf;
+
+  void Attach(HwProf* owner, int core);  // resolve cells + open the group
+  void Detach();                         // close the open span + the group
+  void Attribute(Phase phase, const GroupReading& r0, const GroupReading& r1);
+
+  CounterSource* source_ = nullptr;
+  int core_ = 0;
+  int sample_every_ = 32;
+  bool active_ = false;
+  bool span_open_ = false;  // span_start_ holds the reading that opened it
+  int countdown_ = 0;       // transitions until the next span opens
+  Phase current_ = Phase::kMaintenance;
+  GroupReading span_start_;
+  bool event_active_[kNumHwEvents] = {};
+
+  // Pre-resolved registry cells (obs::MetricsRegistry::Cell), one relaxed
+  // add per update on this core's own cache line.
+  std::atomic<uint64_t>* entries_[kNumPhases] = {};
+  std::atomic<uint64_t>* samples_[kNumPhases] = {};
+  std::atomic<uint64_t>* values_[kNumPhases][kNumHwEvents] = {};
+  std::atomic<uint64_t>* time_enabled_ = nullptr;
+  std::atomic<uint64_t>* time_running_ = nullptr;
+};
+
+class HwProf {
+ public:
+  // Registers the hwprof metric series. Call where the Runtime registers
+  // everything else: before any writer thread exists (registration is the
+  // registry's one non-thread-safe operation).
+  HwProf(const HwProfConfig& config, int num_cores, MetricsRegistry* registry);
+  ~HwProf();
+
+  HwProf(const HwProf&) = delete;
+  HwProf& operator=(const HwProf&) = delete;
+
+  // Called by reactor `core` ON its own thread at Run() start. Opens the
+  // counter group for that thread and returns the profile to feed
+  // EnterPhase. Never null: an unavailable PMU yields an inactive profile
+  // (entries still count). Re-attaching after a detach (runtime restart)
+  // reopens the group; registry counters keep accumulating.
+  ThreadProfile* AttachThread(int core);
+
+  // Called by reactor `core` on its own thread at Run() exit.
+  void DetachThread(int core);
+
+  int num_cores() const { return num_cores_; }
+  int sample_every() const { return config_.sample_every; }
+
+  // 1 if hardware counters opened for the core (mirrors the
+  // hwprof_available gauge). Safe any time.
+  bool available(int core) const;
+  int AvailableCores() const;
+
+  // Why a core is unavailable (empty when it is available). Written at
+  // attach on the reactor thread; read it after Stop() has joined the
+  // reactors (bench/test reporting), not mid-run.
+  const std::string& unavailable_reason(int core) const;
+
+  // Whole-run estimate for one event: per (core, phase), the attributed
+  // value scaled by entries/samples -- the extrapolation that makes
+  // sampled attribution add up to "cycles the reactors spent", divisible
+  // by requests for the bench's cycles/req column.
+  uint64_t EstimatedTotal(HwEvent event) const;
+  uint64_t EstimatedPhaseTotal(Phase phase, HwEvent event) const;
+  uint64_t PhaseEntries(Phase phase) const;
+
+ private:
+  friend class ThreadProfile;
+
+  HwProfConfig config_;
+  int num_cores_;
+  MetricsRegistry* registry_;
+  std::unique_ptr<CounterSource> owned_source_;
+  CounterSource* source_;
+
+  MetricsRegistry::MetricId entries_ids_[kNumPhases] = {};
+  MetricsRegistry::MetricId samples_ids_[kNumPhases] = {};
+  MetricsRegistry::MetricId value_ids_[kNumPhases][kNumHwEvents] = {};
+  MetricsRegistry::MetricId time_enabled_id_ = 0;
+  MetricsRegistry::MetricId time_running_id_ = 0;
+  MetricsRegistry::MetricId available_id_ = 0;  // gauge, 1 = PMU live
+
+  struct PerCore {
+    ThreadProfile profile;
+    std::string reason;  // why unavailable; settled once threads joined
+  };
+  std::unique_ptr<CachePadded<PerCore>[]> cores_;
+};
+
+}  // namespace hwprof
+}  // namespace obs
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_OBS_HWPROF_HWPROF_H_

@@ -1,0 +1,200 @@
+#include "src/obs/hwprof/counter_source.h"
+
+#include <linux/perf_event.h>
+#include <sys/ioctl.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "src/mem/cacheline.h"
+
+namespace affinity {
+namespace obs {
+namespace hwprof {
+
+const char* HwEventName(HwEvent event) {
+  switch (event) {
+    case HwEvent::kCycles:
+      return "cycles";
+    case HwEvent::kInstructions:
+      return "instructions";
+    case HwEvent::kLlcLoads:
+      return "llc_loads";
+    case HwEvent::kLlcMisses:
+      return "llc_misses";
+    case HwEvent::kTaskClock:
+      return "task_clock_ns";
+    case HwEvent::kContextSwitches:
+      return "context_switches";
+    case HwEvent::kNumEvents:
+      break;
+  }
+  return "?";
+}
+
+namespace {
+
+long PerfEventOpen(perf_event_attr* attr, pid_t pid, int cpu, int group_fd,
+                   unsigned long flags) {
+  return syscall(SYS_perf_event_open, attr, pid, cpu, group_fd, flags);
+}
+
+void FillAttr(HwEvent event, bool exclude_kernel, perf_event_attr* attr) {
+  std::memset(attr, 0, sizeof(*attr));
+  attr->size = sizeof(*attr);
+  attr->read_format = PERF_FORMAT_GROUP | PERF_FORMAT_TOTAL_TIME_ENABLED |
+                      PERF_FORMAT_TOTAL_TIME_RUNNING;
+  attr->exclude_hv = 1;
+  attr->exclude_kernel = exclude_kernel ? 1 : 0;
+  switch (event) {
+    case HwEvent::kCycles:
+      attr->type = PERF_TYPE_HARDWARE;
+      attr->config = PERF_COUNT_HW_CPU_CYCLES;
+      break;
+    case HwEvent::kInstructions:
+      attr->type = PERF_TYPE_HARDWARE;
+      attr->config = PERF_COUNT_HW_INSTRUCTIONS;
+      break;
+    case HwEvent::kLlcLoads:
+      attr->type = PERF_TYPE_HW_CACHE;
+      attr->config = PERF_COUNT_HW_CACHE_LL | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+                     (PERF_COUNT_HW_CACHE_RESULT_ACCESS << 16);
+      break;
+    case HwEvent::kLlcMisses:
+      attr->type = PERF_TYPE_HW_CACHE;
+      attr->config = PERF_COUNT_HW_CACHE_LL | (PERF_COUNT_HW_CACHE_OP_READ << 8) |
+                     (PERF_COUNT_HW_CACHE_RESULT_MISS << 16);
+      break;
+    case HwEvent::kTaskClock:
+      attr->type = PERF_TYPE_SOFTWARE;
+      attr->config = PERF_COUNT_SW_TASK_CLOCK;
+      break;
+    case HwEvent::kContextSwitches:
+      attr->type = PERF_TYPE_SOFTWARE;
+      attr->config = PERF_COUNT_SW_CONTEXT_SWITCHES;
+      break;
+    case HwEvent::kNumEvents:
+      break;
+  }
+}
+
+class PerfEventSource : public CounterSource {
+ public:
+  PerfEventSource() = default;
+  ~PerfEventSource() override {
+    for (int core = 0; core < kMaxCores; ++core) {
+      CloseThreadGroup(core);
+    }
+  }
+
+  bool OpenThreadGroup(int core, bool active[kNumHwEvents], std::string* why) override {
+    if (core < 0 || core >= kMaxCores) {
+      *why = "core index out of range";
+      return false;
+    }
+    Group& g = groups_[core].value;
+    CloseThreadGroup(core);  // restart safety: a stale group would double-count
+
+    // The leader is whichever event opens first (normally cycles); a
+    // follower the PMU rejects -- LLC cache events are routinely absent in
+    // VMs -- is simply inactive. Whether the kernel side is countable is
+    // decided once, at the leader, and applied to the whole group so every
+    // event covers the same privilege domain.
+    bool exclude_kernel = false;
+    int open_errno = 0;
+    for (size_t e = 0; e < kNumHwEvents; ++e) {
+      perf_event_attr attr;
+      FillAttr(static_cast<HwEvent>(e), exclude_kernel, &attr);
+      int fd = static_cast<int>(
+          PerfEventOpen(&attr, /*pid=*/0, /*cpu=*/-1, g.leader, PERF_FLAG_FD_CLOEXEC));
+      if (fd < 0 && g.leader < 0 && (errno == EACCES || errno == EPERM)) {
+        // perf_event_paranoid >= 2: user-space-only counting may still be
+        // allowed.
+        exclude_kernel = true;
+        FillAttr(static_cast<HwEvent>(e), exclude_kernel, &attr);
+        fd = static_cast<int>(
+            PerfEventOpen(&attr, /*pid=*/0, /*cpu=*/-1, g.leader, PERF_FLAG_FD_CLOEXEC));
+      }
+      if (fd < 0) {
+        open_errno = errno;
+        continue;
+      }
+      g.fds[e] = fd;
+      g.slot_of[e] = g.n_active++;
+      if (g.leader < 0) {
+        g.leader = fd;
+      }
+    }
+    if (g.leader < 0) {
+      *why = std::string("perf_event_open: ") + std::strerror(open_errno) +
+             " (check /proc/sys/kernel/perf_event_paranoid)";
+      return false;
+    }
+    for (size_t e = 0; e < kNumHwEvents; ++e) {
+      active[e] = g.fds[e] >= 0;
+    }
+    ioctl(g.leader, PERF_EVENT_IOC_RESET, PERF_IOC_FLAG_GROUP);
+    ioctl(g.leader, PERF_EVENT_IOC_ENABLE, PERF_IOC_FLAG_GROUP);
+    return true;
+  }
+
+  bool ReadGroup(int core, GroupReading* out) override {
+    Group& g = groups_[core].value;
+    if (g.leader < 0) {
+      return false;
+    }
+    // PERF_FORMAT_GROUP layout: nr, time_enabled, time_running, value[nr].
+    uint64_t buf[3 + kNumHwEvents];
+    ssize_t n = read(g.leader, buf, sizeof(buf));
+    if (n < static_cast<ssize_t>((3 + static_cast<size_t>(g.n_active)) * sizeof(uint64_t)) ||
+        buf[0] != static_cast<uint64_t>(g.n_active)) {
+      return false;
+    }
+    out->time_enabled_ns = buf[1];
+    out->time_running_ns = buf[2];
+    for (size_t e = 0; e < kNumHwEvents; ++e) {
+      out->value[e] = g.slot_of[e] >= 0 ? buf[3 + static_cast<size_t>(g.slot_of[e])] : 0;
+    }
+    return true;
+  }
+
+  void CloseThreadGroup(int core) override {
+    if (core < 0 || core >= kMaxCores) {
+      return;
+    }
+    Group& g = groups_[core].value;
+    for (size_t e = 0; e < kNumHwEvents; ++e) {
+      if (g.fds[e] >= 0) {
+        close(g.fds[e]);
+        g.fds[e] = -1;
+      }
+      g.slot_of[e] = -1;
+    }
+    g.leader = -1;
+    g.n_active = 0;
+  }
+
+ private:
+  struct Group {
+    int fds[kNumHwEvents] = {-1, -1, -1, -1, -1, -1};
+    // Position of each event in the group read buffer; -1 = inactive.
+    int slot_of[kNumHwEvents] = {-1, -1, -1, -1, -1, -1};
+    int leader = -1;
+    int n_active = 0;
+  };
+  // Padded per-core slots: each is touched only by its reactor thread
+  // between open and close (the destructor runs after every thread joined).
+  CachePadded<Group> groups_[kMaxCores];
+};
+
+}  // namespace
+
+std::unique_ptr<CounterSource> MakePerfEventSource() {
+  return std::unique_ptr<CounterSource>(new PerfEventSource);
+}
+
+}  // namespace hwprof
+}  // namespace obs
+}  // namespace affinity

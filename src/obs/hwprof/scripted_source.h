@@ -1,0 +1,107 @@
+// A scripted CounterSource for tests: deterministic readings per core, so
+// multiplex-scaling math, phase-boundary accounting, and the PMU-unavailable
+// fallback can be asserted exactly -- no real PMU, no root, TSan-clean.
+//
+// Same role as the FaultInjector behind fault::SysIface: the production
+// code path is identical, only the seam's answers are scripted.
+
+#ifndef AFFINITY_SRC_OBS_HWPROF_SCRIPTED_SOURCE_H_
+#define AFFINITY_SRC_OBS_HWPROF_SCRIPTED_SOURCE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/mem/cacheline.h"
+#include "src/obs/hwprof/counter_source.h"
+
+namespace affinity {
+namespace obs {
+namespace hwprof {
+
+class ScriptedCounterSource : public CounterSource {
+ public:
+  // What one core's group answers. Configure before the reactor threads
+  // start; afterwards each core's slot is touched only by its own thread
+  // (the read cursor advances there), matching the seam's contract.
+  struct Script {
+    bool available = true;
+    std::string unavailable_reason = "scripted: pmu unavailable";
+    bool active[kNumHwEvents] = {true, true, true, true, true, true};
+    // Explicit readings, consumed in order -- unit tests script exact
+    // windows (e.g. a multiplexed one where running < enabled).
+    std::vector<GroupReading> readings;
+    // Once explicit readings run out, reads synthesize: the last explicit
+    // reading (or zeros) plus k * per_read_delta, so counters keep
+    // monotonically advancing for as long as the run lasts.
+    GroupReading per_read_delta;
+    uint64_t next_read = 0;  // cursor; owner-thread only after start
+  };
+
+  explicit ScriptedCounterSource(int num_cores)
+      : num_cores_(num_cores), scripts_(new PaddedScript[static_cast<size_t>(num_cores)]) {
+    for (int core = 0; core < num_cores; ++core) {
+      Script& s = scripts_[static_cast<size_t>(core)].value;
+      for (size_t e = 0; e < kNumHwEvents; ++e) {
+        s.per_read_delta.value[e] = 1000;
+      }
+      s.per_read_delta.time_enabled_ns = 1000000;
+      s.per_read_delta.time_running_ns = 1000000;
+    }
+  }
+
+  Script& script(int core) { return scripts_[static_cast<size_t>(core)].value; }
+
+  // How many OpenThreadGroup calls were made (any core, any outcome).
+  uint64_t opens() const { return opens_.load(std::memory_order_relaxed); }
+
+  bool OpenThreadGroup(int core, bool active[kNumHwEvents], std::string* why) override {
+    opens_.fetch_add(1, std::memory_order_relaxed);
+    if (core < 0 || core >= num_cores_) {
+      *why = "scripted: core out of range";
+      return false;
+    }
+    Script& s = script(core);
+    if (!s.available) {
+      *why = s.unavailable_reason;
+      return false;
+    }
+    for (size_t e = 0; e < kNumHwEvents; ++e) {
+      active[e] = s.active[e];
+    }
+    return true;
+  }
+
+  bool ReadGroup(int core, GroupReading* out) override {
+    Script& s = script(core);
+    uint64_t k = s.next_read++;
+    if (k < s.readings.size()) {
+      *out = s.readings[k];
+      return true;
+    }
+    GroupReading base = s.readings.empty() ? GroupReading{} : s.readings.back();
+    uint64_t extra = k - s.readings.size() + 1;
+    for (size_t e = 0; e < kNumHwEvents; ++e) {
+      out->value[e] = base.value[e] + extra * s.per_read_delta.value[e];
+    }
+    out->time_enabled_ns = base.time_enabled_ns + extra * s.per_read_delta.time_enabled_ns;
+    out->time_running_ns = base.time_running_ns + extra * s.per_read_delta.time_running_ns;
+    return true;
+  }
+
+  void CloseThreadGroup(int /*core*/) override {}
+
+ private:
+  using PaddedScript = CachePadded<Script>;
+  int num_cores_;
+  std::unique_ptr<PaddedScript[]> scripts_;
+  std::atomic<uint64_t> opens_{0};
+};
+
+}  // namespace hwprof
+}  // namespace obs
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_OBS_HWPROF_SCRIPTED_SOURCE_H_

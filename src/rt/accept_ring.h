@@ -38,6 +38,13 @@ namespace rt {
 // block, recycled on close.
 struct PendingConn {
   int fd = -1;
+  // The connection-locality ledger's raw facts, stamped in the pooled block
+  // (never the heap): which core accept()ed this connection and which core
+  // first served it. accept_core always equals the pool handle's owner; it
+  // is stamped anyway so the ledger reads one field, not a handle decode.
+  // serve_core stays -1 until the first service touch.
+  int16_t accept_core = -1;
+  int16_t serve_core = -1;
   std::chrono::steady_clock::time_point accepted_at{};
   svc::ConnState svc;
 };

@@ -77,6 +77,9 @@ void Reactor::ResolveHotCells() {
   hot_.accept_backoff = m->Cell(ids.accept_backoff, index_);
   hot_.admission_shed = m->Cell(ids.admission_shed, index_);
   hot_.requests = m->Cell(ids.requests, index_);
+  hot_.requests_local_core = m->Cell(ids.requests_local_core, index_);
+  hot_.requests_remote_core = m->Cell(ids.requests_remote_core, index_);
+  hot_.conn_migrations = m->Cell(ids.conn_migrations, index_);
   hot_.aborted_at_stop = m->Cell(ids.aborted_at_stop, index_);
   hot_.conn_open = m->Cell(ids.conn_open, index_);
   hot_.queue_wait = m->HistCell(ids.queue_wait, index_);
@@ -102,6 +105,10 @@ void Reactor::Run() {
     PinCurrentThreadToCpu(index_);
   }
   ResolveHotCells();
+  // Hardware profiling: open this thread's counter group AFTER pinning so
+  // the counters follow the reactor's core. Never fails -- an unavailable
+  // PMU yields an inactive profile (phase entries only).
+  prof_ = shared_->hwprof != nullptr ? shared_->hwprof->AttachThread(index_) : nullptr;
 
   ep_ = epoll_create1(EPOLL_CLOEXEC);
   if (ep_ < 0) {
@@ -165,6 +172,7 @@ void Reactor::Run() {
     }
     // Short timeout so stop and cross-ring work (stolen connections pushed
     // by other shards) are noticed even when our own shard is idle.
+    Prof(obs::hwprof::Phase::kEpollWait);
     int n = shared_->sys->EpollWait(index_, ep_, events, 64, /*timeout_ms=*/1);
     if (n == fault::SysIface::kKillReactor) {
       // The chaos plan killed this reactor: exit as if the thread died.
@@ -177,12 +185,14 @@ void Reactor::Run() {
       for (int i = 0; i < n; ++i) {
         uint64_t data = events[i].data.u64;
         if ((data & kConnTag) != 0) {
+          Prof(obs::hwprof::Phase::kServe);
           DriveConn(static_cast<ConnHandle>(data & 0xFFFFFFFFull), events[i].events);
           continue;
         }
         int fd = static_cast<int>(data);
         for (const ListenSource& src : sources_) {
           if (src.fd == fd) {
+            Prof(obs::hwprof::Phase::kAccept);
             AcceptBatch(src);
             break;
           }
@@ -191,6 +201,7 @@ void Reactor::Run() {
     } else if (n < 0 && errno != EINTR) {
       break;
     }
+    Prof(obs::hwprof::Phase::kServe);
     int served = ServeBatch();
     if (n <= 0 && served == 0) {
       // Nothing local and nothing accepted: one widened pass before going
@@ -198,6 +209,7 @@ void Reactor::Run() {
       ServeOne(/*idle=*/true);
       FlushDequeues();
     }
+    Prof(obs::hwprof::Phase::kMaintenance);
     auto now = std::chrono::steady_clock::now();
     if (migrate && now >= next_migrate) {
       // The paper's long-term balancer: every 100 ms each (non-busy) core
@@ -211,12 +223,17 @@ void Reactor::Run() {
       next_watchdog += watchdog_period;
     }
   }
+  Prof(obs::hwprof::Phase::kMaintenance);
   FlushDequeues();
   // Close every connection still mid-conversation -- on the orderly stop
   // path AND the chaos kill path (a killed reactor models a dead process,
   // whose fds the kernel would close; doing it here keeps the pool drained
   // and the conservation ledger exact). Counted as aborted, never served.
   CloseAllOpen();
+  if (prof_ != nullptr) {
+    shared_->hwprof->DetachThread(index_);
+    prof_ = nullptr;
+  }
   if (reserve_fd_ >= 0) {
     close(reserve_fd_);
     reserve_fd_ = -1;
@@ -584,6 +601,8 @@ void Reactor::AcceptBatch(const ListenSource& src) {
     }
     PendingConn* conn = shared_->pool->Get(handle);
     conn->fd = batch[i].fd;
+    conn->accept_core = static_cast<int16_t>(index_);
+    conn->serve_core = -1;
     conn->accepted_at = std::chrono::steady_clock::now();
     conn->svc.Reset(src.listener != nullptr ? static_cast<uint8_t>(src.listener->id) : 0);
     size_t len_after = 0;
@@ -732,8 +751,10 @@ bool Reactor::ServeOne(bool idle) {
       if (steal_first) {
         CoreId victim = policy->PickBusyVictim(me);
         if (victim != kNoCore && PopFrom(static_cast<size_t>(victim), &conn)) {
+          Prof(obs::hwprof::Phase::kSteal);
           RecordSteal(victim, shared_->queues[static_cast<size_t>(victim)]->size());
           Serve(conn, /*local=*/false);
+          Prof(obs::hwprof::Phase::kServe);
           return true;
         }
       }
@@ -744,8 +765,10 @@ bool Reactor::ServeOne(bool idle) {
       if (may_steal && !steal_first) {
         CoreId victim = policy->PickBusyVictim(me);
         if (victim != kNoCore && PopFrom(static_cast<size_t>(victim), &conn)) {
+          Prof(obs::hwprof::Phase::kSteal);
           RecordSteal(victim, shared_->queues[static_cast<size_t>(victim)]->size());
           Serve(conn, /*local=*/false);
+          Prof(obs::hwprof::Phase::kServe);
           return true;
         }
       }
@@ -754,8 +777,10 @@ bool Reactor::ServeOne(bool idle) {
           return shared_->queues[static_cast<size_t>(c)]->size() > 0;
         });
         if (victim != kNoCore && PopFrom(static_cast<size_t>(victim), &conn)) {
+          Prof(obs::hwprof::Phase::kSteal);
           RecordSteal(victim, shared_->queues[static_cast<size_t>(victim)]->size());
           Serve(conn, /*local=*/false);
+          Prof(obs::hwprof::Phase::kServe);
           return true;
         }
       }
@@ -768,6 +793,15 @@ bool Reactor::ServeOne(bool idle) {
 void Reactor::Serve(ConnHandle handle, bool local) {
   PendingConn* conn = shared_->pool->Get(handle);
   hot_.queue_wait->Add(ToNs(std::chrono::steady_clock::now() - conn->accepted_at));
+  // The locality ledger's moment of truth: the first serving core is now
+  // known. Core locality is a different fact from ring locality (`local`):
+  // stock mode's one shared ring makes every pop ring-local, and steering
+  // can queue a conn on a third core's ring -- the ledger compares CORES.
+  conn->serve_core = static_cast<int16_t>(index_);
+  bool core_local = conn->accept_core == static_cast<int16_t>(index_);
+  if (!core_local) {
+    hot_.conn_migrations->fetch_add(1, std::memory_order_relaxed);
+  }
   svc::ConnHandler* handler = shared_->listeners[conn->svc.listener]->handler;
   if (handler == nullptr) {
     // The legacy accept workload: one byte, then an orderly close. Enough
@@ -778,6 +812,8 @@ void Reactor::Serve(ConnHandle handle, bool local) {
     } else {
       ++batch_served_remote_;
     }
+    (core_local ? hot_.requests_local_core : hot_.requests_remote_core)
+        ->fetch_add(1, std::memory_order_relaxed);
     char byte = 'A';
     (void)send(conn->fd, &byte, 1, MSG_NOSIGNAL);
     shared_->sys->Close(index_, conn->fd);
@@ -791,6 +827,7 @@ void Reactor::Serve(ConnHandle handle, bool local) {
   // the pop, so it is recorded now and accounted at close.
   svc::ConnState& st = conn->svc;
   st.remote_served = !local;
+  st.accept_local = core_local;
   st.opened = true;
   OpenListAdd(handle, conn);
   ++open_count_;
@@ -834,6 +871,11 @@ void Reactor::NoteRounds(PendingConn* conn, uint16_t prev_rounds) {
   }
   uint32_t delta = static_cast<uint32_t>(done - prev_rounds);
   hot_.requests->fetch_add(delta, std::memory_order_relaxed);
+  // Ledger: these rounds ran on the core recorded at Serve() time. A held
+  // connection never changes reactors mid-conversation, so the bit set
+  // there is exact for every round.
+  (conn->svc.accept_local ? hot_.requests_local_core : hot_.requests_remote_core)
+      ->fetch_add(delta, std::memory_order_relaxed);
   // One handler call can complete several rounds back-to-back (requests
   // already queued in the socket buffer); the per-round latencies are then
   // within one pump of each other, so the last one stands in for the batch.

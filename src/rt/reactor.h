@@ -39,6 +39,7 @@
 #include "src/fault/failure_domain.h"
 #include "src/fault/sys_iface.h"
 #include "src/fault/token_bucket.h"
+#include "src/obs/hwprof/hwprof.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace_ring.h"
 #include "src/rt/accept_ring.h"
@@ -145,6 +146,12 @@ struct RtMetricIds {
   obs::MetricsRegistry::MetricId request_latency = 0;  // histogram, per-request ns
   obs::MetricsRegistry::MetricId conn_open = 0;        // gauge, held conns per core
   obs::MetricsRegistry::MetricId aborted_at_stop = 0;  // held conns closed by Run() exit
+  // Connection-locality ledger (the paper's headline claim, live): requests
+  // -- or legacy one-shot conns -- served ON vs OFF their accepting core,
+  // and connections whose first serving core differed from the acceptor.
+  obs::MetricsRegistry::MetricId requests_local_core = 0;
+  obs::MetricsRegistry::MetricId requests_remote_core = 0;
+  obs::MetricsRegistry::MetricId conn_migrations = 0;
 };
 
 // State shared by every reactor of one Runtime.
@@ -175,6 +182,9 @@ struct ReactorShared {
   // Syscall surface for the hot path; never null while reactors run
   // (fault::DefaultSys passthrough, or the FaultInjector in chaos runs).
   fault::SysIface* sys = nullptr;
+  // Hardware profiler; null when hwprof is off. Reactors attach their
+  // thread at Run() start and feed phase transitions to it.
+  obs::hwprof::HwProf* hwprof = nullptr;
   // Heartbeats + alive/dead state; null when the watchdog is disabled.
   fault::FailureDomains* domains = nullptr;
   int watchdog_timeout_ms = 0;  // <= 0 disables peer monitoring
@@ -363,6 +373,9 @@ class Reactor {
     std::atomic<uint64_t>* accept_backoff = nullptr;
     std::atomic<uint64_t>* admission_shed = nullptr;
     std::atomic<uint64_t>* requests = nullptr;
+    std::atomic<uint64_t>* requests_local_core = nullptr;
+    std::atomic<uint64_t>* requests_remote_core = nullptr;
+    std::atomic<uint64_t>* conn_migrations = nullptr;
     std::atomic<uint64_t>* aborted_at_stop = nullptr;
     std::atomic<uint64_t>* conn_open = nullptr;  // gauge cell
     obs::AtomicHistogram* queue_wait = nullptr;
@@ -374,6 +387,15 @@ class Reactor {
   QueueBatch deq_;
   uint32_t batch_served_local_ = 0;
   uint32_t batch_served_remote_ = 0;
+
+  // Hardware-profile hook for this thread; null when hwprof is off. The
+  // branch is one predictable test on the phase-transition paths.
+  obs::hwprof::ThreadProfile* prof_ = nullptr;
+  void Prof(obs::hwprof::Phase phase) {
+    if (prof_ != nullptr) {
+      prof_->EnterPhase(phase);
+    }
+  }
 };
 
 }  // namespace rt

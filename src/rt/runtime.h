@@ -28,6 +28,7 @@
 #include "src/fault/fault_plan.h"
 #include "src/fault/injector.h"
 #include "src/mem/pool_stats.h"
+#include "src/obs/hwprof/hwprof.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace_ring.h"
 #include "src/rt/reactor.h"
@@ -83,6 +84,19 @@ struct RtConfig {
   // stay under one backlog's worth, and exhaustion beyond that degrades to
   // the admission shed path, never to a malloc.
   uint32_t pool_blocks_per_core = 0;
+
+  // --- hardware locality profiling (src/obs/hwprof) ---
+
+  // Per-reactor grouped perf_event counters attributed to reactor phases
+  // (the live Table 3). Off by default: the profiler costs one read(2)
+  // every `hwprof_sample_every` phase transitions per reactor when the PMU
+  // is reachable, nothing but the entry counters when it is not.
+  bool hwprof = false;
+  // 1 = read at every transition (exact, for tests); 32 bounds overhead.
+  int hwprof_sample_every = 32;
+  // Test seam: a scripted CounterSource (not owned). Null = the real
+  // perf_event_open source.
+  obs::hwprof::CounterSource* hwprof_source = nullptr;
 
   // --- request/response service layer (src/svc) ---
 
@@ -143,10 +157,34 @@ struct RtTotals {
   uint64_t requests = 0;         // completed request/response rounds
   uint64_t aborted_at_stop = 0;  // held conns closed by a reactor's Run() exit
   uint64_t open_conns = 0;       // conns currently mid-conversation (gauge)
+  // Connection-locality ledger: requests (legacy workload: connections)
+  // served on vs off their ACCEPTING core, and connections whose first
+  // serving core differed from the acceptor. This is the paper's headline
+  // number made live -- affinity mode should hold locality_fraction near 1
+  // while stock/fine sit near 1/num_threads.
+  uint64_t requests_local_core = 0;
+  uint64_t requests_remote_core = 0;
+  uint64_t conn_migrations = 0;
+  // Hardware profile (config.hwprof): whole-run extrapolated estimates from
+  // the sampled phase attributions; zero when the PMU was unavailable.
+  bool hwprof_enabled = false;
+  int hw_available_cores = 0;  // reactors whose counter group opened
+  uint64_t hw_cycles = 0;
+  uint64_t hw_instructions = 0;
+  uint64_t hw_llc_loads = 0;
+  uint64_t hw_llc_misses = 0;
+  uint64_t hw_task_clock_ns = 0;
+  uint64_t hw_context_switches = 0;
   std::vector<uint64_t> per_listener_accepted;  // indexed by listener id
   Histogram queue_wait_ns;
   Histogram request_latency_ns;  // per-request service time (svc handlers)
   uint64_t served() const { return served_local + served_remote; }
+  // The locality score: fraction of requests served on their accepting
+  // core. Negative when nothing has been served yet.
+  double locality_fraction() const {
+    uint64_t den = requests_local_core + requests_remote_core;
+    return den > 0 ? static_cast<double>(requests_local_core) / static_cast<double>(den) : -1.0;
+  }
   // Connection conservation: every accepted connection is exactly one of
   // served (closed after service), currently open, aborted by a stopping
   // reactor, drained at stop, overflow-dropped, or admission-shed. The
@@ -208,6 +246,11 @@ class Runtime {
   // Balancer decision trace; null when config.trace_capacity == 0.
   const obs::TraceRing* trace() const { return trace_.get(); }
 
+  // The hardware profiler; null unless config.hwprof. Availability and the
+  // estimate accessors are safe while the reactors run; per-core
+  // unavailable_reason() settles once Stop() has joined them.
+  const obs::hwprof::HwProf* hwprof() const { return hwprof_.get(); }
+
   // The flow-group steering table + migration history; null unless
   // config.steer was on in affinity mode. Valid while the reactors run.
   const steer::FlowDirector* director() const { return director_.get(); }
@@ -253,6 +296,7 @@ class Runtime {
   std::unique_ptr<fault::FailureDomains> domains_;
   std::unique_ptr<obs::MetricsRegistry> metrics_;
   std::unique_ptr<obs::TraceRing> trace_;
+  std::unique_ptr<obs::hwprof::HwProf> hwprof_;
   RtMetricIds ids_;
   ReactorShared shared_;
   std::vector<std::unique_ptr<Reactor>> reactors_;

@@ -40,6 +40,13 @@ struct ConnState {
   ConnPhase phase = ConnPhase::kReading;
   uint8_t listener = 0;       // which rt listener accepted this connection
   bool remote_served = false;  // popped from another core's ring (steal/re-steer)
+  // Locality-ledger bit: the serving core IS the accepting core. Distinct
+  // from !remote_served, which is about RINGS -- stock mode's single shared
+  // ring makes every pop "local" even when the conversation crossed cores,
+  // and steering can park a conn on a ring that is neither the accepting
+  // nor the serving core. Requests completed on this connection count into
+  // rt_requests_local_core / rt_requests_remote_core by this bit.
+  bool accept_local = true;
   bool opened = false;         // OnAccept ran; OnClose is owed exactly once
 
   uint16_t rounds_done = 0;  // completed request/response rounds
@@ -79,6 +86,7 @@ struct ConnState {
     phase = ConnPhase::kReading;
     listener = listener_id;
     remote_served = false;
+    accept_local = true;
     opened = false;
     rounds_done = 0;
     armed = 0;

@@ -1,0 +1,222 @@
+// Unit tests for src/obs/hwprof/ through the scripted counter-source seam:
+// multiplex-scaling math, phase-boundary accounting (exact at
+// sample_every=1, extrapolated when batched), the PMU-unavailable fallback,
+// and the exporter round-trip. No real PMU, no root -- the production
+// HwProf/ThreadProfile path runs unchanged, only the seam's answers are
+// scripted (the same pattern as fault::SysIface).
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "src/obs/export.h"
+#include "src/obs/hwprof/hwprof.h"
+#include "src/obs/hwprof/scripted_source.h"
+#include "src/obs/metrics.h"
+
+namespace affinity {
+namespace obs {
+namespace hwprof {
+namespace {
+
+uint64_t SnapTotal(const MetricsRegistry& reg, const std::string& name) {
+  MetricsSnapshot snap = reg.Snapshot();
+  const SeriesSnap* s = snap.Find(name);
+  return s != nullptr ? s->total : 0;
+}
+
+TEST(HwProfTest, MultiplexScalingExtrapolatesRawDeltas) {
+  // One sampled span whose group counted for only half its lifetime:
+  // raw 100 over d_enabled=2ms / d_running=1ms must attribute as 200.
+  MetricsRegistry reg(1);
+  ScriptedCounterSource src(1);
+  GroupReading r0;
+  GroupReading r1;
+  for (size_t e = 0; e < kNumHwEvents; ++e) {
+    r0.value[e] = 100;
+    r1.value[e] = 200;
+  }
+  r0.time_enabled_ns = 1000000;
+  r0.time_running_ns = 1000000;
+  r1.time_enabled_ns = 3000000;  // +2ms enabled
+  r1.time_running_ns = 2000000;  // +1ms running -> scale 2.0
+  ScriptedCounterSource::Script& s = src.script(0);
+  s.readings = {r0, r1};
+  s.per_read_delta = GroupReading{};  // any further read repeats r1
+  s.active[static_cast<size_t>(HwEvent::kLlcMisses)] = false;  // VM-style reject
+
+  HwProfConfig config;
+  config.sample_every = 1;
+  config.source = &src;
+  HwProf prof(config, 1, &reg);
+  ThreadProfile* tp = prof.AttachThread(0);
+  ASSERT_TRUE(tp->active());
+  EXPECT_TRUE(prof.available(0));
+  EXPECT_EQ(prof.AvailableCores(), 1);
+
+  tp->EnterPhase(Phase::kServe);      // opens the span (reads r0)
+  tp->EnterPhase(Phase::kEpollWait);  // closes it (reads r1) -> serve span
+  prof.DetachThread(0);               // final span is r1->r1: adds nothing
+
+  EXPECT_EQ(prof.EstimatedPhaseTotal(Phase::kServe, HwEvent::kCycles), 200u);
+  EXPECT_EQ(prof.EstimatedPhaseTotal(Phase::kServe, HwEvent::kInstructions), 200u);
+  // A follower the PMU rejected stays at zero no matter what the buffer says.
+  EXPECT_EQ(prof.EstimatedPhaseTotal(Phase::kServe, HwEvent::kLlcMisses), 0u);
+  // The epoll_wait span (closed by Detach) spanned identical readings.
+  EXPECT_EQ(prof.EstimatedPhaseTotal(Phase::kEpollWait, HwEvent::kCycles), 0u);
+  EXPECT_EQ(SnapTotal(reg, "hwprof_time_enabled_ns"), 2000000u);
+  EXPECT_EQ(SnapTotal(reg, "hwprof_time_running_ns"), 1000000u);
+}
+
+TEST(HwProfTest, SampleEveryOneIsExactAccounting) {
+  // Continuous mode: every transition closes the previous span, so after
+  // Detach entries == samples per phase and the "extrapolation" is the
+  // identity -- the attributed totals are the exact per-phase split.
+  MetricsRegistry reg(1);
+  ScriptedCounterSource src(1);  // default: +1000/event per read, scale 1
+  HwProfConfig config;
+  config.sample_every = 1;
+  config.source = &src;
+  HwProf prof(config, 1, &reg);
+  ThreadProfile* tp = prof.AttachThread(0);
+
+  // 11 alternating transitions starting with serve: serve entered 6 times,
+  // epoll_wait 5 times.
+  for (int i = 0; i < 11; ++i) {
+    tp->EnterPhase(i % 2 == 0 ? Phase::kServe : Phase::kEpollWait);
+  }
+  prof.DetachThread(0);
+
+  EXPECT_EQ(prof.PhaseEntries(Phase::kServe), 6u);
+  EXPECT_EQ(prof.PhaseEntries(Phase::kEpollWait), 5u);
+  // 11 attribution windows of 1000 cycles each, split 6/5 (the final open
+  // span is closed by Detach and lands on the last-entered phase, serve).
+  EXPECT_EQ(prof.EstimatedPhaseTotal(Phase::kServe, HwEvent::kCycles), 6000u);
+  EXPECT_EQ(prof.EstimatedPhaseTotal(Phase::kEpollWait, HwEvent::kCycles), 5000u);
+  EXPECT_EQ(prof.EstimatedTotal(HwEvent::kCycles), 11000u);
+  EXPECT_EQ(prof.EstimatedTotal(HwEvent::kTaskClock), 11000u);
+  // 12 reads: one opening the first span, one per subsequent transition,
+  // one at Detach.
+  EXPECT_EQ(src.script(0).next_read, 12u);
+}
+
+TEST(HwProfTest, BatchedSamplingBoundsReadsAndExtrapolates) {
+  // sample_every=4: only every 4th transition opens a span (one read) and
+  // the next closes it (another read). 16 transitions -> 4 sampled spans,
+  // 8 reads total -- the read(2) cost the batching exists to bound -- and
+  // the estimate extrapolates the 4 attributed spans across all 16 entries.
+  MetricsRegistry reg(1);
+  ScriptedCounterSource src(1);
+  HwProfConfig config;
+  config.sample_every = 4;
+  config.source = &src;
+  HwProf prof(config, 1, &reg);
+  ThreadProfile* tp = prof.AttachThread(0);
+
+  for (int i = 0; i < 16; ++i) {
+    tp->EnterPhase(Phase::kServe);
+  }
+  prof.DetachThread(0);
+
+  EXPECT_EQ(prof.PhaseEntries(Phase::kServe), 16u);
+  EXPECT_EQ(SnapTotal(reg, "hwprof_phase_samples_serve"), 4u);
+  EXPECT_EQ(src.script(0).next_read, 8u);
+  // 4 spans x 1000 cycles, scaled by entries/samples = 16/4.
+  EXPECT_EQ(prof.EstimatedPhaseTotal(Phase::kServe, HwEvent::kCycles), 16000u);
+}
+
+TEST(HwProfTest, UnavailablePmuDegradesToEntriesOnly) {
+  // The CI path: the source refuses to open. The profile attaches inactive,
+  // entry counts still flow, every hardware series stays zero, and the
+  // refusal reason is preserved for the bench to report.
+  MetricsRegistry reg(2);
+  ScriptedCounterSource src(2);
+  src.script(0).available = false;
+  src.script(0).unavailable_reason = "scripted: perf_event_paranoid=3";
+  src.script(1).available = false;
+
+  HwProfConfig config;
+  config.sample_every = 1;
+  config.source = &src;
+  HwProf prof(config, 2, &reg);
+  ThreadProfile* tp = prof.AttachThread(0);
+  prof.AttachThread(1);
+  EXPECT_FALSE(tp->active());
+  EXPECT_FALSE(prof.available(0));
+  EXPECT_EQ(prof.AvailableCores(), 0);
+  EXPECT_EQ(prof.unavailable_reason(0), "scripted: perf_event_paranoid=3");
+
+  for (int i = 0; i < 5; ++i) {
+    tp->EnterPhase(Phase::kAccept);
+  }
+  prof.DetachThread(0);
+  prof.DetachThread(1);
+
+  EXPECT_EQ(prof.PhaseEntries(Phase::kAccept), 5u);
+  EXPECT_EQ(prof.EstimatedTotal(HwEvent::kCycles), 0u);
+  EXPECT_EQ(src.script(0).next_read, 0u);  // never read, not just zeros
+  MetricsSnapshot snap = reg.Snapshot();
+  const SeriesSnap* avail = snap.Find("hwprof_available");
+  ASSERT_NE(avail, nullptr);
+  EXPECT_EQ(avail->values[0], 0u);
+  EXPECT_EQ(avail->values[1], 0u);
+}
+
+TEST(HwProfTest, ReattachAfterDetachReopensTheGroup) {
+  // Runtime restart: the same core attaches again; the group reopens and
+  // counters keep accumulating on top of the previous run's totals.
+  MetricsRegistry reg(1);
+  ScriptedCounterSource src(1);
+  HwProfConfig config;
+  config.sample_every = 1;
+  config.source = &src;
+  HwProf prof(config, 1, &reg);
+
+  ThreadProfile* tp = prof.AttachThread(0);
+  tp->EnterPhase(Phase::kServe);
+  tp->EnterPhase(Phase::kServe);
+  prof.DetachThread(0);
+  uint64_t after_first = prof.EstimatedTotal(HwEvent::kCycles);
+  EXPECT_GT(after_first, 0u);
+
+  tp = prof.AttachThread(0);
+  EXPECT_TRUE(tp->active());
+  tp->EnterPhase(Phase::kServe);
+  tp->EnterPhase(Phase::kServe);
+  prof.DetachThread(0);
+  EXPECT_EQ(src.opens(), 2u);
+  EXPECT_GT(prof.EstimatedTotal(HwEvent::kCycles), after_first);
+}
+
+TEST(HwProfTest, ExportersCarryTheHwprofSeries) {
+  // The whole point of registering in the shared registry: the Prometheus
+  // and JSON exporters pick the grid up with zero extra plumbing.
+  MetricsRegistry reg(1);
+  ScriptedCounterSource src(1);
+  HwProfConfig config;
+  config.sample_every = 1;
+  config.source = &src;
+  HwProf prof(config, 1, &reg);
+  ThreadProfile* tp = prof.AttachThread(0);
+  tp->EnterPhase(Phase::kServe);
+  tp->EnterPhase(Phase::kEpollWait);
+  prof.DetachThread(0);
+
+  std::string text = ToPrometheusText(reg.Snapshot());
+  EXPECT_NE(text.find("# TYPE affinity_hwprof_cycles_serve_total counter"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("affinity_hwprof_cycles_serve_total{core=\"0\"} 1000"), std::string::npos)
+      << text;
+  EXPECT_NE(text.find("affinity_hwprof_available{core=\"0\"} 1"), std::string::npos) << text;
+  EXPECT_NE(text.find("affinity_hwprof_phase_entries_epoll_wait_total"), std::string::npos)
+      << text;
+
+  std::string json = ToJson(reg.Snapshot());
+  EXPECT_NE(json.find("\"name\":\"hwprof_llc_misses_serve\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"name\":\"hwprof_task_clock_ns_steal\""), std::string::npos) << json;
+}
+
+}  // namespace
+}  // namespace hwprof
+}  // namespace obs
+}  // namespace affinity

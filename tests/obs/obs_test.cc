@@ -231,6 +231,43 @@ TEST(ExportTest, PrometheusTextFormat) {
   EXPECT_NE(text.find("affinity_wait_ns_count{core=\"0\"} 1"), std::string::npos) << text;
 }
 
+TEST(ExportTest, PrometheusLabelValuesAreEscaped) {
+  // A label value carrying a backslash, a double quote, and a newline must
+  // render as \\, \", and \n -- a raw newline or quote would corrupt every
+  // line after it in the scrape.
+  MetricsSnapshot snap;
+  SeriesSnap s;
+  s.name = "listener_conns";
+  s.kind = MetricKind::kCounter;
+  s.label_key = "path";
+  s.label_values = {"a\\b\"c\nd"};
+  s.values = {7};
+  s.total = 7;
+  snap.series.push_back(s);
+  std::string text = ToPrometheusText(snap);
+  EXPECT_NE(text.find("affinity_listener_conns_total{path=\"a\\\\b\\\"c\\nd\"} 7"),
+            std::string::npos)
+      << text;
+  // Every rendered line must still be one line: the raw newline from the
+  // label value must not survive into the body.
+  EXPECT_EQ(text.find("c\nd"), std::string::npos) << text;
+
+  // The histogram path escapes through the same helper (including the
+  // extra "le" label position).
+  MetricsSnapshot hsnap;
+  HistSnap h;
+  h.name = "wait_ns";
+  h.label_key = "series";
+  h.label_values = {"odd\"series"};
+  Histogram hist;
+  hist.Add(100);
+  h.per_label = {hist};
+  hsnap.histograms.push_back(h);
+  std::string htext = ToPrometheusText(hsnap);
+  EXPECT_NE(htext.find("affinity_wait_ns_count{series=\"odd\\\"series\"} 1"), std::string::npos)
+      << htext;
+}
+
 TEST(ExportTest, JsonIsWellFormedAndCarriesValues) {
   MetricsRegistry reg(2);
   auto c = reg.RegisterCounter("served", "served");

@@ -175,6 +175,12 @@ TEST_P(RtSvcAllocFreeTest, SteadyStateServesRequestsWithZeroHeapAllocations) {
   config.mode = GetParam();
   config.num_threads = 4;
   config.workload = svc::WorkloadKind::kEcho;
+  // Hardware profiling + the locality ledger ride the same window: the
+  // per-request ledger adds (core-local atomic counters only) and the
+  // hwprof phase hooks + sampled group reads must be allocation-free too.
+  // The default perf source opens (or refuses) at reactor start, well
+  // before the window; either way the steady state allocates nothing.
+  config.hwprof = true;
   Runtime runtime(config);
   std::string error;
   ASSERT_TRUE(runtime.Start(&error)) << error;
@@ -212,6 +218,9 @@ TEST_P(RtSvcAllocFreeTest, SteadyStateServesRequestsWithZeroHeapAllocations) {
   RtTotals totals = runtime.Totals();
   EXPECT_GE(totals.requests, kWarmupRequests + kWindowRequests);
   EXPECT_EQ(totals.pool.frees, totals.pool.allocs);
+  // The ledger the window just proved allocation-free must also balance.
+  EXPECT_EQ(totals.requests_local_core + totals.requests_remote_core, totals.requests);
+  EXPECT_TRUE(totals.hwprof_enabled);
 }
 
 INSTANTIATE_TEST_SUITE_P(AllModes, RtSvcAllocFreeTest,

@@ -12,6 +12,7 @@
 #include <string>
 #include <thread>
 
+#include "src/obs/hwprof/scripted_source.h"
 #include "src/rt/accept_ring.h"
 #include "src/rt/listener.h"
 #include "src/rt/load_client.h"
@@ -187,6 +188,115 @@ TEST(RtLifecycleTest, StartAfterStopServesAgain) {
       EXPECT_GE(totals.served(), served_after_first + 50);
     }
   }
+}
+
+// --- hardware locality profiling (src/obs/hwprof) + the connection-locality
+// ledger, driven end-to-end through the runtime with the scripted seam so
+// the whole path is deterministic and TSan-clean ---
+
+class RtLocalityTest : public ::testing::TestWithParam<RtMode> {};
+
+TEST_P(RtLocalityTest, LedgerConservesAndHwprofCountsThroughScriptedSeam) {
+  obs::hwprof::ScriptedCounterSource source(4);
+  RtConfig config;
+  config.mode = GetParam();
+  config.num_threads = 4;
+  config.workload = svc::WorkloadKind::kEcho;
+  config.hwprof = true;
+  config.hwprof_sample_every = 1;  // exact attribution: every transition reads
+  config.hwprof_source = &source;
+  Runtime runtime(config);
+  std::string error;
+  ASSERT_TRUE(runtime.Start(&error)) << error;
+
+  LoadClientConfig client_config;
+  client_config.port = runtime.port();
+  client_config.num_threads = 4;
+  client_config.workload = svc::WorkloadKind::kEcho;
+  client_config.requests_per_conn = 4;
+  client_config.max_conns = 300;
+  LoadClient client(client_config);
+  client.Start();
+  client.WaitForMaxConns();
+  runtime.Stop();
+  EXPECT_EQ(client.errors(), 0u);
+
+  RtTotals totals = runtime.Totals();
+  ASSERT_GT(totals.requests, 0u);
+  // The ledger's conservation equation: every completed request was served
+  // either on its accept core or off it -- never both, never neither.
+  EXPECT_EQ(totals.requests_local_core + totals.requests_remote_core, totals.requests);
+  if (GetParam() == RtMode::kAffinity) {
+    // Affinity's whole point: the accepting core serves the conversation.
+    // Steals move a handful of connections under momentary imbalance, so
+    // 0.9 is a generous floor for a test host; the bench reports the real
+    // number (~1.0) alongside stock/fine for the strict comparison.
+    EXPECT_GE(totals.locality_fraction(), 0.9);
+    // Every remote-served request sits on a connection that migrated.
+    if (totals.requests_remote_core > 0) {
+      EXPECT_GT(totals.conn_migrations, 0u);
+    }
+  }
+  // hwprof through the scripted seam: every reactor's group opened and the
+  // synthetic counters flowed through phase attribution into the totals.
+  EXPECT_TRUE(totals.hwprof_enabled);
+  EXPECT_EQ(totals.hw_available_cores, 4);
+  EXPECT_GT(totals.hw_cycles, 0u);
+  EXPECT_GT(totals.hw_task_clock_ns, 0u);
+  ASSERT_NE(runtime.hwprof(), nullptr);
+  EXPECT_GT(runtime.hwprof()->PhaseEntries(obs::hwprof::Phase::kEpollWait), 0u);
+  EXPECT_GT(runtime.hwprof()->PhaseEntries(obs::hwprof::Phase::kServe), 0u);
+  EXPECT_GT(runtime.hwprof()->PhaseEntries(obs::hwprof::Phase::kAccept), 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllModes, RtLocalityTest,
+                         ::testing::Values(RtMode::kStock, RtMode::kFine, RtMode::kAffinity),
+                         [](const ::testing::TestParamInfo<RtMode>& mode_info) {
+                           return std::string(RtModeName(mode_info.param));
+                         });
+
+TEST(RtHwprofTest, UnavailablePmuDegradesButStillServes) {
+  // The CI/container path: the counter source refuses every core. The run
+  // must serve normally, report the degradation explicitly (available
+  // cores 0, a preserved reason), keep the phase entry counts, and keep
+  // the locality ledger -- which needs no PMU at all.
+  obs::hwprof::ScriptedCounterSource source(2);
+  source.script(0).available = false;
+  source.script(0).unavailable_reason = "scripted: perf_event_paranoid=3";
+  source.script(1).available = false;
+
+  RtConfig config;
+  config.mode = RtMode::kAffinity;
+  config.num_threads = 2;
+  config.workload = svc::WorkloadKind::kEcho;
+  config.hwprof = true;
+  config.hwprof_source = &source;
+  Runtime runtime(config);
+  std::string error;
+  ASSERT_TRUE(runtime.Start(&error)) << error;
+
+  LoadClientConfig client_config;
+  client_config.port = runtime.port();
+  client_config.num_threads = 2;
+  client_config.workload = svc::WorkloadKind::kEcho;
+  client_config.requests_per_conn = 4;
+  client_config.max_conns = 100;
+  LoadClient client(client_config);
+  client.Start();
+  client.WaitForMaxConns();
+  runtime.Stop();
+  EXPECT_EQ(client.errors(), 0u);
+
+  RtTotals totals = runtime.Totals();
+  EXPECT_TRUE(totals.hwprof_enabled);
+  EXPECT_EQ(totals.hw_available_cores, 0);
+  EXPECT_EQ(totals.hw_cycles, 0u);
+  EXPECT_EQ(totals.hw_task_clock_ns, 0u);
+  ASSERT_NE(runtime.hwprof(), nullptr);
+  EXPECT_EQ(runtime.hwprof()->unavailable_reason(0), "scripted: perf_event_paranoid=3");
+  EXPECT_GT(runtime.hwprof()->PhaseEntries(obs::hwprof::Phase::kServe), 0u);
+  ASSERT_GT(totals.requests, 0u);
+  EXPECT_EQ(totals.requests_local_core + totals.requests_remote_core, totals.requests);
 }
 
 TEST(RtLifecycleTest, StockModeUsesOneListenSocketAndQueue) {
