@@ -66,6 +66,10 @@ struct BenchJsonRow {
   // Which overload policy the run sheds with ("rst" / "backlog"); emitted
   // when non-empty (the --sweep-policy arm labels).
   std::string overload_policy;
+  // Which I/O engine drove the reactors ("epoll" / "uring"); emitted when
+  // non-empty. The committed epoll baselines predate the key and their
+  // two-anchor scans never look for it.
+  std::string io_backend;
   std::string series_json;  // optional: rendered JSON array of intervals
 };
 
@@ -118,6 +122,9 @@ inline bool WriteBenchResultsJson(const std::string& path, const std::string& be
     }
     if (!row.overload_policy.empty()) {
       w.Key("overload_policy").String(row.overload_policy);
+    }
+    if (!row.io_backend.empty()) {
+      w.Key("io_backend").String(row.io_backend);
     }
     if (!row.series_json.empty()) {
       w.Key("intervals").Raw(row.series_json);

@@ -1,0 +1,43 @@
+#include "src/io/io_backend.h"
+
+#include <cstring>
+
+#include "src/io/epoll_backend.h"
+#include "src/io/uring_backend.h"
+
+namespace affinity {
+namespace io {
+
+const char* IoBackendName(IoBackendKind kind) {
+  switch (kind) {
+    case IoBackendKind::kEpoll:
+      return "epoll";
+    case IoBackendKind::kUring:
+      return "uring";
+  }
+  return "?";
+}
+
+bool ParseIoBackend(const char* name, IoBackendKind* out) {
+  if (std::strcmp(name, "epoll") == 0) {
+    *out = IoBackendKind::kEpoll;
+  } else if (std::strcmp(name, "uring") == 0 || std::strcmp(name, "io_uring") == 0) {
+    *out = IoBackendKind::kUring;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+std::unique_ptr<IoBackend> CreateIoBackend(IoBackendKind kind, int core, fault::SysIface* sys) {
+  switch (kind) {
+    case IoBackendKind::kEpoll:
+      return std::unique_ptr<IoBackend>(new EpollBackend(core, sys));
+    case IoBackendKind::kUring:
+      return std::unique_ptr<IoBackend>(new UringBackend(core, sys));
+  }
+  return nullptr;
+}
+
+}  // namespace io
+}  // namespace affinity

@@ -20,6 +20,7 @@
 #ifndef AFFINITY_SRC_RT_ACCEPT_RING_H_
 #define AFFINITY_SRC_RT_ACCEPT_RING_H_
 
+#include <atomic>
 #include <chrono>
 #include <cstddef>
 
@@ -45,6 +46,15 @@ struct PendingConn {
   // serve_core stays -1 until the first service touch.
   int16_t accept_core = -1;
   int16_t serve_core = -1;
+  // Block-reuse generation for the io backends' stale-completion defense:
+  // bumped on every free, carried in bits [32,48) of the conn token
+  // (io::MakeConnToken), so a completion raced against close-and-recycle is
+  // recognized and dropped instead of driving the wrong conversation.
+  // NEVER cleared by ConnState::Reset -- continuity across reuse is the
+  // point. Atomic because the bump can happen on the serving core while the
+  // owning reactor decodes a token (relaxed: the value only gates, never
+  // orders).
+  std::atomic<uint16_t> io_gen{0};
   std::chrono::steady_clock::time_point accepted_at{};
   svc::ConnState svc;
 };

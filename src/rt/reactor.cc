@@ -10,7 +10,9 @@
 #include <algorithm>
 #include <cerrno>
 #include <chrono>
+#include <cstdio>
 
+#include "src/io/uring_backend.h"
 #include "src/rt/listener.h"
 
 namespace affinity {
@@ -110,27 +112,57 @@ void Reactor::Run() {
   // PMU yields an inactive profile (phase entries only).
   prof_ = shared_->hwprof != nullptr ? shared_->hwprof->AttachThread(index_) : nullptr;
 
-  ep_ = epoll_create1(EPOLL_CLOEXEC);
-  if (ep_ < 0) {
-    return;
-  }
   // One source per listener: this reactor's shard of a per-shard listener,
   // or the single shared fd (stock mode, and UNIX sockets always -- every
   // reactor polls it, level-triggered, so a shared listener herds like
   // stock accept while per-shard ones stay private). Accepts land on this
   // core's ring outside stock mode regardless of which fd produced them.
+  // Sources are derived BEFORE the backend comes up: the uring engine wants
+  // the full startup fd set for fixed-file registration.
   sources_.clear();
+  std::vector<int> listen_fds;
   for (RtListener* listener : shared_->listeners) {
     int fd = listener->fds.size() == 1 ? listener->fds[0]
                                        : listener->fds[static_cast<size_t>(index_)];
     uint32_t qi = shared_->mode == RtMode::kStock ? 0u : static_cast<uint32_t>(index_);
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.u64 = static_cast<uint64_t>(static_cast<uint32_t>(fd));  // bit 63 clear: listen fd
-    epoll_ctl(ep_, EPOLL_CTL_ADD, fd, &ev);
-    sources_.push_back(ListenSource{fd, qi, listener});
+    ListenSource src;
+    src.fd = fd;
+    src.qi = qi;
+    src.listener = listener;
+    src.watch_gen = watch_gen_seed_++;
+    sources_.push_back(src);
+    listen_fds.push_back(fd);
   }
   base_sources_ = sources_.size();
+
+  // The event engine. The Runtime already probed and resolved the kind; a
+  // per-reactor uring setup failure (rlimit on locked memory, seccomp) still
+  // degrades to a private epoll engine rather than losing the core.
+  io_.reset();
+  if (shared_->backend == io::IoBackendKind::kUring) {
+    std::unique_ptr<io::UringBackend> uring(new io::UringBackend(index_, shared_->sys));
+    std::string err;
+    if (uring->Init(&err)) {
+      if (shared_->uring_fixed_files) {
+        uring->RegisterListenFds(listen_fds);
+      }
+      io_ = std::move(uring);
+    } else {
+      std::fprintf(stderr, "rt: reactor %d: uring init failed (%s); falling back to epoll\n",
+                   index_, err.c_str());
+    }
+  }
+  if (io_ == nullptr) {
+    io_ = io::CreateIoBackend(io::IoBackendKind::kEpoll, index_, shared_->sys);
+    std::string err;
+    if (!io_->Init(&err)) {
+      io_.reset();
+      return;
+    }
+  }
+  for (ListenSource& src : sources_) {
+    src.watching = io_->WatchListen(src.fd, io::MakeListenToken(src.fd, src.watch_gen));
+  }
   open_head_ = kNullConn;
   open_count_ = 0;
 
@@ -158,10 +190,11 @@ void Reactor::Run() {
         std::chrono::milliseconds(shared_->watchdog_timeout_ms)));
   }
 
-  // The listen shard is usually the only registered fd; adopted shards from
-  // dead peers join the set after a failover, so events are dispatched per
-  // fd.
-  epoll_event events[64];
+  // The listen shard is usually the only registered source; adopted shards
+  // from dead peers join the set after a failover, so events are dispatched
+  // per fd.
+  io::IoEvent events[64];
+  Accepted pending[64];  // uring CQE-delivered fds staged for AdmitBatch
   while (!shared_->stop.load(std::memory_order_acquire)) {
     if (shared_->domains != nullptr) {
       shared_->domains->Beat(index_);
@@ -173,7 +206,7 @@ void Reactor::Run() {
     // Short timeout so stop and cross-ring work (stolen connections pushed
     // by other shards) are noticed even when our own shard is idle.
     Prof(obs::hwprof::Phase::kEpollWait);
-    int n = shared_->sys->EpollWait(index_, ep_, events, 64, /*timeout_ms=*/1);
+    int n = io_->Wait(events, 64, /*timeout_ms=*/1);
     if (n == fault::SysIface::kKillReactor) {
       // The chaos plan killed this reactor: exit as if the thread died.
       // Deliberately no recovery, no draining -- the watchdog and the
@@ -182,24 +215,124 @@ void Reactor::Run() {
     }
     if (n > 0) {
       hot_.epoll_wakeups->fetch_add(1, std::memory_order_relaxed);
+      int npend = 0;
+      uint32_t owner_accepts = 0;
+      uint32_t cross_accepts = 0;
+      auto now = std::chrono::steady_clock::now();
       for (int i = 0; i < n; ++i) {
-        uint64_t data = events[i].data.u64;
-        if ((data & kConnTag) != 0) {
+        const io::IoEvent& ev = events[i];
+        if (io::IsConnToken(ev.token)) {
+          ConnHandle handle = io::HandleOfToken(ev.token);
+          PendingConn* conn = shared_->pool->Get(handle);
+          if (conn == nullptr ||
+              io::GenOfToken(ev.token) != conn->io_gen.load(std::memory_order_relaxed)) {
+            continue;  // stale completion: the conn closed, the block moved on
+          }
+          if (io_->oneshot_arms()) {
+            conn->svc.armed = 0;  // the delivered one-shot consumed its registration
+          }
           Prof(obs::hwprof::Phase::kServe);
-          DriveConn(static_cast<ConnHandle>(data & 0xFFFFFFFFull), events[i].events);
+          DriveConn(handle, ev.events);
           continue;
         }
-        int fd = static_cast<int>(data);
-        for (const ListenSource& src : sources_) {
-          if (src.fd == fd) {
+        int fd = io::FdOfListenToken(ev.token);
+        size_t si = 0;
+        while (si < sources_.size() && sources_[si].fd != fd) {
+          ++si;
+        }
+        if (si == sources_.size()) {
+          // A CQE from a source released between harvests (failover
+          // recovery): any fd inside is still a real connection the kernel
+          // accepted on our behalf; dispose of it in order.
+          if (ev.accepted_fd >= 0) {
+            hot_.accepted->fetch_add(1, std::memory_order_relaxed);
+            hot_.overflow_drops->fetch_add(1, std::memory_order_relaxed);
+            shared_->sys->Close(index_, ev.accepted_fd);
+          }
+          continue;
+        }
+        ListenSource& src = sources_[si];
+        if (io_->accepts_inline()) {
+          // Readiness engine: the event only says "accept4 will succeed".
+          Prof(obs::hwprof::Phase::kAccept);
+          AcceptBatch(si);
+          continue;
+        }
+        // Completion engine: the CQE itself carries the accept. The watch
+        // generation gates the control bits (rewatch/error) of a canceled
+        // epoch's late CQEs; accepted fds are real regardless and are
+        // admitted even from a stale generation (dropping them would leak).
+        const bool current = io::GenOfToken(ev.token) == src.watch_gen;
+        if (ev.accepted_fd >= 0) {
+          int afd = ev.accepted_fd;
+          backoff_ms_ = 0;  // fds are flowing again: reset the exponential window
+          if (src.listener == nullptr || !src.listener->is_unix) {
+            // Same Nagle rationale as the accept4 path; the listener kind
+            // stands in for the peer family multishot accept cannot report.
+            int one = 1;
+            setsockopt(afd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+          }
+          size_t qi = src.qi;
+          if (shared_->director != nullptr && src.listener != nullptr &&
+              src.listener->id == 0 && !src.listener->is_unix) {
+            // Steering key recovery: multishot accept delivers no peer
+            // address, so one getpeername (only when steering is on) finds
+            // the source port whose flow group owns this connection.
+            sockaddr_storage peer;
+            socklen_t peer_len = sizeof(peer);
+            if (getpeername(afd, reinterpret_cast<sockaddr*>(&peer), &peer_len) == 0 &&
+                peer.ss_family == AF_INET) {
+              CoreId owner = shared_->director->OwnerOfPort(
+                  ntohs(reinterpret_cast<const sockaddr_in*>(&peer)->sin_port));
+              if (owner >= 0 && owner < shared_->num_reactors) {
+                qi = static_cast<size_t>(owner);
+              }
+            }
+            if (qi == static_cast<size_t>(index_)) {
+              ++owner_accepts;
+            } else {
+              ++cross_accepts;
+            }
+          }
+          if (npend == 64) {
             Prof(obs::hwprof::Phase::kAccept);
-            AcceptBatch(src);
-            break;
+            AdmitBatch(pending, npend, now);
+            npend = 0;
+          }
+          pending[npend].fd = afd;
+          pending[npend].qi = static_cast<uint32_t>(qi);
+          pending[npend].src = static_cast<uint32_t>(si);
+          ++npend;
+        } else if (ev.error != 0 && current) {
+          // The multishot accept terminated with an error: same per-class
+          // counters as the accept4 soft-skip path, and the same EMFILE
+          // rescue. The terminal CQE also sets rewatch below.
+          if (ev.error == EMFILE || ev.error == ENFILE) {
+            FdExhaustionRescue(src.fd);
+          } else if (ev.error == ECONNABORTED) {
+            hot_.accept_econnaborted->fetch_add(1, std::memory_order_relaxed);
+          } else if (ev.error == EPROTO) {
+            hot_.accept_eproto->fetch_add(1, std::memory_order_relaxed);
+          } else if (ev.error == EINTR) {
+            hot_.accept_eintr->fetch_add(1, std::memory_order_relaxed);
           }
         }
+        if (ev.rewatch && current) {
+          src.watching = false;  // RewatchSources re-arms once the gates allow
+        }
       }
-    } else if (n < 0 && errno != EINTR) {
-      break;
+      if (npend > 0) {
+        Prof(obs::hwprof::Phase::kAccept);
+        AdmitBatch(pending, npend, now);
+      }
+      if (owner_accepts > 0) {
+        hot_.steer_owner_accepts->fetch_add(owner_accepts, std::memory_order_relaxed);
+      }
+      if (cross_accepts > 0) {
+        hot_.steer_cross_accepts->fetch_add(cross_accepts, std::memory_order_relaxed);
+      }
+    } else if (n < 0) {
+      break;  // hard engine error (the backends swallow EINTR themselves)
     }
     Prof(obs::hwprof::Phase::kServe);
     int served = ServeBatch();
@@ -211,6 +344,9 @@ void Reactor::Run() {
     }
     Prof(obs::hwprof::Phase::kMaintenance);
     auto now = std::chrono::steady_clock::now();
+    if (!io_->accepts_inline()) {
+      RewatchSources(now);
+    }
     if (migrate && now >= next_migrate) {
       // The paper's long-term balancer: every 100 ms each (non-busy) core
       // makes its own migration decision. The epoll timeout above bounds
@@ -238,8 +374,8 @@ void Reactor::Run() {
     close(reserve_fd_);
     reserve_fd_ = -1;
   }
-  close(ep_);
-  ep_ = -1;
+  io_->Shutdown();
+  io_.reset();
 }
 
 void Reactor::MigrationTick() {
@@ -316,11 +452,16 @@ void Reactor::TryFailover(int dead) {
         continue;
       }
       int lfd = listener->fds[static_cast<size_t>(dead)];
-      epoll_event ev{};
-      ev.events = EPOLLIN;
-      ev.data.u64 = static_cast<uint64_t>(static_cast<uint32_t>(lfd));
-      if (epoll_ctl(ep_, EPOLL_CTL_ADD, lfd, &ev) == 0) {
-        sources_.push_back(ListenSource{lfd, static_cast<uint32_t>(dead), listener});
+      ListenSource src;
+      src.fd = lfd;
+      src.qi = static_cast<uint32_t>(dead);
+      src.listener = listener;
+      // A fresh generation even if this fd was adopted before: a previous
+      // adoption epoch's terminal CQE may still be in flight.
+      src.watch_gen = watch_gen_seed_++;
+      src.watching = io_->WatchListen(lfd, io::MakeListenToken(lfd, src.watch_gen));
+      if (src.watching) {
+        sources_.push_back(src);
       }
     }
   }
@@ -376,7 +517,8 @@ void Reactor::ReleaseRecoveredAdoptions() {
   }
   for (size_t i = sources_.size(); i-- > base_sources_;) {
     if (!shared_->domains->IsDead(static_cast<int>(sources_[i].qi))) {
-      epoll_ctl(ep_, EPOLL_CTL_DEL, sources_[i].fd, nullptr);
+      io_->UnwatchListen(sources_[i].fd,
+                         io::MakeListenToken(sources_[i].fd, sources_[i].watch_gen));
       sources_.erase(sources_.begin() + static_cast<long>(i));
     }
   }
@@ -469,7 +611,8 @@ void Reactor::FdExhaustionRescue(int listen_fd) {
   hot_.accept_backoff->fetch_add(1, std::memory_order_relaxed);
 }
 
-void Reactor::AcceptBatch(const ListenSource& src) {
+void Reactor::AcceptBatch(size_t src_idx) {
+  const ListenSource& src = sources_[src_idx];
   const size_t default_qi = src.qi;
   auto now = std::chrono::steady_clock::now();
   if (now < backoff_until_) {
@@ -485,10 +628,6 @@ void Reactor::AcceptBatch(const ListenSource& src) {
   // Stage 1: drain the kernel queue until EAGAIN (or the cap) into a stack
   // array -- no bookkeeping between accept4 calls, so the kernel side is
   // drained as fast as the syscall allows.
-  struct Accepted {
-    int fd;
-    uint32_t qi;
-  };
   Accepted batch[kMaxAcceptBatch];
   int n = 0;
   uint32_t owner_accepts = 0;
@@ -557,6 +696,7 @@ void Reactor::AcceptBatch(const ListenSource& src) {
     }
     batch[n].fd = fd;
     batch[n].qi = static_cast<uint32_t>(qi);
+    batch[n].src = static_cast<uint32_t>(src_idx);
     ++n;
   }
   if (eintr > 0) {
@@ -577,7 +717,17 @@ void Reactor::AcceptBatch(const ListenSource& src) {
   if (n == 0) {
     return;
   }
+  AdmitBatch(batch, n, now);
+  if (owner_accepts > 0) {
+    hot_.steer_owner_accepts->fetch_add(owner_accepts, std::memory_order_relaxed);
+  }
+  if (cross_accepts > 0) {
+    hot_.steer_cross_accepts->fetch_add(cross_accepts, std::memory_order_relaxed);
+  }
+}
 
+void Reactor::AdmitBatch(const Accepted* batch, int n,
+                         std::chrono::steady_clock::time_point now) {
   // Stage 2: pool blocks + ring pushes, aggregating per-ring counts.
   // Connections that cannot be queued go through the admission policy:
   // RST-shed while the drop budget lasts, orderly close otherwise.
@@ -585,14 +735,19 @@ void Reactor::AcceptBatch(const ListenSource& src) {
   uint32_t admission_sheds = 0;
   uint32_t pool_drops = 0;
   for (int i = 0; i < n; ++i) {
-    size_t qi = batch[i].qi;
+    const Accepted& a = batch[i];
+    ListenSource& src = sources_[a.src];
+    if (src.listener != nullptr) {
+      src.listener->accepted.fetch_add(1, std::memory_order_relaxed);
+    }
+    size_t qi = a.qi;
     ConnHandle handle = shared_->pool->Alloc(index_);
     if (handle == kNullConn) {
       // Arena exhausted (sized to cover every ring plus a batch, so this
       // means the rings are full anyway): same disposition as a ring
       // overflow, plus its own counter.
       ++pool_drops;
-      if (ShedOrDrop(batch[i].fd, qi, now)) {
+      if (ShedOrDrop(a.fd, qi, now)) {
         ++admission_sheds;
       } else {
         ++overflow_drops;
@@ -600,7 +755,7 @@ void Reactor::AcceptBatch(const ListenSource& src) {
       continue;
     }
     PendingConn* conn = shared_->pool->Get(handle);
-    conn->fd = batch[i].fd;
+    conn->fd = a.fd;
     conn->accept_core = static_cast<int16_t>(index_);
     conn->serve_core = -1;
     conn->accepted_at = std::chrono::steady_clock::now();
@@ -608,10 +763,21 @@ void Reactor::AcceptBatch(const ListenSource& src) {
     size_t len_after = 0;
     if (!shared_->queues[qi]->Push(handle, &len_after)) {
       shared_->pool->Free(index_, handle);  // we just allocated it: local free
-      if (ShedOrDrop(batch[i].fd, qi, now)) {
+      if (ShedOrDrop(a.fd, qi, now)) {
         ++admission_sheds;
       } else {
         ++overflow_drops;
+      }
+      if (!io_->accepts_inline() && shared_->overload == OverloadPolicy::kLeaveInBacklog &&
+          src.watching) {
+        // A completion engine cannot stop draining mid-batch the way the
+        // accept4 gate does -- the kernel keeps accepting behind the
+        // multishot SQE. Going dormant is the equivalent backpressure:
+        // cancel the accept so later connections stay in the listen backlog
+        // until the ring has room again (RewatchSources).
+        io_->UnwatchListen(src.fd, io::MakeListenToken(src.fd, src.watch_gen));
+        ++src.watch_gen;
+        src.watching = false;
       }
       continue;
     }
@@ -621,15 +787,6 @@ void Reactor::AcceptBatch(const ListenSource& src) {
   // Stage 3: one flush per touched ring -- queue-length gauge and the
   // policy's EWMA/watermark update see the post-batch state once.
   hot_.accepted->fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
-  if (src.listener != nullptr) {
-    src.listener->accepted.fetch_add(static_cast<uint64_t>(n), std::memory_order_relaxed);
-  }
-  if (owner_accepts > 0) {
-    hot_.steer_owner_accepts->fetch_add(owner_accepts, std::memory_order_relaxed);
-  }
-  if (cross_accepts > 0) {
-    hot_.steer_cross_accepts->fetch_add(cross_accepts, std::memory_order_relaxed);
-  }
   if (overflow_drops > 0) {
     hot_.overflow_drops->fetch_add(overflow_drops, std::memory_order_relaxed);
   }
@@ -649,6 +806,26 @@ void Reactor::AcceptBatch(const ListenSource& src) {
     entry.moved = 0;
   }
   enq_.touched.clear();
+}
+
+void Reactor::RewatchSources(std::chrono::steady_clock::time_point now) {
+  for (ListenSource& src : sources_) {
+    if (src.watching) {
+      continue;
+    }
+    if (now < backoff_until_) {
+      continue;  // fd-exhaustion window: stay dormant, the backlog holds
+    }
+    if (shared_->overload == OverloadPolicy::kLeaveInBacklog) {
+      const AcceptRing& ring = *shared_->queues[src.qi];
+      if (ring.size() >= ring.capacity()) {
+        continue;  // still full: keep the burst queued in the kernel
+      }
+    }
+    if (io_->WatchListen(src.fd, io::MakeListenToken(src.fd, src.watch_gen))) {
+      src.watching = true;
+    }
+  }
 }
 
 int Reactor::ServeBatch() {
@@ -904,14 +1081,20 @@ void Reactor::Finish(ConnHandle handle, PendingConn* conn, svc::Verdict verdict)
 void Reactor::Arm(ConnHandle handle, PendingConn* conn, uint32_t want) {
   svc::ConnState& st = conn->svc;
   if (st.armed == want) {
-    return;  // level-triggered: the existing registration keeps firing
+    return;  // level-triggered epoll: the existing registration keeps
+             // firing. (A one-shot backend cleared armed at delivery, so a
+             // live uring poll is never spuriously skipped here.)
   }
-  epoll_event ev{};
-  ev.events = want;
-  ev.data.u64 = kConnTag | static_cast<uint64_t>(handle);
-  int op = st.armed == 0 ? EPOLL_CTL_ADD : EPOLL_CTL_MOD;
-  if (shared_->sys->EpollCtl(index_, ep_, op, conn->fd, &ev) != 0) {
-    // A connection epoll cannot watch would be held forever: fail it fast.
+  uint64_t token = io::MakeConnToken(handle, conn->io_gen.load(std::memory_order_relaxed));
+  if (st.armed != 0 && io_->oneshot_arms()) {
+    // Direction change with a one-shot still in flight (defensive; the
+    // reactor only re-arms after a delivery): cancel it so the stale
+    // direction cannot wake this conversation.
+    io_->CancelConn(conn->fd, token);
+  }
+  if (!io_->ArmConn(conn->fd, want, token, st.armed == 0)) {
+    // A connection the engine cannot watch would be held forever: fail it
+    // fast.
     CloseConn(handle, conn, /*rst=*/true);
     return;
   }
@@ -921,6 +1104,14 @@ void Reactor::Arm(ConnHandle handle, PendingConn* conn, uint32_t want) {
 void Reactor::CloseConn(ConnHandle handle, PendingConn* conn, bool rst) {
   svc::ConnState& st = conn->svc;
   svc::ConnHandler* handler = shared_->listeners[st.listener]->handler;
+  if (st.armed != 0) {
+    // Withdraw any in-flight one-shot poll (no-op for epoll, whose close()
+    // drops the registration). A completion that raced the cancel is
+    // rejected by the io_gen bump in FreeConn below.
+    io_->CancelConn(conn->fd,
+                    io::MakeConnToken(handle, conn->io_gen.load(std::memory_order_relaxed)));
+    st.armed = 0;
+  }
   if (st.opened && handler != nullptr) {
     svc::ConnRef ref{&st, conn->fd, index_, shared_->sys};
     handler->OnClose(ref);
@@ -954,6 +1145,9 @@ void Reactor::CloseConn(ConnHandle handle, PendingConn* conn, bool rst) {
 }
 
 void Reactor::FreeConn(ConnHandle handle) {
+  // Retire this block's reuse generation BEFORE the block can recycle: any
+  // event token minted for the old occupant is now recognizably stale.
+  shared_->pool->Get(handle)->io_gen.fetch_add(1, std::memory_order_relaxed);
   CoreId owner = shared_->pool->OwnerOf(handle);
   shared_->pool->Free(index_, handle);
   if (owner != index_) {

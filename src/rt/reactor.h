@@ -1,5 +1,6 @@
-// One reactor thread: pinned to a core, epoll loop over its listen shard,
-// serving connections from per-core accept rings with optional stealing.
+// One reactor thread: pinned to a core, an event loop (io::IoBackend --
+// epoll readiness or io_uring completions) over its listen shard, serving
+// connections from per-core accept rings with optional stealing.
 //
 // This is the live-socket counterpart of the simulator's accept paths in
 // src/stack/listen_socket.cc, in the same three arrangements:
@@ -39,6 +40,7 @@
 #include "src/fault/failure_domain.h"
 #include "src/fault/sys_iface.h"
 #include "src/fault/token_bucket.h"
+#include "src/io/io_backend.h"
 #include "src/obs/hwprof/hwprof.h"
 #include "src/obs/metrics.h"
 #include "src/obs/trace_ring.h"
@@ -70,10 +72,10 @@ enum class OverloadPolicy : uint8_t { kAcceptThenRst, kLeaveInBacklog };
 
 const char* OverloadPolicyName(OverloadPolicy policy);
 
-// Epoll user-data tagging: bit 63 set means the low 32 bits are a ConnHandle
-// (a held request/response connection); clear means the value is a listen fd.
-// Listen fds are nonnegative ints, so the tag bit can never collide.
-inline constexpr uint64_t kConnTag = 1ull << 63;
+// Event user-data tagging lives in src/io/io_backend.h (io::MakeConnToken /
+// io::MakeListenToken): bit 63 = connection handle + reuse generation,
+// otherwise a listen fd + watch generation. Both backends carry the token
+// verbatim (epoll_event.data.u64 / io_uring_sqe.user_data).
 
 // One logical listening endpoint multiplexed onto the reactor set. The
 // primary TCP listener is id 0 (the only one the FlowDirector steers);
@@ -160,6 +162,14 @@ struct ReactorShared {
   int num_reactors = 1;
   int accept_batch = 64;
   bool pin_threads = true;
+  // Which event engine each reactor runs (src/io). The Runtime resolves
+  // this BEFORE threads start (probe + fallback with a recorded reason);
+  // reactors still fall back per-thread if their own ring setup fails.
+  io::IoBackendKind backend = io::IoBackendKind::kEpoll;
+  // uring only: register startup listen fds as fixed files (one fd-table
+  // lookup less per accept completion). Off lets tests/bench isolate the
+  // effect.
+  bool uring_fixed_files = true;
   // 1 entry (stock) or one per reactor (fine/affinity).
   std::vector<std::unique_ptr<AcceptRing>> queues;
   // Per-core PendingConn slab pool (owned by the Runtime; never null while
@@ -248,13 +258,43 @@ class Reactor {
     int fd = -1;
     uint32_t qi = 0;
     RtListener* listener = nullptr;
+    // Completion backends only: whether a multishot accept is currently
+    // live for this fd (epoll registrations are permanent, so epoll leaves
+    // this true). Cleared by the accept's terminal CQE or a deliberate
+    // unwatch (kLeaveInBacklog dormancy); the per-iteration rewatch pass
+    // re-arms it.
+    bool watching = true;
+    // Watch generation carried in this source's listen tokens: gates the
+    // rewatch/error bits of late CQEs from a canceled accept epoch.
+    // Accepted fds in stale-generation CQEs are still real connections and
+    // are admitted regardless.
+    uint16_t watch_gen = 0;
   };
 
-  // Accepts from `src.fd` until EAGAIN or the batch limit; enqueues into
-  // the target rings (src.qi unless steering redirects), then reports
-  // each touched ring to the policy once. A reactor normally drains only
-  // its own sources; after a failover it also drains adopted shards.
-  void AcceptBatch(const ListenSource& src);
+  // One accepted-but-not-yet-admitted connection, staged on the stack
+  // between the kernel handing us the fd (accept4 drain or uring CQE) and
+  // AdmitBatch. `src` indexes sources_ (stable within one loop iteration).
+  struct Accepted {
+    int fd;
+    uint32_t qi;
+    uint32_t src;
+  };
+
+  // Readiness-backend accept path: drains accept4 on `sources_[src_idx]`
+  // until EAGAIN or the batch limit into a stack array (stage 1), then
+  // admits via AdmitBatch. A reactor normally drains only its own sources;
+  // after a failover it also drains adopted shards.
+  void AcceptBatch(size_t src_idx);
+  // Stages 2+3, shared by both engines: pool blocks + ring pushes per
+  // accepted connection (ShedOrDrop on a full ring or dry pool), then one
+  // flush per touched ring (gauges + policy EWMA) and the batch counters.
+  // Under a completion backend with kLeaveInBacklog, a full ring also
+  // unwatches the source (multishot accept would otherwise keep draining
+  // the backlog the policy wants to keep queued).
+  void AdmitBatch(const Accepted* batch, int n, std::chrono::steady_clock::time_point now);
+  // Completion backends: re-arm accepts on sources whose multishot
+  // terminated, once backoff and the kLeaveInBacklog ring gate allow.
+  void RewatchSources(std::chrono::steady_clock::time_point now);
   // Serves up to accept_batch queued connections; returns how many.
   // Dequeue-side policy reporting is flushed once at the end of the batch.
   int ServeBatch();
@@ -339,8 +379,15 @@ class Reactor {
   int index_;
   ReactorShared* shared_;
   uint64_t migrate_tick_ = 0;  // epochs elapsed on this reactor
-  int ep_ = -1;                // this reactor's epoll instance (Run() scope)
+  // This reactor's event engine (Run() scope). Built from shared_->backend;
+  // a uring Init failure falls back to a private epoll engine so one
+  // reactor's seccomp/rlimit quirk never takes the runtime down.
+  std::unique_ptr<io::IoBackend> io_;
   std::vector<ListenSource> sources_;
+  // Seeds watch_gen for each new ListenSource (startup and adoptions), so a
+  // re-adopted fd never reuses a generation whose terminal CQE may still be
+  // in flight.
+  uint16_t watch_gen_seed_ = 0;
   // How many of sources_ are startup sources; entries past this are
   // failover adoptions (released when the owner recovers).
   size_t base_sources_ = 0;

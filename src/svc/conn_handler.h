@@ -76,6 +76,7 @@ enum class WorkloadKind : uint8_t {
   kEcho,    // echo-N: mirror each request line back, N rounds per connection
   kStatic,  // in-memory object table keyed by the request line
   kThink,   // CPU burn before echoing (app::ComputeJob-style think time)
+  kStream,  // chunked static content: one response larger than any buffer
 };
 
 const char* WorkloadName(WorkloadKind kind);
@@ -91,6 +92,13 @@ struct HandlerParams {
   // kStatic: object table shape ("obj<i>" keys, deterministic contents).
   int num_objects = 64;
   int object_bytes = 512;
+  // kStream: each response is stream_chunks chunks of stream_chunk_bytes,
+  // staged one chunk at a time -- the total is framed up front, so the
+  // client sees one large response while the server never holds more than
+  // one chunk. Defaults give 64 KiB, comfortably past a loopback socket
+  // buffer, so the write path MUST park on kWantWrite mid-response.
+  int stream_chunk_bytes = 1024;
+  int stream_chunks = 64;
 };
 
 // Builds the built-in handler for `kind` (nullptr for kAccept: the reactor

@@ -57,6 +57,12 @@ struct ConnState {
 
   uint32_t req_len = 0;  // bytes staged in req_buf so far
 
+  // kStream: payload chunks still owed after the one currently staged in
+  // the response cursor. The handler restages the cursor (RestageChunk)
+  // each time it drains until this hits zero, so a multi-buffer response
+  // survives kWantWrite parking without the state machine growing a phase.
+  uint32_t stream_remaining = 0;
+
   // Response cursor. resp_data points into req_buf (echo/think) or into
   // handler-owned storage that outlives every connection (static content);
   // the handler never copies payload bytes.
@@ -91,6 +97,7 @@ struct ConnState {
     rounds_done = 0;
     armed = 0;
     req_len = 0;
+    stream_remaining = 0;
     resp_data = nullptr;
     resp_len = 0;
     resp_off = 0;

@@ -44,6 +44,8 @@ const char* WorkloadName(WorkloadKind kind) {
       return "static";
     case WorkloadKind::kThink:
       return "think";
+    case WorkloadKind::kStream:
+      return "stream";
   }
   return "?";
 }
@@ -57,6 +59,8 @@ bool ParseWorkload(const char* name, WorkloadKind* out) {
     *out = WorkloadKind::kStatic;
   } else if (std::strcmp(name, "think") == 0) {
     *out = WorkloadKind::kThink;
+  } else if (std::strcmp(name, "stream") == 0) {
+    *out = WorkloadKind::kStream;
   } else {
     return false;
   }
@@ -142,33 +146,38 @@ Verdict RequestResponseHandler::ReadPhase(const ConnRef& c) {
 
 Verdict RequestResponseHandler::WritePhase(const ConnRef& c) {
   ConnState* st = c.st;
-  while (st->head_off < st->head_len) {
-    ssize_t n = c.sys->Write(c.core, c.fd, st->head_buf + st->head_off,
-                             st->head_len - st->head_off);
-    if (n < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        return Verdict::kWantWrite;
+  for (;;) {
+    while (st->head_off < st->head_len) {
+      ssize_t n = c.sys->Write(c.core, c.fd, st->head_buf + st->head_off,
+                               st->head_len - st->head_off);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          return Verdict::kWantWrite;
+        }
+        if (errno == EINTR) {
+          continue;
+        }
+        return Verdict::kClose;  // EPIPE/ECONNRESET: peer gone mid-response
       }
-      if (errno == EINTR) {
-        continue;
-      }
-      return Verdict::kClose;  // EPIPE/ECONNRESET: peer gone mid-response
+      st->head_off += static_cast<uint32_t>(n);
     }
-    st->head_off += static_cast<uint32_t>(n);
-  }
-  while (st->resp_off < st->resp_len) {
-    ssize_t n = c.sys->Write(c.core, c.fd, st->resp_data + st->resp_off,
-                             st->resp_len - st->resp_off);
-    if (n < 0) {
-      if (errno == EAGAIN || errno == EWOULDBLOCK) {
-        return Verdict::kWantWrite;
+    while (st->resp_off < st->resp_len) {
+      ssize_t n = c.sys->Write(c.core, c.fd, st->resp_data + st->resp_off,
+                               st->resp_len - st->resp_off);
+      if (n < 0) {
+        if (errno == EAGAIN || errno == EWOULDBLOCK) {
+          return Verdict::kWantWrite;
+        }
+        if (errno == EINTR) {
+          continue;
+        }
+        return Verdict::kClose;
       }
-      if (errno == EINTR) {
-        continue;
-      }
-      return Verdict::kClose;
+      st->resp_off += static_cast<uint32_t>(n);
     }
-    st->resp_off += static_cast<uint32_t>(n);
+    if (!RestageChunk(c)) {
+      break;  // the staged cursor was the whole (or last chunk of the) response
+    }
   }
   // Round complete: stamp the latency, reset for the next request.
   ++st->rounds_done;
@@ -268,6 +277,39 @@ void ThinkHandler::BuildResponse(const ConnRef& c, uint32_t req_len) {
   StageHead(st, req_len);
 }
 
+StreamHandler::StreamHandler(int chunk_bytes, int chunks, int max_rounds)
+    : RequestResponseHandler(max_rounds),
+      chunk_bytes_(chunk_bytes < 1 ? 1u : static_cast<uint32_t>(chunk_bytes)),
+      chunks_(chunks < 1 ? 1u : static_cast<uint32_t>(chunks)) {
+  // Deterministic rotating fill so a test can spot a restage that re-sent
+  // stale cursor offsets (every chunk is byte-identical, offsets are not).
+  chunk_.resize(chunk_bytes_);
+  for (uint32_t i = 0; i < chunk_bytes_; ++i) {
+    chunk_[i] = static_cast<char>('a' + i % 26);
+  }
+}
+
+void StreamHandler::BuildResponse(const ConnRef& c, uint32_t req_len) {
+  (void)req_len;  // any request line gets the stream
+  ConnState* st = c.st;
+  // The header promises the FULL payload up front; the cursor only ever
+  // holds one chunk of it. stream_remaining is the restage budget.
+  StageHead(st, total_bytes());
+  st->resp_data = chunk_.data();
+  st->resp_len = chunk_bytes_;
+  st->stream_remaining = chunks_ - 1;
+}
+
+bool StreamHandler::RestageChunk(const ConnRef& c) {
+  ConnState* st = c.st;
+  if (st->stream_remaining == 0) {
+    return false;
+  }
+  --st->stream_remaining;
+  st->resp_off = 0;  // same immutable chunk, rewound
+  return true;
+}
+
 std::unique_ptr<ConnHandler> MakeHandler(WorkloadKind kind, const HandlerParams& params) {
   switch (kind) {
     case WorkloadKind::kAccept:
@@ -280,6 +322,9 @@ std::unique_ptr<ConnHandler> MakeHandler(WorkloadKind kind, const HandlerParams&
     case WorkloadKind::kThink:
       return std::unique_ptr<ConnHandler>(
           new ThinkHandler(params.think_us, params.echo_rounds));
+    case WorkloadKind::kStream:
+      return std::unique_ptr<ConnHandler>(new StreamHandler(
+          params.stream_chunk_bytes, params.stream_chunks, params.echo_rounds));
   }
   return nullptr;
 }

@@ -48,6 +48,17 @@ class RequestResponseHandler : public ConnHandler {
   // Writes the "<len>\n" framing header into c.st->head_buf.
   static void StageHead(ConnState* st, uint32_t payload_len);
 
+  // Called when the staged response cursor has fully drained. Return true
+  // after restaging more payload bytes for the SAME response (the framed
+  // total promised by the header must still be honored); false means the
+  // response is complete and the round ends. Lets a handler serve a
+  // response far larger than any staging buffer, one chunk at a time,
+  // surviving kWantWrite parking between chunks.
+  virtual bool RestageChunk(const ConnRef& c) {
+    (void)c;
+    return false;
+  }
+
  private:
   // The full state machine: read -> respond -> write, looping until EAGAIN
   // or a close decision.
@@ -96,6 +107,33 @@ class ThinkHandler : public RequestResponseHandler {
 
  private:
   int think_us_;
+};
+
+// Chunked static content: every request is answered with one response of
+// stream_chunks * stream_chunk_bytes payload bytes, framed with the total
+// up front but staged one chunk at a time through RestageChunk. The point
+// is depth in the WRITE half of the state machine: the response cannot fit
+// the socket buffer, so the connection must park on kWantWrite (and, under
+// the uring backend, re-arm a one-shot POLL_ADD) mid-response -- the
+// multi-buffer static-content shape of the paper's Figure 9 that the
+// single-buffer handlers above never exercise.
+class StreamHandler : public RequestResponseHandler {
+ public:
+  StreamHandler(int chunk_bytes, int chunks, int max_rounds);
+  const char* name() const override { return "stream"; }
+
+  uint32_t total_bytes() const { return chunk_bytes_ * chunks_; }
+
+ protected:
+  void BuildResponse(const ConnRef& c, uint32_t req_len) override;
+  bool RestageChunk(const ConnRef& c) override;
+
+ private:
+  // One immutable chunk shared by every connection and every restage;
+  // responses never copy payload, they re-point at this.
+  std::string chunk_;
+  uint32_t chunk_bytes_;
+  uint32_t chunks_;
 };
 
 // Busy-burns approximately `us` microseconds of CPU (steady-clock bounded).

@@ -1,0 +1,309 @@
+// Backend parity: the SAME workloads, assertions, and accounting run
+// against both I/O engines, so any divergence between the epoll readiness
+// path and the uring completion path shows up as a test diff, not a bench
+// anomaly. Uring cases GTEST_SKIP with the probe's reason when the kernel
+// refuses a ring (old kernel, seccomp) -- skipped loudly, never silently
+// green. This file runs under ThreadSanitizer in CI (rt_tests), which is
+// the TSan workout for the io_gen stale-completion defense.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <functional>
+#include <string>
+#include <thread>
+
+#include "src/fault/fault_plan.h"
+#include "src/io/uring_backend.h"
+#include "src/rt/load_client.h"
+#include "src/rt/runtime.h"
+
+namespace affinity {
+namespace rt {
+namespace {
+
+bool WaitFor(const std::function<bool()>& cond, std::chrono::milliseconds timeout) {
+  auto deadline = std::chrono::steady_clock::now() + timeout;
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (cond()) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  return cond();
+}
+
+void ExpectBooksBalance(const Runtime& runtime) {
+  RtTotals totals = runtime.Totals();
+  EXPECT_EQ(totals.open_conns, 0u);
+  EXPECT_EQ(totals.accepted, totals.accounted())
+      << "accepted=" << totals.accepted << " served=" << totals.served()
+      << " open=" << totals.open_conns << " aborted=" << totals.aborted_at_stop
+      << " drained=" << totals.drained_at_stop << " overflow=" << totals.overflow_drops
+      << " shed=" << totals.admission_shed;
+  ASSERT_NE(runtime.conn_pool(), nullptr);
+  EXPECT_EQ(runtime.conn_pool()->live_objects(), 0u);
+}
+
+void ExpectClientLedgerBalances(const LoadClient& client) {
+  EXPECT_EQ(client.attempted(), client.completed() + client.refused() + client.timeouts() +
+                                    client.port_busy() + client.errors() +
+                                    client.aborted_at_stop());
+}
+
+// Starts a runtime on `backend`, or skips the caller when the kernel cannot
+// actually deliver uring (probed via the runtime's own fallback: asking for
+// uring and landing on epoll IS unavailability).
+#define START_ON_BACKEND_OR_SKIP(runtime, kind)                                    \
+  do {                                                                             \
+    std::string start_error;                                                       \
+    ASSERT_TRUE((runtime).Start(&start_error)) << start_error;                     \
+    if ((runtime).io_backend() != (kind)) {                                        \
+      (runtime).Stop();                                                            \
+      GTEST_SKIP() << "uring unavailable: " << (runtime).backend_fallback_reason(); \
+    }                                                                              \
+  } while (0)
+
+struct BackendCase {
+  io::IoBackendKind kind;
+  const char* name;
+};
+const BackendCase kBackends[] = {
+    {io::IoBackendKind::kEpoll, "epoll"},
+    {io::IoBackendKind::kUring, "uring"},
+};
+
+TEST(RtBackendParityTest, EchoConversationsCompleteOnBothEngines) {
+  for (const BackendCase& backend : kBackends) {
+    SCOPED_TRACE(backend.name);
+    RtConfig config;
+    config.mode = RtMode::kAffinity;
+    config.num_threads = 2;
+    config.backend = backend.kind;
+    config.workload = svc::WorkloadKind::kEcho;
+    Runtime runtime(config);
+    {
+      std::string error;
+      ASSERT_TRUE(runtime.Start(&error)) << error;
+    }
+    if (backend.kind == io::IoBackendKind::kUring &&
+        runtime.io_backend() != io::IoBackendKind::kUring) {
+      // The kernel refused a ring; the epoll leg already ran, so skip only
+      // this leg -- loudly.
+      std::string reason = runtime.backend_fallback_reason();
+      runtime.Stop();
+      GTEST_SKIP() << "uring unavailable: " << reason;
+    }
+
+    constexpr uint64_t kConns = 120;
+    constexpr int kRounds = 4;
+    LoadClientConfig client_config;
+    client_config.port = runtime.port();
+    client_config.num_threads = 4;
+    client_config.max_conns = kConns;
+    client_config.workload = svc::WorkloadKind::kEcho;
+    client_config.requests_per_conn = kRounds;
+    client_config.payload_bytes = 48;
+    client_config.connect_timeout_ms = 2000;
+    LoadClient client(client_config);
+    client.Start();
+    client.WaitForMaxConns();
+    runtime.Stop();
+
+    EXPECT_GE(client.completed(), kConns);
+    EXPECT_GE(client.requests(), kConns * kRounds);
+    RtTotals totals = runtime.Totals();
+    EXPECT_GE(totals.requests, client.requests());
+    EXPECT_EQ(totals.request_latency_ns.count(), totals.requests);
+    // The locality ledger must not regress on the completion engine:
+    // affinity mode with unskewed load serves on the accepting core.
+    EXPECT_GE(totals.locality_fraction(), 0.9) << "locality collapsed on " << backend.name;
+    ExpectBooksBalance(runtime);
+    ExpectClientLedgerBalances(client);
+  }
+}
+
+TEST(RtBackendParityTest, StreamResponsesParkAndCompleteOnBothEngines) {
+  // 64 KiB responses cannot fit a loopback send buffer: every conversation
+  // must park on kWantWrite mid-response -- on uring that is the one-shot
+  // POLL_ADD re-arm path, the deepest write-side machinery the engine has.
+  for (const BackendCase& backend : kBackends) {
+    SCOPED_TRACE(backend.name);
+    RtConfig config;
+    config.mode = RtMode::kAffinity;
+    config.num_threads = 2;
+    config.backend = backend.kind;
+    config.workload = svc::WorkloadKind::kStream;
+    config.handler.stream_chunk_bytes = 4096;
+    config.handler.stream_chunks = 16;
+    Runtime runtime(config);
+    {
+      std::string error;
+      ASSERT_TRUE(runtime.Start(&error)) << error;
+    }
+    if (backend.kind == io::IoBackendKind::kUring &&
+        runtime.io_backend() != io::IoBackendKind::kUring) {
+      std::string reason = runtime.backend_fallback_reason();
+      runtime.Stop();
+      GTEST_SKIP() << "uring unavailable: " << reason;
+    }
+
+    constexpr uint64_t kConns = 60;
+    constexpr int kRounds = 2;
+    LoadClientConfig client_config;
+    client_config.port = runtime.port();
+    client_config.num_threads = 4;
+    client_config.max_conns = kConns;
+    client_config.workload = svc::WorkloadKind::kStream;
+    client_config.requests_per_conn = kRounds;
+    client_config.payload_bytes = 16;
+    client_config.connect_timeout_ms = 4000;
+    LoadClient client(client_config);
+    client.Start();
+    client.WaitForMaxConns();
+    runtime.Stop();
+
+    // The client verifies framing: a completed request means all 64 KiB
+    // arrived, byte-counted against the header's promise.
+    EXPECT_GE(client.completed(), kConns);
+    EXPECT_GE(client.requests(), kConns * kRounds);
+    EXPECT_GE(runtime.Totals().requests, client.requests());
+    ExpectBooksBalance(runtime);
+    ExpectClientLedgerBalances(client);
+  }
+}
+
+TEST(RtBackendParityTest, ForcedFallbackDegradesToEpollWithReason) {
+  RtConfig config;
+  config.mode = RtMode::kAffinity;
+  config.num_threads = 2;
+  config.backend = io::IoBackendKind::kUring;
+  config.uring_force_unavailable = true;
+  config.workload = svc::WorkloadKind::kEcho;
+  Runtime runtime(config);
+  std::string error;
+  ASSERT_TRUE(runtime.Start(&error)) << error;
+  // Degraded, not dead: epoll engine, explicit reason, working service.
+  EXPECT_EQ(runtime.io_backend(), io::IoBackendKind::kEpoll);
+  EXPECT_NE(runtime.backend_fallback_reason().find("forced unavailable"), std::string::npos)
+      << runtime.backend_fallback_reason();
+
+  LoadClientConfig client_config;
+  client_config.port = runtime.port();
+  client_config.num_threads = 2;
+  client_config.max_conns = 40;
+  client_config.workload = svc::WorkloadKind::kEcho;
+  client_config.requests_per_conn = 2;
+  client_config.connect_timeout_ms = 2000;
+  LoadClient client(client_config);
+  client.Start();
+  client.WaitForMaxConns();
+  runtime.Stop();
+
+  EXPECT_GE(client.completed(), 40u);
+  ExpectBooksBalance(runtime);
+  ExpectClientLedgerBalances(client);
+}
+
+TEST(RtBackendParityTest, EpollRunNeverFallsBackAndReportsNoReason) {
+  RtConfig config;
+  config.num_threads = 1;
+  config.backend = io::IoBackendKind::kEpoll;
+  Runtime runtime(config);
+  std::string error;
+  ASSERT_TRUE(runtime.Start(&error)) << error;
+  EXPECT_EQ(runtime.io_backend(), io::IoBackendKind::kEpoll);
+  EXPECT_TRUE(runtime.backend_fallback_reason().empty());
+  runtime.Stop();
+}
+
+TEST(RtBackendParityTest, ValidationRejectsContradictoryKnobs) {
+  // A fault plan aimed at uring sites cannot fire on an epoll run: the
+  // chaos experiment would silently measure nothing.
+  {
+    RtConfig config;
+    config.backend = io::IoBackendKind::kEpoll;
+    config.fault_plan = fault::FaultPlan::ReactorKill(/*core=*/0, /*after_calls=*/5,
+                                                      fault::CallSite::kUringWait);
+    std::string error;
+    EXPECT_FALSE(ValidateRtConfig(config, &error));
+    EXPECT_NE(error.find("uring_wait"), std::string::npos) << error;
+    Runtime runtime(config);
+    EXPECT_FALSE(runtime.Start(&error));
+  }
+  // And the mirror image: epoll-only sites on a uring run.
+  {
+    RtConfig config;
+    config.backend = io::IoBackendKind::kUring;
+    config.fault_plan = fault::FaultPlan::ReactorKill(/*core=*/0, /*after_calls=*/5,
+                                                      fault::CallSite::kEpollWait);
+    std::string error;
+    EXPECT_FALSE(ValidateRtConfig(config, &error));
+    EXPECT_NE(error.find("epoll_wait"), std::string::npos) << error;
+  }
+  // Forcing the uring probe to fail on a run that never probes is a
+  // misread experiment, not a no-op.
+  {
+    RtConfig config;
+    config.backend = io::IoBackendKind::kEpoll;
+    config.uring_force_unavailable = true;
+    std::string error;
+    EXPECT_FALSE(ValidateRtConfig(config, &error));
+  }
+  // The happy paths still validate.
+  {
+    RtConfig config;
+    config.backend = io::IoBackendKind::kUring;
+    config.fault_plan = fault::FaultPlan::ReactorKill(/*core=*/0, /*after_calls=*/5,
+                                                      fault::CallSite::kUringWait);
+    std::string error;
+    EXPECT_TRUE(ValidateRtConfig(config, &error)) << error;
+  }
+}
+
+TEST(RtBackendParityTest, UringReactorKillFailsOverAndBooksStayBalanced) {
+  // The chaos matrix on the completion engine: reactor 0 dies at its Nth
+  // uring wait, the watchdog fails it over, and conservation must hold
+  // through the wreckage -- every accepted fd in the dead reactor's CQEs
+  // included.
+  RtConfig config;
+  config.mode = RtMode::kAffinity;
+  config.num_threads = 2;
+  config.backend = io::IoBackendKind::kUring;
+  config.workload = svc::WorkloadKind::kEcho;
+  config.watchdog_timeout_ms = 100;
+  config.fault_plan = fault::FaultPlan::ReactorKill(/*core=*/0, /*after_calls=*/30,
+                                                    fault::CallSite::kUringWait);
+  Runtime runtime(config);
+  START_ON_BACKEND_OR_SKIP(runtime, io::IoBackendKind::kUring);
+
+  LoadClientConfig client_config;
+  client_config.port = runtime.port();
+  client_config.num_threads = 4;
+  client_config.workload = svc::WorkloadKind::kEcho;
+  client_config.requests_per_conn = 2;
+  client_config.connect_timeout_ms = 2000;
+  LoadClient client(client_config);
+  client.Start();
+
+  EXPECT_TRUE(WaitFor([&] { return runtime.Totals().failovers >= 1; }, std::chrono::seconds(15)))
+      << "watchdog never failed over the killed uring reactor";
+  // Service must continue on the survivor after the failover.
+  uint64_t requests_at_failover = runtime.Totals().requests;
+  EXPECT_TRUE(WaitFor([&] { return runtime.Totals().requests > requests_at_failover; },
+                      std::chrono::seconds(15)))
+      << "no request completed after the failover";
+
+  client.Stop();
+  runtime.Stop();
+
+  RtTotals totals = runtime.Totals();
+  EXPECT_GE(totals.failovers, 1u);
+  EXPECT_GE(totals.fault_injected, 1u);
+  ExpectBooksBalance(runtime);
+  ExpectClientLedgerBalances(client);
+}
+
+}  // namespace
+}  // namespace rt
+}  // namespace affinity

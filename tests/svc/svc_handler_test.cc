@@ -289,9 +289,71 @@ TEST(SvcHandlerTest, ThinkBurnsAtLeastTheConfiguredCpu) {
   EXPECT_EQ(sys.written, "4\nwork");
 }
 
+TEST(SvcHandlerTest, StreamServesTheFullFramedPayloadAcrossChunks) {
+  ScriptedSys sys;
+  sys.reads = {ScriptedSys::Data("go\n")};
+  // 4 chunks x 8 bytes: the header promises 32 up front, the cursor only
+  // ever stages 8.
+  StreamHandler handler(/*chunk_bytes=*/8, /*chunks=*/4, /*max_rounds=*/0);
+  ASSERT_EQ(handler.total_bytes(), 32u);
+  ConnState st;
+  ConnRef c = MakeConn(&st, &sys);
+
+  // Write script dry = every write accepted whole: the pump restages all
+  // four chunks inside one OnAccept and the round completes.
+  EXPECT_EQ(handler.OnAccept(c), Verdict::kWantRead);
+  std::string chunk = "abcdefgh";
+  EXPECT_EQ(sys.written, "32\n" + chunk + chunk + chunk + chunk);
+  EXPECT_EQ(st.rounds_done, 1);
+  EXPECT_EQ(st.stream_remaining, 0u);
+  EXPECT_EQ(st.phase, ConnPhase::kReading);
+}
+
+TEST(SvcHandlerTest, StreamParksOnWantWriteMidResponseAndResumes) {
+  ScriptedSys sys;
+  sys.reads = {ScriptedSys::Data("go\n")};
+  // Header lands whole, then the send buffer takes 5 bytes of chunk 1 and
+  // fills: the connection must park on kWantWrite MID-CHUNK with three
+  // whole chunks still owed -- the multi-buffer response depth the
+  // single-cursor handlers never reach.
+  sys.writes = {{3, 0}, {5, 0}, {0, 0}};
+  StreamHandler handler(/*chunk_bytes=*/8, /*chunks=*/4, /*max_rounds=*/0);
+  ConnState st;
+  ConnRef c = MakeConn(&st, &sys);
+
+  EXPECT_EQ(handler.OnAccept(c), Verdict::kWantWrite);
+  EXPECT_EQ(st.phase, ConnPhase::kWriting);
+  EXPECT_EQ(sys.written, "32\nabcde");
+  EXPECT_EQ(st.resp_off, 5u);
+  EXPECT_EQ(st.stream_remaining, 3u);
+  EXPECT_EQ(st.rounds_done, 0);
+
+  // EPOLLOUT fires; the script is dry so the tail of chunk 1 and the three
+  // restaged chunks flush whole, byte-exact against the framed total.
+  EXPECT_EQ(handler.OnWritable(c), Verdict::kWantRead);
+  std::string chunk = "abcdefgh";
+  EXPECT_EQ(sys.written, "32\n" + chunk + chunk + chunk + chunk);
+  EXPECT_EQ(st.rounds_done, 1);
+  EXPECT_EQ(st.stream_remaining, 0u);
+}
+
+TEST(SvcHandlerTest, StreamHonorsMaxRounds) {
+  ScriptedSys sys;
+  sys.reads = {ScriptedSys::Data("a\n"), ScriptedSys::Data("b\n")};
+  StreamHandler handler(/*chunk_bytes=*/4, /*chunks=*/2, /*max_rounds=*/2);
+  ConnState st;
+  ConnRef c = MakeConn(&st, &sys);
+
+  // Both requests buffered: two full streams, then the server-side close.
+  EXPECT_EQ(handler.OnAccept(c), Verdict::kClose);
+  EXPECT_EQ(sys.written, "8\nabcdabcd8\nabcdabcd");
+  EXPECT_EQ(st.rounds_done, 2);
+}
+
 TEST(SvcHandlerTest, WorkloadNamesRoundTrip) {
   for (WorkloadKind kind : {WorkloadKind::kAccept, WorkloadKind::kEcho,
-                            WorkloadKind::kStatic, WorkloadKind::kThink}) {
+                            WorkloadKind::kStatic, WorkloadKind::kThink,
+                            WorkloadKind::kStream}) {
     WorkloadKind parsed;
     ASSERT_TRUE(ParseWorkload(WorkloadName(kind), &parsed)) << WorkloadName(kind);
     EXPECT_EQ(parsed, kind);
@@ -312,6 +374,12 @@ TEST(SvcHandlerTest, MakeHandlerMatchesWorkloads) {
   auto think = MakeHandler(WorkloadKind::kThink, params);
   ASSERT_NE(think, nullptr);
   EXPECT_STREQ(think->name(), "think");
+  params.stream_chunk_bytes = 16;
+  params.stream_chunks = 8;
+  auto stream = MakeHandler(WorkloadKind::kStream, params);
+  ASSERT_NE(stream, nullptr);
+  EXPECT_STREQ(stream->name(), "stream");
+  EXPECT_EQ(static_cast<StreamHandler*>(stream.get())->total_bytes(), 128u);
 }
 
 TEST(SvcHandlerTest, ResetMakesABlockConversationFresh) {
@@ -322,6 +390,7 @@ TEST(SvcHandlerTest, ResetMakesABlockConversationFresh) {
   st.rounds_done = 7;
   st.armed = EPOLLOUT;
   st.req_len = 99;
+  st.stream_remaining = 6;
   st.resp_len = 5;
   st.open_prev = 3;
   st.Reset(/*listener_id=*/2);
@@ -332,6 +401,7 @@ TEST(SvcHandlerTest, ResetMakesABlockConversationFresh) {
   EXPECT_EQ(st.rounds_done, 0);
   EXPECT_EQ(st.armed, 0u);
   EXPECT_EQ(st.req_len, 0u);
+  EXPECT_EQ(st.stream_remaining, 0u);
   EXPECT_EQ(st.resp_len, 0u);
   EXPECT_EQ(st.open_prev, 0xFFFFFFFFu);
 }
