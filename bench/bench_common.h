@@ -70,6 +70,23 @@ struct BenchJsonRow {
   // non-empty. The committed epoll baselines predate the key and their
   // two-anchor scans never look for it.
   std::string io_backend;
+  // Hardware-topology block (src/topo): the resolved model plus the distance
+  // splits of the locality ledger, steals, and failover parking. Emitted
+  // only when has_topo is set -- appended after every pre-existing key, so
+  // the committed baselines keep their exact shape.
+  bool has_topo = false;
+  std::string topo_origin;  // "sysfs" / "scripted" / "flat"
+  int numa_nodes = 1;
+  int llc_domains = 1;
+  uint64_t req_same_llc = 0;
+  uint64_t req_cross_llc = 0;
+  uint64_t req_cross_node = 0;
+  uint64_t steal_same_llc = 0;
+  uint64_t steal_cross_llc = 0;
+  uint64_t steal_cross_node = 0;
+  uint64_t park_same_llc = 0;
+  uint64_t park_cross_llc = 0;
+  uint64_t park_cross_node = 0;
   std::string series_json;  // optional: rendered JSON array of intervals
 };
 
@@ -125,6 +142,20 @@ inline bool WriteBenchResultsJson(const std::string& path, const std::string& be
     }
     if (!row.io_backend.empty()) {
       w.Key("io_backend").String(row.io_backend);
+    }
+    if (row.has_topo) {
+      w.Key("topo_origin").String(row.topo_origin);
+      w.Key("numa_nodes").Int(row.numa_nodes);
+      w.Key("llc_domains").Int(row.llc_domains);
+      w.Key("req_same_llc").UInt(row.req_same_llc);
+      w.Key("req_cross_llc").UInt(row.req_cross_llc);
+      w.Key("req_cross_node").UInt(row.req_cross_node);
+      w.Key("steal_same_llc").UInt(row.steal_same_llc);
+      w.Key("steal_cross_llc").UInt(row.steal_cross_llc);
+      w.Key("steal_cross_node").UInt(row.steal_cross_node);
+      w.Key("park_same_llc").UInt(row.park_same_llc);
+      w.Key("park_cross_llc").UInt(row.park_cross_llc);
+      w.Key("park_cross_node").UInt(row.park_cross_node);
     }
     if (!row.series_json.empty()) {
       w.Key("intervals").Raw(row.series_json);

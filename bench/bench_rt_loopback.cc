@@ -130,6 +130,21 @@
 //                                     perf_event_paranoid, containers, CI --
 //                                     the hardware columns print "unavail"
 //                                     and the run still succeeds)
+//   --topo=auto|flat|script:<file>   (hardware-topology model for the runs:
+//                                     "auto" discovers core/LLC/NUMA placement
+//                                     from sysfs (degrading to flat with an
+//                                     explicit reason when sysfs cannot
+//                                     describe the host), "flat" skips
+//                                     discovery -- the topology-blind legacy
+//                                     behavior -- and "script:<file>" loads a
+//                                     scripted map ("core <id> node <n> llc
+//                                     <l> [smt <s>]" per line) so multi-socket
+//                                     steal orders and failover parking are
+//                                     visible on any host. Each run prints the
+//                                     resolved model and the distance split of
+//                                     remote requests / steals / failover
+//                                     parks; --json rows carry the same block.
+//                                     Default auto)
 
 #include <cstdio>
 #include <cstdlib>
@@ -149,6 +164,7 @@
 #include "src/rt/load_client.h"
 #include "src/rt/runtime.h"
 #include "src/steer/flow_director.h"
+#include "src/topo/scripted_source.h"
 #include "src/steer/skew.h"
 #include "src/svc/conn_handler.h"
 
@@ -182,6 +198,11 @@ struct Options {
   bool probe_uring = false;          // probe support and exit
   int stream_chunk = 1024;           // stream workload: bytes per chunk
   int stream_chunks = 64;            // stream workload: chunks per response
+  std::string topo = "auto";         // auto | flat | script:<file>
+  // Resolved from `topo` in main(), threaded into every run's RtConfig.
+  // The scripted source (non-owning; lives in main) must outlive all runs.
+  topo::TopoMode topo_mode = topo::TopoMode::kAuto;
+  topo::TopologySource* topo_source = nullptr;
 };
 
 bool ParseFlag(const char* arg, const char* name, const char** value) {
@@ -243,6 +264,8 @@ Options ParseOptions(int argc, char** argv) {
       opt.stream_chunk = atoi(v);
     } else if (ParseFlag(argv[i], "--stream-chunks", &v)) {
       opt.stream_chunks = atoi(v);
+    } else if (ParseFlag(argv[i], "--topo", &v)) {
+      opt.topo = v;
     } else if (strcmp(argv[i], "--probe-uring") == 0) {
       opt.probe_uring = true;
     } else if (ParseFlag(argv[i], "--hwprof", &v)) {
@@ -268,7 +291,8 @@ Options ParseOptions(int argc, char** argv) {
               "[--workload=accept|echo|static|think|stream] [--rpc=N] [--payload=N] "
               "[--think-us=N] [--stream-chunk=N] [--stream-chunks=N] [--sweep=N] "
               "[--sweep-policy=rst|backlog] [--hwprof=on|off] "
-              "[--backend=epoll|uring] [--probe-uring]\n",
+              "[--backend=epoll|uring] [--probe-uring] "
+              "[--topo=auto|flat|script:FILE]\n",
               argv[0]);
       exit(2);
     }
@@ -334,6 +358,11 @@ Options ParseOptions(int argc, char** argv) {
   }
   if (opt.stream_chunk < 1) opt.stream_chunk = 1;
   if (opt.stream_chunks < 1) opt.stream_chunks = 1;
+  if (opt.topo != "auto" && opt.topo != "flat" &&
+      opt.topo.compare(0, 7, "script:") != 0) {
+    fprintf(stderr, "unknown --topo=%s\n", opt.topo.c_str());
+    exit(2);
+  }
   if (opt.skew_groups > 0 && opt.workload != svc::WorkloadKind::kAccept) {
     // The skew experiment's convergence metric is per-connection locality;
     // deterministic source ports + request rounds compose fine, but keep
@@ -450,6 +479,51 @@ void FillLocalityRow(BenchJsonRow* row, const RunResult& r) {
   }
 }
 
+// Shared JSON fill for the hardware-topology block (mode rows and sweep
+// rows): the resolved model plus the distance splits of remote requests,
+// steals, and failover parks.
+void FillTopoRow(BenchJsonRow* row, const RunResult& r) {
+  const RtTotals& t = r.totals;
+  row->has_topo = true;
+  row->topo_origin = topo::TopoOriginName(t.topo_origin);
+  row->numa_nodes = t.numa_nodes;
+  row->llc_domains = t.llc_domains;
+  row->req_same_llc = t.requests_same_llc;
+  row->req_cross_llc = t.requests_cross_llc;
+  row->req_cross_node = t.requests_cross_node;
+  row->steal_same_llc = t.steals_same_llc;
+  row->steal_cross_llc = t.steals_cross_llc;
+  row->steal_cross_node = t.steals_cross_node;
+  row->park_same_llc = t.park_same_llc;
+  row->park_cross_llc = t.park_cross_llc;
+  row->park_cross_node = t.park_cross_node;
+}
+
+// One line per run: the resolved topology and where the remote traffic
+// landed on it. The three triplets are the same_llc/cross_llc/cross_node
+// split of remote-core requests, steals, and failover parks -- on a flat
+// model everything folds into the first slot (there is only one LLC).
+void PrintTopoLine(const std::string& label, const RunResult& r) {
+  const RtTotals& t = r.totals;
+  std::printf("    [%s] topo: %s nodes=%d llc=%d", label.c_str(),
+              topo::TopoOriginName(t.topo_origin), t.numa_nodes, t.llc_domains);
+  if (!t.topo_flat_reason.empty()) {
+    std::printf(" (%s)", t.topo_flat_reason.c_str());
+  }
+  std::printf("  req llc/xllc/xnode=%llu/%llu/%llu  steal=%llu/%llu/%llu"
+              "  park=%llu/%llu/%llu  numa-bound arenas=%d\n",
+              static_cast<unsigned long long>(t.requests_same_llc),
+              static_cast<unsigned long long>(t.requests_cross_llc),
+              static_cast<unsigned long long>(t.requests_cross_node),
+              static_cast<unsigned long long>(t.steals_same_llc),
+              static_cast<unsigned long long>(t.steals_cross_llc),
+              static_cast<unsigned long long>(t.steals_cross_node),
+              static_cast<unsigned long long>(t.park_same_llc),
+              static_cast<unsigned long long>(t.park_cross_llc),
+              static_cast<unsigned long long>(t.park_cross_node),
+              t.pool_numa_bound_cores);
+}
+
 // Renders the sampler's per-interval series as a JSON array: per-core
 // conns/sec and accept shares, total conns/sec, steal and remote-serve
 // rates, and cumulative steals/migrations per sample -- the skew
@@ -537,6 +611,8 @@ RunResult RunMode(const RunSpec& spec, const Options& opt) {
   config.steer_force_fallback = spec.force_fallback;
   config.migrate_interval_ms = spec.migrate_interval_ms;
   config.hwprof = opt.hwprof;
+  config.topo_mode = opt.topo_mode;
+  config.topo_source = opt.topo_source;
   config.overload = opt.sweep_policy == "backlog" ? OverloadPolicy::kLeaveInBacklog
                                                   : OverloadPolicy::kAcceptThenRst;
   if (opt.chaos != "none") {
@@ -694,6 +770,36 @@ bool ReadBaselineAffinityRate(const std::string& path, double* rate) {
 int main(int argc, char** argv) {
   Options opt = ParseOptions(argc, argv);
 
+  // Resolve --topo before any run: "flat" forces the topology-blind mode,
+  // "script:<file>" loads a map once into a source that outlives every run
+  // (each Runtime re-discovers from it at Start).
+  std::unique_ptr<topo::ScriptedTopologySource> scripted_topo;
+  if (opt.topo == "flat") {
+    opt.topo_mode = topo::TopoMode::kFlat;
+  } else if (opt.topo.compare(0, 7, "script:") == 0) {
+    std::string path = opt.topo.substr(7);
+    std::FILE* f = std::fopen(path.c_str(), "r");
+    if (f == nullptr) {
+      fprintf(stderr, "--topo: cannot read %s\n", path.c_str());
+      return 2;
+    }
+    std::string text;
+    char buf[4096];
+    size_t n = 0;
+    while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+      text.append(buf, n);
+    }
+    std::fclose(f);
+    topo::TopoMap map;
+    std::string error;
+    if (!topo::ParseTopologyScript(text, &map, &error)) {
+      fprintf(stderr, "--topo: %s: %s\n", path.c_str(), error.c_str());
+      return 2;
+    }
+    scripted_topo.reset(new topo::ScriptedTopologySource(std::move(map)));
+    opt.topo_source = scripted_topo.get();
+  }
+
   if (opt.probe_uring) {
     io::UringProbe probe = io::ProbeUringSupport();
     if (probe.available) {
@@ -724,6 +830,7 @@ int main(int argc, char** argv) {
   PrintKv("pinning", opt.pin ? "on" : "off");
   PrintKv("steering", opt.steer);
   PrintKv("hwprof", opt.hwprof ? "on" : "off");
+  PrintKv("topo", opt.topo);
   PrintKv("backend", compare_backends ? "epoll vs uring (head-to-head)" : opt.backend);
   if (opt.sweep_policy != "rst") {
     PrintKv("overload policy", opt.sweep_policy);
@@ -811,6 +918,7 @@ int main(int argc, char** argv) {
       row.refused_connect_p95_us = r.refused_connect_p95_us;
       FillLocalityRow(&row, r);
       row.overload_policy = opt.sweep_policy;
+      FillTopoRow(&row, r);
       json_rows.push_back(std::move(row));
     }
     table.Print();
@@ -926,6 +1034,7 @@ int main(int argc, char** argv) {
     if (spec.label == "steal-only") steal_only_remote_frac = SteadyRemoteFrac(r);
     if (spec.label == "migrate") migrate_remote_frac = SteadyRemoteFrac(r);
     if (!r.kernel_steering.empty()) live_steering = r.kernel_steering;
+    PrintTopoLine(spec.label, r);
     uint64_t served = r.totals.served();
     double local_pct =
         served > 0 ? 100.0 * static_cast<double>(r.totals.served_local) / static_cast<double>(served)
@@ -1001,6 +1110,7 @@ int main(int argc, char** argv) {
     if (compare_backends) {
       row.io_backend = io::IoBackendName(spec.backend);
     }
+    FillTopoRow(&row, r);
     if (!r.hwprof_reason.empty()) hwprof_reason = r.hwprof_reason;
     if (!r.intervals.empty()) {
       row.series_json = IntervalsToJson(r.intervals);

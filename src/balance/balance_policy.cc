@@ -3,10 +3,12 @@
 namespace affinity {
 
 WatermarkBalancePolicy::WatermarkBalancePolicy(int num_cores, int max_local_len,
-                                               const BalanceTuning& tuning)
+                                               const BalanceTuning& tuning,
+                                               const topo::Topology* topo)
     : num_cores_(num_cores),
+      topo_(topo),
       busy_(num_cores, max_local_len, tuning.high_watermark, tuning.low_watermark),
-      steals_(num_cores, tuning.steal_ratio) {}
+      steals_(num_cores, tuning.steal_ratio, topo) {}
 
 bool WatermarkBalancePolicy::OnEnqueue(CoreId core, size_t len_after) {
   return busy_.OnEnqueue(core, len_after);
@@ -72,8 +74,9 @@ uint64_t WatermarkBalancePolicy::transitions_to_nonbusy() const {
 }
 
 LockedBalancePolicy::LockedBalancePolicy(int num_cores, int max_local_len,
-                                         const BalanceTuning& tuning)
-    : inner_(num_cores, max_local_len, tuning) {}
+                                         const BalanceTuning& tuning,
+                                         const topo::Topology* topo)
+    : inner_(num_cores, max_local_len, tuning, topo) {}
 
 bool LockedBalancePolicy::OnEnqueue(CoreId core, size_t len_after) {
   std::lock_guard<std::mutex> lock(mu_);

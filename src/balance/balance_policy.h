@@ -123,8 +123,11 @@ class BalancePolicy {
 // Not thread-safe: the simulator runs it from one event loop.
 class WatermarkBalancePolicy : public BalancePolicy {
  public:
+  // `topo` (not owned, may be null = flat round-robin) orders each thief's
+  // victim scan by hardware distance; it must outlive the policy.
   WatermarkBalancePolicy(int num_cores, int max_local_len,
-                         const BalanceTuning& tuning = BalanceTuning{});
+                         const BalanceTuning& tuning = BalanceTuning{},
+                         const topo::Topology* topo = nullptr);
 
   bool OnEnqueue(CoreId core, size_t len_after) override;
   bool OnDequeue(CoreId core, size_t len_after) override;
@@ -151,9 +154,11 @@ class WatermarkBalancePolicy : public BalancePolicy {
   const BusyTracker& busy() const { return busy_; }
   StealPolicy& steals() { return steals_; }
   const StealPolicy& steals() const { return steals_; }
+  const topo::Topology* topology() const { return topo_; }
 
  private:
   int num_cores_;
+  const topo::Topology* topo_;
   BusyTracker busy_;
   StealPolicy steals_;
 };
@@ -165,7 +170,8 @@ class WatermarkBalancePolicy : public BalancePolicy {
 class LockedBalancePolicy : public BalancePolicy {
  public:
   LockedBalancePolicy(int num_cores, int max_local_len,
-                      const BalanceTuning& tuning = BalanceTuning{});
+                      const BalanceTuning& tuning = BalanceTuning{},
+                      const topo::Topology* topo = nullptr);
 
   bool OnEnqueue(CoreId core, size_t len_after) override;
   bool OnDequeue(CoreId core, size_t len_after) override;

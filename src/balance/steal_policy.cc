@@ -4,14 +4,48 @@
 
 namespace affinity {
 
-StealPolicy::StealPolicy(int num_cores, int local_ratio)
+StealPolicy::StealPolicy(int num_cores, int local_ratio, const topo::Topology* topo)
     : num_cores_(num_cores),
       local_ratio_(local_ratio),
       share_counter_(static_cast<size_t>(num_cores), 0),
-      next_victim_(static_cast<size_t>(num_cores), 0),
+      classes_(static_cast<size_t>(num_cores)),
+      cursors_(static_cast<size_t>(num_cores)),
       counts_(static_cast<size_t>(num_cores) * static_cast<size_t>(num_cores), 0) {
   assert(num_cores > 0);
   assert(local_ratio >= 1);
+  assert(topo == nullptr || topo->num_cores() >= num_cores);
+  for (int thief = 0; thief < num_cores; ++thief) {
+    std::vector<std::vector<CoreId>>& classes = classes_[static_cast<size_t>(thief)];
+    if (topo != nullptr) {
+      // Nearest distance class first (SMT sibling, same LLC, same node,
+      // cross node); the topology may describe more cores than we run, so
+      // clamp members to [0, num_cores).
+      for (const std::vector<CoreId>& members : topo->PeerClasses(thief)) {
+        std::vector<CoreId> kept;
+        for (CoreId peer : members) {
+          if (peer < num_cores) {
+            kept.push_back(peer);
+          }
+        }
+        if (!kept.empty()) {
+          classes.push_back(std::move(kept));
+        }
+      }
+    } else {
+      // No topology: one class of every other core, ascending -- the
+      // paper's plain round-robin.
+      std::vector<CoreId> all;
+      for (int peer = 0; peer < num_cores; ++peer) {
+        if (peer != thief) {
+          all.push_back(peer);
+        }
+      }
+      if (!all.empty()) {
+        classes.push_back(std::move(all));
+      }
+    }
+    cursors_[static_cast<size_t>(thief)].assign(classes.size(), 0);
+  }
 }
 
 bool StealPolicy::ShouldStealThisTime(CoreId core) {
@@ -25,18 +59,7 @@ CoreId StealPolicy::PickBusyVictim(CoreId thief, const BusyTracker& busy) {
   if (!busy.AnyBusy()) {
     return kNoCore;
   }
-  int start = next_victim_[static_cast<size_t>(thief)];
-  for (int i = 0; i < num_cores_; ++i) {
-    int candidate = (start + i) % num_cores_;
-    if (candidate == thief) {
-      continue;
-    }
-    if (busy.IsBusy(candidate)) {
-      next_victim_[static_cast<size_t>(thief)] = (candidate + 1) % num_cores_;
-      return candidate;
-    }
-  }
-  return kNoCore;
+  return Scan(thief, [&busy](CoreId candidate) { return busy.IsBusy(candidate); });
 }
 
 void StealPolicy::OnSteal(CoreId thief, CoreId victim) {

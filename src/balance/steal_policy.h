@@ -3,9 +3,13 @@
 // Non-busy cores steal connections from busy cores:
 //  - proportional-share scheduling between local and stolen connections at a
 //    configurable ratio (the paper settles on 5 local : 1 remote),
-//  - victims are chosen round-robin: "Each core keeps a count of the last
-//    remote core it stole from, and starts searching for the next busy core
-//    one past the last core",
+//  - victims are chosen nearest-first by hardware distance (same physical
+//    core, then same LLC, then same node, then remote -- the Table-1 cost
+//    cliff), round-robin WITHIN each distance class: "Each core keeps a
+//    count of the last remote core it stole from, and starts searching for
+//    the next busy core one past the last core". With no topology (or a
+//    flat one) there is a single class holding every other core, and the
+//    scan is byte-for-byte the paper's plain round-robin,
 //  - busy cores never steal,
 //  - per-victim steal counts feed flow-group migration (every 100 ms each
 //    non-busy core migrates one flow group from the victim it stole from the
@@ -19,39 +23,36 @@
 
 #include "src/balance/busy_tracker.h"
 #include "src/mem/cacheline.h"
+#include "src/topo/topology.h"
 
 namespace affinity {
 
 class StealPolicy {
  public:
-  // local_ratio N = accept N local connections for every 1 stolen.
-  StealPolicy(int num_cores, int local_ratio = 5);
+  // local_ratio N = accept N local connections for every 1 stolen. `topo`
+  // (not owned, may be null = flat) orders each thief's victim scan by
+  // distance; it must describe at least num_cores cores and outlive this
+  // policy.
+  StealPolicy(int num_cores, int local_ratio = 5, const topo::Topology* topo = nullptr);
 
   // Proportional share: given that `core` (non-busy) has local connections
   // available AND there is a busy core to steal from, should this accept()
   // take the remote connection? Advances the share counter.
   bool ShouldStealThisTime(CoreId core);
 
-  // Picks the next busy victim for `thief`, round-robin starting one past the
-  // last victim. Returns kNoCore if no other core is busy.
+  // Picks the nearest busy victim for `thief`: distance classes nearest
+  // first, round-robin within a class starting one past the last victim.
+  // Returns kNoCore if no other core is busy.
   CoreId PickBusyVictim(CoreId thief, const BusyTracker& busy);
 
-  // Round-robin scan over *all* remote cores with a queue-nonempty predicate,
-  // used by the polling path ("followed by remote non-busy cores").
+  // The same nearest-first scan with a queue-nonempty predicate, used by
+  // the polling path ("followed by remote non-busy cores"). `num_cores` is
+  // retained for signature stability; the victim set comes from the
+  // precomputed per-thief order.
   template <typename Pred>
   CoreId PickAnyVictim(CoreId thief, int num_cores, Pred has_connections) {
-    int start = next_victim_[static_cast<size_t>(thief)];
-    for (int i = 0; i < num_cores; ++i) {
-      int candidate = (start + i) % num_cores;
-      if (candidate == thief) {
-        continue;
-      }
-      if (has_connections(candidate)) {
-        next_victim_[static_cast<size_t>(thief)] = (candidate + 1) % num_cores;
-        return candidate;
-      }
-    }
-    return kNoCore;
+    (void)num_cores;
+    return Scan(thief, has_connections);
   }
 
   // Records a successful steal (feeds the migration heuristic).
@@ -71,17 +72,49 @@ class StealPolicy {
   void ResetTotal() { total_steals_ = 0; }
   int local_ratio() const { return local_ratio_; }
 
+  // `thief`'s precomputed victim order: distance classes nearest first,
+  // ascending core ids within a class (tests assert the GTran steal-list
+  // shape; flat = one class of all peers).
+  const std::vector<std::vector<CoreId>>& VictimClasses(CoreId thief) const {
+    return classes_[static_cast<size_t>(thief)];
+  }
+
  private:
   size_t Index(CoreId thief, CoreId victim) const {
     return static_cast<size_t>(thief) * static_cast<size_t>(num_cores_) +
            static_cast<size_t>(victim);
   }
 
+  // Nearest class first; within a class, round-robin from the cursor. The
+  // cursor advances to one past a hit, preserving the paper's fairness
+  // among equally-distant victims.
+  template <typename Pred>
+  CoreId Scan(CoreId thief, Pred wanted) {
+    const std::vector<std::vector<CoreId>>& classes = classes_[static_cast<size_t>(thief)];
+    std::vector<size_t>& cursors = cursors_[static_cast<size_t>(thief)];
+    for (size_t ci = 0; ci < classes.size(); ++ci) {
+      const std::vector<CoreId>& members = classes[ci];
+      size_t start = cursors[ci];
+      for (size_t i = 0; i < members.size(); ++i) {
+        size_t pos = (start + i) % members.size();
+        CoreId candidate = members[pos];
+        if (wanted(candidate)) {
+          cursors[ci] = (pos + 1) % members.size();
+          return candidate;
+        }
+      }
+    }
+    return kNoCore;
+  }
+
   int num_cores_;
   int local_ratio_;
-  std::vector<int> share_counter_;   // per core, cycles 0..local_ratio
-  std::vector<int> next_victim_;     // per core, round-robin cursor
-  std::vector<uint64_t> counts_;     // thief x victim steal counts (epoch)
+  std::vector<int> share_counter_;  // per core, cycles 0..local_ratio
+  // Per-thief victim classes (nearest first) and the per-class round-robin
+  // cursor (index into the class's member list).
+  std::vector<std::vector<std::vector<CoreId>>> classes_;
+  std::vector<std::vector<size_t>> cursors_;
+  std::vector<uint64_t> counts_;  // thief x victim steal counts (epoch)
   uint64_t total_steals_ = 0;
 };
 

@@ -6,13 +6,20 @@
 //  - every block is carved out of one per-core arena at construction, so a
 //    connection's steady-state lifecycle (alloc on accept, free on serve)
 //    performs zero heap allocations,
+//  - each arena is node-local to its owning core: construction maps it
+//    untouched and binds it to the core's NUMA node (mbind MPOL_PREFERRED
+//    when available, src/topo/numa_mem.h), and the owner's first Alloc
+//    threads the freelist -- the first touch, from the pinned reactor
+//    thread, so the kernel commits the pages on that node either way,
 //  - Alloc pops the owning core's plain freelist -- owner-only, no atomics
 //    on the common path,
 //  - Free on the owning core pushes back onto that freelist; Free on any
 //    other core CAS-pushes onto the owner's remote-free stack (a Treiber
 //    stack of block indices), so frees *return to the owner* instead of
 //    polluting the freeing core's pool -- the remote deallocation the paper
-//    measures as the slow path, made explicit and counted,
+//    measures as the slow path, made explicit and counted, split by how far
+//    the freeing core sits from the owner (same LLC / cross LLC / cross
+//    node -- the Table-1 cost cliff),
 //  - the owner reclaims its whole remote-free stack with one exchange when
 //    its local freelist runs dry (batch reclaim: one coherence miss per
 //    batch, not per block).
@@ -34,10 +41,13 @@
 #include <cassert>
 #include <cstdint>
 #include <memory>
+#include <new>
 #include <type_traits>
 
 #include "src/mem/cacheline.h"
 #include "src/mem/pool_stats.h"
+#include "src/topo/numa_mem.h"
+#include "src/topo/topology.h"
 
 namespace affinity {
 
@@ -51,21 +61,45 @@ class PerCorePool {
   using Handle = uint32_t;
   static constexpr Handle kNullHandle = 0xFFFFFFFFu;
 
-  PerCorePool(int num_cores, uint32_t blocks_per_core)
+  // `topo` (not owned, may be null = flat) places each core's arena on its
+  // NUMA node and classifies remote frees by distance; without it every
+  // arena binds to node 0's default policy and all remote frees count as
+  // same-LLC (one LLC is all a flat machine has).
+  PerCorePool(int num_cores, uint32_t blocks_per_core, const topo::Topology* topo = nullptr)
       : num_cores_(num_cores < 1 ? 1 : num_cores),
         blocks_per_core_(blocks_per_core < 1 ? 1 : blocks_per_core) {
     assert(num_cores_ <= kMaxCores);
     assert(blocks_per_core_ < (1u << kIndexBits));
+    assert(topo == nullptr || topo->num_cores() >= num_cores_);
     cores_.reset(new CoreState[static_cast<size_t>(num_cores_)]);
+    dist_bucket_.reset(new uint8_t[static_cast<size_t>(num_cores_) *
+                                   static_cast<size_t>(num_cores_)]);
+    for (int from = 0; from < num_cores_; ++from) {
+      for (int to = 0; to < num_cores_; ++to) {
+        int bucket = 1;  // flat: every remote peer shares the one LLC
+        if (topo != nullptr) {
+          bucket = topo::LedgerBucket(topo->Between(from, to));
+        }
+        dist_bucket_[static_cast<size_t>(from) * static_cast<size_t>(num_cores_) +
+                     static_cast<size_t>(to)] = static_cast<uint8_t>(bucket);
+      }
+    }
+    size_t arena_bytes = sizeof(Block) * static_cast<size_t>(blocks_per_core_);
     for (int core = 0; core < num_cores_; ++core) {
       CoreState& cs = cores_[static_cast<size_t>(core)];
-      cs.blocks.reset(new Block[blocks_per_core_]);
-      // Thread every block onto the local freelist, in index order.
-      for (uint32_t i = 0; i + 1 < blocks_per_core_; ++i) {
-        cs.blocks[i].next_free = i + 1;
-      }
-      cs.blocks[blocks_per_core_ - 1].next_free = kNoBlock;
-      cs.free_head = 0;
+      int node = topo != nullptr ? topo->node_of(core) : 0;
+      cs.arena = topo::AllocNodeArena(arena_bytes, node);
+      cs.blocks = static_cast<Block*>(cs.arena.base);
+      // Freelist threading is deferred to the owner's first Alloc: the
+      // arena's pages stay untouched here so the pinned reactor thread
+      // makes the first touch on its own node.
+    }
+  }
+
+  ~PerCorePool() {
+    // T is trivially destructible (static_assert above); just drop arenas.
+    for (int core = 0; core < num_cores_; ++core) {
+      topo::FreeNodeArena(cores_[static_cast<size_t>(core)].arena);
     }
   }
 
@@ -74,9 +108,13 @@ class PerCorePool {
 
   // Pops `core`'s freelist (reclaiming the remote-free stack when it runs
   // dry). Returns kNullHandle when the core's arena is exhausted. Owner
-  // thread only.
+  // thread only. The first call threads the freelist -- the arena's first
+  // touch, from the owning thread.
   Handle Alloc(CoreId core) {
     CoreState& cs = cores_[static_cast<size_t>(core)];
+    if (!cs.threaded) {
+      ThreadFreelist(&cs);
+    }
     if (cs.free_head == kNoBlock && !ReclaimRemoteFrees(&cs)) {
       return kNullHandle;
     }
@@ -114,14 +152,40 @@ class PerCorePool {
       cs.blocks[index].next_free = old_head;
     } while (!cs.remote_head.compare_exchange_weak(old_head, index, std::memory_order_release,
                                                    std::memory_order_relaxed));
-    // Counted against the *freeing* core's padded cell so the hot path
+    // Counted against the *freeing* core's padded cells so the hot path
     // never bounces a shared counter line.
-    cores_[static_cast<size_t>(core)].remote_frees.fetch_add(1, std::memory_order_relaxed);
-    cores_[static_cast<size_t>(core)].frees.fetch_add(1, std::memory_order_relaxed);
+    CoreState& freeing = cores_[static_cast<size_t>(core)];
+    freeing.remote_frees.fetch_add(1, std::memory_order_relaxed);
+    freeing.frees.fetch_add(1, std::memory_order_relaxed);
+    switch (dist_bucket_[static_cast<size_t>(core) * static_cast<size_t>(num_cores_) +
+                         static_cast<size_t>(owner)]) {
+      case 2:
+        freeing.remote_frees_cross_llc.fetch_add(1, std::memory_order_relaxed);
+        break;
+      case 3:
+        freeing.remote_frees_cross_node.fetch_add(1, std::memory_order_relaxed);
+        break;
+      default:  // same LLC / SMT sibling; bucket 0 needs owner == core
+        freeing.remote_frees_same_llc.fetch_add(1, std::memory_order_relaxed);
+        break;
+    }
   }
 
   int num_cores() const { return num_cores_; }
   uint32_t blocks_per_core() const { return blocks_per_core_; }
+
+  // Cores whose arena the kernel accepted an mbind node binding for (0 on
+  // hosts without mbind or when the heap fallback allocator served the
+  // arena). Exposed for the locality ledger and the allocation-free test.
+  int numa_bound_cores() const {
+    int bound = 0;
+    for (int core = 0; core < num_cores_; ++core) {
+      if (cores_[static_cast<size_t>(core)].arena.bound) {
+        ++bound;
+      }
+    }
+    return bound;
+  }
 
   // Summed over every core's padded cells; safe mid-run (relaxed counters,
   // monotone, so a live read is merely slightly stale).
@@ -133,6 +197,12 @@ class PerCorePool {
       stats.frees += cs.frees.load(std::memory_order_relaxed);
       stats.remote_frees += cs.remote_frees.load(std::memory_order_relaxed);
       stats.recycled += cs.recycled.load(std::memory_order_relaxed);
+      stats.remote_frees_same_llc +=
+          cs.remote_frees_same_llc.load(std::memory_order_relaxed);
+      stats.remote_frees_cross_llc +=
+          cs.remote_frees_cross_llc.load(std::memory_order_relaxed);
+      stats.remote_frees_cross_node +=
+          cs.remote_frees_cross_node.load(std::memory_order_relaxed);
     }
     return stats;
   }
@@ -154,21 +224,39 @@ class PerCorePool {
   struct alignas(kCacheLineBytes) CoreState {
     // Owner-only local freelist (no atomics: one reactor drives one core).
     uint32_t free_head = kNoBlock;
-    std::unique_ptr<Block[]> blocks;
+    bool threaded = false;  // freelist built (owner's first Alloc)
+    Block* blocks = nullptr;  // carved out of `arena`, constructed on threading
+    topo::NodeArena arena;
     // Blocks freed by other cores, awaiting batch reclaim by the owner.
     alignas(kCacheLineBytes) std::atomic<uint32_t> remote_head{kNoBlock};
-    // Stats cells: written by the owning thread only (remote_frees by the
-    // *freeing* thread's own cell), read by anyone.
+    // Stats cells: written by the owning thread only (remote_free cells by
+    // the *freeing* thread's own row), read by anyone.
     alignas(kCacheLineBytes) std::atomic<uint64_t> allocs{0};
     std::atomic<uint64_t> frees{0};
     std::atomic<uint64_t> remote_frees{0};
     std::atomic<uint64_t> recycled{0};
+    std::atomic<uint64_t> remote_frees_same_llc{0};
+    std::atomic<uint64_t> remote_frees_cross_llc{0};
+    std::atomic<uint64_t> remote_frees_cross_node{0};
   };
 
   static Handle MakeHandle(CoreId core, uint32_t index) {
     return (static_cast<Handle>(static_cast<uint32_t>(core)) << kIndexBits) | index;
   }
   static uint32_t IndexOf(Handle handle) { return handle & ((1u << kIndexBits) - 1); }
+
+  // Constructs every block in the arena and threads them onto the local
+  // freelist in index order. Runs on the owner thread's first Alloc: these
+  // writes are the pages' first touch, so first-touch placement lands them
+  // on the node mbind preferred.
+  void ThreadFreelist(CoreState* cs) {
+    for (uint32_t i = 0; i < blocks_per_core_; ++i) {
+      Block* block = new (&cs->blocks[i]) Block;
+      block->next_free = (i + 1 < blocks_per_core_) ? i + 1 : kNoBlock;
+    }
+    cs->free_head = 0;
+    cs->threaded = true;
+  }
 
   // Takes the whole remote-free chain in one exchange and splices it onto
   // the local freelist. Returns false when there was nothing to reclaim.
@@ -193,6 +281,9 @@ class PerCorePool {
   int num_cores_;
   uint32_t blocks_per_core_;
   std::unique_ptr<CoreState[]> cores_;
+  // Freeing-core x owner-core LedgerBucket matrix (0 self, 1 same LLC,
+  // 2 cross LLC, 3 cross node), precomputed so Free stays branch-cheap.
+  std::unique_ptr<uint8_t[]> dist_bucket_;
 };
 
 }  // namespace affinity

@@ -81,6 +81,12 @@ void Reactor::ResolveHotCells() {
   hot_.requests = m->Cell(ids.requests, index_);
   hot_.requests_local_core = m->Cell(ids.requests_local_core, index_);
   hot_.requests_remote_core = m->Cell(ids.requests_remote_core, index_);
+  hot_.requests_dist[0] = m->Cell(ids.requests_same_llc, index_);
+  hot_.requests_dist[1] = m->Cell(ids.requests_cross_llc, index_);
+  hot_.requests_dist[2] = m->Cell(ids.requests_cross_node, index_);
+  hot_.steals_dist[0] = m->Cell(ids.steals_same_llc, index_);
+  hot_.steals_dist[1] = m->Cell(ids.steals_cross_llc, index_);
+  hot_.steals_dist[2] = m->Cell(ids.steals_cross_node, index_);
   hot_.conn_migrations = m->Cell(ids.conn_migrations, index_);
   hot_.aborted_at_stop = m->Cell(ids.aborted_at_stop, index_);
   hot_.conn_open = m->Cell(ids.conn_open, index_);
@@ -870,6 +876,10 @@ void Reactor::FlushDequeues() {
 void Reactor::RecordSteal(CoreId victim, size_t victim_len_after) {
   shared_->policy->OnSteal(index_, victim);
   hot_.steals->fetch_add(1, std::memory_order_relaxed);
+  // Distance ledger: how far this steal reached. LedgerBucket is never 0
+  // here (a core does not steal from itself).
+  int bucket = topo::LedgerBucket(shared_->topo->Between(index_, victim));
+  hot_.steals_dist[bucket - 1]->fetch_add(1, std::memory_order_relaxed);
   if (shared_->trace != nullptr) {
     obs::TraceEvent event;
     event.type = obs::TraceEventType::kSteal;
@@ -976,6 +986,12 @@ void Reactor::Serve(ConnHandle handle, bool local) {
   // can queue a conn on a third core's ring -- the ledger compares CORES.
   conn->serve_core = static_cast<int16_t>(index_);
   bool core_local = conn->accept_core == static_cast<int16_t>(index_);
+  // Distance ledger: how far this request travelled from its accepting
+  // core (0 local, then LedgerBucket's same-LLC / cross-LLC / cross-node).
+  int dist_bucket = core_local
+                        ? 0
+                        : topo::LedgerBucket(shared_->topo->Between(
+                              static_cast<CoreId>(conn->accept_core), index_));
   if (!core_local) {
     hot_.conn_migrations->fetch_add(1, std::memory_order_relaxed);
   }
@@ -989,8 +1005,12 @@ void Reactor::Serve(ConnHandle handle, bool local) {
     } else {
       ++batch_served_remote_;
     }
-    (core_local ? hot_.requests_local_core : hot_.requests_remote_core)
-        ->fetch_add(1, std::memory_order_relaxed);
+    if (core_local) {
+      hot_.requests_local_core->fetch_add(1, std::memory_order_relaxed);
+    } else {
+      hot_.requests_remote_core->fetch_add(1, std::memory_order_relaxed);
+      hot_.requests_dist[dist_bucket - 1]->fetch_add(1, std::memory_order_relaxed);
+    }
     char byte = 'A';
     (void)send(conn->fd, &byte, 1, MSG_NOSIGNAL);
     shared_->sys->Close(index_, conn->fd);
@@ -1005,6 +1025,7 @@ void Reactor::Serve(ConnHandle handle, bool local) {
   svc::ConnState& st = conn->svc;
   st.remote_served = !local;
   st.accept_local = core_local;
+  st.accept_dist = static_cast<uint8_t>(dist_bucket);
   st.opened = true;
   OpenListAdd(handle, conn);
   ++open_count_;
@@ -1049,10 +1070,15 @@ void Reactor::NoteRounds(PendingConn* conn, uint16_t prev_rounds) {
   uint32_t delta = static_cast<uint32_t>(done - prev_rounds);
   hot_.requests->fetch_add(delta, std::memory_order_relaxed);
   // Ledger: these rounds ran on the core recorded at Serve() time. A held
-  // connection never changes reactors mid-conversation, so the bit set
+  // connection never changes reactors mid-conversation, so the bucket set
   // there is exact for every round.
-  (conn->svc.accept_local ? hot_.requests_local_core : hot_.requests_remote_core)
-      ->fetch_add(delta, std::memory_order_relaxed);
+  if (conn->svc.accept_local) {
+    hot_.requests_local_core->fetch_add(delta, std::memory_order_relaxed);
+  } else {
+    hot_.requests_remote_core->fetch_add(delta, std::memory_order_relaxed);
+    hot_.requests_dist[conn->svc.accept_dist - 1]->fetch_add(delta,
+                                                             std::memory_order_relaxed);
+  }
   // One handler call can complete several rounds back-to-back (requests
   // already queued in the socket buffer); the per-round latencies are then
   // within one pump of each other, so the last one stands in for the batch.

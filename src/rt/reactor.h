@@ -48,6 +48,7 @@
 #include "src/sim/stats.h"
 #include "src/steer/flow_director.h"
 #include "src/svc/conn_handler.h"
+#include "src/topo/topology.h"
 
 namespace affinity {
 namespace rt {
@@ -154,6 +155,16 @@ struct RtMetricIds {
   obs::MetricsRegistry::MetricId requests_local_core = 0;
   obs::MetricsRegistry::MetricId requests_remote_core = 0;
   obs::MetricsRegistry::MetricId conn_migrations = 0;
+  // Distance split of the remote half of the ledger (src/topo LedgerBucket):
+  // same_llc + cross_llc + cross_node == requests_remote_core, always. A
+  // flat topology folds every remote request into same_llc.
+  obs::MetricsRegistry::MetricId requests_same_llc = 0;
+  obs::MetricsRegistry::MetricId requests_cross_llc = 0;
+  obs::MetricsRegistry::MetricId requests_cross_node = 0;
+  // The same split for successful steals (thief vs victim distance).
+  obs::MetricsRegistry::MetricId steals_same_llc = 0;
+  obs::MetricsRegistry::MetricId steals_cross_llc = 0;
+  obs::MetricsRegistry::MetricId steals_cross_node = 0;
 };
 
 // State shared by every reactor of one Runtime.
@@ -178,6 +189,10 @@ struct ReactorShared {
   ConnPool* pool = nullptr;
   // Thread-safe policy (LockedBalancePolicy); null outside affinity mode.
   BalancePolicy* policy = nullptr;
+  // Hardware distance model (owned by the Runtime; never null while
+  // reactors run -- flat on hosts without sysfs topology). Classifies every
+  // remote serve and steal into the distance ledger.
+  const topo::Topology* topo = nullptr;
   // Live metrics (owned by the Runtime; never null while reactors run).
   obs::MetricsRegistry* metrics = nullptr;
   RtMetricIds ids;
@@ -422,6 +437,10 @@ class Reactor {
     std::atomic<uint64_t>* requests = nullptr;
     std::atomic<uint64_t>* requests_local_core = nullptr;
     std::atomic<uint64_t>* requests_remote_core = nullptr;
+    // Distance ledger cells, indexed by LedgerBucket - 1 (0 = same LLC,
+    // 1 = cross LLC, 2 = cross node).
+    std::atomic<uint64_t>* requests_dist[3] = {nullptr, nullptr, nullptr};
+    std::atomic<uint64_t>* steals_dist[3] = {nullptr, nullptr, nullptr};
     std::atomic<uint64_t>* conn_migrations = nullptr;
     std::atomic<uint64_t>* aborted_at_stop = nullptr;
     std::atomic<uint64_t>* conn_open = nullptr;  // gauge cell

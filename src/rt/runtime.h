@@ -35,6 +35,7 @@
 #include "src/sim/stats.h"
 #include "src/steer/flow_director.h"
 #include "src/svc/conn_handler.h"
+#include "src/topo/topology.h"
 
 namespace affinity {
 namespace rt {
@@ -107,6 +108,20 @@ struct RtConfig {
   // Test seam: a scripted CounterSource (not owned). Null = the real
   // perf_event_open source.
   obs::hwprof::CounterSource* hwprof_source = nullptr;
+
+  // --- hardware topology (src/topo) ---
+
+  // kAuto discovers core -> SMT / LLC / NUMA placement from sysfs at
+  // Start() and degrades to a flat single-node model with a recorded
+  // reason; kFlat skips discovery entirely (the pre-topology behaviour,
+  // for baselines and A/B runs). The resolved model orders steal victims,
+  // failover parking, and pool arena placement, and splits the locality
+  // ledger by distance.
+  topo::TopoMode topo_mode = topo::TopoMode::kAuto;
+  // Test seam: a scripted TopologySource (not owned). Null = the real
+  // sysfs source. Contradicts topo_mode=kFlat (rejected by validation:
+  // a scripted topology on a run that discards it was a misread test).
+  topo::TopologySource* topo_source = nullptr;
 
   // --- request/response service layer (src/svc) ---
 
@@ -183,6 +198,26 @@ struct RtTotals {
   uint64_t requests_local_core = 0;
   uint64_t requests_remote_core = 0;
   uint64_t conn_migrations = 0;
+  // Distance split of the remote half (src/topo LedgerBucket): same_llc +
+  // cross_llc + cross_node == requests_remote_core in every mode (flat
+  // folds all remote traffic into same_llc).
+  uint64_t requests_same_llc = 0;
+  uint64_t requests_cross_llc = 0;
+  uint64_t requests_cross_node = 0;
+  // Steals by thief-to-victim distance (sums to steals).
+  uint64_t steals_same_llc = 0;
+  uint64_t steals_cross_llc = 0;
+  uint64_t steals_cross_node = 0;
+  // Failover parking moves by dead-owner-to-target distance.
+  uint64_t park_same_llc = 0;
+  uint64_t park_cross_llc = 0;
+  uint64_t park_cross_node = 0;
+  // The resolved hardware topology behind the distance classes.
+  topo::TopoOrigin topo_origin = topo::TopoOrigin::kFlat;
+  int numa_nodes = 1;
+  int llc_domains = 1;
+  std::string topo_flat_reason;  // empty unless the model degraded to flat
+  int pool_numa_bound_cores = 0;  // arenas the kernel accepted an mbind for
   // Hardware profile (config.hwprof): whole-run extrapolated estimates from
   // the sampled phase attributions; zero when the PMU was unavailable.
   bool hwprof_enabled = false;
@@ -267,6 +302,11 @@ class Runtime {
   // any time (obs::ToPrometheusText / obs::ToJson / obs::StatsSampler).
   const obs::MetricsRegistry& metrics() const { return *metrics_; }
 
+  // The resolved hardware topology (after Start()); never null while the
+  // reactors run. Flat either by config (topo_mode=kFlat) or degradation
+  // (topology()->flat_reason() says why).
+  const topo::Topology* topology() const { return topo_.get(); }
+
   // Balancer decision trace; null when config.trace_capacity == 0.
   const obs::TraceRing* trace() const { return trace_.get(); }
 
@@ -315,6 +355,7 @@ class Runtime {
   std::vector<std::unique_ptr<svc::ConnHandler>> handlers_;
   std::vector<uint16_t> listener_ports_;
   std::vector<std::string> listener_paths_;
+  std::unique_ptr<topo::Topology> topo_;
   std::unique_ptr<ConnPool> pool_;
   std::unique_ptr<LockedBalancePolicy> policy_;
   std::unique_ptr<steer::FlowDirector> director_;

@@ -102,22 +102,49 @@ size_t FlowDirector::FailOverCore(CoreId dead, BalancePolicy* policy, uint64_t t
   if (num_cores < 2) {
     return 0;  // nowhere to park the groups
   }
-  // Survivor rotation: prefer cores the policy reads as non-busy so the
-  // failover load spreads away from hot peers; if everything is busy (or
-  // forced busy), spread over all survivors anyway -- a dead owner is worse
-  // than a loaded one. Lock order: director mutex, then policy mutex.
-  std::vector<CoreId> targets;
-  for (CoreId c = 0; c < num_cores; ++c) {
-    if (c != dead && !policy->IsBusy(c)) {
-      targets.push_back(c);
+  // Survivor rotation: nearest distance class first, and within the scan
+  // prefer cores the policy reads as non-busy so the failover load spreads
+  // away from hot peers. The first class holding a non-busy survivor
+  // absorbs all the groups (paying a cross-LLC or cross-node park only when
+  // every nearer core is busy); if every survivor is busy, the nearest
+  // non-empty class takes them anyway -- a dead owner is worse than a
+  // loaded one. Without a topology both passes degrade to the ascending
+  // all-survivors scan. Lock order: director mutex, then policy mutex.
+  std::vector<std::vector<CoreId>> classes;
+  if (config_.topo != nullptr) {
+    for (const std::vector<CoreId>& members : config_.topo->PeerClasses(dead)) {
+      std::vector<CoreId> kept;
+      for (CoreId peer : members) {
+        if (peer < num_cores) {
+          kept.push_back(peer);
+        }
+      }
+      if (!kept.empty()) {
+        classes.push_back(std::move(kept));
+      }
     }
-  }
-  if (targets.empty()) {
+  } else {
+    std::vector<CoreId> all;
     for (CoreId c = 0; c < num_cores; ++c) {
       if (c != dead) {
+        all.push_back(c);
+      }
+    }
+    classes.push_back(std::move(all));
+  }
+  std::vector<CoreId> targets;
+  for (const std::vector<CoreId>& members : classes) {
+    for (CoreId c : members) {
+      if (!policy->IsBusy(c)) {
         targets.push_back(c);
       }
     }
+    if (!targets.empty()) {
+      break;
+    }
+  }
+  if (targets.empty()) {
+    targets = classes.front();
   }
   std::vector<FailedOverGroup>& parked = failed_over_[static_cast<size_t>(dead)];
   parked.clear();
@@ -129,7 +156,38 @@ size_t FlowDirector::FailOverCore(CoreId dead, BalancePolicy* policy, uint64_t t
     }
     CoreId target = targets[moved % targets.size()];
     table_.Set(group, target);
-    parked.push_back(FailedOverGroup{group, target});
+    // A group that an earlier failover parked ON `dead` belongs to some
+    // other core's recovery, not dead's: retarget that record in place so
+    // the original owner still reclaims it, and keep it out of dead's own
+    // parking list (otherwise dead's recovery would steal it).
+    bool forwarded = false;
+    for (int owner = 0; owner < num_cores; ++owner) {
+      if (owner == dead) {
+        continue;
+      }
+      for (FailedOverGroup& fg : failed_over_[static_cast<size_t>(owner)]) {
+        if (fg.group == group && fg.target == dead) {
+          fg.target = target;
+          forwarded = true;
+        }
+      }
+    }
+    if (!forwarded) {
+      parked.push_back(FailedOverGroup{group, target});
+    }
+    switch (config_.topo != nullptr
+                ? topo::LedgerBucket(config_.topo->Between(dead, target))
+                : 1) {
+      case 2:
+        ++park_distances_.cross_llc;
+        break;
+      case 3:
+        ++park_distances_.cross_node;
+        break;
+      default:  // same LLC (or SMT sibling); bucket 0 needs target == dead
+        ++park_distances_.same_llc;
+        break;
+    }
     Migration m;
     m.group = group;
     m.from_core = dead;
@@ -192,6 +250,11 @@ std::vector<Migration> FlowDirector::history() const {
 uint64_t FlowDirector::migrations() const {
   std::lock_guard<std::mutex> lock(mu_);
   return history_.size();
+}
+
+ParkDistances FlowDirector::park_distances() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return park_distances_;
 }
 
 uint64_t FlowDirector::cbpf_updates() const {

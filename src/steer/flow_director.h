@@ -39,6 +39,7 @@
 #include "src/balance/balance_policy.h"
 #include "src/fault/sys_iface.h"
 #include "src/steer/steering_table.h"
+#include "src/topo/topology.h"
 
 namespace affinity {
 namespace steer {
@@ -70,6 +71,19 @@ struct FlowDirectorConfig {
   // Syscall surface for the cBPF attach; nullptr = real setsockopt. Chaos
   // runs pass the FaultInjector to exercise the kFallback degradation.
   fault::SysIface* sys = nullptr;
+  // Hardware distance model (not owned, may be null = flat). Failover parks
+  // a dead core's groups on its nearest surviving peers instead of plain
+  // round-robin over all survivors.
+  const topo::Topology* topo = nullptr;
+};
+
+// Cumulative distance classification of failover parking moves (how far each
+// group travelled from its dead owner). Flat topology folds everything into
+// same_llc, keeping the ledger conservation law intact.
+struct ParkDistances {
+  uint64_t same_llc = 0;
+  uint64_t cross_llc = 0;   // different LLC, same node
+  uint64_t cross_node = 0;
 };
 
 class FlowDirector {
@@ -108,12 +122,20 @@ class FlowDirector {
 
   // --- failure domains (src/fault watchdog failover) ---
 
-  // Mass-migrates every group owned by `dead` to the surviving cores,
-  // round-robin over cores the policy does not consider busy (so one
-  // failover cannot bury an already-overloaded peer). Records each move in
-  // the migration history, remembers (group, target) pairs for RecoverCore,
-  // and reprograms the kernel once. Returns the number of groups moved.
-  // Called by the failover winner under the runtime's failover mutex.
+  // Mass-migrates every group owned by `dead` to the surviving cores.
+  // Targets come from the dead core's nearest distance class with a
+  // non-busy member (same LLC before same node before remote; plain
+  // round-robin over all survivors without a topology), rotating over that
+  // class's non-busy members so one failover cannot bury an already-
+  // overloaded peer; if every survivor is busy the nearest non-empty class
+  // absorbs the groups anyway -- a dead owner is worse than a loaded one.
+  // Records each move in the migration history, remembers (group, target)
+  // pairs for RecoverCore, and reprograms the kernel once. Groups that were
+  // themselves parked on `dead` by an earlier failover are chain-forwarded:
+  // their original owner's parking record is retargeted so *its* recovery
+  // still finds them, and they do not enter `dead`'s own record. Returns
+  // the number of groups moved. Called by the failover winner under the
+  // runtime's failover mutex.
   size_t FailOverCore(CoreId dead, BalancePolicy* policy, uint64_t tick);
 
   // Reverses FailOverCore: groups that are still where the failover parked
@@ -124,6 +146,9 @@ class FlowDirector {
 
   std::vector<Migration> history() const;
   uint64_t migrations() const;
+  // Cumulative dead-owner -> park-target distance classification across all
+  // FailOverCore calls (monotonic; recovery does not subtract).
+  ParkDistances park_distances() const;
   // Successful program re-attaches / updates skipped because the exception
   // list outgrew the program budget (table still authoritative via the
   // user-space re-steer).
@@ -153,6 +178,7 @@ class FlowDirector {
     CoreId target = kNoCore;
   };
   std::vector<std::vector<FailedOverGroup>> failed_over_;
+  ParkDistances park_distances_;
 };
 
 }  // namespace steer

@@ -47,6 +47,10 @@ struct ConnState {
   // nor the serving core. Requests completed on this connection count into
   // rt_requests_local_core / rt_requests_remote_core by this bit.
   bool accept_local = true;
+  // Distance class of serving core vs accepting core (src/topo LedgerBucket:
+  // 0 local, 1 same LLC, 2 cross LLC, 3 cross node). Refines accept_local
+  // into the split distance ledger; always 0 when accept_local.
+  uint8_t accept_dist = 0;
   bool opened = false;         // OnAccept ran; OnClose is owed exactly once
 
   uint16_t rounds_done = 0;  // completed request/response rounds
@@ -93,6 +97,7 @@ struct ConnState {
     listener = listener_id;
     remote_served = false;
     accept_local = true;
+    accept_dist = 0;
     opened = false;
     rounds_done = 0;
     armed = 0;

@@ -1,0 +1,93 @@
+#include "src/topo/numa_mem.h"
+
+#include <cstring>
+#include <new>
+
+#if defined(__linux__)
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+#endif
+
+namespace affinity {
+namespace topo {
+
+namespace {
+
+#if defined(__linux__) && defined(SYS_mbind)
+// <numaif.h> ships with libnuma-dev; define the two constants we need so
+// the raw syscall works on a bare toolchain.
+#ifndef MPOL_PREFERRED
+#define MPOL_PREFERRED 1
+#endif
+
+constexpr int kNodeMaskLongs = 8;  // 512 possible nodes, plenty
+constexpr unsigned long kMaxNode = kNodeMaskLongs * sizeof(unsigned long) * 8;
+
+bool MbindPreferred(void* base, size_t bytes, int node) {
+  if (node < 0 || static_cast<unsigned long>(node) >= kMaxNode) {
+    return false;
+  }
+  unsigned long mask[kNodeMaskLongs];
+  std::memset(mask, 0, sizeof(mask));
+  mask[static_cast<size_t>(node) / (sizeof(unsigned long) * 8)] |=
+      1ul << (static_cast<size_t>(node) % (sizeof(unsigned long) * 8));
+  long rc = syscall(SYS_mbind, base, bytes, MPOL_PREFERRED, mask, kMaxNode, 0u);
+  return rc == 0;
+}
+#endif
+
+}  // namespace
+
+bool MbindAvailable() {
+#if defined(__linux__) && defined(SYS_mbind)
+  return true;
+#else
+  return false;
+#endif
+}
+
+NodeArena AllocNodeArena(size_t bytes, int node) {
+  NodeArena arena;
+  arena.bytes = bytes;
+#if defined(__linux__)
+  void* base = mmap(nullptr, bytes, PROT_READ | PROT_WRITE,
+                    MAP_PRIVATE | MAP_ANONYMOUS, -1, 0);
+  if (base != MAP_FAILED) {
+    arena.base = base;
+    arena.mapped = true;
+#if defined(SYS_mbind)
+    // Policy first, pages later: the owner reactor's first touch commits
+    // each page under the preferred-node policy. A refused bind (single
+    // node, sandbox seccomp, node offline) leaves first-touch in charge.
+    arena.bound = MbindPreferred(base, bytes, node);
+#else
+    (void)node;
+#endif
+    return arena;
+  }
+#else
+  (void)node;
+#endif
+  arena.base = ::operator new(bytes, std::nothrow);
+  if (arena.base != nullptr) {
+    std::memset(arena.base, 0, bytes);
+  }
+  return arena;
+}
+
+void FreeNodeArena(const NodeArena& arena) {
+  if (arena.base == nullptr) {
+    return;
+  }
+#if defined(__linux__)
+  if (arena.mapped) {
+    munmap(arena.base, arena.bytes);
+    return;
+  }
+#endif
+  ::operator delete(arena.base);
+}
+
+}  // namespace topo
+}  // namespace affinity

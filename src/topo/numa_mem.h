@@ -1,0 +1,38 @@
+// Node-local arena allocation for the per-core pools, without libnuma
+// (the container bakes in no extra deps): anonymous mmap plus a raw
+// mbind(2) syscall expressing MPOL_PREFERRED for the owner's node. The
+// pages are left untouched, so even when mbind is unavailable the owner
+// reactor's lazy freelist threading first-touches them from its pinned
+// thread -- the kernel's default first-touch policy then places them
+// node-local anyway. Plain heap allocation is the final fallback; every
+// rung is reported, never silent.
+
+#ifndef AFFINITY_SRC_TOPO_NUMA_MEM_H_
+#define AFFINITY_SRC_TOPO_NUMA_MEM_H_
+
+#include <cstddef>
+
+namespace affinity {
+namespace topo {
+
+struct NodeArena {
+  void* base = nullptr;
+  size_t bytes = 0;
+  bool mapped = false;  // mmap (true) vs ::operator new (false)
+  bool bound = false;   // mbind(MPOL_PREFERRED, node) accepted
+};
+
+// Allocates `bytes` of zeroed, page-backed memory, preferring NUMA node
+// `node` (node < 0 skips the bind). Falls back to the heap when mmap is
+// refused. Returns base == nullptr only when both paths fail.
+NodeArena AllocNodeArena(size_t bytes, int node);
+
+void FreeNodeArena(const NodeArena& arena);
+
+// Whether this build/kernel exposes the mbind syscall at all.
+bool MbindAvailable();
+
+}  // namespace topo
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_TOPO_NUMA_MEM_H_

@@ -1,0 +1,93 @@
+#include "src/topo/scripted_source.h"
+
+#include <sstream>
+#include <vector>
+
+namespace affinity {
+namespace topo {
+
+bool ParseTopologyScript(const std::string& text, TopoMap* out, std::string* error) {
+  out->cores.clear();
+  std::vector<bool> seen;
+  std::istringstream lines(text);
+  std::string line;
+  int lineno = 0;
+  while (std::getline(lines, line)) {
+    ++lineno;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) {
+      line.erase(hash);
+    }
+    std::istringstream words(line);
+    std::string keyword;
+    if (!(words >> keyword)) {
+      continue;  // blank / comment-only line
+    }
+    if (keyword != "core") {
+      *error = "line " + std::to_string(lineno) + ": expected 'core', got '" + keyword + "'";
+      return false;
+    }
+    int id = -1;
+    if (!(words >> id) || id < 0 || id >= kMaxCores) {
+      *error = "line " + std::to_string(lineno) + ": bad core id";
+      return false;
+    }
+    CorePlace place;
+    std::string key;
+    while (words >> key) {
+      int value = 0;
+      if (!(words >> value)) {
+        *error = "line " + std::to_string(lineno) + ": '" + key + "' needs a value";
+        return false;
+      }
+      if (key == "node") {
+        place.node = value;
+      } else if (key == "llc") {
+        place.llc = value;
+      } else if (key == "smt") {
+        place.smt = value;
+      } else {
+        *error = "line " + std::to_string(lineno) + ": unknown key '" + key + "'";
+        return false;
+      }
+    }
+    if (static_cast<size_t>(id) >= out->cores.size()) {
+      out->cores.resize(static_cast<size_t>(id) + 1);
+      seen.resize(static_cast<size_t>(id) + 1, false);
+    }
+    if (seen[static_cast<size_t>(id)]) {
+      *error = "line " + std::to_string(lineno) + ": core " + std::to_string(id) +
+               " described twice";
+      return false;
+    }
+    seen[static_cast<size_t>(id)] = true;
+    out->cores[static_cast<size_t>(id)] = place;
+  }
+  if (out->cores.empty()) {
+    *error = "no 'core' lines";
+    return false;
+  }
+  for (size_t i = 0; i < seen.size(); ++i) {
+    if (!seen[i]) {
+      *error = "core " + std::to_string(i) + " missing (ids must cover [0, n))";
+      return false;
+    }
+  }
+  return true;
+}
+
+TopoMap TwoSocketMap(int num_cores) {
+  TopoMap map;
+  map.cores.resize(static_cast<size_t>(num_cores < 2 ? 2 : num_cores));
+  int half = static_cast<int>(map.cores.size()) / 2;
+  for (size_t i = 0; i < map.cores.size(); ++i) {
+    int node = static_cast<int>(i) < half ? 0 : 1;
+    map.cores[i].node = node;
+    map.cores[i].llc = node;
+    map.cores[i].smt = -1;
+  }
+  return map;
+}
+
+}  // namespace topo
+}  // namespace affinity

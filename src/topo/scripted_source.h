@@ -1,0 +1,51 @@
+// Scripted topology for tests and bench runs: a TopologySource built from
+// an explicit TopoMap (or a small text script), so multi-socket steal
+// orders, failover parking, and node-local arenas are testable on any
+// single-socket CI host -- the same role obs::hwprof::ScriptedCounterSource
+// plays for the PMU.
+
+#ifndef AFFINITY_SRC_TOPO_SCRIPTED_SOURCE_H_
+#define AFFINITY_SRC_TOPO_SCRIPTED_SOURCE_H_
+
+#include <string>
+#include <utility>
+
+#include "src/topo/topology.h"
+
+namespace affinity {
+namespace topo {
+
+class ScriptedTopologySource : public TopologySource {
+ public:
+  explicit ScriptedTopologySource(TopoMap map) : map_(std::move(map)) {}
+
+  TopoOrigin origin() const override { return TopoOrigin::kScripted; }
+
+  bool Discover(int num_cores, TopoMap* out, std::string* why) override {
+    if (static_cast<int>(map_.cores.size()) < num_cores) {
+      *why = "scripted topology describes " + std::to_string(map_.cores.size()) +
+             " cores, run needs " + std::to_string(num_cores);
+      return false;
+    }
+    out->cores.assign(map_.cores.begin(), map_.cores.begin() + num_cores);
+    return true;
+  }
+
+ private:
+  TopoMap map_;
+};
+
+// Parses the bench's --topo=script:<file> format: one core per line,
+//   core <id> node <n> llc <l> [smt <s>]
+// '#' starts a comment; blank lines are skipped. Core ids must form a
+// contiguous [0, n) set. False with *error set on malformed input.
+bool ParseTopologyScript(const std::string& text, TopoMap* out, std::string* error);
+
+// Canned 2-socket map used by tests and the CI topo leg: cores [0, n/2) on
+// node 0 / LLC 0, the rest on node 1 / LLC 1, no SMT.
+TopoMap TwoSocketMap(int num_cores);
+
+}  // namespace topo
+}  // namespace affinity
+
+#endif  // AFFINITY_SRC_TOPO_SCRIPTED_SOURCE_H_

@@ -1,0 +1,215 @@
+// The real TopologySource: reads the kernel's sysfs topology tree. The
+// root directory is a constructor parameter so tests parse canned trees
+// from a temp dir; the degradation contract is that ANY malformed or
+// missing piece that would leave the distance model guessing returns false
+// with a reason, and the caller runs flat -- loudly, never wrongly.
+
+#include <sys/stat.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "src/topo/topology.h"
+
+namespace affinity {
+namespace topo {
+
+namespace {
+
+bool DirExists(const std::string& path) {
+  struct stat st;
+  return stat(path.c_str(), &st) == 0 && S_ISDIR(st.st_mode);
+}
+
+// Reads a small sysfs attribute; false when the file is absent/unreadable.
+bool ReadFileToString(const std::string& path, std::string* out) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) {
+    return false;
+  }
+  char buf[4096];
+  size_t n = std::fread(buf, 1, sizeof(buf) - 1, f);
+  std::fclose(f);
+  buf[n] = '\0';
+  out->assign(buf, n);
+  return true;
+}
+
+bool ReadInt(const std::string& path, int* out) {
+  std::string text;
+  if (!ReadFileToString(path, &text)) {
+    return false;
+  }
+  char* end = nullptr;
+  long value = std::strtol(text.c_str(), &end, 10);
+  if (end == text.c_str()) {
+    return false;
+  }
+  *out = static_cast<int>(value);
+  return true;
+}
+
+class SysfsTopologySource : public TopologySource {
+ public:
+  explicit SysfsTopologySource(std::string root) : root_(std::move(root)) {}
+
+  TopoOrigin origin() const override { return TopoOrigin::kSysfs; }
+
+  bool Discover(int num_cores, TopoMap* out, std::string* why) override {
+    std::string cpu_root = root_ + "/devices/system/cpu";
+    // Contiguous cpu dirs with a topology/ subtree; the pinning rule
+    // (listener.h) is cpu = index % online, so partial exposure past the
+    // first gap does not matter.
+    int ncpu = 0;
+    while (ncpu < kMaxCores &&
+           DirExists(cpu_root + "/cpu" + std::to_string(ncpu) + "/topology")) {
+      ++ncpu;
+    }
+    if (ncpu == 0) {
+      *why = "no cpu topology under " + cpu_root;
+      return false;
+    }
+
+    // NUMA node -> cpu membership, from node*/cpulist. A host (or canned
+    // tree) without node dirs falls back to physical_package_id per cpu.
+    std::vector<std::vector<int>> node_cpus;
+    std::string node_root = root_ + "/devices/system/node";
+    for (int node = 0; node < kMaxCores; ++node) {
+      std::string dir = node_root + "/node" + std::to_string(node);
+      if (!DirExists(dir)) {
+        break;
+      }
+      std::string text;
+      if (!ReadFileToString(dir + "/cpulist", &text)) {
+        *why = dir + "/cpulist unreadable";
+        return false;
+      }
+      std::vector<int> cpus;
+      if (!ParseCpuList(text, &cpus)) {
+        *why = dir + "/cpulist malformed: '" + text + "'";
+        return false;
+      }
+      node_cpus.push_back(std::move(cpus));
+    }
+
+    out->cores.clear();
+    out->cores.resize(static_cast<size_t>(num_cores));
+    for (int i = 0; i < num_cores; ++i) {
+      int cpu = i % ncpu;
+      std::string cpu_dir = cpu_root + "/cpu" + std::to_string(cpu);
+      CorePlace& place = out->cores[static_cast<size_t>(i)];
+
+      // SMT sibling group: first cpu of thread_siblings_list labels the
+      // physical core. Absent info = no sibling class for this core.
+      std::string text;
+      if (ReadFileToString(cpu_dir + "/topology/thread_siblings_list", &text)) {
+        std::vector<int> siblings;
+        if (!ParseCpuList(text, &siblings)) {
+          *why = cpu_dir + "/topology/thread_siblings_list malformed: '" + text + "'";
+          return false;
+        }
+        place.smt = siblings.empty() ? -1 : siblings[0];
+      }
+
+      // LLC domain: first cpu of the L3's shared_cpu_list. Absent (hybrid
+      // parts, stripped trees) stays -1 -- FromMap degrades it to the node
+      // boundary.
+      if (ReadFileToString(cpu_dir + "/cache/index3/shared_cpu_list", &text)) {
+        std::vector<int> sharers;
+        if (!ParseCpuList(text, &sharers)) {
+          *why = cpu_dir + "/cache/index3/shared_cpu_list malformed: '" + text + "'";
+          return false;
+        }
+        place.llc = sharers.empty() ? -1 : sharers[0];
+      }
+
+      // NUMA node: membership in node*/cpulist, else the package id.
+      place.node = 0;
+      bool found = false;
+      for (size_t node = 0; node < node_cpus.size(); ++node) {
+        for (int member : node_cpus[node]) {
+          if (member == cpu) {
+            place.node = static_cast<int>(node);
+            found = true;
+            break;
+          }
+        }
+        if (found) {
+          break;
+        }
+      }
+      if (!found) {
+        int package = 0;
+        if (!node_cpus.empty()) {
+          *why = "cpu" + std::to_string(cpu) + " in no node*/cpulist";
+          return false;
+        }
+        if (ReadInt(cpu_dir + "/topology/physical_package_id", &package)) {
+          place.node = package;
+        }
+      }
+    }
+    return true;
+  }
+
+ private:
+  std::string root_;
+};
+
+}  // namespace
+
+bool ParseCpuList(const std::string& text, std::vector<int>* out) {
+  out->clear();
+  size_t i = 0;
+  // Trim trailing whitespace/newline; an empty list ("\n") is valid sysfs
+  // (a node with no cpus).
+  size_t end = text.size();
+  while (end > 0 && (text[end - 1] == '\n' || text[end - 1] == ' ' ||
+                     text[end - 1] == '\t' || text[end - 1] == '\r')) {
+    --end;
+  }
+  if (end == 0) {
+    return true;
+  }
+  while (i < end) {
+    char* stop = nullptr;
+    long first = std::strtol(text.c_str() + i, &stop, 10);
+    size_t used = static_cast<size_t>(stop - text.c_str());
+    if (stop == text.c_str() + i || first < 0 || used > end) {
+      return false;
+    }
+    i = used;
+    long last = first;
+    if (i < end && text[i] == '-') {
+      ++i;
+      last = std::strtol(text.c_str() + i, &stop, 10);
+      used = static_cast<size_t>(stop - text.c_str());
+      if (stop == text.c_str() + i || last < first || used > end) {
+        return false;
+      }
+      i = used;
+    }
+    for (long cpu = first; cpu <= last; ++cpu) {
+      out->push_back(static_cast<int>(cpu));
+    }
+    if (i < end) {
+      if (text[i] != ',') {
+        return false;
+      }
+      ++i;
+      if (i >= end) {
+        return false;  // trailing comma
+      }
+    }
+  }
+  return true;
+}
+
+std::unique_ptr<TopologySource> MakeSysfsTopologySource(std::string root) {
+  return std::unique_ptr<TopologySource>(new SysfsTopologySource(std::move(root)));
+}
+
+}  // namespace topo
+}  // namespace affinity

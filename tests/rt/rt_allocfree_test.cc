@@ -17,8 +17,11 @@
 #include <string>
 #include <thread>
 
+#include "src/mem/conn_pool.h"
 #include "src/rt/load_client.h"
 #include "src/rt/runtime.h"
+#include "src/topo/numa_mem.h"
+#include "src/topo/scripted_source.h"
 
 namespace {
 
@@ -228,6 +231,123 @@ INSTANTIATE_TEST_SUITE_P(AllModes, RtSvcAllocFreeTest,
                          [](const ::testing::TestParamInfo<RtMode>& mode_info) {
                            return std::string(RtModeName(mode_info.param));
                          });
+
+// The node-local arena path: the pool's hot cycle -- freelist pops, remote
+// CAS-pushes across every distance class, batch reclaim -- must stay heap-
+// allocation-free whether the arena got its mbind (node-local page policy
+// active) or runs on the unbound default-policy fallback. Construction and
+// the first-touch freelist threading are one-time costs outside the window.
+void ChurnPoolInWindow(PerCorePool<uint64_t>* pool) {
+  // First Alloc per core threads the freelist (the deliberate first touch);
+  // keep that one-time cost out of the counted window.
+  for (int core = 0; core < 4; ++core) {
+    PerCorePool<uint64_t>::Handle h = pool->Alloc(core);
+    ASSERT_NE(PerCorePool<uint64_t>::kNullHandle, h);
+    pool->Free(core, h);
+  }
+  g_news.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_release);
+  for (int round = 0; round < 2000; ++round) {
+    PerCorePool<uint64_t>::Handle h = pool->Alloc(0);
+    ASSERT_NE(PerCorePool<uint64_t>::kNullHandle, h);
+    // Rotate the freeing core over self / same-LLC / cross-node so every
+    // distance-classed counter bump and the owner's batch reclaim run
+    // inside the window.
+    pool->Free(static_cast<CoreId>(round % 4), h);
+  }
+  g_counting.store(false, std::memory_order_release);
+  EXPECT_EQ(g_news.load(std::memory_order_relaxed), 0u)
+      << "pool hot path allocated from the heap";
+  EXPECT_EQ(pool->live_objects(), 0u);
+}
+
+TEST(RtPoolNodeLocalAllocFreeTest, BoundArenasServeTheHotPathWithoutHeap) {
+  topo::Topology topo =
+      topo::Topology::FromMap(topo::TwoSocketMap(4), topo::TopoOrigin::kScripted);
+  PerCorePool<uint64_t> pool(4, 256, &topo);
+  // The scripted map names node 1 whether or not the host has one: arenas
+  // whose scripted node the kernel lacks stay unbound (first-touch still
+  // places them), so the count can land anywhere in [0, 4] -- but with a map
+  // that only names node 0, the bind is all-or-nothing.
+  int bound = pool.numa_bound_cores();
+  EXPECT_GE(bound, 0);
+  EXPECT_LE(bound, 4);
+  topo::Topology one_node = topo::Topology::Flat(4, "allocfree one-node probe");
+  PerCorePool<uint64_t> uniform_pool(4, 8, &one_node);
+  int uniform_bound = uniform_pool.numa_bound_cores();
+  EXPECT_TRUE(uniform_bound == 0 || uniform_bound == 4) << uniform_bound;
+  if (!topo::MbindAvailable()) {
+    EXPECT_EQ(0, bound);
+    EXPECT_EQ(0, uniform_bound);
+  }
+  ChurnPoolInWindow(&pool);
+  SlabStats stats = pool.StatsSnapshot();
+  EXPECT_EQ(stats.remote_frees,
+            stats.remote_frees_same_llc + stats.remote_frees_cross_llc +
+                stats.remote_frees_cross_node);
+  EXPECT_GT(stats.remote_frees_cross_node, 0u);
+}
+
+TEST(RtPoolNodeLocalAllocFreeTest, UnboundFallbackServesTheHotPathWithoutHeap) {
+  // No topology at all: arenas take the default page policy (the fallback
+  // rung), and the hot cycle must still never touch the heap.
+  PerCorePool<uint64_t> pool(4, 256, nullptr);
+  ChurnPoolInWindow(&pool);
+  SlabStats stats = pool.StatsSnapshot();
+  EXPECT_EQ(stats.remote_frees, stats.remote_frees_same_llc);
+}
+
+// The runtime-level version under a scripted 2-node topology: the whole
+// serving loop -- now stamping per-request distance classes and steal
+// distances against the scripted model -- must stay allocation-free.
+TEST(RtTopoAllocFreeTest, ScriptedTwoNodeTopologyKeepsServingAllocFree) {
+  topo::ScriptedTopologySource source(topo::TwoSocketMap(4));
+  RtConfig config;
+  config.mode = RtMode::kAffinity;
+  config.num_threads = 4;
+  config.workload = svc::WorkloadKind::kEcho;
+  config.topo_source = &source;
+  Runtime runtime(config);
+  std::string error;
+  ASSERT_TRUE(runtime.Start(&error)) << error;
+
+  LoadClientConfig client_config;
+  client_config.port = runtime.port();
+  client_config.num_threads = 2;
+  client_config.workload = svc::WorkloadKind::kEcho;
+  client_config.requests_per_conn = 8;
+  client_config.payload_bytes = 128;
+  LoadClient client(client_config);
+  client.Start();
+
+  constexpr uint64_t kWarmupRequests = 1000;
+  constexpr uint64_t kWindowRequests = 2000;
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(30);
+  ASSERT_TRUE(WaitForRequests(client, kWarmupRequests, deadline)) << "warm-up stalled";
+
+  uint64_t window_start = client.requests();
+  g_news.store(0, std::memory_order_relaxed);
+  g_counting.store(true, std::memory_order_release);
+  bool window_done = WaitForRequests(client, window_start + kWindowRequests, deadline);
+  g_counting.store(false, std::memory_order_release);
+  uint64_t news_in_window = g_news.load(std::memory_order_relaxed);
+
+  client.Stop();
+  runtime.Stop();
+
+  ASSERT_TRUE(window_done) << "measurement window stalled";
+  EXPECT_EQ(news_in_window, 0u) << "heap allocations observed in the topo-aware window";
+  RtTotals totals = runtime.Totals();
+  EXPECT_EQ(topo::TopoOrigin::kScripted, totals.topo_origin);
+  EXPECT_EQ(2, totals.numa_nodes);
+  EXPECT_EQ(totals.requests_remote_core, totals.requests_same_llc +
+                                             totals.requests_cross_llc +
+                                             totals.requests_cross_node);
+  EXPECT_EQ(totals.pool.frees, totals.pool.allocs);
+  if (!topo::MbindAvailable()) {
+    EXPECT_EQ(0, totals.pool_numa_bound_cores);
+  }
+}
 
 }  // namespace
 }  // namespace rt

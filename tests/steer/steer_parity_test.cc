@@ -15,6 +15,8 @@
 #include "src/hw/nic.h"
 #include "src/sim/event_loop.h"
 #include "src/steer/flow_director.h"
+#include "src/topo/scripted_source.h"
+#include "src/topo/topology.h"
 
 namespace affinity {
 namespace steer {
@@ -84,6 +86,7 @@ class SteerParityTest : public ::testing::Test {
   std::unique_ptr<FlowDirector> director_;
   WatermarkBalancePolicy sim_policy_;
   WatermarkBalancePolicy rt_policy_;
+  topo::Topology topo_ = topo::Topology::Flat(kCores, "parity default");
 };
 
 TEST_F(SteerParityTest, ScriptedHistoryProducesIdenticalMigrations) {
@@ -105,6 +108,43 @@ TEST_F(SteerParityTest, ScriptedHistoryProducesIdenticalMigrations) {
 
   // Epoch 3: nothing stolen since the counts reset -> no movement.
   EXPECT_EQ(EpochAndCompare(/*tick=*/3), 0u);
+  ExpectTablesEqual();
+}
+
+TEST_F(SteerParityTest, ParkAndRecoverUnderScriptedTopologyIsExact) {
+  // The simulator has no failure domains: a runtime-side failover must be
+  // perfectly invisible to parity once the core recovers. With a scripted
+  // 2-socket topology the failover parks on the dead core's nearest peers
+  // (not plain round-robin), and RecoverCore must undo exactly that
+  // topology-ordered parking -- the old absolute-rotation restore lost
+  // groups whenever the park order was anything but ascending.
+  topo_ = topo::Topology::FromMap(topo::TwoSocketMap(kCores), topo::TopoOrigin::kScripted);
+  FlowDirectorConfig director_config;
+  director_config.num_groups = kGroups;
+  director_config.num_cores = kCores;
+  director_config.topo = &topo_;
+  director_ = std::make_unique<FlowDirector>(director_config);
+
+  // Epoch 1 on both sides: identical starting tables, identical decisions.
+  Steal(1, 0);
+  Steal(2, 0);
+  EXPECT_EQ(EpochAndCompare(/*tick=*/1), 2u);
+  ExpectTablesEqual();
+
+  // Runtime-only detour: core 1 dies, its groups park on topological
+  // neighbors, then it comes back. The round trip must restore the table
+  // byte for byte -- that is what keeps the two sides comparable at all.
+  rt_policy_.SetForcedBusy(1, true);
+  size_t moved = director_->FailOverCore(1, &rt_policy_, /*tick=*/2);
+  EXPECT_GT(moved, 0u);
+  rt_policy_.SetForcedBusy(1, false);
+  EXPECT_EQ(moved, director_->RecoverCore(1, /*tick=*/3));
+  ExpectTablesEqual();
+
+  // And the next shared epoch still makes identical decisions.
+  Steal(3, 0);
+  Steal(3, 2);
+  EpochAndCompare(/*tick=*/4);
   ExpectTablesEqual();
 }
 

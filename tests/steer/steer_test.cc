@@ -269,7 +269,7 @@ TEST(FlowDirectorTest, FailOverAvoidsBusySurvivors) {
   }
 }
 
-TEST(FlowDirectorTest, RecoveryLeavesRehomedGroupsWithTheirNewOwner) {
+TEST(FlowDirectorTest, ChainedFailoverForwardsParksAndRecoveryReclaimsThemAll) {
   FlowDirectorConfig config;
   config.num_groups = 16;
   config.num_cores = 4;
@@ -279,21 +279,76 @@ TEST(FlowDirectorTest, RecoveryLeavesRehomedGroupsWithTheirNewOwner) {
   // Core 1 dies; its groups park across {0, 2, 3}.
   policy.SetForcedBusy(1, true);
   ASSERT_EQ(4u, director.FailOverCore(1, &policy, /*tick=*/1));
-  // Then core 2 dies too: whatever parked there moves again -- that second
-  // move is a legitimate re-homing core 1's recovery must respect.
+  // Then the park target core 2 dies too. The group core 1's failover
+  // parked there is chain-forwarded: core 1's parking record follows it to
+  // the new host instead of dangling on the dead middleman (the old
+  // asymmetry lost it forever and let core 2's recovery claim it).
   policy.SetForcedBusy(2, true);
   size_t second_wave = director.FailOverCore(2, &policy, /*tick=*/2);
   EXPECT_GE(second_wave, 4u);  // core 2's own groups, plus any parked on it
 
   policy.SetForcedBusy(1, false);
   size_t returned = director.RecoverCore(1, /*tick=*/3);
-  // Only the groups still sitting where core 1's failover parked them come
-  // home; the ones core 2's failover re-homed stay put.
-  EXPECT_LT(returned, 4u);
-  EXPECT_EQ(static_cast<size_t>(director.table().OwnedBy(1)), returned);
+  // Every group core 1 lost comes home exactly -- including the one that
+  // travelled 1 -> 2 -> elsewhere through the chained failover.
+  EXPECT_EQ(4u, returned);
+  EXPECT_EQ(4, director.table().OwnedBy(1));
   for (uint32_t g = 0; g < 16; ++g) {
     EXPECT_NE(2, director.table().OwnerOf(g)) << "group " << g;
   }
+  // Core 2's own recovery gets back only its own groups, never core 1's.
+  policy.SetForcedBusy(2, false);
+  EXPECT_EQ(4u, director.RecoverCore(2, /*tick=*/4));
+  EXPECT_EQ(4, director.table().OwnedBy(2));
+  EXPECT_EQ(4, director.table().OwnedBy(1));
+}
+
+TEST(FlowDirectorTest, RecoveryLeavesBalancerRehomedGroupsWithTheirNewOwner) {
+  FlowDirectorConfig config;
+  config.num_groups = 16;
+  config.num_cores = 4;
+  FlowDirector director(config);
+  WatermarkBalancePolicy policy(4, 8);
+
+  policy.SetForcedBusy(1, true);
+  ASSERT_EQ(4u, director.FailOverCore(1, &policy, /*tick=*/1));
+  // A steal-driven balancer migration moves one of the parked groups on:
+  // that re-homing is earned, and recovery must respect it.
+  uint32_t parked_group = 0;
+  CoreId park_host = kNoCore;
+  for (uint32_t g = 0; g < 16; ++g) {
+    if (g % 4 == 1) {
+      parked_group = g;
+      park_host = director.table().OwnerOf(g);
+      break;
+    }
+  }
+  ASSERT_NE(kNoCore, park_host);
+  policy.OnEnqueue(park_host, 8);  // park host goes busy...
+  ASSERT_TRUE(policy.IsBusy(park_host));
+  CoreId thief = park_host == 3 ? 0 : 3;
+  policy.OnSteal(thief, park_host);  // ...and a thief earns a migration
+  Migration moved;
+  bool migrated = false;
+  for (int attempt = 0; attempt < 16 && !migrated; ++attempt) {
+    migrated = director.MigrateForCore(thief, &policy, /*tick=*/2, &moved) &&
+               moved.group == parked_group;
+    if (!migrated && moved.from_core == kNoCore) {
+      break;
+    }
+    policy.OnSteal(thief, park_host);
+  }
+
+  policy.SetForcedBusy(1, false);
+  size_t returned = director.RecoverCore(1, /*tick=*/3);
+  if (migrated) {
+    // The balancer-rehomed group stays with the thief; the rest come home.
+    EXPECT_EQ(3u, returned);
+    EXPECT_EQ(thief, director.table().OwnerOf(parked_group));
+  } else {
+    EXPECT_EQ(4u, returned);
+  }
+  EXPECT_EQ(static_cast<size_t>(director.table().OwnedBy(1)), returned);
 }
 
 TEST(FlowDirectorTest, FailOverNeedsASurvivor) {
