@@ -87,6 +87,22 @@ struct BenchJsonRow {
   uint64_t park_same_llc = 0;
   uint64_t park_cross_llc = 0;
   uint64_t park_cross_node = 0;
+  // Connection-lifecycle ledger (timer-wheel reaper + graceful drain).
+  // Emitted only when has_lifecycle is set -- appended after every
+  // pre-existing key, so the committed baselines keep their exact shape.
+  bool has_lifecycle = false;
+  std::string stall_mode;  // "none" / "handshake" / "midrequest" / "midread"
+  uint64_t timeouts_handshake = 0;
+  uint64_t timeouts_idle = 0;
+  uint64_t timeouts_read = 0;
+  uint64_t timeouts_write = 0;
+  uint64_t timeouts_lifetime = 0;
+  uint64_t pool_evictions = 0;
+  uint64_t stalled_reaped = 0;  // client-side mirror of the reaped stallers
+  uint64_t drained_gracefully = 0;
+  uint64_t aborted_at_stop = 0;
+  int drain_deadline_ms = 0;  // configured budget (0 = immediate stop)
+  double drain_ms = 0;        // measured drain-window duration
   std::string series_json;  // optional: rendered JSON array of intervals
 };
 
@@ -156,6 +172,20 @@ inline bool WriteBenchResultsJson(const std::string& path, const std::string& be
       w.Key("park_same_llc").UInt(row.park_same_llc);
       w.Key("park_cross_llc").UInt(row.park_cross_llc);
       w.Key("park_cross_node").UInt(row.park_cross_node);
+    }
+    if (row.has_lifecycle) {
+      w.Key("stall_mode").String(row.stall_mode);
+      w.Key("timeouts_handshake").UInt(row.timeouts_handshake);
+      w.Key("timeouts_idle").UInt(row.timeouts_idle);
+      w.Key("timeouts_read").UInt(row.timeouts_read);
+      w.Key("timeouts_write").UInt(row.timeouts_write);
+      w.Key("timeouts_lifetime").UInt(row.timeouts_lifetime);
+      w.Key("pool_evictions").UInt(row.pool_evictions);
+      w.Key("stalled_reaped").UInt(row.stalled_reaped);
+      w.Key("drained_gracefully").UInt(row.drained_gracefully);
+      w.Key("aborted_at_stop").UInt(row.aborted_at_stop);
+      w.Key("drain_deadline_ms").Int(row.drain_deadline_ms);
+      w.Key("drain_ms").Double(row.drain_ms);
     }
     if (!row.series_json.empty()) {
       w.Key("intervals").Raw(row.series_json);

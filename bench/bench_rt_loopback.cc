@@ -199,6 +199,11 @@ struct Options {
   int stream_chunk = 1024;           // stream workload: bytes per chunk
   int stream_chunks = 64;            // stream workload: chunks per response
   std::string topo = "auto";         // auto | flat | script:<file>
+  // Lifecycle-deadline experiment: some client threads deliberately stall
+  // (slowloris) and the reactors' timer wheels must reap them.
+  std::string stall = "none";  // none | handshake | midrequest | midread
+  int timeout_ms = 0;          // phase-deadline budget; 0 = 50 when stall/drain on
+  int drain_ms = 0;            // >0: Stop(drain) with clients still connected
   // Resolved from `topo` in main(), threaded into every run's RtConfig.
   // The scripted source (non-owning; lives in main) must outlive all runs.
   topo::TopoMode topo_mode = topo::TopoMode::kAuto;
@@ -266,6 +271,12 @@ Options ParseOptions(int argc, char** argv) {
       opt.stream_chunks = atoi(v);
     } else if (ParseFlag(argv[i], "--topo", &v)) {
       opt.topo = v;
+    } else if (ParseFlag(argv[i], "--stall", &v)) {
+      opt.stall = v;
+    } else if (ParseFlag(argv[i], "--timeout-ms", &v)) {
+      opt.timeout_ms = atoi(v);
+    } else if (ParseFlag(argv[i], "--drain-ms", &v)) {
+      opt.drain_ms = atoi(v);
     } else if (strcmp(argv[i], "--probe-uring") == 0) {
       opt.probe_uring = true;
     } else if (ParseFlag(argv[i], "--hwprof", &v)) {
@@ -292,7 +303,9 @@ Options ParseOptions(int argc, char** argv) {
               "[--think-us=N] [--stream-chunk=N] [--stream-chunks=N] [--sweep=N] "
               "[--sweep-policy=rst|backlog] [--hwprof=on|off] "
               "[--backend=epoll|uring] [--probe-uring] "
-              "[--topo=auto|flat|script:FILE]\n",
+              "[--topo=auto|flat|script:FILE] "
+              "[--stall=none|handshake|midrequest|midread] [--timeout-ms=N] "
+              "[--drain-ms=N]\n",
               argv[0]);
       exit(2);
     }
@@ -358,6 +371,31 @@ Options ParseOptions(int argc, char** argv) {
   }
   if (opt.stream_chunk < 1) opt.stream_chunk = 1;
   if (opt.stream_chunks < 1) opt.stream_chunks = 1;
+  if (opt.stall != "none" && opt.stall != "handshake" && opt.stall != "midrequest" &&
+      opt.stall != "midread") {
+    fprintf(stderr, "unknown --stall=%s\n", opt.stall.c_str());
+    exit(2);
+  }
+  if (opt.timeout_ms < 0) opt.timeout_ms = 0;
+  if (opt.drain_ms < 0) opt.drain_ms = 0;
+  if ((opt.stall != "none" || opt.drain_ms > 0) && opt.timeout_ms == 0) {
+    // Stall clients without deadlines would just pin the pool; a drain run
+    // without deadlines has nothing reaping stragglers before the budget.
+    opt.timeout_ms = 50;
+  }
+  if ((opt.stall != "none" || opt.timeout_ms > 0) &&
+      (!opt.baseline_path.empty() || opt.check || opt.sweep > 0)) {
+    // Reaping stalled clients changes the throughput story; the committed
+    // baseline/ratio gates and the sweep were measured without it.
+    fprintf(stderr, "--stall/--timeout-ms are incompatible with --baseline/--check/--sweep\n");
+    exit(2);
+  }
+  if (opt.stall != "none" && opt.workload == svc::WorkloadKind::kAccept) {
+    // midrequest/midread need a request protocol to stall inside of, and a
+    // handshake stall against the accept workload races the server's
+    // immediate close. Echo keeps the healthy-traffic lanes measurable.
+    opt.workload = svc::WorkloadKind::kEcho;
+  }
   if (opt.topo != "auto" && opt.topo != "flat" &&
       opt.topo.compare(0, 7, "script:") != 0) {
     fprintf(stderr, "unknown --topo=%s\n", opt.topo.c_str());
@@ -407,6 +445,8 @@ struct RunResult {
   std::vector<obs::IntervalSample> intervals;  // when --stats-interval is on
   std::string kernel_steering;                 // "cbpf" / "fallback" when steering
   std::string hwprof_reason;  // why the PMU refused, when it did (core 0's story)
+  uint64_t client_stalled_reaped = 0;  // stall lanes closed by the reaper
+  double drain_window_ms = 0;          // measured Stop(drain) duration
   bool ok = false;
 };
 
@@ -615,6 +655,16 @@ RunResult RunMode(const RunSpec& spec, const Options& opt) {
   config.topo_source = opt.topo_source;
   config.overload = opt.sweep_policy == "backlog" ? OverloadPolicy::kLeaveInBacklog
                                                   : OverloadPolicy::kAcceptThenRst;
+  if (opt.timeout_ms > 0) {
+    // Lifecycle-deadline run: every phase gets the same budget, and the
+    // reaper may evict idle conns under pool pressure (slowloris defense).
+    config.handshake_timeout_ms = opt.timeout_ms;
+    config.idle_timeout_ms = opt.timeout_ms;
+    config.read_timeout_ms = opt.timeout_ms;
+    config.write_timeout_ms = opt.timeout_ms;
+    config.pool_evict_batch = 4;
+  }
+  config.drain_deadline_ms = opt.drain_ms;
   if (opt.chaos != "none") {
     // Wound the last reactor (core 0 owns the skewed flow groups, so it
     // stays healthy) once the run has warmed up, and arm the watchdog.
@@ -656,6 +706,13 @@ RunResult RunMode(const RunSpec& spec, const Options& opt) {
   client_config.workload = opt.workload;
   client_config.requests_per_conn = opt.rpc;
   client_config.payload_bytes = opt.payload;
+  if (opt.stall == "handshake") {
+    client_config.stall = StallMode::kHandshake;
+  } else if (opt.stall == "midrequest") {
+    client_config.stall = StallMode::kMidRequest;
+  } else if (opt.stall == "midread") {
+    client_config.stall = StallMode::kMidRead;
+  }
   if (spec.skew_groups > 0) {
     // Section 6.5's skew: every connection's flow group is initially owned
     // by core 0, from deterministic source ports.
@@ -682,9 +739,22 @@ RunResult RunMode(const RunSpec& spec, const Options& opt) {
   if (sampler != nullptr) {
     sampler->Stop();  // before the runtime stops: every sample is a live one
   }
-  client.Stop();
   auto elapsed = std::chrono::steady_clock::now() - start;
-  runtime.Stop();
+  if (opt.drain_ms > 0) {
+    // Drain experiment: stop the server FIRST, with the load still connected.
+    // Stop() refuses new conns and keeps serving in-flight work up to the
+    // drain budget; the stallers are what the budget has to give up on.
+    auto drain_start = std::chrono::steady_clock::now();
+    runtime.Stop();
+    result.drain_window_ms =
+        std::chrono::duration<double, std::milli>(std::chrono::steady_clock::now() -
+                                                  drain_start)
+            .count();
+    client.Stop();
+  } else {
+    client.Stop();
+    runtime.Stop();
+  }
 
   result.totals = runtime.Totals();
   if (runtime.hwprof() != nullptr && runtime.hwprof()->AvailableCores() == 0) {
@@ -692,6 +762,7 @@ RunResult RunMode(const RunSpec& spec, const Options& opt) {
   }
   result.client_completed = client.completed();
   result.client_errors = client.errors();
+  result.client_stalled_reaped = client.stalled_reaped();
   if (sampler != nullptr) {
     result.intervals = sampler->Samples();
     for (const obs::IntervalSample& s : result.intervals) {
@@ -1057,6 +1128,37 @@ int main(int argc, char** argv) {
         all_ok = false;
       }
     }
+    if (opt.timeout_ms > 0 || opt.drain_ms > 0) {
+      // The lifecycle ledger: what the timer wheels reaped, what pool
+      // pressure evicted, and how the drain budget split the held conns.
+      std::printf("    [%s] lifecycle: hs=%llu idle=%llu read=%llu write=%llu "
+                  "life=%llu evict=%llu reaped=%llu drained=%llu aborted=%llu "
+                  "drain=%.1fms | accepted=%llu accounted=%llu (%s)\n",
+                  spec.label.c_str(),
+                  static_cast<unsigned long long>(r.totals.timeouts_handshake),
+                  static_cast<unsigned long long>(r.totals.timeouts_idle),
+                  static_cast<unsigned long long>(r.totals.timeouts_read),
+                  static_cast<unsigned long long>(r.totals.timeouts_write),
+                  static_cast<unsigned long long>(r.totals.timeouts_lifetime),
+                  static_cast<unsigned long long>(r.totals.pool_evictions),
+                  static_cast<unsigned long long>(r.client_stalled_reaped),
+                  static_cast<unsigned long long>(r.totals.drained_gracefully),
+                  static_cast<unsigned long long>(r.totals.aborted_at_stop),
+                  r.drain_window_ms,
+                  static_cast<unsigned long long>(r.totals.accepted),
+                  static_cast<unsigned long long>(r.totals.accounted()),
+                  r.totals.accepted == r.totals.accounted() ? "balanced" : "IMBALANCED");
+      if (r.totals.accepted != r.totals.accounted()) {
+        all_ok = false;
+      }
+      if (opt.stall != "none" && r.client_stalled_reaped == 0) {
+        // A stall run where nothing got reaped means the deadlines never
+        // fired -- the whole point of the leg.
+        std::printf("    [%s] lifecycle: NO stalled connections were reaped\n",
+                    spec.label.c_str());
+        all_ok = false;
+      }
+    }
     if (compare_backends && r.totals.accepted != r.totals.accounted()) {
       // Head-to-head rows are the uring engine's acceptance gate: every
       // accepted connection must be accounted for on BOTH engines.
@@ -1111,6 +1213,21 @@ int main(int argc, char** argv) {
       row.io_backend = io::IoBackendName(spec.backend);
     }
     FillTopoRow(&row, r);
+    if (opt.timeout_ms > 0 || opt.drain_ms > 0) {
+      row.has_lifecycle = true;
+      row.stall_mode = opt.stall;
+      row.timeouts_handshake = r.totals.timeouts_handshake;
+      row.timeouts_idle = r.totals.timeouts_idle;
+      row.timeouts_read = r.totals.timeouts_read;
+      row.timeouts_write = r.totals.timeouts_write;
+      row.timeouts_lifetime = r.totals.timeouts_lifetime;
+      row.pool_evictions = r.totals.pool_evictions;
+      row.stalled_reaped = r.client_stalled_reaped;
+      row.drained_gracefully = r.totals.drained_gracefully;
+      row.aborted_at_stop = r.totals.aborted_at_stop;
+      row.drain_deadline_ms = opt.drain_ms;
+      row.drain_ms = r.drain_window_ms;
+    }
     if (!r.hwprof_reason.empty()) hwprof_reason = r.hwprof_reason;
     if (!r.intervals.empty()) {
       row.series_json = IntervalsToJson(r.intervals);

@@ -13,6 +13,7 @@
 #include <vector>
 
 #include "src/balance/balance_policy.h"
+#include "src/balance/migration_epoch.h"
 #include "src/hw/nic.h"
 #include "src/mem/cacheline.h"
 #include "src/sim/time.h"
@@ -29,8 +30,12 @@ struct MigrationRecord {
 class FlowGroupMigrator {
  public:
   // `ring_of_core` maps a core to its RX DMA ring (identity in this repo, but
-  // kept explicit for partial-ring configurations).
-  FlowGroupMigrator(SimNic* nic, std::function<int(CoreId)> ring_of_core);
+  // kept explicit for partial-ring configurations). `min_epochs` is the
+  // shared MigrationHysteresis damping (0 = off): a group that migrated may
+  // not migrate again for that many RunEpoch calls, matching the runtime
+  // FlowDirector's min_epochs_between_moves knob decision-for-decision.
+  FlowGroupMigrator(SimNic* nic, std::function<int(CoreId)> ring_of_core,
+                    uint32_t min_epochs = 0);
 
   // Runs one migration epoch: for every non-busy core, move one flow group
   // from its top steal victim to itself, then reset that core's epoch steal
@@ -45,13 +50,28 @@ class FlowGroupMigrator {
 
   const std::vector<MigrationRecord>& history() const { return history_; }
   uint64_t migrations() const { return history_.size(); }
+  // Epoch decisions where the victim served at least one group but the
+  // hysteresis blocked all of them; the runtime twin is
+  // FlowDirector::migrations_suppressed().
+  uint64_t migrations_suppressed() const { return migrations_suppressed_; }
 
   static constexpr Cycles kDefaultPeriod = MsToCycles(100);
 
  private:
+  // PickGroupOnRing plus hysteresis: skips groups still cooling off at
+  // epoch `tick`, reporting whether any were skipped.
+  bool PickEligibleGroupOnRing(int victim_ring, uint64_t tick, uint32_t* group,
+                               bool* had_ineligible);
+
   SimNic* nic_;
   std::function<int(CoreId)> ring_of_core_;
   uint32_t scan_cursor_ = 0;
+  MigrationHysteresis hysteresis_;
+  // Monotonic RunEpoch counter feeding the hysteresis. Eligibility compares
+  // tick DIFFERENCES, so parity with the director holds for any two tick
+  // sequences that advance by one per epoch, whatever their bases.
+  uint64_t epoch_tick_ = 0;
+  uint64_t migrations_suppressed_ = 0;
   std::vector<MigrationRecord> history_;
 };
 

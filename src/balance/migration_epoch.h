@@ -10,10 +10,54 @@
 #ifndef AFFINITY_SRC_BALANCE_MIGRATION_EPOCH_H_
 #define AFFINITY_SRC_BALANCE_MIGRATION_EPOCH_H_
 
+#include <cstdint>
+#include <vector>
+
 #include "src/balance/balance_policy.h"
 #include "src/mem/cacheline.h"
 
 namespace affinity {
+
+// Per-flow-group migration damping, shared by both executors so the sim and
+// rt balancers stay decision-identical with hysteresis on. A group that just
+// migrated is ineligible to move again for `min_epochs` epochs -- the fix
+// for ping-ponging: two near-balanced cores alternately reading each other
+// as the top victim and trading the same group back and forth every 100 ms,
+// dragging its connections' cache state across the LLC each time. Failover
+// and recovery moves bypass this on purpose (a dead owner always outranks
+// cache warmth), and do not stamp it either -- parking is not a balancer
+// decision, so it must not perturb the balancer's future choices (the
+// parity test replays failovers on both sides, but only epoch moves are
+// damped). min_epochs == 0 keeps the pre-hysteresis behavior bit-for-bit.
+class MigrationHysteresis {
+ public:
+  MigrationHysteresis(uint32_t num_groups, uint32_t min_epochs)
+      : min_epochs_(min_epochs),
+        last_move_(min_epochs > 0 ? num_groups : 0, kNeverMoved) {}
+
+  // May `group` migrate at epoch `tick`? Epoch ticks are the executors'
+  // monotonically increasing epoch counters.
+  bool Eligible(uint32_t group, uint64_t tick) const {
+    if (min_epochs_ == 0) {
+      return true;
+    }
+    uint64_t last = last_move_[group];
+    return last == kNeverMoved || tick >= last + min_epochs_;
+  }
+
+  void NoteMove(uint32_t group, uint64_t tick) {
+    if (min_epochs_ != 0) {
+      last_move_[group] = tick;
+    }
+  }
+
+  uint32_t min_epochs() const { return min_epochs_; }
+
+ private:
+  static constexpr uint64_t kNeverMoved = ~0ull;
+  uint32_t min_epochs_;
+  std::vector<uint64_t> last_move_;
+};
 
 // One core's migration decision: a non-busy core that stole this epoch pulls
 // one flow group from its top victim. `migrate_one(core, victim)` performs

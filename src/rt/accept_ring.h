@@ -27,6 +27,7 @@
 #include "src/mem/bounded_ring.h"
 #include "src/mem/conn_pool.h"
 #include "src/svc/conn_state.h"
+#include "src/time/timer_wheel.h"
 
 namespace affinity {
 namespace rt {
@@ -56,6 +57,15 @@ struct PendingConn {
   // orders).
   std::atomic<uint16_t> io_gen{0};
   std::chrono::steady_clock::time_point accepted_at{};
+  // Lifecycle deadlines, intrusive in the pool block so arming/cancelling a
+  // timer per request never allocates. Both entries belong to the SERVING
+  // reactor's wheel (armed at first service touch, cancelled on every close
+  // path before the block is freed): phase_timer tracks the current
+  // conversation phase (handshake/idle/read/write -- re-armed only when the
+  // phase KIND changes, so a byte-trickling slowloris cannot extend it),
+  // life_timer is the absolute max-lifetime cap, armed once.
+  timer::TimerEntry phase_timer;
+  timer::TimerEntry life_timer;
   svc::ConnState svc;
 };
 

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <string.h>
 #include <sys/socket.h>
 #include <sys/time.h>
@@ -162,7 +163,9 @@ void LoadClient::RunThread(int thread_index) {
       src_port = ports[cursor++ % ports.size()];
       outcome = OneConnection(thread_index, src_port, ledger);
     }
-    if (outcome == ConnOutcome::kOk) {
+    if (outcome == ConnOutcome::kOk || outcome == ConnOutcome::kStalledReaped) {
+      // A reaped stall is the mode working as intended: reconnect and
+      // stall again (the storm), no backoff.
       backoff_ms = 0;
       continue;
     }
@@ -206,6 +209,13 @@ int LoadClient::ConnectSocket(int thread_index, uint16_t src_port, ThreadLedger*
   tv.tv_usec = (config_.connect_timeout_ms % 1000) * 1000;
   setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
   setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+  if (config_.stall == StallMode::kMidRead) {
+    // Shrink the receive window BEFORE connect (the window is negotiated at
+    // handshake) so a non-reading client jams the server's send after a few
+    // KB instead of after the kernel's default multi-megabyte buffers.
+    int rcvbuf = 1024;
+    setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &rcvbuf, sizeof(rcvbuf));
+  }
   if (!is_unix) {
     // Request lines are small; Nagle would batch them behind the previous
     // round's ACK and poison every latency sample with delayed-ACK waits.
@@ -289,12 +299,13 @@ int LoadClient::ConnectSocket(int thread_index, uint16_t src_port, ThreadLedger*
   return fd;
 }
 
-LoadClient::ConnOutcome LoadClient::RunRounds(int thread_index, int fd, ThreadLedger* ledger) {
+LoadClient::ConnOutcome LoadClient::RunRounds(int thread_index, int fd, ThreadLedger* ledger,
+                                              int rounds) {
   char req[svc::kReqBufBytes];
   char resp[4096];
   fault::SysIface* sys = config_.sys;
 
-  for (int round = 0; round < config_.requests_per_conn; ++round) {
+  for (int round = 0; round < rounds; ++round) {
     if (stop_.load(std::memory_order_acquire)) {
       return ConnOutcome::kAbortedAtStop;
     }
@@ -392,11 +403,133 @@ LoadClient::ConnOutcome LoadClient::RunRounds(int thread_index, int fd, ThreadLe
     ledger->request_ns.Add(NowNs() - t0);
     requests_.fetch_add(1, std::memory_order_relaxed);
 
-    if (config_.think_time_us > 0 && round + 1 < config_.requests_per_conn) {
+    if (config_.think_time_us > 0 && round + 1 < rounds) {
       std::this_thread::sleep_for(std::chrono::microseconds(config_.think_time_us));
     }
   }
   return ConnOutcome::kOk;
+}
+
+LoadClient::ConnOutcome LoadClient::AwaitReap(int thread_index, int fd) {
+  char buf[256];
+  for (;;) {
+    if (stop_.load(std::memory_order_acquire)) {
+      return ConnOutcome::kAbortedAtStop;
+    }
+    ssize_t n = config_.sys->Read(thread_index, fd, buf, sizeof(buf));
+    if (n == 0) {
+      return ConnOutcome::kStalledReaped;  // FIN: the server gave up on us
+    }
+    if (n < 0) {
+      if (errno == ECONNRESET) {
+        return ConnOutcome::kStalledReaped;  // RST: the reaper's close
+      }
+      if (errno == EINTR || errno == EWOULDBLOCK || errno == EAGAIN) {
+        continue;  // SO_RCVTIMEO tick; keep stalling until reaped or stopped
+      }
+      return ConnOutcome::kError;
+    }
+    // The server sent something (a response tail); drain and keep waiting.
+  }
+}
+
+LoadClient::ConnOutcome LoadClient::AwaitReapNoRead(int fd) {
+  // The receive window must STAY jammed, so no reads: watch for the reap's
+  // error/hangup edge instead. A timeout RST surfaces as POLLERR; POLLRDHUP
+  // (where available) catches an orderly FIN too.
+  pollfd p;
+  p.fd = fd;
+#ifdef POLLRDHUP
+  p.events = POLLRDHUP;
+#else
+  p.events = 0;
+#endif
+  for (;;) {
+    if (stop_.load(std::memory_order_acquire)) {
+      return ConnOutcome::kAbortedAtStop;
+    }
+    p.revents = 0;
+    int r = poll(&p, 1, /*timeout_ms=*/10);
+    if (r < 0) {
+      if (errno == EINTR) {
+        continue;
+      }
+      return ConnOutcome::kError;
+    }
+    if (r > 0 && (p.revents & (POLLERR | POLLHUP | p.events)) != 0) {
+      return ConnOutcome::kStalledReaped;
+    }
+  }
+}
+
+LoadClient::ConnOutcome LoadClient::RunStalled(int thread_index, int fd, ThreadLedger* ledger) {
+  switch (config_.stall) {
+    case StallMode::kHandshake:
+      // Connected, never sends a byte: the server's accept-to-first-byte
+      // deadline is the only thing that can end this.
+      return AwaitReap(thread_index, fd);
+    case StallMode::kMidRequest: {
+      // Behave for all but the last round (exercising per-request deadline
+      // re-arming), then wedge the final request halfway through the line:
+      // the server has bytes staged but no newline, pinning its read
+      // deadline.
+      if (config_.requests_per_conn > 1) {
+        ConnOutcome warmup =
+            RunRounds(thread_index, fd, ledger, config_.requests_per_conn - 1);
+        if (warmup != ConnOutcome::kOk) {
+          return warmup;
+        }
+      }
+      char req[svc::kReqBufBytes];
+      int half = std::max(1, config_.payload_bytes / 2);
+      memset(req, 'x', static_cast<size_t>(half));
+      int off = 0;
+      while (off < half) {
+        ssize_t n =
+            config_.sys->Write(thread_index, fd, req + off, static_cast<size_t>(half - off));
+        if (n > 0) {
+          off += static_cast<int>(n);
+          continue;
+        }
+        if (n < 0 && errno == EINTR) {
+          continue;
+        }
+        return n < 0 && (errno == EWOULDBLOCK || errno == EAGAIN) ? ConnOutcome::kTimedOut
+                                                                  : ConnOutcome::kError;
+      }
+      return AwaitReap(thread_index, fd);
+    }
+    case StallMode::kMidRead: {
+      // Send one full request, then never read the response. With the tiny
+      // SO_RCVBUF negotiated at connect, a response bigger than a few KB
+      // jams the server's send -- its write deadline is what fires. (Pair
+      // with a stream/static workload whose response overflows the window;
+      // a response that fits is flushed whole and the idle deadline reaps
+      // us instead.)
+      char req[svc::kReqBufBytes];
+      memset(req, 'x', static_cast<size_t>(config_.payload_bytes));
+      req[config_.payload_bytes] = '\n';
+      int req_len = config_.payload_bytes + 1;
+      int off = 0;
+      while (off < req_len) {
+        ssize_t n = config_.sys->Write(thread_index, fd, req + off,
+                                       static_cast<size_t>(req_len - off));
+        if (n > 0) {
+          off += static_cast<int>(n);
+          continue;
+        }
+        if (n < 0 && errno == EINTR) {
+          continue;
+        }
+        return n < 0 && (errno == EWOULDBLOCK || errno == EAGAIN) ? ConnOutcome::kTimedOut
+                                                                  : ConnOutcome::kError;
+      }
+      return AwaitReapNoRead(fd);
+    }
+    case StallMode::kNone:
+      break;
+  }
+  return ConnOutcome::kError;
 }
 
 LoadClient::ConnOutcome LoadClient::OneConnection(int thread_index, uint16_t src_port,
@@ -416,6 +549,9 @@ LoadClient::ConnOutcome LoadClient::OneConnection(int thread_index, uint16_t src
       case ConnOutcome::kAbortedAtStop:
         aborted_.fetch_add(1, std::memory_order_relaxed);
         break;
+      case ConnOutcome::kStalledReaped:
+        stalled_reaped_.fetch_add(1, std::memory_order_relaxed);
+        break;
       case ConnOutcome::kError:
         errors_.fetch_add(1, std::memory_order_relaxed);
         break;
@@ -432,8 +568,20 @@ LoadClient::ConnOutcome LoadClient::OneConnection(int thread_index, uint16_t src
     return fail(outcome);
   }
 
+  if (config_.stall != StallMode::kNone) {
+    outcome = RunStalled(thread_index, fd, ledger);
+    if (src_port != 0 && config_.unix_path.empty()) {
+      // Same RST-close as the workload path: the deterministic source port
+      // must not linger in TIME_WAIT.
+      linger lg{1, 0};
+      setsockopt(fd, SOL_SOCKET, SO_LINGER, &lg, sizeof(lg));
+    }
+    close(fd);
+    return fail(outcome);
+  }
+
   if (config_.workload != svc::WorkloadKind::kAccept) {
-    outcome = RunRounds(thread_index, fd, ledger);
+    outcome = RunRounds(thread_index, fd, ledger, config_.requests_per_conn);
     if (src_port != 0 && config_.unix_path.empty()) {
       // RST-close: a FIN would leave this exact 4-tuple in TIME_WAIT and the
       // next cycle's bind+connect to the same port would fail, but the port

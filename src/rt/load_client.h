@@ -36,6 +36,23 @@
 namespace affinity {
 namespace rt {
 
+// Misbehaving-client modes for the connection-lifecycle deadline subsystem:
+// instead of driving the workload, each connection deliberately wedges at a
+// chosen point and then waits for the server to reap it. Each mode pins a
+// specific server-side deadline class:
+//   kHandshake:  connect, send nothing          -> rt_timeouts_handshake
+//   kMidRequest: send half a request line, stop -> rt_timeouts_read
+//   kMidRead:    send a request, never read the response (tiny SO_RCVBUF so
+//                the server's send stalls)      -> rt_timeouts_write
+// A reaped connection counts into stalled_reaped(), a separate ledger term:
+// the stall was the point, so the reap is success, not an error.
+enum class StallMode : uint8_t {
+  kNone,
+  kHandshake,
+  kMidRequest,
+  kMidRead,
+};
+
 struct LoadClientConfig {
   uint16_t port = 0;
   int num_threads = 4;
@@ -80,6 +97,11 @@ struct LoadClientConfig {
   std::string unix_path;
   // Client-side fault seam (core = thread index); null = passthrough.
   fault::SysIface* sys = nullptr;
+  // Misbehave instead of completing the workload (see StallMode). With
+  // kMidRequest, the connection first completes requests_per_conn - 1 full
+  // rounds so per-request deadline re-arming is exercised, then stalls the
+  // final request halfway.
+  StallMode stall = StallMode::kNone;
 };
 
 class LoadClient {
@@ -97,7 +119,8 @@ class LoadClient {
   void WaitForMaxConns();
 
   // Outcome ledger: attempted() == completed + refused + timeouts +
-  // port_busy + errors + aborted_at_stop once the threads are joined.
+  // port_busy + errors + aborted_at_stop + stalled_reaped once the threads
+  // are joined.
   uint64_t attempted() const { return attempted_.load(std::memory_order_relaxed); }
   uint64_t completed() const { return completed_.load(std::memory_order_relaxed); }
   uint64_t refused() const { return refused_.load(std::memory_order_relaxed); }
@@ -108,6 +131,10 @@ class LoadClient {
   // server did nothing wrong. The client-side mirror of the server's
   // aborted_at_stop term.
   uint64_t aborted_at_stop() const { return aborted_.load(std::memory_order_relaxed); }
+  // Stalled connections the server reaped (RST/EOF while we were wedged on
+  // purpose): the client-side mirror of the server's rt_timeouts_* closes.
+  // Always 0 with stall == kNone.
+  uint64_t stalled_reaped() const { return stalled_reaped_.load(std::memory_order_relaxed); }
   uint64_t backoffs() const { return backoffs_.load(std::memory_order_relaxed); }
   // Completed request/response rounds (0 under kAccept). Live.
   uint64_t requests() const { return requests_.load(std::memory_order_relaxed); }
@@ -125,6 +152,7 @@ class LoadClient {
     kRefused,    // connect ECONNREFUSED: nothing listening (yet)
     kTimedOut,       // connect or read exceeded connect_timeout_ms
     kAbortedAtStop,  // Stop() landed mid-conversation
+    kStalledReaped,  // deliberate stall ended by the server's reap (success)
     kError,
   };
 
@@ -142,10 +170,18 @@ class LoadClient {
   // ephemeral port. Increments attempted_ and the outcome counter.
   ConnOutcome OneConnection(int thread_index, uint16_t src_port, ThreadLedger* ledger);
   // The request/response rounds on a connected socket. Returns kOk when
-  // every round completed.
-  ConnOutcome RunRounds(int thread_index, int fd, ThreadLedger* ledger);
+  // `rounds` rounds completed.
+  ConnOutcome RunRounds(int thread_index, int fd, ThreadLedger* ledger, int rounds);
   int ConnectSocket(int thread_index, uint16_t src_port, ThreadLedger* ledger,
                     ConnOutcome* outcome);
+  // The deliberate-stall lifecycle on a connected socket (stall != kNone).
+  ConnOutcome RunStalled(int thread_index, int fd, ThreadLedger* ledger);
+  // Blocks (SO_RCVTIMEO-bounded reads) until the server reaps the
+  // connection -- EOF or RST -> kStalledReaped -- or Stop() lands.
+  ConnOutcome AwaitReap(int thread_index, int fd);
+  // Same, but WITHOUT reading (kMidRead must keep the receive window
+  // jammed): polls for the reap's POLLERR/POLLHUP instead.
+  ConnOutcome AwaitReapNoRead(int fd);
 
   LoadClientConfig config_;
   std::vector<std::thread> threads_;
@@ -157,6 +193,7 @@ class LoadClient {
   std::atomic<uint64_t> port_busy_{0};
   std::atomic<uint64_t> errors_{0};
   std::atomic<uint64_t> aborted_{0};
+  std::atomic<uint64_t> stalled_reaped_{0};
   std::atomic<uint64_t> backoffs_{0};
   std::atomic<uint64_t> requests_{0};
   std::atomic<bool> stop_{false};

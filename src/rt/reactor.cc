@@ -59,6 +59,24 @@ const char* OverloadPolicyName(OverloadPolicy policy) {
   return "?";
 }
 
+const char* DeadlineKindName(DeadlineKind kind) {
+  switch (kind) {
+    case DeadlineKind::kNone:
+      return "none";
+    case DeadlineKind::kHandshake:
+      return "handshake";
+    case DeadlineKind::kIdle:
+      return "idle";
+    case DeadlineKind::kRead:
+      return "read";
+    case DeadlineKind::kWrite:
+      return "write";
+    case DeadlineKind::kLifetime:
+      return "lifetime";
+  }
+  return "?";
+}
+
 Reactor::Reactor(int index, ReactorShared* shared) : index_(index), shared_(shared) {}
 
 void Reactor::ResolveHotCells() {
@@ -90,6 +108,13 @@ void Reactor::ResolveHotCells() {
   hot_.conn_migrations = m->Cell(ids.conn_migrations, index_);
   hot_.aborted_at_stop = m->Cell(ids.aborted_at_stop, index_);
   hot_.conn_open = m->Cell(ids.conn_open, index_);
+  hot_.timeouts[0] = m->Cell(ids.timeouts_handshake, index_);
+  hot_.timeouts[1] = m->Cell(ids.timeouts_idle, index_);
+  hot_.timeouts[2] = m->Cell(ids.timeouts_read, index_);
+  hot_.timeouts[3] = m->Cell(ids.timeouts_write, index_);
+  hot_.timeouts[4] = m->Cell(ids.timeouts_lifetime, index_);
+  hot_.pool_evictions = m->Cell(ids.pool_evictions, index_);
+  hot_.drained_gracefully = m->Cell(ids.drained_gracefully, index_);
   hot_.queue_wait = m->HistCell(ids.queue_wait, index_);
   hot_.request_latency = m->HistCell(ids.request_latency, index_);
   if (shared_->director != nullptr) {
@@ -171,6 +196,14 @@ void Reactor::Run() {
   }
   open_head_ = kNullConn;
   open_count_ = 0;
+  // The deadline wheel, anchored to the shared clock's current reading.
+  // Built even when no deadline class is enabled (EvictIdleConns and the
+  // close path cancel through it unconditionally); Advance fast-forwards in
+  // O(1) while nothing is armed.
+  wheel_.reset(new timer::TimerWheel(
+      shared_->timer_resolution_ns,
+      shared_->clock != nullptr ? shared_->clock->NowNs() : 0));
+  drain_unwatched_ = false;
 
   // EMFILE rescue reserve: one fd held back so fd exhaustion can still
   // accept-and-RST (keeping the backlog moving) instead of wedging.
@@ -209,10 +242,25 @@ void Reactor::Run() {
         SelfRecover();
       }
     }
-    // Short timeout so stop and cross-ring work (stolen connections pushed
-    // by other shards) are noticed even when our own shard is idle.
+    if (shared_->draining.load(std::memory_order_acquire) && !drain_unwatched_) {
+      // Graceful drain: stop accepting (unwatch every listen source) but
+      // keep serving queued and open connections. Accepted fds still in a
+      // completion engine's CQE pipeline are real connections and are
+      // admitted below regardless.
+      for (ListenSource& src : sources_) {
+        if (src.watching) {
+          io_->UnwatchListen(src.fd, io::MakeListenToken(src.fd, src.watch_gen));
+          ++src.watch_gen;
+          src.watching = false;
+        }
+      }
+      drain_unwatched_ = true;
+    }
+    // The 1 ms cap keeps stop and cross-ring work (stolen connections pushed
+    // by other shards) noticed even when our own shard is idle; the wheel's
+    // next deadline can only shorten the sleep below it.
     Prof(obs::hwprof::Phase::kEpollWait);
-    int n = io_->Wait(events, 64, /*timeout_ms=*/1);
+    int n = io_->Wait(events, 64, NextWaitTimeoutMs());
     if (n == fault::SysIface::kKillReactor) {
       // The chaos plan killed this reactor: exit as if the thread died.
       // Deliberately no recovery, no draining -- the watchdog and the
@@ -349,8 +397,12 @@ void Reactor::Run() {
       FlushDequeues();
     }
     Prof(obs::hwprof::Phase::kMaintenance);
+    if (shared_->deadlines_enabled) {
+      wheel_->Advance(shared_->clock->NowNs(),
+                      [this](timer::TimerEntry* e) { OnDeadlineExpiry(e); });
+    }
     auto now = std::chrono::steady_clock::now();
-    if (!io_->accepts_inline()) {
+    if (!io_->accepts_inline() && !drain_unwatched_) {
       RewatchSources(now);
     }
     if (migrate && now >= next_migrate) {
@@ -387,7 +439,14 @@ void Reactor::Run() {
 void Reactor::MigrationTick() {
   ++migrate_tick_;
   steer::Migration m;
-  if (!shared_->director->MigrateForCore(index_, shared_->policy, migrate_tick_, &m)) {
+  bool suppressed = false;
+  if (!shared_->director->MigrateForCore(index_, shared_->policy, migrate_tick_, &m,
+                                         &suppressed)) {
+    if (suppressed) {
+      // A victim was due but hysteresis vetoed every candidate group: the
+      // anti-flapping guard held (FDir-reordering paper), not load balance.
+      shared_->metrics->Add(shared_->ids.migrations_suppressed, index_);
+    }
     return;
   }
   shared_->metrics->Add(shared_->ids.migrations, index_);
@@ -450,8 +509,10 @@ void Reactor::TryFailover(int dead) {
   // hashing there) would otherwise strand. Shared-fd listeners (UNIX
   // sockets, stock mode) need no adoption; every reactor polls them
   // already. Accepts land on the dead core's ring by default, where
-  // forced-busy stealing drains them.
-  if (shared_->mode != RtMode::kStock) {
+  // forced-busy stealing drains them. A draining runtime adopts nothing:
+  // accepting is over for everyone.
+  if (shared_->mode != RtMode::kStock &&
+      !shared_->draining.load(std::memory_order_acquire)) {
     for (RtListener* listener : shared_->listeners) {
       if (listener->fds.size() != static_cast<size_t>(shared_->num_reactors) ||
           dead >= static_cast<int>(listener->fds.size())) {
@@ -748,6 +809,13 @@ void Reactor::AdmitBatch(const Accepted* batch, int n,
     }
     size_t qi = a.qi;
     ConnHandle handle = shared_->pool->Alloc(index_);
+    if (handle == kNullConn && shared_->pool_evict_batch > 0 &&
+        EvictIdleConns(shared_->pool_evict_batch) > 0) {
+      // Pool pressure: the oldest idle conns (slowloris holders, by
+      // definition of idle) were just reaped, so the retry usually
+      // succeeds -- new work displaces dead weight instead of being shed.
+      handle = shared_->pool->Alloc(index_);
+    }
     if (handle == kNullConn) {
       // Arena exhausted (sized to cover every ring plus a batch, so this
       // means the rings are full anyway): same disposition as a ring
@@ -1037,6 +1105,14 @@ void Reactor::Serve(ConnHandle handle, bool local) {
     event.src = static_cast<int16_t>(st.listener);
     shared_->trace->Record(index_, event);
   }
+  // The absolute lifetime cap starts at first service touch and never
+  // re-arms; it rides in the pool block like the phase timer, on THIS
+  // reactor's wheel (the conn is pinned here until close).
+  if (shared_->max_lifetime_ns > 0) {
+    wheel_->Arm(&conn->life_timer, shared_->clock->NowNs() + shared_->max_lifetime_ns,
+                static_cast<uint8_t>(DeadlineKind::kLifetime),
+                static_cast<uint64_t>(handle));
+  }
   svc::ConnRef ref{&st, conn->fd, index_, shared_->sys};
   uint16_t prev = st.rounds_done;
   svc::Verdict verdict = handler->OnAccept(ref);
@@ -1067,6 +1143,13 @@ void Reactor::NoteRounds(PendingConn* conn, uint16_t prev_rounds) {
   if (done == prev_rounds) {
     return;
   }
+  // A completed round retires the current phase deadline: the next verdict
+  // arms a fresh one for the next request. Progress WITHIN a phase (partial
+  // request bytes, partial response flushes) deliberately does not reach
+  // here -- that is the slowloris defense.
+  if (shared_->deadlines_enabled) {
+    wheel_->Cancel(&conn->phase_timer);
+  }
   uint32_t delta = static_cast<uint32_t>(done - prev_rounds);
   hot_.requests->fetch_add(delta, std::memory_order_relaxed);
   // Ledger: these rounds ran on the core recorded at Serve() time. A held
@@ -1090,10 +1173,14 @@ void Reactor::NoteRounds(PendingConn* conn, uint16_t prev_rounds) {
 void Reactor::Finish(ConnHandle handle, PendingConn* conn, svc::Verdict verdict) {
   switch (verdict) {
     case svc::Verdict::kWantRead:
-      Arm(handle, conn, EPOLLIN);
+      if (Arm(handle, conn, EPOLLIN) && shared_->deadlines_enabled) {
+        ArmPhaseDeadline(handle, conn, /*want_read=*/true);
+      }
       return;
     case svc::Verdict::kWantWrite:
-      Arm(handle, conn, EPOLLOUT);
+      if (Arm(handle, conn, EPOLLOUT) && shared_->deadlines_enabled) {
+        ArmPhaseDeadline(handle, conn, /*want_read=*/false);
+      }
       return;
     case svc::Verdict::kClose:
       CloseConn(handle, conn, /*rst=*/false);
@@ -1104,12 +1191,12 @@ void Reactor::Finish(ConnHandle handle, PendingConn* conn, svc::Verdict verdict)
   }
 }
 
-void Reactor::Arm(ConnHandle handle, PendingConn* conn, uint32_t want) {
+bool Reactor::Arm(ConnHandle handle, PendingConn* conn, uint32_t want) {
   svc::ConnState& st = conn->svc;
   if (st.armed == want) {
-    return;  // level-triggered epoll: the existing registration keeps
-             // firing. (A one-shot backend cleared armed at delivery, so a
-             // live uring poll is never spuriously skipped here.)
+    return true;  // level-triggered epoll: the existing registration keeps
+                  // firing. (A one-shot backend cleared armed at delivery,
+                  // so a live uring poll is never spuriously skipped here.)
   }
   uint64_t token = io::MakeConnToken(handle, conn->io_gen.load(std::memory_order_relaxed));
   if (st.armed != 0 && io_->oneshot_arms()) {
@@ -1122,14 +1209,120 @@ void Reactor::Arm(ConnHandle handle, PendingConn* conn, uint32_t want) {
     // A connection the engine cannot watch would be held forever: fail it
     // fast.
     CloseConn(handle, conn, /*rst=*/true);
-    return;
+    return false;
   }
   st.armed = want;
+  return true;
 }
 
-void Reactor::CloseConn(ConnHandle handle, PendingConn* conn, bool rst) {
+void Reactor::ArmPhaseDeadline(ConnHandle handle, PendingConn* conn, bool want_read) {
+  const svc::ConnState& st = conn->svc;
+  DeadlineKind kind;
+  uint64_t timeout_ns;
+  if (!want_read) {
+    kind = DeadlineKind::kWrite;
+    timeout_ns = shared_->write_timeout_ns;
+  } else if (st.req_len > 0) {
+    kind = DeadlineKind::kRead;
+    timeout_ns = shared_->read_timeout_ns;
+  } else if (st.rounds_done == 0) {
+    kind = DeadlineKind::kHandshake;
+    timeout_ns = shared_->handshake_timeout_ns;
+  } else {
+    kind = DeadlineKind::kIdle;
+    timeout_ns = shared_->idle_timeout_ns;
+  }
+  timer::TimerEntry* e = &conn->phase_timer;
+  if (timeout_ns == 0) {
+    wheel_->Cancel(e);  // this class is disabled; drop any stale deadline
+    return;
+  }
+  if (e->armed && e->kind == static_cast<uint8_t>(kind)) {
+    // Same phase as last time: the absolute deadline stands. This is the
+    // slowloris defense -- a client trickling one byte per wakeup changes
+    // nothing here, only a phase TRANSITION (or a completed round, which
+    // cancels in NoteRounds) buys a fresh deadline.
+    return;
+  }
+  wheel_->Arm(e, shared_->clock->NowNs() + timeout_ns, static_cast<uint8_t>(kind),
+              static_cast<uint64_t>(handle));
+}
+
+void Reactor::OnDeadlineExpiry(timer::TimerEntry* e) {
+  // Every close path cancels both of a conn's entries before the block can
+  // recycle, so a fired entry always refers to a conn this reactor still
+  // holds open.
+  ConnHandle handle = static_cast<ConnHandle>(e->data);
+  PendingConn* conn = shared_->pool->Get(handle);
+  CloseConn(handle, conn, /*rst=*/true, static_cast<DeadlineKind>(e->kind));
+}
+
+int Reactor::NextWaitTimeoutMs() {
+  constexpr int kWaitCapMs = 1;
+  if (!shared_->deadlines_enabled) {
+    return kWaitCapMs;
+  }
+  uint64_t next = wheel_->NextFireNs();
+  if (next == timer::TimerWheel::kNever) {
+    return kWaitCapMs;
+  }
+  uint64_t now_ns = shared_->clock->NowNs();
+  if (next <= now_ns) {
+    return 0;  // already due: poll, expire, then sleep for real
+  }
+  uint64_t ms = (next - now_ns + 999'999) / 1'000'000;
+  return ms < static_cast<uint64_t>(kWaitCapMs) ? static_cast<int>(ms) : kWaitCapMs;
+}
+
+int Reactor::EvictIdleConns(int max_evict) {
+  if (max_evict <= 0 || open_head_ == kNullConn) {
+    return 0;
+  }
+  // open_head_ is newest-first, so walk to the tail and reap backwards:
+  // eviction takes the OLDEST idle conns. Pass 0 restricts itself to blocks
+  // this core owns (a remote-owned free lands on another core's freelist
+  // and would not refill the Alloc that just failed); pass 1 runs only if
+  // pass 0 freed nothing, relieving global pressure instead.
+  ConnHandle tail = open_head_;
+  for (;;) {
+    ConnHandle next = shared_->pool->Get(tail)->svc.open_next;
+    if (next == kNullConn) {
+      break;
+    }
+    tail = next;
+  }
+  int evicted = 0;
+  for (int pass = 0; pass < 2 && evicted == 0; ++pass) {
+    ConnHandle h = tail;
+    while (h != kNullConn && evicted < max_evict) {
+      PendingConn* conn = shared_->pool->Get(h);
+      ConnHandle prev = conn->svc.open_prev;
+      if (conn->svc.IdleBetweenRequests() &&
+          (pass == 1 || shared_->pool->OwnerOf(h) == index_)) {
+        // Counted as an idle timeout (the conservation bucket an
+        // early-reaped idle conn belongs to) plus the eviction counter.
+        CloseConn(h, conn, /*rst=*/true, DeadlineKind::kIdle);
+        ++evicted;
+      }
+      h = prev;
+    }
+  }
+  if (evicted > 0) {
+    hot_.pool_evictions->fetch_add(static_cast<uint64_t>(evicted),
+                                   std::memory_order_relaxed);
+  }
+  return evicted;
+}
+
+void Reactor::CloseConn(ConnHandle handle, PendingConn* conn, bool rst,
+                        DeadlineKind timeout) {
   svc::ConnState& st = conn->svc;
   svc::ConnHandler* handler = shared_->listeners[st.listener]->handler;
+  // Retire both deadline entries BEFORE the block can recycle: a dangling
+  // armed entry would leave the wheel pointing into a block another core
+  // now owns.
+  wheel_->Cancel(&conn->phase_timer);
+  wheel_->Cancel(&conn->life_timer);
   if (st.armed != 0) {
     // Withdraw any in-flight one-shot poll (no-op for epoll, whose close()
     // drops the registration). A completion that raced the cancel is
@@ -1158,14 +1351,27 @@ void Reactor::CloseConn(ConnHandle handle, PendingConn* conn, bool rst) {
   } else {
     shared_->sys->Close(index_, conn->fd);
   }
-  // Served accounting happens at close, under the locality recorded when
-  // the connection was popped -- held-open connections are in rt_conn_open
-  // until this moment, which is what keeps `accepted == served + open +
-  // drops` exact at any instant.
-  if (st.remote_served) {
-    ++batch_served_remote_;
+  if (timeout != DeadlineKind::kNone) {
+    // A deadline expiry (or pool-pressure eviction) is not service: it
+    // lands in its classified rt_timeouts_* bucket -- the `timed_out` term
+    // of the conservation equation -- never in served.
+    hot_.timeouts[static_cast<int>(timeout) - 1]->fetch_add(
+        1, std::memory_order_relaxed);
   } else {
-    ++batch_served_local_;
+    // Served accounting happens at close, under the locality recorded when
+    // the connection was popped -- held-open connections are in
+    // rt_conn_open until this moment, which is what keeps `accepted ==
+    // served + open + drops` exact at any instant.
+    if (st.remote_served) {
+      ++batch_served_remote_;
+    } else {
+      ++batch_served_local_;
+    }
+    if (shared_->draining.load(std::memory_order_relaxed)) {
+      // A conversation that finished normally inside the drain window: the
+      // graceful half of Stop(drain_deadline_ms)'s ledger.
+      hot_.drained_gracefully->fetch_add(1, std::memory_order_relaxed);
+    }
   }
   FreeConn(handle);
 }
@@ -1216,6 +1422,8 @@ void Reactor::CloseAllOpen() {
       svc::ConnRef ref{&st, conn->fd, index_, shared_->sys};
       handler->OnClose(ref);
     }
+    wheel_->Cancel(&conn->phase_timer);
+    wheel_->Cancel(&conn->life_timer);
     OpenListRemove(handle, conn);
     shared_->sys->Close(index_, conn->fd);
     FreeConn(handle);

@@ -48,6 +48,8 @@
 #include "src/sim/stats.h"
 #include "src/steer/flow_director.h"
 #include "src/svc/conn_handler.h"
+#include "src/time/clock.h"
+#include "src/time/timer_wheel.h"
 #include "src/topo/topology.h"
 
 namespace affinity {
@@ -72,6 +74,21 @@ const char* RtModeName(RtMode mode);
 enum class OverloadPolicy : uint8_t { kAcceptThenRst, kLeaveInBacklog };
 
 const char* OverloadPolicyName(OverloadPolicy policy);
+
+// Which lifecycle deadline a connection is living under -- the TimerEntry
+// kind tag and the classified-close cause. Values 1..5 index the
+// rt_timeouts_{handshake,idle,read,write,lifetime} counters; kNone doubles
+// as "not a timeout" on the close path.
+enum class DeadlineKind : uint8_t {
+  kNone = 0,
+  kHandshake,  // accepted, waiting for the first request byte ever
+  kIdle,       // between requests (>= 1 round done, nothing staged)
+  kRead,       // mid-request: first byte seen, line incomplete
+  kWrite,      // mid-response: flush parked on kWantWrite
+  kLifetime,   // absolute accept-to-close cap
+};
+
+const char* DeadlineKindName(DeadlineKind kind);
 
 // Event user-data tagging lives in src/io/io_backend.h (io::MakeConnToken /
 // io::MakeListenToken): bit 63 = connection handle + reuse generation,
@@ -165,6 +182,24 @@ struct RtMetricIds {
   obs::MetricsRegistry::MetricId steals_same_llc = 0;
   obs::MetricsRegistry::MetricId steals_cross_llc = 0;
   obs::MetricsRegistry::MetricId steals_cross_node = 0;
+  // Connection-lifecycle deadlines (src/time): classified expiry closes,
+  // one counter per DeadlineKind. Pool-pressure evictions are ALSO counted
+  // as idle timeouts (they close idle conns early), so the conservation
+  // equation needs only the one timed_out term; rt_pool_evictions is the
+  // informational subset.
+  obs::MetricsRegistry::MetricId timeouts_handshake = 0;
+  obs::MetricsRegistry::MetricId timeouts_idle = 0;
+  obs::MetricsRegistry::MetricId timeouts_read = 0;
+  obs::MetricsRegistry::MetricId timeouts_write = 0;
+  obs::MetricsRegistry::MetricId timeouts_lifetime = 0;
+  obs::MetricsRegistry::MetricId pool_evictions = 0;
+  // Graceful drain: conns that finished normally inside a drain window
+  // (subset of served), and the histogram of Stop(drain) wait durations.
+  obs::MetricsRegistry::MetricId drained_gracefully = 0;
+  obs::MetricsRegistry::MetricId drain_duration = 0;  // histogram, ns
+  // Migration hysteresis vetoed every candidate group of an otherwise-due
+  // migration (steering only).
+  obs::MetricsRegistry::MetricId migrations_suppressed = 0;
 };
 
 // State shared by every reactor of one Runtime.
@@ -229,6 +264,30 @@ struct ReactorShared {
   // Fine-Accept's shared round-robin dequeue cursor -- deliberately one
   // contended cache line, as in the paper.
   std::atomic<uint64_t> rr_cursor{0};
+  // --- connection-lifecycle deadlines (src/time) ---
+  // Never null while reactors run (MonotonicClock by default, a
+  // ScriptedClock in deterministic expiry tests).
+  timer::ClockSource* clock = nullptr;
+  uint64_t timer_resolution_ns = 1'000'000;  // wheel tick
+  // Per-class deadlines in ns; 0 disables that class. Phase deadlines
+  // (handshake/idle/read/write) are re-armed only when the phase KIND
+  // changes -- within one phase the deadline is absolute, which is the
+  // slowloris defense: trickling bytes does not extend it.
+  uint64_t handshake_timeout_ns = 0;
+  uint64_t idle_timeout_ns = 0;
+  uint64_t read_timeout_ns = 0;
+  uint64_t write_timeout_ns = 0;
+  uint64_t max_lifetime_ns = 0;
+  bool deadlines_enabled = false;  // any class above > 0
+  // Pool-pressure eviction: when Alloc finds the pool dry, reap up to this
+  // many of the oldest idle conns before refusing the accept. 0 disables.
+  int pool_evict_batch = 0;
+  // Graceful drain (Runtime::Stop with a drain deadline): reactors unwatch
+  // their listen sources and stop accepting but keep serving queued and
+  // open connections; normal closes during the window count
+  // drained_gracefully. `stop` follows when the runtime observes zero open
+  // conns + empty rings or the deadline expires.
+  std::atomic<bool> draining{false};
   std::atomic<bool> stop{false};
 };
 
@@ -329,12 +388,16 @@ class Reactor {
   void Finish(ConnHandle handle, PendingConn* conn, svc::Verdict verdict);
   // Arms `want` (EPOLLIN or EPOLLOUT) for the connection's fd, ADD on first
   // registration, MOD after. An arming failure closes the connection with a
-  // reset -- a conn epoll cannot see would be held forever.
-  void Arm(ConnHandle handle, PendingConn* conn, uint32_t want);
+  // reset -- a conn epoll cannot see would be held forever -- and returns
+  // false; deadline arming must not touch the conn after that.
+  bool Arm(ConnHandle handle, PendingConn* conn, uint32_t want);
   // Every close path for an opened connection: OnClose hook, open-list
-  // removal, trace, close (RST on protocol violations), served accounting,
-  // pool free.
-  void CloseConn(ConnHandle handle, PendingConn* conn, bool rst);
+  // removal, timer cancel, trace, close (RST on protocol violations and
+  // timeouts), served/timed-out accounting, pool free. `timeout` != kNone
+  // marks a deadline-expiry (or eviction) close: it counts into the
+  // classified rt_timeouts_* instead of served.
+  void CloseConn(ConnHandle handle, PendingConn* conn, bool rst,
+                 DeadlineKind timeout = DeadlineKind::kNone);
   // Returns the block to its owner's pool, counting remote frees.
   void FreeConn(ConnHandle handle);
   void OpenListAdd(ConnHandle handle, PendingConn* conn);
@@ -363,6 +426,24 @@ class Reactor {
   // This core's 100 ms long-term balancer decision (Section 3.3.2): runs the
   // FlowDirector migration and records metrics + the kMigrate trace event.
   void MigrationTick();
+
+  // --- lifecycle deadlines ---
+  // After a verdict parked the connection (kWantRead/kWantWrite): classify
+  // the phase it parked in and arm/refresh the phase deadline. Re-arms only
+  // when the phase KIND changed; same-kind progress (a slowloris trickle)
+  // leaves the original absolute deadline standing.
+  void ArmPhaseDeadline(ConnHandle handle, PendingConn* conn, bool want_read);
+  // Timer-wheel expiry: classified RST close of the conn the entry is
+  // embedded in.
+  void OnDeadlineExpiry(timer::TimerEntry* e);
+  // The io_->Wait timeout: the 1 ms heartbeat/steal-visibility cap,
+  // shortened when the wheel's next deadline is nearer.
+  int NextWaitTimeoutMs();
+  // Pool-pressure reaper: closes up to `max_evict` of the OLDEST idle conns
+  // on this reactor's open list -- blocks owned by this core first, so the
+  // freed block lands on the freelist the failing Alloc reads. Returns how
+  // many were closed.
+  int EvictIdleConns(int max_evict);
 
   // --- failure domains ---
   // Scans peer heartbeats; for each stalled peer attempts the failover CAS
@@ -411,6 +492,13 @@ class Reactor {
   ConnHandle open_head_ = kNullConn;
   uint64_t open_count_ = 0;
   int reserve_fd_ = -1;  // EMFILE rescue reserve (an open /dev/null)
+  // This reactor's deadline wheel (Run() scope; built against the shared
+  // clock at thread start). Single-threaded by construction: only this
+  // reactor arms, cancels, or advances it.
+  std::unique_ptr<timer::TimerWheel> wheel_;
+  // Drain entry is edge-triggered per reactor: the first loop iteration
+  // that observes shared_->draining unwatches every listen source once.
+  bool drain_unwatched_ = false;
   // Capped exponential accept backoff after fd exhaustion.
   std::chrono::steady_clock::time_point backoff_until_{};
   int backoff_ms_ = 0;
@@ -443,6 +531,11 @@ class Reactor {
     std::atomic<uint64_t>* steals_dist[3] = {nullptr, nullptr, nullptr};
     std::atomic<uint64_t>* conn_migrations = nullptr;
     std::atomic<uint64_t>* aborted_at_stop = nullptr;
+    // Classified deadline-expiry closes, indexed by DeadlineKind - 1.
+    std::atomic<uint64_t>* timeouts[5] = {nullptr, nullptr, nullptr, nullptr,
+                                          nullptr};
+    std::atomic<uint64_t>* pool_evictions = nullptr;
+    std::atomic<uint64_t>* drained_gracefully = nullptr;
     std::atomic<uint64_t>* conn_open = nullptr;  // gauge cell
     obs::AtomicHistogram* queue_wait = nullptr;
     obs::AtomicHistogram* request_latency = nullptr;

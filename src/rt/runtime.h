@@ -35,6 +35,7 @@
 #include "src/sim/stats.h"
 #include "src/steer/flow_director.h"
 #include "src/svc/conn_handler.h"
+#include "src/time/clock.h"
 #include "src/topo/topology.h"
 
 namespace affinity {
@@ -75,6 +76,12 @@ struct RtConfig {
   // Skip the cBPF attach even if the kernel would allow it; exercises the
   // fallback path deterministically (tests, non-root CI).
   bool steer_force_fallback = false;
+  // Migration hysteresis: a flow group that just migrated may not migrate
+  // again for this many balancer epochs (0 = off). Damps the ping-pong of
+  // two near-balanced cores trading the same group every 100 ms; suppressed
+  // decisions (victim owned groups but all were cooling off) count into
+  // rt_migrations_suppressed. Failover/recovery moves bypass the damping.
+  uint32_t migrate_min_epochs = 0;
 
   // --- fault injection + failure domains (src/fault) ---
 
@@ -95,6 +102,41 @@ struct RtConfig {
   // stay under one backlog's worth, and exhaustion beyond that degrades to
   // the admission shed path, never to a malloc.
   uint32_t pool_blocks_per_core = 0;
+
+  // --- connection-lifecycle deadlines (src/time) ---
+
+  // Per-connection deadlines, all 0 = disabled (the pre-deadline behavior:
+  // a stalled peer holds its pool block forever). Each expiry RST-closes
+  // the connection and counts into its class's rt_timeouts_* counter and
+  // the conservation equation's timed_out term.
+  //   handshake: accept to the first request byte ever.
+  //   idle:      between requests (response flushed, next byte not begun).
+  //   read:      a started request must finish arriving within this.
+  //   write:     a started response must finish flushing within this.
+  //   lifetime:  absolute cap on one connection, whatever it is doing.
+  // Phase deadlines are absolute per phase -- a slowloris trickling one
+  // byte per second never extends its current deadline.
+  int handshake_timeout_ms = 0;
+  int idle_timeout_ms = 0;
+  int read_timeout_ms = 0;
+  int write_timeout_ms = 0;
+  int max_lifetime_ms = 0;
+  // Tick width of each reactor's timer wheel. Must not be coarser than the
+  // smallest enabled deadline (rejected by validation).
+  uint64_t timer_resolution_ns = 1'000'000;
+  // Test seam: a scripted clock (not owned). Null = CLOCK_MONOTONIC.
+  timer::ClockSource* clock = nullptr;
+  // Pool-pressure eviction: when an accept finds no free conn block, reap
+  // up to this many idle (between-requests) connections -- oldest first --
+  // before refusing admission. 0 disables (exhaustion sheds, as before).
+  int pool_evict_batch = 0;
+  // Default drain deadline for Stop(): stop accepting, let in-flight
+  // conversations finish for up to this long, then abort the remainder.
+  // 0 keeps the legacy immediate stop. Stop(drain_deadline_ms) overrides
+  // per call. Positive values require at least one deadline enabled
+  // (validation): without per-connection timeouts an idle held connection
+  // never finishes, so every drain would just burn the full deadline.
+  int drain_deadline_ms = 0;
 
   // --- hardware locality profiling (src/obs/hwprof) ---
 
@@ -190,6 +232,22 @@ struct RtTotals {
   uint64_t requests = 0;         // completed request/response rounds
   uint64_t aborted_at_stop = 0;  // held conns closed by a reactor's Run() exit
   uint64_t open_conns = 0;       // conns currently mid-conversation (gauge)
+  // Connection-lifecycle deadlines (0 with no deadline configured): expiry
+  // closes by class. Their sum is the conservation equation's timed_out
+  // term -- a timed-out connection is neither served nor aborted.
+  uint64_t timeouts_handshake = 0;
+  uint64_t timeouts_idle = 0;
+  uint64_t timeouts_read = 0;
+  uint64_t timeouts_write = 0;
+  uint64_t timeouts_lifetime = 0;
+  // Idle conns reaped by pool-pressure eviction; informational subset of
+  // timeouts_idle (an eviction is accounted as an idle timeout).
+  uint64_t pool_evictions = 0;
+  // Conns that finished normally while a drain was in progress;
+  // informational subset of served(), NOT a separate conservation term.
+  uint64_t drained_gracefully = 0;
+  // Balancer epoch decisions damped by migrate_min_epochs.
+  uint64_t migrations_suppressed = 0;
   // Connection-locality ledger: requests (legacy workload: connections)
   // served on vs off their ACCEPTING core, and connections whose first
   // serving core differed from the acceptor. This is the paper's headline
@@ -231,7 +289,14 @@ struct RtTotals {
   std::vector<uint64_t> per_listener_accepted;  // indexed by listener id
   Histogram queue_wait_ns;
   Histogram request_latency_ns;  // per-request service time (svc handlers)
+  Histogram drain_duration_ns;   // one sample per Stop() that ran a drain
   uint64_t served() const { return served_local + served_remote; }
+  // Deadline-expired closes across all five classes: the timed_out term of
+  // the conservation equation.
+  uint64_t timed_out() const {
+    return timeouts_handshake + timeouts_idle + timeouts_read + timeouts_write +
+           timeouts_lifetime;
+  }
   // The locality score: fraction of requests served on their accepting
   // core. Negative when nothing has been served yet.
   double locality_fraction() const {
@@ -240,12 +305,13 @@ struct RtTotals {
   }
   // Connection conservation: every accepted connection is exactly one of
   // served (closed after service), currently open, aborted by a stopping
-  // reactor, drained at stop, overflow-dropped, or admission-shed. The
-  // chaos tests gate on this equation holding after every run (open_conns
-  // settles to 0 once Stop() has joined the reactors).
+  // reactor, drained at stop, overflow-dropped, admission-shed, or closed
+  // by a lifecycle deadline. The chaos tests gate on this equation holding
+  // after every run (open_conns settles to 0 once Stop() has joined the
+  // reactors).
   uint64_t accounted() const {
     return served() + open_conns + aborted_at_stop + drained_at_stop + overflow_drops +
-           admission_shed;
+           admission_shed + timed_out();
   }
 };
 
@@ -265,8 +331,19 @@ class Runtime {
   // still-queued connections. Idempotent, and the Runtime is restartable:
   // a later Start() launches a fresh set of reactors (new port when
   // config.port == 0). Metrics and `drained_at_stop` accumulate across
-  // restarts, so the conservation equation holds cumulatively.
+  // restarts, so the conservation equation holds cumulatively. Drains for
+  // config.drain_deadline_ms first (see the overload); 0 = immediate.
   void Stop();
+
+  // Graceful drain, then stop: new connections are refused (listen fds
+  // unwatched; the kernel RSTs or times out late SYNs once the sockets
+  // close), in-flight conversations keep being served until they finish or
+  // `drain_deadline_ms` elapses, then the reactors exit and abort whatever
+  // remains (aborted_at_stop). Conns that finish during the window count
+  // into rt_drained_gracefully; the drain's wall duration is one sample in
+  // the rt_drain_duration_ns histogram. drain_deadline_ms <= 0 degenerates
+  // to the immediate Stop().
+  void Stop(int drain_deadline_ms);
 
   // The bound port (after Start()).
   uint16_t port() const { return port_; }

@@ -18,6 +18,7 @@ const char* KernelSteeringName(KernelSteering steering) {
 FlowDirector::FlowDirector(const FlowDirectorConfig& config)
     : config_(config),
       table_(config.num_groups, config.num_cores),
+      hysteresis_(config.num_groups, config.min_epochs_between_moves),
       failed_over_(static_cast<size_t>(config.num_cores)) {}
 
 bool FlowDirector::Attach(int fd, std::string* error) {
@@ -34,15 +35,23 @@ bool FlowDirector::Attach(int fd, std::string* error) {
   return true;
 }
 
-bool FlowDirector::PickGroupOwnedByLocked(CoreId victim, uint32_t* group) {
+bool FlowDirector::PickGroupOwnedByLocked(CoreId victim, uint64_t tick, uint32_t* group,
+                                          bool* had_ineligible) {
   uint32_t num_groups = table_.num_groups();
   for (uint32_t i = 0; i < num_groups; ++i) {
     uint32_t candidate = (scan_cursor_ + i) % num_groups;
-    if (table_.OwnerOf(candidate) == victim) {
-      scan_cursor_ = (candidate + 1) % num_groups;
-      *group = candidate;
-      return true;
+    if (table_.OwnerOf(candidate) != victim) {
+      continue;
     }
+    if (!hysteresis_.Eligible(candidate, tick)) {
+      // Recently migrated: skip without advancing the cursor, so the next
+      // epoch's scan revisits it once it cools off.
+      *had_ineligible = true;
+      continue;
+    }
+    scan_cursor_ = (candidate + 1) % num_groups;
+    *group = candidate;
+    return true;
   }
   return false;
 }
@@ -71,13 +80,26 @@ void FlowDirector::ReprogramLocked() {
 }
 
 bool FlowDirector::MigrateForCore(CoreId core, BalancePolicy* policy, uint64_t tick,
-                                  Migration* out) {
+                                  Migration* out, bool* suppressed) {
   bool migrated = false;
+  if (suppressed != nullptr) {
+    *suppressed = false;
+  }
   MigrateForCoreThisEpoch(policy, core, [&](CoreId thief, CoreId victim) {
     std::lock_guard<std::mutex> lock(mu_);
     uint32_t group = 0;
-    if (!PickGroupOwnedByLocked(victim, &group)) {
-      return;  // victim owns no groups (all already migrated away)
+    bool had_ineligible = false;
+    if (!PickGroupOwnedByLocked(victim, tick, &group, &had_ineligible)) {
+      // Either the victim owns no groups (all already migrated away) or
+      // everything it owns is still cooling off from a recent move -- only
+      // the latter counts as a suppression.
+      if (had_ineligible) {
+        ++migrations_suppressed_;
+        if (suppressed != nullptr) {
+          *suppressed = true;
+        }
+      }
+      return;
     }
     Migration m;
     m.group = group;
@@ -86,6 +108,7 @@ bool FlowDirector::MigrateForCore(CoreId core, BalancePolicy* policy, uint64_t t
     m.tick = tick;
     m.victim_steals = policy->EpochSteals(thief, victim);
     table_.Set(group, thief);
+    hysteresis_.NoteMove(group, tick);
     ReprogramLocked();
     history_.push_back(m);
     if (out != nullptr) {
@@ -265,6 +288,11 @@ uint64_t FlowDirector::cbpf_updates() const {
 uint64_t FlowDirector::cbpf_update_skips() const {
   std::lock_guard<std::mutex> lock(mu_);
   return cbpf_update_skips_;
+}
+
+uint64_t FlowDirector::migrations_suppressed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return migrations_suppressed_;
 }
 
 }  // namespace steer

@@ -37,6 +37,7 @@
 #include <vector>
 
 #include "src/balance/balance_policy.h"
+#include "src/balance/migration_epoch.h"
 #include "src/fault/sys_iface.h"
 #include "src/steer/steering_table.h"
 #include "src/topo/topology.h"
@@ -75,6 +76,12 @@ struct FlowDirectorConfig {
   // a dead core's groups on its nearest surviving peers instead of plain
   // round-robin over all survivors.
   const topo::Topology* topo = nullptr;
+  // Migration hysteresis: a group that just migrated may not migrate again
+  // for this many balancer epochs (0 = off, the pre-hysteresis behavior).
+  // Damps ping-pong between near-balanced cores; failover/recovery moves
+  // ignore and do not stamp it. Mirrored by the simulator's
+  // FlowGroupMigrator so the parity test holds with hysteresis on.
+  uint32_t min_epochs_between_moves = 0;
 };
 
 // Cumulative distance classification of failover parking moves (how far each
@@ -114,7 +121,12 @@ class FlowDirector {
   // epoch, move one flow group from its top victim to itself and reprogram
   // the kernel. Returns true (with *out filled) when a group moved. Epoch
   // steal counts reset per the shared migration_epoch.h driver either way.
-  bool MigrateForCore(CoreId core, BalancePolicy* policy, uint64_t tick, Migration* out);
+  // With hysteresis configured, a move can come back false because the
+  // victim owned groups but every one was damped (moved too recently);
+  // *suppressed reports exactly that case so the caller can count it apart
+  // from "victim owned nothing".
+  bool MigrateForCore(CoreId core, BalancePolicy* policy, uint64_t tick, Migration* out,
+                      bool* suppressed = nullptr);
 
   // A centralized epoch in core order -- what the simulator's
   // FlowGroupMigrator::RunEpoch does; used by the sim/rt parity test.
@@ -154,11 +166,17 @@ class FlowDirector {
   // user-space re-steer).
   uint64_t cbpf_updates() const;
   uint64_t cbpf_update_skips() const;
+  // Epoch decisions where the victim owned at least one group but hysteresis
+  // blocked all of them (the ping-pong the damping exists to stop).
+  uint64_t migrations_suppressed() const;
 
  private:
   // Same scan as FlowGroupMigrator::PickGroupOnRing: rotate from the shared
-  // cursor so repeated migrations move different groups.
-  bool PickGroupOwnedByLocked(CoreId victim, uint32_t* group);
+  // cursor so repeated migrations move different groups. Skips groups the
+  // hysteresis holds ineligible at `tick`; *had_ineligible reports whether
+  // any victim-owned group was skipped that way.
+  bool PickGroupOwnedByLocked(CoreId victim, uint64_t tick, uint32_t* group,
+                              bool* had_ineligible);
   void ReprogramLocked();
 
   FlowDirectorConfig config_;
@@ -167,6 +185,8 @@ class FlowDirector {
   mutable std::mutex mu_;
   int attach_fd_ = -1;
   uint32_t scan_cursor_ = 0;
+  MigrationHysteresis hysteresis_;
+  uint64_t migrations_suppressed_ = 0;
   std::vector<Migration> history_;
   uint64_t cbpf_updates_ = 0;
   uint64_t cbpf_update_skips_ = 0;

@@ -87,6 +87,14 @@ struct ConnState {
   uint32_t open_prev = 0xFFFFFFFFu;
   uint32_t open_next = 0xFFFFFFFFu;
 
+  // Idle as the deadline subsystem and the pool-pressure evictor define it:
+  // parked waiting for request bytes with nothing staged. True both before
+  // the first byte ever (handshake phase) and between requests -- exactly
+  // the states a slowloris client pins.
+  bool IdleBetweenRequests() const {
+    return phase == ConnPhase::kReading && req_len == 0;
+  }
+
   char head_buf[kHeadBufBytes];
   char req_buf[kReqBufBytes];
 

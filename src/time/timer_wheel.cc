@@ -1,0 +1,111 @@
+#include "src/time/timer_wheel.h"
+
+namespace affinity {
+namespace timer {
+
+TimerWheel::TimerWheel(uint64_t resolution_ns, uint64_t start_ns)
+    : resolution_ns_(resolution_ns == 0 ? 1 : resolution_ns),
+      start_ns_(start_ns) {
+  for (int level = 0; level < kLevels; ++level) {
+    for (int s = 0; s < kSlotsPerLevel; ++s) {
+      Slot& slot = wheel_[level][s];
+      slot.head.next = &slot.head;
+      slot.head.prev = &slot.head;
+    }
+  }
+}
+
+void TimerWheel::Link(Slot& slot, TimerEntry* e) {
+  e->next = &slot.head;
+  e->prev = slot.head.prev;
+  slot.head.prev->next = e;
+  slot.head.prev = e;
+}
+
+void TimerWheel::Unlink(TimerEntry* e) {
+  e->prev->next = e->next;
+  e->next->prev = e->prev;
+  e->prev = nullptr;
+  e->next = nullptr;
+}
+
+void TimerWheel::Schedule(TimerEntry* e) {
+  uint64_t delta =
+      e->expire_tick > current_tick_ ? e->expire_tick - current_tick_ : 0;
+  int level = 0;
+  while (level < kLevels - 1 &&
+         delta >= (1ull << ((level + 1) * kSlotBits))) {
+    ++level;
+  }
+  size_t slot = (e->expire_tick >> (level * kSlotBits)) & (kSlotsPerLevel - 1);
+  Link(wheel_[level][slot], e);
+}
+
+void TimerWheel::Cascade() {
+  // Called when the level-0 index has just wrapped to 0. Each higher level
+  // whose index also sits at a fresh slot gets that slot's entries pulled
+  // down. Entries cascading from level L land strictly below the level-L
+  // slot being refilled this tick, so lower-level-first order is safe.
+  for (int level = 1; level < kLevels; ++level) {
+    size_t idx =
+        (current_tick_ >> (level * kSlotBits)) & (kSlotsPerLevel - 1);
+    Slot& slot = wheel_[level][idx];
+    TimerEntry* e = slot.head.next;
+    slot.head.next = &slot.head;
+    slot.head.prev = &slot.head;
+    while (e != &slot.head) {
+      TimerEntry* next = e->next;
+      Schedule(e);
+      e = next;
+    }
+    if (idx != 0) break;  // this level has not wrapped; higher ones wait
+  }
+}
+
+void TimerWheel::Arm(TimerEntry* e, uint64_t deadline_ns, uint8_t kind,
+                     uint64_t data) {
+  if (e->armed) {
+    Unlink(e);
+    --armed_count_;
+  }
+  // Ceil to the tick boundary so the entry never fires before its deadline,
+  // then round past-due deadlines up to the next tick: a timer must not
+  // fire inside the call that arms it.
+  uint64_t tick =
+      deadline_ns <= start_ns_
+          ? 0
+          : (deadline_ns - start_ns_ + resolution_ns_ - 1) / resolution_ns_;
+  if (tick <= current_tick_) tick = current_tick_ + 1;
+  constexpr uint64_t kHorizon = (1ull << (kLevels * kSlotBits)) - 1;
+  if (tick - current_tick_ > kHorizon) tick = current_tick_ + kHorizon;
+  e->expire_tick = tick;
+  e->kind = kind;
+  e->data = data;
+  e->armed = true;
+  ++armed_count_;
+  Schedule(e);
+}
+
+void TimerWheel::Cancel(TimerEntry* e) {
+  if (!e->armed) return;
+  Unlink(e);
+  e->armed = false;
+  --armed_count_;
+}
+
+uint64_t TimerWheel::NextFireNs() const {
+  if (armed_count_ == 0) return kNever;
+  // Level 0 is exact: a non-empty slot d ticks ahead fires at exactly
+  // current_tick_ + d.
+  for (uint64_t d = 1; d < kSlotsPerLevel; ++d) {
+    uint64_t tick = current_tick_ + d;
+    const Slot& slot = wheel_[0][tick & (kSlotsPerLevel - 1)];
+    if (slot.head.next != &slot.head) return NsOfTick(tick);
+  }
+  // Everything armed sits on a higher level; nothing can fire before the
+  // next cascade boundary, so report that as the (conservative) bound.
+  return NsOfTick((current_tick_ | (kSlotsPerLevel - 1)) + 1);
+}
+
+}  // namespace timer
+}  // namespace affinity

@@ -184,6 +184,16 @@ TEST_P(RtSvcAllocFreeTest, SteadyStateServesRequestsWithZeroHeapAllocations) {
   // The default perf source opens (or refuses) at reactor start, well
   // before the window; either way the steady state allocates nothing.
   config.hwprof = true;
+  // Lifecycle deadlines ride the window too: every request cancels and
+  // re-arms intrusive wheel entries (NoteRounds + ArmPhaseDeadline) and the
+  // reactors advance their wheels each loop pass. Generous values so no
+  // deadline actually fires mid-window -- the proof here is that ARMING is
+  // allocation-free, the firing paths have their own tests.
+  config.handshake_timeout_ms = 2000;
+  config.idle_timeout_ms = 2000;
+  config.read_timeout_ms = 2000;
+  config.write_timeout_ms = 2000;
+  config.max_lifetime_ms = 20'000;
   Runtime runtime(config);
   std::string error;
   ASSERT_TRUE(runtime.Start(&error)) << error;

@@ -43,12 +43,12 @@ void ExpectBooksBalance(const Runtime& runtime, const LoadClient& client) {
   EXPECT_EQ(totals.accepted, totals.accounted())
       << "accepted=" << totals.accepted << " served=" << totals.served()
       << " drained=" << totals.drained_at_stop << " overflow=" << totals.overflow_drops
-      << " shed=" << totals.admission_shed;
+      << " shed=" << totals.admission_shed << " timed_out=" << totals.timed_out();
   ASSERT_NE(runtime.conn_pool(), nullptr);
   EXPECT_EQ(runtime.conn_pool()->live_objects(), 0u);
   EXPECT_EQ(client.attempted(), client.completed() + client.refused() + client.timeouts() +
                                     client.port_busy() + client.errors() +
-                                    client.aborted_at_stop());
+                                    client.aborted_at_stop() + client.stalled_reaped());
 }
 
 RtConfig ChaosConfig(int threads) {
@@ -426,6 +426,72 @@ TEST(RtChaosTest, DropBudgetDegradesToOrderlyClose) {
   EXPECT_GE(totals.overflow_drops, 1u);
   EXPECT_EQ(totals.admission_shed + totals.overflow_drops, totals.pool_exhausted);
   ExpectBooksBalance(runtime, client);
+}
+
+// Slowloris storm plus a reactor kill: stalled connections hold ARMED
+// deadline entries on the victim's wheel when it dies. The death path must
+// cancel every entry before the blocks recycle (the TSan leg of rt_tests
+// race-checks the cleanup), survivors keep reaping the storm, and the whole
+// episode still balances to the connection -- including the new timed_out
+// and stalled_reaped terms.
+TEST(RtChaosTest, SlowlorisStormSurvivesReactorKillAndBalances) {
+  const int kThreads = 4;
+  const int kVictim = 1;
+  RtConfig config = ChaosConfig(kThreads);
+  config.workload = svc::WorkloadKind::kEcho;
+  config.handshake_timeout_ms = 40;
+  config.idle_timeout_ms = 80;
+  config.read_timeout_ms = 80;
+  config.write_timeout_ms = 80;
+  config.max_lifetime_ms = 5000;
+  config.pool_evict_batch = 4;
+  config.fault_plan = fault::FaultPlan::ReactorKill(kVictim, /*after_calls=*/100);
+  Runtime runtime(config);
+  std::string error;
+  ASSERT_TRUE(runtime.Start(&error)) << error;
+
+  LoadClientConfig storm_config;
+  storm_config.port = runtime.port();
+  storm_config.num_threads = 8;
+  storm_config.stall = StallMode::kHandshake;
+  storm_config.connect_timeout_ms = 3000;
+  storm_config.workload = svc::WorkloadKind::kEcho;
+  LoadClient storm(storm_config);
+  storm.Start();
+
+  LoadClientConfig good_config;
+  good_config.port = runtime.port();
+  good_config.num_threads = 2;
+  good_config.workload = svc::WorkloadKind::kEcho;
+  good_config.requests_per_conn = 2;
+  LoadClient good(good_config);
+  good.Start();
+
+  // The kill lands while the reaper is mid-storm...
+  EXPECT_TRUE(WaitFor([&] { return runtime.Totals().failovers >= 1; },
+                      std::chrono::seconds(10)))
+      << "watchdog never failed the killed reactor over";
+  ASSERT_NE(runtime.domains(), nullptr);
+  EXPECT_TRUE(runtime.domains()->IsDead(kVictim));
+  // ...and the survivors keep reaping stallers and serving good traffic.
+  uint64_t reaped_at_kill = runtime.Totals().timed_out();
+  EXPECT_TRUE(WaitFor([&] { return runtime.Totals().timed_out() >= reaped_at_kill + 16; },
+                      std::chrono::seconds(20)))
+      << "the reaper stopped after the kill";
+  uint64_t served_at_kill = good.completed();
+  EXPECT_TRUE(WaitFor([&] { return good.completed() >= served_at_kill + 20; },
+                      std::chrono::seconds(20)))
+      << "good traffic starved after the kill";
+
+  storm.Stop();
+  good.Stop();
+  runtime.Stop();
+
+  RtTotals totals = runtime.Totals();
+  EXPECT_GE(totals.failovers, 1u);
+  EXPECT_GE(totals.timeouts_handshake, 16u);
+  ExpectBooksBalance(runtime, storm);
+  ExpectBooksBalance(runtime, good);
 }
 
 }  // namespace

@@ -148,6 +148,111 @@ TEST_F(SteerParityTest, ParkAndRecoverUnderScriptedTopologyIsExact) {
   ExpectTablesEqual();
 }
 
+TEST_F(SteerParityTest, MigrationHysteresisDampsBothSidesInLockstep) {
+  // Both executors run with the same damping: a flow group that just moved
+  // may not move again for kMinEpochs epochs. The sim side counts epochs on
+  // an internal tick and the rt side on the caller's tick; eligibility is
+  // tick-DIFFERENCE based, so the two stay in lockstep as long as both
+  // advance one tick per epoch -- which EpochAndCompare guarantees.
+  constexpr uint32_t kMinEpochs = 3;
+  migrator_ = std::make_unique<FlowGroupMigrator>(nic_.get(), [](CoreId c) { return c; },
+                                                  kMinEpochs);
+  FlowDirectorConfig director_config;
+  director_config.num_groups = kGroups;
+  director_config.num_cores = kCores;
+  director_config.min_epochs_between_moves = kMinEpochs;
+  director_ = std::make_unique<FlowDirector>(director_config);
+
+  // Epochs 1-2: strip core 0 of all four round-robin groups. Hysteresis
+  // never suppresses here -- each epoch still finds a never-moved group.
+  Steal(1, 0);
+  Steal(1, 0);
+  Steal(2, 0);
+  Steal(2, 0);
+  Steal(3, 0);
+  Steal(3, 0);
+  EXPECT_EQ(EpochAndCompare(/*tick=*/1), 3u);
+  Steal(1, 0);
+  Steal(1, 0);
+  EXPECT_EQ(EpochAndCompare(/*tick=*/2), 1u);
+  ExpectTablesEqual();
+  EXPECT_EQ(director_->table().OwnedBy(0), 0u);
+  EXPECT_EQ(migrator_->migrations_suppressed(), 0u);
+  EXPECT_EQ(director_->migrations_suppressed(), 0u);
+
+  // Epoch 3: core 0 steals one group BACK -- now core 0's entire holding is
+  // a single freshly-moved group.
+  Steal(0, 1);
+  Steal(0, 1);
+  EXPECT_EQ(EpochAndCompare(/*tick=*/3), 1u);
+  ExpectTablesEqual();
+
+  // Epochs 4-5: pressure to re-migrate that group lands inside the damping
+  // window: both sides must SUPPRESS, identically, instead of thrashing.
+  Steal(1, 0);
+  Steal(1, 0);
+  EXPECT_EQ(EpochAndCompare(/*tick=*/4), 0u);
+  Steal(1, 0);
+  Steal(1, 0);
+  EXPECT_EQ(EpochAndCompare(/*tick=*/5), 0u);
+  EXPECT_EQ(migrator_->migrations_suppressed(), 2u);
+  EXPECT_EQ(director_->migrations_suppressed(), 2u);
+  ExpectTablesEqual();
+
+  // Epoch 6: the window has aged out (3 epochs since the move); the same
+  // pressure now migrates on both sides.
+  Steal(1, 0);
+  Steal(1, 0);
+  EXPECT_EQ(EpochAndCompare(/*tick=*/6), 1u);
+  EXPECT_EQ(migrator_->migrations_suppressed(), 2u);
+  EXPECT_EQ(director_->migrations_suppressed(), 2u);
+  ExpectTablesEqual();
+}
+
+TEST_F(SteerParityTest, RandomizedHysteresisStaysInLockstep) {
+  // The randomized lockstep sweep again, but with damping on: decisions AND
+  // suppression counts must match epoch for epoch.
+  constexpr uint32_t kMinEpochs = 2;
+  migrator_ = std::make_unique<FlowGroupMigrator>(nic_.get(), [](CoreId c) { return c; },
+                                                  kMinEpochs);
+  FlowDirectorConfig director_config;
+  director_config.num_groups = kGroups;
+  director_config.num_cores = kCores;
+  director_config.min_epochs_between_moves = kMinEpochs;
+  director_ = std::make_unique<FlowDirector>(director_config);
+
+  std::mt19937 rng(20120412);
+  std::uniform_int_distribution<int> core_dist(0, kCores - 1);
+  std::uniform_int_distribution<int> len_dist(0, kMaxLocalLen);
+  std::uniform_int_distribution<int> kind_dist(0, 3);
+
+  size_t total_moves = 0;
+  for (uint64_t epoch = 1; epoch <= 50; ++epoch) {
+    for (int event = 0; event < 40; ++event) {
+      CoreId a = core_dist(rng);
+      CoreId b = core_dist(rng);
+      switch (kind_dist(rng)) {
+        case 0:
+          Enqueue(a, static_cast<size_t>(len_dist(rng)));
+          break;
+        case 1:
+          Dequeue(a, static_cast<size_t>(len_dist(rng)));
+          break;
+        default:
+          if (a != b) {
+            Steal(a, b);
+          }
+          break;
+      }
+    }
+    total_moves += EpochAndCompare(epoch);
+    ExpectTablesEqual();
+    EXPECT_EQ(migrator_->migrations_suppressed(), director_->migrations_suppressed())
+        << "suppression diverged at epoch " << epoch;
+  }
+  EXPECT_GT(total_moves, 0u);
+}
+
 TEST_F(SteerParityTest, RandomizedHistoryStaysInLockstep) {
   std::mt19937 rng(20120410);  // EuroSys 2012, for a stable seed
   std::uniform_int_distribution<int> core_dist(0, kCores - 1);

@@ -1,0 +1,300 @@
+// Scripted-clock tests for the hierarchical timer wheel: cascade across
+// levels, wraparound, cancel/re-arm races (including from inside an expiry
+// callback), mass-expiry storms, and the NextFireNs lower bound.
+
+#include "src/time/timer_wheel.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "gtest/gtest.h"
+#include "src/time/clock.h"
+
+namespace affinity {
+namespace timer {
+namespace {
+
+constexpr uint64_t kRes = 1'000'000;  // 1 ms ticks, the runtime default
+
+uint64_t Ms(uint64_t ms) { return ms * 1'000'000ull; }
+
+// Collects expiries into a vector for order/count assertions.
+struct Collector {
+  std::vector<TimerEntry*> fired;
+  void operator()(TimerEntry* e) { fired.push_back(e); }
+};
+
+TEST(TimerWheelTest, FiresAtTheArmedTickNotBefore) {
+  TimerWheel wheel(kRes, 0);
+  TimerEntry e;
+  wheel.Arm(&e, Ms(5), /*kind=*/1, /*data=*/42);
+  EXPECT_EQ(1u, wheel.armed_count());
+
+  Collector got;
+  wheel.Advance(Ms(4), got);
+  EXPECT_TRUE(got.fired.empty());
+  EXPECT_TRUE(e.armed);
+
+  wheel.Advance(Ms(5), got);
+  ASSERT_EQ(1u, got.fired.size());
+  EXPECT_EQ(&e, got.fired[0]);
+  EXPECT_FALSE(e.armed);
+  EXPECT_EQ(42u, e.data);
+  EXPECT_EQ(1u, e.kind);
+  EXPECT_EQ(0u, wheel.armed_count());
+}
+
+TEST(TimerWheelTest, SubResolutionDeadlineRoundsUpToOneTick) {
+  TimerWheel wheel(kRes, 0);
+  TimerEntry e;
+  // Half a tick out: must not fire "now" (tick 0 already passed), rounds to
+  // tick 1.
+  wheel.Arm(&e, kRes / 2, 1, 0);
+  Collector got;
+  wheel.Advance(kRes - 1, got);
+  EXPECT_TRUE(got.fired.empty());
+  wheel.Advance(kRes, got);
+  EXPECT_EQ(1u, got.fired.size());
+}
+
+TEST(TimerWheelTest, CascadeAcrossLevelsPreservesExactExpiry) {
+  // Deadlines beyond level 0's 64-tick span park in level 1+ and must
+  // cascade back down to fire at exactly their tick, not at the cascade
+  // boundary.
+  TimerWheel wheel(kRes, 0);
+  TimerEntry near, mid, far, very_far;
+  wheel.Arm(&near, Ms(63), 1, 0);        // level 0
+  wheel.Arm(&mid, Ms(200), 1, 0);        // level 1
+  wheel.Arm(&far, Ms(5'000), 1, 0);      // level 2 (>= 64*64 ticks)
+  wheel.Arm(&very_far, Ms(300'000), 1, 0);  // level 3 (>= 64^3 ticks)
+
+  Collector got;
+  wheel.Advance(Ms(199), got);
+  ASSERT_EQ(1u, got.fired.size());
+  EXPECT_EQ(&near, got.fired[0]);
+
+  wheel.Advance(Ms(200), got);
+  ASSERT_EQ(2u, got.fired.size());
+  EXPECT_EQ(&mid, got.fired[1]);
+
+  wheel.Advance(Ms(4'999), got);
+  EXPECT_EQ(2u, got.fired.size());
+  wheel.Advance(Ms(5'000), got);
+  ASSERT_EQ(3u, got.fired.size());
+  EXPECT_EQ(&far, got.fired[2]);
+
+  wheel.Advance(Ms(299'999), got);
+  EXPECT_EQ(3u, got.fired.size());
+  wheel.Advance(Ms(300'000), got);
+  ASSERT_EQ(4u, got.fired.size());
+  EXPECT_EQ(&very_far, got.fired[3]);
+  EXPECT_EQ(0u, wheel.armed_count());
+}
+
+TEST(TimerWheelTest, Level0IndexWraparoundKeepsFiring) {
+  // March the wheel through several full level-0 revolutions, arming one
+  // short timer at a time; every slot index (including the wrap at 64) must
+  // behave identically.
+  TimerWheel wheel(kRes, 0);
+  Collector got;
+  uint64_t now = 0;
+  for (int i = 0; i < 300; ++i) {
+    TimerEntry e;
+    wheel.Arm(&e, now + Ms(3), 1, static_cast<uint64_t>(i));
+    now += Ms(3);
+    wheel.Advance(now, got);
+    ASSERT_EQ(static_cast<size_t>(i + 1), got.fired.size()) << "iteration " << i;
+    EXPECT_EQ(static_cast<uint64_t>(i), got.fired.back()->data);
+  }
+}
+
+TEST(TimerWheelTest, CancelPreventsExpiryAndReArmMovesIt) {
+  TimerWheel wheel(kRes, 0);
+  TimerEntry e;
+  wheel.Arm(&e, Ms(10), 1, 0);
+  wheel.Cancel(&e);
+  EXPECT_FALSE(e.armed);
+  EXPECT_EQ(0u, wheel.armed_count());
+
+  Collector got;
+  wheel.Advance(Ms(20), got);
+  EXPECT_TRUE(got.fired.empty());
+
+  // Re-arm after cancel, then re-arm again WITHOUT cancelling: the second
+  // arm must supersede the first (one link, one expiry).
+  wheel.Arm(&e, Ms(30), 2, 7);
+  wheel.Arm(&e, Ms(40), 3, 8);
+  EXPECT_EQ(1u, wheel.armed_count());
+  wheel.Advance(Ms(35), got);
+  EXPECT_TRUE(got.fired.empty());
+  wheel.Advance(Ms(40), got);
+  ASSERT_EQ(1u, got.fired.size());
+  EXPECT_EQ(3u, e.kind);
+  EXPECT_EQ(8u, e.data);
+}
+
+TEST(TimerWheelTest, CancelIsIdempotentAndSafeOnNeverArmed) {
+  TimerWheel wheel(kRes, 0);
+  TimerEntry never;
+  wheel.Cancel(&never);  // must be a no-op, not a crash
+  TimerEntry e;
+  wheel.Arm(&e, Ms(5), 1, 0);
+  wheel.Cancel(&e);
+  wheel.Cancel(&e);
+  EXPECT_EQ(0u, wheel.armed_count());
+}
+
+TEST(TimerWheelTest, CallbackMayCancelADueSibling) {
+  // Two entries due the same tick; the first one's callback cancels the
+  // second (the reactor's close path does exactly this: expiry closes a
+  // conn, which cancels its other timer). The cancelled sibling must not
+  // fire.
+  TimerWheel wheel(kRes, 0);
+  TimerEntry a, b;
+  wheel.Arm(&a, Ms(5), 1, 0);
+  wheel.Arm(&b, Ms(5), 1, 0);
+
+  std::vector<TimerEntry*> fired;
+  wheel.Advance(Ms(5), [&](TimerEntry* e) {
+    fired.push_back(e);
+    wheel.Cancel(e == &a ? &b : &a);
+  });
+  EXPECT_EQ(1u, fired.size());
+  EXPECT_EQ(0u, wheel.armed_count());
+  EXPECT_FALSE(a.armed);
+  EXPECT_FALSE(b.armed);
+}
+
+TEST(TimerWheelTest, CallbackMayReArmItsOwnEntry) {
+  // Periodic-style reuse: the callback re-arms the entry that just fired.
+  TimerWheel wheel(kRes, 0);
+  TimerEntry e;
+  wheel.Arm(&e, Ms(1), 1, 0);
+  int fires = 0;
+  uint64_t now = 0;
+  for (int step = 0; step < 5; ++step) {
+    now += Ms(1);
+    wheel.Advance(now, [&](TimerEntry* entry) {
+      ++fires;
+      wheel.Arm(entry, now + Ms(1), 1, 0);
+    });
+  }
+  EXPECT_EQ(5, fires);
+  EXPECT_EQ(1u, wheel.armed_count());
+}
+
+TEST(TimerWheelTest, MassExpiryStormFiresEveryEntryExactlyOnce) {
+  // A slowloris storm's worth of entries spread over many ticks and levels,
+  // advanced in one giant jump: each fires exactly once, none are lost in
+  // the cascades.
+  constexpr int kEntries = 4096;
+  TimerWheel wheel(kRes, 0);
+  std::vector<TimerEntry> entries(kEntries);
+  for (int i = 0; i < kEntries; ++i) {
+    // Deadlines 1ms..~16s: spans levels 0-2 with heavy slot collisions.
+    wheel.Arm(&entries[i], Ms(1 + (static_cast<uint64_t>(i) * 7) % 16'000), 1,
+              static_cast<uint64_t>(i));
+  }
+  EXPECT_EQ(static_cast<size_t>(kEntries), wheel.armed_count());
+
+  std::vector<int> count(kEntries, 0);
+  wheel.Advance(Ms(20'000), [&](TimerEntry* e) { ++count[e->data]; });
+  EXPECT_EQ(0u, wheel.armed_count());
+  for (int i = 0; i < kEntries; ++i) {
+    EXPECT_EQ(1, count[i]) << "entry " << i;
+  }
+}
+
+TEST(TimerWheelTest, MassExpiryRespectsDeadlineOrderAcrossTicks) {
+  // Advancing tick-by-tick (the reactor's normal cadence), expiries come
+  // out in nondecreasing deadline order.
+  TimerWheel wheel(kRes, 0);
+  std::vector<TimerEntry> entries(256);
+  for (size_t i = 0; i < entries.size(); ++i) {
+    wheel.Arm(&entries[i], Ms(1 + (i * 13) % 500), 1, 1 + (i * 13) % 500);
+  }
+  uint64_t last_deadline_ms = 0;
+  for (uint64_t ms = 1; ms <= 500; ++ms) {
+    wheel.Advance(Ms(ms), [&](TimerEntry* e) {
+      EXPECT_GE(e->data, last_deadline_ms);
+      last_deadline_ms = e->data;
+    });
+  }
+  EXPECT_EQ(0u, wheel.armed_count());
+}
+
+TEST(TimerWheelTest, NextFireNsIsALowerBoundAndExactOnLevel0) {
+  TimerWheel wheel(kRes, 0);
+  EXPECT_EQ(TimerWheel::kNever, wheel.NextFireNs());
+
+  TimerEntry e;
+  wheel.Arm(&e, Ms(7), 1, 0);
+  // Level-0 resident: the bound is exact.
+  EXPECT_EQ(Ms(7), wheel.NextFireNs());
+
+  wheel.Cancel(&e);
+  wheel.Arm(&e, Ms(500), 1, 0);
+  // Higher-level resident: NextFireNs may undershoot (cascade boundary) but
+  // must never overshoot the true deadline, and never point at the past.
+  uint64_t bound = wheel.NextFireNs();
+  EXPECT_LE(bound, Ms(500));
+  EXPECT_GT(bound, 0u);
+
+  // Following the bound repeatedly reaches the expiry without skipping it.
+  Collector got;
+  uint64_t now = 0;
+  int hops = 0;
+  while (got.fired.empty() && hops < 1000) {
+    now = wheel.NextFireNs();
+    ASSERT_NE(TimerWheel::kNever, now);
+    wheel.Advance(now, got);
+    ++hops;
+  }
+  ASSERT_EQ(1u, got.fired.size());
+  EXPECT_EQ(Ms(500), now);  // landed exactly on the deadline, not past it
+}
+
+TEST(TimerWheelTest, EmptyAdvanceFastForwardsWithoutSlotWalk) {
+  // Advancing an empty wheel by hours must be O(1) (current_tick_ jumps);
+  // a timer armed afterwards still fires at its exact tick.
+  TimerWheel wheel(kRes, 0);
+  Collector got;
+  wheel.Advance(Ms(3'600'000), got);  // one hour, empty
+  TimerEntry e;
+  wheel.Arm(&e, Ms(3'600'010), 1, 0);
+  wheel.Advance(Ms(3'600'009), got);
+  EXPECT_TRUE(got.fired.empty());
+  wheel.Advance(Ms(3'600'010), got);
+  EXPECT_EQ(1u, got.fired.size());
+}
+
+TEST(TimerWheelTest, PastDeadlineFiresOnNextTick) {
+  TimerWheel wheel(kRes, 0);
+  Collector got;
+  wheel.Advance(Ms(100), got);
+  TimerEntry e;
+  wheel.Arm(&e, Ms(50), 1, 0);  // already past
+  EXPECT_EQ(1u, wheel.armed_count());
+  wheel.Advance(Ms(101), got);  // next tick: fires immediately-ish
+  EXPECT_EQ(1u, got.fired.size());
+}
+
+TEST(TimerWheelTest, ScriptedClockDrivesAdvance) {
+  // The seam the reactors use: wheel start anchored at the clock's origin,
+  // Advance fed from NowNs().
+  ScriptedClock clock(Ms(1'000));
+  TimerWheel wheel(kRes, clock.NowNs());
+  TimerEntry e;
+  wheel.Arm(&e, clock.NowNs() + Ms(25), 1, 0);
+  Collector got;
+  clock.Advance(Ms(24));
+  wheel.Advance(clock.NowNs(), got);
+  EXPECT_TRUE(got.fired.empty());
+  clock.Advance(Ms(1));
+  wheel.Advance(clock.NowNs(), got);
+  EXPECT_EQ(1u, got.fired.size());
+}
+
+}  // namespace
+}  // namespace timer
+}  // namespace affinity
